@@ -1,0 +1,36 @@
+//! Criterion micro-benchmarks for experiment E4: the counting problem
+//! (Corollary 5.6) — the inclusion–exclusion showcase (non-edges) and a
+//! guarded count, naive vs decomposed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use foc_core::{EngineKind, Evaluator};
+use foc_logic::parse::parse_term;
+use foc_structures::gen::grid;
+
+fn bench_counting(c: &mut Criterion) {
+    let far = parse_term("#(x,y). !(dist(x,y) <= 2)").unwrap();
+    let guarded = parse_term("#(x,y). (E(x,y) & #(z). E(y,z) = 3)").unwrap();
+    let mut group = c.benchmark_group("counting_grid");
+    group.sample_size(10);
+    for side in [16u32, 32, 64] {
+        let s = grid(side, side);
+        let n = side * side;
+        for (name, term) in [("far_pairs", &far), ("guarded", &guarded)] {
+            for kind in [EngineKind::Naive, EngineKind::Local] {
+                if kind == EngineKind::Naive && name == "far_pairs" && n > 1100 {
+                    continue; // quadratic; keep the run bounded
+                }
+                let ev = Evaluator::new(kind);
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{name}/{kind:?}"), n),
+                    &s,
+                    |b, s| b.iter(|| ev.eval_ground(s, term).unwrap()),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_counting);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion micro-benchmarks for experiment E6: neighbourhood-cover
+//! construction (least-centre rule vs the trivial per-element cover).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use foc_covers::cover::{build_cover, trivial_cover};
+use foc_structures::gen::{grid, random_tree};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_covers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbourhood_cover");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    for n in [1_000u32, 4_000, 16_000] {
+        let t = random_tree(n, &mut rng);
+        let g = t.gaifman().clone();
+        group.bench_with_input(BenchmarkId::new("least_centre/tree", n), &g, |b, g| {
+            b.iter(|| build_cover(g, 2))
+        });
+        group.bench_with_input(BenchmarkId::new("trivial/tree", n), &g, |b, g| {
+            b.iter(|| trivial_cover(g, 2))
+        });
+        let side = (n as f64).sqrt().round() as u32;
+        let gr = grid(side, side).gaifman().clone();
+        group.bench_with_input(BenchmarkId::new("least_centre/grid", n), &gr, |b, g| {
+            b.iter(|| build_cover(g, 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_covers);
+criterion_main!(benches);

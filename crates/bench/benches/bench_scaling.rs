@@ -1,0 +1,34 @@
+//! Criterion micro-benchmarks for experiment E3: FOC1(P) model checking
+//! per engine on growing random trees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use foc_core::{EngineKind, Evaluator};
+use foc_logic::parse::parse_formula;
+use foc_structures::gen::random_tree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_model_checking(c: &mut Criterion) {
+    let sentence = parse_formula(
+        "exists x. #(y). (E(x,y) & #(z). E(y,z) = 1) >= 2",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("model_checking_random_tree");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(1);
+    for n in [512u32, 2048, 8192] {
+        let s = random_tree(n, &mut rng);
+        for kind in [EngineKind::Naive, EngineKind::Local] {
+            let ev = Evaluator::new(kind);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind:?}"), n),
+                &s,
+                |b, s| b.iter(|| ev.check_sentence(s, &sentence).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_checking);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks for experiment E7: the GROUP BY COUNT
+//! query of Example 5.3 on the Customer/Order database.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use foc_core::sql::customers_per_country;
+use foc_core::{EngineKind, Evaluator};
+use foc_structures::gen::{sql_database, SqlDbParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sql(c: &mut Criterion) {
+    let q = customers_per_country(true);
+    let mut group = c.benchmark_group("sql_group_by_country");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(3);
+    for customers in [200u32, 1_000] {
+        let db = sql_database(
+            SqlDbParams {
+                customers,
+                countries: (customers / 40).max(3),
+                cities: (customers / 20).max(5),
+                avg_orders: 2.0,
+            },
+            &mut rng,
+        );
+        for kind in [EngineKind::Naive, EngineKind::Local] {
+            let ev = Evaluator::new(kind);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind:?}"), customers),
+                &db.structure,
+                |b, s| b.iter(|| ev.query(s, &q).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sql);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! E7/E8 — the paper's application examples: SQL COUNT workloads
+//! (Example 5.3) and the coloured-graph cardinality queries
+//! (Example 5.4).
+
+use std::time::Instant;
+
+use foc_core::sql::{customers_per_country, orders_per_berlin_customer, total_customers_and_orders};
+use foc_core::{EngineKind, Evaluator};
+use foc_logic::build::*;
+use foc_structures::gen::{colored_digraph, sql_database, ColoredParams, SqlDbParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::table::{fmt_duration, Table};
+
+/// E7: Example 5.3's SQL COUNT queries on the Customer/Order database.
+pub fn e7(quick: bool) -> Vec<Table> {
+    let sizes: &[u32] = if quick { &[100, 500] } else { &[100, 500, 2_000, 8_000] };
+    let cover_cap = 500;
+    let mut t = Table::new(
+        "E7 (Example 5.3): SQL COUNT workloads — GROUP BY country",
+        &["customers", "‖A‖", "groups", "naive", "local", "cover", "correct"],
+    );
+    let mut rng = StdRng::seed_from_u64(77);
+    for &n in sizes {
+        let db = sql_database(
+            SqlDbParams {
+                customers: n,
+                countries: (n / 40).max(3),
+                cities: (n / 20).max(5),
+                avg_orders: 2.0,
+            },
+            &mut rng,
+        );
+        let q = customers_per_country(true);
+        let truth = db.customers_per_country();
+        let mut cells =
+            vec![n.to_string(), db.structure.size().to_string(), String::new()];
+        let mut correct = true;
+        for kind in [EngineKind::Naive, EngineKind::Local, EngineKind::Cover] {
+            if kind == EngineKind::Cover && n > cover_cap {
+                cells.push("—".into());
+                continue;
+            }
+            let ev = Evaluator::new(kind);
+            let t0 = Instant::now();
+            let res = ev.query(&db.structure, &q).unwrap();
+            let dt = t0.elapsed();
+            cells[2] = res.rows.len().to_string();
+            for row in &res.rows {
+                let ci = db.countries.iter().position(|&c| c == row.elems[0]).unwrap();
+                correct &= row.counts[0] as usize == truth[ci];
+            }
+            cells.push(fmt_duration(dt));
+        }
+        cells.push(if correct { "✓".into() } else { "✗".into() });
+        t.row(cells);
+    }
+    t.note(
+        "The Customer/Order database has country/city hub elements, so its \
+         Gaifman graph is *not* from a nowhere dense class; on such data the \
+         candidate-driven reference evaluation behaves like an index join and \
+         wins on constants, while the decomposed engines remain correct and \
+         near-linear. The paper's guarantees concern sparse classes (E3/E4).",
+    );
+
+    let mut t2 = Table::new(
+        "E7b: the other two statements of Example 5.3 (Local engine)",
+        &["customers", "total customers/orders", "Berlin rows", "t(totals)", "t(Berlin)"],
+    );
+    let mut rng = StdRng::seed_from_u64(78);
+    for &n in sizes {
+        let db = sql_database(
+            SqlDbParams {
+                customers: n,
+                countries: (n / 40).max(3),
+                cities: (n / 20).max(5),
+                avg_orders: 2.0,
+            },
+            &mut rng,
+        );
+        let ev = Evaluator::new(EngineKind::Local);
+        let t0 = Instant::now();
+        let totals = ev.query(&db.structure, &total_customers_and_orders()).unwrap();
+        let tt = t0.elapsed();
+        let t0 = Instant::now();
+        let berlin = ev.query(&db.structure, &orders_per_berlin_customer()).unwrap();
+        let tb = t0.elapsed();
+        let total_orders: usize = db.order_counts.iter().sum();
+        assert_eq!(totals.rows[0].counts, vec![n as i64, total_orders as i64]);
+        t2.row(vec![
+            n.to_string(),
+            format!("{} / {}", totals.rows[0].counts[0], totals.rows[0].counts[1]),
+            berlin.rows.len().to_string(),
+            fmt_duration(tt),
+            fmt_duration(tb),
+        ]);
+    }
+    vec![t, t2]
+}
+
+/// E8: Example 5.4's triangle/colour cardinality statistics.
+pub fn e8(quick: bool) -> Vec<Table> {
+    let sizes: &[u32] = if quick { &[200, 400] } else { &[200, 400, 800, 1_600] };
+    let naive_cap = if quick { 400 } else { 800 };
+    let mut t = Table::new(
+        "E8 (Example 5.4): t_Δ,R = #(x).(t_Δ(x) = t_R) on coloured digraphs",
+        &["n", "value", "naive", "local", "agree"],
+    );
+    let x = v("e8x");
+    let y = v("e8y");
+    let z = v("e8z");
+    let t_delta = cnt_vec(
+        vec![y, z],
+        and_all([
+            atom_vec("E", vec![x, y]),
+            atom_vec("E", vec![y, z]),
+            atom_vec("E", vec![z, x]),
+        ]),
+    );
+    let t_red = cnt_vec(vec![y], atom_vec("R", vec![y]));
+    let term = cnt_vec(vec![x], teq(t_delta, t_red));
+    let mut rng = StdRng::seed_from_u64(88);
+    for &n in sizes {
+        let s = colored_digraph(
+            ColoredParams { n, avg_out_degree: 2.0, p_red: 0.005, p_blue: 0.3, p_green: 0.3 },
+            &mut rng,
+        );
+        let local = Evaluator::new(EngineKind::Local);
+        let t0 = Instant::now();
+        let lv = local.eval_ground(&s, &term).unwrap();
+        let lt = t0.elapsed();
+        if n > naive_cap {
+            t.row(vec![n.to_string(), lv.to_string(), "—".into(), fmt_duration(lt), "—".into()]);
+            continue;
+        }
+        let naive = Evaluator::new(EngineKind::Naive);
+        let t0 = Instant::now();
+        let nv = naive.eval_ground(&s, &term).unwrap();
+        let nt = t0.elapsed();
+        t.row(vec![
+            n.to_string(),
+            lv.to_string(),
+            fmt_duration(nt),
+            fmt_duration(lt),
+            if nv == lv { "✓".into() } else { "✗".into() },
+        ]);
+    }
+    t.note("The cardinality comparison t_Δ(x) = t_R nests a ground term inside a per-element guard — #-depth 2, exactly the FOC1(P) shape of Example 5.4.");
+    vec![t]
+}

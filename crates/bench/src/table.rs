@@ -1,0 +1,123 @@
+//! Plain-text/markdown tables for the experiment harness.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One experiment table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (experiment id + claim).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-text notes under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders as a markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for r in &self.rows {
+            let _ = writeln!(out, "| {} |", r.join(" | "));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "\n{n}");
+        }
+        out
+    }
+}
+
+/// Human-readable duration (ms with 2 decimals, or µs below 1ms).
+pub fn fmt_duration(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 10_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+/// Fits `time ≈ c·n^α` by least squares on log–log points; returns α.
+pub fn fit_exponent(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return f64::NAN;
+    }
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        let lx = x.ln();
+        let ly = y.max(1e-12).ln();
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("note");
+        let md = t.to_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("note"));
+    }
+
+    #[test]
+    fn exponent_fit() {
+        // Perfect quadratic: α = 2.
+        let pts: Vec<(f64, f64)> = (1..6).map(|i| (i as f64, (i * i) as f64)).collect();
+        let a = fit_exponent(&pts);
+        assert!((a - 2.0).abs() < 1e-9, "α = {a}");
+        // Linear: α = 1.
+        let pts: Vec<(f64, f64)> = (1..6).map(|i| (i as f64, 3.0 * i as f64)).collect();
+        assert!((fit_exponent(&pts) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12µs");
+        assert_eq!(fmt_duration(Duration::from_millis(2)), "2.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(12)), "12.00s");
+    }
+}

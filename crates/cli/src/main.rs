@@ -1,0 +1,278 @@
+//! `foc` — command-line FOC1(P) evaluation.
+//!
+//! ```text
+//! foc check <structure.foc> "<sentence>"      [--engine naive|local|cover]
+//! foc eval  <structure.foc> "<ground term>"   [--engine …]
+//! foc count <structure.foc> "<formula>" --vars x,y [--engine …]
+//! foc stats <structure.foc> [--cover-r N]
+//! foc gen   <class> --n N [--seed S] [-o out.foc]
+//!     classes: tree, grid, path, cycle, star, clique, deg3, gnm
+//! ```
+//!
+//! Structure files use the line-oriented format of
+//! `foc_structures::io` (see `foc gen … -o example.foc` for a sample).
+
+use std::process::ExitCode;
+
+use foc_core::{EngineKind, Evaluator};
+use foc_logic::parse::{parse_formula, parse_term};
+use foc_logic::Var;
+use foc_structures::gen as generators;
+use foc_structures::io::{parse_structure, write_structure};
+use foc_structures::Structure;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("foc: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  foc check <structure.foc> \"<sentence>\"      [--engine naive|local|cover]
+  foc eval  <structure.foc> \"<ground term>\"   [--engine ...]
+  foc count <structure.foc> \"<formula>\" --vars x,y [--engine ...]
+  foc stats <structure.foc> [--cover-r N]
+  foc gen   <tree|grid|path|cycle|star|clique|deg3|gnm> --n N [--seed S] [-o out.foc]";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "check" => cmd_check(rest),
+        "eval" => cmd_eval(rest),
+        "count" => cmd_count(rest),
+        "stats" => cmd_stats(rest),
+        "gen" => cmd_gen(rest),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(|s| s.as_str())
+}
+
+fn positional(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") || a == "-o" {
+            skip = true; // all our flags take a value
+            let _ = i;
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+fn engine_of(args: &[String]) -> Result<Evaluator, String> {
+    let kind = match flag_value(args, "--engine").unwrap_or("local") {
+        "naive" => EngineKind::Naive,
+        "local" => EngineKind::Local,
+        "cover" => EngineKind::Cover,
+        other => return Err(format!("unknown engine {other:?}")),
+    };
+    Ok(Evaluator::new(kind))
+}
+
+fn load(path: &str) -> Result<Structure, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_structure(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [path, src] = pos.as_slice() else {
+        return Err("check needs a structure file and a sentence".into());
+    };
+    let s = load(path)?;
+    let f = parse_formula(src).map_err(|e| e.to_string())?;
+    if !f.is_sentence() {
+        return Err(format!(
+            "formula has free variables {:?}; use `foc count` instead",
+            f.free_vars().iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        ));
+    }
+    let ev = engine_of(args)?;
+    let t0 = std::time::Instant::now();
+    let ans = ev.check_sentence(&s, &f).map_err(|e| e.to_string())?;
+    println!("{ans}");
+    eprintln!("[{:?} engine, {:?}]", ev.kind, t0.elapsed());
+    Ok(())
+}
+
+fn cmd_eval(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [path, src] = pos.as_slice() else {
+        return Err("eval needs a structure file and a ground term".into());
+    };
+    let s = load(path)?;
+    let t = parse_term(src).map_err(|e| e.to_string())?;
+    if !t.is_ground() {
+        return Err("term has free variables; use `foc count` for formulas".into());
+    }
+    let ev = engine_of(args)?;
+    let t0 = std::time::Instant::now();
+    let val = ev.eval_ground(&s, &t).map_err(|e| e.to_string())?;
+    println!("{val}");
+    eprintln!("[{:?} engine, {:?}]", ev.kind, t0.elapsed());
+    Ok(())
+}
+
+fn cmd_count(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [path, src] = pos.as_slice() else {
+        return Err("count needs a structure file and a formula".into());
+    };
+    let vars: Vec<Var> = flag_value(args, "--vars")
+        .ok_or("count needs --vars x,y,…")?
+        .split(',')
+        .map(|v| Var::new(v.trim()))
+        .collect();
+    let s = load(path)?;
+    let f = parse_formula(src).map_err(|e| e.to_string())?;
+    let ev = engine_of(args)?;
+    let t0 = std::time::Instant::now();
+    let val = ev.count(&s, &f, &vars).map_err(|e| e.to_string())?;
+    println!("{val}");
+    eprintln!("[{:?} engine, {:?}]", ev.kind, t0.elapsed());
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [path] = pos.as_slice() else {
+        return Err("stats needs a structure file".into());
+    };
+    let s = load(path)?;
+    let g = s.gaifman();
+    println!("order |A|      = {}", s.order());
+    println!("size ‖A‖       = {}", s.size());
+    println!("signature      = {:?}", s.signature());
+    println!("gaifman edges  = {}", g.num_edges());
+    println!("max degree     = {}", g.max_degree());
+    let (_, comps) = g.components();
+    println!("components     = {comps}");
+    let r: u32 = flag_value(args, "--cover-r").unwrap_or("2").parse().map_err(|_| "--cover-r needs an integer")?;
+    let cov = foc_covers::cover::build_cover(g, r);
+    println!(
+        "({r},{})-cover   = {} clusters, max cover degree {}, max radius {}",
+        2 * r,
+        cov.clusters.len(),
+        cov.max_degree(),
+        cov.max_radius(g),
+    );
+    let mut rng = StdRng::seed_from_u64(1);
+    let game = foc_covers::splitter::estimate_game_length(g, 1, 3, &mut rng, 256);
+    println!(
+        "splitter λ̂(1)  = {} rounds ({})",
+        game.rounds,
+        if game.splitter_won { "Splitter wins" } else { "cap reached — dense?" }
+    );
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [class] = pos.as_slice() else {
+        return Err("gen needs a class name".into());
+    };
+    let n: u32 = flag_value(args, "--n")
+        .ok_or("gen needs --n")?
+        .parse()
+        .map_err(|_| "--n needs an integer")?;
+    let seed: u64 = flag_value(args, "--seed").unwrap_or("0").parse().map_err(|_| "--seed needs an integer")?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let s = match class.as_str() {
+        "tree" => generators::random_tree(n, &mut rng),
+        "grid" => {
+            let side = (n as f64).sqrt().round().max(1.0) as u32;
+            generators::grid(side, side)
+        }
+        "path" => generators::path(n),
+        "cycle" => generators::cycle(n.max(3)),
+        "star" => generators::star(n),
+        "clique" => generators::clique(n),
+        "deg3" => generators::bounded_degree(n, 3, 3 * n as usize, &mut rng),
+        "gnm" => generators::gnm(n, 2 * n as usize, &mut rng),
+        other => return Err(format!("unknown class {other:?}")),
+    };
+    let text = write_structure(&s);
+    match flag_value(args, "-o") {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {} ({} elements, size {})", path, s.order(), s.size());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args = argv(&["check", "db.foc", "true", "--engine", "naive"]);
+        assert_eq!(flag_value(&args, "--engine"), Some("naive"));
+        assert_eq!(flag_value(&args, "--vars"), None);
+    }
+
+    #[test]
+    fn positionals_skip_flag_values() {
+        let args = argv(&["db.foc", "--engine", "naive", "E(x,y)", "--vars", "x,y"]);
+        let pos = positional(&args);
+        assert_eq!(pos, vec!["db.foc", "E(x,y)"]);
+    }
+
+    #[test]
+    fn engine_selection() {
+        assert_eq!(engine_of(&argv(&["--engine", "cover"])).unwrap().kind, EngineKind::Cover);
+        assert_eq!(engine_of(&argv(&[])).unwrap().kind, EngineKind::Local);
+        assert!(engine_of(&argv(&["--engine", "warp"])).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(&argv(&["frobnicate"])).is_err());
+        assert!(run(&argv(&[])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_in_tempdir() {
+        let dir = std::env::temp_dir().join(format!("foc-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.foc");
+        let pstr = path.to_str().unwrap().to_string();
+        run(&argv(&["gen", "grid", "--n", "16", "-o", &pstr])).unwrap();
+        run(&argv(&["stats", &pstr])).unwrap();
+        run(&argv(&["check", &pstr, "exists x. #(y). E(x,y) >= 4"])).unwrap();
+        run(&argv(&["eval", &pstr, "#(x,y). E(x,y)"])).unwrap();
+        run(&argv(&["count", &pstr, "E(x,y)", "--vars", "x,y"])).unwrap();
+        assert!(run(&argv(&["check", &pstr, "E(x,y)"])).is_err()); // free vars
+        assert!(run(&argv(&["eval", &pstr, "#(y). E(x,y)"])).is_err()); // free vars
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

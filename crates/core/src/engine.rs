@@ -1,0 +1,583 @@
+//! The FOC1(P) evaluation engines — the paper's main algorithm
+//! (Theorem 5.5) behind one public API.
+//!
+//! Three engines share the interface:
+//!
+//! * [`EngineKind::Naive`] — the reference semantics (Definition 3.1),
+//!   complete for all of FOC(P); the baseline of the experiments.
+//! * [`EngineKind::Local`] — the Theorem 6.10 pipeline: cardinality
+//!   conditions are *materialised* innermost-first as fresh unary/0-ary
+//!   relations whose extensions are computed by decomposing the counting
+//!   bodies into cl-terms (Lemma 6.4) and evaluating the basic cl-terms
+//!   by neighbourhood exploration (Remark 6.3).
+//! * [`EngineKind::Cover`] — the same pipeline, with the basic cl-terms
+//!   evaluated by the Section 8.2 strategy (neighbourhood cover +
+//!   splitter-removal recursion).
+//!
+//! Counting components whose bodies leave the separable fragment fall
+//! back to the reference evaluator *for that component only*; the
+//! engines are therefore complete for FOC1(P) and fast on the fragment.
+//! Fall-backs are counted in [`EngineStats`].
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use foc_covers::{CoverConfig, CoverEvaluator};
+use foc_eval::{eval_query, Assignment, FreeVarElim, NaiveEvaluator, QueryResult, QueryRow};
+use foc_locality::clnf::cl_normalform;
+use foc_locality::clterm::ClTerm;
+use foc_locality::decompose::{decompose_ground_with_radius, decompose_unary_with_radius};
+use foc_locality::gnf::{first_sentence_atom, replace_equal};
+use foc_locality::local_eval::LocalEvaluator;
+use foc_locality::radius::locality_radius;
+use foc_locality::ClValue;
+use foc_logic::fragment::{check_foc1, check_foc1_term};
+use foc_logic::{Formula, Predicates, Query, Symbol, Term, Var};
+use foc_structures::{FxHashMap, RelDecl, Structure};
+
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+/// Which evaluation strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Reference semantics — complete for FOC(P), polynomial with the
+    /// exponent growing with the quantifier/counting structure.
+    Naive,
+    /// Decomposition + ball enumeration (Remark 6.3).
+    Local,
+    /// Decomposition + neighbourhood covers + removal (Section 8.2).
+    Cover,
+}
+
+/// Work counters of one evaluation session.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Marker relations materialised (Theorem 6.10's `τ` symbols).
+    pub markers_created: usize,
+    /// cl-terms produced by decompositions.
+    pub clterms: usize,
+    /// Basic cl-terms inside those.
+    pub basics: usize,
+    /// Counting components that fell back to the reference evaluator.
+    pub naive_fallbacks: usize,
+    /// Closed subformulas resolved by recursive sentence evaluation
+    /// (the evaluation-driven form of Lemma 6.5).
+    pub sentences_resolved: usize,
+}
+
+/// One materialised marker of the decomposition plan (Theorem 6.10's
+/// `ι(R)` entries).
+#[derive(Debug, Clone)]
+pub struct MarkerDef {
+    /// The fresh relation symbol.
+    pub symbol: Symbol,
+    /// Arity (0 or 1).
+    pub arity: usize,
+    /// Human-readable definition (the predicate application it stands
+    /// for).
+    pub definition: String,
+}
+
+/// The evaluation engine: predicate oracle + strategy + tuning.
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    /// The numerical predicate collection (the paper's P-oracle).
+    pub preds: Predicates,
+    /// The strategy.
+    pub kind: EngineKind,
+    /// Tuning for the cover engine.
+    pub cover_config: CoverConfig,
+}
+
+impl Evaluator {
+    /// An engine with the standard predicate collection.
+    pub fn new(kind: EngineKind) -> Evaluator {
+        Evaluator { preds: Predicates::standard(), kind, cover_config: CoverConfig::default() }
+    }
+
+    /// Starts an evaluation session on a structure (clones nothing; the
+    /// session keeps its own expanded copy once markers appear).
+    pub fn session<'a>(&'a self, a: &Structure) -> Session<'a> {
+        Session {
+            ev: self,
+            a: a.clone(),
+            plan: Vec::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Model checking of an FOC1(P) sentence: `A ⊨ φ`.
+    pub fn check_sentence(&self, a: &Structure, f: &Arc<Formula>) -> Result<bool> {
+        self.session(a).check_sentence(f)
+    }
+
+    /// Evaluation of an FOC1(P) ground term: `t^A`.
+    pub fn eval_ground(&self, a: &Structure, t: &Arc<Term>) -> Result<i64> {
+        self.session(a).eval_ground(t)
+    }
+
+    /// Model checking with parameters (Theorem 5.5's interface): decides
+    /// `A ⊨ φ[ā]` via the free-variable elimination of Section 5.
+    pub fn check(
+        &self,
+        a: &Structure,
+        f: &Arc<Formula>,
+        vars: &[Var],
+        tuple: &[u32],
+    ) -> Result<bool> {
+        let elim = FreeVarElim::new(vars);
+        let sentence = elim.sentence(f);
+        let expanded = elim.expand(a, tuple);
+        self.session(&expanded).check_sentence(&sentence)
+    }
+
+    /// Term evaluation with parameters: `t^A[ā]`.
+    pub fn eval_term_at(
+        &self,
+        a: &Structure,
+        t: &Arc<Term>,
+        vars: &[Var],
+        tuple: &[u32],
+    ) -> Result<i64> {
+        let elim = FreeVarElim::new(vars);
+        let ground = elim.ground_term(t);
+        let expanded = elim.expand(a, tuple);
+        self.session(&expanded).eval_ground(&ground)
+    }
+
+    /// The counting problem (Corollary 5.6): `|φ(A)|` over `vars`.
+    ///
+    /// ```
+    /// use foc_core::{EngineKind, Evaluator};
+    /// use foc_logic::parse::parse_formula;
+    /// use foc_logic::Var;
+    /// use foc_structures::gen::star;
+    ///
+    /// // Pairs (x, y) where y is a leaf adjacent to x, on a 5-star:
+    /// // the hub sees 4 leaves; each leaf sees none (the hub has
+    /// // degree 4, not 1).
+    /// let f = parse_formula("E(x,y) & #(z). E(y,z) = 1").unwrap();
+    /// let ev = Evaluator::new(EngineKind::Local);
+    /// let n = ev.count(&star(5), &f, &[Var::new("x"), Var::new("y")]).unwrap();
+    /// assert_eq!(n, 4);
+    /// ```
+    pub fn count(&self, a: &Structure, f: &Arc<Formula>, vars: &[Var]) -> Result<i64> {
+        let t: Arc<Term> =
+            Arc::new(Term::Count(vars.to_vec().into_boxed_slice(), f.clone()));
+        self.session(a).eval_ground(&t)
+    }
+
+    /// FOC1(P)-query evaluation (Definition 5.2). Queries with at most
+    /// one head variable use the vectorised unary machinery; wider heads
+    /// fall back to the reference evaluator.
+    pub fn query(&self, a: &Structure, q: &Query) -> Result<QueryResult> {
+        if self.kind == EngineKind::Naive || q.head_vars.len() > 1 {
+            return Ok(eval_query(a, &self.preds, q)?);
+        }
+        let mut session = self.session(a);
+        session.query_small(q)
+    }
+}
+
+/// A stateful evaluation session: carries the progressively expanded
+/// structure, the decomposition plan, and the work counters.
+pub struct Session<'a> {
+    ev: &'a Evaluator,
+    a: Structure,
+    /// The markers materialised so far (Theorem 6.10's decomposition
+    /// plan, in materialisation order).
+    pub plan: Vec<MarkerDef>,
+    /// Work counters.
+    pub stats: EngineStats,
+}
+
+impl<'a> Session<'a> {
+    /// The (possibly expanded) working structure.
+    pub fn structure(&self) -> &Structure {
+        &self.a
+    }
+
+    /// Model checking of a sentence. The decomposing engines require
+    /// FOC1(P); the naive engine accepts all of FOC(P).
+    pub fn check_sentence(&mut self, f: &Arc<Formula>) -> Result<bool> {
+        if self.ev.kind == EngineKind::Naive {
+            let mut ev = NaiveEvaluator::new(&self.a, &self.ev.preds);
+            return Ok(ev.check_sentence(f)?);
+        }
+        check_foc1(f).map_err(|v| Error::NotFoc1(v.to_string()))?;
+        foc_eval::validate::validate_formula(f, self.a.signature(), &self.ev.preds)?;
+        let fo = self.materialize_formula(f)?;
+        self.eval_fo_sentence(&fo)
+    }
+
+    /// Evaluation of a ground term. The decomposing engines require
+    /// FOC1(P); the naive engine accepts all of FOC(P).
+    pub fn eval_ground(&mut self, t: &Arc<Term>) -> Result<i64> {
+        if self.ev.kind == EngineKind::Naive {
+            let mut ev = NaiveEvaluator::new(&self.a, &self.ev.preds);
+            return Ok(ev.eval_ground(t)?);
+        }
+        check_foc1_term(t).map_err(|v| Error::NotFoc1(v.to_string()))?;
+        foc_eval::validate::validate_term(t, self.a.signature(), &self.ev.preds)?;
+        let fo = self.materialize_term(t)?;
+        match self.eval_fo_term(&fo, None)? {
+            Value::Scalar(v) => Ok(v),
+            Value::Vector(_) => unreachable!("ground term produced a vector"),
+        }
+    }
+
+    /// Single-head-variable query evaluation with vectorised terms.
+    fn query_small(&mut self, q: &Query) -> Result<QueryResult> {
+        foc_eval::validate::validate_query(q, self.a.signature(), &self.ev.preds)?;
+        if q.head_vars.is_empty() {
+            if !self.check_sentence(&q.body)? {
+                return Ok(QueryResult::default());
+            }
+            let counts = q
+                .head_terms
+                .iter()
+                .map(|t| self.eval_ground(t))
+                .collect::<Result<Vec<_>>>()?;
+            return Ok(QueryResult { rows: vec![QueryRow { elems: vec![], counts }] });
+        }
+        let x = q.head_vars[0];
+        check_foc1(&q.body).map_err(|v| Error::NotFoc1(v.to_string()))?;
+        let body_fo = self.materialize_formula(&q.body)?;
+        // Head terms as per-element vectors.
+        let mut term_values = Vec::with_capacity(q.head_terms.len());
+        for t in &q.head_terms {
+            check_foc1_term(t).map_err(|v| Error::NotFoc1(v.to_string()))?;
+            let fo = self.materialize_term(t)?;
+            term_values.push(self.eval_fo_term(&fo, Some(x))?);
+        }
+        // Body truth per element (the body is FO over the expanded
+        // structure now; candidate-driven evaluation keeps this cheap).
+        let mut ev = NaiveEvaluator::new(&self.a, &self.ev.preds);
+        let mut rows = Vec::new();
+        for e in self.a.universe() {
+            let mut env = Assignment::from_pairs([(x, e)]);
+            if ev.check(&body_fo, &mut env)? {
+                rows.push(QueryRow {
+                    elems: vec![e],
+                    counts: term_values.iter().map(|v| v.at(e)).collect(),
+                });
+            }
+        }
+        Ok(QueryResult { rows })
+    }
+
+    /// Theorem 6.10, evaluation-driven: replaces every predicate
+    /// application (innermost first) by a freshly materialised marker
+    /// relation. The result is an FO formula over the expanded signature.
+    fn materialize_formula(&mut self, f: &Arc<Formula>) -> Result<Arc<Formula>> {
+        match &**f {
+            Formula::Bool(_) | Formula::Eq(..) | Formula::Atom(_) | Formula::DistLe { .. } => {
+                Ok(f.clone())
+            }
+            Formula::Not(g) => Ok(Formula::not(self.materialize_formula(g)?)),
+            Formula::And(gs) => Ok(Formula::and(
+                gs.iter().map(|g| self.materialize_formula(g)).collect::<Result<Vec<_>>>()?,
+            )),
+            Formula::Or(gs) => Ok(Formula::or(
+                gs.iter().map(|g| self.materialize_formula(g)).collect::<Result<Vec<_>>>()?,
+            )),
+            Formula::Exists(y, g) => {
+                Ok(Arc::new(Formula::Exists(*y, self.materialize_formula(g)?)))
+            }
+            Formula::Forall(y, g) => {
+                Ok(Arc::new(Formula::Forall(*y, self.materialize_formula(g)?)))
+            }
+            Formula::Pred { name, args } => {
+                // Inner counting terms first (they may contain deeper
+                // predicate applications).
+                let args: Vec<Arc<Term>> = args
+                    .iter()
+                    .map(|t| self.materialize_term(t))
+                    .collect::<Result<Vec<_>>>()?;
+                let mut free: BTreeSet<Var> = BTreeSet::new();
+                for t in &args {
+                    free.extend(t.free_vars());
+                }
+                debug_assert!(free.len() <= 1, "FOC1 checked upfront");
+                let definition = format!(
+                    "@{name}({})",
+                    args.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+                );
+                if let Some(&x) = free.iter().next() {
+                    // Unary marker: evaluate each argument per element.
+                    let values: Vec<Value> = args
+                        .iter()
+                        .map(|t| self.eval_fo_term(t, Some(x)))
+                        .collect::<Result<Vec<_>>>()?;
+                    let marker = Var::fresh("M").symbol();
+                    let mut rows = Vec::new();
+                    let mut oracle_args = vec![0i64; values.len()];
+                    for e in self.a.universe() {
+                        for (slot, v) in oracle_args.iter_mut().zip(&values) {
+                            *slot = v.at(e);
+                        }
+                        let holds = self
+                            .ev
+                            .preds
+                            .holds(*name, &oracle_args)
+                            .ok_or(foc_eval::EvalError::UnknownPredicate(*name))?;
+                        if holds {
+                            rows.push(vec![e]);
+                        }
+                    }
+                    self.a = self.a.expand(vec![(
+                        RelDecl { name: marker, arity: 1 },
+                        rows,
+                    )]);
+                    self.plan.push(MarkerDef { symbol: marker, arity: 1, definition });
+                    self.stats.markers_created += 1;
+                    Ok(foc_logic::build::atom_sym(marker, vec![x]))
+                } else {
+                    // Ground: evaluate once and fold to a constant
+                    // (equivalent to a 0-ary marker, without the relation
+                    // plumbing).
+                    let vals: Vec<i64> = args
+                        .iter()
+                        .map(|t| {
+                            Ok(match self.eval_fo_term(t, None)? {
+                                Value::Scalar(v) => v,
+                                Value::Vector(_) => unreachable!("ground argument"),
+                            })
+                        })
+                        .collect::<Result<Vec<_>>>()?;
+                    let holds = self
+                        .ev
+                        .preds
+                        .holds(*name, &vals)
+                        .ok_or(foc_eval::EvalError::UnknownPredicate(*name))?;
+                    self.plan.push(MarkerDef {
+                        symbol: Var::fresh("M0").symbol(),
+                        arity: 0,
+                        definition,
+                    });
+                    self.stats.markers_created += 1;
+                    Ok(Arc::new(Formula::Bool(holds)))
+                }
+            }
+        }
+    }
+
+    fn materialize_term(&mut self, t: &Arc<Term>) -> Result<Arc<Term>> {
+        match &**t {
+            Term::Int(_) => Ok(t.clone()),
+            Term::Count(vars, body) => Ok(Arc::new(Term::Count(
+                vars.clone(),
+                self.materialize_formula(body)?,
+            ))),
+            Term::Add(ts) => Ok(Term::add(
+                ts.iter().map(|s| self.materialize_term(s)).collect::<Result<Vec<_>>>()?,
+            )),
+            Term::Mul(ts) => Ok(Term::mul(
+                ts.iter().map(|s| self.materialize_term(s)).collect::<Result<Vec<_>>>()?,
+            )),
+        }
+    }
+
+    /// Evaluates an FO sentence over the expanded structure: through the
+    /// cl-normalform of Theorem 6.8 when possible, by reference
+    /// evaluation otherwise.
+    fn eval_fo_sentence(&mut self, f: &Arc<Formula>) -> Result<bool> {
+        if let Formula::Bool(b) = &**f { return Ok(*b) }
+        match cl_normalform(f) {
+            Ok(clnf) => {
+                let mut values: FxHashMap<Symbol, bool> = FxHashMap::default();
+                for sent in &clnf.sentences {
+                    let v = self.eval_clterm(&sent.term)?;
+                    let truth = match v {
+                        ClValue::Scalar(x) => x >= 1,
+                        ClValue::Vector(_) => unreachable!("ground sentence term"),
+                    };
+                    values.insert(sent.marker, truth);
+                }
+                let resolved = clnf.resolve(&values);
+                let mut ev = NaiveEvaluator::new(&self.a, &self.ev.preds);
+                Ok(ev.check_sentence(&resolved)?)
+            }
+            Err(_) => {
+                self.stats.naive_fallbacks += 1;
+                let mut ev = NaiveEvaluator::new(&self.a, &self.ev.preds);
+                Ok(ev.check_sentence(f)?)
+            }
+        }
+    }
+
+    /// Evaluates an FO term; `free = Some(x)` yields a per-element
+    /// vector, `None` a scalar.
+    fn eval_fo_term(&mut self, t: &Arc<Term>, free: Option<Var>) -> Result<Value> {
+        match &**t {
+            Term::Int(i) => Ok(Value::Scalar(*i)),
+            Term::Add(ts) => {
+                let mut acc = Value::Scalar(0);
+                for s in ts {
+                    acc = acc.add(self.eval_fo_term(s, free)?)?;
+                }
+                Ok(acc)
+            }
+            Term::Mul(ts) => {
+                let mut acc = Value::Scalar(1);
+                for s in ts {
+                    acc = acc.mul(self.eval_fo_term(s, free)?)?;
+                }
+                Ok(acc)
+            }
+            Term::Count(vars, body) => {
+                let body_free = body.free_vars();
+                let x = free.filter(|x| body_free.contains(x) && !vars.contains(x));
+                self.eval_count(vars, body, x, free)
+            }
+        }
+    }
+
+    /// Evaluates one counting component `#ȳ.θ` (with optional free
+    /// variable `x`): resolves closed subformulas by recursive sentence
+    /// evaluation (Lemma 6.5, evaluation-driven), decomposes the local
+    /// remainder into cl-terms (Lemma 6.4), and evaluates those with the
+    /// configured strategy. Falls back to reference evaluation outside
+    /// the fragment.
+    fn eval_count(
+        &mut self,
+        counted: &[Var],
+        body: &Arc<Formula>,
+        x: Option<Var>,
+        requested_free: Option<Var>,
+    ) -> Result<Value> {
+        let resolved = self.resolve_sentences(body)?;
+        let result = (|| -> foc_locality::Result<ClTerm> {
+            if counted.is_empty() && x.is_none() {
+                // Constant 0/1 handled below via fallback-free path.
+                return Err(foc_locality::LocalityError::NotLocal("empty count".into()));
+            }
+            let mut vars: Vec<Var> = Vec::new();
+            if let Some(x) = x {
+                vars.push(x);
+            }
+            vars.extend_from_slice(counted);
+            let r = if resolved.free_vars().is_empty() {
+                0
+            } else {
+                locality_radius(&resolved)?
+            };
+            if x.is_some() {
+                decompose_unary_with_radius(&resolved, &vars, r)
+            } else {
+                decompose_ground_with_radius(&resolved, &vars, r)
+            }
+        })();
+        match result {
+            Ok(cl) => {
+                self.stats.clterms += 1;
+                self.stats.basics += cl.num_basics();
+                let v: Value = self.eval_clterm(&cl)?.into();
+                // A ground count requested as a vector broadcasts.
+                if requested_free.is_some() && x.is_none() {
+                    return Ok(Value::Scalar(match v {
+                        Value::Scalar(s) => s,
+                        Value::Vector(_) => unreachable!("ground count"),
+                    }));
+                }
+                Ok(v)
+            }
+            Err(_) => {
+                self.stats.naive_fallbacks += 1;
+                self.eval_count_naive(counted, &resolved, x)
+            }
+        }
+    }
+
+    fn eval_count_naive(
+        &mut self,
+        counted: &[Var],
+        body: &Arc<Formula>,
+        x: Option<Var>,
+    ) -> Result<Value> {
+        let term: Arc<Term> =
+            Arc::new(Term::Count(counted.to_vec().into_boxed_slice(), body.clone()));
+        let mut ev = NaiveEvaluator::new(&self.a, &self.ev.preds);
+        match x {
+            None => {
+                let mut env = Assignment::new();
+                Ok(Value::Scalar(ev.eval_term(&term, &mut env)?))
+            }
+            Some(x) => {
+                let mut out = Vec::with_capacity(self.a.order() as usize);
+                for e in self.a.universe() {
+                    let mut env = Assignment::from_pairs([(x, e)]);
+                    out.push(ev.eval_term(&term, &mut env)?);
+                }
+                Ok(Value::Vector(out))
+            }
+        }
+    }
+
+    /// Replaces every maximal closed quantified subformula by its truth
+    /// value, obtained by recursive sentence evaluation.
+    fn resolve_sentences(&mut self, body: &Arc<Formula>) -> Result<Arc<Formula>> {
+        let mut current = body.clone();
+        while let Some(sentence) = first_sentence_atom(&current) {
+            let truth = self.eval_fo_sentence(&sentence)?;
+            self.stats.sentences_resolved += 1;
+            current = replace_equal(&current, &sentence, truth);
+        }
+        Ok(current)
+    }
+
+    /// Pre-processing entry points used by the constant-delay
+    /// enumeration (crate-internal).
+    pub(crate) fn materialize_for_enumeration(
+        &mut self,
+        f: &Arc<Formula>,
+    ) -> Result<Arc<Formula>> {
+        check_foc1(f).map_err(|v| Error::NotFoc1(v.to_string()))?;
+        self.materialize_formula(f)
+    }
+
+    /// Term counterpart of [`Session::materialize_for_enumeration`].
+    pub(crate) fn materialize_term_for_enumeration(
+        &mut self,
+        t: &Arc<Term>,
+    ) -> Result<Arc<Term>> {
+        check_foc1_term(t).map_err(|v| Error::NotFoc1(v.to_string()))?;
+        self.materialize_term(t)
+    }
+
+    /// Evaluates an FO term as a per-element vector (crate-internal).
+    pub(crate) fn eval_term_vector(&mut self, t: &Arc<Term>, x: Var) -> Result<crate::value::Value> {
+        self.eval_fo_term(t, Some(x))
+    }
+
+    /// Dispatches basic-cl-term evaluation to the configured strategy.
+    fn eval_clterm(&mut self, cl: &ClTerm) -> Result<ClValue> {
+        match self.ev.kind {
+            EngineKind::Naive => {
+                // Reference-semantics evaluation of a decomposed term —
+                // only reached from the enumeration preprocessing (the
+                // main naive paths never decompose).
+                let has_unary = cl.basics().iter().any(|b| b.unary);
+                if has_unary {
+                    let mut out = Vec::with_capacity(self.a.order() as usize);
+                    for e in self.a.universe() {
+                        out.push(cl.eval_naive(&self.a, &self.ev.preds, Some(e))?);
+                    }
+                    Ok(ClValue::Vector(out))
+                } else {
+                    Ok(ClValue::Scalar(cl.eval_naive(&self.a, &self.ev.preds, None)?))
+                }
+            }
+            EngineKind::Local => {
+                let mut lev = LocalEvaluator::new(&self.a, &self.ev.preds);
+                Ok(lev.eval_clterm(cl)?)
+            }
+            EngineKind::Cover => {
+                let mut cev = CoverEvaluator::new(&self.a, &self.ev.preds);
+                cev.config = self.ev.cover_config;
+                Ok(cev.eval_clterm(cl)?)
+            }
+        }
+    }
+}

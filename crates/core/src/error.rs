@@ -1,0 +1,50 @@
+//! Unified error type of the evaluation engines.
+
+use std::fmt;
+
+/// Errors surfaced by the FOC1(P) engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The expression is not in FOC1(P) (Definition 5.1).
+    NotFoc1(String),
+    /// A semantic evaluation error (unknown relation, unbound variable,
+    /// arithmetic overflow, …).
+    Eval(foc_eval::EvalError),
+    /// A rewriting error from the locality machinery. The decomposing
+    /// engines degrade to naive evaluation for the offending component
+    /// where possible; this surfaces only when that is impossible too.
+    Locality(foc_locality::LocalityError),
+    /// A query shape the requested engine cannot process.
+    Unsupported(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotFoc1(s) => write!(f, "expression is not in FOC1(P): {s}"),
+            Error::Eval(e) => write!(f, "{e}"),
+            Error::Locality(e) => write!(f, "{e}"),
+            Error::Unsupported(s) => write!(f, "unsupported: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<foc_eval::EvalError> for Error {
+    fn from(e: foc_eval::EvalError) -> Self {
+        Error::Eval(e)
+    }
+}
+
+impl From<foc_locality::LocalityError> for Error {
+    fn from(e: foc_locality::LocalityError) -> Self {
+        match e {
+            foc_locality::LocalityError::Eval(inner) => Error::Eval(inner),
+            other => Error::Locality(other),
+        }
+    }
+}
+
+/// Result alias for the engines.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,95 @@
+//! Values of counting terms over a structure: scalars for ground terms,
+//! per-element vectors for unary terms, with checked arithmetic.
+
+use crate::error::{Error, Result};
+
+/// A term value: ground (`Scalar`) or one value per universe element
+/// (`Vector`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A ground value.
+    Scalar(i64),
+    /// Per-element values indexed by element id.
+    Vector(Vec<i64>),
+}
+
+impl Value {
+    /// The value at element `a` (broadcasting scalars).
+    pub fn at(&self, a: u32) -> i64 {
+        match self {
+            Value::Scalar(s) => *s,
+            Value::Vector(v) => v[a as usize],
+        }
+    }
+
+    /// Pointwise checked combination.
+    pub fn combine(self, other: Value, op: impl Fn(i64, i64) -> Option<i64>) -> Result<Value> {
+        let overflow = || Error::Eval(foc_eval::EvalError::Overflow);
+        Ok(match (self, other) {
+            (Value::Scalar(a), Value::Scalar(b)) => {
+                Value::Scalar(op(a, b).ok_or_else(overflow)?)
+            }
+            (Value::Scalar(a), Value::Vector(bs)) => Value::Vector(
+                bs.into_iter()
+                    .map(|b| op(a, b).ok_or_else(overflow))
+                    .collect::<Result<_>>()?,
+            ),
+            (Value::Vector(xs), Value::Scalar(b)) => Value::Vector(
+                xs.into_iter()
+                    .map(|a| op(a, b).ok_or_else(overflow))
+                    .collect::<Result<_>>()?,
+            ),
+            (Value::Vector(xs), Value::Vector(ys)) => {
+                assert_eq!(xs.len(), ys.len(), "vector length mismatch");
+                Value::Vector(
+                    xs.into_iter()
+                        .zip(ys)
+                        .map(|(a, b)| op(a, b).ok_or_else(overflow))
+                        .collect::<Result<_>>()?,
+                )
+            }
+        })
+    }
+
+    /// Checked addition.
+    pub fn add(self, other: Value) -> Result<Value> {
+        self.combine(other, |a, b| a.checked_add(b))
+    }
+
+    /// Checked multiplication.
+    pub fn mul(self, other: Value) -> Result<Value> {
+        self.combine(other, |a, b| a.checked_mul(b))
+    }
+}
+
+impl From<foc_locality::ClValue> for Value {
+    fn from(v: foc_locality::ClValue) -> Value {
+        match v {
+            foc_locality::ClValue::Scalar(s) => Value::Scalar(s),
+            foc_locality::ClValue::Vector(vs) => Value::Vector(vs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_arithmetic() {
+        let v = Value::Vector(vec![1, 2, 3]);
+        let s = Value::Scalar(10);
+        let sum = v.clone().add(s).unwrap();
+        assert_eq!(sum, Value::Vector(vec![11, 12, 13]));
+        let prod = v.clone().mul(Value::Vector(vec![2, 2, 2])).unwrap();
+        assert_eq!(prod, Value::Vector(vec![2, 4, 6]));
+        assert_eq!(v.at(2), 3);
+        assert_eq!(Value::Scalar(7).at(99), 7);
+    }
+
+    #[test]
+    fn overflow_is_caught() {
+        let v = Value::Scalar(i64::MAX);
+        assert!(v.add(Value::Scalar(1)).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Additional coverage for the engine façade: error surfaces, engine
+//! configuration, session reuse, and the FOC(P)-vs-FOC1(P) boundary.
+
+use std::sync::Arc;
+
+use foc_core::{EngineKind, Error, Evaluator};
+use foc_logic::build::*;
+use foc_logic::parse::parse_formula;
+use foc_logic::pred::PredDef;
+use foc_logic::{Formula, Symbol};
+use foc_structures::gen::{grid, path, star};
+
+#[test]
+fn error_messages_are_informative() {
+    let s = path(4);
+    let local = Evaluator::new(EngineKind::Local);
+    // Unknown relation.
+    let f = parse_formula("exists x. Nope(x)").unwrap();
+    let e = local.check_sentence(&s, &f).unwrap_err();
+    assert!(e.to_string().contains("Nope"), "{e}");
+    // Unknown predicate.
+    let g = parse_formula("@mystery(#(x). (x=x))").unwrap();
+    let e = local.check_sentence(&s, &g).unwrap_err();
+    assert!(e.to_string().to_lowercase().contains("predicate"), "{e}");
+    // FOC1 violation names the offending variables.
+    let h = parse_formula("exists x y. #(z). E(x,z) = #(z). E(y,z)").unwrap();
+    match local.check_sentence(&s, &h) {
+        Err(Error::NotFoc1(msg)) => {
+            assert!(msg.contains("free variables"), "{msg}");
+            assert!(msg.contains("x") && msg.contains("y"), "should name the variables: {msg}");
+        }
+        other => panic!("expected NotFoc1, got {other:?}"),
+    }
+    // The naive engine accepts all of FOC(P), including this sentence.
+    let naive = Evaluator::new(EngineKind::Naive);
+    assert!(naive.check_sentence(&s, &h).is_ok());
+}
+
+#[test]
+fn custom_predicates_flow_through_the_pipeline() {
+    // Register a custom predicate and use it in a cardinality guard.
+    let mut local = Evaluator::new(EngineKind::Local);
+    local
+        .preds
+        .register(PredDef::new(Symbol::new("square"), 1, |a| {
+            let r = (a[0] as f64).sqrt().round() as i64;
+            r * r == a[0]
+        }));
+    let mut naive = Evaluator::new(EngineKind::Naive);
+    naive
+        .preds
+        .register(PredDef::new(Symbol::new("square"), 1, |a| {
+            let r = (a[0] as f64).sqrt().round() as i64;
+            r * r == a[0]
+        }));
+    // "Some vertex has a perfect-square degree ≥ 4" on a star: hub degree
+    // is n−1.
+    let f = parse_formula("exists x. (@square(#(y). E(x,y)) & #(y). E(x,y) >= 4)").unwrap();
+    for n in [5u32, 10, 17] {
+        let s = star(n);
+        let want = naive.check_sentence(&s, &f).unwrap();
+        assert_eq!(local.check_sentence(&s, &f).unwrap(), want, "n={n}");
+        // Hub degree n−1 must be a square ≥ 4.
+        let deg = (n - 1) as f64;
+        let is_sq = deg.sqrt().round().powi(2) == deg;
+        assert_eq!(want, is_sq && n >= 5, "n={n}");
+    }
+}
+
+#[test]
+fn sessions_are_reusable_across_expressions() {
+    let s = grid(6, 6);
+    let ev = Evaluator::new(EngineKind::Local);
+    let mut session = ev.session(&s);
+    let f1 = parse_formula("exists x. #(y). E(x,y) = 4").unwrap();
+    let f2 = parse_formula("exists x. #(y). E(x,y) = 2").unwrap();
+    assert!(session.check_sentence(&f1).unwrap());
+    assert!(session.check_sentence(&f2).unwrap());
+    // Two sentences → two markers accumulated in the same plan.
+    assert_eq!(session.stats.markers_created, 2);
+    assert_eq!(session.plan.len(), 2);
+}
+
+#[test]
+fn cover_config_is_respected() {
+    let s = grid(8, 8);
+    let mut ev = Evaluator::new(EngineKind::Cover);
+    ev.cover_config.depth = 0; // degenerate to Local behaviour
+    let f = parse_formula("@even(#(x,y). E(x,y))").unwrap();
+    let naive = Evaluator::new(EngineKind::Naive);
+    assert_eq!(
+        ev.check_sentence(&s, &f).unwrap(),
+        naive.check_sentence(&s, &f).unwrap()
+    );
+}
+
+#[test]
+fn ground_term_depth_three() {
+    // Four nested counting constructs: #-depth 4.
+    let src = "#(x). (#(y). (E(x,y) & #(z). (E(y,z) & #(w). E(z,w) = 1) >= 1) = 2)";
+    let t = foc_logic::parse::parse_term(src).unwrap();
+    assert_eq!(t.count_depth(), 4);
+    let s = grid(4, 4);
+    let naive = Evaluator::new(EngineKind::Naive);
+    let local = Evaluator::new(EngineKind::Local);
+    let want = naive.eval_ground(&s, &t).unwrap();
+    assert_eq!(local.eval_ground(&s, &t).unwrap(), want);
+}
+
+#[test]
+fn negative_integers_and_subtraction_in_heads() {
+    let s = star(5);
+    let t = foc_logic::parse::parse_term("0 - #(x,y). E(x,y) + -2").unwrap();
+    for kind in [EngineKind::Naive, EngineKind::Local] {
+        let ev = Evaluator::new(kind);
+        assert_eq!(ev.eval_ground(&s, &t).unwrap(), -(8 + 2), "{kind:?}");
+    }
+}
+
+#[test]
+fn boolean_constants_and_degenerate_sentences() {
+    let s = path(3);
+    for kind in [EngineKind::Naive, EngineKind::Local, EngineKind::Cover] {
+        let ev = Evaluator::new(kind);
+        assert!(ev.check_sentence(&s, &tt()).unwrap());
+        assert!(!ev.check_sentence(&s, &ff()).unwrap());
+        // The paper's always-true sentence ¬∃z ¬z=z.
+        let f: Arc<Formula> = not(exists(v("cz"), not(eq(v("cz"), v("cz")))));
+        assert!(ev.check_sentence(&s, &f).unwrap(), "{kind:?}");
+    }
+}
+
+#[test]
+fn counting_over_zero_variables() {
+    // #().φ: 1 if the sentence holds, 0 otherwise — through all engines.
+    let s = path(4);
+    let inner = parse_formula("exists x y. E(x,y)").unwrap();
+    let t = cnt_vec(vec![], inner);
+    for kind in [EngineKind::Naive, EngineKind::Local] {
+        let ev = Evaluator::new(kind);
+        assert_eq!(ev.eval_ground(&s, &t).unwrap(), 1, "{kind:?}");
+    }
+}
+
+#[test]
+fn remark_4_5_equality_via_positivity() {
+    // Remark 4.5: P=(t₁,t₂) ≡ ¬P≥1(t₁−t₂) ∧ ¬P≥1(t₂−t₁). Check the
+    // encoding agrees with the primitive equality predicate across
+    // engines and structures.
+    let x = v("r45x");
+    let y = v("r45y");
+    let z = v("r45z");
+    let t1 = cnt_vec(vec![y], atom("E", [x, y]));
+    let t2 = cnt_vec(vec![z], and(atom("E", [x, z]), not(eq(z, x))));
+    let direct = exists(x, teq(t1.clone(), t2.clone()));
+    let encoded = exists(
+        x,
+        and(
+            not(ge1(sub(t1.clone(), t2.clone()))),
+            not(ge1(sub(t2, t1))),
+        ),
+    );
+    for s in [path(6), star(5), grid(3, 3)] {
+        for kind in [EngineKind::Naive, EngineKind::Local] {
+            let ev = Evaluator::new(kind);
+            assert_eq!(
+                ev.check_sentence(&s, &direct).unwrap(),
+                ev.check_sentence(&s, &encoded).unwrap(),
+                "{kind:?} on order {}",
+                s.order()
+            );
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Cross-engine agreement: the Local and Cover engines must compute
+//! exactly what the reference semantics computes, on every structure
+//! class and for all the paper's example queries.
+
+use std::sync::Arc;
+
+use foc_core::{EngineKind, Evaluator};
+use foc_logic::build::*;
+use foc_logic::parse::{parse_formula, parse_term};
+use foc_logic::{Formula, Term};
+use foc_structures::gen::{
+    caterpillar, cycle, example_colored, graph_structure, grid, path, random_tree, star,
+};
+use foc_structures::Structure;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn structures() -> Vec<Structure> {
+    let mut rng = StdRng::seed_from_u64(2718);
+    vec![
+        path(14),
+        cycle(11),
+        star(9),
+        grid(4, 4),
+        caterpillar(5, 2),
+        random_tree(16, &mut rng),
+        graph_structure(12, &[(0, 1), (1, 2), (2, 0), (4, 5), (6, 7), (7, 8), (8, 9), (9, 6)]),
+    ]
+}
+
+fn engines() -> [Evaluator; 3] {
+    [
+        Evaluator::new(EngineKind::Naive),
+        Evaluator::new(EngineKind::Local),
+        Evaluator::new(EngineKind::Cover),
+    ]
+}
+
+fn agree_sentence(f: &Arc<Formula>) {
+    let [naive, local, cover] = engines();
+    for s in structures() {
+        let want = naive.check_sentence(&s, f).unwrap();
+        assert_eq!(
+            local.check_sentence(&s, f).unwrap(),
+            want,
+            "Local disagrees on {f} (order {})",
+            s.order()
+        );
+        assert_eq!(
+            cover.check_sentence(&s, f).unwrap(),
+            want,
+            "Cover disagrees on {f} (order {})",
+            s.order()
+        );
+    }
+}
+
+fn agree_ground(t: &Arc<Term>) {
+    let [naive, local, cover] = engines();
+    for s in structures() {
+        let want = naive.eval_ground(&s, t).unwrap();
+        assert_eq!(local.eval_ground(&s, t).unwrap(), want, "Local on {t} (order {})", s.order());
+        assert_eq!(cover.eval_ground(&s, t).unwrap(), want, "Cover on {t} (order {})", s.order());
+    }
+}
+
+#[test]
+fn example_3_2_prime_sentence() {
+    // Prime(#(x).x=x + #(x,y).E(x,y)).
+    let f = parse_formula("@prime(#(x). (x = x) + #(x,y). E(x,y))").unwrap();
+    agree_sentence(&f);
+}
+
+#[test]
+fn out_degree_ge_one() {
+    // ∃y (P≥1 applied to the out-degree of y).
+    let f = parse_formula("exists y. #(z). E(y,z) >= 1").unwrap();
+    agree_sentence(&f);
+    let g = parse_formula("exists y. !(#(z). E(y,z) >= 1)").unwrap();
+    agree_sentence(&g);
+}
+
+#[test]
+fn degree_counts_as_ground_terms() {
+    for src in [
+        "#(x,y). E(x,y)",
+        "#(x). #(y). E(x,y) = 2",
+        "2 * #(x,y). (E(x,y) & !(x=y)) - 3",
+        "#(x,y). (dist(x,y) <= 2 & !(x = y))",
+        "#(x,y). !(E(x,y))",
+    ] {
+        let t = parse_term(src).unwrap();
+        agree_ground(&t);
+    }
+}
+
+#[test]
+fn nested_cardinality_conditions() {
+    // "There is a vertex whose degree equals the number of leaves" —
+    // #-depth 2 with a ground inner term.
+    let f = parse_formula("exists x. (#(y). E(x,y) = #(z). (#(w). E(z,w) = 1))").unwrap();
+    agree_sentence(&f);
+}
+
+#[test]
+fn cardinality_with_boolean_structure() {
+    let f = parse_formula(
+        "exists x. ((#(y). E(x,y) >= 2 | #(y). E(x,y) = 0) & !(#(y). E(x,y) = 1))",
+    )
+    .unwrap();
+    agree_sentence(&f);
+}
+
+#[test]
+fn example_5_4_triangle_machinery() {
+    // On the coloured digraph of Example 5.4.
+    let s = example_colored();
+    let x = v("x");
+    let y = v("y");
+    let z = v("z");
+    // t_Δ(x): number of directed triangles through x.
+    let t_delta = cnt_vec(
+        vec![y, z],
+        and_all([atom("E", [x, y]), atom("E", [y, z]), atom("E", [z, x])]),
+    );
+    // t_R: number of red nodes.
+    let t_red = cnt_vec(vec![x], atom_vec("R", vec![x]));
+    // φ_{Δ,R}: some node participates in as many triangles as there are
+    // red nodes.
+    let f = exists(x, teq(t_delta.clone(), t_red.clone()));
+    let [naive, local, cover] = engines();
+    let want = naive.check_sentence(&s, &f).unwrap();
+    assert_eq!(local.check_sentence(&s, &f).unwrap(), want);
+    assert_eq!(cover.check_sentence(&s, &f).unwrap(), want);
+    // Ground: t_{Δ,R} = #(x).φ_{Δ,R}(x).
+    let t = cnt_vec(vec![x], teq(t_delta, t_red));
+    let want_t = naive.eval_ground(&s, &t).unwrap();
+    assert_eq!(local.eval_ground(&s, &t).unwrap(), want_t);
+    assert_eq!(cover.eval_ground(&s, &t).unwrap(), want_t);
+    // On the 3-cycle 0→1→2→0 plus pendant 3→0: nodes 0,1,2 are in one
+    // triangle each, and there is exactly 1 red node — so the count is 3.
+    assert_eq!(want_t, 3);
+}
+
+#[test]
+fn counting_problem_corollary_5_6() {
+    // |φ(A)| for φ(x,y) = E(x,y) ∧ deg(x) ≥ 2.
+    let x = v("x");
+    let y = v("y");
+    let z = v("z");
+    let phi = and(atom("E", [x, y]), tle(int(2), cnt_vec(vec![z], atom("E", [x, z]))));
+    let [naive, local, cover] = engines();
+    for s in structures() {
+        let want = naive.count(&s, &phi, &[x, y]).unwrap();
+        assert_eq!(local.count(&s, &phi, &[x, y]).unwrap(), want, "order {}", s.order());
+        assert_eq!(cover.count(&s, &phi, &[x, y]).unwrap(), want, "order {}", s.order());
+    }
+}
+
+#[test]
+fn model_checking_with_parameters() {
+    // Theorem 5.5 interface: A ⊨ φ[ā].
+    let x = v("x");
+    let y = v("y");
+    let phi = teq(
+        cnt_vec(vec![y], atom("E", [x, y])),
+        cnt_vec(vec![y], and(atom("E", [x, y]), tle(int(2), cnt_vec(vec![v("w")], atom("E", [y, v("w")]))))),
+    );
+    let [naive, local, cover] = engines();
+    for s in structures() {
+        for a in [0u32, s.order() / 2, s.order() - 1] {
+            let want = naive.check(&s, &phi, &[x], &[a]).unwrap();
+            assert_eq!(local.check(&s, &phi, &[x], &[a]).unwrap(), want);
+            assert_eq!(cover.check(&s, &phi, &[x], &[a]).unwrap(), want);
+        }
+    }
+}
+
+#[test]
+fn term_evaluation_with_parameters() {
+    let x = v("x");
+    let y = v("y");
+    let t = add(mul(int(3), cnt_vec(vec![y], atom("E", [x, y]))), int(-1));
+    let [naive, local, cover] = engines();
+    for s in structures() {
+        for a in [0u32, s.order() - 1] {
+            let want = naive.eval_term_at(&s, &t, &[x], &[a]).unwrap();
+            assert_eq!(local.eval_term_at(&s, &t, &[x], &[a]).unwrap(), want);
+            assert_eq!(cover.eval_term_at(&s, &t, &[x], &[a]).unwrap(), want);
+        }
+    }
+}
+
+#[test]
+fn non_foc1_is_rejected_by_decomposing_engines() {
+    // ψ_E-style guard over two free variables: FOC(P) ∖ FOC1(P).
+    let x = v("x");
+    let y = v("y");
+    let z = v("z");
+    let f = exists(
+        x,
+        exists(
+            y,
+            teq(cnt_vec(vec![z], atom("E", [x, z])), cnt_vec(vec![z], atom("E", [y, z]))),
+        ),
+    );
+    let local = Evaluator::new(EngineKind::Local);
+    let s = path(5);
+    assert!(matches!(
+        local.check_sentence(&s, &f),
+        Err(foc_core::Error::NotFoc1(_))
+    ));
+    // The naive engine still handles it (it is complete for FOC(P))…
+    // via the foc-eval reference evaluator directly.
+    let p = foc_logic::Predicates::standard();
+    let mut ev = foc_eval::NaiveEvaluator::new(&s, &p);
+    assert!(ev.check_sentence(&f).unwrap());
+}
+
+#[test]
+fn plan_and_stats_are_populated() {
+    let f = parse_formula("exists x. #(y). E(x,y) >= 1").unwrap();
+    let ev = Evaluator::new(EngineKind::Local);
+    let s = grid(5, 5);
+    let mut session = ev.session(&s);
+    let result = session.check_sentence(&f).unwrap();
+    assert!(result);
+    assert_eq!(session.stats.markers_created, 1, "one unary marker for the P≥1 guard");
+    assert_eq!(session.plan.len(), 1);
+    assert_eq!(session.plan[0].arity, 1);
+    assert!(session.plan[0].definition.contains("le") || session.plan[0].definition.contains("ge"));
+    assert!(session.stats.clterms >= 1);
+}
+
+#[test]
+fn queries_with_unary_head() {
+    // { (x, deg(x)) : deg(x) ≥ 2 } on all classes.
+    let x = v("x");
+    let y = v("y");
+    let q = foc_logic::Query::new(
+        vec![x],
+        vec![cnt_vec(vec![y], atom("E", [x, y]))],
+        tle(int(2), cnt_vec(vec![y], atom("E", [x, y]))),
+    )
+    .unwrap();
+    let [naive, local, cover] = engines();
+    for s in structures() {
+        let want = naive.query(&s, &q).unwrap();
+        assert_eq!(local.query(&s, &q).unwrap(), want, "order {}", s.order());
+        assert_eq!(cover.query(&s, &q).unwrap(), want, "order {}", s.order());
+    }
+}

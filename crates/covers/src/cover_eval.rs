@@ -1,0 +1,561 @@
+//! The main algorithm of Section 8.2: evaluating unary basic cl-terms
+//! through a sparse neighbourhood cover with splitter-removal recursion.
+//!
+//! For a basic cl-term `u(y₁)` with exploration radius `R`:
+//!
+//! 1. build an (R, 2R)-neighbourhood cover `X` of `A`;
+//! 2. for every cluster `X`, restrict to `B_X = A[X]` — for the elements
+//!    `a` with `X(a) = X` (the paper's `Q` marker) the value `u^{B_X}[a]`
+//!    equals `u^A[a]`, because `N_R(a) ⊆ X`;
+//! 3. inside a cluster, pick Splitter's vertex `d` (hub heuristic),
+//!    perform the removal surgery `B' = B_X *_r d` and rewrite the
+//!    counting term via the Removal Lemma (Lemma 7.9); the rewritten
+//!    counting components are decomposed again (Lemma 6.4 over the σ̃
+//!    signature) and evaluated on the smaller, flatter `B'` — recursing
+//!    until the depth budget is exhausted;
+//! 4. at the bottom, values are computed by ball enumeration
+//!    ([`foc_locality::LocalEvaluator`]); if a rewritten body leaves the
+//!    separable fragment, the reference evaluator provides a correct
+//!    (slower) fallback.
+//!
+//! The recursion terminates because the splitter game on a nowhere dense
+//! class is won in λ(2R) rounds — empirically measured in experiment E9.
+
+use std::sync::Arc;
+
+use foc_eval::{Assignment, NaiveEvaluator};
+use foc_locality::clterm::{BasicClTerm, ClTerm};
+use foc_locality::decompose::decompose_unary;
+use foc_locality::error::Result;
+use foc_locality::local_eval::{ClValue, LocalEvaluator};
+use foc_logic::{Formula, Predicates, Term, Var};
+use foc_structures::{FxHashMap, Structure};
+
+use crate::cover::cover_structure;
+use crate::removal::{remove_element, remove_unary_count, RemovalContext, RemovedCount};
+
+/// Work counters for the cover engine.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CoverStats {
+    /// Covers constructed.
+    pub covers_built: u64,
+    /// Clusters processed.
+    pub clusters: u64,
+    /// Removal surgeries performed.
+    pub removals: u64,
+    /// Counting components that fell back to the reference evaluator.
+    pub naive_fallbacks: u64,
+}
+
+/// Tuning knobs for the cover engine.
+#[derive(Debug, Clone, Copy)]
+pub struct CoverConfig {
+    /// Removal-recursion depth budget (≈ the splitter-game bound λ).
+    pub depth: u32,
+    /// Structures of order below this are evaluated directly by ball
+    /// enumeration.
+    pub direct_threshold: u32,
+    /// Clusters larger than this skip the removal recursion (a large
+    /// cluster at exploration radius means the structure is not locally
+    /// sparse there, so the Section 8.2 recursion cannot pay off).
+    pub max_removal_cluster: u32,
+}
+
+impl Default for CoverConfig {
+    fn default() -> Self {
+        CoverConfig { depth: 1, direct_threshold: 16, max_removal_cluster: 256 }
+    }
+}
+
+/// The structure-independent part of one removal step for a basic
+/// cl-term: the rewriting of Lemma 7.9 and the re-decomposition of the
+/// rewritten bodies (Lemma 6.4 over σ̃). Computed once per basic term
+/// and reused across every cluster — the surgery itself depends on the
+/// cluster, the symbols and formulas do not.
+struct RemovalPlan {
+    ctx: RemovalContext,
+    /// Ground components for the removed element, with their (optional)
+    /// decomposition using the first counted variable as the free one.
+    when_d: Vec<(RemovedCount, Option<ClTerm>)>,
+    /// Unary components for the surviving elements, decomposed over
+    /// `[x] ++ counted`.
+    when_not_d: Vec<(RemovedCount, Option<ClTerm>)>,
+}
+
+/// Evaluates cl-terms with the cover + removal strategy of Section 8.2.
+pub struct CoverEvaluator<'a> {
+    a: &'a Structure,
+    preds: &'a Predicates,
+    /// Configuration.
+    pub config: CoverConfig,
+    /// Work counters.
+    pub stats: CoverStats,
+    /// Removal plans per basic cl-term (the Arc keeps the key address
+    /// alive so pointer keys cannot be recycled).
+    plans: FxHashMap<usize, (Arc<BasicClTerm>, Arc<RemovalPlan>)>,
+}
+
+impl<'a> CoverEvaluator<'a> {
+    /// Creates a cover evaluator with the default configuration.
+    pub fn new(a: &'a Structure, preds: &'a Predicates) -> CoverEvaluator<'a> {
+        CoverEvaluator {
+            a,
+            preds,
+            config: CoverConfig::default(),
+            stats: CoverStats::default(),
+            plans: FxHashMap::default(),
+        }
+    }
+
+    /// Evaluates a full cl-term (same interface as
+    /// [`LocalEvaluator::eval_clterm`]).
+    pub fn eval_clterm(&mut self, t: &ClTerm) -> Result<ClValue> {
+        let mut unary_cache: FxHashMap<usize, Vec<i64>> = FxHashMap::default();
+        let mut ground_cache: FxHashMap<usize, i64> = FxHashMap::default();
+        self.eval_rec(t, &mut unary_cache, &mut ground_cache)
+    }
+
+    fn eval_rec(
+        &mut self,
+        t: &ClTerm,
+        unary_cache: &mut FxHashMap<usize, Vec<i64>>,
+        ground_cache: &mut FxHashMap<usize, i64>,
+    ) -> Result<ClValue> {
+        match t {
+            ClTerm::Int(i) => Ok(ClValue::Scalar(*i)),
+            ClTerm::Basic(b) => {
+                let key = Arc::as_ptr(b) as usize;
+                if b.unary {
+                    if let Some(vs) = unary_cache.get(&key) {
+                        return Ok(ClValue::Vector(vs.clone()));
+                    }
+                    let vals = self.eval_basic_all(b.clone(), self.a, self.config.depth)?;
+                    unary_cache.insert(key, vals.clone());
+                    Ok(ClValue::Vector(vals))
+                } else {
+                    if let Some(&v) = ground_cache.get(&key) {
+                        return Ok(ClValue::Scalar(v));
+                    }
+                    // Ground basics: sum the unary view (Remark 6.3).
+                    let vals = self.eval_basic_all(b.clone(), self.a, self.config.depth)?;
+                    let mut acc = 0i64;
+                    for v in vals {
+                        acc = acc
+                            .checked_add(v)
+                            .ok_or(foc_locality::LocalityError::Eval(
+                                foc_eval::EvalError::Overflow,
+                            ))?;
+                    }
+                    ground_cache.insert(key, acc);
+                    Ok(ClValue::Scalar(acc))
+                }
+            }
+            ClTerm::Add(ts) => {
+                let mut acc = ClValue::Scalar(0);
+                for s in ts {
+                    let v = self.eval_rec(s, unary_cache, ground_cache)?;
+                    acc = combine(acc, v, |a, b| a.checked_add(b))?;
+                }
+                Ok(acc)
+            }
+            ClTerm::Mul(ts) => {
+                let mut acc = ClValue::Scalar(1);
+                for s in ts {
+                    let v = self.eval_rec(s, unary_cache, ground_cache)?;
+                    acc = combine(acc, v, |a, b| a.checked_mul(b))?;
+                }
+                Ok(acc)
+            }
+        }
+    }
+
+    /// `u^S[a]` for all `a ∈ S`, by cover + removal (recursing on
+    /// `depth`).
+    fn eval_basic_all(
+        &mut self,
+        b: Arc<BasicClTerm>,
+        s: &Structure,
+        depth: u32,
+    ) -> Result<Vec<i64>> {
+        let radius = LocalEvaluator::exploration_radius(&b);
+        let radius = u32::try_from(radius.min(u64::from(u32::MAX / 4))).expect("clamped");
+        if depth == 0 || s.order() <= self.config.direct_threshold {
+            let mut lev = LocalEvaluator::new(s, self.preds);
+            return lev.eval_basic_all(&b);
+        }
+        let cover = cover_structure(s, radius);
+        self.stats.covers_built += 1;
+        let members = cover.members();
+        let mut out = vec![0i64; s.order() as usize];
+        for (idx, cluster) in cover.clusters.iter().enumerate() {
+            let q = &members[idx];
+            if q.is_empty() {
+                continue;
+            }
+            self.stats.clusters += 1;
+            if cluster.len() == s.order() as usize {
+                // Degenerate cover (one cluster spans the structure):
+                // at this radius the structure is not locally sparse, so
+                // the removal recursion cannot win — evaluate the
+                // assigned elements by ball enumeration instead.
+                let mut lev = LocalEvaluator::new(s, self.preds);
+                for &a in q {
+                    out[a as usize] = lev.eval_basic_at(&b, a)?;
+                }
+                continue;
+            }
+            let ind = s.induced(cluster);
+            let vals = self.eval_cluster(&b, &ind.structure, depth)?;
+            for &a in q {
+                out[a as usize] = vals[ind.fwd[&a] as usize];
+            }
+        }
+        Ok(out)
+    }
+
+    /// The removal plan for a basic cl-term (computed once, cached by
+    /// identity).
+    fn removal_plan(&mut self, b: &Arc<BasicClTerm>) -> Arc<RemovalPlan> {
+        let key = Arc::as_ptr(b) as usize;
+        if let Some((_, plan)) = self.plans.get(&key) {
+            return plan.clone();
+        }
+        let marker_r = max_dist_bound(&b.matrix()).max(1);
+        let ctx = RemovalContext::new(marker_r);
+        let x = b.vars[0];
+        let counted: Vec<Var> = b.vars[1..].to_vec();
+        let matrix = b.matrix();
+        let (when_d, when_not_d) = remove_unary_count(x, &counted, &matrix, &ctx);
+        let when_d = when_d
+            .into_iter()
+            .map(|rc| {
+                let cl = if rc.counted.is_empty() {
+                    None
+                } else {
+                    decompose_unary(&rc.body, &rc.counted).ok()
+                };
+                (rc, cl)
+            })
+            .collect();
+        let when_not_d = when_not_d
+            .into_iter()
+            .map(|rc| {
+                let cl = if rc.counted.is_empty() {
+                    None
+                } else {
+                    let mut vars = vec![x];
+                    vars.extend_from_slice(&rc.counted);
+                    decompose_unary(&rc.body, &vars).ok()
+                };
+                (rc, cl)
+            })
+            .collect();
+        let plan = Arc::new(RemovalPlan { ctx, when_d, when_not_d });
+        self.plans.insert(key, (b.clone(), plan.clone()));
+        plan
+    }
+
+    /// Evaluates `u` on one cluster via splitter-removal recursion.
+    fn eval_cluster(
+        &mut self,
+        b: &Arc<BasicClTerm>,
+        cluster: &Structure,
+        depth: u32,
+    ) -> Result<Vec<i64>> {
+        if depth == 0
+            || cluster.order() <= self.config.direct_threshold
+            || cluster.order() > self.config.max_removal_cluster
+        {
+            let mut lev = LocalEvaluator::new(cluster, self.preds);
+            return lev.eval_basic_all(b);
+        }
+        let plan = self.removal_plan(b);
+        // Splitter's move: delete the hub of the cluster.
+        let g = cluster.gaifman();
+        let d = (0..g.n()).max_by_key(|&v| g.degree(v)).expect("non-empty cluster");
+        let rem = remove_element(cluster, d, &plan.ctx);
+        self.stats.removals += 1;
+
+        let x = b.vars[0];
+        let bprime = &rem.structure;
+        let mut out = vec![0i64; cluster.order() as usize];
+
+        // a = d: sum of ground components on B′.
+        let mut at_d = 0i64;
+        for (rc, cl) in &plan.when_d {
+            let v = if rc.counted.is_empty() {
+                let mut ev = NaiveEvaluator::new(bprime, self.preds);
+                i64::from(ev.check_sentence(&rc.body).unwrap_or(false))
+            } else {
+                let vals = self.eval_component(bprime, cl.as_ref(), None, rc, depth - 1)?;
+                let mut acc = 0i64;
+                for v in vals {
+                    acc = acc.checked_add(v).ok_or(foc_locality::LocalityError::Eval(
+                        foc_eval::EvalError::Overflow,
+                    ))?;
+                }
+                acc
+            };
+            at_d = at_d
+                .checked_add(v)
+                .ok_or(foc_locality::LocalityError::Eval(foc_eval::EvalError::Overflow))?;
+        }
+        out[d as usize] = at_d;
+
+        // a ≠ d: sum of unary components on B′.
+        for (rc, cl) in &plan.when_not_d {
+            let vals = self.eval_component(bprime, cl.as_ref(), Some(x), rc, depth - 1)?;
+            for (new, &old) in rem.old_of_new.iter().enumerate() {
+                out[old as usize] = out[old as usize]
+                    .checked_add(vals[new])
+                    .ok_or(foc_locality::LocalityError::Eval(foc_eval::EvalError::Overflow))?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Evaluates one rewritten counting component on `s`: decomposed
+    /// per-element when a cl-term is available, by reference evaluation
+    /// otherwise. For ground components (`free = None`) the vector is
+    /// indexed by the first counted variable and summed by the caller.
+    fn eval_component(
+        &mut self,
+        s: &Structure,
+        cl: Option<&ClTerm>,
+        free: Option<Var>,
+        rc: &RemovedCount,
+        depth: u32,
+    ) -> Result<Vec<i64>> {
+        match (cl, free) {
+            (Some(cl), _) => self.eval_clterm_vector(cl, s, depth),
+            (None, Some(x)) if rc.counted.is_empty() => {
+                // Width-1: check the body per element.
+                let mut ev = NaiveEvaluator::new(s, self.preds);
+                let mut out = Vec::with_capacity(s.order() as usize);
+                for a in s.universe() {
+                    let mut env = Assignment::from_pairs([(x, a)]);
+                    out.push(i64::from(ev.check(&rc.body, &mut env)?));
+                }
+                Ok(out)
+            }
+            (None, free) => {
+                // Outside the fragment after rewriting: reference
+                // evaluator (correct, not cover-accelerated).
+                self.stats.naive_fallbacks += 1;
+                match free {
+                    Some(x) => {
+                        let term = Arc::new(Term::Count(
+                            rc.counted.clone().into_boxed_slice(),
+                            rc.body.clone(),
+                        ));
+                        let mut ev = NaiveEvaluator::new(s, self.preds);
+                        let mut out = Vec::with_capacity(s.order() as usize);
+                        for a in s.universe() {
+                            let mut env = Assignment::from_pairs([(x, a)]);
+                            out.push(ev.eval_term(&term, &mut env)?);
+                        }
+                        Ok(out)
+                    }
+                    None => {
+                        // Ground: index by the first counted variable.
+                        let x0 = rc.counted[0];
+                        let rest: Vec<Var> = rc.counted[1..].to_vec();
+                        let term = Arc::new(Term::Count(
+                            rest.into_boxed_slice(),
+                            rc.body.clone(),
+                        ));
+                        let mut ev = NaiveEvaluator::new(s, self.preds);
+                        let mut out = Vec::with_capacity(s.order() as usize);
+                        for a in s.universe() {
+                            let mut env = Assignment::from_pairs([(x0, a)]);
+                            out.push(ev.eval_term(&term, &mut env)?);
+                        }
+                        Ok(out)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evaluates a decomposed cl-term to a per-element vector on `s`,
+    /// recursing through the cover machinery for its basics.
+    fn eval_clterm_vector(&mut self, cl: &ClTerm, s: &Structure, depth: u32) -> Result<Vec<i64>> {
+        let mut unary_vals: FxHashMap<usize, Vec<i64>> = FxHashMap::default();
+        let mut ground_vals: FxHashMap<usize, i64> = FxHashMap::default();
+        for basic in cl.basics() {
+            let key = Arc::as_ptr(&basic) as usize;
+            if basic.unary {
+                if let std::collections::hash_map::Entry::Vacant(e) = unary_vals.entry(key) {
+                    let vals = self.eval_basic_all(basic.clone(), s, depth)?;
+                    e.insert(vals);
+                }
+            } else if let std::collections::hash_map::Entry::Vacant(e) = ground_vals.entry(key) {
+                let vals = self.eval_basic_all(basic.clone(), s, depth)?;
+                let mut acc = 0i64;
+                for v in vals {
+                    acc = acc.checked_add(v).ok_or(foc_locality::LocalityError::Eval(
+                        foc_eval::EvalError::Overflow,
+                    ))?;
+                }
+                e.insert(acc);
+            }
+        }
+        let mut out = Vec::with_capacity(s.order() as usize);
+        for a in s.universe() {
+            let val = cl.eval_with(&mut |basic| {
+                let key = Arc::as_ptr(basic) as usize;
+                if basic.unary {
+                    Ok(unary_vals[&key][a as usize])
+                } else {
+                    Ok(ground_vals[&key])
+                }
+            })?;
+            out.push(val);
+        }
+        Ok(out)
+    }
+}
+
+/// The largest distance bound occurring in a formula (for sizing the
+/// removal markers).
+pub fn max_dist_bound(f: &Formula) -> u32 {
+    match f {
+        Formula::DistLe { d, .. } => *d,
+        Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => max_dist_bound(g),
+        Formula::And(gs) | Formula::Or(gs) => {
+            gs.iter().map(|g| max_dist_bound(g)).max().unwrap_or(0)
+        }
+        _ => 0,
+    }
+}
+
+fn combine(
+    a: ClValue,
+    b: ClValue,
+    op: impl Fn(i64, i64) -> Option<i64>,
+) -> Result<ClValue> {
+    let overflow =
+        || foc_locality::LocalityError::Eval(foc_eval::EvalError::Overflow);
+    match (a, b) {
+        (ClValue::Scalar(x), ClValue::Scalar(y)) => {
+            Ok(ClValue::Scalar(op(x, y).ok_or_else(overflow)?))
+        }
+        (ClValue::Scalar(x), ClValue::Vector(ys)) => Ok(ClValue::Vector(
+            ys.into_iter().map(|y| op(x, y).ok_or_else(overflow)).collect::<Result<_>>()?,
+        )),
+        (ClValue::Vector(xs), ClValue::Scalar(y)) => Ok(ClValue::Vector(
+            xs.into_iter().map(|x| op(x, y).ok_or_else(overflow)).collect::<Result<_>>()?,
+        )),
+        (ClValue::Vector(xs), ClValue::Vector(ys)) => Ok(ClValue::Vector(
+            xs.into_iter()
+                .zip(ys)
+                .map(|(x, y)| op(x, y).ok_or_else(overflow))
+                .collect::<Result<_>>()?,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foc_locality::decompose::{decompose_ground, decompose_unary};
+    use foc_logic::build::*;
+    use foc_structures::gen::{caterpillar, cycle, graph_structure, grid, path, random_tree, star};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn structures() -> Vec<Structure> {
+        let mut rng = StdRng::seed_from_u64(77);
+        vec![
+            path(12),
+            cycle(9),
+            star(8),
+            grid(4, 3),
+            caterpillar(4, 2),
+            random_tree(14, &mut rng),
+            graph_structure(10, &[(0, 1), (1, 2), (2, 0), (4, 5), (5, 6), (8, 9)]),
+        ]
+    }
+
+    fn check_cover_vs_local(cl: &ClTerm, depth: u32) {
+        let p = Predicates::standard();
+        for s in structures() {
+            let mut lev = LocalEvaluator::new(&s, &p);
+            let want = lev.eval_clterm(cl).unwrap();
+            let mut cev = CoverEvaluator::new(&s, &p);
+            cev.config.depth = depth;
+            cev.config.direct_threshold = 4;
+            let got = cev.eval_clterm(cl).unwrap();
+            match (&want, &got) {
+                (ClValue::Scalar(a), ClValue::Scalar(b)) => {
+                    assert_eq!(a, b, "scalar mismatch on order {}", s.order())
+                }
+                (ClValue::Vector(a), ClValue::Vector(b)) => {
+                    assert_eq!(a, b, "vector mismatch on order {}", s.order())
+                }
+                other => panic!("shape mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cover_engine_matches_local_depth1() {
+        let y1 = v("y1");
+        let y2 = v("y2");
+        let cl = decompose_unary(&atom("E", [y1, y2]), &[y1, y2]).unwrap();
+        check_cover_vs_local(&cl, 1);
+        let cl2 = decompose_unary(&not(atom("E", [y1, y2])), &[y1, y2]).unwrap();
+        check_cover_vs_local(&cl2, 1);
+    }
+
+    #[test]
+    fn cover_engine_matches_local_depth2() {
+        let y1 = v("y1");
+        let y2 = v("y2");
+        let body = and(dist_le(y1, y2, 2), not(eq(y1, y2)));
+        let cl = decompose_unary(&body, &[y1, y2]).unwrap();
+        check_cover_vs_local(&cl, 2);
+    }
+
+    #[test]
+    fn cover_engine_ground_terms() {
+        let y1 = v("y1");
+        let y2 = v("y2");
+        let cl = decompose_ground(&not(atom("E", [y1, y2])), &[y1, y2]).unwrap();
+        check_cover_vs_local(&cl, 1);
+    }
+
+    #[test]
+    fn cover_engine_guarded_exists_body() {
+        let y1 = v("y1");
+        let y2 = v("y2");
+        let z = v("z");
+        let body = and(
+            atom("E", [y1, y2]),
+            exists(z, and(atom("E", [y2, z]), not(eq(z, y1)))),
+        );
+        let cl = decompose_unary(&body, &[y1, y2]).unwrap();
+        check_cover_vs_local(&cl, 1);
+    }
+
+    #[test]
+    fn stats_reflect_cover_usage() {
+        let y1 = v("y1");
+        let y2 = v("y2");
+        let cl = decompose_unary(&atom("E", [y1, y2]), &[y1, y2]).unwrap();
+        let s = grid(6, 6);
+        let p = Predicates::standard();
+        let mut cev = CoverEvaluator::new(&s, &p);
+        cev.config.direct_threshold = 4;
+        cev.eval_clterm(&cl).unwrap();
+        assert!(cev.stats.covers_built >= 1);
+        assert!(cev.stats.clusters >= 1);
+        assert!(cev.stats.removals >= 1);
+    }
+
+    #[test]
+    fn max_dist_bound_walks() {
+        let f = and(dist_le(v("a"), v("b"), 5), not(dist_le(v("a"), v("c"), 9)));
+        assert_eq!(max_dist_bound(&f), 9);
+    }
+}

@@ -1,0 +1,489 @@
+//! The Removal Lemma (Section 7.3): structure surgery `A ↦ A *_r d` and
+//! the accompanying formula and term rewritings (Lemmas 7.8 and 7.9).
+//!
+//! `A *_r d` deletes the element `d` but remembers everything about it:
+//! each relation `R` splits into relations `R̃_I` recording the tuples
+//! whose `I`-positions were `d`, and unary markers `S_i` record the
+//! elements at distance ≤ i from `d`. A formula φ(x̄) evaluated with some
+//! arguments equal to `d` is rewritten into φ̃_I over the new signature;
+//! counting terms split into sums over which counted positions hit `d`.
+//! This is the recursion step of the paper's main algorithm: the splitter
+//! game guarantees that repeatedly removing Splitter's vertex flattens
+//! any cluster of a nowhere dense graph in λ(r) steps.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use foc_logic::build::atom_sym;
+use foc_logic::{Formula, Symbol, Var};
+use foc_structures::{BfsScratch, FxHashMap, RelDecl, Structure};
+
+/// A removal context: fixes the marker radius `r` and a unique name tag
+/// so that nested removals never collide.
+#[derive(Debug, Clone)]
+pub struct RemovalContext {
+    /// Distance-marker range: `S_1, …, S_r` are available.
+    pub r: u32,
+    tag: String,
+}
+
+impl RemovalContext {
+    /// Creates a context with a globally fresh tag.
+    pub fn new(r: u32) -> RemovalContext {
+        RemovalContext { r, tag: Var::fresh("rm").name() }
+    }
+
+    /// The symbol `R̃_I` for the relation `rel` and position set encoded
+    /// by `mask`.
+    pub fn tilde(&self, rel: Symbol, mask: u32) -> Symbol {
+        Symbol::new(&format!("{}@{}:{:x}", rel.name(), self.tag, mask))
+    }
+
+    /// The symbol for the distance marker `S_i`.
+    pub fn s_marker(&self, i: u32) -> Symbol {
+        Symbol::new(&format!("S@{}:{}", self.tag, i))
+    }
+}
+
+/// The result of removing an element.
+#[derive(Debug, Clone)]
+pub struct RemovedStructure {
+    /// `A *_r d` over the signature σ̃_r.
+    pub structure: Structure,
+    /// `old_of_new[e'] = e`: mapping back to the original ids.
+    pub old_of_new: Vec<u32>,
+    /// Maps original ids (≠ d) to new ids.
+    pub new_of_old: FxHashMap<u32, u32>,
+    /// The removed element.
+    pub removed: u32,
+}
+
+/// Builds `A *_r d` (the structure part of the Removal Lemma). Requires
+/// `|A| ≥ 2`.
+pub fn remove_element(a: &Structure, d: u32, ctx: &RemovalContext) -> RemovedStructure {
+    assert!(a.order() >= 2, "removal needs at least two elements");
+    assert!(d < a.order());
+    let old_of_new: Vec<u32> = (0..a.order()).filter(|&e| e != d).collect();
+    let mut new_of_old: FxHashMap<u32, u32> = FxHashMap::default();
+    for (new, &old) in old_of_new.iter().enumerate() {
+        new_of_old.insert(old, new as u32);
+    }
+
+    let mut decls: Vec<RelDecl> = Vec::new();
+    let mut rows: Vec<Vec<Vec<u32>>> = Vec::new();
+    let mut index: FxHashMap<Symbol, usize> = FxHashMap::default();
+    for decl in a.signature().rels() {
+        let k = decl.arity;
+        assert!(k <= 16, "removal supports arity ≤ 16");
+        for mask in 0u32..(1 << k) {
+            let sym = ctx.tilde(decl.name, mask);
+            index.insert(sym, decls.len());
+            decls.push(RelDecl { name: sym, arity: k - (mask.count_ones() as usize) });
+            rows.push(Vec::new());
+        }
+    }
+    // Distance markers S_1..S_r.
+    let dists = a.gaifman().distances_from(d, ctx.r, &mut BfsScratch::new());
+    let s_base = decls.len();
+    for i in 1..=ctx.r {
+        decls.push(RelDecl { name: ctx.s_marker(i), arity: 1 });
+        rows.push(
+            dists
+                .iter()
+                .filter(|&(&e, &dist)| e != d && dist <= i)
+                .map(|(&e, _)| vec![new_of_old[&e]])
+                .collect(),
+        );
+    }
+    let _ = s_base;
+
+    // Split each relation's rows by which positions equal d.
+    for (ri, decl) in a.signature().rels().iter().enumerate() {
+        let rel = a.relation_at(ri);
+        for row in rel.rows() {
+            let mut mask = 0u32;
+            let mut rest = Vec::with_capacity(row.len());
+            for (pos, &e) in row.iter().enumerate() {
+                if e == d {
+                    mask |= 1 << pos;
+                } else {
+                    rest.push(new_of_old[&e]);
+                }
+            }
+            let sym = ctx.tilde(decl.name, mask);
+            rows[index[&sym]].push(rest);
+        }
+    }
+
+    let sig = foc_structures::Signature::new(decls);
+    let structure = Structure::new(sig, (a.order() - 1).max(1), rows);
+    RemovedStructure { structure, old_of_new, new_of_old, removed: d }
+}
+
+/// Lemma 7.8: rewrites φ into φ̃_V such that for tuples sending exactly
+/// the variables of `V` to `d`: `A ⊨ φ[ā] ⟺ A *_r d ⊨ φ̃_V[ā∖V]`.
+/// Distance atoms must have bounds ≤ `ctx.r`.
+pub fn remove_formula(
+    f: &Arc<Formula>,
+    v: &BTreeSet<Var>,
+    ctx: &RemovalContext,
+) -> Arc<Formula> {
+    match &**f {
+        Formula::Bool(_) => f.clone(),
+        Formula::Eq(x1, x2) => {
+            let in1 = v.contains(x1);
+            let in2 = v.contains(x2);
+            match (in1, in2) {
+                (true, true) => Arc::new(Formula::Bool(true)),
+                (false, false) => f.clone(),
+                // One side is d, the other is an element of A ∖ {d}.
+                _ => Arc::new(Formula::Bool(false)),
+            }
+        }
+        Formula::Atom(at) => {
+            let mut mask = 0u32;
+            let mut rest = Vec::new();
+            for (pos, var) in at.args.iter().enumerate() {
+                if v.contains(var) {
+                    mask |= 1 << pos;
+                } else {
+                    rest.push(*var);
+                }
+            }
+            atom_sym(ctx.tilde(at.rel, mask), rest)
+        }
+        Formula::DistLe { x, y, d } => {
+            let in1 = v.contains(x);
+            let in2 = v.contains(y);
+            match (in1, in2) {
+                (true, true) => Arc::new(Formula::Bool(true)),
+                (true, false) | (false, true) => {
+                    let other = if in1 { *y } else { *x };
+                    if *d == 0 {
+                        // dist ≤ 0 means equality with the removed d.
+                        Arc::new(Formula::Bool(false))
+                    } else {
+                        assert!(*d <= ctx.r, "distance atom bound {d} exceeds marker range");
+                        atom_sym(ctx.s_marker(*d), vec![other])
+                    }
+                }
+                (false, false) => {
+                    // A short path may or may not pass through d.
+                    let mut parts = vec![Arc::new(Formula::DistLe { x: *x, y: *y, d: *d })];
+                    for i1 in 1..*d {
+                        let i2 = *d - i1;
+                        assert!(
+                            i1 <= ctx.r && i2 <= ctx.r,
+                            "distance atom bound {d} exceeds marker range"
+                        );
+                        parts.push(Formula::and(vec![
+                            atom_sym(ctx.s_marker(i1), vec![*x]),
+                            atom_sym(ctx.s_marker(i2), vec![*y]),
+                        ]));
+                    }
+                    Formula::or(parts)
+                }
+            }
+        }
+        Formula::Not(g) => Formula::not(remove_formula(g, v, ctx)),
+        Formula::And(gs) => {
+            Formula::and(gs.iter().map(|g| remove_formula(g, v, ctx)).collect())
+        }
+        Formula::Or(gs) => {
+            Formula::or(gs.iter().map(|g| remove_formula(g, v, ctx)).collect())
+        }
+        Formula::Exists(x, g) => {
+            // ∃x ψ ≡ ψ[x := d] ∨ ∃x≠d ψ.
+            let mut with_x = v.clone();
+            with_x.insert(*x);
+            let mut without_x = v.clone();
+            without_x.remove(x);
+            Formula::or(vec![
+                remove_formula(g, &with_x, ctx),
+                Arc::new(Formula::Exists(*x, remove_formula(g, &without_x, ctx))),
+            ])
+        }
+        Formula::Forall(x, g) => {
+            let mut with_x = v.clone();
+            with_x.insert(*x);
+            let mut without_x = v.clone();
+            without_x.remove(x);
+            Formula::and(vec![
+                remove_formula(g, &with_x, ctx),
+                Arc::new(Formula::Forall(*x, remove_formula(g, &without_x, ctx))),
+            ])
+        }
+        Formula::Pred { .. } => {
+            panic!("remove_formula is defined on FO⁺ formulas only (got {f})")
+        }
+    }
+}
+
+/// One rewritten counting component of Lemma 7.9: counted variables and
+/// the rewritten body over σ̃_r.
+#[derive(Debug, Clone)]
+pub struct RemovedCount {
+    /// The counted variables that survive (those not pinned to `d`).
+    pub counted: Vec<Var>,
+    /// The rewritten body.
+    pub body: Arc<Formula>,
+}
+
+/// Lemma 7.9 (b) for a unary basic term `u(x) = #(ȳ).φ(x, ȳ)`:
+/// returns the ground components (for evaluating at `a = d`) and the
+/// unary components (for `a ≠ d`, with `x` still free):
+///
+/// * `u^A[d]   = Σ_I ĝ_I^{A*d}`          (I ranges over subsets of ȳ, with x↦d)
+/// * `u^A[a]   = Σ_I û_I^{A*d}[a]` for a ≠ d.
+pub fn remove_unary_count(
+    x: Var,
+    counted: &[Var],
+    body: &Arc<Formula>,
+    ctx: &RemovalContext,
+) -> (Vec<RemovedCount>, Vec<RemovedCount>) {
+    let mut when_d = Vec::new();
+    let mut when_not_d = Vec::new();
+    let k = counted.len();
+    assert!(k <= 16, "counting width ≤ 16 supported");
+    for mask in 0u32..(1 << k) {
+        let pinned: BTreeSet<Var> = counted
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &y)| y)
+            .collect();
+        let survivors: Vec<Var> = counted
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) == 0)
+            .map(|(_, &y)| y)
+            .collect();
+        // a ≠ d: x is not pinned.
+        when_not_d.push(RemovedCount {
+            counted: survivors.clone(),
+            body: remove_formula(body, &pinned, ctx),
+        });
+        // a = d: x is pinned as well.
+        let mut with_x = pinned;
+        with_x.insert(x);
+        when_d.push(RemovedCount {
+            counted: survivors,
+            body: remove_formula(body, &with_x, ctx),
+        });
+    }
+    (when_d, when_not_d)
+}
+
+/// Lemma 7.9 (a) for a ground term `g = #(ȳ).φ(ȳ)`:
+/// `g^A = Σ_I ĝ_I^{A*d}`.
+pub fn remove_ground_count(
+    counted: &[Var],
+    body: &Arc<Formula>,
+    ctx: &RemovalContext,
+) -> Vec<RemovedCount> {
+    let k = counted.len();
+    assert!(k <= 16);
+    let mut out = Vec::new();
+    for mask in 0u32..(1 << k) {
+        let pinned: BTreeSet<Var> = counted
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &y)| y)
+            .collect();
+        let survivors: Vec<Var> = counted
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) == 0)
+            .map(|(_, &y)| y)
+            .collect();
+        out.push(RemovedCount { counted: survivors, body: remove_formula(body, &pinned, ctx) });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foc_eval::{Assignment, NaiveEvaluator};
+    use foc_logic::build::*;
+    use foc_logic::Predicates;
+    use foc_structures::gen::{cycle, graph_structure, grid, path, star};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn structures() -> Vec<Structure> {
+        vec![
+            path(6),
+            cycle(5),
+            star(6),
+            grid(3, 2),
+            graph_structure(7, &[(0, 1), (1, 2), (2, 0), (3, 4)]),
+        ]
+    }
+
+    #[test]
+    fn surgery_splits_relations() {
+        let s = path(4); // edges 0-1,1-2,2-3 symmetric
+        let ctx = RemovalContext::new(2);
+        let rem = remove_element(&s, 1, &ctx);
+        let b = &rem.structure;
+        assert_eq!(b.order(), 3);
+        let e = Symbol::new("E");
+        // E-rows not involving 1 survive in R̃_∅: (2,3) and (3,2), with
+        // renumbering 2→1, 3→2.
+        let e00 = b.relation(ctx.tilde(e, 0b00)).unwrap();
+        assert_eq!(e00.len(), 2);
+        assert!(e00.contains(&[1, 2]));
+        // Rows (1, x) land in R̃_{0}: unary remnants {0→0, 2→1}.
+        let e_first = b.relation(ctx.tilde(e, 0b01)).unwrap();
+        assert_eq!(e_first.len(), 2);
+        assert!(e_first.contains(&[0]));
+        assert!(e_first.contains(&[1]));
+        // Markers: S_1 = {0, 2} (new ids 0, 1); S_2 additionally 3 (new 2).
+        let s1 = b.relation(ctx.s_marker(1)).unwrap();
+        assert_eq!(s1.len(), 2);
+        let s2 = b.relation(ctx.s_marker(2)).unwrap();
+        assert_eq!(s2.len(), 3);
+    }
+
+    /// Exhaustively checks Lemma 7.8 on small structures: for every
+    /// formula in the list, every element d, and every assignment of the
+    /// free variables, the rewriting agrees.
+    #[test]
+    fn formula_rewriting_agrees() {
+        let x = v("x");
+        let y = v("y");
+        let z = v("z");
+        let formulas: Vec<Arc<Formula>> = vec![
+            atom("E", [x, y]),
+            eq(x, y),
+            dist_le(x, y, 2),
+            and(atom("E", [x, y]), not(eq(x, y))),
+            exists(z, and(atom("E", [x, z]), atom("E", [z, y]))),
+            exists(z, not(atom("E", [x, z]))),
+            forall(z, or(not(atom("E", [x, z])), dist_le(z, y, 2))),
+        ];
+        let p = Predicates::standard();
+        for s in structures() {
+            for f in &formulas {
+                let free: Vec<Var> = f.free_vars().into_iter().collect();
+                for d in s.universe() {
+                    let ctx = RemovalContext::new(3);
+                    let rem = remove_element(&s, d, &ctx);
+                    for a_val in s.universe() {
+                        for b_val in s.universe() {
+                            let vals = [a_val, b_val];
+                            let env_pairs: Vec<(Var, u32)> =
+                                free.iter().copied().zip(vals).collect();
+                            let vset: BTreeSet<Var> = env_pairs
+                                .iter()
+                                .filter(|(_, e)| *e == d)
+                                .map(|(v, _)| *v)
+                                .collect();
+                            let mut ev = NaiveEvaluator::new(&s, &p);
+                            let mut env = Assignment::from_pairs(env_pairs.clone());
+                            let want = ev.check(f, &mut env).unwrap();
+                            let rewritten = remove_formula(f, &vset, &ctx);
+                            let mut ev2 = NaiveEvaluator::new(&rem.structure, &p);
+                            let mut env2 = Assignment::from_pairs(
+                                env_pairs
+                                    .iter()
+                                    .filter(|(_, e)| *e != d)
+                                    .map(|(v, e)| (*v, rem.new_of_old[e])),
+                            );
+                            let got = ev2.check(&rewritten, &mut env2).unwrap();
+                            assert_eq!(
+                                want, got,
+                                "removal disagrees for {f} at d={d}, args={vals:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unary_count_rewriting_agrees() {
+        // u(x) = #(y). (E(x,y) ∨ dist(x,y) ≤ 2).
+        let x = v("x");
+        let y = v("y");
+        let body = or(atom("E", [x, y]), dist_le(x, y, 2));
+        let p = Predicates::standard();
+        for s in structures() {
+            for d in s.universe() {
+                let ctx = RemovalContext::new(3);
+                let rem = remove_element(&s, d, &ctx);
+                let (when_d, when_not_d) = remove_unary_count(x, &[y], &body, &ctx);
+                for a in s.universe() {
+                    let mut ev = NaiveEvaluator::new(&s, &p);
+                    let term = cnt([y], body.clone());
+                    let mut env = Assignment::from_pairs([(x, a)]);
+                    let want = ev.eval_term(&term, &mut env).unwrap();
+                    let mut ev2 = NaiveEvaluator::new(&rem.structure, &p);
+                    let got: i64 = if a == d {
+                        when_d
+                            .iter()
+                            .map(|rc| {
+                                let t = cnt_vec(rc.counted.clone(), rc.body.clone());
+                                ev2.eval_ground(&t).unwrap()
+                            })
+                            .sum()
+                    } else {
+                        let a2 = rem.new_of_old[&a];
+                        when_not_d
+                            .iter()
+                            .map(|rc| {
+                                let t = cnt_vec(rc.counted.clone(), rc.body.clone());
+                                let mut env2 = Assignment::from_pairs([(x, a2)]);
+                                ev2.eval_term(&t, &mut env2).unwrap()
+                            })
+                            .sum()
+                    };
+                    assert_eq!(want, got, "unary count removal at a={a}, d={d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ground_count_rewriting_agrees() {
+        // g = #(y1,y2). dist(y1,y2) ≤ 2 — paths through the removed
+        // element exercise the S-marker disjunction.
+        let y1 = v("y1");
+        let y2 = v("y2");
+        let body = dist_le(y1, y2, 2);
+        let p = Predicates::standard();
+        let mut rng = StdRng::seed_from_u64(123);
+        for s in structures() {
+            let d = rng.gen_range(0..s.order());
+            let ctx = RemovalContext::new(2);
+            let rem = remove_element(&s, d, &ctx);
+            let mut ev = NaiveEvaluator::new(&s, &p);
+            let want = ev.eval_ground(&cnt([y1, y2], body.clone())).unwrap();
+            let parts = remove_ground_count(&[y1, y2], &body, &ctx);
+            let mut ev2 = NaiveEvaluator::new(&rem.structure, &p);
+            let got: i64 = parts
+                .iter()
+                .map(|rc| {
+                    let t = cnt_vec(rc.counted.clone(), rc.body.clone());
+                    ev2.eval_ground(&t).unwrap()
+                })
+                .sum();
+            assert_eq!(want, got, "ground count removal with d={d}");
+        }
+    }
+
+    #[test]
+    fn nested_removal_does_not_collide() {
+        let s = path(5);
+        let ctx1 = RemovalContext::new(2);
+        let rem1 = remove_element(&s, 2, &ctx1);
+        let ctx2 = RemovalContext::new(2);
+        let rem2 = remove_element(&rem1.structure, 0, &ctx2);
+        // Signature sizes: every relation splits into 2^arity pieces plus
+        // markers; no panics on duplicate symbols means no collisions.
+        assert!(rem2.structure.signature().len() > rem1.structure.signature().len());
+    }
+}

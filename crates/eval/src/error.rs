@@ -1,0 +1,63 @@
+//! Evaluation errors.
+
+use std::fmt;
+
+use foc_logic::{Symbol, Var};
+
+/// Errors raised while validating or evaluating an expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A relation symbol is not declared in the structure's signature.
+    UnknownRelation(Symbol),
+    /// A relation is used with the wrong number of arguments.
+    RelationArity {
+        /// The relation symbol.
+        rel: Symbol,
+        /// Arity declared in the signature.
+        declared: usize,
+        /// Arity used in the formula.
+        used: usize,
+    },
+    /// A numerical predicate is not registered in the collection P.
+    UnknownPredicate(Symbol),
+    /// A numerical predicate is applied to the wrong number of terms.
+    PredicateArity {
+        /// The predicate name.
+        pred: Symbol,
+        /// Arity declared in the collection.
+        declared: usize,
+        /// Arity used in the formula.
+        used: usize,
+    },
+    /// A free variable was not bound by the supplied assignment.
+    UnboundVariable(Var),
+    /// A counting tuple `#(y₁,…,y_k)` repeats a variable.
+    DuplicateCountVariable(Var),
+    /// Integer overflow in counting-term arithmetic.
+    Overflow,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownRelation(r) => write!(f, "unknown relation symbol {r}"),
+            EvalError::RelationArity { rel, declared, used } => {
+                write!(f, "relation {rel} declared with arity {declared} but used with {used}")
+            }
+            EvalError::UnknownPredicate(p) => write!(f, "unknown numerical predicate {p}"),
+            EvalError::PredicateArity { pred, declared, used } => {
+                write!(f, "predicate {pred} declared with arity {declared} but used with {used}")
+            }
+            EvalError::UnboundVariable(v) => write!(f, "unbound variable {v}"),
+            EvalError::DuplicateCountVariable(v) => {
+                write!(f, "counting tuple repeats variable {v}")
+            }
+            EvalError::Overflow => write!(f, "integer overflow in counting-term arithmetic"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Result alias for evaluation.
+pub type Result<T> = std::result::Result<T, EvalError>;

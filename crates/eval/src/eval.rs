@@ -1,0 +1,670 @@
+//! The reference evaluator: a direct implementation of the semantics of
+//! Definition 3.1.
+//!
+//! This evaluator is the *correctness oracle* of the repository — every
+//! rewriting step (Gaifman normal form, cl-decomposition, removal lemma,
+//! cover localisation) is property-tested against it. It is deliberately
+//! close to the paper's semantic clauses; its only optimisation is
+//! *candidate-driven quantification*: when a quantified or counted
+//! variable is guarded by a positive atom, equality, or distance
+//! conjunct, the evaluator enumerates candidate values from the relation
+//! rows (or the distance ball) instead of the whole universe. This does
+//! not change the semantics — values outside the candidate set falsify
+//! the guard — but turns `∃x̄ R(x̄,…)` patterns from `n^k` scans into
+//! index lookups, which is what makes the SQL workloads of Example 5.3
+//! runnable at realistic sizes.
+
+use foc_logic::{Formula, Predicates, Term, Var};
+use foc_structures::{BfsScratch, FxHashMap, Structure};
+
+use crate::error::{EvalError, Result};
+use crate::validate::{validate_formula, validate_term};
+
+/// A partial assignment `β : vars → A` (only finitely many bindings are
+/// ever consulted).
+#[derive(Debug, Default, Clone)]
+pub struct Assignment {
+    map: FxHashMap<Var, u32>,
+}
+
+impl Assignment {
+    /// The empty assignment.
+    pub fn new() -> Assignment {
+        Assignment::default()
+    }
+
+    /// An assignment binding `vars[i] ↦ vals[i]`.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Var, u32)>) -> Assignment {
+        Assignment { map: pairs.into_iter().collect() }
+    }
+
+    /// Current binding of `v`, if any.
+    pub fn get(&self, v: Var) -> Option<u32> {
+        self.map.get(&v).copied()
+    }
+
+    /// Binds `v ↦ a`, returning the previous binding.
+    pub fn bind(&mut self, v: Var, a: u32) -> Option<u32> {
+        self.map.insert(v, a)
+    }
+
+    /// Restores a previous binding (or removes `v` if there was none).
+    pub fn restore(&mut self, v: Var, prev: Option<u32>) {
+        match prev {
+            Some(a) => {
+                self.map.insert(v, a);
+            }
+            None => {
+                self.map.remove(&v);
+            }
+        }
+    }
+}
+
+/// Counters describing the work an evaluation performed; used by the
+/// experiment harness to report machine-independent cost.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Assignments tried across all quantifiers and counting terms.
+    pub assignments_tried: u64,
+    /// Atom membership tests.
+    pub atom_tests: u64,
+    /// Bounded-BFS distance queries.
+    pub dist_queries: u64,
+    /// Numerical predicate oracle calls.
+    pub oracle_calls: u64,
+}
+
+/// The reference evaluator over one structure and predicate collection.
+pub struct NaiveEvaluator<'a> {
+    structure: &'a Structure,
+    preds: &'a Predicates,
+    scratch: BfsScratch,
+    /// Values of *closed* counting terms (no free variables): they do not
+    /// depend on the assignment, so they are computed once per structure.
+    ground_cache: FxHashMap<Term, i64>,
+    /// Work counters (reset with [`NaiveEvaluator::reset_stats`]).
+    pub stats: EvalStats,
+}
+
+impl<'a> NaiveEvaluator<'a> {
+    /// Creates an evaluator for `structure` with the predicate oracle
+    /// `preds`.
+    pub fn new(structure: &'a Structure, preds: &'a Predicates) -> NaiveEvaluator<'a> {
+        NaiveEvaluator {
+            structure,
+            preds,
+            scratch: BfsScratch::new(),
+            ground_cache: FxHashMap::default(),
+            stats: EvalStats::default(),
+        }
+    }
+
+    /// The structure being evaluated against.
+    pub fn structure(&self) -> &'a Structure {
+        self.structure
+    }
+
+    /// Clears the work counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = EvalStats::default();
+    }
+
+    /// Checks a sentence: `A ⊨ φ`.
+    pub fn check_sentence(&mut self, f: &Formula) -> Result<bool> {
+        validate_formula(f, self.structure.signature(), self.preds)?;
+        let mut env = Assignment::new();
+        self.formula(f, &mut env)
+    }
+
+    /// Model checking with parameters: `A ⊨ φ[ā]`.
+    pub fn check(&mut self, f: &Formula, env: &mut Assignment) -> Result<bool> {
+        validate_formula(f, self.structure.signature(), self.preds)?;
+        self.formula(f, env)
+    }
+
+    /// Evaluates a ground term: `t^A`.
+    pub fn eval_ground(&mut self, t: &Term) -> Result<i64> {
+        validate_term(t, self.structure.signature(), self.preds)?;
+        let mut env = Assignment::new();
+        self.term(t, &mut env)
+    }
+
+    /// Evaluates a term under an assignment: `t^A[ā]`.
+    pub fn eval_term(&mut self, t: &Term, env: &mut Assignment) -> Result<i64> {
+        validate_term(t, self.structure.signature(), self.preds)?;
+        self.term(t, env)
+    }
+
+    /// The counting problem of Corollary 5.6: `|φ(A)|` over the given
+    /// tuple of free variables.
+    pub fn count_satisfying(&mut self, f: &Formula, vars: &[Var]) -> Result<i64> {
+        validate_formula(f, self.structure.signature(), self.preds)?;
+        let mut env = Assignment::new();
+        self.count_rec(vars, f, &mut env)
+    }
+
+    /// Enumerates `φ(A)` over the given tuple of free variables.
+    pub fn satisfying_tuples(&mut self, f: &Formula, vars: &[Var]) -> Result<Vec<Vec<u32>>> {
+        validate_formula(f, self.structure.signature(), self.preds)?;
+        let mut env = Assignment::new();
+        let mut out = Vec::new();
+        let mut cur = Vec::with_capacity(vars.len());
+        self.enumerate_rec(vars, f, &mut env, &mut cur, &mut out)?;
+        Ok(out)
+    }
+
+    fn formula(&mut self, f: &Formula, env: &mut Assignment) -> Result<bool> {
+        match f {
+            Formula::Bool(b) => Ok(*b),
+            Formula::Eq(x, y) => {
+                let a = env.get(*x).ok_or(EvalError::UnboundVariable(*x))?;
+                let b = env.get(*y).ok_or(EvalError::UnboundVariable(*y))?;
+                Ok(a == b)
+            }
+            Formula::Atom(at) => {
+                self.stats.atom_tests += 1;
+                let mut tuple = Vec::with_capacity(at.args.len());
+                for v in at.args.iter() {
+                    tuple.push(env.get(*v).ok_or(EvalError::UnboundVariable(*v))?);
+                }
+                Ok(self.structure.holds(at.rel, &tuple))
+            }
+            Formula::DistLe { x, y, d } => {
+                let a = env.get(*x).ok_or(EvalError::UnboundVariable(*x))?;
+                let b = env.get(*y).ok_or(EvalError::UnboundVariable(*y))?;
+                self.stats.dist_queries += 1;
+                Ok(self.structure.gaifman().dist_le(a, b, *d, &mut self.scratch))
+            }
+            Formula::Not(g) => Ok(!self.formula(g, env)?),
+            Formula::And(gs) => {
+                for g in gs {
+                    if !self.formula(g, env)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Formula::Or(gs) => {
+                for g in gs {
+                    if self.formula(g, env)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Formula::Exists(y, g) => {
+                let cands = self.candidates(*y, g, env, &[]);
+                let prev = env.get(*y);
+                let result = (|| {
+                    match cands {
+                        Candidates::List(vals) => {
+                            for a in vals {
+                                self.stats.assignments_tried += 1;
+                                env.bind(*y, a);
+                                if self.formula(g, env)? {
+                                    return Ok(true);
+                                }
+                            }
+                        }
+                        Candidates::Universe => {
+                            for a in self.structure.universe() {
+                                self.stats.assignments_tried += 1;
+                                env.bind(*y, a);
+                                if self.formula(g, env)? {
+                                    return Ok(true);
+                                }
+                            }
+                        }
+                    }
+                    Ok(false)
+                })();
+                env.restore(*y, prev);
+                result
+            }
+            Formula::Forall(y, g) => {
+                let prev = env.get(*y);
+                let result = (|| {
+                    for a in self.structure.universe() {
+                        self.stats.assignments_tried += 1;
+                        env.bind(*y, a);
+                        if !self.formula(g, env)? {
+                            return Ok(false);
+                        }
+                    }
+                    Ok(true)
+                })();
+                env.restore(*y, prev);
+                result
+            }
+            Formula::Pred { name, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for t in args {
+                    vals.push(self.term(t, env)?);
+                }
+                self.stats.oracle_calls += 1;
+                self.preds
+                    .holds(*name, &vals)
+                    .ok_or(EvalError::UnknownPredicate(*name))
+            }
+        }
+    }
+
+    fn term(&mut self, t: &Term, env: &mut Assignment) -> Result<i64> {
+        match t {
+            Term::Int(i) => Ok(*i),
+            Term::Count(vars, body) => {
+                // Closed counting terms are assignment-independent; cache
+                // them so repeated evaluation (e.g. per result tuple of a
+                // query) pays once.
+                let closed = t.free_vars().is_empty();
+                if closed {
+                    if let Some(&v) = self.ground_cache.get(t) {
+                        return Ok(v);
+                    }
+                }
+                let v = self.count_rec(vars, body, env)?;
+                if closed {
+                    self.ground_cache.insert(t.clone(), v);
+                }
+                Ok(v)
+            }
+            Term::Add(ts) => {
+                let mut acc: i64 = 0;
+                for s in ts {
+                    acc = acc.checked_add(self.term(s, env)?).ok_or(EvalError::Overflow)?;
+                }
+                Ok(acc)
+            }
+            Term::Mul(ts) => {
+                let mut acc: i64 = 1;
+                for s in ts {
+                    acc = acc.checked_mul(self.term(s, env)?).ok_or(EvalError::Overflow)?;
+                }
+                Ok(acc)
+            }
+        }
+    }
+
+    /// Counts assignments of `vars` satisfying `body` under `env`
+    /// (rule (5) of Definition 3.1).
+    fn count_rec(&mut self, vars: &[Var], body: &Formula, env: &mut Assignment) -> Result<i64> {
+        let Some((&y, rest)) = vars.split_first() else {
+            return Ok(if self.formula(body, env)? { 1 } else { 0 });
+        };
+        let cands = self.candidates(y, body, env, rest);
+        let prev = env.get(y);
+        let result = (|| {
+            let mut acc: i64 = 0;
+            match cands {
+                Candidates::List(vals) => {
+                    for a in vals {
+                        self.stats.assignments_tried += 1;
+                        env.bind(y, a);
+                        acc = acc
+                            .checked_add(self.count_rec(rest, body, env)?)
+                            .ok_or(EvalError::Overflow)?;
+                    }
+                }
+                Candidates::Universe => {
+                    for a in self.structure.universe() {
+                        self.stats.assignments_tried += 1;
+                        env.bind(y, a);
+                        acc = acc
+                            .checked_add(self.count_rec(rest, body, env)?)
+                            .ok_or(EvalError::Overflow)?;
+                    }
+                }
+            }
+            Ok(acc)
+        })();
+        env.restore(y, prev);
+        result
+    }
+
+    fn enumerate_rec(
+        &mut self,
+        vars: &[Var],
+        body: &Formula,
+        env: &mut Assignment,
+        cur: &mut Vec<u32>,
+        out: &mut Vec<Vec<u32>>,
+    ) -> Result<()> {
+        let Some((&y, rest)) = vars.split_first() else {
+            if self.formula(body, env)? {
+                out.push(cur.clone());
+            }
+            return Ok(());
+        };
+        let cands = self.candidates(y, body, env, rest);
+        let prev = env.get(y);
+        let result = (|| {
+            let vals: Vec<u32> = match cands {
+                Candidates::List(vals) => vals,
+                Candidates::Universe => self.structure.universe().collect(),
+            };
+            for a in vals {
+                self.stats.assignments_tried += 1;
+                env.bind(y, a);
+                cur.push(a);
+                self.enumerate_rec(rest, body, env, cur, out)?;
+                cur.pop();
+            }
+            Ok(())
+        })();
+        env.restore(y, prev);
+        result
+    }
+
+    /// Candidate values for `var` implied by a positive guard conjunct of
+    /// `body`. Looks through nested existential quantifiers and top-level
+    /// conjunctions; returns [`Candidates::Universe`] when no guard is
+    /// found.
+    fn candidates(
+        &mut self,
+        var: Var,
+        body: &Formula,
+        env: &Assignment,
+        pre_shadowed: &[Var],
+    ) -> Candidates {
+        let mut best: Option<Vec<u32>> = None;
+        // Variables that are *about to be rebound* (the remaining counted
+        // variables of an enclosing # construct) must not contribute their
+        // stale outer-scope bindings to the guard scan.
+        let mut shadowed: Vec<Var> = pre_shadowed.to_vec();
+        self.collect_guard_candidates(var, body, env, &mut shadowed, &mut best);
+        match best {
+            Some(mut vals) => {
+                vals.sort_unstable();
+                vals.dedup();
+                Candidates::List(vals)
+            }
+            None => Candidates::Universe,
+        }
+    }
+
+    fn collect_guard_candidates(
+        &mut self,
+        var: Var,
+        f: &Formula,
+        env: &Assignment,
+        shadowed: &mut Vec<Var>,
+        best: &mut Option<Vec<u32>>,
+    ) {
+        // A binding is usable only if the variable is not shadowed by an
+        // inner quantifier between here and the guard.
+        let lookup = |v: Var, shadowed: &[Var]| -> Option<u32> {
+            if shadowed.contains(&v) {
+                None
+            } else {
+                env.get(v)
+            }
+        };
+        match f {
+            Formula::And(parts) => {
+                for p in parts {
+                    self.collect_guard_candidates(var, p, env, shadowed, best);
+                }
+            }
+            Formula::Exists(y, g) if *y != var => {
+                // Inner quantifiers only hide the guard; their bound
+                // variables become wildcards in the candidate match below.
+                shadowed.push(*y);
+                self.collect_guard_candidates(var, g, env, shadowed, best);
+                shadowed.pop();
+            }
+            Formula::Eq(a, b) => {
+                let other = if *a == var && *b != var {
+                    Some(*b)
+                } else if *b == var && *a != var {
+                    Some(*a)
+                } else {
+                    None
+                };
+                if let Some(o) = other {
+                    if let Some(val) = lookup(o, shadowed) {
+                        keep_smaller(best, vec![val]);
+                    }
+                }
+            }
+            Formula::DistLe { x, y, d } => {
+                let anchor = if *x == var && *y != var {
+                    lookup(*y, shadowed)
+                } else if *y == var && *x != var {
+                    lookup(*x, shadowed)
+                } else {
+                    None
+                };
+                if let Some(a) = anchor {
+                    let ball = self.structure.gaifman().ball(&[a], *d, &mut self.scratch);
+                    keep_smaller(best, ball);
+                }
+            }
+            Formula::Atom(at) if at.args.contains(&var) => {
+                let Some(rel) = self.structure.relation(at.rel) else { return };
+                let mut vals = Vec::new();
+                // Restrict the scan through an index on any bound,
+                // unshadowed companion position.
+                let bound_pos = at.args.iter().enumerate().find_map(|(pos, v)| {
+                    if *v != var { lookup(*v, shadowed).map(|val| (pos, val)) } else { None }
+                });
+                let mut scan = |row: &[u32]| {
+                    let mut candidate: Option<u32> = None;
+                    for (pos, v) in at.args.iter().enumerate() {
+                        if *v == var {
+                            match candidate {
+                                None => candidate = Some(row[pos]),
+                                Some(c) if c == row[pos] => {}
+                                Some(_) => return,
+                            }
+                        } else if let Some(bound) = lookup(*v, shadowed) {
+                            if bound != row[pos] {
+                                return;
+                            }
+                        }
+                    }
+                    if let Some(c) = candidate {
+                        vals.push(c);
+                    }
+                };
+                match bound_pos {
+                    Some((0, val)) => rel.rows_with_first(val).for_each(&mut scan),
+                    Some((pos, val)) => {
+                        rel.rows_with_value_at(pos, val).for_each(&mut scan)
+                    }
+                    None => rel.rows().for_each(scan),
+                }
+                keep_smaller(best, vals);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn keep_smaller(best: &mut Option<Vec<u32>>, vals: Vec<u32>) {
+    match best {
+        Some(b) if b.len() <= vals.len() => {}
+        _ => *best = Some(vals),
+    }
+}
+
+enum Candidates {
+    Universe,
+    List(Vec<u32>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foc_logic::build::*;
+    use foc_logic::parse::parse_formula;
+    use foc_structures::gen::{clique, cycle, example_colored, path, star};
+
+    fn preds() -> Predicates {
+        Predicates::standard()
+    }
+
+    #[test]
+    fn atoms_and_equality() {
+        let s = path(4);
+        let p = preds();
+        let mut ev = NaiveEvaluator::new(&s, &p);
+        let mut env = Assignment::from_pairs([(v("x"), 0), (v("y"), 1)]);
+        assert!(ev.check(&atom("E", [v("x"), v("y")]), &mut env).unwrap());
+        assert!(!ev.check(&eq(v("x"), v("y")), &mut env).unwrap());
+        let mut env2 = Assignment::from_pairs([(v("x"), 0), (v("y"), 2)]);
+        assert!(!ev.check(&atom("E", [v("x"), v("y")]), &mut env2).unwrap());
+    }
+
+    #[test]
+    fn quantifiers_on_path() {
+        let s = path(4);
+        let p = preds();
+        let mut ev = NaiveEvaluator::new(&s, &p);
+        // Every vertex has a neighbour.
+        let f = parse_formula("forall x. exists y. E(x,y)").unwrap();
+        assert!(ev.check_sentence(&f).unwrap());
+        // Some vertex has two distinct neighbours.
+        let g = parse_formula("exists x y z. (E(x,y) & E(x,z) & !(y=z))").unwrap();
+        assert!(ev.check_sentence(&g).unwrap());
+        // On a 2-path no vertex has 3 neighbours.
+        let h = parse_formula(
+            "exists x a b c. (E(x,a) & E(x,b) & E(x,c) & !(a=b) & !(a=c) & !(b=c))",
+        )
+        .unwrap();
+        assert!(!ev.check_sentence(&h).unwrap());
+    }
+
+    #[test]
+    fn counting_degrees() {
+        let s = star(6); // hub 0 with 5 leaves
+        let p = preds();
+        let mut ev = NaiveEvaluator::new(&s, &p);
+        let deg = cnt([v("y")], atom("E", [v("x"), v("y")]));
+        let mut hub = Assignment::from_pairs([(v("x"), 0)]);
+        assert_eq!(ev.eval_term(&deg, &mut hub).unwrap(), 5);
+        let mut leaf = Assignment::from_pairs([(v("x"), 3)]);
+        assert_eq!(ev.eval_term(&deg, &mut leaf).unwrap(), 1);
+    }
+
+    #[test]
+    fn ground_terms_and_arithmetic() {
+        let s = cycle(5);
+        let p = preds();
+        let mut ev = NaiveEvaluator::new(&s, &p);
+        // #(x). x=x = 5 vertices; #(x,y). E(x,y) = 10 directed edges.
+        let t = parse_formula("@prime(#(x). (x = x) + #(x,y). E(x,y))").unwrap();
+        // 5 + 10 = 15, not prime.
+        assert!(!ev.check_sentence(&t).unwrap());
+        let verts = ev.eval_ground(&cnt([v("x")], eq(v("x"), v("x")))).unwrap();
+        assert_eq!(verts, 5);
+    }
+
+    #[test]
+    fn example_3_2_out_degree() {
+        // On the colored example digraph, out-degree of node 0 is 1.
+        let s = example_colored();
+        let p = preds();
+        let mut ev = NaiveEvaluator::new(&s, &p);
+        let t = cnt([v("z")], atom("E", [v("y"), v("z")]));
+        let mut env = Assignment::from_pairs([(v("y"), 0)]);
+        assert_eq!(ev.eval_term(&t, &mut env).unwrap(), 1);
+        let f = ge1(t);
+        assert!(ev.check(&f, &mut env).unwrap());
+        // Node 3 has out-degree 1 (3→0); node 2 has out-degree 1 (2→0).
+        let mut env3 = Assignment::from_pairs([(v("y"), 3)]);
+        assert!(ev.check(&f, &mut env3).unwrap());
+    }
+
+    #[test]
+    fn count_zero_vars() {
+        // #().φ is 1 or 0 depending on φ.
+        let s = path(3);
+        let p = preds();
+        let mut ev = NaiveEvaluator::new(&s, &p);
+        let t = cnt_vec(vec![], parse_formula("exists x y. E(x,y)").unwrap());
+        assert_eq!(ev.eval_ground(&t).unwrap(), 1);
+        let t0 = cnt_vec(vec![], ff());
+        assert_eq!(ev.eval_ground(&t0).unwrap(), 0);
+    }
+
+    #[test]
+    fn count_satisfying_and_enumerate() {
+        let s = path(4);
+        let p = preds();
+        let mut ev = NaiveEvaluator::new(&s, &p);
+        let f = atom("E", [v("x"), v("y")]);
+        assert_eq!(ev.count_satisfying(&f, &[v("x"), v("y")]).unwrap(), 6);
+        let tuples = ev.satisfying_tuples(&f, &[v("x"), v("y")]).unwrap();
+        assert_eq!(tuples.len(), 6);
+        assert!(tuples.contains(&vec![0, 1]));
+        assert!(tuples.contains(&vec![1, 0]));
+        assert!(!tuples.contains(&vec![0, 2]));
+    }
+
+    #[test]
+    fn dist_atoms() {
+        let s = path(6);
+        let p = preds();
+        let mut ev = NaiveEvaluator::new(&s, &p);
+        let mut env = Assignment::from_pairs([(v("x"), 0), (v("y"), 3)]);
+        assert!(ev.check(&dist_le(v("x"), v("y"), 3), &mut env).unwrap());
+        assert!(!ev.check(&dist_le(v("x"), v("y"), 2), &mut env).unwrap());
+        assert!(ev.check(&dist_gt(v("x"), v("y"), 2), &mut env).unwrap());
+    }
+
+    #[test]
+    fn nested_counting_example_3_2() {
+        // ∃x Prime(#(y). P=(#(z).E(x,z), #(z).E(y,z))): there is an
+        // out-degree d (witnessed by x) with a prime number of nodes of
+        // out-degree d. On K4 (symmetrised), every node has out-degree 3,
+        // so the count is 4 — not prime. On a 5-cycle every node has
+        // out-degree 2, count 5 — prime.
+        let f = parse_formula(
+            "exists x. @prime(#(y). #(z). E(x,z) = #(z). E(y,z))",
+        )
+        .unwrap();
+        let p = preds();
+        let k4 = clique(4);
+        assert!(!NaiveEvaluator::new(&k4, &p).check_sentence(&f).unwrap());
+        let c5 = cycle(5);
+        assert!(NaiveEvaluator::new(&c5, &p).check_sentence(&f).unwrap());
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let s = path(3);
+        let p = preds();
+        let mut ev = NaiveEvaluator::new(&s, &p);
+        let mut env = Assignment::new();
+        assert!(matches!(
+            ev.check(&atom("E", [v("x"), v("y")]), &mut env),
+            Err(EvalError::UnboundVariable(_))
+        ));
+    }
+
+    #[test]
+    fn candidate_guard_agrees_with_universe_scan() {
+        // The candidate-driven path must agree with brute force on a
+        // formula where guards exist: count pairs at distance ≤ 2.
+        let s = cycle(8);
+        let p = preds();
+        let mut ev = NaiveEvaluator::new(&s, &p);
+        let f = and(dist_le(v("x"), v("y"), 2), not(eq(v("x"), v("y"))));
+        // Each vertex has 4 vertices within distance 1..2 on an 8-cycle.
+        assert_eq!(ev.count_satisfying(&f, &[v("x"), v("y")]).unwrap(), 32);
+    }
+
+    #[test]
+    fn stats_are_recorded() {
+        let s = path(5);
+        let p = preds();
+        let mut ev = NaiveEvaluator::new(&s, &p);
+        let f = parse_formula("exists x y. E(x,y)").unwrap();
+        ev.check_sentence(&f).unwrap();
+        assert!(ev.stats.assignments_tried > 0);
+        assert!(ev.stats.atom_tests > 0);
+        ev.reset_stats();
+        assert_eq!(ev.stats, EvalStats::default());
+    }
+}

@@ -1,0 +1,187 @@
+//! Free-variable elimination (Section 5): given a formula φ(x̄) and a
+//! tuple ā, extend the signature with fresh unary singleton relations
+//! `X₁, …, X_k` with `Xᵢ^Ã = {aᵢ}` and rewrite φ into a sentence φ̃ (and
+//! terms t(x̄) into ground terms t̃) such that `Ã ⊨ φ̃ ⟺ A ⊨ φ[ā]` and
+//! `t̃^Ã = t^A[ā]`.
+
+use std::sync::Arc;
+
+use foc_logic::build::atom_sym;
+use foc_logic::{Formula, Symbol, Term, Var};
+use foc_structures::{RelDecl, Structure};
+
+/// A free-variable elimination context for a fixed tuple of variables:
+/// carries the fresh relation symbols `X₁, …, X_k`.
+#[derive(Debug, Clone)]
+pub struct FreeVarElim {
+    vars: Vec<Var>,
+    syms: Vec<Symbol>,
+}
+
+impl FreeVarElim {
+    /// Creates a context for the given head variables, with globally
+    /// fresh relation symbols.
+    pub fn new(vars: &[Var]) -> FreeVarElim {
+        let syms = vars
+            .iter()
+            .map(|v| {
+                // Reuse the variable freshness counter so symbols never
+                // collide with user relations.
+                Var::fresh(&format!("X_{}", v.name())).symbol()
+            })
+            .collect();
+        FreeVarElim { vars: vars.to_vec(), syms }
+    }
+
+    /// The head variables x̄.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// The fresh relation symbols X̄.
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.syms
+    }
+
+    /// The declarations for the fresh unary relations.
+    pub fn decls(&self) -> Vec<RelDecl> {
+        self.syms.iter().map(|&s| RelDecl { name: s, arity: 1 }).collect()
+    }
+
+    /// `φ̃ := ∃x₁…∃x_k (⋀ Xᵢ(xᵢ) ∧ φ)`.
+    pub fn sentence(&self, phi: &Arc<Formula>) -> Arc<Formula> {
+        let mut parts: Vec<Arc<Formula>> = self
+            .vars
+            .iter()
+            .zip(&self.syms)
+            .map(|(&x, &s)| atom_sym(s, vec![x]))
+            .collect();
+        parts.push(phi.clone());
+        let mut f = Formula::and(parts);
+        for &x in self.vars.iter().rev() {
+            f = Arc::new(Formula::Exists(x, f));
+        }
+        f
+    }
+
+    /// `t̃`: replaces each top-level counting component `#ȳ.θ(x̄,ȳ)` of a
+    /// term by `#ȳ.∃x̄(⋀ Xᵢ(xᵢ) ∧ θ)` (the construction below
+    /// Theorem 5.5).
+    pub fn ground_term(&self, t: &Arc<Term>) -> Arc<Term> {
+        match &**t {
+            Term::Int(_) => t.clone(),
+            Term::Count(ys, body) => {
+                // Only wrap the x̄ that are not among the counted ȳ (the
+                // paper assumes w.l.o.g. that all occurrences of x̄ are
+                // free, which our queries guarantee).
+                let wrapped = self.sentence_over(body, |x| !ys.contains(&x));
+                Arc::new(Term::Count(ys.clone(), wrapped))
+            }
+            Term::Add(ts) => Term::add(ts.iter().map(|s| self.ground_term(s)).collect()),
+            Term::Mul(ts) => Term::mul(ts.iter().map(|s| self.ground_term(s)).collect()),
+        }
+    }
+
+    fn sentence_over(
+        &self,
+        phi: &Arc<Formula>,
+        include: impl Fn(Var) -> bool,
+    ) -> Arc<Formula> {
+        let mut parts: Vec<Arc<Formula>> = Vec::new();
+        let mut quant: Vec<Var> = Vec::new();
+        for (&x, &s) in self.vars.iter().zip(&self.syms) {
+            if include(x) {
+                parts.push(atom_sym(s, vec![x]));
+                quant.push(x);
+            }
+        }
+        parts.push(phi.clone());
+        let mut f = Formula::and(parts);
+        for &x in quant.iter().rev() {
+            f = Arc::new(Formula::Exists(x, f));
+        }
+        f
+    }
+
+    /// The σ̃-expansion `Ã` of `A` with `Xᵢ^Ã = {aᵢ}`.
+    pub fn expand(&self, a: &Structure, tuple: &[u32]) -> Structure {
+        assert_eq!(tuple.len(), self.vars.len(), "tuple length must match head variables");
+        let extra = self
+            .syms
+            .iter()
+            .zip(tuple)
+            .map(|(&s, &e)| (RelDecl { name: s, arity: 1 }, vec![vec![e]]))
+            .collect();
+        a.expand(extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{Assignment, NaiveEvaluator};
+    use foc_logic::build::*;
+    use foc_logic::Predicates;
+    use foc_structures::gen::{path, star};
+
+    #[test]
+    fn sentence_elimination_round_trip() {
+        let s = path(5);
+        let p = Predicates::standard();
+        let x = v("x");
+        let y = v("y");
+        // φ(x) = ∃y E(x,y) ∧ x has degree ≥ 2 … keep it simple: E(x,y) with
+        // both free.
+        let phi = atom("E", [x, y]);
+        let elim = FreeVarElim::new(&[x, y]);
+        let sent = elim.sentence(&phi);
+        assert!(sent.is_sentence());
+        for a in 0..5u32 {
+            for b in 0..5u32 {
+                let expanded = elim.expand(&s, &[a, b]);
+                let mut ev = NaiveEvaluator::new(&expanded, &p);
+                let got = ev.check_sentence(&sent).unwrap();
+                let mut ev2 = NaiveEvaluator::new(&s, &p);
+                let mut env = Assignment::from_pairs([(x, a), (y, b)]);
+                let want = ev2.check(&phi, &mut env).unwrap();
+                assert_eq!(got, want, "mismatch at ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn term_elimination_round_trip() {
+        let s = star(7);
+        let p = Predicates::standard();
+        let x = v("x");
+        let y = v("y");
+        // t(x) = #(y).E(x,y) (degree of x).
+        let t = cnt([y], atom("E", [x, y]));
+        let elim = FreeVarElim::new(&[x]);
+        let gt = elim.ground_term(&t);
+        assert!(gt.is_ground());
+        for a in 0..7u32 {
+            let expanded = elim.expand(&s, &[a]);
+            let mut ev = NaiveEvaluator::new(&expanded, &p);
+            let got = ev.eval_ground(&gt).unwrap();
+            let mut ev2 = NaiveEvaluator::new(&s, &p);
+            let mut env = Assignment::from_pairs([(x, a)]);
+            let want = ev2.eval_term(&t, &mut env).unwrap();
+            assert_eq!(got, want, "mismatch at {a}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_terms_pass_through() {
+        let s = star(4);
+        let p = Predicates::standard();
+        let x = v("x");
+        let y = v("y");
+        let t = add(mul(int(3), cnt([y], atom("E", [x, y]))), int(-1));
+        let elim = FreeVarElim::new(&[x]);
+        let gt = elim.ground_term(&t);
+        let expanded = elim.expand(&s, &[0]);
+        let mut ev = NaiveEvaluator::new(&expanded, &p);
+        assert_eq!(ev.eval_ground(&gt).unwrap(), 3 * 3 - 1);
+    }
+}

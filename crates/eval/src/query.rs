@@ -1,0 +1,122 @@
+//! Evaluation of FOC1(P)-queries (Definition 5.2): a query
+//! `{(x̄, t̄) : φ}` returns all tuples `(ā, n̄)` with `A ⊨ φ[ā]` and
+//! `nⱼ = tⱼ^A[ā]`.
+
+use foc_logic::{Predicates, Query};
+use foc_structures::Structure;
+
+use crate::error::Result;
+use crate::eval::{Assignment, NaiveEvaluator};
+use crate::validate::validate_query;
+
+/// One row of a query result: the element tuple and the counting-term
+/// values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryRow {
+    /// Values of the head variables `x₁, …, x_k`.
+    pub elems: Vec<u32>,
+    /// Values of the head terms `t₁, …, t_ℓ`.
+    pub counts: Vec<i64>,
+}
+
+/// A materialised query result `q(A)`, sorted by element tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QueryResult {
+    /// The rows, sorted by `elems`.
+    pub rows: Vec<QueryRow>,
+}
+
+impl QueryResult {
+    /// Number of result rows `|q(A)|`.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Evaluates a query with the reference evaluator.
+pub fn eval_query(a: &Structure, preds: &Predicates, q: &Query) -> Result<QueryResult> {
+    validate_query(q, a.signature(), preds)?;
+    let mut ev = NaiveEvaluator::new(a, preds);
+    let tuples = ev.satisfying_tuples(&q.body, &q.head_vars)?;
+    let mut rows = Vec::with_capacity(tuples.len());
+    for tuple in tuples {
+        let mut env = Assignment::from_pairs(
+            q.head_vars.iter().copied().zip(tuple.iter().copied()),
+        );
+        let mut counts = Vec::with_capacity(q.head_terms.len());
+        for t in &q.head_terms {
+            counts.push(ev.eval_term(t, &mut env)?);
+        }
+        rows.push(QueryRow { elems: tuple, counts });
+    }
+    rows.sort_by(|a, b| a.elems.cmp(&b.elems));
+    Ok(QueryResult { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foc_logic::build::*;
+    use foc_logic::Query;
+    use foc_structures::gen::{star, string_structure};
+
+    #[test]
+    fn degree_query_on_star() {
+        // { (x, #(y).E(x,y)) : x = x } lists every vertex with its degree.
+        let x = v("x");
+        let y = v("y");
+        let q = Query::new(
+            vec![x],
+            vec![cnt([y], atom("E", [x, y]))],
+            eq(x, x),
+        )
+        .unwrap();
+        let s = star(5);
+        let p = foc_logic::Predicates::standard();
+        let res = eval_query(&s, &p, &q).unwrap();
+        assert_eq!(res.len(), 5);
+        assert_eq!(res.rows[0], QueryRow { elems: vec![0], counts: vec![4] });
+        for leaf in 1..5 {
+            assert_eq!(res.rows[leaf].counts, vec![1]);
+        }
+    }
+
+    #[test]
+    fn boolean_query_yields_zero_or_one_row() {
+        // { (t_c) : true } with ground t_c (paper's "total number" query).
+        let xx = v("xx");
+        let q = Query::new(
+            vec![],
+            vec![cnt([xx], atom_vec("P_a", vec![xx]))],
+            tt(),
+        )
+        .unwrap();
+        let s = string_structure("aba", &['a', 'b']);
+        let p = foc_logic::Predicates::standard();
+        let res = eval_query(&s, &p, &q).unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res.rows[0].counts, vec![2]);
+        // With a false body the result is empty.
+        let q2 = Query::new(vec![], vec![], ff()).unwrap();
+        assert!(eval_query(&s, &p, &q2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn selective_body_filters_rows() {
+        // { (x) : P_a(x) } on "abca".
+        let x = v("x");
+        let q = Query::new(vec![x], vec![], atom_vec("P_a", vec![x])).unwrap();
+        let s = string_structure("abca", &['a', 'b', 'c']);
+        let p = foc_logic::Predicates::standard();
+        let res = eval_query(&s, &p, &q).unwrap();
+        assert_eq!(
+            res.rows.iter().map(|r| r.elems[0]).collect::<Vec<_>>(),
+            vec![0, 3]
+        );
+    }
+}

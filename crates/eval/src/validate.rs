@@ -1,0 +1,132 @@
+//! Static validation of expressions against a signature and a predicate
+//! collection, so evaluation proper can assume well-formed input.
+
+use foc_logic::{Formula, Predicates, Query, Term};
+use foc_structures::Signature;
+
+use crate::error::{EvalError, Result};
+
+/// Checks that every relational atom matches the signature and every
+/// predicate application matches the collection, recursively through
+/// counting terms.
+pub fn validate_formula(f: &Formula, sig: &Signature, preds: &Predicates) -> Result<()> {
+    match f {
+        Formula::Bool(_) | Formula::Eq(..) | Formula::DistLe { .. } => Ok(()),
+        Formula::Atom(a) => match sig.arity_of(a.rel) {
+            None => Err(EvalError::UnknownRelation(a.rel)),
+            Some(ar) if ar != a.args.len() => Err(EvalError::RelationArity {
+                rel: a.rel,
+                declared: ar,
+                used: a.args.len(),
+            }),
+            Some(_) => Ok(()),
+        },
+        Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => {
+            validate_formula(g, sig, preds)
+        }
+        Formula::And(gs) | Formula::Or(gs) => {
+            gs.iter().try_for_each(|g| validate_formula(g, sig, preds))
+        }
+        Formula::Pred { name, args } => {
+            let def = preds.get(*name).ok_or(EvalError::UnknownPredicate(*name))?;
+            if def.arity() != args.len() {
+                return Err(EvalError::PredicateArity {
+                    pred: *name,
+                    declared: def.arity(),
+                    used: args.len(),
+                });
+            }
+            args.iter().try_for_each(|t| validate_term(t, sig, preds))
+        }
+    }
+}
+
+/// Term counterpart of [`validate_formula`]; also rejects duplicate
+/// counting variables.
+pub fn validate_term(t: &Term, sig: &Signature, preds: &Predicates) -> Result<()> {
+    match t {
+        Term::Int(_) => Ok(()),
+        Term::Count(vars, body) => {
+            for (i, v) in vars.iter().enumerate() {
+                if vars[..i].contains(v) {
+                    return Err(EvalError::DuplicateCountVariable(*v));
+                }
+            }
+            validate_formula(body, sig, preds)
+        }
+        Term::Add(ts) | Term::Mul(ts) => {
+            ts.iter().try_for_each(|s| validate_term(s, sig, preds))
+        }
+    }
+}
+
+/// Validates a query's body and head terms.
+pub fn validate_query(q: &Query, sig: &Signature, preds: &Predicates) -> Result<()> {
+    validate_formula(&q.body, sig, preds)?;
+    q.head_terms.iter().try_for_each(|t| validate_term(t, sig, preds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foc_logic::build::*;
+    use foc_structures::gen::path;
+
+    #[test]
+    fn catches_unknown_relation() {
+        let s = path(3);
+        let p = Predicates::standard();
+        let f = atom("F", [v("x"), v("y")]);
+        assert!(matches!(
+            validate_formula(&f, s.signature(), &p),
+            Err(EvalError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn catches_arity_mismatch() {
+        let s = path(3);
+        let p = Predicates::standard();
+        let f = atom("E", [v("x")]);
+        assert!(matches!(
+            validate_formula(&f, s.signature(), &p),
+            Err(EvalError::RelationArity { .. })
+        ));
+    }
+
+    #[test]
+    fn catches_bad_predicates() {
+        let s = path(3);
+        let p = Predicates::standard();
+        let f = pred("nosuch", vec![int(1)]);
+        assert!(matches!(
+            validate_formula(&f, s.signature(), &p),
+            Err(EvalError::UnknownPredicate(_))
+        ));
+        let g = pred("eq", vec![int(1)]);
+        assert!(matches!(
+            validate_formula(&g, s.signature(), &p),
+            Err(EvalError::PredicateArity { .. })
+        ));
+    }
+
+    #[test]
+    fn catches_duplicate_count_vars() {
+        let s = path(3);
+        let p = Predicates::standard();
+        let x = v("x");
+        let t = cnt_vec(vec![x, x], eq(x, x));
+        assert!(matches!(
+            validate_term(&t, s.signature(), &p),
+            Err(EvalError::DuplicateCountVariable(_))
+        ));
+    }
+
+    #[test]
+    fn accepts_well_formed() {
+        let s = path(3);
+        let p = Predicates::standard();
+        let f = ge1(cnt([v("y")], atom("E", [v("x"), v("y")])));
+        assert!(validate_formula(&f, s.signature(), &p).is_ok());
+    }
+}

@@ -1,0 +1,252 @@
+//! Additional coverage for the reference evaluator: semantics of every
+//! connective against brute force, candidate soundness under shadowing,
+//! overflow behaviour, and query evaluation details.
+
+use std::sync::Arc;
+
+use foc_eval::{eval_query, Assignment, EvalError, NaiveEvaluator};
+use foc_logic::build::*;
+use foc_logic::parse::parse_formula;
+use foc_logic::{Formula, Predicates, Query, Term};
+use foc_structures::gen::{cycle, graph_structure, grid, path, star};
+use foc_structures::Structure;
+
+fn preds() -> Predicates {
+    Predicates::standard()
+}
+
+/// Brute-force evaluation with *no* candidate machinery: every
+/// quantifier scans the full universe. The oracle for candidate
+/// soundness.
+fn brute(f: &Arc<Formula>, s: &Structure, env: &mut Vec<(foc_logic::Var, u32)>) -> bool {
+    match &**f {
+        Formula::Bool(b) => *b,
+        Formula::Eq(x, y) => {
+            let a = env.iter().rev().find(|(v, _)| v == x).unwrap().1;
+            let b = env.iter().rev().find(|(v, _)| v == y).unwrap().1;
+            a == b
+        }
+        Formula::Atom(at) => {
+            let tuple: Vec<u32> = at
+                .args
+                .iter()
+                .map(|v| env.iter().rev().find(|(w, _)| w == v).unwrap().1)
+                .collect();
+            s.holds(at.rel, &tuple)
+        }
+        Formula::DistLe { x, y, d } => {
+            let a = env.iter().rev().find(|(v, _)| v == x).unwrap().1;
+            let b = env.iter().rev().find(|(v, _)| v == y).unwrap().1;
+            let mut scratch = foc_structures::BfsScratch::new();
+            s.gaifman().dist_le(a, b, *d, &mut scratch)
+        }
+        Formula::Not(g) => !brute(g, s, env),
+        Formula::And(gs) => gs.iter().all(|g| brute(g, s, env)),
+        Formula::Or(gs) => gs.iter().any(|g| brute(g, s, env)),
+        Formula::Exists(y, g) => (0..s.order()).any(|a| {
+            env.push((*y, a));
+            let r = brute(g, s, env);
+            env.pop();
+            r
+        }),
+        Formula::Forall(y, g) => (0..s.order()).all(|a| {
+            env.push((*y, a));
+            let r = brute(g, s, env);
+            env.pop();
+            r
+        }),
+        Formula::Pred { .. } => unimplemented!("FO only"),
+    }
+}
+
+#[test]
+fn candidate_machinery_is_sound_with_shadowing() {
+    // Formulas designed to stress variable shadowing: the same name is
+    // rebound by inner quantifiers.
+    let sources = [
+        "exists x. (E(x,y) & exists y. (E(y,x) & !(y = x)))",
+        "exists y. exists y. E(y, y)",
+        "exists x. (A(x) | exists x. E(x, x))",
+        "forall x. (E(x,y) | exists y. E(x,y))",
+    ];
+    let mut b = foc_structures::StructureBuilder::new();
+    b.declare("E", 2);
+    b.declare("A", 1);
+    b.ensure_universe(6);
+    for (u, w) in [(0u32, 1u32), (1, 2), (2, 2), (3, 4), (4, 0)] {
+        b.insert("E", &[u, w]);
+    }
+    b.insert("A", &[5]);
+    let s = b.finish();
+    let p = preds();
+    for src in sources {
+        let f = parse_formula(src).unwrap();
+        let free: Vec<_> = f.free_vars().into_iter().collect();
+        let mut ev = NaiveEvaluator::new(&s, &p);
+        for a in s.universe() {
+            let mut env = Assignment::from_pairs(free.iter().map(|&v| (v, a)));
+            let got = ev.check(&f, &mut env).unwrap();
+            let mut benv: Vec<_> = free.iter().map(|&v| (v, a)).collect();
+            let want = brute(&f, &s, &mut benv);
+            assert_eq!(got, want, "candidate machinery broke {src} at {a}");
+        }
+    }
+}
+
+#[test]
+fn forall_and_or_short_circuit_correctly() {
+    let s = path(5);
+    let p = preds();
+    let mut ev = NaiveEvaluator::new(&s, &p);
+    // ∀x (E(x,x) ∨ ∃y E(x,y)): every vertex has a neighbour.
+    let f = parse_formula("forall x. (E(x,x) | exists y. E(x,y))").unwrap();
+    assert!(ev.check_sentence(&f).unwrap());
+    // ∀x E(x,x): false on loop-free graphs.
+    let g = parse_formula("forall x. E(x,x)").unwrap();
+    assert!(!ev.check_sentence(&g).unwrap());
+}
+
+#[test]
+fn counting_overflow_is_reported() {
+    // i64::MAX plus a non-empty count overflows during evaluation (the
+    // smart constructors fold pure constants, so a counting term keeps
+    // the addition alive until runtime).
+    let s = path(2);
+    let p = preds();
+    let mut ev = NaiveEvaluator::new(&s, &p);
+    let edges = cnt_vec(vec![v("ofx"), v("ofy")], atom("E", [v("ofx"), v("ofy")]));
+    let t = add(int(i64::MAX), edges.clone());
+    assert!(matches!(ev.eval_ground(&t), Err(EvalError::Overflow)));
+    // Multiplicative overflow: (MAX/2) · 2 · 2 (edges of a 2-path = 2).
+    let t2 = mul(int(i64::MAX / 2), mul(edges.clone(), edges));
+    assert!(matches!(ev.eval_ground(&t2), Err(EvalError::Overflow)));
+}
+
+#[test]
+fn nested_counts_with_shared_variable_names() {
+    // #(x). (#(x). E(x,x)) = 1 … inner # shadows outer x.
+    let s = graph_structure(4, &[(1, 1)]); // self-loops dropped by generator
+    let p = preds();
+    // Build a structure with an actual loop using the builder.
+    let mut b = foc_structures::StructureBuilder::new();
+    b.declare("E", 2);
+    b.ensure_universe(4);
+    b.insert("E", &[1, 1]);
+    let s2 = b.finish();
+    let _ = s;
+    let x = v("shx");
+    let inner = cnt_vec(vec![x], atom("E", [x, x]));
+    let outer: Arc<Term> = cnt_vec(vec![x], teq(inner, int(1)));
+    let mut ev = NaiveEvaluator::new(&s2, &p);
+    // Inner count is 1 (the loop at 1) regardless of the outer x: the
+    // outer count is therefore the whole universe.
+    assert_eq!(ev.eval_ground(&outer).unwrap(), 4);
+}
+
+#[test]
+fn rebound_counted_variables_do_not_leak_outer_bindings() {
+    // Regression: counting #(x,y).E(x,y) nested under an outer binding of
+    // `y` must not restrict x's candidates by the *outer* value of y —
+    // the inner y is about to be rebound. The inner term is closed, so
+    // its value must be the same for every outer y.
+    let mut b = foc_structures::StructureBuilder::new();
+    b.declare("E", 2);
+    b.ensure_universe(5);
+    for (u, w) in [(0u32, 1u32), (1, 2), (2, 3), (3, 4)] {
+        b.insert("E", &[u, w]);
+    }
+    let s = b.finish();
+    let p = preds();
+    let x = v("rlx");
+    let y = v("rly");
+    // outer: #(y). (E(y,y) | #(x,y). E(x,y) = 4): the inner ground count
+    // is 4 for every outer y, so the comparison is always true → outer
+    // count = |A| = 5.
+    let inner = teq(cnt_vec(vec![x, y], atom("E", [x, y])), int(4));
+    let outer = cnt_vec(vec![y], or(atom("E", [y, y]), inner));
+    let mut ev = NaiveEvaluator::new(&s, &p);
+    assert_eq!(ev.eval_ground(&outer).unwrap(), 5);
+    // And directly: evaluating the closed inner count under different
+    // outer bindings of y gives the same value.
+    let closed = cnt_vec(vec![x, y], atom("E", [x, y]));
+    for a in s.universe() {
+        let mut fresh = NaiveEvaluator::new(&s, &p);
+        let mut env = Assignment::from_pairs([(y, a)]);
+        assert_eq!(fresh.eval_term(&closed, &mut env).unwrap(), 4, "outer y = {a}");
+    }
+}
+
+#[test]
+fn query_rows_are_sorted_and_complete() {
+    let s = star(6);
+    let p = preds();
+    let x = v("qcx");
+    let y = v("qcy");
+    let q = Query::new(
+        vec![x, y],
+        vec![cnt_vec(vec![v("qcz")], atom("E", [x, v("qcz")]))],
+        atom("E", [x, y]),
+    )
+    .unwrap();
+    let res = eval_query(&s, &p, &q).unwrap();
+    assert_eq!(res.len(), 10); // 5 edges × 2 directions
+    for w in res.rows.windows(2) {
+        assert!(w[0].elems <= w[1].elems, "rows must be sorted");
+    }
+    // Head terms evaluated per row: hub degree 5, leaf degree 1.
+    for row in &res.rows {
+        let expected = if row.elems[0] == 0 { 5 } else { 1 };
+        assert_eq!(row.counts[0], expected);
+    }
+}
+
+#[test]
+fn stats_count_oracle_calls() {
+    let s = cycle(6);
+    let p = preds();
+    let mut ev = NaiveEvaluator::new(&s, &p);
+    let f = parse_formula("@even(#(x,y). E(x,y)) & @prime(#(x). (x=x))").unwrap();
+    ev.check_sentence(&f).unwrap();
+    assert!(ev.stats.oracle_calls >= 2);
+    assert!(ev.stats.assignments_tried > 0);
+}
+
+#[test]
+fn ground_term_cache_survives_repeated_queries() {
+    // The same closed counting term evaluated in many environments is
+    // computed once; verify by comparing against a fresh evaluator and
+    // by the drop in assignments tried.
+    let s = grid(5, 5);
+    let p = preds();
+    let x = v("gcx");
+    let closed = cnt_vec(vec![v("gcu"), v("gcv")], atom("E", [v("gcu"), v("gcv")]));
+    let per_element = teq(cnt_vec(vec![v("gcy")], atom("E", [x, v("gcy")])), closed);
+    let mut ev = NaiveEvaluator::new(&s, &p);
+    let mut results = Vec::new();
+    for a in s.universe() {
+        let mut env = Assignment::from_pairs([(x, a)]);
+        results.push(ev.check(&per_element, &mut env).unwrap());
+    }
+    // No vertex of a 5×5 grid has degree equal to the number of directed
+    // edges (80); all false — and a fresh evaluator agrees.
+    assert!(results.iter().all(|&r| !r));
+    let mut fresh = NaiveEvaluator::new(&s, &p);
+    let mut env = Assignment::from_pairs([(x, 0)]);
+    assert!(!fresh.check(&per_element, &mut env).unwrap());
+}
+
+#[test]
+fn distance_atoms_on_disconnected_structures() {
+    let s = graph_structure(6, &[(0, 1), (3, 4)]);
+    let p = preds();
+    let mut ev = NaiveEvaluator::new(&s, &p);
+    let x = v("dax");
+    let y = v("day");
+    let mut env = Assignment::from_pairs([(x, 0), (y, 3)]);
+    // Different components: no finite distance.
+    assert!(!ev.check(&dist_le(x, y, 100), &mut env).unwrap());
+    assert!(ev.check(&dist_gt(x, y, 100), &mut env).unwrap());
+    // dist ≤ 0 is equality.
+    let mut env2 = Assignment::from_pairs([(x, 2), (y, 2)]);
+    assert!(ev.check(&dist_le(x, y, 0), &mut env2).unwrap());
+}

@@ -1,0 +1,21 @@
+//! # foc-hardness — the hardness constructions of Section 4
+//!
+//! Executable versions of the paper's two reductions showing that
+//! FOC({P=}) model checking is AW\[*\]-hard already on unranked trees and
+//! on strings with a linear order (Theorems 4.1 and 4.3):
+//!
+//! * [`tree`] — graph `G` ↦ tree `T_G` and FO sentence φ ↦ FOC({P=})
+//!   sentence φ̂ with `G ⊨ φ ⟺ T_G ⊨ φ̂`;
+//! * [`string`] — graph `G` ↦ string `S_G` over `{a,b,c}` with the
+//!   analogous property.
+//!
+//! Both are verified end-to-end by model checking random graphs and
+//! sentences on both sides of the reduction (experiments E1/E2).
+
+#![warn(missing_docs)]
+
+pub mod string;
+pub mod tree;
+
+pub use string::{string_encoding, string_formula, StringEncoding};
+pub use tree::{tree_encoding, tree_formula, TreeEncoding};

@@ -1,0 +1,209 @@
+//! Theorem 4.3: a polynomial fpt-reduction from FO model checking on
+//! arbitrary graphs to FOC({P=}) model checking on **strings** over the
+//! alphabet Σ = {a, b, c}.
+//!
+//! A graph vertex `i` (1-based) becomes the substring
+//! `a c^i b c^{j₁} b c^{j₂} … b c^{j_m}` listing its neighbours; `S_G` is
+//! the concatenation of all the blocks. A vertex is represented by the
+//! position of its `a`; its index is the length of the `c`-run following
+//! a position, expressed with a counting term, and the edge relation is
+//! simulated by comparing `c`-run lengths of the `b`-separators within a
+//! block — completing the construction the paper leaves as "easy".
+
+use std::sync::Arc;
+
+use foc_logic::build::*;
+use foc_logic::subst::{relativize, substitute_atom};
+use foc_logic::{Formula, Symbol, Var};
+use foc_structures::gen::{string_structure, ORDER_REL};
+use foc_structures::Structure;
+
+/// The string `S_G` with the positions of the `a`s (block starts).
+#[derive(Debug, Clone)]
+pub struct StringEncoding {
+    /// The string structure over `{≤, P_a, P_b, P_c}`.
+    pub string: Structure,
+    /// The word itself, for inspection.
+    pub word: String,
+    /// `a_position[v]` = the position representing vertex `v`.
+    pub a_position: Vec<u32>,
+}
+
+/// Builds `S_G` from a graph structure (symmetric `E/2`).
+pub fn string_encoding(g: &Structure) -> StringEncoding {
+    let n = g.order();
+    let gg = g.gaifman();
+    let mut word = String::new();
+    let mut a_position = Vec::with_capacity(n as usize);
+    for v in 0..n {
+        let idx = (v + 1) as usize;
+        a_position.push(word.len() as u32);
+        word.push('a');
+        word.extend(std::iter::repeat_n('c', idx));
+        for &w in gg.neighbors(v) {
+            let jdx = (w + 1) as usize;
+            word.push('b');
+            word.extend(std::iter::repeat_n('c', jdx));
+        }
+    }
+    if word.is_empty() {
+        word.push('a'); // degenerate empty graph guard (n ≥ 1 always)
+    }
+    let string = string_structure(&word, &['a', 'b', 'c']);
+    StringEncoding { string, word, a_position }
+}
+
+/// `u < w` (strict order) over the string's `≤`.
+fn lt(u: Var, w: Var) -> Arc<Formula> {
+    and(atom_vec(ORDER_REL, vec![u, w]), not(eq(u, w)))
+}
+
+/// The length of the maximal `c`-run immediately after position `p`, as
+/// a counting term: the number of positions `z > p` such that every
+/// position in `(p, z]` carries a `c`.
+pub fn run_length(p: Var) -> Arc<foc_logic::Term> {
+    let z = Var::fresh("rz");
+    let w = Var::fresh("rw");
+    let all_c_between = not(exists(
+        w,
+        and_all([
+            lt(p, w),
+            atom_vec(ORDER_REL, vec![w, z]),
+            not(atom_vec("P_c", vec![w])),
+        ]),
+    ));
+    cnt_vec(vec![z], and(lt(p, z), all_c_between))
+}
+
+/// `y` is a `b`-separator inside the block of the `a`-position `x`: it
+/// lies after `x` and before any later `a`.
+pub fn block_b(x: Var, y: Var) -> Arc<Formula> {
+    let w = Var::fresh("bw");
+    and_all([
+        atom_vec("P_b", vec![y]),
+        lt(x, y),
+        not(exists(
+            w,
+            and_all([
+                atom_vec("P_a", vec![w]),
+                lt(x, w),
+                atom_vec(ORDER_REL, vec![w, y]),
+            ]),
+        )),
+    ])
+}
+
+/// ψ_E(x, x′) for the string encoding: some `b`-separator in the block
+/// of `x` has a `c`-run of the same length as the run after `x′`.
+pub fn psi_edge(x: Var, xp: Var) -> Arc<Formula> {
+    let y = Var::fresh("sy");
+    exists(y, and(block_b(x, y), teq(run_length(y), run_length(xp))))
+}
+
+/// The formula transformation of Theorem 4.3: relativises quantifiers to
+/// `a`-positions and replaces edge atoms by ψ_E.
+pub fn string_formula(phi: &Arc<Formula>) -> Arc<Formula> {
+    let relativized = relativize(phi, &|z| atom_vec("P_a", vec![z]));
+    let u = Var::fresh("su");
+    let w = Var::fresh("sw");
+    let template = psi_edge(u, w);
+    substitute_atom(&relativized, Symbol::new("E"), &[u, w], &template)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foc_eval::{Assignment, NaiveEvaluator};
+    use foc_logic::parse::parse_formula;
+    use foc_logic::Predicates;
+    use foc_structures::gen::{clique, cycle, graph_structure, path};
+
+    #[test]
+    fn word_shape() {
+        // Path 0-1: blocks "ac b cc" and "acc b c" (0↦1, 1↦2).
+        let g = path(2);
+        let enc = string_encoding(&g);
+        assert_eq!(enc.word, "acbccaccbc");
+        assert_eq!(enc.a_position, vec![0, 5]);
+    }
+
+    #[test]
+    fn run_length_counts_cs() {
+        let g = path(2);
+        let enc = string_encoding(&g);
+        let p = Predicates::standard();
+        let x = v("rlx");
+        let mut ev = NaiveEvaluator::new(&enc.string, &p);
+        let t = run_length(x);
+        // After position 0 ('a' of vertex 0) there is one 'c'.
+        let mut env = Assignment::from_pairs([(x, 0)]);
+        assert_eq!(ev.eval_term(&t, &mut env).unwrap(), 1);
+        // After position 5 ('a' of vertex 1) there are two 'c's.
+        let mut env = Assignment::from_pairs([(x, 5)]);
+        assert_eq!(ev.eval_term(&t, &mut env).unwrap(), 2);
+        // After the 'b' at position 2 the run is "cc" (length 2).
+        let mut env = Assignment::from_pairs([(x, 2)]);
+        assert_eq!(ev.eval_term(&t, &mut env).unwrap(), 2);
+    }
+
+    #[test]
+    fn edge_simulation_is_exact() {
+        let g = graph_structure(3, &[(0, 1), (1, 2)]);
+        let enc = string_encoding(&g);
+        let p = Predicates::standard();
+        let x = v("esx");
+        let xp = v("esxp");
+        let psi = psi_edge(x, xp);
+        let mut ev = NaiveEvaluator::new(&enc.string, &p);
+        for u in 0..3u32 {
+            for w in 0..3u32 {
+                let mut env = Assignment::from_pairs([
+                    (x, enc.a_position[u as usize]),
+                    (xp, enc.a_position[w as usize]),
+                ]);
+                let got = ev.check(&psi, &mut env).unwrap();
+                let want = g.gaifman().has_edge(u, w);
+                assert_eq!(got, want, "string edge sim wrong for ({u},{w})");
+            }
+        }
+    }
+
+    #[test]
+    fn full_reduction_on_sentences() {
+        let sentences = [
+            "exists x y. (E(x,y) & !(x = y))",
+            "forall x. exists y. E(x,y)",
+            "exists x. !(exists y. E(x,y))",
+        ];
+        let graphs = vec![
+            path(3),
+            cycle(3),
+            clique(3),
+            graph_structure(3, &[]),
+            graph_structure(4, &[(0, 2)]),
+        ];
+        let p = Predicates::standard();
+        for s in &sentences {
+            let phi = parse_formula(s).unwrap();
+            for g in &graphs {
+                let mut ev = NaiveEvaluator::new(g, &p);
+                let want = ev.check_sentence(&phi).unwrap();
+                let enc = string_encoding(g);
+                let phi_hat = string_formula(&phi);
+                let mut ev2 = NaiveEvaluator::new(&enc.string, &p);
+                let got = ev2.check_sentence(&phi_hat).unwrap();
+                assert_eq!(want, got, "string reduction failed for {s} on order {}", g.order());
+            }
+        }
+    }
+
+    #[test]
+    fn string_size_is_polynomial() {
+        let g1 = clique(4);
+        let g2 = clique(8);
+        let l1 = string_encoding(&g1).word.len();
+        let l2 = string_encoding(&g2).word.len();
+        // Word length is O(n²) for cliques; ratio bounded by ~2³.
+        assert!(l2 < l1 * 10, "l1={l1}, l2={l2}");
+    }
+}

@@ -1,0 +1,258 @@
+//! Theorem 4.1: a polynomial fpt-reduction from FO model checking on
+//! arbitrary graphs to FOC({P=}) model checking on **trees**.
+//!
+//! A graph `G` with vertices `1..n` (we 0-index and shift by one) becomes
+//! a height-3 tree `T_G`: vertex `i` is represented by an `a`-vertex with
+//! exactly `i+1` pendant `b–c` paths, and each neighbour `j` of `i` by a
+//! `d`-child of `a(i)` carrying `j+1` pendant `e`-leaves. The FO sentence
+//! φ over `G` is rewritten into φ̂ over `T_G` by relativising quantifiers
+//! to `a`-vertices and replacing each edge atom by the counting
+//! comparison ψ_E of the paper: "x has a d-child whose number of
+//! e-children equals the number of b-children of x′".
+
+use std::sync::Arc;
+
+use foc_logic::build::*;
+use foc_logic::subst::{relativize, substitute_atom};
+use foc_logic::{Formula, Symbol, Var};
+use foc_structures::{Structure, StructureBuilder};
+
+/// The tree `T_G` together with the positions of the `a`-vertices (for
+/// tests: `a_vertex[v]` represents graph vertex `v`).
+#[derive(Debug, Clone)]
+pub struct TreeEncoding {
+    /// The tree as a `{E/2}` structure with symmetric edges.
+    pub tree: Structure,
+    /// `a_vertex[v]` = tree element representing graph vertex `v`.
+    pub a_vertex: Vec<u32>,
+}
+
+/// Builds `T_G` from a graph structure (symmetric `E/2`).
+pub fn tree_encoding(g: &Structure) -> TreeEncoding {
+    let n = g.order();
+    let gg = g.gaifman();
+    let mut b = StructureBuilder::new();
+    b.declare("E", 2);
+    let edge = |u: u32, w: u32, b: &mut StructureBuilder| {
+        b.insert("E", &[u, w]);
+        b.insert("E", &[w, u]);
+    };
+    let root = b.add_element();
+    let mut a_vertex = Vec::with_capacity(n as usize);
+    for v in 0..n {
+        let idx = v + 1; // paper's 1-based vertex index
+        let a = b.add_element();
+        edge(root, a, &mut b);
+        a_vertex.push(a);
+        // i+1 pendant b–c paths encode the vertex index.
+        for _ in 0..(idx + 1) {
+            let bb = b.add_element();
+            let cc = b.add_element();
+            edge(a, bb, &mut b);
+            edge(bb, cc, &mut b);
+        }
+        // One d-child per neighbour, with j+1 pendant e-leaves.
+        for &w in gg.neighbors(v) {
+            let jdx = w + 1;
+            let d = b.add_element();
+            edge(a, d, &mut b);
+            for _ in 0..(jdx + 1) {
+                let e = b.add_element();
+                edge(d, e, &mut b);
+            }
+        }
+    }
+    TreeEncoding { tree: b.finish(), a_vertex }
+}
+
+/// `deg(x) = c` as a FOC({P=}) formula.
+fn deg_eq(x: Var, c: i64) -> Arc<Formula> {
+    let z = Var::fresh("dz");
+    teq(cnt_vec(vec![z], atom_vec("E", vec![x, z])), int(c))
+}
+
+/// φ_c(x): degree-1 vertices whose unique neighbour has degree 2.
+pub fn phi_c(x: Var) -> Arc<Formula> {
+    let y = Var::fresh("cy");
+    and(deg_eq(x, 1), exists(y, and(atom_vec("E", vec![x, y]), deg_eq(y, 2))))
+}
+
+/// φ_b(x): neighbours of c-vertices.
+pub fn phi_b(x: Var) -> Arc<Formula> {
+    let y = Var::fresh("by");
+    exists(y, and(atom_vec("E", vec![x, y]), phi_c(y)))
+}
+
+/// φ_a(x): neighbours of b-vertices that are not themselves c-vertices.
+pub fn phi_a(x: Var) -> Arc<Formula> {
+    let y = Var::fresh("ay");
+    and(
+        not(phi_c(x)),
+        exists(y, and(atom_vec("E", vec![x, y]), phi_b(y))),
+    )
+}
+
+/// φ_e(x): degree-1 vertices that are not c-vertices.
+pub fn phi_e(x: Var) -> Arc<Formula> {
+    and(deg_eq(x, 1), not(phi_c(x)))
+}
+
+/// ψ_E(x, x′): the edge simulation of Theorem 4.1 — `x` has a d-child
+/// `y` whose number of e-children equals the number of b-children of
+/// `x′`. (The d-test is implicit: only d-children have e-children.)
+pub fn psi_edge(x: Var, xp: Var) -> Arc<Formula> {
+    let y = Var::fresh("ey");
+    let z1 = Var::fresh("ez1");
+    let z2 = Var::fresh("ez2");
+    let e_children = cnt_vec(vec![z1], and(atom_vec("E", vec![y, z1]), phi_e(z1)));
+    let b_children = cnt_vec(vec![z2], and(atom_vec("E", vec![xp, z2]), phi_b(z2)));
+    exists(
+        y,
+        and_all([
+            atom_vec("E", vec![x, y]),
+            // y must actually have e-children (d-vertices are the only
+            // internal vertices with e-leaf children).
+            tle(int(1), e_children.clone()),
+            teq(e_children, b_children),
+        ]),
+    )
+}
+
+/// The formula transformation of Theorem 4.1: relativises every
+/// quantifier of the FO sentence φ to the a-vertices and replaces each
+/// `E(x, x′)` atom by `ψ_E(x, x′)`.
+///
+/// The relativisation initially uses a placeholder unary marker so that
+/// the `E` atoms *inside the guards* are not themselves rewritten by the
+/// edge substitution; the marker is expanded to φ_a afterwards.
+pub fn tree_formula(phi: &Arc<Formula>) -> Arc<Formula> {
+    let marker = Var::fresh("IsA").symbol();
+    let relativized = relativize(phi, &|z| atom_sym(marker, vec![z]));
+    let u = Var::fresh("pu");
+    let w = Var::fresh("pw");
+    let with_edges =
+        substitute_atom(&relativized, Symbol::new("E"), &[u, w], &psi_edge(u, w));
+    let g = Var::fresh("gv");
+    substitute_atom(&with_edges, marker, &[g], &phi_a(g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foc_eval::NaiveEvaluator;
+    use foc_logic::parse::parse_formula;
+    use foc_logic::Predicates;
+    use foc_structures::gen::{clique, cycle, gnm, graph_structure, path};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_reduction(g: &Structure, phi: &Arc<Formula>) {
+        let p = Predicates::standard();
+        let mut ev = NaiveEvaluator::new(g, &p);
+        let want = ev.check_sentence(phi).unwrap();
+        let enc = tree_encoding(g);
+        let phi_hat = tree_formula(phi);
+        let mut ev2 = NaiveEvaluator::new(&enc.tree, &p);
+        let got = ev2.check_sentence(&phi_hat).unwrap();
+        assert_eq!(want, got, "reduction failed for {phi} on order {}", g.order());
+    }
+
+    #[test]
+    fn encoding_shape() {
+        let g = path(3); // edges 0-1, 1-2
+        let enc = tree_encoding(&g);
+        // Root + 3 a's + b,c pairs (2+3+4 pairs = 18) + d's (4) + e-leaves
+        // ((1+1+1)+(2+1)+(2+1)+(3+1) e's per d of neighbour idx…)
+        assert!(enc.tree.gaifman().is_connected());
+        assert_eq!(enc.a_vertex.len(), 3);
+        // It is a tree: |E| = |V| − 1.
+        let gg = enc.tree.gaifman();
+        assert_eq!(gg.num_edges() as u32, enc.tree.order() - 1);
+    }
+
+    #[test]
+    fn vertex_classes_are_disjoint() {
+        let g = cycle(3);
+        let enc = tree_encoding(&g);
+        let p = Predicates::standard();
+        let x = v("clsx");
+        let mut ev = NaiveEvaluator::new(&enc.tree, &p);
+        let mut a_count = 0;
+        for e in enc.tree.universe() {
+            let mut env = foc_eval::Assignment::from_pairs([(x, e)]);
+            let is_a = ev.check(&phi_a(x), &mut env).unwrap();
+            let is_c = ev.check(&phi_c(x), &mut env).unwrap();
+            let is_e = ev.check(&phi_e(x), &mut env).unwrap();
+            assert!(!(is_a && is_c), "classes overlap at {e}");
+            assert!(!(is_a && is_e), "a/e overlap at {e}");
+            if is_a {
+                a_count += 1;
+                assert!(enc.a_vertex.contains(&e), "spurious a-vertex {e}");
+            }
+        }
+        assert_eq!(a_count, 3, "every graph vertex yields one a-vertex");
+    }
+
+    #[test]
+    fn edge_simulation_is_exact() {
+        let g = graph_structure(4, &[(0, 1), (1, 2), (0, 3)]);
+        let enc = tree_encoding(&g);
+        let p = Predicates::standard();
+        let x = v("simx");
+        let xp = v("simxp");
+        let psi = psi_edge(x, xp);
+        let mut ev = NaiveEvaluator::new(&enc.tree, &p);
+        for u in 0..4u32 {
+            for w in 0..4u32 {
+                let mut env = foc_eval::Assignment::from_pairs([
+                    (x, enc.a_vertex[u as usize]),
+                    (xp, enc.a_vertex[w as usize]),
+                ]);
+                let got = ev.check(&psi, &mut env).unwrap();
+                let want = g.gaifman().has_edge(u, w);
+                assert_eq!(got, want, "edge simulation wrong for ({u},{w})");
+            }
+        }
+    }
+
+    #[test]
+    fn full_reduction_on_sentences() {
+        let sentences = [
+            "exists x y. (E(x,y) & !(x = y))",
+            "exists x y z. (E(x,y) & E(y,z) & E(z,x) & !(x=y) & !(y=z) & !(x=z))",
+            "forall x. exists y. E(x,y)",
+            "exists x. !(exists y. E(x,y))",
+        ];
+        let mut rng = StdRng::seed_from_u64(3);
+        let graphs = vec![
+            path(3),
+            cycle(3),
+            clique(4),
+            graph_structure(4, &[(0, 1)]),
+            gnm(5, 4, &mut rng),
+            graph_structure(3, &[]), // edgeless
+        ];
+        for s in &sentences {
+            let phi = parse_formula(s).unwrap();
+            for g in &graphs {
+                check_reduction(g, &phi);
+            }
+        }
+    }
+
+    #[test]
+    fn blowup_is_polynomial() {
+        // ‖T_G‖ = O(‖G‖²) and ‖φ̂‖ polynomial in ‖φ‖ — spot check the
+        // growth factors.
+        let mut rng = StdRng::seed_from_u64(9);
+        let g1 = gnm(10, 15, &mut rng);
+        let g2 = gnm(20, 30, &mut rng);
+        let t1 = tree_encoding(&g1).tree.size();
+        let t2 = tree_encoding(&g2).tree.size();
+        // Quadratic at worst: ratio ≤ (20/10)² · constant.
+        assert!(t2 < t1 * 8, "t1={t1}, t2={t2}");
+        let phi = parse_formula("exists x y. E(x,y)").unwrap();
+        let hat = tree_formula(&phi);
+        assert!(hat.size() < 100 * phi.size());
+    }
+}

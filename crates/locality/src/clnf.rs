@@ -1,0 +1,259 @@
+//! The connected-local normal form of Theorem 6.8: every (separable) FO⁺
+//! formula is equivalent to a Boolean combination of formulas that are
+//! local around their free variables and of statements `g ≥ 1` for
+//! ground cl-terms `g`.
+//!
+//! This module runs the Gaifman normal form and then converts each
+//! scattered sentence `χ = ∃ȳ ϑ(ȳ)` (with ϑ local around ȳ) into the
+//! ground cl-term `g_χ = #ȳ.ϑ` via Lemma 6.4, exactly as in the paper's
+//! proof: `A ⊨ χ ⟺ g_χ^A ≥ 1`. Sentences are replaced in the matrix
+//! by fresh 0-ary *marker* atoms.
+
+use std::sync::Arc;
+
+use foc_logic::{Formula, Symbol, Var};
+use foc_structures::FxHashMap;
+
+use crate::clterm::ClTerm;
+use crate::decompose::decompose_ground;
+use crate::error::{LocalityError, Result};
+use crate::gnf::gaifman_nf;
+use crate::radius::locality_radius;
+
+/// One extracted sentence: the marker that replaced it, the original
+/// scattered sentence, and the ground cl-term with `χ ⟺ term ≥ 1`.
+#[derive(Debug, Clone)]
+pub struct ClnfSentence {
+    /// Fresh 0-ary relation symbol standing for the sentence's truth.
+    pub marker: Symbol,
+    /// The scattered sentence as a plain formula (for reference/tests).
+    pub original: Arc<Formula>,
+    /// The ground cl-term whose positivity is equivalent to the sentence.
+    pub term: ClTerm,
+}
+
+/// A formula in cl-normalform (Theorem 6.8).
+#[derive(Debug, Clone)]
+pub struct ClNormalForm {
+    /// Boolean combination of local formulas and 0-ary marker atoms.
+    pub matrix: Arc<Formula>,
+    /// The extracted sentences, one per marker.
+    pub sentences: Vec<ClnfSentence>,
+    /// A locality radius valid for every local subformula of the matrix.
+    pub local_radius: u64,
+}
+
+impl ClNormalForm {
+    /// Substitutes truth values for the markers, producing a plain local
+    /// formula (or a constant, for sentences).
+    pub fn resolve(&self, values: &FxHashMap<Symbol, bool>) -> Arc<Formula> {
+        substitute_markers(&self.matrix, values)
+    }
+}
+
+/// Computes the cl-normalform of a separable FO⁺ formula.
+pub fn cl_normalform(f: &Arc<Formula>) -> Result<ClNormalForm> {
+    let g = gaifman_nf(f)?;
+    let mut sentences = Vec::new();
+    let matrix = extract(&g, &mut sentences)?;
+    let local_radius = max_local_radius(&matrix)?;
+    Ok(ClNormalForm { matrix, sentences, local_radius })
+}
+
+fn extract(f: &Arc<Formula>, out: &mut Vec<ClnfSentence>) -> Result<Arc<Formula>> {
+    // Replace maximal closed ∃-blocks.
+    if f.free_vars().is_empty() && matches!(&**f, Formula::Exists(..)) {
+        // Peel the quantifier block.
+        let mut vars: Vec<Var> = Vec::new();
+        let mut matrix: &Arc<Formula> = f;
+        while let Formula::Exists(y, g) = &**matrix {
+            vars.push(*y);
+            matrix = g;
+        }
+        let term = decompose_ground(matrix, &vars)?;
+        let marker = Var::fresh("Chi").symbol();
+        out.push(ClnfSentence { marker, original: f.clone(), term });
+        return Ok(Arc::new(Formula::Atom(foc_logic::Atom {
+            rel: marker,
+            args: Box::new([]),
+        })));
+    }
+    match &**f {
+        Formula::Bool(_) | Formula::Eq(..) | Formula::Atom(_) | Formula::DistLe { .. } => {
+            Ok(f.clone())
+        }
+        Formula::Not(g) => Ok(Formula::not(extract(g, out)?)),
+        Formula::And(gs) => {
+            Ok(Formula::and(gs.iter().map(|g| extract(g, out)).collect::<Result<Vec<_>>>()?))
+        }
+        Formula::Or(gs) => {
+            Ok(Formula::or(gs.iter().map(|g| extract(g, out)).collect::<Result<Vec<_>>>()?))
+        }
+        Formula::Exists(..) => {
+            // A local ∃-block with free variables stays in the matrix.
+            Ok(f.clone())
+        }
+        Formula::Forall(..) => {
+            Err(LocalityError::NotLocal("universal quantifier in GNF output".into()))
+        }
+        Formula::Pred { .. } => Err(LocalityError::NotFirstOrder(f.to_string())),
+    }
+}
+
+/// The largest locality radius among the maximal marker-free subformulas
+/// with free variables.
+fn max_local_radius(matrix: &Arc<Formula>) -> Result<u64> {
+    if matrix.free_vars().is_empty() {
+        return Ok(0);
+    }
+    match &**matrix {
+        Formula::And(gs) | Formula::Or(gs) => {
+            let mut r = 0;
+            for g in gs {
+                r = r.max(max_local_radius(g)?);
+            }
+            Ok(r)
+        }
+        Formula::Not(g) => max_local_radius(g),
+        _ => locality_radius(matrix),
+    }
+}
+
+fn substitute_markers(f: &Arc<Formula>, values: &FxHashMap<Symbol, bool>) -> Arc<Formula> {
+    match &**f {
+        Formula::Atom(a) if a.args.is_empty() => match values.get(&a.rel) {
+            Some(&b) => Arc::new(Formula::Bool(b)),
+            None => f.clone(),
+        },
+        Formula::Not(g) => Formula::not(substitute_markers(g, values)),
+        Formula::And(gs) => {
+            Formula::and(gs.iter().map(|g| substitute_markers(g, values)).collect())
+        }
+        Formula::Or(gs) => {
+            Formula::or(gs.iter().map(|g| substitute_markers(g, values)).collect())
+        }
+        Formula::Exists(y, g) => Arc::new(Formula::Exists(*y, substitute_markers(g, values))),
+        Formula::Forall(y, g) => Arc::new(Formula::Forall(*y, substitute_markers(g, values))),
+        _ => f.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local_eval::{ClValue, LocalEvaluator};
+    use foc_eval::{Assignment, NaiveEvaluator};
+    use foc_logic::build::*;
+    use foc_logic::Predicates;
+    use foc_structures::gen::{cycle, graph_structure, grid, path, random_tree};
+    use foc_structures::Structure;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn structures() -> Vec<Structure> {
+        let mut rng = StdRng::seed_from_u64(17);
+        vec![
+            path(7),
+            cycle(6),
+            grid(3, 2),
+            random_tree(8, &mut rng),
+            graph_structure(9, &[(0, 1), (1, 2), (4, 5), (6, 7), (7, 8), (8, 6)]),
+        ]
+    }
+
+    /// Evaluates a cl-normalform fully locally (ground cl-terms via ball
+    /// enumeration, markers substituted, matrix via the reference
+    /// evaluator) and compares against direct evaluation of the original
+    /// formula.
+    fn check_clnf(f: &Arc<Formula>) {
+        let clnf = cl_normalform(f).unwrap_or_else(|e| panic!("clnf failed for {f}: {e}"));
+        let p = Predicates::standard();
+        let free: Vec<_> = f.free_vars().into_iter().collect();
+        for s in structures() {
+            // Resolve markers by local evaluation of the ground cl-terms.
+            let mut lev = LocalEvaluator::new(&s, &p);
+            let mut values: FxHashMap<Symbol, bool> = FxHashMap::default();
+            for sent in &clnf.sentences {
+                let val = match lev.eval_clterm(&sent.term).unwrap() {
+                    ClValue::Scalar(x) => x,
+                    ClValue::Vector(_) => panic!("sentence term must be ground"),
+                };
+                // Cross-check the marker against the sentence itself.
+                let mut nev = NaiveEvaluator::new(&s, &p);
+                let direct = nev.check_sentence(&sent.original).unwrap();
+                assert_eq!(val >= 1, direct, "marker mismatch for {}", sent.original);
+                values.insert(sent.marker, val >= 1);
+            }
+            let resolved = clnf.resolve(&values);
+            let mut ev = NaiveEvaluator::new(&s, &p);
+            let n = s.order();
+            let k = free.len();
+            let mut tuple = vec![0u32; k];
+            let mut done = false;
+            while !done {
+                let mut env = Assignment::from_pairs(
+                    free.iter().copied().zip(tuple.iter().copied()),
+                );
+                let want = ev.check(f, &mut env).unwrap();
+                let got = ev.check(&resolved, &mut env).unwrap();
+                assert_eq!(want, got, "clnf disagrees for {f} at {tuple:?} (order {n})");
+                done = true;
+                for i in 0..k {
+                    tuple[i] += 1;
+                    if tuple[i] < n {
+                        done = false;
+                        break;
+                    }
+                    tuple[i] = 0;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sentence_with_scattered_pair() {
+        // "There are two distinct non-adjacent vertices."
+        let f = exists(
+            v("a"),
+            exists(v("b"), and(not(atom("E", [v("a"), v("b")])), not(eq(v("a"), v("b"))))),
+        );
+        let clnf = cl_normalform(&f).unwrap();
+        assert!(!clnf.sentences.is_empty());
+        check_clnf(&f);
+    }
+
+    #[test]
+    fn formula_with_free_var_and_sentence_component() {
+        let f = exists(v("z"), and(not(atom("E", [v("x"), v("z")])), not(eq(v("x"), v("z")))));
+        check_clnf(&f);
+    }
+
+    #[test]
+    fn purely_local_formula_has_no_sentences() {
+        let f = exists(v("z"), atom("E", [v("x"), v("z")]));
+        let clnf = cl_normalform(&f).unwrap();
+        assert!(clnf.sentences.is_empty());
+        check_clnf(&f);
+    }
+
+    #[test]
+    fn degree_two_sentence() {
+        // "Some vertex has two distinct neighbours" — guarded existential
+        // block, one scattered sentence of width 3 after GNF.
+        let f = exists(
+            v("a"),
+            exists(
+                v("b"),
+                exists(
+                    v("c"),
+                    and_all([
+                        atom("E", [v("a"), v("b")]),
+                        atom("E", [v("a"), v("c")]),
+                        not(eq(v("b"), v("c"))),
+                    ]),
+                ),
+            ),
+        );
+        check_clnf(&f);
+    }
+}

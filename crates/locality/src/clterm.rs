@@ -1,0 +1,280 @@
+//! Connected local terms (Definition 6.2): the target representation of
+//! the decomposition. A *basic cl-term* counts tuples that satisfy an
+//! r-local formula together with a connectivity pattern `δ_G,2r+1` for a
+//! *connected* graph G — exactly the shape that can be evaluated by
+//! exploring a bounded neighbourhood of each element (Remark 6.3). A
+//! *cl-term* is a polynomial (integers, `+`, `·`) over basic cl-terms.
+
+use std::sync::Arc;
+
+use foc_logic::{Formula, Term, Var};
+use foc_eval::{Assignment, NaiveEvaluator};
+
+use crate::error::{LocalityError, Result};
+use crate::gk::Gk;
+use crate::radius::locality_radius;
+
+/// A basic cl-term of Definition 6.2.
+///
+/// With `ȳ = vars`, `G = graph` (connected), `r = radius`, this denotes
+///
+/// * if `unary`: `u(y₁) = #(y₂,…,y_k).(ψ(ȳ) ∧ δ_G,2r+1(ȳ))`
+/// * else:      `g = #(y₁,…,y_k).(ψ(ȳ) ∧ δ_G,2r+1(ȳ))`
+#[derive(Debug, Clone)]
+pub struct BasicClTerm {
+    /// All tuple variables `y₁, …, y_k`.
+    pub vars: Vec<Var>,
+    /// `true` iff `y₁` is free (a unary basic cl-term).
+    pub unary: bool,
+    /// The connectivity pattern; must be connected.
+    pub graph: Gk,
+    /// The decomposition radius `r` (the δ-formula uses bound `2r+1`).
+    pub radius: u64,
+    /// A locality radius of `body` around `vars` (≥ the analyzer's value;
+    /// may exceed `radius` for bodies produced by the splitting).
+    pub body_radius: u64,
+    /// The local FO⁺ formula ψ.
+    pub body: Arc<Formula>,
+}
+
+impl BasicClTerm {
+    /// Creates a basic cl-term, checking connectivity and computing the
+    /// body's locality radius.
+    pub fn new(
+        vars: Vec<Var>,
+        unary: bool,
+        graph: Gk,
+        radius: u64,
+        body: Arc<Formula>,
+    ) -> Result<BasicClTerm> {
+        assert_eq!(vars.len(), graph.k(), "variable/graph size mismatch");
+        assert!(graph.is_connected(), "basic cl-terms require a connected graph");
+        let body_radius = if body.free_vars().is_empty() {
+            0 // constant or marker-only body
+        } else {
+            locality_radius(&body)?
+        };
+        Ok(BasicClTerm { vars, unary, graph, radius, body_radius, body })
+    }
+
+    /// Width `k` of the term.
+    pub fn width(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The distance bound `2r+1` used by the δ-formula.
+    pub fn delta_bound(&self) -> u64 {
+        2 * self.radius + 1
+    }
+
+    /// `ψ ∧ δ_G,2r+1` as a plain formula.
+    pub fn matrix(&self) -> Arc<Formula> {
+        let delta = self.graph.delta_formula(&self.vars, self.delta_bound() as u32);
+        Formula::and(vec![self.body.clone(), delta])
+    }
+
+    /// The equivalent FOC counting term (used for cross-checking against
+    /// the reference evaluator).
+    pub fn to_term(&self) -> Arc<Term> {
+        let counted: Vec<Var> =
+            if self.unary { self.vars[1..].to_vec() } else { self.vars.clone() };
+        Arc::new(Term::Count(counted.into_boxed_slice(), self.matrix()))
+    }
+
+    /// The free variable of a unary basic cl-term.
+    pub fn free_var(&self) -> Option<Var> {
+        if self.unary {
+            Some(self.vars[0])
+        } else {
+            None
+        }
+    }
+}
+
+/// A cl-term: a polynomial over basic cl-terms (Definition 6.2's closure
+/// under rule (7)).
+#[derive(Debug, Clone)]
+pub enum ClTerm {
+    /// An integer constant.
+    Int(i64),
+    /// A basic cl-term.
+    Basic(Arc<BasicClTerm>),
+    /// A sum.
+    Add(Vec<ClTerm>),
+    /// A product.
+    Mul(Vec<ClTerm>),
+}
+
+impl ClTerm {
+    /// `a + b`.
+    pub fn add(parts: Vec<ClTerm>) -> ClTerm {
+        let mut out = Vec::new();
+        let mut consts = 0i64;
+        for p in parts {
+            match p {
+                ClTerm::Int(i) => consts = consts.saturating_add(i),
+                ClTerm::Add(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        if consts != 0 || out.is_empty() {
+            out.push(ClTerm::Int(consts));
+        }
+        if out.len() == 1 {
+            out.pop().expect("len checked")
+        } else {
+            ClTerm::Add(out)
+        }
+    }
+
+    /// `a · b`.
+    pub fn mul(parts: Vec<ClTerm>) -> ClTerm {
+        ClTerm::Mul(parts)
+    }
+
+    /// `a − b`.
+    pub fn sub(a: ClTerm, b: ClTerm) -> ClTerm {
+        ClTerm::add(vec![a, ClTerm::Mul(vec![ClTerm::Int(-1), b])])
+    }
+
+    /// All basic cl-terms appearing in the polynomial.
+    pub fn basics(&self) -> Vec<Arc<BasicClTerm>> {
+        let mut out = Vec::new();
+        self.collect_basics(&mut out);
+        out
+    }
+
+    fn collect_basics(&self, out: &mut Vec<Arc<BasicClTerm>>) {
+        match self {
+            ClTerm::Int(_) => {}
+            ClTerm::Basic(b) => out.push(b.clone()),
+            ClTerm::Add(ts) | ClTerm::Mul(ts) => {
+                ts.iter().for_each(|t| t.collect_basics(out))
+            }
+        }
+    }
+
+    /// Number of basic cl-terms (with multiplicity) — the size measure
+    /// reported by experiment E5.
+    pub fn num_basics(&self) -> usize {
+        match self {
+            ClTerm::Int(_) => 0,
+            ClTerm::Basic(_) => 1,
+            ClTerm::Add(ts) | ClTerm::Mul(ts) => ts.iter().map(|t| t.num_basics()).sum(),
+        }
+    }
+
+    /// Maximum width over the basic cl-terms.
+    pub fn max_width(&self) -> usize {
+        self.basics().iter().map(|b| b.width()).max().unwrap_or(0)
+    }
+
+    /// Evaluates the polynomial given a valuation of its basic terms.
+    pub fn eval_with(
+        &self,
+        value_of: &mut dyn FnMut(&Arc<BasicClTerm>) -> Result<i64>,
+    ) -> Result<i64> {
+        match self {
+            ClTerm::Int(i) => Ok(*i),
+            ClTerm::Basic(b) => value_of(b),
+            ClTerm::Add(ts) => {
+                let mut acc = 0i64;
+                for t in ts {
+                    acc = acc
+                        .checked_add(t.eval_with(value_of)?)
+                        .ok_or(LocalityError::Eval(foc_eval::EvalError::Overflow))?;
+                }
+                Ok(acc)
+            }
+            ClTerm::Mul(ts) => {
+                let mut acc = 1i64;
+                for t in ts {
+                    acc = acc
+                        .checked_mul(t.eval_with(value_of)?)
+                        .ok_or(LocalityError::Eval(foc_eval::EvalError::Overflow))?;
+                }
+                Ok(acc)
+            }
+        }
+    }
+
+    /// Reference evaluation through the naive evaluator (each basic term
+    /// is evaluated as its defining counting term). `at` binds the free
+    /// variable of unary basics.
+    pub fn eval_naive(
+        &self,
+        a: &foc_structures::Structure,
+        preds: &foc_logic::Predicates,
+        at: Option<u32>,
+    ) -> Result<i64> {
+        let mut ev = NaiveEvaluator::new(a, preds);
+        self.eval_with(&mut |b| {
+            let term = b.to_term();
+            let mut env = Assignment::new();
+            if let (true, Some(elem)) = (b.unary, at) {
+                env.bind(b.vars[0], elem);
+            }
+            Ok(ev.eval_term(&term, &mut env)?)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foc_logic::build::*;
+    use foc_logic::Predicates;
+    use foc_structures::gen::star;
+
+    #[test]
+    fn basic_clterm_roundtrip() {
+        // u(y1) = #(y2).(E(y1,y2) ∧ δ): degree within the δ constraint.
+        let y1 = v("y1");
+        let y2 = v("y2");
+        let g = Gk::from_edges(2, &[(0, 1)]);
+        let b = BasicClTerm::new(
+            vec![y1, y2],
+            true,
+            g,
+            0,
+            atom("E", [y1, y2]),
+        )
+        .unwrap();
+        assert_eq!(b.width(), 2);
+        assert_eq!(b.delta_bound(), 1);
+        assert_eq!(b.body_radius, 0);
+        assert_eq!(b.free_var(), Some(y1));
+        let t = b.to_term();
+        assert_eq!(t.free_vars().into_iter().collect::<Vec<_>>(), vec![y1]);
+    }
+
+    #[test]
+    fn clterm_polynomial_eval() {
+        // 3·u − 1 on a star: hub degree 4.
+        let y1 = v("y1");
+        let y2 = v("y2");
+        let g = Gk::from_edges(2, &[(0, 1)]);
+        let b = Arc::new(
+            BasicClTerm::new(vec![y1, y2], true, g, 0, atom("E", [y1, y2])).unwrap(),
+        );
+        let t = ClTerm::sub(ClTerm::mul(vec![ClTerm::Int(3), ClTerm::Basic(b)]), ClTerm::Int(1));
+        let s = star(5);
+        let p = Predicates::standard();
+        assert_eq!(t.eval_naive(&s, &p, Some(0)).unwrap(), 3 * 4 - 1);
+        assert_eq!(t.eval_naive(&s, &p, Some(2)).unwrap(), 3 - 1);
+        assert_eq!(t.num_basics(), 1);
+        assert_eq!(t.max_width(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_graph_rejected() {
+        let _ = BasicClTerm::new(
+            vec![v("a"), v("b")],
+            false,
+            Gk::empty(2),
+            0,
+            tt(),
+        );
+    }
+}

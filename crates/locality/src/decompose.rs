@@ -1,0 +1,395 @@
+//! The decomposition of counting terms over local formulas into cl-terms
+//! — Lemma 6.4.
+//!
+//! Given an r-local formula ψ(ȳ), the counting term `#ȳ.ψ` is first
+//! partitioned over all connectivity patterns `G ∈ G_k` (the sets
+//! `S_{ψ∧δ_G}` partition `S_ψ`), and each disconnected pattern is reduced
+//! by the Feferman–Vaught splitting and inclusion–exclusion over the
+//! cross-edge extensions `H`:
+//!
+//! `#ȳ.(ψ_G) = Σᵢ ( t′ᵢ · t″ᵢ − Σ_{H∈H} t_Hᵢ )`
+//!
+//! exactly as in the paper's proof, by induction on the number of
+//! connected components.
+
+use std::sync::Arc;
+
+use foc_logic::{Formula, Var};
+use foc_structures::FxHashMap;
+
+use crate::clterm::{BasicClTerm, ClTerm};
+use crate::error::Result;
+use crate::gk::Gk;
+use crate::radius::locality_radius;
+use crate::separate::separate;
+
+/// Decomposes a ground counting term `#ȳ.ψ(ȳ)` into a ground cl-term.
+/// The locality radius of ψ is computed by the analyzer.
+///
+/// ```
+/// use foc_locality::decompose::decompose_ground;
+/// use foc_logic::build::*;
+/// use foc_logic::Predicates;
+/// use foc_structures::gen::cycle;
+///
+/// // Count non-adjacent distinct pairs: the inclusion–exclusion of
+/// // Lemma 6.4 rewrites it as |A|²-style products minus local
+/// // corrections.
+/// let (x, y) = (v("x"), v("y"));
+/// let body = and(not(atom("E", [x, y])), not(eq(x, y)));
+/// let cl = decompose_ground(&body, &[x, y]).unwrap();
+/// assert!(cl.num_basics() > 1); // a genuine polynomial, not one term
+/// // On C₆ every vertex has 3 non-neighbours: 6 · 3 = 18 ordered pairs.
+/// let preds = Predicates::standard();
+/// assert_eq!(cl.eval_naive(&cycle(6), &preds, None).unwrap(), 18);
+/// ```
+pub fn decompose_ground(psi: &Arc<Formula>, vars: &[Var]) -> Result<ClTerm> {
+    let r = body_radius(psi)?;
+    decompose_ground_with_radius(psi, vars, r)
+}
+
+/// Like [`decompose_ground`] with an explicitly supplied radius (must be
+/// a valid locality radius for ψ).
+pub fn decompose_ground_with_radius(
+    psi: &Arc<Formula>,
+    vars: &[Var],
+    r: u64,
+) -> Result<ClTerm> {
+    decompose_sum(psi, vars, r, false, true)
+}
+
+/// Ablation variant of [`decompose_ground`] with forced-edge pruning
+/// disabled: enumerates all `2^(k choose 2)` connectivity patterns.
+/// Used by experiment E11 to measure what the pruning buys.
+pub fn decompose_ground_unpruned(psi: &Arc<Formula>, vars: &[Var]) -> Result<ClTerm> {
+    let r = body_radius(psi)?;
+    decompose_sum(psi, vars, r, false, false)
+}
+
+/// Decomposes a unary counting term `u(y₁) = #(y₂,…,y_k).ψ(ȳ)` (with
+/// `vars[0] = y₁` free) into a unary cl-term.
+pub fn decompose_unary(psi: &Arc<Formula>, vars: &[Var]) -> Result<ClTerm> {
+    let r = body_radius(psi)?;
+    decompose_unary_with_radius(psi, vars, r)
+}
+
+/// Like [`decompose_unary`] with an explicitly supplied radius.
+pub fn decompose_unary_with_radius(psi: &Arc<Formula>, vars: &[Var], r: u64) -> Result<ClTerm> {
+    decompose_sum(psi, vars, r, true, true)
+}
+
+fn body_radius(psi: &Arc<Formula>) -> Result<u64> {
+    if psi.free_vars().is_empty() {
+        Ok(0)
+    } else {
+        locality_radius(psi)
+    }
+}
+
+/// Maximum number of unconstrained variable pairs the pattern
+/// enumeration will branch over (2^12 = 4096 patterns).
+const MAX_FREE_PAIRS: usize = 12;
+
+/// `#ȳ.ψ = Σ_{G∈G_k} #ȳ.(ψ ∧ δ_G,2r+1)`.
+///
+/// The enumeration is pruned with *forced edges*: if ψ syntactically
+/// guarantees `dist(yᵢ, yⱼ) ≤ 2r+1` (e.g. both variables occur in one
+/// atom), every satisfying tuple has that δ-edge, so patterns without it
+/// contribute zero and are skipped. For conjunctive SQL-style bodies this
+/// collapses the `2^(k choose 2)` patterns to a handful.
+fn decompose_sum(
+    psi: &Arc<Formula>,
+    vars: &[Var],
+    r: u64,
+    unary: bool,
+    prune: bool,
+) -> Result<ClTerm> {
+    assert!(!vars.is_empty(), "decomposition needs at least one variable");
+    let var_set: std::collections::BTreeSet<Var> = vars.iter().copied().collect();
+    if !psi.free_vars().is_subset(&var_set) {
+        return Err(crate::error::LocalityError::NotLocal(
+            "counting body has free variables outside the counted tuple".into(),
+        ));
+    }
+    let k = vars.len();
+    let bound = 2 * r + 1;
+    let mut forced: Vec<(usize, usize)> = Vec::new();
+    let mut free_pairs: Vec<(usize, usize)> = Vec::new();
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let anchors: std::collections::BTreeSet<Var> = [vars[j]].into_iter().collect();
+            let implied = crate::radius::guard_bound(psi, vars[i], &anchors);
+            if prune && implied.is_some_and(|d| d <= bound) {
+                forced.push((i, j));
+            } else {
+                free_pairs.push((i, j));
+            }
+        }
+    }
+    if free_pairs.len() > MAX_FREE_PAIRS {
+        return Err(crate::error::LocalityError::TooComplex(format!(
+            "{} unconstrained variable pairs in a width-{k} counting term",
+            free_pairs.len()
+        )));
+    }
+    let mut parts = Vec::new();
+    for mask in 0usize..(1 << free_pairs.len()) {
+        let mut g = Gk::empty(k);
+        for &(i, j) in &forced {
+            g.set_edge(i, j, true);
+        }
+        for (b, &(i, j)) in free_pairs.iter().enumerate() {
+            if mask & (1 << b) != 0 {
+                g.set_edge(i, j, true);
+            }
+        }
+        parts.push(decompose_with_graph(psi, vars, &g, r, unary)?);
+    }
+    Ok(ClTerm::add(parts))
+}
+
+/// Decomposes `#ȳ.(ψ ∧ δ_G,2r+1)` for one fixed connectivity pattern,
+/// recursing on the number of connected components as in the paper.
+pub fn decompose_with_graph(
+    psi: &Arc<Formula>,
+    vars: &[Var],
+    g: &Gk,
+    r: u64,
+    unary: bool,
+) -> Result<ClTerm> {
+    assert_eq!(vars.len(), g.k());
+    if matches!(&**psi, Formula::Bool(false)) {
+        return Ok(ClTerm::Int(0));
+    }
+    if g.is_connected() {
+        let basic = BasicClTerm::new(vars.to_vec(), unary, g.clone(), r, psi.clone())?;
+        return Ok(ClTerm::Basic(Arc::new(basic)));
+    }
+
+    // Split [k] into V′ (the component of vertex 0) and V″ (the rest).
+    let comps = g.components();
+    let vprime: Vec<usize> =
+        comps.iter().find(|c| c.contains(&0)).expect("vertex 0 is somewhere").clone();
+    let vsecond: Vec<usize> =
+        (0..g.k()).filter(|i| !vprime.contains(i)).collect();
+
+    let side_of: FxHashMap<Var, u8> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, if vprime.contains(&i) { 0u8 } else { 1u8 }))
+        .collect();
+    let sep = 2 * r + 1;
+
+    // Feferman–Vaught: ψ ≡ ⋁ᵢ ψᵢ′(ȳ′) ∧ ψᵢ″(ȳ″) under δ_G (exclusive).
+    let disjuncts = separate(psi, &side_of, sep)?;
+
+    let vars_prime: Vec<Var> = vprime.iter().map(|&i| vars[i]).collect();
+    let vars_second: Vec<Var> = vsecond.iter().map(|&i| vars[i]).collect();
+    let g_prime = g.induced(&vprime);
+    let g_second = g.induced(&vsecond);
+    debug_assert!(g_prime.is_connected());
+
+    let mut total = Vec::new();
+    for d in disjuncts {
+        // t′: the connected V′ part (unary iff the whole term is — vertex
+        // 0 lives in V′).
+        let t_prime = ClTerm::Basic(Arc::new(BasicClTerm::new(
+            vars_prime.clone(),
+            unary,
+            g_prime.clone(),
+            r,
+            d.side0.clone(),
+        )?));
+        // t″: the remaining components, ground, recursively decomposed.
+        let t_second = decompose_with_graph(&d.side1, &vars_second, &g_second, r, false)?;
+
+        // Inclusion–exclusion over the graphs H that add cross edges:
+        // their bodies are ϑ′ ∧ ϑ″ = (ψ′ ∧ δ_{G′}) ∧ (ψ″ ∧ δ_{G″}).
+        let theta = Formula::and(vec![
+            d.side0.clone(),
+            g_prime.delta_formula(&vars_prime, sep as u32),
+            d.side1.clone(),
+            g_second.delta_formula(&vars_second, sep as u32),
+        ]);
+        let mut correction = Vec::new();
+        for h in g.cross_extensions(&vprime, &vsecond) {
+            correction.push(decompose_with_graph(&theta, vars, &h, r, unary)?);
+        }
+        total.push(ClTerm::sub(
+            ClTerm::mul(vec![t_prime, t_second]),
+            ClTerm::add(correction),
+        ));
+    }
+    Ok(ClTerm::add(total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foc_eval::NaiveEvaluator;
+    use foc_logic::build::*;
+    use foc_logic::{Predicates, Term};
+    use foc_structures::gen::{cycle, graph_structure, grid, path, random_tree, star};
+    use foc_structures::Structure;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Checks `#ȳ.ψ` (naive) == decomposed cl-term evaluated naively,
+    /// for the ground case.
+    fn check_ground(psi: &Arc<Formula>, vars: &[Var], s: &Structure) {
+        let p = Predicates::standard();
+        let mut ev = NaiveEvaluator::new(s, &p);
+        let term = Arc::new(Term::Count(vars.to_vec().into_boxed_slice(), psi.clone()));
+        let want = ev.eval_ground(&term).unwrap();
+        let cl = decompose_ground(psi, vars)
+            .unwrap_or_else(|e| panic!("decomposition failed for {psi}: {e}"));
+        let got = cl.eval_naive(s, &p, None).unwrap();
+        assert_eq!(got, want, "ground decomposition disagrees for {psi} on order {}", s.order());
+    }
+
+    /// Checks the unary case at every element.
+    fn check_unary(psi: &Arc<Formula>, vars: &[Var], s: &Structure) {
+        let p = Predicates::standard();
+        let counted: Vec<Var> = vars[1..].to_vec();
+        let term = Arc::new(Term::Count(counted.into_boxed_slice(), psi.clone()));
+        let cl = decompose_unary(psi, vars)
+            .unwrap_or_else(|e| panic!("decomposition failed for {psi}: {e}"));
+        let mut ev = NaiveEvaluator::new(s, &p);
+        for a in s.universe() {
+            let mut env = foc_eval::Assignment::from_pairs([(vars[0], a)]);
+            let want = ev.eval_term(&term, &mut env).unwrap();
+            let got = cl.eval_naive(s, &p, Some(a)).unwrap();
+            assert_eq!(got, want, "unary decomposition disagrees for {psi} at {a}");
+        }
+    }
+
+    fn small_structures() -> Vec<Structure> {
+        let mut rng = StdRng::seed_from_u64(2024);
+        vec![
+            path(6),
+            cycle(5),
+            star(5),
+            grid(3, 2),
+            random_tree(7, &mut rng),
+            graph_structure(7, &[(0, 1), (1, 2), (4, 5)]), // disconnected
+        ]
+    }
+
+    #[test]
+    fn width_one_identity() {
+        // #(y). E(y,y) — trivially connected pattern.
+        let y = v("y");
+        let psi = atom("E", [y, y]);
+        for s in small_structures() {
+            check_ground(&psi, &[y], &s);
+        }
+    }
+
+    #[test]
+    fn width_two_edges() {
+        // #(y1,y2). E(y1,y2): all pairs are adjacent → only the connected
+        // pattern contributes.
+        let y1 = v("y1");
+        let y2 = v("y2");
+        let psi = atom("E", [y1, y2]);
+        for s in small_structures() {
+            check_ground(&psi, &[y1, y2], &s);
+            check_unary(&psi, &[y1, y2], &s);
+        }
+    }
+
+    #[test]
+    fn width_two_non_edges() {
+        // #(y1,y2). ¬E(y1,y2): pairs may be far apart → the disconnected
+        // pattern and the inclusion–exclusion genuinely fire.
+        let y1 = v("y1");
+        let y2 = v("y2");
+        let psi = not(atom("E", [y1, y2]));
+        for s in small_structures() {
+            check_ground(&psi, &[y1, y2], &s);
+            check_unary(&psi, &[y1, y2], &s);
+        }
+    }
+
+    #[test]
+    fn width_two_with_guarded_exists() {
+        // #(y1,y2). (∃z E(y1,z) ∧ ¬∃z (E(y1,z) ∧ E(z,y2))):
+        // counts pairs where y1 has a successor but no 2-path to y2.
+        let y1 = v("y1");
+        let y2 = v("y2");
+        let z = v("z");
+        let psi = and(
+            exists(z, atom("E", [y1, z])),
+            not(exists(z, and(atom("E", [y1, z]), atom("E", [z, y2])))),
+        );
+        for s in small_structures() {
+            check_ground(&psi, &[y1, y2], &s);
+            check_unary(&psi, &[y1, y2], &s);
+        }
+    }
+
+    #[test]
+    fn width_three_triangle_and_scattered() {
+        // Directed-triangle pattern of Example 5.4 (on symmetric E here).
+        let x = v("x");
+        let y = v("y");
+        let z = v("z");
+        let tri = and_all([
+            atom("E", [x, y]),
+            atom("E", [y, z]),
+            atom("E", [z, x]),
+        ]);
+        for s in small_structures() {
+            check_ground(&tri, &[x, y, z], &s);
+            check_unary(&tri, &[x, y, z], &s);
+        }
+        // Fully scattered triples: ¬E ∧ distinctness — all patterns fire.
+        let scattered = and_all([
+            not(atom("E", [x, y])),
+            not(atom("E", [y, z])),
+            not(atom("E", [z, x])),
+            not(eq(x, y)),
+            not(eq(y, z)),
+            not(eq(x, z)),
+        ]);
+        for s in small_structures() {
+            check_ground(&scattered, &[x, y, z], &s);
+        }
+    }
+
+    #[test]
+    fn dist_atom_bodies() {
+        // #(y1,y2). (dist(y1,y2) ≤ 2 ∧ ¬E(y1,y2)).
+        let y1 = v("y1");
+        let y2 = v("y2");
+        let psi = and(dist_le(y1, y2, 2), not(atom("E", [y1, y2])));
+        for s in small_structures() {
+            check_ground(&psi, &[y1, y2], &s);
+            check_unary(&psi, &[y1, y2], &s);
+        }
+    }
+
+    #[test]
+    fn vacuous_counted_variable() {
+        // #(y1,y2). E(y1,y1): y2 unconstrained → multiplies by |A| via the
+        // disconnected pattern.
+        let y1 = v("y1");
+        let y2 = v("y2");
+        let psi = atom("E", [y1, y1]);
+        for s in small_structures() {
+            check_ground(&psi, &[y1, y2], &s);
+        }
+    }
+
+    #[test]
+    fn term_counts_are_reasonable() {
+        let y1 = v("y1");
+        let y2 = v("y2");
+        let psi = not(atom("E", [y1, y2]));
+        let cl = decompose_ground(&psi, &[y1, y2]).unwrap();
+        // 2 patterns; the disconnected one expands to a product minus one
+        // correction per disjunct.
+        assert!(cl.num_basics() >= 3, "got {}", cl.num_basics());
+        assert!(cl.num_basics() <= 40, "blow-up: {}", cl.num_basics());
+    }
+}

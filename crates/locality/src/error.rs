@@ -1,0 +1,46 @@
+//! Errors of the rewriting pipeline.
+
+use std::fmt;
+
+/// Why a formula could not be processed by the locality machinery.
+///
+/// The Gaifman normal form of Theorem 6.7 exists for *all* of FO, but its
+/// general construction is non-elementary; this implementation covers the
+/// separable fragment described in DESIGN.md §3. Formulas outside it are
+/// rejected with these errors and remain evaluable by the naive engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocalityError {
+    /// The formula contains an unguarded quantifier whose witness cannot
+    /// be localised; the payload describes the offending subformula.
+    NotLocal(String),
+    /// The Feferman–Vaught splitting or Shannon expansion exceeded the
+    /// configured size budget.
+    TooComplex(String),
+    /// The formula is not first-order (contains counting constructs where
+    /// only FO/FO⁺ is allowed).
+    NotFirstOrder(String),
+    /// An evaluation step inside the rewriting failed.
+    Eval(foc_eval::EvalError),
+}
+
+impl fmt::Display for LocalityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LocalityError::NotLocal(s) => write!(f, "formula is not (recognisably) local: {s}"),
+            LocalityError::TooComplex(s) => write!(f, "decomposition too complex: {s}"),
+            LocalityError::NotFirstOrder(s) => write!(f, "not a first-order (sub)formula: {s}"),
+            LocalityError::Eval(e) => write!(f, "evaluation error during rewriting: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LocalityError {}
+
+impl From<foc_eval::EvalError> for LocalityError {
+    fn from(e: foc_eval::EvalError) -> Self {
+        LocalityError::Eval(e)
+    }
+}
+
+/// Result alias for the locality machinery.
+pub type Result<T> = std::result::Result<T, LocalityError>;

@@ -1,0 +1,267 @@
+//! The connectivity graphs `G ∈ G_k` of Section 6.1: undirected graphs on
+//! vertex set `[k]` (0-indexed here) used to partition `A^k` by which
+//! tuple components are within distance `2r+1` of each other, and the
+//! distance formulas `δ_G,r(ȳ)`.
+
+use std::sync::Arc;
+
+use foc_logic::build::{dist_gt, dist_le};
+use foc_logic::{Formula, Var};
+
+/// An undirected graph on vertices `0..k`, stored as an upper-triangular
+/// bitset. `k ≤ 8` in practice (counting terms of width ≤ 8).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Gk {
+    k: usize,
+    /// `bits[idx(i,j)]` for i < j.
+    bits: Vec<bool>,
+}
+
+fn pair_index(k: usize, i: usize, j: usize) -> usize {
+    debug_assert!(i < j && j < k);
+    // Row-major upper triangle: offset of row i is Σ_{t<i} (k-1-t).
+    i * (2 * k - i - 1) / 2 + (j - i - 1)
+}
+
+impl Gk {
+    /// The empty graph on `k` vertices.
+    pub fn empty(k: usize) -> Gk {
+        assert!(k >= 1, "G_k is defined for k ≥ 1");
+        Gk { k, bits: vec![false; k * (k - 1) / 2] }
+    }
+
+    /// Builds a graph from an edge list.
+    pub fn from_edges(k: usize, edges: &[(usize, usize)]) -> Gk {
+        let mut g = Gk::empty(k);
+        for &(i, j) in edges {
+            g.set_edge(i, j, true);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Edge test (symmetric; no self-loops).
+    pub fn edge(&self, i: usize, j: usize) -> bool {
+        if i == j {
+            return false;
+        }
+        let (a, b) = (i.min(j), i.max(j));
+        self.bits[pair_index(self.k, a, b)]
+    }
+
+    /// Sets or clears an edge.
+    pub fn set_edge(&mut self, i: usize, j: usize, val: bool) {
+        assert!(i != j, "no self-loops in G_k");
+        let (a, b) = (i.min(j), i.max(j));
+        let idx = pair_index(self.k, a, b);
+        self.bits[idx] = val;
+    }
+
+    /// All graphs on `[k]` — `2^(k choose 2)` of them. Panics for `k > 6`
+    /// (beyond that the decomposition would be astronomically large
+    /// anyway).
+    pub fn enumerate(k: usize) -> Vec<Gk> {
+        assert!((1..=6).contains(&k), "G_k enumeration limited to k ≤ 6");
+        let m = k * (k - 1) / 2;
+        (0..(1usize << m))
+            .map(|mask| {
+                let bits = (0..m).map(|b| mask & (1 << b) != 0).collect();
+                Gk { k, bits }
+            })
+            .collect()
+    }
+
+    /// Connected components as sorted vertex lists, ordered by minimum
+    /// vertex.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let mut seen = vec![false; self.k];
+        let mut comps = Vec::new();
+        for s in 0..self.k {
+            if seen[s] {
+                continue;
+            }
+            let mut comp = vec![s];
+            seen[s] = true;
+            let mut stack = vec![s];
+            while let Some(u) = stack.pop() {
+                for w in 0..self.k {
+                    if !seen[w] && self.edge(u, w) {
+                        seen[w] = true;
+                        comp.push(w);
+                        stack.push(w);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps
+    }
+
+    /// `true` iff the graph is connected.
+    pub fn is_connected(&self) -> bool {
+        self.components().len() == 1
+    }
+
+    /// The induced subgraph on a sorted vertex subset, with vertices
+    /// renumbered `0..subset.len()`.
+    pub fn induced(&self, subset: &[usize]) -> Gk {
+        let mut g = Gk::empty(subset.len());
+        for (a, &i) in subset.iter().enumerate() {
+            for (b, &j) in subset.iter().enumerate().skip(a + 1) {
+                if self.edge(i, j) {
+                    g.set_edge(a, b, true);
+                }
+            }
+        }
+        g
+    }
+
+    /// A BFS ordering of a *connected* graph starting at vertex 0; every
+    /// vertex after the first has at least one earlier neighbour. Used by
+    /// the ball-enumeration evaluator to extend partial tuples along
+    /// edges.
+    pub fn bfs_order(&self) -> Vec<usize> {
+        assert!(self.is_connected(), "bfs_order requires a connected graph");
+        let mut order = vec![0usize];
+        let mut seen = vec![false; self.k];
+        seen[0] = true;
+        let mut head = 0;
+        while head < order.len() {
+            let u = order[head];
+            head += 1;
+            for w in 0..self.k {
+                if !seen[w] && self.edge(u, w) {
+                    seen[w] = true;
+                    order.push(w);
+                }
+            }
+        }
+        order
+    }
+
+    /// The set `H` of Lemma 6.4: all graphs `H ≠ G` on `[k]` with
+    /// `H[V′] = G[V′]` and `H[V″] = G[V″]`, i.e. every non-empty pattern
+    /// of cross edges between `vprime` and `vsecond` added to `G`.
+    pub fn cross_extensions(&self, vprime: &[usize], vsecond: &[usize]) -> Vec<Gk> {
+        let pairs: Vec<(usize, usize)> = vprime
+            .iter()
+            .flat_map(|&i| vsecond.iter().map(move |&j| (i, j)))
+            .collect();
+        let m = pairs.len();
+        assert!(m <= 20, "cross-extension pattern too large");
+        let mut out = Vec::with_capacity((1 << m) - 1);
+        for mask in 1usize..(1 << m) {
+            let mut h = self.clone();
+            for (b, &(i, j)) in pairs.iter().enumerate() {
+                if mask & (1 << b) != 0 {
+                    h.set_edge(i, j, true);
+                }
+            }
+            out.push(h);
+        }
+        out
+    }
+
+    /// The distance formula `δ_G,r(ȳ)` of Section 6.1 in FO⁺: conjunction
+    /// of `dist(yᵢ,yⱼ) ≤ r` for edges and `dist(yᵢ,yⱼ) > r` for
+    /// non-edges.
+    pub fn delta_formula(&self, vars: &[Var], r: u32) -> Arc<Formula> {
+        assert_eq!(vars.len(), self.k);
+        let mut parts = Vec::new();
+        for i in 0..self.k {
+            for j in (i + 1)..self.k {
+                if self.edge(i, j) {
+                    parts.push(dist_le(vars[i], vars[j], r));
+                } else {
+                    parts.push(dist_gt(vars[i], vars[j], r));
+                }
+            }
+        }
+        Formula::and(parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foc_logic::build::v;
+
+    #[test]
+    fn pair_index_is_a_bijection() {
+        for k in 2..=6usize {
+            let mut seen = vec![false; k * (k - 1) / 2];
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    let idx = pair_index(k, i, j);
+                    assert!(!seen[idx], "collision at ({i},{j}) for k={k}");
+                    seen[idx] = true;
+                }
+            }
+            assert!(seen.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn enumerate_counts() {
+        assert_eq!(Gk::enumerate(1).len(), 1);
+        assert_eq!(Gk::enumerate(2).len(), 2);
+        assert_eq!(Gk::enumerate(3).len(), 8);
+        assert_eq!(Gk::enumerate(4).len(), 64);
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let g = Gk::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(g.components(), vec![vec![0, 1], vec![2, 3]]);
+        assert!(!g.is_connected());
+        let h = Gk::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert!(h.is_connected());
+        assert_eq!(h.bfs_order(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn induced_subgraph() {
+        let g = Gk::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let sub = g.induced(&[1, 2, 3]);
+        assert!(sub.edge(0, 1) && sub.edge(1, 2) && !sub.edge(0, 2));
+    }
+
+    #[test]
+    fn cross_extensions_count_and_shape() {
+        let g = Gk::from_edges(3, &[(1, 2)]); // component {0} and {1,2}
+        let hs = g.cross_extensions(&[0], &[1, 2]);
+        assert_eq!(hs.len(), 3); // 2^2 - 1 cross patterns
+        for h in &hs {
+            assert!(h.edge(1, 2), "within-side edges preserved");
+            assert!(h.edge(0, 1) || h.edge(0, 2));
+            assert!(*h != g);
+        }
+    }
+
+    #[test]
+    fn delta_formula_shape() {
+        let g = Gk::from_edges(3, &[(0, 1)]);
+        let vars = [v("a"), v("b"), v("c")];
+        let f = g.delta_formula(&vars, 5);
+        let s = f.to_string();
+        assert!(s.contains("dist(a, b) <= 5"), "{s}");
+        assert!(s.contains("!(dist(a, c) <= 5)"), "{s}");
+        assert!(s.contains("!(dist(b, c) <= 5)"), "{s}");
+    }
+
+    #[test]
+    fn bfs_order_visits_neighbours_first() {
+        let g = Gk::from_edges(5, &[(0, 2), (2, 4), (4, 1), (1, 3)]);
+        let order = g.bfs_order();
+        assert_eq!(order[0], 0);
+        // Each later vertex has an earlier neighbour.
+        for (pos, &u) in order.iter().enumerate().skip(1) {
+            assert!(order[..pos].iter().any(|&w| g.edge(u, w)));
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! Constructive Gaifman normal form (Theorem 6.7) for the separable
+//! fragment.
+//!
+//! The output is an equivalent FO⁺ formula that is a Boolean combination
+//! of (i) formulas that are local around their free variables and
+//! (ii) *scattered sentences* `∃y₁…y_m (pairwise dist > 2s ∧ ⋀ β(yᵢ))`
+//! — the basic local sentences of Definition 6.6. Everything stays plain
+//! FO⁺, so the result can be compared semantically against the input (the
+//! property tests do exactly that).
+//!
+//! The only non-trivial step is an unguarded existential `∃y ψ(x̄,y)`:
+//! with `ψ` r-local and `s := 2r+1` it is split into a *near* part
+//! (`dist(y,x̄) ≤ s`, guarded, hence local) and a *far* part which, after
+//! Feferman–Vaught splitting of ψ into `⋁ᵢ αᵢ(x̄) ∧ βᵢ(y)`, reduces to
+//! the far-witness identity (proved in the module tests semantically):
+//!
+//! `∃y (dist(y,x̄) > s ∧ β(y))  ⟺  W(x̄) ∨ ⋁_{m=0}^{k} (N_m ∧ ¬N_{m+1} ∧ S_{m+1})`
+//!
+//! where `W` says a β-point lies in the annulus `(s, 3s]` around x̄,
+//! `N_m` says m pairwise->2s-scattered β-points lie within `s` of x̄
+//! (local; `N_{k+1}` is false because each xᵢ is within s of at most one
+//! scattered point), and `S_m` is the scattered sentence "m pairwise->2s
+//! β-points exist".
+
+use std::sync::Arc;
+
+use foc_logic::build::{dist_gt, dist_le};
+use foc_logic::subst::{nnf, rename_free};
+use foc_logic::{Formula, Var};
+use foc_structures::FxHashMap;
+
+use crate::error::{LocalityError, Result};
+use crate::radius::locality_radius;
+use crate::separate::{refresh_bound, separate};
+
+/// Maximum number of sentence atoms the case expansion branches over.
+const MAX_SENTENCE_ATOMS: usize = 10;
+
+/// Computes a Gaifman normal form of `f` (which must be FO⁺ in the
+/// separable fragment). The result is semantically equivalent to `f` on
+/// every structure.
+pub fn gaifman_nf(f: &Arc<Formula>) -> Result<Arc<Formula>> {
+    let prepared = refresh_bound(&nnf(f));
+    process(&prepared)
+}
+
+fn process(f: &Arc<Formula>) -> Result<Arc<Formula>> {
+    match &**f {
+        Formula::Bool(_) | Formula::Eq(..) | Formula::Atom(_) | Formula::DistLe { .. } => {
+            Ok(f.clone())
+        }
+        Formula::Not(g) => Ok(Formula::not(process(g)?)),
+        Formula::And(gs) => {
+            Ok(Formula::and(gs.iter().map(process).collect::<Result<Vec<_>>>()?))
+        }
+        Formula::Or(gs) => {
+            Ok(Formula::or(gs.iter().map(process).collect::<Result<Vec<_>>>()?))
+        }
+        Formula::Exists(y, g) => {
+            let body = process(g)?;
+            quantify(*y, body)
+        }
+        Formula::Forall(..) => Err(LocalityError::NotLocal(
+            "universal quantifier survived NNF in GNF".into(),
+        )),
+        Formula::Pred { .. } =>
+
+            Err(LocalityError::NotFirstOrder(format!("GNF is defined on FO⁺ only: {f}"))),
+    }
+}
+
+/// Rewrites `∃y body` where `body` is already in GNF.
+fn quantify(y: Var, body: Arc<Formula>) -> Result<Arc<Formula>> {
+    if !body.free_vars().contains(&y) {
+        return Ok(body); // vacuous over a non-empty universe
+    }
+    // Pull the scattered/sentence components out of the body so the
+    // remainder is local around its free variables.
+    let cases = extract_sentences(&body)?;
+    let mut branches = Vec::new();
+    for (sentence_literals, local_part) in cases {
+        let case_conj: Vec<Arc<Formula>> = sentence_literals
+            .iter()
+            .map(|(s, pol)| if *pol { s.clone() } else { Formula::not(s.clone()) })
+            .collect();
+        let quantified = quantify_local(y, &local_part)?;
+        let mut parts = case_conj;
+        parts.push(quantified);
+        branches.push(Formula::and(parts));
+    }
+    Ok(Formula::or(branches))
+}
+
+/// Quantifies a *local* body: keeps guarded existentials as local
+/// formulas and applies the near/far split otherwise.
+fn quantify_local(y: Var, body: &Arc<Formula>) -> Result<Arc<Formula>> {
+    if !body.free_vars().contains(&y) {
+        return Ok(body.clone());
+    }
+    let exists: Arc<Formula> = Arc::new(Formula::Exists(y, body.clone()));
+    let anchors: Vec<Var> = exists.free_vars().into_iter().collect();
+    if anchors.is_empty() {
+        // A sentence ∃y β(y): keep as a scattered sentence with m = 1
+        // (the clnf layer turns it into a ground cl-term).
+        locality_radius(body)?; // body must be local around y
+        return Ok(exists);
+    }
+    if locality_radius(&exists).is_ok() {
+        // Guarded: already local.
+        return Ok(exists);
+    }
+    // Near/far split.
+    let r = locality_radius(body)?;
+    let s = u32::try_from(2 * r + 1)
+        .map_err(|_| LocalityError::TooComplex("radius too large".into()))?;
+    let near_guard =
+        Formula::or(anchors.iter().map(|&x| dist_le(y, x, s)).collect());
+    let near: Arc<Formula> = Arc::new(Formula::Exists(
+        y,
+        Formula::and(vec![near_guard, body.clone()]),
+    ));
+
+    // Far: FV-split body into ⋁ αᵢ(x̄) ∧ βᵢ(y).
+    let mut side_of: FxHashMap<Var, u8> = FxHashMap::default();
+    for &x in &anchors {
+        side_of.insert(x, 0);
+    }
+    side_of.insert(y, 1);
+    let disjuncts = separate(body, &side_of, u64::from(s))?;
+    let mut far_parts = Vec::new();
+    for d in disjuncts {
+        let alpha = d.side0.clone();
+        let beta = d.side1.clone();
+        let witness = far_witness(y, &beta, &anchors, s)?;
+        far_parts.push(Formula::and(vec![alpha, witness]));
+    }
+    Ok(Formula::or(vec![near, Formula::or(far_parts)]))
+}
+
+/// The far-witness identity: `∃y (dist(y,x̄) > s ∧ β(y))`.
+fn far_witness(y: Var, beta: &Arc<Formula>, anchors: &[Var], s: u32) -> Result<Arc<Formula>> {
+    let k = anchors.len();
+    // W(x̄): a β-point in the annulus (s, 3s].
+    let far_from_all =
+        Formula::and(anchors.iter().map(|&x| dist_gt(y, x, s)).collect());
+    let within_3s = Formula::or(
+        anchors.iter().map(|&x| dist_le(y, x, 3 * s)).collect(),
+    );
+    let w: Arc<Formula> = Arc::new(Formula::Exists(
+        y,
+        Formula::and(vec![far_from_all, within_3s, beta.clone()]),
+    ));
+
+    // N_m(x̄) and S_m.
+    let n = |m: usize| -> Arc<Formula> {
+        if m == 0 {
+            return Arc::new(Formula::Bool(true));
+        }
+        if m > k {
+            return Arc::new(Formula::Bool(false));
+        }
+        let vars: Vec<Var> = (0..m).map(|i| Var::fresh(&format!("n{i}"))).collect();
+        let mut parts = Vec::new();
+        for i in 0..m {
+            for j in (i + 1)..m {
+                parts.push(dist_gt(vars[i], vars[j], 2 * s));
+            }
+        }
+        for &vi in &vars {
+            let mut map = std::collections::HashMap::new();
+            map.insert(y, vi);
+            parts.push(rename_free(beta, &map));
+            parts.push(Formula::or(
+                anchors.iter().map(|&x| dist_le(vi, x, s)).collect(),
+            ));
+        }
+        let mut f = Formula::and(parts);
+        for &vi in vars.iter().rev() {
+            f = Arc::new(Formula::Exists(vi, f));
+        }
+        f
+    };
+    let scat = |m: usize| -> Arc<Formula> {
+        let vars: Vec<Var> = (0..m).map(|i| Var::fresh(&format!("s{i}"))).collect();
+        let mut parts = Vec::new();
+        for i in 0..m {
+            for j in (i + 1)..m {
+                parts.push(dist_gt(vars[i], vars[j], 2 * s));
+            }
+        }
+        for &vi in &vars {
+            let mut map = std::collections::HashMap::new();
+            map.insert(y, vi);
+            parts.push(rename_free(beta, &map));
+        }
+        let mut f = Formula::and(parts);
+        for &vi in vars.iter().rev() {
+            f = Arc::new(Formula::Exists(vi, f));
+        }
+        f
+    };
+
+    let mut cases = vec![w];
+    for m in 0..=k {
+        cases.push(Formula::and(vec![
+            n(m),
+            Formula::not(n(m + 1)),
+            scat(m + 1),
+        ]));
+    }
+    Ok(Formula::or(cases))
+}
+
+/// Shannon expansion over the maximal *quantified sentence* subformulas:
+/// returns cases `(literals, residual)` where the residual has the
+/// sentences substituted by the case's truth values. Cases whose residual
+/// is `false` are dropped.
+pub fn extract_sentences(
+    f: &Arc<Formula>,
+) -> Result<Vec<(Vec<(Arc<Formula>, bool)>, Arc<Formula>)>> {
+    let mut out = Vec::new();
+    let mut path = Vec::new();
+    extract_rec(f.clone(), &mut path, &mut out, 0)?;
+    Ok(out)
+}
+
+fn extract_rec(
+    f: Arc<Formula>,
+    path: &mut Vec<(Arc<Formula>, bool)>,
+    out: &mut Vec<(Vec<(Arc<Formula>, bool)>, Arc<Formula>)>,
+    depth: usize,
+) -> Result<()> {
+    let Some(sentence) = first_sentence_atom(&f) else {
+        if !matches!(&*f, Formula::Bool(false)) {
+            out.push((path.clone(), f));
+        }
+        return Ok(());
+    };
+    if depth >= MAX_SENTENCE_ATOMS {
+        return Err(LocalityError::TooComplex(
+            "too many sentence subformulas in case expansion".into(),
+        ));
+    }
+    for value in [true, false] {
+        let substituted = replace_equal(&f, &sentence, value);
+        path.push((sentence.clone(), value));
+        extract_rec(substituted, path, out, depth + 1)?;
+        path.pop();
+    }
+    Ok(())
+}
+
+/// Finds a maximal subformula that is a sentence containing a
+/// quantifier (used by the engine's Lemma 6.5-style sentence
+/// resolution).
+pub fn first_sentence_atom(f: &Arc<Formula>) -> Option<Arc<Formula>> {
+    if f.free_vars().is_empty() && f.quantifier_rank() > 0 {
+        return Some(f.clone());
+    }
+    match &**f {
+        Formula::Not(g) => first_sentence_atom(g),
+        Formula::And(gs) | Formula::Or(gs) => gs.iter().find_map(first_sentence_atom),
+        Formula::Exists(_, g) | Formula::Forall(_, g) => {
+            // A closed proper subformula inside a quantifier's scope is
+            // still a sentence; look inside.
+            first_sentence_atom(g)
+        }
+        _ => None,
+    }
+}
+
+/// Replaces every structurally-equal occurrence of `target` by a
+/// Boolean constant, folding with the smart constructors.
+pub fn replace_equal(f: &Arc<Formula>, target: &Arc<Formula>, value: bool) -> Arc<Formula> {
+    if f == target {
+        return Arc::new(Formula::Bool(value));
+    }
+    match &**f {
+        Formula::Not(g) => Formula::not(replace_equal(g, target, value)),
+        Formula::And(gs) => {
+            Formula::and(gs.iter().map(|g| replace_equal(g, target, value)).collect())
+        }
+        Formula::Or(gs) => {
+            Formula::or(gs.iter().map(|g| replace_equal(g, target, value)).collect())
+        }
+        Formula::Exists(y, g) => Arc::new(Formula::Exists(*y, replace_equal(g, target, value))),
+        Formula::Forall(y, g) => Arc::new(Formula::Forall(*y, replace_equal(g, target, value))),
+        _ => f.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foc_eval::{Assignment, NaiveEvaluator};
+    use foc_logic::build::*;
+    use foc_logic::Predicates;
+    use foc_structures::gen::{caterpillar, cycle, graph_structure, grid, path, random_tree};
+    use foc_structures::Structure;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Semantic equivalence of f and gnf(f) over all assignments on small
+    /// structures — the theorem statement, checked by brute force.
+    fn check_equiv(f: &Arc<Formula>, structures: &[Structure]) {
+        let g = gaifman_nf(f).unwrap_or_else(|e| panic!("GNF failed for {f}: {e}"));
+        let p = Predicates::standard();
+        let free: Vec<Var> = f.free_vars().into_iter().collect();
+        for s in structures {
+            let mut ev = NaiveEvaluator::new(s, &p);
+            let n = s.order();
+            let k = free.len();
+            let mut tuple = vec![0u32; k];
+            let mut done = false;
+            while !done {
+                let mut env1 = Assignment::from_pairs(
+                    free.iter().copied().zip(tuple.iter().copied()),
+                );
+                let want = ev.check(f, &mut env1).unwrap();
+                let got = ev.check(&g, &mut env1).unwrap();
+                assert_eq!(
+                    want, got,
+                    "GNF disagrees for {f} at {tuple:?} on order {n}"
+                );
+                // Advance to the next tuple (odometer); finish when all
+                // positions wrap (or immediately for sentences).
+                done = true;
+                for i in 0..k {
+                    tuple[i] += 1;
+                    if tuple[i] < n {
+                        done = false;
+                        break;
+                    }
+                    tuple[i] = 0;
+                }
+            }
+        }
+    }
+
+    fn structures() -> Vec<Structure> {
+        let mut rng = StdRng::seed_from_u64(31);
+        vec![
+            path(7),
+            cycle(6),
+            grid(3, 2),
+            caterpillar(3, 2),
+            random_tree(8, &mut rng),
+            graph_structure(9, &[(0, 1), (1, 2), (4, 5), (5, 6), (6, 4)]),
+        ]
+    }
+
+    #[test]
+    fn guarded_formulas_pass_through() {
+        let f = exists(v("z"), atom("E", [v("x"), v("z")]));
+        check_equiv(&f, &structures());
+    }
+
+    #[test]
+    fn unguarded_far_witness_single_anchor() {
+        // ∃z (¬E(x,z) ∧ ¬(x = z)): "some vertex is not x and not adjacent
+        // to x" — the classical non-local formula requiring scattered
+        // sentences.
+        let f = exists(v("z"), and(not(atom("E", [v("x"), v("z")])), not(eq(v("x"), v("z")))));
+        check_equiv(&f, &structures());
+    }
+
+    #[test]
+    fn unguarded_with_unary_property() {
+        // Colored structures: ∃z (R(z) ∧ ¬E(x,z)).
+        let mut b = foc_structures::StructureBuilder::new();
+        b.declare("E", 2);
+        b.declare("R", 1);
+        b.ensure_universe(7);
+        for (u, w) in [(0u32, 1u32), (1, 2), (2, 3), (4, 5)] {
+            b.insert("E", &[u, w]);
+            b.insert("E", &[w, u]);
+        }
+        for r in [1u32, 4, 6] {
+            b.insert("R", &[r]);
+        }
+        let s = b.finish();
+        let f = exists(
+            v("z"),
+            and(atom_vec("R", vec![v("z")]), not(atom("E", [v("x"), v("z")]))),
+        );
+        check_equiv(&f, &[s]);
+    }
+
+    #[test]
+    fn sentences_become_scattered_blocks() {
+        // ∃z∃w (¬E(z,w) ∧ ¬(z=w)): a sentence; GNF must still be
+        // equivalent.
+        let f = exists(
+            v("z"),
+            exists(v("w"), and(not(atom("E", [v("z"), v("w")])), not(eq(v("z"), v("w"))))),
+        );
+        check_equiv(&f, &structures());
+    }
+
+    #[test]
+    fn mixed_sentence_and_local() {
+        // R-free graphs: local part ∧ global sentence.
+        let f = and(
+            exists(v("z"), atom("E", [v("x"), v("z")])),
+            exists(v("a"), exists(v("b"), and(atom("E", [v("a"), v("b")]), not(eq(v("a"), v("b")))))),
+        );
+        check_equiv(&f, &structures());
+    }
+
+    #[test]
+    fn two_anchors_far_witness() {
+        // ∃z (¬E(x,z) ∧ ¬E(y,z) ∧ ¬(x=z) ∧ ¬(y=z)): two anchors.
+        let f = exists(
+            v("z"),
+            and_all([
+                not(atom("E", [v("x"), v("z")])),
+                not(atom("E", [v("y"), v("z")])),
+                not(eq(v("x"), v("z"))),
+                not(eq(v("y"), v("z"))),
+            ]),
+        );
+        check_equiv(&f, &structures());
+    }
+
+    #[test]
+    fn forall_via_nnf() {
+        // ∀z (E(x,z) → E(z,x)) — symmetric by construction, but checks
+        // the ∀ path (negated existential with guard).
+        let f = forall(
+            v("z"),
+            or(not(atom("E", [v("x"), v("z")])), atom("E", [v("z"), v("x")])),
+        );
+        check_equiv(&f, &structures());
+    }
+
+    #[test]
+    fn gnf_produces_recognisable_parts() {
+        let f = exists(v("z"), and(not(atom("E", [v("x"), v("z")])), not(eq(v("x"), v("z")))));
+        let g = gaifman_nf(&f).unwrap();
+        // Some scattered sentence must appear (the graph can be larger
+        // than any ball around x).
+        let cases = extract_sentences(&g).unwrap();
+        assert!(cases.len() > 1, "expected sentence case-split, got {g}");
+        // The residual parts must be recognisably local.
+        for (_, residual) in &cases {
+            if !residual.free_vars().is_empty() {
+                locality_radius(residual).unwrap_or_else(|e| {
+                    panic!("non-local residual {residual}: {e}")
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,613 @@
+//! Ball-based evaluation of basic cl-terms (Remark 6.3): because the
+//! connectivity graph of a basic cl-term is connected, the value
+//! `u^A[a]` only depends on the `R`-neighbourhood of `a`, with
+//! `R = r_body + (k−1)·(2r+1)` (Lemma 6.1). The evaluator therefore
+//! explores `N_R(a)`, builds its induced substructure once, and
+//! backtracks over tuple extensions along the edges of `G`, checking the
+//! δ-constraints with bounded BFS inside the ball and the local body with
+//! the reference evaluator on the ball.
+//!
+//! On classes with polynomial ball growth (bounded degree, trees, grids,
+//! bounded expansion…) this yields the paper's fixed-parameter
+//! almost-linear behaviour; on dense structures the balls, and hence the
+//! cost, degenerate — exactly the dichotomy the theory predicts.
+
+use std::sync::Arc;
+
+use foc_eval::{Assignment, NaiveEvaluator};
+use foc_logic::Predicates;
+use foc_structures::{BfsScratch, FxHashMap, Structure};
+
+use crate::clterm::{BasicClTerm, ClTerm};
+use crate::error::{LocalityError, Result};
+
+/// Work counters for the local evaluator.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LocalStats {
+    /// Balls materialised.
+    pub balls: u64,
+    /// Total elements across materialised balls.
+    pub ball_elements: u64,
+    /// Tuples fully assembled and checked against the body.
+    pub tuples_checked: u64,
+}
+
+/// A value of a cl-term over a structure: one integer per element for
+/// unary terms, a single integer broadcast for ground ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClValue {
+    /// A ground value.
+    Scalar(i64),
+    /// Per-element values (indexed by element id).
+    Vector(Vec<i64>),
+}
+
+impl ClValue {
+    /// The value at element `a`.
+    pub fn at(&self, a: u32) -> i64 {
+        match self {
+            ClValue::Scalar(s) => *s,
+            ClValue::Vector(v) => v[a as usize],
+        }
+    }
+}
+
+/// Evaluates basic cl-terms by neighbourhood exploration.
+pub struct LocalEvaluator<'a> {
+    a: &'a Structure,
+    preds: &'a Predicates,
+    scratch: BfsScratch,
+    /// Derive tuple candidates from guard atoms (relational-index
+    /// lookups) in addition to δ-balls. Ablation toggle for E11.
+    pub use_atom_candidates: bool,
+    /// Skip elements outside the guard-atom support of `y₁`. Ablation
+    /// toggle for E11.
+    pub use_support: bool,
+    /// Work counters.
+    pub stats: LocalStats,
+}
+
+impl<'a> LocalEvaluator<'a> {
+    /// Creates a local evaluator over `a`.
+    pub fn new(a: &'a Structure, preds: &'a Predicates) -> LocalEvaluator<'a> {
+        LocalEvaluator {
+            a,
+            preds,
+            scratch: BfsScratch::new(),
+            use_atom_candidates: true,
+            use_support: true,
+            stats: LocalStats::default(),
+        }
+    }
+
+    /// The exploration radius for a basic cl-term (Lemma 6.1 /
+    /// Remark 6.3).
+    pub fn exploration_radius(b: &BasicClTerm) -> u64 {
+        let k = b.width() as u64;
+        b.body_radius.max(b.radius) + (k - 1) * b.delta_bound()
+    }
+
+    /// `u^A[a]` for a unary (or ground-used-as-unary) basic cl-term: the
+    /// number of extensions `(a₂,…,a_k)` with `y₁ = a` satisfying
+    /// `ψ ∧ δ_G,2r+1`.
+    ///
+    /// The enumeration is ball-local by construction (candidates come
+    /// from bounded-BFS distance maps, so only `N_R(a)` is ever touched,
+    /// with `R` the exploration radius of Lemma 6.1); the body is checked
+    /// directly in `A` — its value at a tuple *is* the cl-term's
+    /// semantics, and the candidate-driven reference evaluator keeps that
+    /// check neighbourhood-local for the separable fragment.
+    pub fn eval_basic_at(&mut self, b: &BasicClTerm, a: u32) -> Result<i64> {
+        let k = b.width();
+        if k == 1 {
+            // Width-1 term: the count is 1 iff ψ holds at a.
+            let mut ev = NaiveEvaluator::new(self.a, self.preds);
+            let mut env = Assignment::from_pairs([(b.vars[0], a)]);
+            self.stats.tuples_checked += 1;
+            return Ok(if ev.check(&b.body, &mut env)? { 1 } else { 0 });
+        }
+
+        let bound = u32::try_from(b.delta_bound()).expect("delta bound fits u32");
+        let order = b.graph.bfs_order();
+        debug_assert_eq!(order[0], 0);
+
+        // Bounded-BFS distance maps from every assigned value (lazy).
+        let mut dist_maps: FxHashMap<u32, FxHashMap<u32, u32>> = FxHashMap::default();
+        let start_map = self.a.gaifman().distances_from(a, bound, &mut self.scratch);
+        self.stats.balls += 1;
+        self.stats.ball_elements += start_map.len() as u64;
+        dist_maps.insert(a, start_map);
+
+        let mut assigned: Vec<(usize, u32)> = vec![(0, a)]; // (graph node, value)
+        let mut count: i64 = 0;
+        let mut ev = NaiveEvaluator::new(self.a, self.preds);
+        self.backtrack(b, &order, 1, &mut assigned, &mut dist_maps, &mut ev, &mut count)?;
+        Ok(count)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn backtrack(
+        &mut self,
+        b: &BasicClTerm,
+        order: &[usize],
+        idx: usize,
+        assigned: &mut Vec<(usize, u32)>,
+        dist_maps: &mut FxHashMap<u32, FxHashMap<u32, u32>>,
+        ev: &mut NaiveEvaluator<'_>,
+        count: &mut i64,
+    ) -> Result<()> {
+        if idx == order.len() {
+            // δ fully checked along the way; test the body.
+            let mut env = Assignment::from_pairs(
+                assigned.iter().map(|&(node, val)| (b.vars[node], val)),
+            );
+            self.stats.tuples_checked += 1;
+            if ev.check(&b.body, &mut env)? {
+                *count = count
+                    .checked_add(1)
+                    .ok_or(LocalityError::Eval(foc_eval::EvalError::Overflow))?;
+            }
+            return Ok(());
+        }
+        let node = order[idx];
+        let bound = u32::try_from(b.delta_bound()).expect("delta bound fits u32");
+        // Candidates: preferably from a positive guard atom of the body
+        // that mentions this variable together with an assigned one
+        // (a relational-index lookup); otherwise from the δ-ball of an
+        // assigned G-neighbour (BFS order guarantees one exists). Values
+        // outside the guard atom's rows falsify the body, and values
+        // outside the ball falsify δ, so both candidate sets are sound.
+        let atom_cands =
+            if self.use_atom_candidates { self.atom_candidates(b, node, assigned) } else { None };
+        let candidates: Vec<u32> = match atom_cands {
+            Some(c) => c,
+            None => {
+                let anchor = assigned
+                    .iter()
+                    .find(|&&(m, _)| b.graph.edge(node, m))
+                    .map(|&(_, val)| val)
+                    .expect("BFS order guarantees an assigned neighbour");
+                dist_maps
+                    .get(&anchor)
+                    .expect("anchor map materialised")
+                    .keys()
+                    .copied()
+                    .collect()
+            }
+        };
+        'cand: for cand in candidates {
+            // Check the δ-constraints against every assigned node.
+            for &(m, val) in assigned.iter() {
+                let close = dist_maps
+                    .get(&val)
+                    .expect("assigned maps materialised")
+                    .contains_key(&cand);
+                if close != b.graph.edge(node, m) {
+                    continue 'cand;
+                }
+            }
+            // A candidate's own distance map is only needed when deeper
+            // tuple positions will check δ-constraints against it.
+            if idx + 1 < order.len() && !dist_maps.contains_key(&cand) {
+                let map = self.a.gaifman().distances_from(cand, bound, &mut self.scratch);
+                self.stats.balls += 1;
+                self.stats.ball_elements += map.len() as u64;
+                dist_maps.insert(cand, map);
+            }
+            assigned.push((node, cand));
+            self.backtrack(b, order, idx + 1, assigned, dist_maps, ev, count)?;
+            assigned.pop();
+        }
+        Ok(())
+    }
+
+    /// The *support* of `y₁`: if the body has a positive atom conjunct
+    /// containing `y₁`, only elements occurring at those atom positions
+    /// can have a non-zero count. `None` means "no restriction".
+    fn support(&self, b: &BasicClTerm) -> Option<Vec<u32>> {
+        fn find(
+            f: &foc_logic::Formula,
+            var: foc_logic::Var,
+            s: &Structure,
+            best: &mut Option<Vec<u32>>,
+        ) {
+            match f {
+                foc_logic::Formula::And(parts) => {
+                    parts.iter().for_each(|p| find(p, var, s, best));
+                }
+                foc_logic::Formula::Exists(z, g) if *z != var => find(g, var, s, best),
+                foc_logic::Formula::Atom(at) if at.args.contains(&var) => {
+                    let Some(rel) = s.relation(at.rel) else { return };
+                    let positions: Vec<usize> = at
+                        .args
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, v)| **v == var)
+                        .map(|(i, _)| i)
+                        .collect();
+                    let mut vals: Vec<u32> = Vec::with_capacity(rel.len());
+                    'rows: for row in rel.rows() {
+                        // All positions of `var` must agree within a row.
+                        let first = row[positions[0]];
+                        for &p in &positions[1..] {
+                            if row[p] != first {
+                                continue 'rows;
+                            }
+                        }
+                        vals.push(first);
+                    }
+                    vals.sort_unstable();
+                    vals.dedup();
+                    match best {
+                        Some(cur) if cur.len() <= vals.len() => {}
+                        _ => *best = Some(vals),
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut best = None;
+        find(&b.body, b.vars[0], self.a, &mut best);
+        best
+    }
+
+    /// Candidate values for tuple position `node` from a positive guard
+    /// atom of the body mentioning it together with an assigned
+    /// variable — a relational-index lookup instead of a ball scan.
+    fn atom_candidates(
+        &self,
+        b: &BasicClTerm,
+        node: usize,
+        assigned: &[(usize, u32)],
+    ) -> Option<Vec<u32>> {
+        let var = b.vars[node];
+        let env: FxHashMap<foc_logic::Var, u32> =
+            assigned.iter().map(|&(m, val)| (b.vars[m], val)).collect();
+        let mut shadowed: Vec<foc_logic::Var> = Vec::new();
+        let mut best: Option<Vec<u32>> = None;
+        collect_atom_candidates(&b.body, var, &env, self.a, &mut shadowed, &mut best);
+        best
+    }
+
+    /// `u^A[a]` for all elements at once (elements outside the guard-atom
+    /// support are 0 without exploring their neighbourhood).
+    pub fn eval_basic_all(&mut self, b: &BasicClTerm) -> Result<Vec<i64>> {
+        let mut out = vec![0i64; self.a.order() as usize];
+        let support = if self.use_support { self.support(b) } else { None };
+        match support {
+            Some(support) => {
+                for a in support {
+                    out[a as usize] = self.eval_basic_at(b, a)?;
+                }
+            }
+            None => {
+                for a in self.a.universe() {
+                    out[a as usize] = self.eval_basic_at(b, a)?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `g^A` for a ground basic cl-term: `Σ_a u^A[a]` where `u` pins
+    /// `y₁ = a` (Remark 6.3).
+    pub fn eval_basic_ground(&mut self, b: &BasicClTerm) -> Result<i64> {
+        let mut acc: i64 = 0;
+        for v in self.eval_basic_all(b)? {
+            acc = acc
+                .checked_add(v)
+                .ok_or(LocalityError::Eval(foc_eval::EvalError::Overflow))?;
+        }
+        Ok(acc)
+    }
+
+    /// Evaluates a full cl-term. Returns a scalar for ground terms and a
+    /// per-element vector when any unary basic occurs. Basic-term values
+    /// are cached by identity.
+    pub fn eval_clterm(&mut self, t: &ClTerm) -> Result<ClValue> {
+        let mut ground_cache: FxHashMap<usize, i64> = FxHashMap::default();
+        let mut unary_cache: FxHashMap<usize, Arc<Vec<i64>>> = FxHashMap::default();
+        self.eval_clterm_rec(t, &mut ground_cache, &mut unary_cache)
+    }
+
+    fn eval_clterm_rec(
+        &mut self,
+        t: &ClTerm,
+        ground_cache: &mut FxHashMap<usize, i64>,
+        unary_cache: &mut FxHashMap<usize, Arc<Vec<i64>>>,
+    ) -> Result<ClValue> {
+        match t {
+            ClTerm::Int(i) => Ok(ClValue::Scalar(*i)),
+            ClTerm::Basic(b) => {
+                let key = Arc::as_ptr(b) as usize;
+                if b.unary {
+                    if let Some(v) = unary_cache.get(&key) {
+                        return Ok(ClValue::Vector(v.as_ref().clone()));
+                    }
+                    let vals = self.eval_basic_all(b)?;
+                    unary_cache.insert(key, Arc::new(vals.clone()));
+                    Ok(ClValue::Vector(vals))
+                } else {
+                    if let Some(&v) = ground_cache.get(&key) {
+                        return Ok(ClValue::Scalar(v));
+                    }
+                    let val = self.eval_basic_ground(b)?;
+                    ground_cache.insert(key, val);
+                    Ok(ClValue::Scalar(val))
+                }
+            }
+            ClTerm::Add(ts) => {
+                let mut acc = ClValue::Scalar(0);
+                for s in ts {
+                    let v = self.eval_clterm_rec(s, ground_cache, unary_cache)?;
+                    acc = combine(acc, v, |a, b| a.checked_add(b))?;
+                }
+                Ok(acc)
+            }
+            ClTerm::Mul(ts) => {
+                let mut acc = ClValue::Scalar(1);
+                for s in ts {
+                    let v = self.eval_clterm_rec(s, ground_cache, unary_cache)?;
+                    acc = combine(acc, v, |a, b| a.checked_mul(b))?;
+                }
+                Ok(acc)
+            }
+        }
+    }
+}
+
+/// Walks the body's conjunctive structure (through foreign existential
+/// binders) looking for positive atoms that mention `var` and at least
+/// one bound, unshadowed variable; collects the matching row values.
+fn collect_atom_candidates(
+    f: &foc_logic::Formula,
+    var: foc_logic::Var,
+    env: &FxHashMap<foc_logic::Var, u32>,
+    s: &Structure,
+    shadowed: &mut Vec<foc_logic::Var>,
+    best: &mut Option<Vec<u32>>,
+) {
+    use foc_logic::Formula;
+    let lookup = |v: foc_logic::Var, shadowed: &[foc_logic::Var]| -> Option<u32> {
+        if shadowed.contains(&v) {
+            None
+        } else {
+            env.get(&v).copied()
+        }
+    };
+    match f {
+        Formula::And(parts) => {
+            for p in parts {
+                collect_atom_candidates(p, var, env, s, shadowed, best);
+            }
+        }
+        Formula::Exists(z, g) if *z != var => {
+            shadowed.push(*z);
+            collect_atom_candidates(g, var, env, s, shadowed, best);
+            shadowed.pop();
+        }
+        Formula::Atom(at) if at.args.contains(&var) => {
+            // Require at least one bound companion variable for
+            // selectivity; otherwise the ball candidates are preferable.
+            if !at.args.iter().any(|v| *v != var && lookup(*v, shadowed).is_some()) {
+                return;
+            }
+            let Some(rel) = s.relation(at.rel) else { return };
+            // Pick any bound companion position to drive an index lookup.
+            let bound_pos = at.args.iter().enumerate().find_map(|(pos, v)| {
+                if *v != var { lookup(*v, shadowed).map(|val| (pos, val)) } else { None }
+            });
+            let mut vals = Vec::new();
+            let mut scan = |row: &[u32]| {
+                let mut candidate: Option<u32> = None;
+                for (pos, v) in at.args.iter().enumerate() {
+                    if *v == var {
+                        match candidate {
+                            None => candidate = Some(row[pos]),
+                            Some(c) if c == row[pos] => {}
+                            Some(_) => return,
+                        }
+                    } else if let Some(bound) = lookup(*v, shadowed) {
+                        if bound != row[pos] {
+                            return;
+                        }
+                    }
+                }
+                if let Some(c) = candidate {
+                    vals.push(c);
+                }
+            };
+            match bound_pos {
+                Some((0, val)) => rel.rows_with_first(val).for_each(&mut scan),
+                Some((pos, val)) => rel.rows_with_value_at(pos, val).for_each(&mut scan),
+                None => rel.rows().for_each(scan),
+            }
+            vals.sort_unstable();
+            vals.dedup();
+            match best {
+                Some(cur) if cur.len() <= vals.len() => {}
+                _ => *best = Some(vals),
+            }
+        }
+        _ => {}
+    }
+}
+
+fn combine(
+    a: ClValue,
+    b: ClValue,
+    op: impl Fn(i64, i64) -> Option<i64>,
+) -> Result<ClValue> {
+    let overflow = || LocalityError::Eval(foc_eval::EvalError::Overflow);
+    match (a, b) {
+        (ClValue::Scalar(x), ClValue::Scalar(y)) => {
+            Ok(ClValue::Scalar(op(x, y).ok_or_else(overflow)?))
+        }
+        (ClValue::Scalar(x), ClValue::Vector(ys)) => Ok(ClValue::Vector(
+            ys.into_iter().map(|y| op(x, y).ok_or_else(overflow)).collect::<Result<_>>()?,
+        )),
+        (ClValue::Vector(xs), ClValue::Scalar(y)) => Ok(ClValue::Vector(
+            xs.into_iter().map(|x| op(x, y).ok_or_else(overflow)).collect::<Result<_>>()?,
+        )),
+        (ClValue::Vector(xs), ClValue::Vector(ys)) => {
+            assert_eq!(xs.len(), ys.len(), "mismatched unary value lengths");
+            Ok(ClValue::Vector(
+                xs.into_iter()
+                    .zip(ys)
+                    .map(|(x, y)| op(x, y).ok_or_else(overflow))
+                    .collect::<Result<_>>()?,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::{decompose_ground, decompose_unary};
+    use foc_logic::build::*;
+    use foc_logic::{Term, Var};
+    use foc_structures::gen::{cycle, graph_structure, grid, path, random_tree, star};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc as StdArc;
+
+    fn structures() -> Vec<Structure> {
+        let mut rng = StdRng::seed_from_u64(7);
+        vec![
+            path(8),
+            cycle(7),
+            star(6),
+            grid(3, 3),
+            random_tree(9, &mut rng),
+            graph_structure(8, &[(0, 1), (1, 2), (2, 0), (5, 6)]),
+        ]
+    }
+
+    /// Local ball evaluation of each basic term must agree with the
+    /// reference evaluator on the full structure.
+    fn check_local_vs_naive(cl: &ClTerm, s: &Structure) {
+        let p = Predicates::standard();
+        let mut lev = LocalEvaluator::new(s, &p);
+        for b in cl.basics() {
+            let term = b.to_term();
+            let mut nev = foc_eval::NaiveEvaluator::new(s, &p);
+            if b.unary {
+                for a in s.universe() {
+                    let mut env = Assignment::from_pairs([(b.vars[0], a)]);
+                    let want = nev.eval_term(&term, &mut env).unwrap();
+                    let got = lev.eval_basic_at(&b, a).unwrap();
+                    assert_eq!(got, want, "local vs naive at {a} for {}", b.body);
+                }
+            } else {
+                let want = nev.eval_ground(&term).unwrap();
+                let got = lev.eval_basic_ground(&b).unwrap();
+                assert_eq!(got, want, "local vs naive (ground) for {}", b.body);
+            }
+        }
+    }
+
+    #[test]
+    fn basic_local_eval_matches_naive() {
+        let y1: Var = v("y1");
+        let y2: Var = v("y2");
+        let bodies: Vec<StdArc<foc_logic::Formula>> = vec![
+            atom("E", [y1, y2]),
+            not(atom("E", [y1, y2])),
+            and(dist_le(y1, y2, 2), not(eq(y1, y2))),
+        ];
+        for body in &bodies {
+            let cl = decompose_ground(body, &[y1, y2]).unwrap();
+            for s in structures() {
+                check_local_vs_naive(&cl, &s);
+            }
+        }
+    }
+
+    #[test]
+    fn full_clterm_pipeline_ground() {
+        // End-to-end: decompose then evaluate locally; compare with the
+        // reference count of the original term.
+        let y1 = v("y1");
+        let y2 = v("y2");
+        let body = not(atom("E", [y1, y2]));
+        let cl = decompose_ground(&body, &[y1, y2]).unwrap();
+        let p = Predicates::standard();
+        for s in structures() {
+            let mut lev = LocalEvaluator::new(&s, &p);
+            let got = match lev.eval_clterm(&cl).unwrap() {
+                ClValue::Scalar(x) => x,
+                ClValue::Vector(_) => panic!("ground term produced a vector"),
+            };
+            let term = StdArc::new(Term::Count(vec![y1, y2].into_boxed_slice(), body.clone()));
+            let mut nev = foc_eval::NaiveEvaluator::new(&s, &p);
+            assert_eq!(got, nev.eval_ground(&term).unwrap(), "on order {}", s.order());
+        }
+    }
+
+    #[test]
+    fn full_clterm_pipeline_unary() {
+        let y1 = v("y1");
+        let y2 = v("y2");
+        let z = v("z");
+        // Number of non-neighbours y2 that share a common neighbour z with
+        // y1 — a width-2 body with a guarded quantifier.
+        let body = and(
+            not(atom("E", [y1, y2])),
+            exists(z, and(atom("E", [y1, z]), atom("E", [z, y2]))),
+        );
+        let cl = decompose_unary(&body, &[y1, y2]).unwrap();
+        let p = Predicates::standard();
+        let counted = vec![y2];
+        let term = StdArc::new(Term::Count(counted.into_boxed_slice(), body.clone()));
+        for s in structures() {
+            let mut lev = LocalEvaluator::new(&s, &p);
+            let got = match lev.eval_clterm(&cl).unwrap() {
+                ClValue::Vector(vals) => vals,
+                ClValue::Scalar(x) => vec![x; s.order() as usize],
+            };
+            let mut nev = foc_eval::NaiveEvaluator::new(&s, &p);
+            for a in s.universe() {
+                let mut env = Assignment::from_pairs([(y1, a)]);
+                let want = nev.eval_term(&term, &mut env).unwrap();
+                assert_eq!(got[a as usize], want, "at element {a} on order {}", s.order());
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_body_width_three() {
+        let x = v("x");
+        let y = v("y");
+        let z = v("z");
+        let tri = and_all([atom("E", [x, y]), atom("E", [y, z]), atom("E", [z, x])]);
+        let cl = decompose_unary(&tri, &[x, y, z]).unwrap();
+        let p = Predicates::standard();
+        let term =
+            StdArc::new(Term::Count(vec![y, z].into_boxed_slice(), tri.clone()));
+        for s in structures() {
+            let mut lev = LocalEvaluator::new(&s, &p);
+            let got = lev.eval_clterm(&cl).unwrap();
+            let mut nev = foc_eval::NaiveEvaluator::new(&s, &p);
+            for a in s.universe() {
+                let mut env = Assignment::from_pairs([(x, a)]);
+                let want = nev.eval_term(&term, &mut env).unwrap();
+                assert_eq!(got.at(a), want, "triangles at {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_track_work() {
+        let y1 = v("y1");
+        let y2 = v("y2");
+        let body = atom("E", [y1, y2]);
+        let cl = decompose_ground(&body, &[y1, y2]).unwrap();
+        let s = path(10);
+        let p = Predicates::standard();
+        let mut lev = LocalEvaluator::new(&s, &p);
+        lev.eval_clterm(&cl).unwrap();
+        assert!(lev.stats.balls >= 10);
+        assert!(lev.stats.ball_elements > 0);
+    }
+}

@@ -1,0 +1,553 @@
+//! Feferman–Vaught splitting for the separable fragment (the engine room
+//! of Lemma 6.4).
+//!
+//! Given a formula ψ(ȳ) and a partition of ȳ into two *sides* whose
+//! values are guaranteed to be more than `sep` apart in the Gaifman
+//! graph, this module rewrites ψ into an **exclusive** disjunction
+//! `⋁ᵢ (ψᵢ′(ȳ′) ∧ ψᵢ″(ȳ″))` where each ψᵢ′ mentions only side-0
+//! variables and each ψᵢ″ only side-1 variables — the paper's
+//! decomposition `ψ̂` with properties (1) and (2) from the proof of
+//! Lemma 6.4.
+//!
+//! The algorithm:
+//! 1. α-refresh bound variables and convert to NNF;
+//! 2. assign each quantified variable to the side that guards it
+//!    (guard analysis of [`crate::radius`]), simplifying to `false`
+//!    any subformula that would force the two sides within `sep` of
+//!    each other;
+//! 3. replace cross-side literals by constants (they are
+//!    unsatisfiable under the separation assumption);
+//! 4. hoist subformulas that do not mention a quantifier's binder out
+//!    of its scope, so every surviving quantified subformula is pure;
+//! 5. Shannon-expand over the maximal pure subformulas, yielding
+//!    mutually exclusive disjuncts.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use foc_logic::subst::{nnf, rename_free};
+use foc_logic::{Formula, Var};
+use foc_structures::FxHashMap;
+
+use crate::error::{LocalityError, Result};
+use crate::radius::guard_bound;
+
+/// Maximum number of pure propositional atoms the Shannon expansion will
+/// branch over.
+const MAX_ATOMS: usize = 14;
+/// Maximum number of disjuncts produced.
+const MAX_LEAVES: usize = 4096;
+
+/// One exclusive disjunct of the split: a side-0 part and a side-1 part.
+#[derive(Debug, Clone)]
+pub struct SplitDisjunct {
+    /// ψᵢ′(ȳ′): conjunction of side-0 literals.
+    pub side0: Arc<Formula>,
+    /// ψᵢ″(ȳ″): conjunction of side-1 literals.
+    pub side1: Arc<Formula>,
+}
+
+/// Splits `psi` across the two sides. `side_of` must assign a side
+/// (zero or one) to every free variable of `psi`; `sep` is the
+/// guaranteed cross-side distance lower bound (`dist > sep`). The
+/// disjuncts are mutually exclusive and their disjunction is equivalent
+/// to `psi` on every interpretation satisfying the separation.
+pub fn separate(
+    psi: &Arc<Formula>,
+    side_of: &FxHashMap<Var, u8>,
+    sep: u64,
+) -> Result<Vec<SplitDisjunct>> {
+    for v in psi.free_vars() {
+        assert!(side_of.contains_key(&v), "free variable {v} has no side");
+    }
+    let fresh = refresh_bound(&nnf(psi));
+    let mut ctx = Ctx {
+        sides: side_of.iter().map(|(&v, &s)| (v, (s, 0u64))).collect(),
+        sep,
+    };
+    let simplified = simplify(&fresh, &mut ctx)?;
+    let paths = shannon(&simplified, &ctx)?;
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let mut side0: Vec<Arc<Formula>> = Vec::new();
+        let mut side1: Vec<Arc<Formula>> = Vec::new();
+        for (atom, polarity) in path {
+            let lit = if polarity { atom } else { Formula::not(atom) };
+            match atom_side(&lit, &ctx) {
+                Some(1) => side1.push(lit),
+                _ => side0.push(lit),
+            }
+        }
+        out.push(SplitDisjunct { side0: Formula::and(side0), side1: Formula::and(side1) });
+    }
+    Ok(out)
+}
+
+struct Ctx {
+    /// Variable → (side, offset): the variable's value is within `offset`
+    /// of its side's base variables whenever the formula holds.
+    sides: FxHashMap<Var, (u8, u64)>,
+    sep: u64,
+}
+
+/// The side of a pure formula (by its free variables); `None` if mixed,
+/// `Some(0)` for closed formulas.
+fn atom_side(f: &Formula, ctx: &Ctx) -> Option<u8> {
+    let mut side: Option<u8> = None;
+    for v in f.free_vars() {
+        let (s, _) = *ctx.sides.get(&v)?;
+        match side {
+            None => side = Some(s),
+            Some(prev) if prev == s => {}
+            Some(_) => return None,
+        }
+    }
+    Some(side.unwrap_or(0))
+}
+
+fn is_pure(f: &Formula, ctx: &Ctx) -> bool {
+    atom_side(f, ctx).is_some()
+}
+
+/// α-refreshes every bound variable so that binders never collide with
+/// free variables (which makes structural substitution in the Shannon
+/// expansion capture-safe).
+pub fn refresh_bound(f: &Arc<Formula>) -> Arc<Formula> {
+    match &**f {
+        Formula::Bool(_) | Formula::Eq(..) | Formula::Atom(_) | Formula::DistLe { .. } => {
+            f.clone()
+        }
+        Formula::Not(g) => Formula::not(refresh_bound(g)),
+        Formula::And(gs) => Formula::and(gs.iter().map(refresh_bound).collect()),
+        Formula::Or(gs) => Formula::or(gs.iter().map(refresh_bound).collect()),
+        Formula::Exists(y, g) => {
+            let fresh = Var::fresh(&y.name());
+            let mut map = FxHashMap::default();
+            map.insert(*y, fresh);
+            let renamed = rename_free(g, &map.into_iter().collect());
+            Arc::new(Formula::Exists(fresh, refresh_bound(&renamed)))
+        }
+        Formula::Forall(y, g) => {
+            let fresh = Var::fresh(&y.name());
+            let mut map = FxHashMap::default();
+            map.insert(*y, fresh);
+            let renamed = rename_free(g, &map.into_iter().collect());
+            Arc::new(Formula::Forall(fresh, refresh_bound(&renamed)))
+        }
+        Formula::Pred { .. } => f.clone(), // rejected later by simplify
+    }
+}
+
+fn simplify(f: &Arc<Formula>, ctx: &mut Ctx) -> Result<Arc<Formula>> {
+    // Pure subformulas need no rewriting: no cross-side literal can occur
+    // inside (their free variables are one-sided, and quantified variables
+    // inside are guarded by them).
+    if is_pure(f, ctx) {
+        return Ok(f.clone());
+    }
+    match &**f {
+        Formula::Bool(_) => Ok(f.clone()),
+        Formula::Eq(a, b) => cross_literal(f, &[(*a, *b, 0)], ctx),
+        Formula::DistLe { x, y, d } => cross_literal(f, &[(*x, *y, u64::from(*d))], ctx),
+        Formula::Atom(at) => {
+            let mut pairs = Vec::new();
+            for i in 0..at.args.len() {
+                for j in (i + 1)..at.args.len() {
+                    pairs.push((at.args[i], at.args[j], 1u64));
+                }
+            }
+            cross_literal(f, &pairs, ctx)
+        }
+        Formula::Not(g) => Ok(Formula::not(simplify(g, ctx)?)),
+        Formula::And(gs) => {
+            let parts = gs.iter().map(|g| simplify(g, ctx)).collect::<Result<Vec<_>>>()?;
+            Ok(Formula::and(parts))
+        }
+        Formula::Or(gs) => {
+            let parts = gs.iter().map(|g| simplify(g, ctx)).collect::<Result<Vec<_>>>()?;
+            Ok(Formula::or(parts))
+        }
+        Formula::Exists(z, g) => {
+            // Assign the quantified variable to the side that guards it.
+            let b0 = side_guard(g, *z, ctx, 0);
+            let b1 = side_guard(g, *z, ctx, 1);
+            let assigned = match (b0, b1) {
+                (Some(d0), Some(d1)) if d0.saturating_add(d1) <= ctx.sep => {
+                    // The witness would be close to both sides — the body
+                    // is unsatisfiable under the separation assumption.
+                    return Ok(Arc::new(Formula::Bool(false)));
+                }
+                (Some(d0), Some(d1)) => {
+                    return Err(LocalityError::TooComplex(format!(
+                        "quantified variable {z} is guarded by both sides \
+                         (bounds {d0}, {d1}) with slack exceeding the separation {}",
+                        ctx.sep
+                    )));
+                }
+                (Some(d0), None) => (0u8, d0),
+                (None, Some(d1)) => (1u8, d1),
+                (None, None) => {
+                    return Err(LocalityError::NotLocal(format!(
+                        "mixed subformula with unguarded quantifier: exists {z}. …"
+                    )));
+                }
+            };
+            ctx.sides.insert(*z, assigned);
+            let body = simplify(g, ctx)?;
+            ctx.sides.remove(z);
+            Ok(hoist_exists(*z, body))
+        }
+        Formula::Forall(..) => Err(LocalityError::NotLocal(
+            "universal quantifier survived NNF in separation".into(),
+        )),
+        Formula::Pred { .. } => {
+            Err(LocalityError::NotFirstOrder(format!("predicate application in split: {f}")))
+        }
+    }
+}
+
+/// Simplifies a literal whose variables may span both sides: if some pair
+/// of variables on opposite sides is forced within the separation bound,
+/// the literal is `false` under the separation assumption.
+fn cross_literal(
+    f: &Arc<Formula>,
+    pairs: &[(Var, Var, u64)],
+    ctx: &Ctx,
+) -> Result<Arc<Formula>> {
+    let mut cross_slack: Option<u64> = None;
+    for &(u, w, wt) in pairs {
+        let (Some(&(su, ou)), Some(&(sw, ow))) = (ctx.sides.get(&u), ctx.sides.get(&w)) else {
+            continue;
+        };
+        if su != sw {
+            let implied = ou.saturating_add(wt).saturating_add(ow);
+            cross_slack = Some(cross_slack.map_or(implied, |c| c.min(implied)));
+        }
+    }
+    match cross_slack {
+        None => Ok(f.clone()), // pure after all (e.g. repeated variables)
+        Some(implied) if implied <= ctx.sep => Ok(Arc::new(Formula::Bool(false))),
+        Some(implied) => Err(LocalityError::TooComplex(format!(
+            "cross-side literal {f} implies distance ≤ {implied} > separation {}",
+            ctx.sep
+        ))),
+    }
+}
+
+/// Guard bound of `z` relative to the side-`side` variables currently in
+/// scope, shifted by their offsets.
+fn side_guard(g: &Arc<Formula>, z: Var, ctx: &Ctx, side: u8) -> Option<u64> {
+    let anchors: BTreeSet<Var> =
+        ctx.sides.iter().filter(|(_, (s, _))| *s == side).map(|(&v, _)| v).collect();
+    if anchors.is_empty() {
+        return None;
+    }
+    let base =
+        ctx.sides.values().filter(|(s, _)| *s == side).map(|&(_, o)| o).max().unwrap_or(0);
+    guard_bound(g, z, &anchors).map(|d| d.saturating_add(base))
+}
+
+/// Rewrites `∃z body` by hoisting the parts of the body that do not
+/// mention `z` (sound over non-empty universes): `∃z (α ∧ β(z)) ≡
+/// α ∧ ∃z β(z)` and `∃z (α ∨ β(z)) ≡ α ∨ ∃z β(z)`.
+fn hoist_exists(z: Var, body: Arc<Formula>) -> Arc<Formula> {
+    match &*body {
+        Formula::And(parts) => {
+            let (with_z, without): (Vec<_>, Vec<_>) =
+                parts.iter().cloned().partition(|p| p.free_vars().contains(&z));
+            if without.is_empty() {
+                Arc::new(Formula::Exists(z, body))
+            } else if with_z.is_empty() {
+                Formula::and(without)
+            } else {
+                let inner = hoist_exists(z, Formula::and(with_z));
+                let mut all = without;
+                all.push(inner);
+                Formula::and(all)
+            }
+        }
+        Formula::Or(parts) => {
+            let (with_z, without): (Vec<_>, Vec<_>) =
+                parts.iter().cloned().partition(|p| p.free_vars().contains(&z));
+            if without.is_empty() {
+                Arc::new(Formula::Exists(z, body))
+            } else if with_z.is_empty() {
+                Formula::or(without)
+            } else {
+                let inner = hoist_exists(z, Formula::or(with_z));
+                let mut all = without;
+                all.push(inner);
+                Formula::or(all)
+            }
+        }
+        Formula::Bool(_) => body,
+        _ => {
+            if body.free_vars().contains(&z) {
+                Arc::new(Formula::Exists(z, body))
+            } else {
+                body
+            }
+        }
+    }
+}
+
+/// Shannon expansion over maximal pure subformulas. Returns the list of
+/// true-paths; each path is a list of (atom, polarity) pairs, and paths
+/// are mutually exclusive by construction.
+fn shannon(f: &Arc<Formula>, ctx: &Ctx) -> Result<Vec<Vec<(Arc<Formula>, bool)>>> {
+    let mut out = Vec::new();
+    let mut path = Vec::new();
+    shannon_rec(f.clone(), ctx, &mut path, &mut out, 0)?;
+    Ok(out)
+}
+
+fn shannon_rec(
+    f: Arc<Formula>,
+    ctx: &Ctx,
+    path: &mut Vec<(Arc<Formula>, bool)>,
+    out: &mut Vec<Vec<(Arc<Formula>, bool)>>,
+    depth: usize,
+) -> Result<()> {
+    match &*f {
+        Formula::Bool(true) => {
+            if out.len() >= MAX_LEAVES {
+                return Err(LocalityError::TooComplex("Shannon expansion too large".into()));
+            }
+            out.push(path.clone());
+            return Ok(());
+        }
+        Formula::Bool(false) => return Ok(()),
+        _ => {}
+    }
+    if depth >= MAX_ATOMS {
+        return Err(LocalityError::TooComplex(
+            "too many pure atoms in Shannon expansion".into(),
+        ));
+    }
+    let atom = first_pure_atom(&f, ctx).ok_or_else(|| {
+        LocalityError::TooComplex(format!("no pure subformula to branch on in {f}"))
+    })?;
+    for value in [true, false] {
+        let substituted = replace_subformula(&f, &atom, value);
+        path.push((atom.clone(), value));
+        shannon_rec(substituted, ctx, path, out, depth + 1)?;
+        path.pop();
+    }
+    Ok(())
+}
+
+/// Finds the first maximal pure subformula (pre-order).
+fn first_pure_atom(f: &Arc<Formula>, ctx: &Ctx) -> Option<Arc<Formula>> {
+    if !matches!(&**f, Formula::Bool(_)) && is_pure(f, ctx) {
+        return Some(f.clone());
+    }
+    match &**f {
+        Formula::Not(g) => first_pure_atom(g, ctx),
+        Formula::And(gs) | Formula::Or(gs) => gs.iter().find_map(|g| first_pure_atom(g, ctx)),
+        _ => None,
+    }
+}
+
+/// Replaces every occurrence of `target` (by structural equality) with a
+/// Boolean constant, folding with the smart constructors. Bound variables
+/// have been α-refreshed, so structural replacement cannot capture.
+fn replace_subformula(f: &Arc<Formula>, target: &Arc<Formula>, value: bool) -> Arc<Formula> {
+    if f == target {
+        return Arc::new(Formula::Bool(value));
+    }
+    match &**f {
+        Formula::Not(g) => Formula::not(replace_subformula(g, target, value)),
+        Formula::And(gs) => {
+            Formula::and(gs.iter().map(|g| replace_subformula(g, target, value)).collect())
+        }
+        Formula::Or(gs) => {
+            Formula::or(gs.iter().map(|g| replace_subformula(g, target, value)).collect())
+        }
+        _ => f.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foc_eval::{Assignment, NaiveEvaluator};
+    use foc_logic::build::*;
+    use foc_logic::Predicates;
+    use foc_structures::gen::graph_structure;
+    use foc_structures::{BfsScratch, Structure};
+
+    fn sides(pairs: &[(&str, u8)]) -> FxHashMap<Var, u8> {
+        pairs.iter().map(|&(name, s)| (v(name), s)).collect()
+    }
+
+    /// Semantic validation: on a structure where the side-0 values and
+    /// side-1 values are > sep apart, ψ must agree with the exclusive
+    /// disjunction of the split, and at most one disjunct may hold.
+    fn check_split_on(
+        psi: &Arc<Formula>,
+        side_of: &FxHashMap<Var, u8>,
+        sep: u64,
+        s: &Structure,
+        assignment: &[(&str, u32)],
+    ) {
+        // Verify separation premise.
+        let mut scratch = BfsScratch::new();
+        let env_pairs: Vec<(Var, u32)> =
+            assignment.iter().map(|&(n, e)| (v(n), e)).collect();
+        for (va, ea) in &env_pairs {
+            for (vb, eb) in &env_pairs {
+                if side_of[va] != side_of[vb] {
+                    assert!(
+                        !s.gaifman().dist_le(*ea, *eb, sep as u32, &mut scratch),
+                        "test setup violates separation"
+                    );
+                }
+            }
+        }
+        let split = separate(psi, side_of, sep).expect("split should succeed");
+        let p = Predicates::standard();
+        let mut ev = NaiveEvaluator::new(s, &p);
+        let mut env = Assignment::from_pairs(env_pairs);
+        let want = ev.check(psi, &mut env).unwrap();
+        let mut holds = 0usize;
+        for d in &split {
+            let a = ev.check(&d.side0, &mut env).unwrap();
+            let b = ev.check(&d.side1, &mut env).unwrap();
+            if a && b {
+                holds += 1;
+            }
+        }
+        assert_eq!(want, holds > 0, "split disagrees with ψ = {psi}");
+        assert!(holds <= 1, "disjuncts are not exclusive for ψ = {psi}");
+    }
+
+    /// Two far-apart paths: 0-1-2 and 10-11-12 (elements 3..9 isolated).
+    fn two_paths() -> Structure {
+        graph_structure(13, &[(0, 1), (1, 2), (10, 11), (11, 12)])
+    }
+
+    #[test]
+    fn cross_atom_becomes_false() {
+        let psi = atom("E", [v("a"), v("b")]);
+        let split = separate(&psi, &sides(&[("a", 0), ("b", 1)]), 3).unwrap();
+        assert!(split.is_empty(), "E(a,b) is unsatisfiable across sides");
+    }
+
+    #[test]
+    fn negated_cross_atom_becomes_true() {
+        let psi = not(atom("E", [v("a"), v("b")]));
+        let split = separate(&psi, &sides(&[("a", 0), ("b", 1)]), 3).unwrap();
+        assert_eq!(split.len(), 1);
+        let d = &split[0];
+        assert_eq!(*d.side0, Formula::Bool(true));
+        assert_eq!(*d.side1, Formula::Bool(true));
+    }
+
+    #[test]
+    fn pure_conjunction_splits_directly() {
+        let psi = and(
+            exists(v("u"), atom("E", [v("a"), v("u")])),
+            exists(v("w"), atom("E", [v("b"), v("w")])),
+        );
+        let side_of = sides(&[("a", 0), ("b", 1)]);
+        let split = separate(&psi, &side_of, 3).unwrap();
+        // One satisfying pattern (both true); exclusivity machinery may
+        // produce a single (true,true) path.
+        assert!(!split.is_empty());
+        check_split_on(&psi, &side_of, 3, &two_paths(), &[("a", 0), ("b", 10)]);
+    }
+
+    #[test]
+    fn mixed_boolean_combination() {
+        // (E(a,a') ∨ E(b,b')) ∧ ¬(a = a'): a,a' side 0; b,b' side 1.
+        let psi = and(
+            or(atom("E", [v("a"), v("ap")]), atom("E", [v("b"), v("bp")])),
+            not(eq(v("a"), v("ap"))),
+        );
+        let side_of = sides(&[("a", 0), ("ap", 0), ("b", 1), ("bp", 1)]);
+        let s = two_paths();
+        for (aa, ap, bb, bp) in [(0, 1, 10, 11), (0, 2, 10, 11), (0, 0, 11, 12), (2, 1, 12, 12)] {
+            check_split_on(
+                &psi,
+                &side_of,
+                3,
+                &s,
+                &[("a", aa), ("ap", ap), ("b", bb), ("bp", bp)],
+            );
+        }
+    }
+
+    #[test]
+    fn quantifier_assigned_to_guarding_side() {
+        // ∃z (E(a, z) ∧ ¬E(z, b)): z guarded by side 0; the cross literal
+        // E(z,b) must simplify to false, so ¬E(z,b) to true.
+        let psi = exists(
+            v("z"),
+            and(atom("E", [v("a"), v("z")]), not(atom("E", [v("z"), v("b")]))),
+        );
+        let side_of = sides(&[("a", 0), ("b", 1)]);
+        let split = separate(&psi, &side_of, 4).unwrap();
+        assert!(!split.is_empty());
+        let s = two_paths();
+        check_split_on(&psi, &side_of, 4, &s, &[("a", 0), ("b", 11)]);
+        check_split_on(&psi, &side_of, 4, &s, &[("a", 5), ("b", 11)]);
+    }
+
+    #[test]
+    fn witness_near_both_sides_is_unsat() {
+        // ∃z (E(a,z) ∧ E(b,z)) with a, b on opposite sides: any witness
+        // would connect the sides within 2 ≤ sep → false.
+        let psi = exists(v("z"), and(atom("E", [v("a"), v("z")]), atom("E", [v("b"), v("z")])));
+        let split = separate(&psi, &sides(&[("a", 0), ("b", 1)]), 3).unwrap();
+        assert!(split.is_empty());
+    }
+
+    #[test]
+    fn unguarded_mixed_quantifier_rejected() {
+        // ∃z (¬E(a,z) ∧ ¬E(b,z)) is not separable (z unguarded, mixed).
+        let psi = exists(
+            v("z"),
+            and(not(atom("E", [v("a"), v("z")])), not(atom("E", [v("b"), v("z")]))),
+        );
+        assert!(separate(&psi, &sides(&[("a", 0), ("b", 1)]), 3).is_err());
+    }
+
+    #[test]
+    fn exclusivity_with_shared_atoms() {
+        // (α ∧ β) ∨ (¬α ∧ γ) with α,γ side 0 and β side 1: paths must be
+        // exclusive even though α appears in both branches.
+        let alpha = atom_vec("E", vec![v("a"), v("ap")]);
+        let beta = atom_vec("E", vec![v("b"), v("bp")]);
+        let gamma = eq(v("a"), v("ap"));
+        let psi = or(and(alpha.clone(), beta.clone()), and(not(alpha), gamma));
+        let side_of = sides(&[("a", 0), ("ap", 0), ("b", 1), ("bp", 1)]);
+        let s = two_paths();
+        for (aa, ap, bb, bp) in [(0, 1, 10, 11), (1, 1, 10, 12), (2, 0, 11, 10)] {
+            check_split_on(
+                &psi,
+                &side_of,
+                3,
+                &s,
+                &[("a", aa), ("ap", ap), ("b", bb), ("bp", bp)],
+            );
+        }
+    }
+
+    #[test]
+    fn dist_atoms_in_split() {
+        // The δ-formulas of the recursion contain distance atoms: check
+        // dist(a, a') ≤ 2 ∧ ¬(dist(b,b') ≤ 2) splits cleanly and a cross
+        // distance atom dies.
+        let psi = and(
+            dist_le(v("a"), v("ap"), 2),
+            and(not(dist_le(v("b"), v("bp"), 2)), not(dist_le(v("a"), v("b"), 3))),
+        );
+        let side_of = sides(&[("a", 0), ("ap", 0), ("b", 1), ("bp", 1)]);
+        let split = separate(&psi, &side_of, 3).unwrap();
+        // ¬(dist(a,b) ≤ 3) is true under separation 3.
+        assert!(!split.is_empty());
+        let s = two_paths();
+        check_split_on(&psi, &side_of, 3, &s, &[("a", 0), ("ap", 2), ("b", 10), ("bp", 12)]);
+        check_split_on(&psi, &side_of, 3, &s, &[("a", 0), ("ap", 2), ("b", 10), ("bp", 11)]);
+    }
+}

@@ -1,0 +1,469 @@
+//! Abstract syntax of FOC(P) formulas and counting terms (Definition 3.1)
+//! together with the FO⁺ distance atoms of Section 7.
+//!
+//! The grammar implemented here is the paper's, with two engineering
+//! liberties that do not change expressiveness:
+//!
+//! * conjunction, disjunction, `∀`, `true`/`false` and `dist(x,y) ≤ d` are
+//!   first-class constructors instead of derived abbreviations (the paper
+//!   freely uses all of them as abbreviations);
+//! * `∧`/`∨`/`+`/`·` are n-ary, which keeps rewritten formulas flat.
+//!
+//! Formulas are immutable and share subtrees through [`Arc`], so rewriters
+//! can return new formulas while reusing untouched parts.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use crate::symbol::{Symbol, Var};
+
+/// A relational atom `R(x₁, …, x_{ar(R)})`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// The relation symbol `R`.
+    pub rel: Symbol,
+    /// The argument variables; their number is the arity used.
+    pub args: Box<[Var]>,
+}
+
+/// An FOC(P) formula (rules (1)–(4) of Definition 3.1, plus FO⁺ distance
+/// atoms `dist(x,y) ≤ d` from Section 7).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// The propositional constants; `Bool(true)` is `¬∃z ¬z=z` in the paper.
+    Bool(bool),
+    /// `x₁ = x₂`.
+    Eq(Var, Var),
+    /// `R(x₁, …, x_k)`.
+    Atom(Atom),
+    /// FO⁺ distance atom `dist(x, y) ≤ d` (Section 7). `d = 0` means `x = y`
+    /// semantically; the constructor is kept distinct for rank bookkeeping.
+    DistLe {
+        /// Left endpoint.
+        x: Var,
+        /// Right endpoint.
+        y: Var,
+        /// Distance bound `d`.
+        d: u32,
+    },
+    /// `¬φ`.
+    Not(Arc<Formula>),
+    /// `φ₁ ∧ … ∧ φ_m` (empty conjunction is `true`).
+    And(Vec<Arc<Formula>>),
+    /// `φ₁ ∨ … ∨ φ_m` (empty disjunction is `false`).
+    Or(Vec<Arc<Formula>>),
+    /// `∃y φ`.
+    Exists(Var, Arc<Formula>),
+    /// `∀y φ`, an abbreviation for `¬∃y ¬φ`.
+    Forall(Var, Arc<Formula>),
+    /// `P(t₁, …, t_m)` for a numerical predicate `P ∈ P` (rule (4)).
+    Pred {
+        /// The predicate name `P`.
+        name: Symbol,
+        /// The argument counting terms `t₁, …, t_m`.
+        args: Vec<Arc<Term>>,
+    },
+}
+
+/// An FOC(P) counting term (rules (5)–(7) of Definition 3.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// An integer constant `i ∈ Z`.
+    Int(i64),
+    /// `#(y₁, …, y_k).φ` — the number of tuples satisfying `φ`.
+    Count(Box<[Var]>, Arc<Formula>),
+    /// `t₁ + … + t_m` (empty sum is `0`).
+    Add(Vec<Arc<Term>>),
+    /// `t₁ · … · t_m` (empty product is `1`).
+    Mul(Vec<Arc<Term>>),
+}
+
+/// An FOC1(P) query `{(x₁,…,x_k, t₁,…,t_ℓ) : φ}` (Definition 5.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// The output variables `x₁, …, x_k` (pairwise distinct).
+    pub head_vars: Vec<Var>,
+    /// The output counting terms `t₁, …, t_ℓ`; each must have
+    /// `free(tᵢ) ⊆ {x₁, …, x_k}`.
+    pub head_terms: Vec<Arc<Term>>,
+    /// The selection formula `φ` with `free(φ) ⊆ {x₁, …, x_k}`.
+    pub body: Arc<Formula>,
+}
+
+impl Formula {
+    /// Smart n-ary conjunction: flattens nested `And`s, drops `true`,
+    /// collapses to `false` on any `false` conjunct.
+    pub fn and(parts: Vec<Arc<Formula>>) -> Arc<Formula> {
+        let mut out: Vec<Arc<Formula>> = Vec::with_capacity(parts.len());
+        for p in parts {
+            match &*p {
+                Formula::Bool(true) => {}
+                Formula::Bool(false) => return Arc::new(Formula::Bool(false)),
+                Formula::And(inner) => out.extend(inner.iter().cloned()),
+                _ => out.push(p),
+            }
+        }
+        match out.len() {
+            0 => Arc::new(Formula::Bool(true)),
+            1 => out.pop().expect("len checked"),
+            _ => Arc::new(Formula::And(out)),
+        }
+    }
+
+    /// Smart n-ary disjunction, dual to [`Formula::and`].
+    pub fn or(parts: Vec<Arc<Formula>>) -> Arc<Formula> {
+        let mut out: Vec<Arc<Formula>> = Vec::with_capacity(parts.len());
+        for p in parts {
+            match &*p {
+                Formula::Bool(false) => {}
+                Formula::Bool(true) => return Arc::new(Formula::Bool(true)),
+                Formula::Or(inner) => out.extend(inner.iter().cloned()),
+                _ => out.push(p),
+            }
+        }
+        match out.len() {
+            0 => Arc::new(Formula::Bool(false)),
+            1 => out.pop().expect("len checked"),
+            _ => Arc::new(Formula::Or(out)),
+        }
+    }
+
+    /// Smart negation: cancels double negation and negates constants.
+    pub fn not(f: Arc<Formula>) -> Arc<Formula> {
+        match &*f {
+            Formula::Bool(b) => Arc::new(Formula::Bool(!b)),
+            Formula::Not(inner) => inner.clone(),
+            _ => Arc::new(Formula::Not(f)),
+        }
+    }
+
+    /// The set `free(φ)` of free variables, per the inductive definition in
+    /// Section 3.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        let mut set = BTreeSet::new();
+        self.collect_free(&mut set);
+        set
+    }
+
+    fn collect_free(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Formula::Bool(_) => {}
+            Formula::Eq(x, y) => {
+                out.insert(*x);
+                out.insert(*y);
+            }
+            Formula::Atom(a) => out.extend(a.args.iter().copied()),
+            Formula::DistLe { x, y, .. } => {
+                out.insert(*x);
+                out.insert(*y);
+            }
+            Formula::Not(f) => f.collect_free(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(out);
+                }
+            }
+            Formula::Exists(v, f) | Formula::Forall(v, f) => {
+                let mut inner = BTreeSet::new();
+                f.collect_free(&mut inner);
+                inner.remove(v);
+                out.extend(inner);
+            }
+            Formula::Pred { args, .. } => {
+                for t in args {
+                    t.collect_free(out);
+                }
+            }
+        }
+    }
+
+    /// The nesting depth `d#(φ)` of counting constructs (Section 6.3).
+    pub fn count_depth(&self) -> usize {
+        match self {
+            Formula::Bool(_) | Formula::Eq(..) | Formula::Atom(_) | Formula::DistLe { .. } => 0,
+            Formula::Not(f) | Formula::Exists(_, f) | Formula::Forall(_, f) => f.count_depth(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(|f| f.count_depth()).max().unwrap_or(0)
+            }
+            Formula::Pred { args, .. } => {
+                args.iter().map(|t| t.count_depth()).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// The size `‖φ‖` of the formula: its length as a word over the paper's
+    /// alphabet (we count AST nodes plus variable occurrences, which agrees
+    /// with the paper's measure up to a constant factor).
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::Bool(_) => 1,
+            Formula::Eq(..) => 3,
+            Formula::Atom(a) => 1 + a.args.len(),
+            Formula::DistLe { .. } => 4,
+            Formula::Not(f) => 1 + f.size(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                1 + fs.iter().map(|f| f.size()).sum::<usize>()
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => 2 + f.size(),
+            Formula::Pred { args, .. } => {
+                1 + args.iter().map(|t| t.size()).sum::<usize>()
+            }
+        }
+    }
+
+    /// The quantifier rank, counting `∃`/`∀` only (distance atoms are rated
+    /// separately by the q-rank machinery in [`crate::fragment`]).
+    pub fn quantifier_rank(&self) -> usize {
+        match self {
+            Formula::Bool(_) | Formula::Eq(..) | Formula::Atom(_) | Formula::DistLe { .. } => 0,
+            Formula::Not(f) => f.quantifier_rank(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(|f| f.quantifier_rank()).max().unwrap_or(0)
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => 1 + f.quantifier_rank(),
+            Formula::Pred { args, .. } => args
+                .iter()
+                .map(|t| t.quantifier_rank_in_terms())
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// `true` iff the formula is a sentence.
+    pub fn is_sentence(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+}
+
+impl Term {
+    /// Builds `t₁ + … + t_m`, flattening and folding integer constants.
+    pub fn add(parts: Vec<Arc<Term>>) -> Arc<Term> {
+        let mut consts: i64 = 0;
+        let mut out: Vec<Arc<Term>> = Vec::new();
+        for p in parts {
+            match &*p {
+                Term::Int(i) => consts = consts.saturating_add(*i),
+                Term::Add(inner) => {
+                    for q in inner {
+                        if let Term::Int(i) = &**q {
+                            consts = consts.saturating_add(*i);
+                        } else {
+                            out.push(q.clone());
+                        }
+                    }
+                }
+                _ => out.push(p),
+            }
+        }
+        if consts != 0 || out.is_empty() {
+            out.push(Arc::new(Term::Int(consts)));
+        }
+        if out.len() == 1 {
+            out.pop().expect("len checked")
+        } else {
+            Arc::new(Term::Add(out))
+        }
+    }
+
+    /// Builds `t₁ · … · t_m`, flattening and folding integer constants.
+    pub fn mul(parts: Vec<Arc<Term>>) -> Arc<Term> {
+        let mut consts: i64 = 1;
+        let mut out: Vec<Arc<Term>> = Vec::new();
+        for p in parts {
+            match &*p {
+                Term::Int(i) => consts = consts.saturating_mul(*i),
+                Term::Mul(inner) => {
+                    for q in inner {
+                        if let Term::Int(i) = &**q {
+                            consts = consts.saturating_mul(*i);
+                        } else {
+                            out.push(q.clone());
+                        }
+                    }
+                }
+                _ => out.push(p),
+            }
+        }
+        if consts == 0 {
+            return Arc::new(Term::Int(0));
+        }
+        if consts != 1 || out.is_empty() {
+            out.push(Arc::new(Term::Int(consts)));
+        }
+        if out.len() == 1 {
+            out.pop().expect("len checked")
+        } else {
+            Arc::new(Term::Mul(out))
+        }
+    }
+
+    /// `s − t`, the paper's abbreviation for `s + ((−1) · t)`.
+    pub fn sub(s: Arc<Term>, t: Arc<Term>) -> Arc<Term> {
+        Term::add(vec![s, Term::mul(vec![Arc::new(Term::Int(-1)), t])])
+    }
+
+    /// The set `free(t)`.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        let mut set = BTreeSet::new();
+        self.collect_free(&mut set);
+        set
+    }
+
+    fn collect_free(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Term::Int(_) => {}
+            Term::Count(vars, body) => {
+                let mut inner = BTreeSet::new();
+                body.collect_free(&mut inner);
+                for v in vars.iter() {
+                    inner.remove(v);
+                }
+                out.extend(inner);
+            }
+            Term::Add(ts) | Term::Mul(ts) => {
+                for t in ts {
+                    t.collect_free(out);
+                }
+            }
+        }
+    }
+
+    /// The nesting depth `d#(t)` of counting constructs (Section 6.3).
+    pub fn count_depth(&self) -> usize {
+        match self {
+            Term::Int(_) => 0,
+            Term::Count(_, body) => 1 + body.count_depth(),
+            Term::Add(ts) | Term::Mul(ts) => {
+                ts.iter().map(|t| t.count_depth()).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// The size `‖t‖`.
+    pub fn size(&self) -> usize {
+        match self {
+            Term::Int(_) => 1,
+            Term::Count(vars, body) => 1 + vars.len() + body.size(),
+            Term::Add(ts) | Term::Mul(ts) => 1 + ts.iter().map(|t| t.size()).sum::<usize>(),
+        }
+    }
+
+    fn quantifier_rank_in_terms(&self) -> usize {
+        match self {
+            Term::Int(_) => 0,
+            Term::Count(vars, body) => vars.len() + body.quantifier_rank(),
+            Term::Add(ts) | Term::Mul(ts) => ts
+                .iter()
+                .map(|t| t.quantifier_rank_in_terms())
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// `true` iff the term is a ground term (no free variables).
+    pub fn is_ground(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+}
+
+impl Query {
+    /// Creates a query, validating the side conditions of Definition 5.2:
+    /// head variables pairwise distinct, `free(tᵢ) ⊆ x̄`, `free(φ) ⊆ x̄`.
+    pub fn new(
+        head_vars: Vec<Var>,
+        head_terms: Vec<Arc<Term>>,
+        body: Arc<Formula>,
+    ) -> Result<Query, String> {
+        let var_set: BTreeSet<Var> = head_vars.iter().copied().collect();
+        if var_set.len() != head_vars.len() {
+            return Err("query head variables must be pairwise distinct".into());
+        }
+        for (i, t) in head_terms.iter().enumerate() {
+            if !t.free_vars().is_subset(&var_set) {
+                return Err(format!(
+                    "head term {i} has free variables outside the head variables"
+                ));
+            }
+        }
+        if !body.free_vars().is_subset(&var_set) {
+            return Err("query body has free variables outside the head variables".into());
+        }
+        Ok(Query { head_vars, head_terms, body })
+    }
+
+    /// Total size of the query.
+    pub fn size(&self) -> usize {
+        self.head_vars.len()
+            + self.head_terms.iter().map(|t| t.size()).sum::<usize>()
+            + self.body.size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    #[test]
+    fn free_vars_of_nested_count() {
+        // t(x) = #(y). E(x, y): free(t) = {x}.
+        let x = Var::new("x");
+        let y = Var::new("y");
+        let t = cnt([y], atom("E", [x, y]));
+        assert_eq!(t.free_vars().into_iter().collect::<Vec<_>>(), vec![x]);
+    }
+
+    #[test]
+    fn count_depth_matches_paper() {
+        // #(y). P>=1(#(z). E(y,z)) has depth 2.
+        let y = Var::new("y");
+        let z = Var::new("z");
+        let inner = cnt([z], atom("E", [y, z]));
+        let f = ge1(inner);
+        let t = cnt([y], f);
+        assert_eq!(t.count_depth(), 2);
+    }
+
+    #[test]
+    fn smart_constructors_simplify() {
+        let x = Var::new("x");
+        let t = Arc::new(Formula::Bool(true));
+        let a = atom("R", [x]);
+        assert_eq!(*Formula::and(vec![t.clone(), a.clone()]), *a);
+        assert_eq!(*Formula::or(vec![t.clone(), a.clone()]), Formula::Bool(true));
+        assert_eq!(*Formula::not(Formula::not(a.clone())), *a);
+    }
+
+    #[test]
+    fn term_constant_folding() {
+        let t = Term::add(vec![int(2), int(3), Term::mul(vec![int(2), int(-1)])]);
+        assert_eq!(*t, Term::Int(3));
+    }
+
+    #[test]
+    fn sub_is_add_of_negated() {
+        let x = Var::new("x");
+        let y = Var::new("y");
+        let c = cnt([y], atom("E", [x, y]));
+        let d = Term::sub(c.clone(), int(1));
+        assert_eq!(d.free_vars(), c.free_vars());
+    }
+
+    #[test]
+    fn query_validation() {
+        let x = Var::new("x");
+        let y = Var::new("y");
+        let body = atom("E", [x, y]);
+        assert!(Query::new(vec![x], vec![], body.clone()).is_err());
+        assert!(Query::new(vec![x, y], vec![], body.clone()).is_ok());
+        assert!(Query::new(vec![x, x], vec![], body).is_err());
+    }
+
+    #[test]
+    fn quantifier_rank() {
+        let x = Var::new("x");
+        let y = Var::new("y");
+        let f = exists(x, exists(y, atom("E", [x, y])));
+        assert_eq!(f.quantifier_rank(), 2);
+    }
+}

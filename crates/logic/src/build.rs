@@ -1,0 +1,157 @@
+//! Ergonomic constructors for formulas and terms.
+//!
+//! These helpers make programmatic formula construction read close to the
+//! paper's notation, e.g. the out-degree term `#(z).E(y,z)` of Example 3.2
+//! is `cnt([z], atom("E", [y, z]))`.
+
+use std::sync::Arc;
+
+use crate::ast::{Atom, Formula, Term};
+use crate::pred;
+use crate::symbol::{Symbol, Var};
+
+/// Interns a variable: `v("x")`.
+pub fn v(name: &str) -> Var {
+    Var::new(name)
+}
+
+/// The atom `R(x₁, …, x_k)`.
+pub fn atom<const N: usize>(rel: &str, args: [Var; N]) -> Arc<Formula> {
+    Arc::new(Formula::Atom(Atom { rel: Symbol::new(rel), args: Box::new(args) }))
+}
+
+/// An atom with a dynamic argument list.
+pub fn atom_vec(rel: &str, args: Vec<Var>) -> Arc<Formula> {
+    Arc::new(Formula::Atom(Atom { rel: Symbol::new(rel), args: args.into_boxed_slice() }))
+}
+
+/// An atom over an already-interned relation symbol.
+pub fn atom_sym(rel: Symbol, args: Vec<Var>) -> Arc<Formula> {
+    Arc::new(Formula::Atom(Atom { rel, args: args.into_boxed_slice() }))
+}
+
+/// `x = y`.
+pub fn eq(x: Var, y: Var) -> Arc<Formula> {
+    Arc::new(Formula::Eq(x, y))
+}
+
+/// The FO⁺ distance atom `dist(x, y) ≤ d`.
+pub fn dist_le(x: Var, y: Var, d: u32) -> Arc<Formula> {
+    Arc::new(Formula::DistLe { x, y, d })
+}
+
+/// `dist(x, y) > d`, i.e. `¬ dist(x,y) ≤ d`.
+pub fn dist_gt(x: Var, y: Var, d: u32) -> Arc<Formula> {
+    Formula::not(dist_le(x, y, d))
+}
+
+/// `true` / `false`.
+pub fn tt() -> Arc<Formula> {
+    Arc::new(Formula::Bool(true))
+}
+
+/// The false constant.
+pub fn ff() -> Arc<Formula> {
+    Arc::new(Formula::Bool(false))
+}
+
+/// `¬φ`.
+pub fn not(f: Arc<Formula>) -> Arc<Formula> {
+    Formula::not(f)
+}
+
+/// `φ ∧ ψ`.
+pub fn and(a: Arc<Formula>, b: Arc<Formula>) -> Arc<Formula> {
+    Formula::and(vec![a, b])
+}
+
+/// `φ₁ ∧ … ∧ φ_m`.
+pub fn and_all(parts: impl IntoIterator<Item = Arc<Formula>>) -> Arc<Formula> {
+    Formula::and(parts.into_iter().collect())
+}
+
+/// `φ ∨ ψ`.
+pub fn or(a: Arc<Formula>, b: Arc<Formula>) -> Arc<Formula> {
+    Formula::or(vec![a, b])
+}
+
+/// `φ₁ ∨ … ∨ φ_m`.
+pub fn or_all(parts: impl IntoIterator<Item = Arc<Formula>>) -> Arc<Formula> {
+    Formula::or(parts.into_iter().collect())
+}
+
+/// `φ → ψ`.
+pub fn implies(a: Arc<Formula>, b: Arc<Formula>) -> Arc<Formula> {
+    or(not(a), b)
+}
+
+/// `∃y φ`.
+pub fn exists(y: Var, f: Arc<Formula>) -> Arc<Formula> {
+    Arc::new(Formula::Exists(y, f))
+}
+
+/// `∃y₁ … ∃y_k φ`.
+pub fn exists_all(ys: impl IntoIterator<Item = Var>, f: Arc<Formula>) -> Arc<Formula> {
+    let vars: Vec<Var> = ys.into_iter().collect();
+    vars.into_iter().rev().fold(f, |acc, y| exists(y, acc))
+}
+
+/// `∀y φ`.
+pub fn forall(y: Var, f: Arc<Formula>) -> Arc<Formula> {
+    Arc::new(Formula::Forall(y, f))
+}
+
+/// The counting term `#(y₁,…,y_k).φ` (rule (5)).
+pub fn cnt<const N: usize>(vars: [Var; N], body: Arc<Formula>) -> Arc<Term> {
+    Arc::new(Term::Count(Box::new(vars), body))
+}
+
+/// A counting term with a dynamic variable list.
+pub fn cnt_vec(vars: Vec<Var>, body: Arc<Formula>) -> Arc<Term> {
+    Arc::new(Term::Count(vars.into_boxed_slice(), body))
+}
+
+/// The integer constant term `i`.
+pub fn int(i: i64) -> Arc<Term> {
+    Arc::new(Term::Int(i))
+}
+
+/// `t₁ + t₂`.
+pub fn add(a: Arc<Term>, b: Arc<Term>) -> Arc<Term> {
+    Term::add(vec![a, b])
+}
+
+/// `t₁ · t₂`.
+pub fn mul(a: Arc<Term>, b: Arc<Term>) -> Arc<Term> {
+    Term::mul(vec![a, b])
+}
+
+/// `t₁ − t₂`.
+pub fn sub(a: Arc<Term>, b: Arc<Term>) -> Arc<Term> {
+    Term::sub(a, b)
+}
+
+/// `P(t₁, …, t_m)` for a named numerical predicate.
+pub fn pred(name: &str, args: Vec<Arc<Term>>) -> Arc<Formula> {
+    Arc::new(Formula::Pred { name: Symbol::new(name), args })
+}
+
+/// `t ≥ 1`, the paper's `P≥1(t)`.
+pub fn ge1(t: Arc<Term>) -> Arc<Formula> {
+    Arc::new(Formula::Pred { name: pred::ge1_sym(), args: vec![t] })
+}
+
+/// `t₁ = t₂`, the paper's `P=(t₁, t₂)`.
+pub fn teq(a: Arc<Term>, b: Arc<Term>) -> Arc<Formula> {
+    Arc::new(Formula::Pred { name: pred::eq_sym(), args: vec![a, b] })
+}
+
+/// `t₁ ≤ t₂`, the paper's `P≤(t₁, t₂)`.
+pub fn tle(a: Arc<Term>, b: Arc<Term>) -> Arc<Formula> {
+    Arc::new(Formula::Pred { name: pred::le_sym(), args: vec![a, b] })
+}
+
+/// `Prime(t)`.
+pub fn prime(t: Arc<Term>) -> Arc<Formula> {
+    Arc::new(Formula::Pred { name: pred::prime_sym(), args: vec![t] })
+}

@@ -1,0 +1,237 @@
+//! Fragment membership tests: FO, FO⁺, FOC1(P), and the q-rank measure of
+//! Section 7.
+//!
+//! * `FO` is the fragment built by rules (1)–(3) only (no numerical
+//!   predicates, no counting terms, no distance atoms).
+//! * `FO⁺` additionally allows distance atoms `dist(x,y) ≤ d`.
+//! * `FOC1(P)` (Definition 5.1) restricts rule (4): a predicate application
+//!   `P(t₁,…,t_m)` is only allowed when `|free(t₁) ∪ … ∪ free(t_m)| ≤ 1`.
+
+use crate::ast::{Formula, Term};
+use crate::symbol::Var;
+use std::collections::BTreeSet;
+
+/// Why an expression fails to be in a fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FragmentViolation {
+    /// A numerical-predicate application appears (not FO/FO⁺).
+    PredicateApplication,
+    /// A distance atom appears (not plain FO).
+    DistanceAtom,
+    /// Rule (4′) violated: a predicate application over terms with more
+    /// than one free variable in total. The offending variables are listed.
+    TooManyFreeVarsInGuard(Vec<Var>),
+}
+
+impl std::fmt::Display for FragmentViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FragmentViolation::PredicateApplication => {
+                write!(f, "numerical predicate application (not FO)")
+            }
+            FragmentViolation::DistanceAtom => write!(f, "distance atom (not plain FO)"),
+            FragmentViolation::TooManyFreeVarsInGuard(vs) => {
+                let names: Vec<String> = vs.iter().map(|v| v.to_string()).collect();
+                write!(
+                    f,
+                    "a cardinality condition has {} free variables ({}); FOC1(P) allows at most one (Definition 5.1, rule 4')",
+                    names.len(),
+                    names.join(", ")
+                )
+            }
+        }
+    }
+}
+
+/// `true` iff `φ` is a plain FO formula (rules (1)–(3)).
+pub fn is_fo(f: &Formula) -> bool {
+    check_fo(f, false).is_ok()
+}
+
+/// `true` iff `φ` is an FO⁺ formula (FO plus distance atoms).
+pub fn is_fo_plus(f: &Formula) -> bool {
+    check_fo(f, true).is_ok()
+}
+
+fn check_fo(f: &Formula, allow_dist: bool) -> Result<(), FragmentViolation> {
+    match f {
+        Formula::Bool(_) | Formula::Eq(..) | Formula::Atom(_) => Ok(()),
+        Formula::DistLe { .. } => {
+            if allow_dist {
+                Ok(())
+            } else {
+                Err(FragmentViolation::DistanceAtom)
+            }
+        }
+        Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => {
+            check_fo(g, allow_dist)
+        }
+        Formula::And(gs) | Formula::Or(gs) => {
+            gs.iter().try_for_each(|g| check_fo(g, allow_dist))
+        }
+        Formula::Pred { .. } => Err(FragmentViolation::PredicateApplication),
+    }
+}
+
+/// Checks membership in FOC1(P) (Definition 5.1). Returns the first
+/// violation found, if any.
+pub fn check_foc1(f: &Formula) -> Result<(), FragmentViolation> {
+    match f {
+        Formula::Bool(_) | Formula::Eq(..) | Formula::Atom(_) | Formula::DistLe { .. } => Ok(()),
+        Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => check_foc1(g),
+        Formula::And(gs) | Formula::Or(gs) => gs.iter().try_for_each(|g| check_foc1(g)),
+        Formula::Pred { args, .. } => {
+            let mut free: BTreeSet<Var> = BTreeSet::new();
+            for t in args {
+                free.extend(t.free_vars());
+                check_foc1_term(t)?;
+            }
+            if free.len() > 1 {
+                Err(FragmentViolation::TooManyFreeVarsInGuard(free.into_iter().collect()))
+            } else {
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Checks that every predicate application nested inside `t` obeys
+/// rule (4′).
+pub fn check_foc1_term(t: &Term) -> Result<(), FragmentViolation> {
+    match t {
+        Term::Int(_) => Ok(()),
+        Term::Count(_, body) => check_foc1(body),
+        Term::Add(ts) | Term::Mul(ts) => ts.iter().try_for_each(|s| check_foc1_term(s)),
+    }
+}
+
+/// `true` iff `φ ∈ FOC1(P)`.
+pub fn is_foc1(f: &Formula) -> bool {
+    check_foc1(f).is_ok()
+}
+
+/// `true` iff the term is an FOC1(P) counting term.
+pub fn is_foc1_term(t: &Term) -> bool {
+    check_foc1_term(t).is_ok()
+}
+
+/// The paper's threshold function `f_q(ℓ) = (4q)^{q+ℓ}` (Section 7),
+/// saturating at `u64::MAX` for large arguments.
+pub fn fq(q: u32, l: u32) -> u64 {
+    let base = 4u64.saturating_mul(u64::from(q));
+    let mut acc: u64 = 1;
+    for _ in 0..(q + l) {
+        acc = acc.saturating_mul(base);
+        if acc == u64::MAX {
+            break;
+        }
+    }
+    acc
+}
+
+/// Checks the q-rank condition of Section 7: an FO⁺ formula has q-rank at
+/// most `ℓ` if its quantifier rank is at most `ℓ` and each distance atom
+/// `dist(x,y) ≤ d` occurring in the scope of `i ≤ ℓ` quantifiers satisfies
+/// `d ≤ (4q)^{q+ℓ−i}`.
+pub fn has_q_rank_at_most(f: &Formula, q: u32, l: u32) -> bool {
+    fn go(f: &Formula, q: u32, l: u32, depth: u32) -> bool {
+        match f {
+            Formula::Bool(_) | Formula::Eq(..) | Formula::Atom(_) => true,
+            Formula::DistLe { d, .. } => {
+                // `depth` quantifiers are in scope; the budget is
+                // (4q)^{q + l - depth}.
+                l >= depth && u64::from(*d) <= fq(q, l - depth)
+            }
+            Formula::Not(g) => go(g, q, l, depth),
+            Formula::And(gs) | Formula::Or(gs) => gs.iter().all(|g| go(g, q, l, depth)),
+            Formula::Exists(_, g) | Formula::Forall(_, g) => {
+                depth < l && go(g, q, l, depth + 1)
+            }
+            Formula::Pred { .. } => false, // q-rank is defined on FO⁺ only
+        }
+    }
+    f.quantifier_rank() as u64 <= u64::from(l) && go(f, q, l, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    #[test]
+    fn fo_fragment() {
+        let x = v("x");
+        let y = v("y");
+        let f = exists(y, atom("E", [x, y]));
+        assert!(is_fo(&f));
+        assert!(is_fo_plus(&f));
+        let g = and(f, dist_le(x, y, 3));
+        assert!(!is_fo(&g));
+        assert!(is_fo_plus(&g));
+        let h = ge1(cnt([y], atom("E", [x, y])));
+        assert!(!is_fo(&h));
+        assert!(!is_fo_plus(&h));
+    }
+
+    #[test]
+    fn foc1_accepts_unary_guards() {
+        // P≥1(#(z).E(y,z)): one free variable y — allowed.
+        let y = v("y");
+        let z = v("z");
+        let f = ge1(cnt([z], atom("E", [y, z])));
+        assert!(is_foc1(&f));
+    }
+
+    #[test]
+    fn foc1_rejects_binary_guards() {
+        // ψ_E from Theorem 4.1 compares terms with free variables y and x':
+        // P=(#z.E(y,z), #z.E(x',z)) — two free vars, not in FOC1.
+        let y = v("y");
+        let xp = v("xp");
+        let z = v("z");
+        let f = teq(cnt([z], atom("E", [y, z])), cnt([z], atom("E", [xp, z])));
+        match check_foc1(&f) {
+            Err(FragmentViolation::TooManyFreeVarsInGuard(vs)) => {
+                assert_eq!(vs.len(), 2);
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foc1_example_3_2_first_two() {
+        // Prime(#(x).x=x + #(x,y).E(x,y)) is in FOC1 (all terms ground).
+        let x = v("x");
+        let y = v("y");
+        let t = add(cnt([x], eq(x, x)), cnt([x, y], atom("E", [x, y])));
+        assert!(is_foc1(&prime(t)));
+        // The third formula of Example 3.2 is NOT in FOC1: the inner P= has
+        // free variables {x, y}.
+        let z = v("z");
+        let inner = teq(cnt([z], atom("E", [x, z])), cnt([z], atom("E", [y, z])));
+        let f = exists(x, prime(cnt_vec(vec![y], inner)));
+        assert!(!is_foc1(&f));
+    }
+
+    #[test]
+    fn fq_values() {
+        assert_eq!(fq(1, 0), 4);
+        assert_eq!(fq(1, 1), 16);
+        assert_eq!(fq(2, 1), 8 * 8 * 8);
+        // Saturation for absurd parameters instead of overflow.
+        assert_eq!(fq(100, 100), u64::MAX);
+    }
+
+    #[test]
+    fn q_rank() {
+        let x = v("x");
+        let y = v("y");
+        // qr 1 formula with a small distance atom under one quantifier.
+        let f = exists(y, and(atom("E", [x, y]), dist_le(x, y, 4)));
+        assert!(has_q_rank_at_most(&f, 2, 1)); // budget (4*2)^{2+1-1}=64 ≥ 4
+        assert!(!has_q_rank_at_most(&f, 2, 0)); // quantifier rank exceeds 0
+        // Distance atom too large for the budget at its depth.
+        let g = exists(y, dist_le(x, y, 100));
+        assert!(!has_q_rank_at_most(&g, 1, 1)); // budget (4)^{1+1-1} = 4 < 100
+    }
+}

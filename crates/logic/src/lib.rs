@@ -1,0 +1,38 @@
+//! # foc-logic — syntax of FOC(P)
+//!
+//! Syntax layer of the reproduction of Grohe & Schweikardt, *First-Order
+//! Query Evaluation with Cardinality Conditions* (PODS 2018): the logic
+//! FOC(P) of Definition 3.1 (first-order logic with counting terms and
+//! numerical predicates), its fragment FOC1(P) of Definition 5.1, the
+//! FO⁺ extension with distance atoms of Section 7, queries of
+//! Definition 5.2, and the syntactic toolbox (renaming, substitution,
+//! relativization, NNF) that the rewriting pipeline of Sections 6–8 is
+//! built from.
+//!
+//! ```
+//! use foc_logic::build::*;
+//! use foc_logic::fragment::is_foc1;
+//!
+//! // Example 3.2: the out-degree of y is at least one.
+//! let y = v("y");
+//! let z = v("z");
+//! let f = ge1(cnt([z], atom("E", [y, z])));
+//! assert!(is_foc1(&f));
+//! assert_eq!(foc_logic::parse::parse_formula(&f.to_string()).unwrap(), f);
+//! ```
+
+#![warn(missing_docs)]
+#![allow(clippy::should_implement_trait)]
+
+pub mod ast;
+pub mod build;
+pub mod fragment;
+pub mod parse;
+mod print;
+pub mod pred;
+pub mod subst;
+pub mod symbol;
+
+pub use ast::{Atom, Formula, Query, Term};
+pub use pred::{PredDef, Predicates};
+pub use symbol::{Symbol, Var};

@@ -1,0 +1,624 @@
+//! A concrete syntax and recursive-descent parser for FOC(P).
+//!
+//! Grammar (precedence low → high): `|`, `&`, then prefix `!`, `exists`,
+//! `forall`. Examples:
+//!
+//! ```text
+//! exists y. (E(x,y) & #(z). E(y,z) >= 1)
+//! @prime(#(x). x = x + #(x,y). E(x,y))
+//! dist(x, y) <= 3
+//! forall x. exists y. E(x,y)
+//! ```
+//!
+//! Comparisons between counting terms are sugar for predicate
+//! applications: `s = t` → `@eq(s,t)`, `s <= t` → `@le(s,t)`,
+//! `s >= t` → `@le(t,s)`, `s < t` → `!@le(t,s)`, `s > t` → `!@le(s,t)`,
+//! `s != t` → `!@eq(s,t)`. A comparison between two bare variables is the
+//! first-order equality atom instead.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::ast::{Formula, Term};
+use crate::build;
+use crate::symbol::{Symbol, Var};
+
+/// A parse error with a position (byte offset) and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a formula from the concrete syntax.
+pub fn parse_formula(input: &str) -> Result<Arc<Formula>, ParseError> {
+    let mut p = Parser::new(input)?;
+    let f = p.formula()?;
+    p.expect_eof()?;
+    Ok(f)
+}
+
+/// Parses a counting term from the concrete syntax.
+pub fn parse_term(input: &str) -> Result<Arc<Term>, ParseError> {
+    let mut p = Parser::new(input)?;
+    let t = p.term()?;
+    p.expect_eof()?;
+    Ok(t)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Name(String),
+    Int(i64),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Hash,
+    At,
+    Amp,
+    Pipe,
+    Bang,
+    Plus,
+    Star,
+    Minus,
+    Eq,
+    Neq,
+    Le,
+    Ge,
+    Lt,
+    Gt,
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Parser, ParseError> {
+        let toks = tokenize(input)?;
+        Ok(Parser { toks, pos: 0, end: input.len() })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks.get(self.pos).map(|(p, _)| *p).unwrap_or(self.end)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { pos: self.here(), msg: msg.into() })
+    }
+
+    fn expect(&mut self, t: Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(&t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected {what}"))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if self.pos == self.toks.len() {
+            Ok(())
+        } else {
+            self.err("unexpected trailing input")
+        }
+    }
+
+    fn formula(&mut self) -> Result<Arc<Formula>, ParseError> {
+        let mut parts = vec![self.conjunction()?];
+        while self.peek() == Some(&Tok::Pipe) {
+            self.pos += 1;
+            parts.push(self.conjunction()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().expect("nonempty") } else { Formula::or(parts) })
+    }
+
+    fn conjunction(&mut self) -> Result<Arc<Formula>, ParseError> {
+        let mut parts = vec![self.unary()?];
+        while self.peek() == Some(&Tok::Amp) {
+            self.pos += 1;
+            parts.push(self.unary()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().expect("nonempty") } else { Formula::and(parts) })
+    }
+
+    fn unary(&mut self) -> Result<Arc<Formula>, ParseError> {
+        match self.peek() {
+            Some(Tok::Bang) => {
+                self.pos += 1;
+                Ok(Formula::not(self.unary()?))
+            }
+            Some(Tok::Name(n)) if n == "exists" || n == "forall" => {
+                let is_exists = n == "exists";
+                self.pos += 1;
+                let mut vars = vec![self.var()?];
+                while matches!(self.peek(), Some(Tok::Name(m)) if !is_keyword(m)) {
+                    vars.push(self.var()?);
+                }
+                self.expect(Tok::Dot, "'.' after quantified variables")?;
+                let body = self.unary()?;
+                Ok(vars.into_iter().rev().fold(body, |acc, y| {
+                    if is_exists {
+                        Arc::new(Formula::Exists(y, acc))
+                    } else {
+                        Arc::new(Formula::Forall(y, acc))
+                    }
+                }))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Arc<Formula>, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Name(n)) if n == "true" => {
+                self.pos += 1;
+                Ok(build::tt())
+            }
+            Some(Tok::Name(n)) if n == "false" => {
+                self.pos += 1;
+                Ok(build::ff())
+            }
+            Some(Tok::Name(n)) if n == "dist" => self.dist_atom(),
+            Some(Tok::At) => {
+                self.pos += 1;
+                let name = self.name()?;
+                self.expect(Tok::LParen, "'(' after predicate name")?;
+                let mut args = Vec::new();
+                if self.peek() != Some(&Tok::RParen) {
+                    args.push(self.term()?);
+                    while self.peek() == Some(&Tok::Comma) {
+                        self.pos += 1;
+                        args.push(self.term()?);
+                    }
+                }
+                self.expect(Tok::RParen, "')' closing predicate arguments")?;
+                Ok(Arc::new(Formula::Pred { name: Symbol::new(&name), args }))
+            }
+            Some(Tok::Name(_)) => {
+                // `NAME(` is always an atom (term operands are bare
+                // variables, integers, `#`-terms or parenthesised terms);
+                // a bare name starts a comparison.
+                let save = self.pos;
+                let name = self.name()?;
+                if self.peek() == Some(&Tok::LParen) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Tok::RParen) {
+                        args.push(self.var()?);
+                        while self.peek() == Some(&Tok::Comma) {
+                            self.pos += 1;
+                            args.push(self.var()?);
+                        }
+                    }
+                    self.expect(Tok::RParen, "')' closing atom arguments")?;
+                    Ok(build::atom_vec(&name, args))
+                } else {
+                    self.pos = save;
+                    self.comparison()
+                }
+            }
+            Some(Tok::LParen) => {
+                // Could be a parenthesized formula or a parenthesized term
+                // starting a comparison. Try the formula first; on failure
+                // fall back to a comparison.
+                let save = self.pos;
+                self.pos += 1;
+                if let Ok(f) = self.formula() {
+                    if self.peek() == Some(&Tok::RParen) {
+                        self.pos += 1;
+                        if is_cmp(self.peek()) {
+                            // Possibly a parenthesized *term* followed by a
+                            // comparison (e.g. `(1 + 2) = 3`). Attempt that
+                            // reading; if it fails (e.g. the parentheses
+                            // were a counting body that the caller's outer
+                            // comparison will consume), keep the formula.
+                            let after_formula = self.pos;
+                            self.pos = save;
+                            match self.comparison() {
+                                Ok(c) => return Ok(c),
+                                Err(_) => {
+                                    self.pos = after_formula;
+                                    return Ok(f);
+                                }
+                            }
+                        }
+                        return Ok(f);
+                    }
+                }
+                self.pos = save;
+                self.comparison()
+            }
+            Some(Tok::Hash) | Some(Tok::Int(_)) | Some(Tok::Minus) => self.comparison(),
+            _ => self.err("expected a formula"),
+        }
+    }
+
+    fn dist_atom(&mut self) -> Result<Arc<Formula>, ParseError> {
+        self.pos += 1; // 'dist'
+        self.expect(Tok::LParen, "'(' after dist")?;
+        let x = self.var()?;
+        self.expect(Tok::Comma, "',' between dist arguments")?;
+        let y = self.var()?;
+        self.expect(Tok::RParen, "')' closing dist")?;
+        let op = self.bump();
+        let d = match self.bump() {
+            Some(Tok::Int(i)) if i >= 0 => i as u32,
+            _ => return self.err("expected a non-negative distance bound"),
+        };
+        match op {
+            Some(Tok::Le) => Ok(build::dist_le(x, y, d)),
+            Some(Tok::Gt) => Ok(build::dist_gt(x, y, d)),
+            _ => self.err("expected '<=' or '>' after dist(..)"),
+        }
+    }
+
+    /// A comparison between two operands, each a variable or a term.
+    fn comparison(&mut self) -> Result<Arc<Formula>, ParseError> {
+        let lhs = self.operand()?;
+        let op = match self.peek() {
+            Some(t) if is_cmp(Some(t)) => self.bump().expect("peeked"),
+            _ => return self.err("expected a comparison operator"),
+        };
+        let rhs = self.operand()?;
+        match (lhs, rhs) {
+            (Operand::Var(x), Operand::Var(y)) => match op {
+                Tok::Eq => Ok(build::eq(x, y)),
+                Tok::Neq => Ok(build::not(build::eq(x, y))),
+                _ => self.err("variables can only be compared with '=' or '!='"),
+            },
+            (Operand::Term(s), Operand::Term(t)) => Ok(match op {
+                Tok::Eq => build::teq(s, t),
+                Tok::Neq => build::not(build::teq(s, t)),
+                Tok::Le => build::tle(s, t),
+                Tok::Ge => build::tle(t, s),
+                Tok::Lt => build::not(build::tle(t, s)),
+                Tok::Gt => build::not(build::tle(s, t)),
+                _ => unreachable!("cmp ops exhausted"),
+            }),
+            _ => self.err("cannot compare a variable with a counting term"),
+        }
+    }
+
+    fn operand(&mut self) -> Result<Operand, ParseError> {
+        match self.peek() {
+            Some(Tok::Name(n)) if !is_keyword(n) => {
+                let n = n.clone();
+                self.pos += 1;
+                Ok(Operand::Var(Var::new(&n)))
+            }
+            _ => Ok(Operand::Term(self.term()?)),
+        }
+    }
+
+    fn term(&mut self) -> Result<Arc<Term>, ParseError> {
+        let mut acc = vec![self.mul_term()?];
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.pos += 1;
+                    acc.push(self.mul_term()?);
+                }
+                Some(Tok::Minus) => {
+                    self.pos += 1;
+                    let t = self.mul_term()?;
+                    acc.push(Term::mul(vec![Arc::new(Term::Int(-1)), t]));
+                }
+                _ => break,
+            }
+        }
+        Ok(if acc.len() == 1 { acc.pop().expect("nonempty") } else { Term::add(acc) })
+    }
+
+    fn mul_term(&mut self) -> Result<Arc<Term>, ParseError> {
+        let mut acc = vec![self.atomic_term()?];
+        while self.peek() == Some(&Tok::Star) {
+            self.pos += 1;
+            acc.push(self.atomic_term()?);
+        }
+        Ok(if acc.len() == 1 { acc.pop().expect("nonempty") } else { Term::mul(acc) })
+    }
+
+    fn atomic_term(&mut self) -> Result<Arc<Term>, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Int(i)) => {
+                self.pos += 1;
+                Ok(Arc::new(Term::Int(i)))
+            }
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                match self.bump() {
+                    Some(Tok::Int(i)) => Ok(Arc::new(Term::Int(-i))),
+                    _ => self.err("expected an integer after unary '-'"),
+                }
+            }
+            Some(Tok::Hash) => {
+                self.pos += 1;
+                self.expect(Tok::LParen, "'(' after '#'")?;
+                let mut vars = vec![self.var()?];
+                while self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                    vars.push(self.var()?);
+                }
+                self.expect(Tok::RParen, "')' closing counted variables")?;
+                self.expect(Tok::Dot, "'.' after counted variables")?;
+                let body = self.unary()?;
+                Ok(Arc::new(Term::Count(vars.into_boxed_slice(), body)))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let t = self.term()?;
+                self.expect(Tok::RParen, "')' closing term")?;
+                Ok(t)
+            }
+            _ => self.err("expected a counting term"),
+        }
+    }
+
+    fn var(&mut self) -> Result<Var, ParseError> {
+        match self.peek() {
+            Some(Tok::Name(n)) if !is_keyword(n) => {
+                let n = n.clone();
+                self.pos += 1;
+                Ok(Var::new(&n))
+            }
+            _ => self.err("expected a variable name"),
+        }
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Tok::Name(n)) => {
+                let n = n.clone();
+                self.pos += 1;
+                Ok(n)
+            }
+            _ => self.err("expected a name"),
+        }
+    }
+}
+
+enum Operand {
+    Var(Var),
+    Term(Arc<Term>),
+}
+
+fn is_keyword(n: &str) -> bool {
+    matches!(n, "exists" | "forall" | "true" | "false" | "dist")
+}
+
+fn is_cmp(t: Option<&Tok>) -> bool {
+    matches!(t, Some(Tok::Eq | Tok::Neq | Tok::Le | Tok::Ge | Tok::Lt | Tok::Gt))
+}
+
+fn tokenize(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push((i, Tok::RParen));
+                i += 1;
+            }
+            ',' => {
+                out.push((i, Tok::Comma));
+                i += 1;
+            }
+            '.' => {
+                out.push((i, Tok::Dot));
+                i += 1;
+            }
+            '#' => {
+                out.push((i, Tok::Hash));
+                i += 1;
+            }
+            '@' => {
+                out.push((i, Tok::At));
+                i += 1;
+            }
+            '&' => {
+                out.push((i, Tok::Amp));
+                i += 1;
+            }
+            '|' => {
+                out.push((i, Tok::Pipe));
+                i += 1;
+            }
+            '+' => {
+                out.push((i, Tok::Plus));
+                i += 1;
+            }
+            '*' => {
+                out.push((i, Tok::Star));
+                i += 1;
+            }
+            '-' => {
+                out.push((i, Tok::Minus));
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((i, Tok::Neq));
+                    i += 2;
+                } else {
+                    out.push((i, Tok::Bang));
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push((i, Tok::Eq));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((i, Tok::Le));
+                    i += 2;
+                } else {
+                    out.push((i, Tok::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((i, Tok::Ge));
+                    i += 2;
+                } else {
+                    out.push((i, Tok::Gt));
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let val: i64 = text.parse().map_err(|_| ParseError {
+                    pos: start,
+                    msg: format!("integer literal out of range: {text}"),
+                })?;
+                out.push((start, Tok::Int(val)));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'%' // fresh-variable names
+                        || bytes[i] == b'\'')
+                {
+                    i += 1;
+                }
+                out.push((start, Tok::Name(input[start..i].to_owned())));
+            }
+            other => {
+                return Err(ParseError { pos: i, msg: format!("unexpected character {other:?}") })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    #[test]
+    fn parse_atom_and_bool() {
+        let f = parse_formula("E(x, y)").unwrap();
+        assert_eq!(f, atom("E", [v("x"), v("y")]));
+        assert_eq!(parse_formula("true").unwrap(), tt());
+    }
+
+    #[test]
+    fn parse_quantifiers() {
+        let f = parse_formula("exists x y. E(x,y)").unwrap();
+        assert_eq!(f, exists(v("x"), exists(v("y"), atom("E", [v("x"), v("y")]))));
+        let g = parse_formula("forall x. exists y. E(x,y)").unwrap();
+        assert_eq!(g.quantifier_rank(), 2);
+    }
+
+    #[test]
+    fn parse_counting_comparison() {
+        // Out-degree ≥ 1 (Example 3.2).
+        let f = parse_formula("#(z). E(y,z) >= 1").unwrap();
+        let expected = tle(int(1), cnt([v("z")], atom("E", [v("y"), v("z")])));
+        assert_eq!(f, expected);
+    }
+
+    #[test]
+    fn parse_example_3_2_prime() {
+        let f = parse_formula("@prime(#(x). x = x + #(x,y). E(x,y))").unwrap();
+        assert!(matches!(&*f, crate::ast::Formula::Pred { .. }));
+        assert!(f.is_sentence());
+    }
+
+    #[test]
+    fn parse_var_equality_vs_term_equality() {
+        assert_eq!(parse_formula("x = y").unwrap(), eq(v("x"), v("y")));
+        let f = parse_formula("#(y). E(x,y) = 2").unwrap();
+        assert!(matches!(&*f, crate::ast::Formula::Pred { .. }));
+    }
+
+    #[test]
+    fn parse_dist() {
+        assert_eq!(parse_formula("dist(x, y) <= 3").unwrap(), dist_le(v("x"), v("y"), 3));
+        assert_eq!(parse_formula("dist(x, y) > 3").unwrap(), dist_gt(v("x"), v("y"), 3));
+    }
+
+    #[test]
+    fn parse_precedence() {
+        let f = parse_formula("A(x) | B(x) & C(x)").unwrap();
+        // & binds tighter than |.
+        if let crate::ast::Formula::Or(parts) = &*f {
+            assert_eq!(parts.len(), 2);
+            assert!(matches!(&*parts[1], crate::ast::Formula::And(_)));
+        } else {
+            panic!("expected Or at top, got {f:?}");
+        }
+    }
+
+    #[test]
+    fn print_parse_round_trip() {
+        let inputs = [
+            "exists y. (E(x, y) & !(x = y))",
+            "@prime((#(x). (x = x) + #(x, y). E(x, y)))",
+            "dist(x, y) <= 3",
+            "forall x. exists y. E(x, y)",
+            "#(z). E(y, z) = #(w). F(y, w)",
+        ];
+        for s in inputs {
+            let f = parse_formula(s).unwrap();
+            let g = parse_formula(&f.to_string()).unwrap();
+            assert_eq!(f, g, "round-trip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_have_positions() {
+        let e = parse_formula("E(x,,y)").unwrap_err();
+        assert!(e.pos > 0);
+        assert!(parse_formula("").is_err());
+        assert!(parse_formula("exists . E(x)").is_err());
+    }
+
+    #[test]
+    fn parse_term_arithmetic() {
+        let t = parse_term("2 * #(x). R(x) - 3").unwrap();
+        assert_eq!(t.count_depth(), 1);
+        assert_eq!(parse_term("2 + 3 * 4").unwrap(), int(14));
+    }
+}

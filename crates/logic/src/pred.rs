@@ -1,0 +1,196 @@
+//! Numerical predicate collections `(P, ar, ⟦.⟧)` (Section 3).
+//!
+//! A [`Predicates`] value is the paper's *P-oracle*: it decides, at unit
+//! cost, whether a tuple of integers belongs to the semantics of a
+//! predicate name. The built-in collection provides the predicates used
+//! throughout the paper (`P≥1`, `P=`, `P≤`, `Prime`) plus a few convenient
+//! extras; users can register their own predicates as closures.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::symbol::Symbol;
+
+/// The symbol for `P≥1` (always present per the paper's convention).
+pub fn ge1_sym() -> Symbol {
+    Symbol::new("ge1")
+}
+
+/// The symbol for the equality predicate `P=`.
+pub fn eq_sym() -> Symbol {
+    Symbol::new("eq")
+}
+
+/// The symbol for the order predicate `P≤`.
+pub fn le_sym() -> Symbol {
+    Symbol::new("le")
+}
+
+/// The symbol for the primality predicate.
+pub fn prime_sym() -> Symbol {
+    Symbol::new("prime")
+}
+
+/// The symbol for the parity predicate.
+pub fn even_sym() -> Symbol {
+    Symbol::new("even")
+}
+
+/// The symbol for the divisibility predicate `Divides(a, b) ⟺ a | b`.
+pub fn divides_sym() -> Symbol {
+    Symbol::new("divides")
+}
+
+type PredFn = dyn Fn(&[i64]) -> bool + Send + Sync;
+
+/// One named numerical predicate: a name, an arity, and a decision oracle.
+#[derive(Clone)]
+pub struct PredDef {
+    name: Symbol,
+    arity: usize,
+    oracle: Arc<PredFn>,
+}
+
+impl PredDef {
+    /// Creates a predicate definition from a closure.
+    pub fn new(
+        name: Symbol,
+        arity: usize,
+        oracle: impl Fn(&[i64]) -> bool + Send + Sync + 'static,
+    ) -> PredDef {
+        PredDef { name, arity, oracle: Arc::new(oracle) }
+    }
+
+    /// The predicate's name.
+    pub fn name(&self) -> Symbol {
+        self.name
+    }
+
+    /// `ar(P)`.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Decides `(i₁,…,i_m) ∈ ⟦P⟧`. Panics if the arity is wrong — callers
+    /// must validate arity when type-checking formulas.
+    pub fn holds(&self, args: &[i64]) -> bool {
+        assert_eq!(args.len(), self.arity, "arity mismatch for predicate {}", self.name);
+        (self.oracle)(args)
+    }
+}
+
+impl fmt::Debug for PredDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PredDef")
+            .field("name", &self.name)
+            .field("arity", &self.arity)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A numerical predicate collection with its oracle (the triple
+/// `(P, ar, ⟦.⟧)` of Section 3).
+#[derive(Debug, Clone, Default)]
+pub struct Predicates {
+    defs: HashMap<Symbol, PredDef>,
+}
+
+impl Predicates {
+    /// An empty collection (note: the paper assumes `P≥1 ∈ P`; use
+    /// [`Predicates::standard`] for the usual setup).
+    pub fn empty() -> Predicates {
+        Predicates::default()
+    }
+
+    /// The standard collection: `P≥1`, `P=`, `P≤`, `Prime`, `Even`,
+    /// `Divides`.
+    pub fn standard() -> Predicates {
+        let mut p = Predicates::default();
+        p.register(PredDef::new(ge1_sym(), 1, |a| a[0] >= 1));
+        p.register(PredDef::new(eq_sym(), 2, |a| a[0] == a[1]));
+        p.register(PredDef::new(le_sym(), 2, |a| a[0] <= a[1]));
+        p.register(PredDef::new(prime_sym(), 1, |a| is_prime(a[0])));
+        p.register(PredDef::new(even_sym(), 1, |a| a[0].rem_euclid(2) == 0));
+        p.register(PredDef::new(divides_sym(), 2, |a| a[0] != 0 && a[1].rem_euclid(a[0]) == 0));
+        p
+    }
+
+    /// Registers (or replaces) a predicate definition.
+    pub fn register(&mut self, def: PredDef) {
+        self.defs.insert(def.name(), def);
+    }
+
+    /// Looks up a predicate by name.
+    pub fn get(&self, name: Symbol) -> Option<&PredDef> {
+        self.defs.get(&name)
+    }
+
+    /// Decides `P(i₁,…,i_m)`; returns `None` for unknown predicates.
+    pub fn holds(&self, name: Symbol, args: &[i64]) -> Option<bool> {
+        self.defs.get(&name).map(|d| d.holds(args))
+    }
+}
+
+/// Deterministic primality test for `i64` (trial division; counts in the
+/// evaluator are bounded by `n^k`, well within range).
+pub fn is_prime(n: i64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n < 4 {
+        return true;
+    }
+    if n % 2 == 0 {
+        return false;
+    }
+    let mut d = 3i64;
+    while d.saturating_mul(d) <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_predicates() {
+        let p = Predicates::standard();
+        assert_eq!(p.holds(ge1_sym(), &[1]), Some(true));
+        assert_eq!(p.holds(ge1_sym(), &[0]), Some(false));
+        assert_eq!(p.holds(eq_sym(), &[3, 3]), Some(true));
+        assert_eq!(p.holds(eq_sym(), &[3, 4]), Some(false));
+        assert_eq!(p.holds(le_sym(), &[-5, 0]), Some(true));
+        assert_eq!(p.holds(prime_sym(), &[97]), Some(true));
+        assert_eq!(p.holds(prime_sym(), &[91]), Some(false)); // 7 * 13
+        assert_eq!(p.holds(even_sym(), &[-4]), Some(true));
+        assert_eq!(p.holds(divides_sym(), &[3, 9]), Some(true));
+        assert_eq!(p.holds(divides_sym(), &[0, 9]), Some(false));
+    }
+
+    #[test]
+    fn unknown_predicate_is_none() {
+        let p = Predicates::standard();
+        assert_eq!(p.holds(Symbol::new("nope"), &[]), None);
+    }
+
+    #[test]
+    fn primes_small_table() {
+        let primes: Vec<i64> =
+            (0..30).filter(|&n| is_prime(n)).collect();
+        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+    }
+
+    #[test]
+    fn custom_predicate() {
+        let mut p = Predicates::standard();
+        p.register(PredDef::new(Symbol::new("mod3"), 1, |a| a[0].rem_euclid(3) == 0));
+        assert_eq!(p.holds(Symbol::new("mod3"), &[9]), Some(true));
+        assert_eq!(p.holds(Symbol::new("mod3"), &[10]), Some(false));
+    }
+}

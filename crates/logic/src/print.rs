@@ -1,0 +1,137 @@
+//! Pretty-printing of formulas and terms in the concrete syntax accepted
+//! by [`crate::parse`], so `parse(format!("{f}")) == f` up to smart-
+//! constructor normalisation.
+
+use std::fmt;
+
+use crate::ast::{Formula, Query, Term};
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Bool(true) => write!(f, "true"),
+            Formula::Bool(false) => write!(f, "false"),
+            Formula::Eq(x, y) => write!(f, "{x} = {y}"),
+            Formula::Atom(a) => {
+                write!(f, "{}(", a.rel)?;
+                for (i, v) in a.args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::DistLe { x, y, d } => write!(f, "dist({x}, {y}) <= {d}"),
+            Formula::Not(g) => write!(f, "!({g})"),
+            Formula::And(gs) => {
+                write!(f, "(")?;
+                for (i, g) in gs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(gs) => {
+                write!(f, "(")?;
+                for (i, g) in gs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Exists(y, g) => write!(f, "exists {y}. ({g})"),
+            Formula::Forall(y, g) => write!(f, "forall {y}. ({g})"),
+            Formula::Pred { name, args } => {
+                write!(f, "@{name}(")?;
+                for (i, t) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Int(i) => write!(f, "{i}"),
+            Term::Count(vars, body) => {
+                write!(f, "#(")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "). ({body})")
+            }
+            Term::Add(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            Term::Mul(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " * ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{ (")?;
+        let mut first = true;
+        for v in &self.head_vars {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{v}")?;
+        }
+        for t in &self.head_terms {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{t}")?;
+        }
+        write!(f, ") : {} }}", self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::build::*;
+
+    #[test]
+    fn display_examples() {
+        let x = v("x");
+        let y = v("y");
+        let f = exists(y, and(atom("E", [x, y]), ge1(cnt([y], atom("E", [y, y])))));
+        let s = f.to_string();
+        assert!(s.contains("exists y"), "{s}");
+        assert!(s.contains("@ge1"), "{s}");
+        assert!(s.contains("#(y)"), "{s}");
+    }
+}

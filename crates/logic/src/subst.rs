@@ -1,0 +1,383 @@
+//! Syntactic transformations: capture-avoiding renaming, atom
+//! substitution, relativization, and negation normal form.
+//!
+//! These are the workhorses of the rewriting pipeline: Theorem 4.1 needs
+//! atom substitution and relativization, Theorem 6.10 needs renaming of
+//! free variables, and the locality analysis of Section 6 works on NNF.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::ast::{Atom, Formula, Term};
+use crate::symbol::Var;
+
+/// Renames the *free* occurrences of variables in `f` according to `map`,
+/// avoiding capture by α-renaming binders when necessary.
+pub fn rename_free(f: &Arc<Formula>, map: &HashMap<Var, Var>) -> Arc<Formula> {
+    if map.is_empty() {
+        return f.clone();
+    }
+    match &**f {
+        Formula::Bool(_) => f.clone(),
+        Formula::Eq(x, y) => {
+            let nx = *map.get(x).unwrap_or(x);
+            let ny = *map.get(y).unwrap_or(y);
+            if nx == *x && ny == *y {
+                f.clone()
+            } else {
+                Arc::new(Formula::Eq(nx, ny))
+            }
+        }
+        Formula::Atom(a) => {
+            if a.args.iter().any(|v| map.contains_key(v)) {
+                let args: Box<[Var]> =
+                    a.args.iter().map(|v| *map.get(v).unwrap_or(v)).collect();
+                Arc::new(Formula::Atom(Atom { rel: a.rel, args }))
+            } else {
+                f.clone()
+            }
+        }
+        Formula::DistLe { x, y, d } => {
+            let nx = *map.get(x).unwrap_or(x);
+            let ny = *map.get(y).unwrap_or(y);
+            if nx == *x && ny == *y {
+                f.clone()
+            } else {
+                Arc::new(Formula::DistLe { x: nx, y: ny, d: *d })
+            }
+        }
+        Formula::Not(g) => Formula::not(rename_free(g, map)),
+        Formula::And(gs) => {
+            Formula::and(gs.iter().map(|g| rename_free(g, map)).collect())
+        }
+        Formula::Or(gs) => Formula::or(gs.iter().map(|g| rename_free(g, map)).collect()),
+        Formula::Exists(y, g) => rename_under_binder(*y, g, map, true),
+        Formula::Forall(y, g) => rename_under_binder(*y, g, map, false),
+        Formula::Pred { name, args } => Arc::new(Formula::Pred {
+            name: *name,
+            args: args.iter().map(|t| rename_free_term(t, map)).collect(),
+        }),
+    }
+}
+
+fn rename_under_binder(
+    y: Var,
+    body: &Arc<Formula>,
+    map: &HashMap<Var, Var>,
+    exists: bool,
+) -> Arc<Formula> {
+    // The bound variable shadows any renaming of it.
+    let inner: HashMap<Var, Var> =
+        map.iter().filter(|(k, _)| **k != y).map(|(k, v)| (*k, *v)).collect();
+    // Capture check: if some target collides with the binder, α-rename.
+    let (binder, body) = if inner.values().any(|v| *v == y) {
+        let fresh = Var::fresh(&y.name());
+        let mut alpha = HashMap::new();
+        alpha.insert(y, fresh);
+        (fresh, rename_free(body, &alpha))
+    } else {
+        (y, body.clone())
+    };
+    let new_body = if inner.is_empty() { body } else { rename_free(&body, &inner) };
+    if exists {
+        Arc::new(Formula::Exists(binder, new_body))
+    } else {
+        Arc::new(Formula::Forall(binder, new_body))
+    }
+}
+
+/// Renames the free occurrences of variables in a counting term.
+pub fn rename_free_term(t: &Arc<Term>, map: &HashMap<Var, Var>) -> Arc<Term> {
+    if map.is_empty() {
+        return t.clone();
+    }
+    match &**t {
+        Term::Int(_) => t.clone(),
+        Term::Count(vars, body) => {
+            let inner: HashMap<Var, Var> = map
+                .iter()
+                .filter(|(k, _)| !vars.contains(k))
+                .map(|(k, v)| (*k, *v))
+                .collect();
+            // α-rename counted variables that collide with renaming targets.
+            let mut new_vars: Vec<Var> = vars.to_vec();
+            let mut alpha: HashMap<Var, Var> = HashMap::new();
+            for v in new_vars.iter_mut() {
+                if inner.values().any(|t| t == v) {
+                    let fresh = Var::fresh(&v.name());
+                    alpha.insert(*v, fresh);
+                    *v = fresh;
+                }
+            }
+            let body = if alpha.is_empty() { body.clone() } else { rename_free(body, &alpha) };
+            let body = if inner.is_empty() { body } else { rename_free(&body, &inner) };
+            Arc::new(Term::Count(new_vars.into_boxed_slice(), body))
+        }
+        Term::Add(ts) => {
+            Term::add(ts.iter().map(|s| rename_free_term(s, map)).collect())
+        }
+        Term::Mul(ts) => {
+            Term::mul(ts.iter().map(|s| rename_free_term(s, map)).collect())
+        }
+    }
+}
+
+/// Replaces every atom `rel(u₁,…,u_k)` in `f` by `template` with its
+/// `params` renamed to the atom's actual arguments. Used by the hardness
+/// reductions of Section 4 (replace `E(x, x′)` by `ψ_E(x, x′)`).
+///
+/// `params.len()` must equal the arity with which `rel` occurs.
+pub fn substitute_atom(
+    f: &Arc<Formula>,
+    rel: crate::symbol::Symbol,
+    params: &[Var],
+    template: &Arc<Formula>,
+) -> Arc<Formula> {
+    match &**f {
+        Formula::Atom(a) if a.rel == rel => {
+            assert_eq!(a.args.len(), params.len(), "atom substitution arity mismatch");
+            let map: HashMap<Var, Var> =
+                params.iter().copied().zip(a.args.iter().copied()).collect();
+            rename_free(template, &map)
+        }
+        Formula::Bool(_) | Formula::Eq(..) | Formula::Atom(_) | Formula::DistLe { .. } => {
+            f.clone()
+        }
+        Formula::Not(g) => Formula::not(substitute_atom(g, rel, params, template)),
+        Formula::And(gs) => Formula::and(
+            gs.iter().map(|g| substitute_atom(g, rel, params, template)).collect(),
+        ),
+        Formula::Or(gs) => Formula::or(
+            gs.iter().map(|g| substitute_atom(g, rel, params, template)).collect(),
+        ),
+        Formula::Exists(y, g) => {
+            Arc::new(Formula::Exists(*y, substitute_atom(g, rel, params, template)))
+        }
+        Formula::Forall(y, g) => {
+            Arc::new(Formula::Forall(*y, substitute_atom(g, rel, params, template)))
+        }
+        Formula::Pred { name, args } => Arc::new(Formula::Pred {
+            name: *name,
+            args: args
+                .iter()
+                .map(|t| substitute_atom_term(t, rel, params, template))
+                .collect(),
+        }),
+    }
+}
+
+fn substitute_atom_term(
+    t: &Arc<Term>,
+    rel: crate::symbol::Symbol,
+    params: &[Var],
+    template: &Arc<Formula>,
+) -> Arc<Term> {
+    match &**t {
+        Term::Int(_) => t.clone(),
+        Term::Count(vars, body) => Arc::new(Term::Count(
+            vars.clone(),
+            substitute_atom(body, rel, params, template),
+        )),
+        Term::Add(ts) => Term::add(
+            ts.iter().map(|s| substitute_atom_term(s, rel, params, template)).collect(),
+        ),
+        Term::Mul(ts) => Term::mul(
+            ts.iter().map(|s| substitute_atom_term(s, rel, params, template)).collect(),
+        ),
+    }
+}
+
+/// Relativizes all quantifiers to the set defined by `guard`: replaces
+/// `∃x ψ` by `∃x (guard(x) ∧ ψ)` and `∀x ψ` by `∀x (guard(x) → ψ)`.
+/// Quantifiers inside counting terms are relativized too, and counted
+/// variables are restricted to the guard as well.
+pub fn relativize(
+    f: &Arc<Formula>,
+    guard: &dyn Fn(Var) -> Arc<Formula>,
+) -> Arc<Formula> {
+    match &**f {
+        Formula::Bool(_) | Formula::Eq(..) | Formula::Atom(_) | Formula::DistLe { .. } => {
+            f.clone()
+        }
+        Formula::Not(g) => Formula::not(relativize(g, guard)),
+        Formula::And(gs) => Formula::and(gs.iter().map(|g| relativize(g, guard)).collect()),
+        Formula::Or(gs) => Formula::or(gs.iter().map(|g| relativize(g, guard)).collect()),
+        Formula::Exists(y, g) => Arc::new(Formula::Exists(
+            *y,
+            Formula::and(vec![guard(*y), relativize(g, guard)]),
+        )),
+        Formula::Forall(y, g) => Arc::new(Formula::Forall(
+            *y,
+            Formula::or(vec![Formula::not(guard(*y)), relativize(g, guard)]),
+        )),
+        Formula::Pred { name, args } => Arc::new(Formula::Pred {
+            name: *name,
+            args: args.iter().map(|t| relativize_term(t, guard)).collect(),
+        }),
+    }
+}
+
+fn relativize_term(t: &Arc<Term>, guard: &dyn Fn(Var) -> Arc<Formula>) -> Arc<Term> {
+    match &**t {
+        Term::Int(_) => t.clone(),
+        Term::Count(vars, body) => {
+            let guards: Vec<Arc<Formula>> = vars.iter().map(|v| guard(*v)).collect();
+            let mut parts = guards;
+            parts.push(relativize(body, guard));
+            Arc::new(Term::Count(vars.clone(), Formula::and(parts)))
+        }
+        Term::Add(ts) => Term::add(ts.iter().map(|s| relativize_term(s, guard)).collect()),
+        Term::Mul(ts) => Term::mul(ts.iter().map(|s| relativize_term(s, guard)).collect()),
+    }
+}
+
+/// Converts to negation normal form: negations are pushed down to literals
+/// (atoms, equalities, distance atoms, predicate applications). `∀` is
+/// rewritten to `¬∃¬`, so the result uses only `∃`, `∧`, `∨` and literals.
+pub fn nnf(f: &Arc<Formula>) -> Arc<Formula> {
+    nnf_signed(f, false)
+}
+
+fn nnf_signed(f: &Arc<Formula>, negate: bool) -> Arc<Formula> {
+    match &**f {
+        Formula::Bool(b) => Arc::new(Formula::Bool(*b != negate)),
+        Formula::Eq(..) | Formula::Atom(_) | Formula::DistLe { .. } | Formula::Pred { .. } => {
+            if negate {
+                Arc::new(Formula::Not(f.clone()))
+            } else {
+                f.clone()
+            }
+        }
+        Formula::Not(g) => nnf_signed(g, !negate),
+        Formula::And(gs) => {
+            let parts = gs.iter().map(|g| nnf_signed(g, negate)).collect();
+            if negate {
+                Formula::or(parts)
+            } else {
+                Formula::and(parts)
+            }
+        }
+        Formula::Or(gs) => {
+            let parts = gs.iter().map(|g| nnf_signed(g, negate)).collect();
+            if negate {
+                Formula::and(parts)
+            } else {
+                Formula::or(parts)
+            }
+        }
+        Formula::Exists(y, g) => {
+            if negate {
+                // ¬∃y g ≡ ¬∃y ¬¬g; keep as ¬∃y (nnf g) — a *negated block*.
+                Arc::new(Formula::Not(Arc::new(Formula::Exists(*y, nnf_signed(g, false)))))
+            } else {
+                Arc::new(Formula::Exists(*y, nnf_signed(g, false)))
+            }
+        }
+        Formula::Forall(y, g) => {
+            // ∀y g ≡ ¬∃y ¬g.
+            let ex = Arc::new(Formula::Exists(*y, nnf_signed(g, true)));
+            if negate {
+                // ¬∀y g ≡ ∃y ¬g.
+                Arc::new(Formula::Exists(*y, nnf_signed(g, true)))
+            } else {
+                Arc::new(Formula::Not(ex))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    #[test]
+    fn rename_avoids_capture() {
+        // (∃y E(x,y))[x := y] must not capture: result ∃y' E(y, y').
+        let x = v("x");
+        let y = v("y");
+        let f = exists(y, atom("E", [x, y]));
+        let mut map = HashMap::new();
+        map.insert(x, y);
+        let g = rename_free(&f, &map);
+        if let Formula::Exists(b, body) = &*g {
+            assert_ne!(*b, y, "binder must be α-renamed");
+            if let Formula::Atom(a) = &**body {
+                assert_eq!(a.args[0], y);
+                assert_eq!(a.args[1], *b);
+            } else {
+                panic!("body should be an atom");
+            }
+        } else {
+            panic!("expected Exists");
+        }
+    }
+
+    #[test]
+    fn rename_count_term() {
+        // (#(y).E(x,y))[x := y] → #(y').E(y, y').
+        let x = v("x");
+        let y = v("y");
+        let t = cnt([y], atom("E", [x, y]));
+        let mut map = HashMap::new();
+        map.insert(x, y);
+        let s = rename_free_term(&t, &map);
+        assert_eq!(s.free_vars().into_iter().collect::<Vec<_>>(), vec![y]);
+    }
+
+    #[test]
+    fn substitute_atom_renames_params() {
+        // Replace E(u,v) by ∃w (E(u,w) ∧ E(w,v)) inside ∃y E(x,y).
+        let x = v("x");
+        let y = v("y");
+        let u = v("u");
+        let vv = v("v");
+        let w = v("w");
+        let template = exists(w, and(atom("E", [u, w]), atom("E", [w, vv])));
+        let f = exists(y, atom("E", [x, y]));
+        let g = substitute_atom(&f, crate::symbol::Symbol::new("E"), &[u, vv], &template);
+        // The free variables of f are preserved: just {x}.
+        assert_eq!(g.free_vars().into_iter().collect::<Vec<_>>(), vec![x]);
+        assert_eq!(g.quantifier_rank(), 2);
+    }
+
+    #[test]
+    fn relativize_adds_guards() {
+        let x = v("x");
+        let f = exists(x, atom("R", [x]));
+        let g = relativize(&f, &|z| atom_vec("A", vec![z]));
+        if let Formula::Exists(_, body) = &*g {
+            if let Formula::And(parts) = &**body {
+                assert_eq!(parts.len(), 2);
+            } else {
+                panic!("expected conjunction under Exists, got {body:?}");
+            }
+        } else {
+            panic!("expected Exists");
+        }
+    }
+
+    #[test]
+    fn nnf_pushes_negation() {
+        let x = v("x");
+        let y = v("y");
+        let f = not(and(atom("E", [x, y]), not(eq(x, y))));
+        let g = nnf(&f);
+        // ¬(a ∧ ¬b) → ¬a ∨ b.
+        if let Formula::Or(parts) = &*g {
+            assert_eq!(parts.len(), 2);
+            assert!(matches!(&*parts[0], Formula::Not(_)));
+            assert!(matches!(&*parts[1], Formula::Eq(..)));
+        } else {
+            panic!("expected Or, got {g:?}");
+        }
+    }
+
+    #[test]
+    fn nnf_forall_becomes_negated_exists() {
+        let x = v("x");
+        let f = forall(x, atom("R", [x]));
+        let g = nnf(&f);
+        assert!(matches!(&*g, Formula::Not(inner) if matches!(&**inner, Formula::Exists(..))));
+    }
+}

@@ -1,0 +1,134 @@
+//! Interned identifiers for variables and relation/predicate names.
+//!
+//! The paper works with a fixed countably infinite set `vars` of variables
+//! and finite relational signatures. We intern all names in a global table
+//! so that variables and relation symbols are `Copy` integers: comparisons
+//! and hashing in the evaluator inner loops are then single-word operations.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string (relation symbol, predicate name, or variable name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+/// An interned first-order variable, an element of the paper's set `vars`.
+///
+/// Two variables are equal iff they were interned from the same name (or
+/// produced by the same call to [`Var::fresh`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(Symbol);
+
+struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+    fresh_counter: u64,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner { names: Vec::new(), index: HashMap::new(), fresh_counter: 0 })
+    })
+}
+
+impl Symbol {
+    /// Interns `name`, returning the canonical symbol for it.
+    pub fn new(name: &str) -> Symbol {
+        let mut int = interner().lock().expect("symbol interner poisoned");
+        if let Some(&id) = int.index.get(name) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(int.names.len()).expect("interner overflow");
+        int.names.push(name.to_owned());
+        int.index.insert(name.to_owned(), id);
+        Symbol(id)
+    }
+
+    /// The string this symbol was interned from.
+    pub fn name(self) -> String {
+        let int = interner().lock().expect("symbol interner poisoned");
+        int.names[self.0 as usize].clone()
+    }
+
+    /// A raw dense id, usable as an array index.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl Var {
+    /// Interns a variable by name.
+    pub fn new(name: &str) -> Var {
+        Var(Symbol::new(name))
+    }
+
+    /// Returns a variable guaranteed to be distinct from every variable
+    /// interned so far. Used by rewriters that must not capture.
+    ///
+    /// `hint` is a readable stem embedded in the generated name.
+    pub fn fresh(hint: &str) -> Var {
+        let counter = {
+            let mut int = interner().lock().expect("symbol interner poisoned");
+            int.fresh_counter += 1;
+            int.fresh_counter
+        };
+        Var(Symbol::new(&format!("{hint}%{counter}")))
+    }
+
+    /// The underlying interned symbol.
+    pub fn symbol(self) -> Symbol {
+        self.0
+    }
+
+    /// The variable's name.
+    pub fn name(self) -> String {
+        self.0.name()
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let a = Symbol::new("E");
+        let b = Symbol::new("E");
+        assert_eq!(a, b);
+        assert_eq!(a.name(), "E");
+    }
+
+    #[test]
+    fn distinct_names_distinct_symbols() {
+        assert_ne!(Symbol::new("R"), Symbol::new("S"));
+    }
+
+    #[test]
+    fn fresh_vars_are_unique() {
+        let x = Var::fresh("y");
+        let y = Var::fresh("y");
+        assert_ne!(x, y);
+        assert_ne!(x, Var::new("y"));
+    }
+
+    #[test]
+    fn var_display_round_trips() {
+        let v = Var::new("x17");
+        assert_eq!(v.to_string(), "x17");
+        assert_eq!(Var::new(&v.name()), v);
+    }
+}

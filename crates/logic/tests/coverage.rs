@@ -1,0 +1,246 @@
+//! Additional coverage for the syntax layer: parser diagnostics, printer
+//! stability, fragment edge cases, and substitution corner cases.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use foc_logic::build::*;
+use foc_logic::fragment::{check_foc1, fq, has_q_rank_at_most, is_fo, is_foc1};
+use foc_logic::parse::{parse_formula, parse_term};
+use foc_logic::pred::{is_prime, PredDef, Predicates};
+use foc_logic::subst::{nnf, rename_free, rename_free_term, relativize, substitute_atom};
+use foc_logic::{Formula, Query, Symbol, Term, Var};
+
+#[test]
+fn parser_rejects_malformed_inputs() {
+    for bad in [
+        "",
+        "exists",
+        "exists .",
+        "E(x",
+        "E(x,)",
+        "#(). E(x,y)",
+        "#(x . E(x,y)",
+        "@p(",
+        "dist(x) <= 2",
+        "dist(x, y) >= 2", // only <= and > are dist forms
+        "x <",
+        "1 + ",
+        "E(x,y) &",
+        "((E(x,y))",
+        "x = ",
+        "99999999999999999999", // integer overflow
+    ] {
+        assert!(parse_formula(bad).is_err(), "accepted malformed input {bad:?}");
+    }
+}
+
+#[test]
+fn parser_accepts_edge_syntax() {
+    // Unicode-free names with primes and underscores.
+    assert!(parse_formula("Rel_1(x', y_2)").unwrap().free_vars().len() == 2);
+    // Deeply nested parentheses.
+    assert!(parse_formula("((((E(x,y)))))").is_ok());
+    // n-ary flattened conjunction.
+    let f = parse_formula("A(x) & B(x) & C(x) & D(x)").unwrap();
+    if let Formula::And(parts) = &*f {
+        assert_eq!(parts.len(), 4);
+    } else {
+        panic!("expected flattened And");
+    }
+    // Chained subtraction folds left.
+    assert_eq!(parse_term("10 - 2 - 3").unwrap(), int(5));
+}
+
+#[test]
+fn printer_handles_every_node_kind() {
+    let x = v("px");
+    let y = v("py");
+    let nodes: Vec<Arc<Formula>> = vec![
+        tt(),
+        ff(),
+        eq(x, y),
+        atom("E", [x, y]),
+        dist_le(x, y, 7),
+        not(atom("E", [x, y])),
+        and(tt(), atom("E", [x, y])),
+        or_all([atom("E", [x, y]), eq(x, y), ff()]),
+        exists(y, atom("E", [x, y])),
+        forall(y, atom("E", [x, y])),
+        ge1(cnt([y], atom("E", [x, y]))),
+    ];
+    for f in nodes {
+        let printed = f.to_string();
+        let reparsed = parse_formula(&printed)
+            .unwrap_or_else(|e| panic!("cannot reparse {printed:?}: {e}"));
+        assert_eq!(reparsed, f, "round trip failed for {printed}");
+    }
+}
+
+#[test]
+fn query_display_roundtrips_structure() {
+    let x = v("qx");
+    let y = v("qy");
+    let q = Query::new(
+        vec![x],
+        vec![cnt_vec(vec![y], atom("E", [x, y]))],
+        eq(x, x),
+    )
+    .unwrap();
+    let s = q.to_string();
+    assert!(s.starts_with("{ ("), "{s}");
+    assert!(s.contains(" : "), "{s}");
+    assert!(q.size() > 3);
+}
+
+#[test]
+fn foc1_nested_guards() {
+    // Nested predicate applications each with ≤ 1 free variable: FOC1.
+    let f = parse_formula(
+        "exists x. #(y). (E(x,y) & #(z). (E(y,z) & #(w). E(z,w) = 1) = 2) = 3",
+    )
+    .unwrap();
+    assert!(is_foc1(&f));
+    assert!(!is_fo(&f));
+    // A term-level violation buried two levels deep is still caught.
+    let g = parse_formula(
+        "exists x. #(y). (E(x,y) & #(z). E(x,z) = #(z). E(y,z)) >= 1",
+    )
+    .unwrap();
+    assert!(check_foc1(&g).is_err());
+}
+
+#[test]
+fn q_rank_budget_tightens_with_depth() {
+    let x = v("rx");
+    let y = v("ry");
+    let z = v("rz");
+    // fq(2, 1) = 8^3 = 512; at depth 1 the budget is fq(2, 0) = 64.
+    assert_eq!(fq(2, 0), 64);
+    let shallow = dist_le(x, y, 500);
+    assert!(has_q_rank_at_most(&shallow, 2, 1)); // depth 0 budget 512
+    let deep = exists(z, dist_le(x, z, 500));
+    assert!(!has_q_rank_at_most(&deep, 2, 1)); // depth 1 budget 64 < 500
+}
+
+#[test]
+fn rename_term_through_arithmetic() {
+    let x = v("rtx");
+    let y = v("rty");
+    let z = v("rtz");
+    let t = add(
+        mul(int(2), cnt_vec(vec![y], atom("E", [x, y]))),
+        cnt_vec(vec![z], atom("E", [x, z])),
+    );
+    let mut map = HashMap::new();
+    map.insert(x, v("rtw"));
+    let renamed = rename_free_term(&t, &map);
+    assert_eq!(
+        renamed.free_vars().into_iter().collect::<Vec<_>>(),
+        vec![v("rtw")]
+    );
+}
+
+#[test]
+fn substitute_atom_inside_counting_terms() {
+    // Replacement must reach atoms nested inside #-bodies.
+    let x = v("sax");
+    let y = v("say");
+    let u = v("sau");
+    let w = v("saw");
+    let f = ge1(cnt_vec(vec![y], atom("E", [x, y])));
+    let template = and(atom("F", [u, w]), atom("F", [w, u]));
+    let g = substitute_atom(&f, Symbol::new("E"), &[u, w], &template);
+    assert!(g.to_string().contains("F("), "{g}");
+    assert!(!g.to_string().contains("E("), "{g}");
+}
+
+#[test]
+fn relativize_preserves_sentencehood() {
+    let f = parse_formula("forall x. exists y. E(x,y)").unwrap();
+    let g = relativize(&f, &|z| atom_vec("V", vec![z]));
+    assert!(g.is_sentence());
+    assert!(g.to_string().contains("V("));
+}
+
+#[test]
+fn nnf_is_negation_free_above_literals() {
+    fn assert_nnf(f: &Formula) {
+        match f {
+            Formula::Not(inner) => {
+                // Negations may wrap literals or whole ∃-blocks only.
+                assert!(
+                    matches!(
+                        &**inner,
+                        Formula::Atom(_)
+                            | Formula::Eq(..)
+                            | Formula::DistLe { .. }
+                            | Formula::Pred { .. }
+                            | Formula::Exists(..)
+                    ),
+                    "illegal negation in NNF: ¬({inner})"
+                );
+                if let Formula::Exists(_, g) = &**inner {
+                    assert_nnf(g);
+                }
+            }
+            Formula::And(gs) | Formula::Or(gs) => gs.iter().for_each(|g| assert_nnf(g)),
+            Formula::Exists(_, g) | Formula::Forall(_, g) => assert_nnf(g),
+            _ => {}
+        }
+    }
+    let inputs = [
+        "!(A(x) & (B(x) | !(C(x))))",
+        "forall x. (A(x) | !(exists y. E(x,y)))",
+        "!(!(A(x)))",
+    ];
+    for src in inputs {
+        let f = parse_formula(src).unwrap();
+        assert_nnf(&nnf(&f));
+    }
+}
+
+#[test]
+fn predicates_can_be_shadowed_and_are_isolated() {
+    let mut p = Predicates::standard();
+    // Shadow `even` with "always false".
+    p.register(PredDef::new(Symbol::new("even"), 1, |_| false));
+    assert_eq!(p.holds(Symbol::new("even"), &[2]), Some(false));
+    // A fresh standard collection is unaffected.
+    let q = Predicates::standard();
+    assert_eq!(q.holds(Symbol::new("even"), &[2]), Some(true));
+}
+
+#[test]
+fn primes_match_reference_up_to_1000() {
+    let mut sieve = vec![true; 1001];
+    sieve[0] = false;
+    sieve[1] = false;
+    for i in 2..=1000usize {
+        if sieve[i] {
+            let mut j = i * i;
+            while j <= 1000 {
+                sieve[j] = false;
+                j += i;
+            }
+        }
+    }
+    for n in 0..=1000i64 {
+        assert_eq!(is_prime(n), sieve[n as usize], "prime test differs at {n}");
+    }
+}
+
+#[test]
+fn smart_constructors_preserve_semantic_shape() {
+    // Term::sub through the smart constructors: 0 − t keeps t.
+    let x = v("scx");
+    let y = v("scy");
+    let t = cnt_vec(vec![y], atom("E", [x, y]));
+    let zero_minus = Term::sub(int(0), t.clone());
+    assert!(matches!(&*zero_minus, Term::Mul(_) | Term::Add(_)));
+    // Multiplication by zero annihilates.
+    assert_eq!(Term::mul(vec![int(0), t.clone()]), int(0));
+    // Var::fresh never collides with user symbols interned later.
+    let f1 = Var::fresh("collide");
+    assert_ne!(f1, Var::new("collide"));
+}

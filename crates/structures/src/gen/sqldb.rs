@@ -1,0 +1,181 @@
+//! The Customer/Order database of Example 5.3.
+//!
+//! Schema: `Customer(Id, FirstName, LastName, City, Country, Phone)` and
+//! `Order(Id, OrderDate, OrderNumber, CustomerId, TotalAmount)`, plus the
+//! unary marker `Berlin(city)` the example uses for the constant
+//! `'Berlin'` ("we use an atomic statement R_Berlin(x_ci)").
+//!
+//! Every attribute value (name, city, country, date, …) is an element of
+//! the universe, as in the paper's relational-structure view of
+//! databases. Country and city elements are shared hubs, so the Gaifman
+//! graph has unbounded degree — realistic for this workload.
+
+use rand::Rng;
+
+use crate::structure::{Structure, StructureBuilder};
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SqlDbParams {
+    /// Number of customers.
+    pub customers: u32,
+    /// Number of countries (customers are spread uniformly).
+    pub countries: u32,
+    /// Number of cities.
+    pub cities: u32,
+    /// Expected number of orders per customer.
+    pub avg_orders: f64,
+}
+
+impl Default for SqlDbParams {
+    fn default() -> Self {
+        SqlDbParams { customers: 100, countries: 10, cities: 25, avg_orders: 2.0 }
+    }
+}
+
+/// A generated database together with bookkeeping used by tests and the
+/// experiment harness to validate query answers independently.
+#[derive(Debug, Clone)]
+pub struct SqlDb {
+    /// The relational structure.
+    pub structure: Structure,
+    /// Customer-id elements.
+    pub customers: Vec<u32>,
+    /// Country elements.
+    pub countries: Vec<u32>,
+    /// City elements; `cities[0]` is Berlin.
+    pub cities: Vec<u32>,
+    /// Order-id elements.
+    pub orders: Vec<u32>,
+    /// For each customer (by index), its country index.
+    pub customer_country: Vec<usize>,
+    /// For each customer (by index), its city index.
+    pub customer_city: Vec<usize>,
+    /// For each customer (by index), how many orders it has.
+    pub order_counts: Vec<usize>,
+}
+
+impl SqlDb {
+    /// Ground truth for `SELECT Country, COUNT(Id) … GROUP BY Country`.
+    pub fn customers_per_country(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.countries.len()];
+        for &c in &self.customer_country {
+            counts[c] += 1;
+        }
+        counts
+    }
+}
+
+/// Generates a Customer/Order database.
+pub fn sql_database(params: SqlDbParams, rng: &mut impl Rng) -> SqlDb {
+    let SqlDbParams { customers, countries, cities, avg_orders } = params;
+    assert!(customers >= 1 && countries >= 1 && cities >= 1);
+    let mut b = StructureBuilder::new();
+    b.declare("Customer", 6);
+    b.declare("Order", 5);
+    b.declare("Berlin", 1);
+
+    let first_pool: Vec<u32> = (0..20).map(|_| b.add_element()).collect();
+    let last_pool: Vec<u32> = (0..40).map(|_| b.add_element()).collect();
+    let date_pool: Vec<u32> = (0..30).map(|_| b.add_element()).collect();
+    let total_pool: Vec<u32> = (0..50).map(|_| b.add_element()).collect();
+    let city_elems: Vec<u32> = (0..cities).map(|_| b.add_element()).collect();
+    let country_elems: Vec<u32> = (0..countries).map(|_| b.add_element()).collect();
+    b.insert("Berlin", &[city_elems[0]]);
+
+    let mut customer_elems = Vec::with_capacity(customers as usize);
+    let mut customer_country = Vec::with_capacity(customers as usize);
+    let mut customer_city = Vec::with_capacity(customers as usize);
+    for _ in 0..customers {
+        let id = b.add_element();
+        let phone = b.add_element();
+        let fi = first_pool[rng.gen_range(0..first_pool.len())];
+        let la = last_pool[rng.gen_range(0..last_pool.len())];
+        let ci = rng.gen_range(0..cities as usize);
+        let co = rng.gen_range(0..countries as usize);
+        b.insert("Customer", &[id, fi, la, city_elems[ci], country_elems[co], phone]);
+        customer_elems.push(id);
+        customer_country.push(co);
+        customer_city.push(ci);
+    }
+
+    let mut order_elems = Vec::new();
+    let mut order_counts = vec![0usize; customers as usize];
+    for (ci, &cust) in customer_elems.iter().enumerate() {
+        // Geometric-ish order count with the requested mean.
+        let p = 1.0 / (1.0 + avg_orders.max(0.0));
+        let mut k = 0usize;
+        while !rng.gen_bool(p) && k < 50 {
+            k += 1;
+        }
+        for _ in 0..k {
+            let oid = b.add_element();
+            let number = b.add_element();
+            let date = date_pool[rng.gen_range(0..date_pool.len())];
+            let total = total_pool[rng.gen_range(0..total_pool.len())];
+            b.insert("Order", &[oid, date, number, cust, total]);
+            order_elems.push(oid);
+        }
+        order_counts[ci] = k;
+    }
+
+    SqlDb {
+        structure: b.finish(),
+        customers: customer_elems,
+        countries: country_elems,
+        cities: city_elems,
+        orders: order_elems,
+        customer_country,
+        customer_city,
+        order_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foc_logic::Symbol;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn database_shape() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let db = sql_database(SqlDbParams::default(), &mut rng);
+        let s = &db.structure;
+        assert_eq!(s.relation(Symbol::new("Customer")).unwrap().len(), 100);
+        assert_eq!(
+            s.relation(Symbol::new("Order")).unwrap().len(),
+            db.order_counts.iter().sum::<usize>()
+        );
+        assert_eq!(db.customers_per_country().iter().sum::<usize>(), 100);
+        assert!(s.holds(Symbol::new("Berlin"), &[db.cities[0]]));
+    }
+
+    #[test]
+    fn customer_tuples_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let db = sql_database(
+            SqlDbParams { customers: 50, countries: 5, cities: 8, avg_orders: 1.0 },
+            &mut rng,
+        );
+        let rel = db.structure.relation(Symbol::new("Customer")).unwrap();
+        assert_eq!(rel.len(), 50);
+        for row in rel.rows() {
+            let id = row[0];
+            let idx = db.customers.iter().position(|&c| c == id).expect("known customer");
+            assert_eq!(row[4], db.countries[db.customer_country[idx]]);
+            assert_eq!(row[3], db.cities[db.customer_city[idx]]);
+        }
+    }
+
+    #[test]
+    fn orders_reference_their_customers() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let db = sql_database(SqlDbParams::default(), &mut rng);
+        let rel = db.structure.relation(Symbol::new("Order")).unwrap();
+        for row in rel.rows() {
+            assert!(db.customers.contains(&row[3]));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Strings as structures (Section 4): a word over Σ becomes a structure
+//! of signature `{≤} ∪ {P_a : a ∈ Σ}` where `≤` is the (non-strict)
+//! linear order on positions and `P_a` holds at the positions carrying
+//! the letter `a`.
+//!
+//! Note that the order relation has Θ(n²) tuples and makes the Gaifman
+//! graph complete — that is precisely why strings are *not* a
+//! bounded-degree or nowhere dense class, and why Theorem 4.3 can encode
+//! arbitrary graphs in them.
+
+use crate::structure::{Structure, StructureBuilder};
+
+/// The relation symbol used for the linear order.
+pub const ORDER_REL: &str = "le";
+
+/// The unary relation symbol for letter `a` (`P_a`).
+pub fn letter_rel(a: char) -> String {
+    format!("P_{a}")
+}
+
+/// Builds the string structure for `word` over the given `alphabet`.
+/// Every letter of `word` must occur in `alphabet`; the alphabet fixes
+/// the signature so different words are comparable.
+pub fn string_structure(word: &str, alphabet: &[char]) -> Structure {
+    let chars: Vec<char> = word.chars().collect();
+    let n = chars.len().max(1) as u32;
+    let mut b = StructureBuilder::new();
+    b.declare(ORDER_REL, 2);
+    for &a in alphabet {
+        b.declare(&letter_rel(a), 1);
+    }
+    b.ensure_universe(n);
+    for (i, &c) in chars.iter().enumerate() {
+        assert!(alphabet.contains(&c), "letter {c:?} not in alphabet");
+        b.insert(&letter_rel(c), &[i as u32]);
+    }
+    for i in 0..chars.len() as u32 {
+        for j in i..chars.len() as u32 {
+            b.insert(ORDER_REL, &[i, j]);
+        }
+    }
+    b.finish()
+}
+
+/// Reads the word back out of a string structure (inverse of
+/// [`string_structure`]); positions with no letter map to `'?'`.
+pub fn read_word(s: &Structure, alphabet: &[char]) -> String {
+    let mut out = vec!['?'; s.order() as usize];
+    for &a in alphabet {
+        if let Some(rel) = s.relation(foc_logic::Symbol::new(&letter_rel(a))) {
+            for row in rel.rows() {
+                out[row[0] as usize] = a;
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foc_logic::Symbol;
+
+    #[test]
+    fn order_is_reflexive_total() {
+        let s = string_structure("abc", &['a', 'b', 'c']);
+        let le = Symbol::new(ORDER_REL);
+        assert_eq!(s.order(), 3);
+        assert!(s.holds(le, &[0, 0]));
+        assert!(s.holds(le, &[0, 2]));
+        assert!(!s.holds(le, &[2, 0]));
+        assert_eq!(s.relation(le).unwrap().len(), 6); // 3 + 2 + 1
+    }
+
+    #[test]
+    fn letters_at_positions() {
+        let s = string_structure("abca", &['a', 'b', 'c']);
+        assert!(s.holds(Symbol::new("P_a"), &[0]));
+        assert!(s.holds(Symbol::new("P_a"), &[3]));
+        assert!(s.holds(Symbol::new("P_b"), &[1]));
+        assert!(!s.holds(Symbol::new("P_c"), &[1]));
+        assert_eq!(read_word(&s, &['a', 'b', 'c']), "abca");
+    }
+
+    #[test]
+    fn gaifman_graph_is_complete() {
+        // The order relation connects every pair of positions.
+        let s = string_structure("aaaa", &['a']);
+        let g = s.gaifman();
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in alphabet")]
+    fn rejects_foreign_letters() {
+        string_structure("abx", &['a', 'b']);
+    }
+}

@@ -1,0 +1,391 @@
+//! Undirected graphs in CSR form, BFS utilities, distances, balls, and
+//! connected components — everything Section 2 needs of Gaifman graphs.
+
+use crate::hash::FxHashMap;
+
+/// An undirected graph with vertex set `0..n` in compressed sparse row
+/// form. Adjacency lists are sorted and deduplicated; no self-loops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<u32>,
+    adj: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list (pairs are symmetrised, self-loops
+    /// dropped, duplicates removed).
+    pub fn from_edges(n: u32, edges: &[(u32, u32)]) -> Graph {
+        let mut deg = vec![0u32; n as usize];
+        let mut sym: Vec<(u32, u32)> = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range for n={n}");
+            if u != v {
+                sym.push((u, v));
+                sym.push((v, u));
+            }
+        }
+        sym.sort_unstable();
+        sym.dedup();
+        for &(u, _) in &sym {
+            deg[u as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n as usize + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let adj: Vec<u32> = sym.into_iter().map(|(_, v)| v).collect();
+        Graph { offsets, adj }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of (undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// The size `‖G‖ = |V| + |E|`.
+    pub fn size(&self) -> usize {
+        self.n() as usize + self.num_edges()
+    }
+
+    /// The sorted neighbour list of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let a = self.offsets[v as usize] as usize;
+        let b = self.offsets[v as usize + 1] as usize;
+        &self.adj[a..b]
+    }
+
+    /// The degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// The maximum degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// `true` iff `{u, v}` is an edge.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// The r-ball `N_r(centers)` as a sorted vector, using `scratch` to
+    /// avoid allocation across calls.
+    pub fn ball(&self, centers: &[u32], r: u32, scratch: &mut BfsScratch) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.ball_into(centers, r, scratch, &mut out);
+        out
+    }
+
+    /// Like [`Graph::ball`], writing into `out` (cleared first).
+    pub fn ball_into(
+        &self,
+        centers: &[u32],
+        r: u32,
+        scratch: &mut BfsScratch,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        scratch.reset(self.n());
+        let mut frontier: Vec<u32> = Vec::new();
+        for &c in centers {
+            if scratch.mark(c) {
+                frontier.push(c);
+                out.push(c);
+            }
+        }
+        for _ in 0..r {
+            if frontier.is_empty() {
+                break;
+            }
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &w in self.neighbors(u) {
+                    if scratch.mark(w) {
+                        next.push(w);
+                        out.push(w);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        out.sort_unstable();
+    }
+
+    /// Bounded distance: `Some(d)` with `d = dist(a, b)` if `d ≤ cap`,
+    /// `None` otherwise. Bidirectional BFS is not needed at the radii the
+    /// algorithms use; plain BFS with a depth cap is linear in the ball.
+    pub fn dist_bounded(&self, a: u32, b: u32, cap: u32, scratch: &mut BfsScratch) -> Option<u32> {
+        if a == b {
+            return Some(0);
+        }
+        scratch.reset(self.n());
+        scratch.mark(a);
+        let mut frontier = vec![a];
+        for d in 1..=cap {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &w in self.neighbors(u) {
+                    if w == b {
+                        return Some(d);
+                    }
+                    if scratch.mark(w) {
+                        next.push(w);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return None;
+            }
+            frontier = next;
+        }
+        None
+    }
+
+    /// `dist(a, b) ≤ d`?
+    pub fn dist_le(&self, a: u32, b: u32, d: u32, scratch: &mut BfsScratch) -> bool {
+        self.dist_bounded(a, b, d, scratch).is_some()
+    }
+
+    /// BFS distances from `src` up to `cap`, as a map (vertices beyond
+    /// `cap` are absent).
+    pub fn distances_from(&self, src: u32, cap: u32, scratch: &mut BfsScratch) -> FxHashMap<u32, u32> {
+        let mut dist: FxHashMap<u32, u32> = FxHashMap::default();
+        scratch.reset(self.n());
+        scratch.mark(src);
+        dist.insert(src, 0);
+        let mut frontier = vec![src];
+        for d in 1..=cap {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &w in self.neighbors(u) {
+                    if scratch.mark(w) {
+                        dist.insert(w, d);
+                        next.push(w);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        dist
+    }
+
+    /// Connected components; returns `(component_id per vertex, count)`.
+    pub fn components(&self) -> (Vec<u32>, usize) {
+        let n = self.n() as usize;
+        let mut comp = vec![u32::MAX; n];
+        let mut count = 0usize;
+        let mut stack = Vec::new();
+        for s in 0..n as u32 {
+            if comp[s as usize] != u32::MAX {
+                continue;
+            }
+            comp[s as usize] = count as u32;
+            stack.push(s);
+            while let Some(u) = stack.pop() {
+                for &w in self.neighbors(u) {
+                    if comp[w as usize] == u32::MAX {
+                        comp[w as usize] = count as u32;
+                        stack.push(w);
+                    }
+                }
+            }
+            count += 1;
+        }
+        (comp, count)
+    }
+
+    /// `true` iff the graph is connected (the empty graph counts as
+    /// connected).
+    pub fn is_connected(&self) -> bool {
+        self.n() == 0 || self.components().1 == 1
+    }
+
+    /// A degeneracy-style ordering: repeatedly remove a minimum-degree
+    /// vertex. Returns `order[i] = position of vertex i` (smaller =
+    /// earlier). Used as the cluster-centre order of the neighbourhood
+    /// cover (DESIGN.md §3.4).
+    pub fn degeneracy_positions(&self) -> Vec<u32> {
+        let n = self.n() as usize;
+        let mut deg: Vec<usize> = (0..n as u32).map(|v| self.degree(v)).collect();
+        let maxd = deg.iter().copied().max().unwrap_or(0);
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); maxd + 1];
+        for (v, &d) in deg.iter().enumerate() {
+            buckets[d].push(v as u32);
+        }
+        let mut removed = vec![false; n];
+        let mut pos = vec![0u32; n];
+        let mut cur = 0usize;
+        for next_pos in 0..n as u32 {
+            while cur <= maxd && buckets[cur].is_empty() {
+                cur += 1;
+            }
+            // Find the lowest non-empty bucket with a live vertex.
+            let v = loop {
+                while cur <= maxd && buckets[cur].is_empty() {
+                    cur += 1;
+                }
+                debug_assert!(cur <= maxd || n == 0, "ran out of vertices");
+                let cand = buckets[cur].pop().expect("bucket nonempty");
+                if !removed[cand as usize] && deg[cand as usize] == cur {
+                    break cand;
+                }
+                if !removed[cand as usize] {
+                    // Stale entry; re-file under the current degree.
+                    buckets[deg[cand as usize]].push(cand);
+                }
+            };
+            removed[v as usize] = true;
+            pos[v as usize] = next_pos;
+            for &w in self.neighbors(v) {
+                if !removed[w as usize] && deg[w as usize] > 0 {
+                    deg[w as usize] -= 1;
+                    let d = deg[w as usize];
+                    buckets[d].push(w);
+                    if d < cur {
+                        cur = d;
+                    }
+                }
+            }
+        }
+        pos
+    }
+}
+
+/// Reusable BFS scratch space (stamped visited marks).
+#[derive(Debug, Default, Clone)]
+pub struct BfsScratch {
+    stamp: u32,
+    marks: Vec<u32>,
+}
+
+impl BfsScratch {
+    /// Creates scratch space (lazily sized on first use).
+    pub fn new() -> BfsScratch {
+        BfsScratch::default()
+    }
+
+    fn reset(&mut self, n: u32) {
+        if self.marks.len() < n as usize {
+            self.marks.resize(n as usize, 0);
+        }
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            self.marks.iter_mut().for_each(|m| *m = 0);
+            self.stamp = 1;
+        }
+    }
+
+    /// Marks `v`; returns `true` iff it was unmarked.
+    fn mark(&mut self, v: u32) -> bool {
+        let slot = &mut self.marks[v as usize];
+        if *slot == self.stamp {
+            false
+        } else {
+            *slot = self.stamp;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: u32) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn csr_basics() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (1, 2), (2, 2)]);
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.num_edges(), 2); // duplicate and self-loop dropped
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(g.has_edge(2, 1));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn balls_on_a_path() {
+        let g = path_graph(10);
+        let mut s = BfsScratch::new();
+        assert_eq!(g.ball(&[5], 0, &mut s), vec![5]);
+        assert_eq!(g.ball(&[5], 2, &mut s), vec![3, 4, 5, 6, 7]);
+        assert_eq!(g.ball(&[0], 3, &mut s), vec![0, 1, 2, 3]);
+        assert_eq!(g.ball(&[0, 9], 1, &mut s), vec![0, 1, 8, 9]);
+    }
+
+    #[test]
+    fn distances_match_path_metric() {
+        let g = path_graph(12);
+        let mut s = BfsScratch::new();
+        for a in 0..12u32 {
+            for b in 0..12u32 {
+                let true_d = a.abs_diff(b);
+                assert_eq!(g.dist_bounded(a, b, 12, &mut s), Some(true_d));
+                assert!(g.dist_le(a, b, true_d, &mut s));
+                if true_d > 0 {
+                    assert!(!g.dist_le(a, b, true_d - 1, &mut s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dist_unreachable() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut s = BfsScratch::new();
+        assert_eq!(g.dist_bounded(0, 3, 10, &mut s), None);
+        let (comp, k) = g.components();
+        assert_eq!(k, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_ne!(comp[0], comp[2]);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn distances_from_cap() {
+        let g = path_graph(10);
+        let mut s = BfsScratch::new();
+        let d = g.distances_from(0, 3, &mut s);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.get(&3), Some(&3));
+        assert_eq!(d.get(&4), None);
+    }
+
+    #[test]
+    fn degeneracy_order_on_star() {
+        // In a star, leaves (degree 1) are removed before the hub.
+        let edges: Vec<(u32, u32)> = (1..6u32).map(|i| (0, i)).collect();
+        let g = Graph::from_edges(6, &edges);
+        let pos = g.degeneracy_positions();
+        // The hub 0 ends up late: all leaves have smaller positions except
+        // possibly the very last leaf (once all leaves are gone the hub has
+        // degree 0). At least 4 of the 5 leaves precede the hub.
+        let before_hub = (1..6).filter(|&l| pos[l] < pos[0]).count();
+        assert!(before_hub >= 4, "positions: {pos:?}");
+    }
+
+    #[test]
+    fn scratch_stamping_is_reusable() {
+        let g = path_graph(5);
+        let mut s = BfsScratch::new();
+        for _ in 0..100 {
+            assert_eq!(g.ball(&[2], 1, &mut s), vec![1, 2, 3]);
+        }
+    }
+}

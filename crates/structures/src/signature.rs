@@ -1,0 +1,137 @@
+//! Relational signatures (Section 2): finite sets of relation symbols,
+//! each with a fixed arity (possibly 0).
+
+use std::fmt;
+use std::sync::Arc;
+
+use foc_logic::Symbol;
+
+use crate::hash::FxHashMap;
+
+/// A relation symbol declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelDecl {
+    /// The relation symbol.
+    pub name: Symbol,
+    /// Its arity `ar(R) ≥ 0`.
+    pub arity: usize,
+}
+
+impl RelDecl {
+    /// Declares a relation symbol by name.
+    pub fn new(name: &str, arity: usize) -> RelDecl {
+        RelDecl { name: Symbol::new(name), arity }
+    }
+}
+
+/// A finite relational signature σ.
+#[derive(Clone)]
+pub struct Signature {
+    rels: Vec<RelDecl>,
+    index: FxHashMap<Symbol, usize>,
+}
+
+impl Signature {
+    /// Builds a signature from declarations. Panics on duplicate symbols —
+    /// signatures are sets.
+    pub fn new(decls: Vec<RelDecl>) -> Arc<Signature> {
+        let mut index = FxHashMap::default();
+        for (i, d) in decls.iter().enumerate() {
+            let prev = index.insert(d.name, i);
+            assert!(prev.is_none(), "duplicate relation symbol {} in signature", d.name);
+        }
+        Arc::new(Signature { rels: decls, index })
+    }
+
+    /// The declarations, in declaration order.
+    pub fn rels(&self) -> &[RelDecl] {
+        &self.rels
+    }
+
+    /// Number of relation symbols.
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// `true` iff the signature is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// The paper's `‖σ‖`: the sum of the arities.
+    pub fn size(&self) -> usize {
+        self.rels.iter().map(|d| d.arity).sum()
+    }
+
+    /// The dense index of a relation symbol, if declared.
+    pub fn index_of(&self, name: Symbol) -> Option<usize> {
+        self.index.get(&name).copied()
+    }
+
+    /// The arity of a relation symbol, if declared.
+    pub fn arity_of(&self, name: Symbol) -> Option<usize> {
+        self.index_of(name).map(|i| self.rels[i].arity)
+    }
+
+    /// `true` iff every symbol of `other` is declared here with the same
+    /// arity (i.e. `self ⊇ other` as signatures).
+    pub fn contains_signature(&self, other: &Signature) -> bool {
+        other.rels.iter().all(|d| self.arity_of(d.name) == Some(d.arity))
+    }
+
+    /// A new signature extending this one with `extra` declarations
+    /// (σ′ ⊇ σ for expansions). Panics if an extra symbol collides.
+    pub fn extended(&self, extra: Vec<RelDecl>) -> Arc<Signature> {
+        let mut decls = self.rels.clone();
+        decls.extend(extra);
+        Signature::new(decls)
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, d) in self.rels.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}/{}", d.name, d.arity)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl PartialEq for Signature {
+    fn eq(&self, other: &Self) -> bool {
+        self.rels == other.rels
+    }
+}
+impl Eq for Signature {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_size() {
+        let sig = Signature::new(vec![RelDecl::new("E", 2), RelDecl::new("C", 1)]);
+        assert_eq!(sig.size(), 3);
+        assert_eq!(sig.arity_of(Symbol::new("E")), Some(2));
+        assert_eq!(sig.arity_of(Symbol::new("X")), None);
+        assert_eq!(sig.index_of(Symbol::new("C")), Some(1));
+    }
+
+    #[test]
+    fn extension_is_superset() {
+        let sig = Signature::new(vec![RelDecl::new("E", 2)]);
+        let big = sig.extended(vec![RelDecl::new("Q", 1)]);
+        assert!(big.contains_signature(&sig));
+        assert!(!sig.contains_signature(&big));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate relation symbol")]
+    fn duplicate_symbols_panic() {
+        Signature::new(vec![RelDecl::new("E", 2), RelDecl::new("E", 2)]);
+    }
+}

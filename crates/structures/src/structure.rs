@@ -1,0 +1,542 @@
+//! Finite relational structures (databases), Section 2: universes,
+//! relations, Gaifman graphs, induced substructures, expansions, and
+//! disjoint unions.
+
+use std::sync::{Arc, OnceLock};
+
+use foc_logic::Symbol;
+
+use crate::graph::Graph;
+use crate::hash::FxHashMap;
+use crate::signature::{RelDecl, Signature};
+
+/// A stored relation: fixed arity, rows flattened into one vector, sorted
+/// lexicographically and deduplicated, enabling `O(log n)` membership.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    arity: usize,
+    nrows: usize,
+    data: Vec<u32>,
+    /// Lazily built per-position indexes: `indexes[pos][value]` lists the
+    /// row ids whose `pos`-th component equals `value`. Shared across
+    /// clones (the relation data is immutable).
+    indexes: std::sync::OnceLock<std::sync::Arc<Vec<FxHashMap<u32, Vec<u32>>>>>,
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity && self.data == other.data
+    }
+}
+impl Eq for Relation {}
+
+impl Relation {
+    fn from_rows(arity: usize, mut rows: Vec<Vec<u32>>) -> Relation {
+        rows.iter().for_each(|r| assert_eq!(r.len(), arity, "row arity mismatch"));
+        rows.sort_unstable();
+        rows.dedup();
+        let nrows = rows.len();
+        let mut data = Vec::with_capacity(nrows * arity);
+        for r in rows {
+            data.extend_from_slice(&r);
+        }
+        Relation { arity, nrows, data, indexes: std::sync::OnceLock::new() }
+    }
+
+    fn position_indexes(&self) -> &Vec<FxHashMap<u32, Vec<u32>>> {
+        self.indexes.get_or_init(|| {
+            let mut per_pos: Vec<FxHashMap<u32, Vec<u32>>> =
+                vec![FxHashMap::default(); self.arity];
+            for i in 0..self.nrows {
+                let row = &self.data[i * self.arity..(i + 1) * self.arity];
+                for (pos, &val) in row.iter().enumerate() {
+                    per_pos[pos].entry(val).or_default().push(i as u32);
+                }
+            }
+            std::sync::Arc::new(per_pos)
+        })
+    }
+
+    /// Rows whose `pos`-th component equals `val`, via a lazily built
+    /// per-position hash index (position 0 uses the primary sort order
+    /// instead; see [`Relation::rows_with_first`]).
+    pub fn rows_with_value_at(
+        &self,
+        pos: usize,
+        val: u32,
+    ) -> impl Iterator<Item = &[u32]> + '_ {
+        assert!(pos < self.arity, "position out of range");
+        let ids: &[u32] = self
+            .position_indexes()[pos]
+            .get(&val)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[]);
+        ids.iter().map(move |&i| self.row(i as usize))
+    }
+
+    /// The arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples `|R^A|`.
+    pub fn len(&self) -> usize {
+        self.nrows
+    }
+
+    /// `true` iff the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nrows == 0
+    }
+
+    /// The `i`-th row in lexicographic order.
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Iterates over all rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.nrows).map(move |i| self.row(i))
+    }
+
+    /// Membership test by binary search.
+    pub fn contains(&self, tuple: &[u32]) -> bool {
+        assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
+        if self.arity == 0 {
+            return self.nrows == 1;
+        }
+        let mut lo = 0usize;
+        let mut hi = self.nrows;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match self.row(mid).cmp(tuple) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Rows whose first component equals `first` (contiguous by sorting).
+    pub fn rows_with_first(&self, first: u32) -> impl Iterator<Item = &[u32]> + '_ {
+        let lo = self.partition_point_first(first, false);
+        let hi = self.partition_point_first(first, true);
+        (lo..hi).map(move |i| self.row(i))
+    }
+
+    fn partition_point_first(&self, first: u32, upper: bool) -> usize {
+        let mut lo = 0usize;
+        let mut hi = self.nrows;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let v = self.row(mid)[0];
+            let go_right = if upper { v <= first } else { v < first };
+            if go_right {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+/// A finite σ-structure `A` with universe `{0, …, n−1}`.
+///
+/// The Gaifman graph is built lazily and cached; structures are otherwise
+/// immutable, so they can be shared freely.
+#[derive(Debug, Clone)]
+pub struct Structure {
+    sig: Arc<Signature>,
+    n: u32,
+    rels: Vec<Relation>,
+    gaifman: OnceLock<Arc<Graph>>,
+}
+
+impl Structure {
+    /// Creates a structure from per-relation row lists (parallel to the
+    /// signature's declarations). Panics on arity mismatches or elements
+    /// outside the universe — structure construction is a validation
+    /// boundary.
+    pub fn new(sig: Arc<Signature>, n: u32, rows: Vec<Vec<Vec<u32>>>) -> Structure {
+        assert!(n >= 1, "the paper requires non-empty universes");
+        assert_eq!(rows.len(), sig.len(), "one row list per relation symbol required");
+        let rels: Vec<Relation> = sig
+            .rels()
+            .iter()
+            .zip(rows)
+            .map(|(decl, rs)| {
+                for row in &rs {
+                    for &e in row {
+                        assert!(e < n, "element {e} outside universe of size {n}");
+                    }
+                }
+                Relation::from_rows(decl.arity, rs)
+            })
+            .collect();
+        Structure { sig, n, rels, gaifman: OnceLock::new() }
+    }
+
+    /// The signature σ.
+    pub fn signature(&self) -> &Arc<Signature> {
+        &self.sig
+    }
+
+    /// The order `|A|` (universe size).
+    pub fn order(&self) -> u32 {
+        self.n
+    }
+
+    /// The universe `0..n` as an iterator.
+    pub fn universe(&self) -> std::ops::Range<u32> {
+        0..self.n
+    }
+
+    /// The size `‖A‖ = |A| + Σ_R |R^A|`.
+    pub fn size(&self) -> usize {
+        self.n as usize + self.rels.iter().map(|r| r.len()).sum::<usize>()
+    }
+
+    /// The relation for a declared symbol; `None` if undeclared.
+    pub fn relation(&self, name: Symbol) -> Option<&Relation> {
+        self.sig.index_of(name).map(|i| &self.rels[i])
+    }
+
+    /// The relation at a dense signature index.
+    pub fn relation_at(&self, idx: usize) -> &Relation {
+        &self.rels[idx]
+    }
+
+    /// Membership in a named relation. Panics on undeclared symbols (the
+    /// evaluator validates formulas against the signature first).
+    pub fn holds(&self, name: Symbol, tuple: &[u32]) -> bool {
+        match self.relation(name) {
+            Some(r) => r.contains(tuple),
+            None => panic!("relation {name} not in signature {:?}", self.sig),
+        }
+    }
+
+    /// The Gaifman graph `G_A` (built on first use, cached).
+    pub fn gaifman(&self) -> &Graph {
+        self.gaifman.get_or_init(|| {
+            let mut edges: Vec<(u32, u32)> = Vec::new();
+            for rel in &self.rels {
+                if rel.arity() < 2 {
+                    continue;
+                }
+                for row in rel.rows() {
+                    for i in 0..row.len() {
+                        for j in (i + 1)..row.len() {
+                            if row[i] != row[j] {
+                                edges.push((row[i], row[j]));
+                            }
+                        }
+                    }
+                }
+            }
+            Arc::new(Graph::from_edges(self.n, &edges))
+        })
+    }
+
+    /// The σ′-expansion of this structure with extra relations (Section 2).
+    /// The existing relations are shared by clone of their sorted data.
+    pub fn expand(&self, extra: Vec<(RelDecl, Vec<Vec<u32>>)>) -> Structure {
+        let (decls, rows): (Vec<RelDecl>, Vec<Vec<Vec<u32>>>) = extra.into_iter().unzip();
+        let sig = self.sig.extended(decls.clone());
+        let mut rels = self.rels.clone();
+        for (decl, rs) in decls.into_iter().zip(rows) {
+            for row in &rs {
+                for &e in row {
+                    assert!(e < self.n, "element {e} outside universe");
+                }
+            }
+            rels.push(Relation::from_rows(decl.arity, rs));
+        }
+        let out = Structure { sig, n: self.n, rels, gaifman: OnceLock::new() };
+        // Unary/0-ary expansions do not change the Gaifman graph; reuse it
+        // if it was already built and every added relation has arity ≤ 1.
+        if let Some(g) = self.gaifman.get() {
+            if out.sig.rels()[self.sig.len()..].iter().all(|d| d.arity <= 1) {
+                let _ = out.gaifman.set(g.clone());
+            }
+        }
+        out
+    }
+
+    /// The σ-reduct: drops all relations not in `sub` (which must be a
+    /// subset of the current signature).
+    pub fn reduct(&self, sub: Arc<Signature>) -> Structure {
+        assert!(self.sig.contains_signature(&sub), "reduct target not a sub-signature");
+        let rels = sub
+            .rels()
+            .iter()
+            .map(|d| {
+                let i = self.sig.index_of(d.name).expect("checked by contains_signature");
+                self.rels[i].clone()
+            })
+            .collect();
+        Structure { sig: sub, n: self.n, rels, gaifman: OnceLock::new() }
+    }
+
+    /// The induced substructure `A[B]` on a sorted set of elements, with
+    /// the mapping back to original element ids (`back[new] = old`).
+    pub fn induced(&self, elems: &[u32]) -> InducedSubstructure {
+        debug_assert!(elems.windows(2).all(|w| w[0] < w[1]), "elems must be sorted+unique");
+        assert!(!elems.is_empty(), "induced substructure needs a non-empty set");
+        let mut fwd: FxHashMap<u32, u32> = FxHashMap::default();
+        for (new, &old) in elems.iter().enumerate() {
+            fwd.insert(old, new as u32);
+        }
+        let rels: Vec<Vec<Vec<u32>>> = self
+            .rels
+            .iter()
+            .map(|rel| {
+                let mut keep = Vec::new();
+                'rows: for row in rel.rows() {
+                    let mut new_row = Vec::with_capacity(row.len());
+                    for &e in row {
+                        match fwd.get(&e) {
+                            Some(&ne) => new_row.push(ne),
+                            None => continue 'rows,
+                        }
+                    }
+                    keep.push(new_row);
+                }
+                keep
+            })
+            .collect();
+        let structure = Structure::new(self.sig.clone(), elems.len() as u32, rels);
+        InducedSubstructure { structure, back: elems.to_vec(), fwd }
+    }
+
+    /// The disjoint union of two structures over the same signature
+    /// (elements of `b` are shifted by `a.order()`).
+    pub fn disjoint_union(a: &Structure, b: &Structure) -> Structure {
+        assert_eq!(a.sig, b.sig, "disjoint union requires equal signatures");
+        let shift = a.n;
+        let rels: Vec<Vec<Vec<u32>>> = a
+            .rels
+            .iter()
+            .zip(&b.rels)
+            .map(|(ra, rb)| {
+                let mut rows: Vec<Vec<u32>> = ra.rows().map(|r| r.to_vec()).collect();
+                rows.extend(rb.rows().map(|r| r.iter().map(|&e| e + shift).collect::<Vec<_>>()));
+                rows
+            })
+            .collect();
+        Structure::new(a.sig.clone(), a.n + b.n, rels)
+    }
+}
+
+/// An induced substructure `A[B]` with its element renumbering.
+#[derive(Debug, Clone)]
+pub struct InducedSubstructure {
+    /// The substructure, with universe `0..|B|`.
+    pub structure: Structure,
+    /// `back[new] = old`: new element ids to original ids.
+    pub back: Vec<u32>,
+    /// `fwd[old] = new`: original ids to new ids (only for elements of B).
+    pub fwd: FxHashMap<u32, u32>,
+}
+
+/// Incremental construction of a structure: declare relations, insert
+/// tuples in any order, then [`StructureBuilder::finish`].
+#[derive(Debug, Default)]
+pub struct StructureBuilder {
+    decls: Vec<RelDecl>,
+    rows: Vec<Vec<Vec<u32>>>,
+    index: FxHashMap<Symbol, usize>,
+    n: u32,
+}
+
+impl StructureBuilder {
+    /// An empty builder.
+    pub fn new() -> StructureBuilder {
+        StructureBuilder::default()
+    }
+
+    /// Declares a relation; returns its dense index.
+    pub fn declare(&mut self, name: &str, arity: usize) -> usize {
+        let sym = Symbol::new(name);
+        assert!(!self.index.contains_key(&sym), "duplicate relation {name}");
+        let idx = self.decls.len();
+        self.decls.push(RelDecl { name: sym, arity });
+        self.rows.push(Vec::new());
+        self.index.insert(sym, idx);
+        idx
+    }
+
+    /// Ensures the universe has at least `n` elements.
+    pub fn ensure_universe(&mut self, n: u32) {
+        self.n = self.n.max(n);
+    }
+
+    /// Allocates and returns a fresh element.
+    pub fn add_element(&mut self) -> u32 {
+        let e = self.n;
+        self.n += 1;
+        e
+    }
+
+    /// Inserts a tuple into a declared relation (by name).
+    pub fn insert(&mut self, name: &str, tuple: &[u32]) {
+        let idx = *self
+            .index
+            .get(&Symbol::new(name))
+            .unwrap_or_else(|| panic!("relation {name} not declared"));
+        self.insert_at(idx, tuple);
+    }
+
+    /// Inserts a tuple into a declared relation (by dense index).
+    pub fn insert_at(&mut self, idx: usize, tuple: &[u32]) {
+        assert_eq!(tuple.len(), self.decls[idx].arity, "tuple arity mismatch");
+        for &e in tuple {
+            self.ensure_universe(e + 1);
+        }
+        self.rows[idx].push(tuple.to_vec());
+    }
+
+    /// Finalises the structure (sorts, dedups, validates).
+    pub fn finish(self) -> Structure {
+        let sig = Signature::new(self.decls);
+        Structure::new(sig, self.n.max(1), self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge_structure(n: u32, edges: &[(u32, u32)]) -> Structure {
+        let mut b = StructureBuilder::new();
+        b.declare("E", 2);
+        b.ensure_universe(n);
+        for &(u, v) in edges {
+            b.insert("E", &[u, v]);
+            b.insert("E", &[v, u]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn relation_contains_and_rows() {
+        let s = edge_structure(4, &[(0, 1), (1, 2)]);
+        let e = Symbol::new("E");
+        assert!(s.holds(e, &[0, 1]));
+        assert!(s.holds(e, &[1, 0]));
+        assert!(!s.holds(e, &[0, 2]));
+        assert_eq!(s.relation(e).unwrap().len(), 4);
+        assert_eq!(s.size(), 4 + 4);
+    }
+
+    #[test]
+    fn rows_with_value_at_uses_position_index() {
+        let s = edge_structure(5, &[(1, 0), (2, 0), (3, 0), (1, 4)]);
+        let r = s.relation(Symbol::new("E")).unwrap();
+        // All rows whose second component is 0: (1,0), (2,0), (3,0).
+        let firsts: Vec<u32> = r.rows_with_value_at(1, 0).map(|row| row[0]).collect();
+        assert_eq!(firsts.len(), 3);
+        assert!(firsts.contains(&1) && firsts.contains(&2) && firsts.contains(&3));
+        // Missing values yield empty iterators.
+        assert_eq!(r.rows_with_value_at(0, 99).count(), 0);
+        // Position 0 agrees with the primary order.
+        let via_index: Vec<Vec<u32>> =
+            r.rows_with_value_at(0, 1).map(|row| row.to_vec()).collect();
+        let via_sorted: Vec<Vec<u32>> =
+            r.rows_with_first(1).map(|row| row.to_vec()).collect();
+        assert_eq!(via_index, via_sorted);
+    }
+
+    #[test]
+    fn rows_with_first_groups() {
+        let s = edge_structure(4, &[(1, 0), (1, 2), (1, 3)]);
+        let r = s.relation(Symbol::new("E")).unwrap();
+        let outs: Vec<u32> = r.rows_with_first(1).map(|row| row[1]).collect();
+        assert_eq!(outs, vec![0, 2, 3]);
+        assert_eq!(r.rows_with_first(0).count(), 1);
+    }
+
+    #[test]
+    fn gaifman_graph_of_edges() {
+        let s = edge_structure(5, &[(0, 1), (1, 2), (3, 4)]);
+        let g = s.gaifman();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 1));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn gaifman_of_ternary_relation_is_pairwise() {
+        let mut b = StructureBuilder::new();
+        b.declare("T", 3);
+        b.insert("T", &[0, 1, 2]);
+        let s = b.finish();
+        let g = s.gaifman();
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn zero_ary_relations() {
+        let mut b = StructureBuilder::new();
+        b.declare("Flag", 0);
+        b.ensure_universe(2);
+        let s0 = b.finish();
+        assert!(!s0.holds(Symbol::new("Flag"), &[]));
+        let mut b = StructureBuilder::new();
+        b.declare("Flag", 0);
+        b.ensure_universe(2);
+        b.insert("Flag", &[]);
+        let s1 = b.finish();
+        assert!(s1.holds(Symbol::new("Flag"), &[]));
+    }
+
+    #[test]
+    fn induced_substructure_renumbers() {
+        let s = edge_structure(6, &[(0, 1), (1, 2), (2, 3), (4, 5)]);
+        let ind = s.induced(&[1, 2, 4]);
+        assert_eq!(ind.structure.order(), 3);
+        // Only the edge (1,2) survives, renumbered to (0,1).
+        let e = Symbol::new("E");
+        assert!(ind.structure.holds(e, &[0, 1]));
+        assert!(ind.structure.holds(e, &[1, 0]));
+        assert_eq!(ind.structure.relation(e).unwrap().len(), 2);
+        assert_eq!(ind.back, vec![1, 2, 4]);
+        assert_eq!(ind.fwd.get(&4), Some(&2));
+    }
+
+    #[test]
+    fn expansion_preserves_and_extends() {
+        let s = edge_structure(3, &[(0, 1)]);
+        let exp = s.expand(vec![(RelDecl::new("X1", 1), vec![vec![2]])]);
+        assert!(exp.holds(Symbol::new("X1"), &[2]));
+        assert!(exp.holds(Symbol::new("E"), &[0, 1]));
+        assert_eq!(exp.order(), 3);
+        // Reduct drops it again.
+        let red = exp.reduct(s.signature().clone());
+        assert!(red.relation(Symbol::new("X1")).is_none());
+    }
+
+    #[test]
+    fn disjoint_union_shifts() {
+        let a = edge_structure(2, &[(0, 1)]);
+        let b = edge_structure(3, &[(0, 2)]);
+        let u = Structure::disjoint_union(&a, &b);
+        assert_eq!(u.order(), 5);
+        let e = Symbol::new("E");
+        assert!(u.holds(e, &[0, 1]));
+        assert!(u.holds(e, &[2, 4]));
+        assert!(!u.holds(e, &[1, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_range_elements_panic() {
+        let mut b = StructureBuilder::new();
+        b.declare("R", 1);
+        let sig = Signature::new(vec![RelDecl::new("R", 1)]);
+        let _ = b; // builder unused beyond declaration
+        Structure::new(sig, 1, vec![vec![vec![5]]]);
+    }
+}

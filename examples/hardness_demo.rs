@@ -1,0 +1,76 @@
+//! The Section 4 hardness constructions, end to end: encode a graph as a
+//! tree (Theorem 4.1) and as a string (Theorem 4.3), rewrite an FO
+//! sentence, and verify both sides agree.
+//!
+//! ```text
+//! cargo run --release --example hardness_demo
+//! ```
+
+use foc_eval::NaiveEvaluator;
+use foc_hardness::{string_encoding, string_formula, tree_encoding, tree_formula};
+use foc_logic::parse::parse_formula;
+use foc_logic::Predicates;
+use foc_structures::gen::gnm;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let preds = Predicates::standard();
+    let mut rng = StdRng::seed_from_u64(4);
+    let g = gnm(8, 11, &mut rng);
+    println!("graph G: |V| = {}, |E| = {}", g.order(), g.gaifman().num_edges());
+
+    let sentences = [
+        ("triangle", "exists x y z. (E(x,y) & E(y,z) & E(z,x) & !(x=y) & !(y=z) & !(x=z))"),
+        ("isolated vertex", "exists x. !(exists y. E(x,y))"),
+        ("dominating edge", "exists x y. (E(x,y) & forall z. (E(x,z) | E(y,z) | z=x | z=y))"),
+    ];
+
+    // Theorem 4.1: FO on graphs ≤ᵖ FOC({P=}) on trees.
+    let tree = tree_encoding(&g);
+    println!(
+        "\nT_G (Theorem 4.1): |A| = {}, ‖A‖ = {} — a tree of height 3",
+        tree.tree.order(),
+        tree.tree.size()
+    );
+    for (name, src) in &sentences {
+        let phi = parse_formula(src).unwrap();
+        let phi_hat = tree_formula(&phi);
+        let mut evg = NaiveEvaluator::new(&g, &preds);
+        let on_g = evg.check_sentence(&phi).unwrap();
+        let mut evt = NaiveEvaluator::new(&tree.tree, &preds);
+        let on_t = evt.check_sentence(&phi_hat).unwrap();
+        assert_eq!(on_g, on_t, "tree reduction must agree");
+        println!(
+            "  {name}: G ⊨ φ = {on_g}, T_G ⊨ φ̂ = {on_t} ✓  (‖φ‖ = {}, ‖φ̂‖ = {})",
+            phi.size(),
+            phi_hat.size()
+        );
+    }
+
+    // Theorem 4.3: FO on graphs ≤ᵖ FOC({P=}) on strings.
+    let string = string_encoding(&g);
+    println!(
+        "\nS_G (Theorem 4.3): word of length {} over {{a,b,c}}, ‖A‖ = {}",
+        string.word.len(),
+        string.string.size()
+    );
+    println!("  word prefix: {}…", &string.word[..string.word.len().min(48)]);
+    for (name, src) in &sentences[..2] {
+        let phi = parse_formula(src).unwrap();
+        let phi_hat = string_formula(&phi);
+        let mut evg = NaiveEvaluator::new(&g, &preds);
+        let on_g = evg.check_sentence(&phi).unwrap();
+        let mut evs = NaiveEvaluator::new(&string.string, &preds);
+        let on_s = evs.check_sentence(&phi_hat).unwrap();
+        assert_eq!(on_g, on_s, "string reduction must agree");
+        println!("  {name}: G ⊨ φ = {on_g}, S_G ⊨ φ̂ = {on_s} ✓");
+    }
+
+    println!(
+        "\nBoth reductions are polynomial: arbitrary FO model checking on graphs\n\
+         embeds into FOC({{P=}}) on trees/strings — so FOC(P) on these classes is\n\
+         AW[*]-hard (Corollaries 4.2/4.4), which is why the paper restricts to\n\
+         FOC1(P) for the tractability result."
+    );
+}

@@ -1,0 +1,28 @@
+//! # foc-repro — reproduction of *First-Order Query Evaluation with
+//! Cardinality Conditions* (Grohe & Schweikardt, PODS 2018)
+//!
+//! This façade crate re-exports the whole workspace so the examples and
+//! integration tests can use one import root. See the individual crates
+//! for the substance:
+//!
+//! * [`foc_logic`] — FOC(P) syntax, FOC1(P) fragment, parser;
+//! * [`foc_structures`] — relational structures, Gaifman graphs,
+//!   generators;
+//! * [`foc_eval`] — reference semantics (Definition 3.1), queries
+//!   (Definition 5.2);
+//! * [`foc_locality`] — Gaifman normal form, cl-terms, the Section 6
+//!   decomposition;
+//! * [`foc_covers`] — neighbourhood covers, splitter game, Removal
+//!   Lemma (Sections 7–8);
+//! * [`foc_hardness`] — the Section 4 hardness reductions;
+//! * [`foc_core`] — the FOC1(P) evaluation engines (Theorem 5.5).
+
+#![warn(missing_docs)]
+
+pub use foc_core as core;
+pub use foc_covers as covers;
+pub use foc_eval as eval;
+pub use foc_hardness as hardness;
+pub use foc_locality as locality;
+pub use foc_logic as logic;
+pub use foc_structures as structures;

@@ -1,0 +1,164 @@
+//! End-to-end integration tests spanning every crate: parse → validate →
+//! decompose → evaluate across engines, on every generator, plus the
+//! hardness constructions feeding back into the evaluators.
+
+use foc_core::{EngineKind, Evaluator};
+use foc_eval::NaiveEvaluator;
+use foc_hardness::{tree_encoding, tree_formula};
+use foc_logic::parse::{parse_formula, parse_term};
+use foc_logic::Predicates;
+use foc_structures::gen::{
+    balanced_tree, bounded_degree, caterpillar, cycle, gnm, grid, path, random_tree, star,
+    thinned_grid, unranked_tree,
+};
+use foc_structures::Structure;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn zoo() -> Vec<Structure> {
+    let mut rng = StdRng::seed_from_u64(515);
+    vec![
+        path(13),
+        cycle(10),
+        star(9),
+        grid(4, 4),
+        balanced_tree(2, 3),
+        caterpillar(4, 2),
+        random_tree(15, &mut rng),
+        unranked_tree(15, 0.8, &mut rng),
+        bounded_degree(16, 3, 48, &mut rng),
+        gnm(14, 18, &mut rng),
+        thinned_grid(4, 4, 0.25, &mut rng),
+    ]
+}
+
+#[test]
+fn parsed_sentences_agree_across_engines_and_zoo() {
+    let sentences = [
+        "exists x. #(y). E(x,y) >= 3",
+        "@even(#(x,y). E(x,y))",
+        "exists x. (#(y). (E(x,y) & #(z). E(y,z) = 1) = #(w). E(x,w))",
+        "forall x. (#(y). E(x,y) >= 1 | #(y). (!(x = y)) >= 1)",
+        "@prime(#(x). (x = x) + #(x,y). E(x,y))",
+    ];
+    let engines = [
+        Evaluator::new(EngineKind::Naive),
+        Evaluator::new(EngineKind::Local),
+        Evaluator::new(EngineKind::Cover),
+    ];
+    for src in sentences {
+        let f = parse_formula(src).unwrap();
+        for s in zoo() {
+            let want = engines[0].check_sentence(&s, &f).unwrap();
+            for ev in &engines[1..] {
+                assert_eq!(
+                    ev.check_sentence(&s, &f).unwrap(),
+                    want,
+                    "{:?} disagrees on {src} (order {})",
+                    ev.kind,
+                    s.order()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parsed_ground_terms_agree_across_engines_and_zoo() {
+    let terms = [
+        "#(x). #(y). E(x,y) = 2",
+        "#(x,y). (dist(x,y) <= 3 & !(x = y))",
+        "3 * #(x,y). E(x,y) - #(x). (x = x)",
+        "#(x,y). (!(E(x,y)) & !(x = y))",
+    ];
+    let engines = [
+        Evaluator::new(EngineKind::Naive),
+        Evaluator::new(EngineKind::Local),
+        Evaluator::new(EngineKind::Cover),
+    ];
+    for src in terms {
+        let t = parse_term(src).unwrap();
+        for s in zoo() {
+            let want = engines[0].eval_ground(&s, &t).unwrap();
+            for ev in &engines[1..] {
+                assert_eq!(
+                    ev.eval_ground(&s, &t).unwrap(),
+                    want,
+                    "{:?} disagrees on {src} (order {})",
+                    ev.kind,
+                    s.order()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hardness_output_feeds_the_foc1_engines() {
+    // The *rewritten* φ̂ of Theorem 4.1 is FOC(P) but NOT FOC1(P) (its
+    // ψ_E guard has two free variables); the decomposing engines must
+    // reject it while the reference evaluator handles it.
+    let g = gnm(5, 6, &mut StdRng::seed_from_u64(9));
+    let phi = parse_formula("exists x y. (E(x,y) & !(x = y))").unwrap();
+    let enc = tree_encoding(&g);
+    let phi_hat = tree_formula(&phi);
+    assert!(!foc_logic::fragment::is_foc1(&phi_hat));
+    let local = Evaluator::new(EngineKind::Local);
+    assert!(matches!(
+        local.check_sentence(&enc.tree, &phi_hat),
+        Err(foc_core::Error::NotFoc1(_))
+    ));
+    // The naive engine is complete for FOC(P) and decides it — agreeing
+    // with the original graph.
+    let preds = Predicates::standard();
+    let naive = Evaluator::new(EngineKind::Naive);
+    let want = NaiveEvaluator::new(&g, &preds).check_sentence(&phi).unwrap();
+    let got = naive.check_sentence(&enc.tree, &phi_hat).unwrap();
+    assert_eq!(want, got);
+    // But FOC1 sentences still run on T_G with the fast engines: degree
+    // statistics of the tree itself.
+    let deg = parse_formula("exists x. #(y). E(x,y) >= 4").unwrap();
+    let want = Evaluator::new(EngineKind::Naive).check_sentence(&enc.tree, &deg).unwrap();
+    assert_eq!(local.check_sentence(&enc.tree, &deg).unwrap(), want);
+}
+
+#[test]
+fn counting_matches_enumeration() {
+    // |φ(A)| computed by the engines equals the length of the enumerated
+    // result (Definition 5.2 ↔ Corollary 5.6 consistency).
+    let preds = Predicates::standard();
+    let f = parse_formula("E(x,y) & #(z). E(y,z) >= 2").unwrap();
+    let vars = [foc_logic::Var::new("x"), foc_logic::Var::new("y")];
+    for s in zoo() {
+        let mut ev = NaiveEvaluator::new(&s, &preds);
+        let enumerated = ev.satisfying_tuples(&f, &vars).unwrap().len() as i64;
+        for kind in [EngineKind::Naive, EngineKind::Local] {
+            let engine = Evaluator::new(kind);
+            assert_eq!(
+                engine.count(&s, &f, &vars).unwrap(),
+                enumerated,
+                "{kind:?} on order {}",
+                s.order()
+            );
+        }
+    }
+}
+
+#[test]
+fn session_plans_match_depth() {
+    // The number of materialised markers equals the number of predicate
+    // applications (Theorem 6.10's τ-symbols), level by level.
+    let f = parse_formula(
+        "exists x. (#(y). (E(x,y) & #(z). E(y,z) = 2) >= 1 & !(#(y). E(x,y) = 5))",
+    )
+    .unwrap();
+    let ev = Evaluator::new(EngineKind::Local);
+    let s = grid(6, 6);
+    let mut session = ev.session(&s);
+    session.check_sentence(&f).unwrap();
+    // Three predicate applications: the inner `= 2`, the outer `>= 1`,
+    // and the `= 5`.
+    assert_eq!(session.stats.markers_created, 3);
+    assert_eq!(session.plan.len(), 3);
+    assert!(session.plan.iter().all(|m| m.arity == 1));
+}
