@@ -20,7 +20,7 @@ fn bench_counting(c: &mut Criterion) {
                 if kind == EngineKind::Naive && name == "far_pairs" && n > 1100 {
                     continue; // quadratic; keep the run bounded
                 }
-                let ev = Evaluator::new(kind);
+                let ev = Evaluator::builder().kind(kind).build().unwrap();
                 group.bench_with_input(
                     BenchmarkId::new(format!("{name}/{kind:?}"), n),
                     &s,

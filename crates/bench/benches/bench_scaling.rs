@@ -1,5 +1,6 @@
 //! Criterion micro-benchmarks for experiment E3: FOC1(P) model checking
-//! per engine on growing random trees.
+//! per engine on growing random trees, plus the E12 thread sweep of the
+//! parallel Cover engine.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use foc_core::{EngineKind, Evaluator};
@@ -9,26 +10,41 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn bench_model_checking(c: &mut Criterion) {
-    let sentence = parse_formula(
-        "exists x. #(y). (E(x,y) & #(z). E(y,z) = 1) >= 2",
-    )
-    .unwrap();
+    let sentence = parse_formula("exists x. #(y). (E(x,y) & #(z). E(y,z) = 1) >= 2").unwrap();
     let mut group = c.benchmark_group("model_checking_random_tree");
     group.sample_size(10);
     let mut rng = StdRng::seed_from_u64(1);
     for n in [512u32, 2048, 8192] {
         let s = random_tree(n, &mut rng);
         for kind in [EngineKind::Naive, EngineKind::Local] {
-            let ev = Evaluator::new(kind);
-            group.bench_with_input(
-                BenchmarkId::new(format!("{kind:?}"), n),
-                &s,
-                |b, s| b.iter(|| ev.check_sentence(s, &sentence).unwrap()),
-            );
+            let ev = Evaluator::builder().kind(kind).build().unwrap();
+            group.bench_with_input(BenchmarkId::new(format!("{kind:?}"), n), &s, |b, s| {
+                b.iter(|| ev.check_sentence(s, &sentence).unwrap())
+            });
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_model_checking);
+fn bench_thread_sweep(c: &mut Criterion) {
+    // The E12 sweep as a criterion group: the Cover engine on a fixed
+    // grid, threads ∈ {1, 2, 4, 8}.
+    let sentence = parse_formula("@even(#(x,y). !(dist(x,y) <= 2))").unwrap();
+    let s = foc_structures::gen::grid(48, 48);
+    let mut group = c.benchmark_group("cover_thread_sweep_grid48");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let ev = Evaluator::builder()
+            .kind(EngineKind::Cover)
+            .threads(threads)
+            .build()
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("threads", threads), &s, |b, s| {
+            b.iter(|| ev.check_sentence(s, &sentence).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_checking, bench_thread_sweep);
 criterion_main!(benches);

@@ -24,7 +24,7 @@ fn bench_sql(c: &mut Criterion) {
             &mut rng,
         );
         for kind in [EngineKind::Naive, EngineKind::Local] {
-            let ev = Evaluator::new(kind);
+            let ev = Evaluator::builder().kind(kind).build().unwrap();
             group.bench_with_input(
                 BenchmarkId::new(format!("{kind:?}"), customers),
                 &db.structure,

@@ -20,7 +20,14 @@ use crate::table::{fmt_duration, Table};
 fn ablation_pruning() -> Table {
     let mut t = Table::new(
         "E11a: forced-edge pruning of the connectivity-pattern enumeration",
-        &["body", "k", "basics (pruned)", "basics (full)", "time (pruned)", "time (full)"],
+        &[
+            "body",
+            "k",
+            "basics (pruned)",
+            "basics (full)",
+            "time (pruned)",
+            "time (full)",
+        ],
     );
     let x = v("abx");
     let y = v("aby");
@@ -28,17 +35,21 @@ fn ablation_pruning() -> Table {
     let w = v("abw");
     let bodies: Vec<(&str, Vec<Var>, Arc<foc_logic::Formula>)> = vec![
         ("edges", vec![x, y], atom("E", [x, y])),
-        ("triangles", vec![x, y, z], and_all([
-            atom("E", [x, y]),
-            atom("E", [y, z]),
-            atom("E", [z, x]),
-        ])),
-        ("4-paths", vec![x, y, z, w], and_all([
-            atom("E", [x, y]),
-            atom("E", [y, z]),
-            atom("E", [z, w]),
-        ])),
-        ("SQL-style 4-atom", vec![x, y, z, w], atom_vec("R4", vec![x, y, z, w])),
+        (
+            "triangles",
+            vec![x, y, z],
+            and_all([atom("E", [x, y]), atom("E", [y, z]), atom("E", [z, x])]),
+        ),
+        (
+            "4-paths",
+            vec![x, y, z, w],
+            and_all([atom("E", [x, y]), atom("E", [y, z]), atom("E", [z, w])]),
+        ),
+        (
+            "SQL-style 4-atom",
+            vec![x, y, z, w],
+            atom_vec("R4", vec![x, y, z, w]),
+        ),
     ];
     for (label, vars, body) in bodies {
         let t0 = Instant::now();
@@ -50,8 +61,13 @@ fn ablation_pruning() -> Table {
         t.row(vec![
             label.into(),
             vars.len().to_string(),
-            pruned.as_ref().map(|c| c.num_basics().to_string()).unwrap_or("—".into()),
-            full.as_ref().map(|c| c.num_basics().to_string()).unwrap_or("—".into()),
+            pruned
+                .as_ref()
+                .map(|c| c.num_basics().to_string())
+                .unwrap_or("—".into()),
+            full.as_ref()
+                .map(|c| c.num_basics().to_string())
+                .unwrap_or("—".into()),
             fmt_duration(tp),
             fmt_duration(tf),
         ]);
@@ -70,7 +86,12 @@ fn ablation_pruning() -> Table {
 fn ablation_candidates() -> Table {
     let mut t = Table::new(
         "E11b: ball-evaluator candidate strategies (GROUP-BY count term on the SQL database)",
-        &["customers", "full (both on)", "no atom candidates", "no support filter"],
+        &[
+            "customers",
+            "full (both on)",
+            "no atom candidates",
+            "no support filter",
+        ],
     );
     let xco = v("abco");
     let xid = v("abid");
@@ -89,7 +110,12 @@ fn ablation_candidates() -> Table {
     let mut rng = StdRng::seed_from_u64(1111);
     for customers in [200u32, 800] {
         let db = sql_database(
-            SqlDbParams { customers, countries: 10, cities: 20, avg_orders: 1.0 },
+            SqlDbParams {
+                customers,
+                countries: 10,
+                cities: 20,
+                avg_orders: 1.0,
+            },
             &mut rng,
         );
         let mut cells = vec![customers.to_string()];
@@ -122,7 +148,15 @@ fn ablation_candidates() -> Table {
 fn ablation_cover_rule(quick: bool) -> Table {
     let mut t = Table::new(
         "E11c: cover construction rule — least-centre vs trivial per-element",
-        &["class", "n", "r", "clusters (LC)", "Σ|X| (LC)", "clusters (triv)", "Σ|X| (triv)"],
+        &[
+            "class",
+            "n",
+            "r",
+            "clusters (LC)",
+            "Σ|X| (LC)",
+            "clusters (triv)",
+            "Σ|X| (triv)",
+        ],
     );
     let sizes: &[u32] = if quick { &[1_000] } else { &[1_000, 8_000] };
     let mut rng = StdRng::seed_from_u64(2222);
@@ -165,5 +199,9 @@ fn ablation_cover_rule(quick: bool) -> Table {
 
 /// E11: all ablations.
 pub fn e11(quick: bool) -> Vec<Table> {
-    vec![ablation_pruning(), ablation_candidates(), ablation_cover_rule(quick)]
+    vec![
+        ablation_pruning(),
+        ablation_candidates(),
+        ablation_cover_rule(quick),
+    ]
 }

@@ -14,21 +14,46 @@ use rand::SeedableRng;
 use crate::table::{fmt_duration, Table};
 
 fn cover_classes(quick: bool) -> Vec<(&'static str, Vec<Structure>)> {
-    let sizes: &[u32] = if quick { &[1_000, 4_000] } else { &[1_000, 4_000, 16_000] };
+    let sizes: &[u32] = if quick {
+        &[1_000, 4_000]
+    } else {
+        &[1_000, 4_000, 16_000]
+    };
     let mut rng = StdRng::seed_from_u64(66);
     let mut out: Vec<(&'static str, Vec<Structure>)> = vec![
-        ("random tree", sizes.iter().map(|&n| random_tree(n, &mut rng)).collect()),
-        ("grid", sizes.iter().map(|&n| {
-            let side = (n as f64).sqrt().round() as u32;
-            grid(side, side)
-        }).collect()),
-        ("degree ≤ 3", sizes
-            .iter()
-            .map(|&n| bounded_degree(n, 3, 3 * n as usize, &mut rng))
-            .collect()),
-        ("G(n, 2n)", sizes.iter().map(|&n| gnm(n, 2 * n as usize, &mut rng)).collect()),
+        (
+            "random tree",
+            sizes.iter().map(|&n| random_tree(n, &mut rng)).collect(),
+        ),
+        (
+            "grid",
+            sizes
+                .iter()
+                .map(|&n| {
+                    let side = (n as f64).sqrt().round() as u32;
+                    grid(side, side)
+                })
+                .collect(),
+        ),
+        (
+            "degree ≤ 3",
+            sizes
+                .iter()
+                .map(|&n| bounded_degree(n, 3, 3 * n as usize, &mut rng))
+                .collect(),
+        ),
+        (
+            "G(n, 2n)",
+            sizes
+                .iter()
+                .map(|&n| gnm(n, 2 * n as usize, &mut rng))
+                .collect(),
+        ),
         // Somewhere dense control (kept small: quadratic size).
-        ("clique (control)", vec![clique(64), clique(128), clique(256)]),
+        (
+            "clique (control)",
+            vec![clique(64), clique(128), clique(256)],
+        ),
     ];
     out.shrink_to_fit();
     out
@@ -39,8 +64,19 @@ pub fn e6(quick: bool) -> Vec<Table> {
     let mut tables = Vec::new();
     for r in [1u32, 2] {
         let mut t = Table::new(
-            format!("E6 (Theorem 8.1): ({r}, {})-neighbourhood covers — degree vs n", 2 * r),
-            &["class", "n", "clusters", "max degree", "measured radius", "valid", "build time"],
+            format!(
+                "E6 (Theorem 8.1): ({r}, {})-neighbourhood covers — degree vs n",
+                2 * r
+            ),
+            &[
+                "class",
+                "n",
+                "clusters",
+                "max degree",
+                "measured radius",
+                "valid",
+                "build time",
+            ],
         );
         for (class, structures) in cover_classes(quick) {
             for s in &structures {
@@ -100,7 +136,11 @@ pub fn e9(quick: bool) -> Vec<Table> {
         "E9b: heuristic splitter-game length λ̂(r) as n grows",
         &["class", "n", "r", "rounds (heuristic)", "Splitter won"],
     );
-    let sizes: &[u32] = if quick { &[100, 400] } else { &[100, 400, 1_600, 6_400] };
+    let sizes: &[u32] = if quick {
+        &[100, 400]
+    } else {
+        &[100, 400, 1_600, 6_400]
+    };
     let mut rng = StdRng::seed_from_u64(100);
     for &n in sizes {
         let structures: Vec<(&str, Structure)> = vec![
@@ -120,7 +160,11 @@ pub fn e9(quick: bool) -> Vec<Table> {
                     n.to_string(),
                     r.to_string(),
                     o.rounds.to_string(),
-                    if o.splitter_won { "✓".into() } else { "✗ (cap)".into() },
+                    if o.splitter_won {
+                        "✓".into()
+                    } else {
+                        "✗ (cap)".into()
+                    },
                 ]);
             }
         }
@@ -135,7 +179,11 @@ pub fn e9(quick: bool) -> Vec<Table> {
             n.to_string(),
             "1".into(),
             o.rounds.to_string(),
-            if o.splitter_won { "✓".into() } else { "✗ (cap)".into() },
+            if o.splitter_won {
+                "✓".into()
+            } else {
+                "✗ (cap)".into()
+            },
         ]);
     }
     emp.note(

@@ -23,30 +23,38 @@ fn bodies() -> Vec<(&'static str, Vec<Var>, Arc<Formula>)> {
     vec![
         ("k=1: loops", vec![x], atom("E", [x, x])),
         ("k=2: edges", vec![x, y], atom("E", [x, y])),
-        ("k=2: non-edges", vec![x, y], and(not(atom("E", [x, y])), not(eq(x, y)))),
-        ("k=3: triangles", vec![x, y, z], and_all([
-            atom("E", [x, y]),
-            atom("E", [y, z]),
-            atom("E", [z, x]),
-        ])),
-        ("k=3: scattered", vec![x, y, z], and_all([
-            not(atom("E", [x, y])),
-            not(atom("E", [y, z])),
-            not(atom("E", [z, x])),
-            not(eq(x, y)),
-            not(eq(y, z)),
-            not(eq(x, z)),
-        ])),
-        ("k=4: 4-paths", vec![x, y, z, w], and_all([
-            atom("E", [x, y]),
-            atom("E", [y, z]),
-            atom("E", [z, w]),
-        ])),
-        ("k=4: edge + far edge", vec![x, y, z, w], and_all([
-            atom("E", [x, y]),
-            atom("E", [z, w]),
-            not(dist_le(x, z, 3)),
-        ])),
+        (
+            "k=2: non-edges",
+            vec![x, y],
+            and(not(atom("E", [x, y])), not(eq(x, y))),
+        ),
+        (
+            "k=3: triangles",
+            vec![x, y, z],
+            and_all([atom("E", [x, y]), atom("E", [y, z]), atom("E", [z, x])]),
+        ),
+        (
+            "k=3: scattered",
+            vec![x, y, z],
+            and_all([
+                not(atom("E", [x, y])),
+                not(atom("E", [y, z])),
+                not(atom("E", [z, x])),
+                not(eq(x, y)),
+                not(eq(y, z)),
+                not(eq(x, z)),
+            ]),
+        ),
+        (
+            "k=4: 4-paths",
+            vec![x, y, z, w],
+            and_all([atom("E", [x, y]), atom("E", [y, z]), atom("E", [z, w])]),
+        ),
+        (
+            "k=4: edge + far edge",
+            vec![x, y, z, w],
+            and_all([atom("E", [x, y]), atom("E", [z, w]), not(dist_le(x, z, 3))]),
+        ),
     ]
 }
 
@@ -54,7 +62,14 @@ fn bodies() -> Vec<(&'static str, Vec<Var>, Arc<Formula>)> {
 pub fn e5(_quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "E5 (Lemma 6.4 / Thm 6.10): cl-decomposition — size, time, correctness",
-        &["body", "width k", "basic cl-terms", "max width", "rewrite time", "correct"],
+        &[
+            "body",
+            "width k",
+            "basic cl-terms",
+            "max width",
+            "rewrite time",
+            "correct",
+        ],
     );
     let preds = Predicates::standard();
     let mut rng = StdRng::seed_from_u64(55);
@@ -84,8 +99,7 @@ pub fn e5(_quick: bool) -> Vec<Table> {
         // Correctness on every test structure.
         let mut ok = true;
         for s in &structures {
-            let term =
-                Arc::new(Term::Count(vars.clone().into_boxed_slice(), body.clone()));
+            let term = Arc::new(Term::Count(vars.clone().into_boxed_slice(), body.clone()));
             let want = NaiveEvaluator::new(s, &preds).eval_ground(&term).unwrap();
             let got = cl.eval_naive(s, &preds, None).unwrap();
             ok &= want == got;

@@ -16,7 +16,10 @@ use crate::table::{fmt_duration, Table};
 
 const SENTENCES: &[(&str, &str)] = &[
     ("edge", "exists x y. (E(x,y) & !(x = y))"),
-    ("triangle", "exists x y z. (E(x,y) & E(y,z) & E(z,x) & !(x=y) & !(y=z) & !(x=z))"),
+    (
+        "triangle",
+        "exists x y z. (E(x,y) & E(y,z) & E(z,x) & !(x=y) & !(y=z) & !(x=z))",
+    ),
     ("no-isolated", "forall x. exists y. E(x,y)"),
 ];
 
@@ -25,7 +28,19 @@ pub fn e1(quick: bool) -> Vec<Table> {
     let sizes: &[u32] = if quick { &[6, 9] } else { &[6, 9, 12, 16] };
     let mut t = Table::new(
         "E1 (Theorem 4.1): FO on graphs ≼ FOC({P=}) on trees — G ⊨ φ ⟺ T_G ⊨ φ̂",
-        &["n(G)", "‖G‖", "‖T_G‖", "sentence", "‖φ‖", "‖φ̂‖", "G ⊨ φ", "T_G ⊨ φ̂", "agree", "t(G)", "t(T_G)"],
+        &[
+            "n(G)",
+            "‖G‖",
+            "‖T_G‖",
+            "sentence",
+            "‖φ‖",
+            "‖φ̂‖",
+            "G ⊨ φ",
+            "T_G ⊨ φ̂",
+            "agree",
+            "t(G)",
+            "t(T_G)",
+        ],
     );
     let preds = Predicates::standard();
     let mut rng = StdRng::seed_from_u64(101);
@@ -37,10 +52,14 @@ pub fn e1(quick: bool) -> Vec<Table> {
             let phi = parse_formula(src).unwrap();
             let phi_hat = tree_formula(&phi);
             let t0 = Instant::now();
-            let on_g = NaiveEvaluator::new(&g, &preds).check_sentence(&phi).unwrap();
+            let on_g = NaiveEvaluator::new(&g, &preds)
+                .check_sentence(&phi)
+                .unwrap();
             let tg = t0.elapsed();
             let t0 = Instant::now();
-            let on_t = NaiveEvaluator::new(&enc.tree, &preds).check_sentence(&phi_hat).unwrap();
+            let on_t = NaiveEvaluator::new(&enc.tree, &preds)
+                .check_sentence(&phi_hat)
+                .unwrap();
             let tt = t0.elapsed();
             all_agree &= on_g == on_t;
             t.row(vec![
@@ -52,7 +71,11 @@ pub fn e1(quick: bool) -> Vec<Table> {
                 phi_hat.size().to_string(),
                 on_g.to_string(),
                 on_t.to_string(),
-                if on_g == on_t { "✓".into() } else { "✗".into() },
+                if on_g == on_t {
+                    "✓".into()
+                } else {
+                    "✗".into()
+                },
                 fmt_duration(tg),
                 fmt_duration(tt),
             ]);
@@ -71,7 +94,15 @@ pub fn e2(quick: bool) -> Vec<Table> {
     let sizes: &[u32] = if quick { &[5, 7] } else { &[5, 7, 9] };
     let mut t = Table::new(
         "E2 (Theorem 4.3): FO on graphs ≼ FOC({P=}) on strings — G ⊨ φ ⟺ S_G ⊨ φ̂",
-        &["n(G)", "‖G‖", "|S_G|", "‖S_G‖", "sentence", "agree", "t(S_G)"],
+        &[
+            "n(G)",
+            "‖G‖",
+            "|S_G|",
+            "‖S_G‖",
+            "sentence",
+            "agree",
+            "t(S_G)",
+        ],
     );
     let preds = Predicates::standard();
     let mut rng = StdRng::seed_from_u64(202);
@@ -82,10 +113,13 @@ pub fn e2(quick: bool) -> Vec<Table> {
         for (name, src) in &SENTENCES[..2] {
             let phi = parse_formula(src).unwrap();
             let phi_hat = string_formula(&phi);
-            let on_g = NaiveEvaluator::new(&g, &preds).check_sentence(&phi).unwrap();
+            let on_g = NaiveEvaluator::new(&g, &preds)
+                .check_sentence(&phi)
+                .unwrap();
             let t0 = Instant::now();
-            let on_s =
-                NaiveEvaluator::new(&enc.string, &preds).check_sentence(&phi_hat).unwrap();
+            let on_s = NaiveEvaluator::new(&enc.string, &preds)
+                .check_sentence(&phi_hat)
+                .unwrap();
             let ts = t0.elapsed();
             all_agree &= on_g == on_s;
             t.row(vec![
@@ -94,7 +128,11 @@ pub fn e2(quick: bool) -> Vec<Table> {
                 enc.word.len().to_string(),
                 enc.string.size().to_string(),
                 name.to_string(),
-                if on_g == on_s { "✓".into() } else { "✗".into() },
+                if on_g == on_s {
+                    "✓".into()
+                } else {
+                    "✗".into()
+                },
                 fmt_duration(ts),
             ]);
         }

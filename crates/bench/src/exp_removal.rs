@@ -19,7 +19,14 @@ use crate::table::{fmt_duration, Table};
 pub fn e10(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "E10 (Lemmas 7.8/7.9): removal surgery A ↦ A *_r d — correctness and overhead",
-        &["structure", "n", "checks", "mismatches", "‖A*d‖ / ‖A‖", "surgery time"],
+        &[
+            "structure",
+            "n",
+            "checks",
+            "mismatches",
+            "‖A*d‖ / ‖A‖",
+            "surgery time",
+        ],
     );
     let preds = Predicates::standard();
     let x = v("e10x");
@@ -56,15 +63,21 @@ pub fn e10(quick: bool) -> Vec<Table> {
                     let a = rng.gen_range(0..s.order());
                     let b = rng.gen_range(0..s.order());
                     let pairs = [(x, a), (y, b)];
-                    let vset: BTreeSet<Var> =
-                        pairs.iter().filter(|(_, e)| *e == d).map(|(v, _)| *v).collect();
+                    let vset: BTreeSet<Var> = pairs
+                        .iter()
+                        .filter(|(_, e)| *e == d)
+                        .map(|(v, _)| *v)
+                        .collect();
                     let mut ev = NaiveEvaluator::new(&s, &preds);
                     let mut env = Assignment::from_pairs(pairs);
                     let want = ev.check(f, &mut env).unwrap();
                     let rewritten = remove_formula(f, &vset, &ctx);
                     let mut ev2 = NaiveEvaluator::new(&rem.structure, &preds);
                     let mut env2 = Assignment::from_pairs(
-                        pairs.iter().filter(|(_, e)| *e != d).map(|(v, e)| (*v, rem.new_of_old[e])),
+                        pairs
+                            .iter()
+                            .filter(|(_, e)| *e != d)
+                            .map(|(v, e)| (*v, rem.new_of_old[e])),
                     );
                     let got = ev2.check(&rewritten, &mut env2).unwrap();
                     checks += 1;
@@ -93,8 +106,7 @@ pub fn e10(quick: bool) -> Vec<Table> {
                         .iter()
                         .map(|rc| {
                             let tt = cnt_vec(rc.counted.clone(), rc.body.clone());
-                            let mut env2 =
-                                Assignment::from_pairs([(x, rem.new_of_old[&a])]);
+                            let mut env2 = Assignment::from_pairs([(x, rem.new_of_old[&a])]);
                             ev2.eval_term(&tt, &mut env2).unwrap()
                         })
                         .sum()

@@ -24,10 +24,13 @@ pub(crate) fn classes(rng_seed: u64) -> Vec<(&'static str, ClassGen)> {
                 random_tree(n, &mut rng)
             })
         }),
-        ("grid", Box::new(|n| {
-            let side = (n as f64).sqrt().round() as u32;
-            grid(side, side)
-        })),
+        (
+            "grid",
+            Box::new(|n| {
+                let side = (n as f64).sqrt().round() as u32;
+                grid(side, side)
+            }),
+        ),
         ("degree ≤ 3", {
             Box::new(move |n| {
                 let mut rng = StdRng::seed_from_u64(rng_seed + 1);
@@ -39,8 +42,11 @@ pub(crate) fn classes(rng_seed: u64) -> Vec<(&'static str, ClassGen)> {
 
 /// E3: model checking a fixed FOC1(P) sentence while n grows.
 pub fn e3(quick: bool) -> Vec<Table> {
-    let sizes: &[u32] =
-        if quick { &[500, 1_000, 2_000] } else { &[1_000, 2_000, 4_000, 8_000, 16_000] };
+    let sizes: &[u32] = if quick {
+        &[500, 1_000, 2_000]
+    } else {
+        &[1_000, 2_000, 4_000, 8_000, 16_000]
+    };
     let naive_cap = if quick { 1_000 } else { 4_000 };
     let cover_cap = if quick { 1_000 } else { 4_000 };
     // "The number of vertex pairs more than 2 apart is even, and some
@@ -73,7 +79,7 @@ pub fn e3(quick: bool) -> Vec<Table> {
                     cells.push("—".into());
                     continue;
                 }
-                let ev = Evaluator::new(kind);
+                let ev = Evaluator::builder().kind(kind).build().unwrap();
                 let t0 = Instant::now();
                 let ans = ev.check_sentence(&s, &sentence).unwrap();
                 let dt = t0.elapsed();
@@ -106,12 +112,25 @@ pub fn e3(quick: bool) -> Vec<Table> {
 /// decomposed engines, including the inclusion–exclusion showcase
 /// (counting non-edges).
 pub fn e4(quick: bool) -> Vec<Table> {
-    let sizes: &[u32] = if quick { &[500, 1_000, 2_000] } else { &[1_000, 2_000, 4_000, 8_000] };
+    let sizes: &[u32] = if quick {
+        &[500, 1_000, 2_000]
+    } else {
+        &[1_000, 2_000, 4_000, 8_000]
+    };
     let naive_cap = if quick { 1_000 } else { 4_000 };
     let terms = [
-        ("non-edges: #(x,y). (!E(x,y) ∧ x≠y)", "#(x,y). (!(E(x,y)) & !(x = y))"),
-        ("far pairs: #(x,y). dist(x,y) > 2", "#(x,y). !(dist(x,y) <= 2)"),
-        ("deg-1 pairs: #(x,y). (E(x,y) ∧ deg(y)=1)", "#(x,y). (E(x,y) & #(z). E(y,z) = 1)"),
+        (
+            "non-edges: #(x,y). (!E(x,y) ∧ x≠y)",
+            "#(x,y). (!(E(x,y)) & !(x = y))",
+        ),
+        (
+            "far pairs: #(x,y). dist(x,y) > 2",
+            "#(x,y). !(dist(x,y) <= 2)",
+        ),
+        (
+            "deg-1 pairs: #(x,y). (E(x,y) ∧ deg(y)=1)",
+            "#(x,y). (E(x,y) & #(z). E(y,z) = 1)",
+        ),
     ];
     let mut tables = Vec::new();
     for (label, src) in terms {
@@ -123,7 +142,10 @@ pub fn e4(quick: bool) -> Vec<Table> {
         let mut rng = StdRng::seed_from_u64(44);
         for &n in sizes {
             let s = random_tree(n, &mut rng);
-            let local = Evaluator::new(EngineKind::Local);
+            let local = Evaluator::builder()
+                .kind(EngineKind::Local)
+                .build()
+                .unwrap();
             let t0 = Instant::now();
             let lv = local.eval_ground(&s, &term).unwrap();
             let lt = t0.elapsed();
@@ -138,7 +160,10 @@ pub fn e4(quick: bool) -> Vec<Table> {
                 ]);
                 continue;
             }
-            let naive = Evaluator::new(EngineKind::Naive);
+            let naive = Evaluator::builder()
+                .kind(EngineKind::Naive)
+                .build()
+                .unwrap();
             let t0 = Instant::now();
             let nv = naive.eval_ground(&s, &term).unwrap();
             let nt = t0.elapsed();

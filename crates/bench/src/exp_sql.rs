@@ -4,7 +4,9 @@
 
 use std::time::Instant;
 
-use foc_core::sql::{customers_per_country, orders_per_berlin_customer, total_customers_and_orders};
+use foc_core::sql::{
+    customers_per_country, orders_per_berlin_customer, total_customers_and_orders,
+};
 use foc_core::{EngineKind, Evaluator};
 use foc_logic::build::*;
 use foc_structures::gen::{colored_digraph, sql_database, ColoredParams, SqlDbParams};
@@ -15,11 +17,23 @@ use crate::table::{fmt_duration, Table};
 
 /// E7: Example 5.3's SQL COUNT queries on the Customer/Order database.
 pub fn e7(quick: bool) -> Vec<Table> {
-    let sizes: &[u32] = if quick { &[100, 500] } else { &[100, 500, 2_000, 8_000] };
+    let sizes: &[u32] = if quick {
+        &[100, 500]
+    } else {
+        &[100, 500, 2_000, 8_000]
+    };
     let cover_cap = 500;
     let mut t = Table::new(
         "E7 (Example 5.3): SQL COUNT workloads — GROUP BY country",
-        &["customers", "‖A‖", "groups", "naive", "local", "cover", "correct"],
+        &[
+            "customers",
+            "‖A‖",
+            "groups",
+            "naive",
+            "local",
+            "cover",
+            "correct",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(77);
     for &n in sizes {
@@ -34,21 +48,28 @@ pub fn e7(quick: bool) -> Vec<Table> {
         );
         let q = customers_per_country(true);
         let truth = db.customers_per_country();
-        let mut cells =
-            vec![n.to_string(), db.structure.size().to_string(), String::new()];
+        let mut cells = vec![
+            n.to_string(),
+            db.structure.size().to_string(),
+            String::new(),
+        ];
         let mut correct = true;
         for kind in [EngineKind::Naive, EngineKind::Local, EngineKind::Cover] {
             if kind == EngineKind::Cover && n > cover_cap {
                 cells.push("—".into());
                 continue;
             }
-            let ev = Evaluator::new(kind);
+            let ev = Evaluator::builder().kind(kind).build().unwrap();
             let t0 = Instant::now();
             let res = ev.query(&db.structure, &q).unwrap();
             let dt = t0.elapsed();
             cells[2] = res.rows.len().to_string();
             for row in &res.rows {
-                let ci = db.countries.iter().position(|&c| c == row.elems[0]).unwrap();
+                let ci = db
+                    .countries
+                    .iter()
+                    .position(|&c| c == row.elems[0])
+                    .unwrap();
                 correct &= row.counts[0] as usize == truth[ci];
             }
             cells.push(fmt_duration(dt));
@@ -66,7 +87,13 @@ pub fn e7(quick: bool) -> Vec<Table> {
 
     let mut t2 = Table::new(
         "E7b: the other two statements of Example 5.3 (Local engine)",
-        &["customers", "total customers/orders", "Berlin rows", "t(totals)", "t(Berlin)"],
+        &[
+            "customers",
+            "total customers/orders",
+            "Berlin rows",
+            "t(totals)",
+            "t(Berlin)",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(78);
     for &n in sizes {
@@ -79,18 +106,28 @@ pub fn e7(quick: bool) -> Vec<Table> {
             },
             &mut rng,
         );
-        let ev = Evaluator::new(EngineKind::Local);
+        let ev = Evaluator::builder()
+            .kind(EngineKind::Local)
+            .build()
+            .unwrap();
         let t0 = Instant::now();
-        let totals = ev.query(&db.structure, &total_customers_and_orders()).unwrap();
+        let totals = ev
+            .query(&db.structure, &total_customers_and_orders())
+            .unwrap();
         let tt = t0.elapsed();
         let t0 = Instant::now();
-        let berlin = ev.query(&db.structure, &orders_per_berlin_customer()).unwrap();
+        let berlin = ev
+            .query(&db.structure, &orders_per_berlin_customer())
+            .unwrap();
         let tb = t0.elapsed();
         let total_orders: usize = db.order_counts.iter().sum();
         assert_eq!(totals.rows[0].counts, vec![n as i64, total_orders as i64]);
         t2.row(vec![
             n.to_string(),
-            format!("{} / {}", totals.rows[0].counts[0], totals.rows[0].counts[1]),
+            format!(
+                "{} / {}",
+                totals.rows[0].counts[0], totals.rows[0].counts[1]
+            ),
             berlin.rows.len().to_string(),
             fmt_duration(tt),
             fmt_duration(tb),
@@ -101,7 +138,11 @@ pub fn e7(quick: bool) -> Vec<Table> {
 
 /// E8: Example 5.4's triangle/colour cardinality statistics.
 pub fn e8(quick: bool) -> Vec<Table> {
-    let sizes: &[u32] = if quick { &[200, 400] } else { &[200, 400, 800, 1_600] };
+    let sizes: &[u32] = if quick {
+        &[200, 400]
+    } else {
+        &[200, 400, 800, 1_600]
+    };
     let naive_cap = if quick { 400 } else { 800 };
     let mut t = Table::new(
         "E8 (Example 5.4): t_Δ,R = #(x).(t_Δ(x) = t_R) on coloured digraphs",
@@ -123,18 +164,36 @@ pub fn e8(quick: bool) -> Vec<Table> {
     let mut rng = StdRng::seed_from_u64(88);
     for &n in sizes {
         let s = colored_digraph(
-            ColoredParams { n, avg_out_degree: 2.0, p_red: 0.005, p_blue: 0.3, p_green: 0.3 },
+            ColoredParams {
+                n,
+                avg_out_degree: 2.0,
+                p_red: 0.005,
+                p_blue: 0.3,
+                p_green: 0.3,
+            },
             &mut rng,
         );
-        let local = Evaluator::new(EngineKind::Local);
+        let local = Evaluator::builder()
+            .kind(EngineKind::Local)
+            .build()
+            .unwrap();
         let t0 = Instant::now();
         let lv = local.eval_ground(&s, &term).unwrap();
         let lt = t0.elapsed();
         if n > naive_cap {
-            t.row(vec![n.to_string(), lv.to_string(), "—".into(), fmt_duration(lt), "—".into()]);
+            t.row(vec![
+                n.to_string(),
+                lv.to_string(),
+                "—".into(),
+                fmt_duration(lt),
+                "—".into(),
+            ]);
             continue;
         }
-        let naive = Evaluator::new(EngineKind::Naive);
+        let naive = Evaluator::builder()
+            .kind(EngineKind::Naive)
+            .build()
+            .unwrap();
         let t0 = Instant::now();
         let nv = naive.eval_ground(&s, &term).unwrap();
         let nt = t0.elapsed();

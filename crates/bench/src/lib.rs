@@ -17,6 +17,7 @@
 //! | E9 | Section 8 — the splitter game |
 //! | E10 | Lemmas 7.8/7.9 — the Removal Lemma |
 //! | E11 | ablations of this implementation's design choices |
+//! | E12 | parallel cluster evaluation — thread sweep + BENCH_parallel.json |
 //!
 //! Run them with `cargo run --release -p foc-bench --bin experiments -- all`
 //! (or a subset, e.g. `e3 e6 --quick`).
@@ -27,6 +28,7 @@ pub mod exp_ablation;
 pub mod exp_covers;
 pub mod exp_decompose;
 pub mod exp_hardness;
+pub mod exp_parallel;
 pub mod exp_removal;
 pub mod exp_scaling;
 pub mod exp_sql;
@@ -48,10 +50,12 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<Vec<Table>> {
         "e9" => Some(exp_covers::e9(quick)),
         "e10" => Some(exp_removal::e10(quick)),
         "e11" => Some(exp_ablation::e11(quick)),
+        "e12" => Some(exp_parallel::e12(quick)),
         _ => None,
     }
 }
 
 /// All experiment ids in order.
-pub const ALL_EXPERIMENTS: [&str; 11] =
-    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"];
+pub const ALL_EXPERIMENTS: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+];

@@ -1,7 +1,7 @@
 //! `foc` — command-line FOC1(P) evaluation.
 //!
 //! ```text
-//! foc check <structure.foc> "<sentence>"      [--engine naive|local|cover]
+//! foc check <structure.foc> "<sentence>"      [--engine naive|local|cover] [--threads N]
 //! foc eval  <structure.foc> "<ground term>"   [--engine …]
 //! foc count <structure.foc> "<formula>" --vars x,y [--engine …]
 //! foc stats <structure.foc> [--cover-r N]
@@ -38,7 +38,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  foc check <structure.foc> \"<sentence>\"      [--engine naive|local|cover]
+  foc check <structure.foc> \"<sentence>\"      [--engine naive|local|cover] [--threads N]
   foc eval  <structure.foc> \"<ground term>\"   [--engine ...]
   foc count <structure.foc> \"<formula>\" --vars x,y [--engine ...]
   foc stats <structure.foc> [--cover-r N]
@@ -60,7 +60,10 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(|s| s.as_str())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
 }
 
 fn positional(args: &[String]) -> Vec<&String> {
@@ -88,12 +91,19 @@ fn engine_of(args: &[String]) -> Result<Evaluator, String> {
         "cover" => EngineKind::Cover,
         other => return Err(format!("unknown engine {other:?}")),
     };
-    Ok(Evaluator::new(kind))
+    let threads: usize = match flag_value(args, "--threads") {
+        Some(v) => v.parse().map_err(|_| format!("invalid --threads {v:?}"))?,
+        None => 1,
+    };
+    Evaluator::builder()
+        .kind(kind)
+        .threads(threads)
+        .build()
+        .map_err(|e| e.to_string())
 }
 
 fn load(path: &str) -> Result<Structure, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse_structure(&text).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -107,14 +117,17 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     if !f.is_sentence() {
         return Err(format!(
             "formula has free variables {:?}; use `foc count` instead",
-            f.free_vars().iter().map(|v| v.to_string()).collect::<Vec<_>>()
+            f.free_vars()
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
         ));
     }
     let ev = engine_of(args)?;
     let t0 = std::time::Instant::now();
     let ans = ev.check_sentence(&s, &f).map_err(|e| e.to_string())?;
     println!("{ans}");
-    eprintln!("[{:?} engine, {:?}]", ev.kind, t0.elapsed());
+    eprintln!("[{:?} engine, {:?}]", ev.kind(), t0.elapsed());
     Ok(())
 }
 
@@ -132,7 +145,7 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
     let t0 = std::time::Instant::now();
     let val = ev.eval_ground(&s, &t).map_err(|e| e.to_string())?;
     println!("{val}");
-    eprintln!("[{:?} engine, {:?}]", ev.kind, t0.elapsed());
+    eprintln!("[{:?} engine, {:?}]", ev.kind(), t0.elapsed());
     Ok(())
 }
 
@@ -152,7 +165,7 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
     let t0 = std::time::Instant::now();
     let val = ev.count(&s, &f, &vars).map_err(|e| e.to_string())?;
     println!("{val}");
-    eprintln!("[{:?} engine, {:?}]", ev.kind, t0.elapsed());
+    eprintln!("[{:?} engine, {:?}]", ev.kind(), t0.elapsed());
     Ok(())
 }
 
@@ -170,7 +183,10 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     println!("max degree     = {}", g.max_degree());
     let (_, comps) = g.components();
     println!("components     = {comps}");
-    let r: u32 = flag_value(args, "--cover-r").unwrap_or("2").parse().map_err(|_| "--cover-r needs an integer")?;
+    let r: u32 = flag_value(args, "--cover-r")
+        .unwrap_or("2")
+        .parse()
+        .map_err(|_| "--cover-r needs an integer")?;
     let cov = foc_covers::cover::build_cover(g, r);
     println!(
         "({r},{})-cover   = {} clusters, max cover degree {}, max radius {}",
@@ -184,7 +200,11 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     println!(
         "splitter λ̂(1)  = {} rounds ({})",
         game.rounds,
-        if game.splitter_won { "Splitter wins" } else { "cap reached — dense?" }
+        if game.splitter_won {
+            "Splitter wins"
+        } else {
+            "cap reached — dense?"
+        }
     );
     Ok(())
 }
@@ -198,7 +218,10 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         .ok_or("gen needs --n")?
         .parse()
         .map_err(|_| "--n needs an integer")?;
-    let seed: u64 = flag_value(args, "--seed").unwrap_or("0").parse().map_err(|_| "--seed needs an integer")?;
+    let seed: u64 = flag_value(args, "--seed")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "--seed needs an integer")?;
     let mut rng = StdRng::seed_from_u64(seed);
     let s = match class.as_str() {
         "tree" => generators::random_tree(n, &mut rng),
@@ -249,8 +272,11 @@ mod tests {
 
     #[test]
     fn engine_selection() {
-        assert_eq!(engine_of(&argv(&["--engine", "cover"])).unwrap().kind, EngineKind::Cover);
-        assert_eq!(engine_of(&argv(&[])).unwrap().kind, EngineKind::Local);
+        assert_eq!(
+            engine_of(&argv(&["--engine", "cover"])).unwrap().kind(),
+            EngineKind::Cover
+        );
+        assert_eq!(engine_of(&argv(&[])).unwrap().kind(), EngineKind::Local);
         assert!(engine_of(&argv(&["--engine", "warp"])).is_err());
     }
 

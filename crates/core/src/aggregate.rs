@@ -47,7 +47,9 @@ impl Weights {
 
     /// Uniform weights (SUM degenerates to COUNT·w).
     pub fn uniform(n: u32, w: i64) -> Weights {
-        Weights { values: vec![w; n as usize] }
+        Weights {
+            values: vec![w; n as usize],
+        }
     }
 
     /// The weight of element `a`.
@@ -93,7 +95,11 @@ impl SumAggregate {
                 "aggregate body has free variables outside the tuple".into(),
             ));
         }
-        Ok(SumAggregate { vars, weight_var, body })
+        Ok(SumAggregate {
+            vars,
+            weight_var,
+            body,
+        })
     }
 
     /// The variable order with the weighted variable first (the unary
@@ -125,18 +131,13 @@ impl AvgResult {
 
 impl Evaluator {
     /// Evaluates a ground SUM aggregate with the configured engine.
-    pub fn eval_sum(
-        &self,
-        a: &Structure,
-        weights: &Weights,
-        agg: &SumAggregate,
-    ) -> Result<i64> {
+    pub fn eval_sum(&self, a: &Structure, weights: &Weights, agg: &SumAggregate) -> Result<i64> {
         assert_eq!(
             weights.len(),
             a.order() as usize,
             "weight column must cover the universe"
         );
-        match self.kind {
+        match self.config.kind {
             EngineKind::Naive => self.eval_sum_naive(a, weights, agg),
             EngineKind::Local | EngineKind::Cover => {
                 // SUM = Σ_a w(a) · u[a] with u pinning the weighted
@@ -157,9 +158,7 @@ impl Evaluator {
                                 .get(e as u32)
                                 .checked_mul(u)
                                 .ok_or(foc_eval::EvalError::Overflow)?;
-                            acc = acc
-                                .checked_add(term)
-                                .ok_or(foc_eval::EvalError::Overflow)?;
+                            acc = acc.checked_add(term).ok_or(foc_eval::EvalError::Overflow)?;
                         }
                         Ok(acc)
                     }
@@ -169,12 +168,7 @@ impl Evaluator {
         }
     }
 
-    fn eval_sum_naive(
-        &self,
-        a: &Structure,
-        weights: &Weights,
-        agg: &SumAggregate,
-    ) -> Result<i64> {
+    fn eval_sum_naive(&self, a: &Structure, weights: &Weights, agg: &SumAggregate) -> Result<i64> {
         let mut ev = NaiveEvaluator::new(a, &self.preds);
         let tuples = ev.satisfying_tuples(&agg.body, &agg.vars)?;
         let widx = agg
@@ -254,8 +248,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for s in [path(9), star(7), grid(3, 3)] {
             let w = weights_for(&s, &mut rng);
-            let naive = Evaluator::new(EngineKind::Naive).eval_sum(&s, &w, &agg).unwrap();
-            let local = Evaluator::new(EngineKind::Local).eval_sum(&s, &w, &agg).unwrap();
+            let naive = Evaluator::builder()
+                .kind(EngineKind::Naive)
+                .build()
+                .unwrap()
+                .eval_sum(&s, &w, &agg)
+                .unwrap();
+            let local = Evaluator::builder()
+                .kind(EngineKind::Local)
+                .build()
+                .unwrap()
+                .eval_sum(&s, &w, &agg)
+                .unwrap();
             assert_eq!(naive, local, "on order {}", s.order());
             // Cross-check by hand: Σ_b w(b)·deg(b).
             let byhand: i64 = s
@@ -272,17 +276,23 @@ mod tests {
         // path must agree with brute force.
         let x = v("bx");
         let y = v("by");
-        let agg = SumAggregate::new(
-            vec![x, y],
-            y,
-            and(not(atom("E", [x, y])), not(eq(x, y))),
-        )
-        .unwrap();
+        let agg =
+            SumAggregate::new(vec![x, y], y, and(not(atom("E", [x, y])), not(eq(x, y)))).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         for s in [path(8), star(6), random_tree(10, &mut rng)] {
             let w = weights_for(&s, &mut rng);
-            let naive = Evaluator::new(EngineKind::Naive).eval_sum(&s, &w, &agg).unwrap();
-            let local = Evaluator::new(EngineKind::Local).eval_sum(&s, &w, &agg).unwrap();
+            let naive = Evaluator::builder()
+                .kind(EngineKind::Naive)
+                .build()
+                .unwrap()
+                .eval_sum(&s, &w, &agg)
+                .unwrap();
+            let local = Evaluator::builder()
+                .kind(EngineKind::Local)
+                .build()
+                .unwrap()
+                .eval_sum(&s, &w, &agg)
+                .unwrap();
             assert_eq!(naive, local, "on order {}", s.order());
         }
     }
@@ -294,7 +304,10 @@ mod tests {
         let agg = SumAggregate::new(vec![x, y], y, atom("E", [x, y])).unwrap();
         let s = star(6);
         let w = Weights::uniform(s.order(), 3);
-        let ev = Evaluator::new(EngineKind::Local);
+        let ev = Evaluator::builder()
+            .kind(EngineKind::Local)
+            .build()
+            .unwrap();
         let avg = ev.eval_avg(&s, &w, &agg).unwrap();
         assert_eq!(avg.sum, 3 * avg.count);
         assert_eq!(avg.value(), Some(3.0));
@@ -312,12 +325,15 @@ mod tests {
         let y = v("dy");
         let s = star(5); // hub 0, leaves 1..4
         let w = Weights::new(vec![100, 1, 2, 3, 4]);
-        let ev = Evaluator::new(EngineKind::Local);
+        let ev = Evaluator::builder()
+            .kind(EngineKind::Local)
+            .build()
+            .unwrap();
         let body = atom("E", [x, y]);
         let sums = ev.eval_sum_per_element(&s, &w, x, y, &body).unwrap();
         assert_eq!(sums[0], 1 + 2 + 3 + 4);
-        for leaf in 1..5 {
-            assert_eq!(sums[leaf], 100);
+        for s in &sums[1..5] {
+            assert_eq!(*s, 100);
         }
     }
 

@@ -21,6 +21,7 @@
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use foc_covers::{CoverConfig, CoverEvaluator};
 use foc_eval::{eval_query, Assignment, FreeVarElim, NaiveEvaluator, QueryResult, QueryRow};
@@ -31,6 +32,7 @@ use foc_locality::gnf::{first_sentence_atom, replace_equal};
 use foc_locality::local_eval::LocalEvaluator;
 use foc_locality::radius::locality_radius;
 use foc_locality::ClValue;
+use foc_locality::TermCache;
 use foc_logic::fragment::{check_foc1, check_foc1_term};
 use foc_logic::{Formula, Predicates, Query, Symbol, Term, Var};
 use foc_structures::{FxHashMap, RelDecl, Structure};
@@ -50,7 +52,28 @@ pub enum EngineKind {
     Cover,
 }
 
-/// Work counters of one evaluation session.
+/// Per-phase wall time of one evaluation session.
+///
+/// Phases nest: marker materialisation evaluates the counting terms that
+/// define each marker, so `materialize` *includes* the decomposition and
+/// evaluation time spent below it; `decompose` and `eval` partition the
+/// work under a counting component; `cover` is the slice of `eval` spent
+/// constructing neighbourhood covers (reported by the cover engine).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Predicate-to-marker materialisation (the Theorem 6.10 / Gaifman
+    /// normal form preprocessing), including nested evaluation of the
+    /// marker-defining terms.
+    pub materialize: Duration,
+    /// Decomposition of counting components into cl-terms (Lemma 6.4).
+    pub decompose: Duration,
+    /// Neighbourhood-cover construction inside the cover engine.
+    pub cover: Duration,
+    /// cl-term evaluation (ball enumeration / cover recursion).
+    pub eval: Duration,
+}
+
+/// Work counters and metrics of one evaluation session.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct EngineStats {
     /// Marker relations materialised (Theorem 6.10's `τ` symbols).
@@ -64,6 +87,25 @@ pub struct EngineStats {
     /// Closed subformulas resolved by recursive sentence evaluation
     /// (the evaluation-driven form of Lemma 6.5).
     pub sentences_resolved: usize,
+    /// Cover clusters evaluated (cover engine).
+    pub clusters: u64,
+    /// Neighbourhood covers constructed (cover engine).
+    pub covers_built: u64,
+    /// Removal surgeries performed (cover engine).
+    pub removals: u64,
+    /// Order of the largest cluster handed to cluster-local evaluation.
+    pub peak_cluster: u32,
+    /// Memo-cache lookups that found a value (see
+    /// [`foc_locality::TermCache`]). With parallel workers, racing misses
+    /// on the same key can shift a few hits into misses; the evaluated
+    /// *values* are unaffected.
+    pub cache_hits: u64,
+    /// Memo-cache lookups that missed.
+    pub cache_misses: u64,
+    /// Balls materialised by ball enumeration (local engine).
+    pub balls: u64,
+    /// Per-phase wall time.
+    pub phase: PhaseTimes,
 }
 
 /// One materialised marker of the decomposition plan (Theorem 6.10's
@@ -79,21 +121,153 @@ pub struct MarkerDef {
     pub definition: String,
 }
 
+/// Configuration of an evaluation engine: strategy plus the execution
+/// knobs shared by all entry points.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// The strategy.
+    pub kind: EngineKind,
+    /// Worker threads for basic-cl-term evaluation (per-cluster in the
+    /// cover engine, per-element in the local engine): `1` is fully
+    /// sequential, `0` means "one per hardware thread". Results are
+    /// bit-identical for every value.
+    pub threads: usize,
+    /// Memoise basic-cl-term values across the session's recursion,
+    /// keyed by term structure and database content.
+    pub cache: bool,
+    /// Emit phase spans (`[foc-trace] phase=… micros=…`) to stderr.
+    pub trace: bool,
+    /// Tuning for the cover engine. Its `threads` field is overridden by
+    /// the engine-level `threads` knob above.
+    pub cover: CoverConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            kind: EngineKind::Local,
+            threads: 1,
+            cache: true,
+            trace: false,
+            cover: CoverConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`Evaluator`] — the single way to construct an engine.
+///
+/// ```
+/// use foc_core::{EngineKind, Evaluator};
+/// let ev = Evaluator::builder().kind(EngineKind::Cover).threads(4).build().unwrap();
+/// assert_eq!(ev.kind(), EngineKind::Cover);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EvaluatorBuilder {
+    config: EngineConfig,
+    preds: Option<Predicates>,
+}
+
+impl EvaluatorBuilder {
+    /// A builder with the default configuration (local engine, one
+    /// thread, memo cache on, tracing off, standard predicates).
+    pub fn new() -> EvaluatorBuilder {
+        EvaluatorBuilder::default()
+    }
+
+    /// Selects the evaluation strategy.
+    pub fn kind(mut self, kind: EngineKind) -> EvaluatorBuilder {
+        self.config.kind = kind;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = one per hardware thread).
+    pub fn threads(mut self, threads: usize) -> EvaluatorBuilder {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Toggles the cross-recursion memo cache.
+    pub fn cache(mut self, on: bool) -> EvaluatorBuilder {
+        self.config.cache = on;
+        self
+    }
+
+    /// Toggles phase-span traces on stderr.
+    pub fn trace(mut self, on: bool) -> EvaluatorBuilder {
+        self.config.trace = on;
+        self
+    }
+
+    /// Replaces the cover-engine tuning.
+    pub fn cover(mut self, cover: CoverConfig) -> EvaluatorBuilder {
+        self.config.cover = cover;
+        self
+    }
+
+    /// Replaces the whole configuration at once.
+    pub fn config(mut self, config: EngineConfig) -> EvaluatorBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the predicate collection (defaults to
+    /// [`Predicates::standard`]).
+    pub fn predicates(mut self, preds: Predicates) -> EvaluatorBuilder {
+        self.preds = Some(preds);
+        self
+    }
+
+    /// Validates the configuration and builds the engine.
+    pub fn build(self) -> Result<Evaluator> {
+        if self.config.cover.max_removal_cluster < self.config.cover.direct_threshold {
+            return Err(Error::Config(format!(
+                "max_removal_cluster ({}) below direct_threshold ({}): every cluster \
+                 would both skip the recursion and qualify for it",
+                self.config.cover.max_removal_cluster, self.config.cover.direct_threshold
+            )));
+        }
+        if self.config.threads > 4096 {
+            return Err(Error::Config(format!(
+                "thread count {} is not plausible hardware parallelism",
+                self.config.threads
+            )));
+        }
+        Ok(Evaluator {
+            preds: self.preds.unwrap_or_else(Predicates::standard),
+            config: self.config,
+        })
+    }
+}
+
 /// The evaluation engine: predicate oracle + strategy + tuning.
+/// Constructed via [`Evaluator::builder`].
 #[derive(Debug, Clone)]
 pub struct Evaluator {
     /// The numerical predicate collection (the paper's P-oracle).
-    pub preds: Predicates,
-    /// The strategy.
-    pub kind: EngineKind,
-    /// Tuning for the cover engine.
-    pub cover_config: CoverConfig,
+    pub(crate) preds: Predicates,
+    /// The configuration.
+    pub(crate) config: EngineConfig,
 }
 
 impl Evaluator {
-    /// An engine with the standard predicate collection.
-    pub fn new(kind: EngineKind) -> Evaluator {
-        Evaluator { preds: Predicates::standard(), kind, cover_config: CoverConfig::default() }
+    /// Starts building an engine.
+    pub fn builder() -> EvaluatorBuilder {
+        EvaluatorBuilder::new()
+    }
+
+    /// The configured strategy.
+    pub fn kind(&self) -> EngineKind {
+        self.config.kind
+    }
+
+    /// The full configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The predicate collection.
+    pub fn predicates(&self) -> &Predicates {
+        &self.preds
     }
 
     /// Starts an evaluation session on a structure (clones nothing; the
@@ -104,6 +278,7 @@ impl Evaluator {
             a: a.clone(),
             plan: Vec::new(),
             stats: EngineStats::default(),
+            cache: self.config.cache.then(|| Arc::new(TermCache::default())),
         }
     }
 
@@ -158,13 +333,12 @@ impl Evaluator {
     /// // the hub sees 4 leaves; each leaf sees none (the hub has
     /// // degree 4, not 1).
     /// let f = parse_formula("E(x,y) & #(z). E(y,z) = 1").unwrap();
-    /// let ev = Evaluator::new(EngineKind::Local);
+    /// let ev = Evaluator::builder().kind(EngineKind::Local).build().unwrap();
     /// let n = ev.count(&star(5), &f, &[Var::new("x"), Var::new("y")]).unwrap();
     /// assert_eq!(n, 4);
     /// ```
     pub fn count(&self, a: &Structure, f: &Arc<Formula>, vars: &[Var]) -> Result<i64> {
-        let t: Arc<Term> =
-            Arc::new(Term::Count(vars.to_vec().into_boxed_slice(), f.clone()));
+        let t: Arc<Term> = Arc::new(Term::Count(vars.to_vec().into_boxed_slice(), f.clone()));
         self.session(a).eval_ground(&t)
     }
 
@@ -172,7 +346,7 @@ impl Evaluator {
     /// one head variable use the vectorised unary machinery; wider heads
     /// fall back to the reference evaluator.
     pub fn query(&self, a: &Structure, q: &Query) -> Result<QueryResult> {
-        if self.kind == EngineKind::Naive || q.head_vars.len() > 1 {
+        if self.config.kind == EngineKind::Naive || q.head_vars.len() > 1 {
             return Ok(eval_query(a, &self.preds, q)?);
         }
         let mut session = self.session(a);
@@ -190,6 +364,9 @@ pub struct Session<'a> {
     pub plan: Vec<MarkerDef>,
     /// Work counters.
     pub stats: EngineStats,
+    /// Memo of basic-cl-term values shared across this session's whole
+    /// recursion (all markers, all sentence resolutions, all clusters).
+    cache: Option<Arc<TermCache>>,
 }
 
 impl<'a> Session<'a> {
@@ -198,29 +375,49 @@ impl<'a> Session<'a> {
         &self.a
     }
 
+    /// Emits a phase span to stderr when tracing is enabled (the caller
+    /// folds the duration into the per-phase counters).
+    fn trace_span(&self, phase: &str, dur: Duration) {
+        if self.ev.config.trace {
+            eprintln!(
+                "[foc-trace] kind={:?} phase={phase} micros={}",
+                self.ev.config.kind,
+                dur.as_micros()
+            );
+        }
+    }
+
     /// Model checking of a sentence. The decomposing engines require
     /// FOC1(P); the naive engine accepts all of FOC(P).
     pub fn check_sentence(&mut self, f: &Arc<Formula>) -> Result<bool> {
-        if self.ev.kind == EngineKind::Naive {
+        if self.ev.config.kind == EngineKind::Naive {
             let mut ev = NaiveEvaluator::new(&self.a, &self.ev.preds);
             return Ok(ev.check_sentence(f)?);
         }
         check_foc1(f).map_err(|v| Error::NotFoc1(v.to_string()))?;
         foc_eval::validate::validate_formula(f, self.a.signature(), &self.ev.preds)?;
+        let t0 = Instant::now();
         let fo = self.materialize_formula(f)?;
+        let dur = t0.elapsed();
+        self.stats.phase.materialize += dur;
+        self.trace_span("materialize", dur);
         self.eval_fo_sentence(&fo)
     }
 
     /// Evaluation of a ground term. The decomposing engines require
     /// FOC1(P); the naive engine accepts all of FOC(P).
     pub fn eval_ground(&mut self, t: &Arc<Term>) -> Result<i64> {
-        if self.ev.kind == EngineKind::Naive {
+        if self.ev.config.kind == EngineKind::Naive {
             let mut ev = NaiveEvaluator::new(&self.a, &self.ev.preds);
             return Ok(ev.eval_ground(t)?);
         }
         check_foc1_term(t).map_err(|v| Error::NotFoc1(v.to_string()))?;
         foc_eval::validate::validate_term(t, self.a.signature(), &self.ev.preds)?;
+        let t0 = Instant::now();
         let fo = self.materialize_term(t)?;
+        let dur = t0.elapsed();
+        self.stats.phase.materialize += dur;
+        self.trace_span("materialize", dur);
         match self.eval_fo_term(&fo, None)? {
             Value::Scalar(v) => Ok(v),
             Value::Vector(_) => unreachable!("ground term produced a vector"),
@@ -239,7 +436,12 @@ impl<'a> Session<'a> {
                 .iter()
                 .map(|t| self.eval_ground(t))
                 .collect::<Result<Vec<_>>>()?;
-            return Ok(QueryResult { rows: vec![QueryRow { elems: vec![], counts }] });
+            return Ok(QueryResult {
+                rows: vec![QueryRow {
+                    elems: vec![],
+                    counts,
+                }],
+            });
         }
         let x = q.head_vars[0];
         check_foc1(&q.body).map_err(|v| Error::NotFoc1(v.to_string()))?;
@@ -277,10 +479,14 @@ impl<'a> Session<'a> {
             }
             Formula::Not(g) => Ok(Formula::not(self.materialize_formula(g)?)),
             Formula::And(gs) => Ok(Formula::and(
-                gs.iter().map(|g| self.materialize_formula(g)).collect::<Result<Vec<_>>>()?,
+                gs.iter()
+                    .map(|g| self.materialize_formula(g))
+                    .collect::<Result<Vec<_>>>()?,
             )),
             Formula::Or(gs) => Ok(Formula::or(
-                gs.iter().map(|g| self.materialize_formula(g)).collect::<Result<Vec<_>>>()?,
+                gs.iter()
+                    .map(|g| self.materialize_formula(g))
+                    .collect::<Result<Vec<_>>>()?,
             )),
             Formula::Exists(y, g) => {
                 Ok(Arc::new(Formula::Exists(*y, self.materialize_formula(g)?)))
@@ -302,7 +508,10 @@ impl<'a> Session<'a> {
                 debug_assert!(free.len() <= 1, "FOC1 checked upfront");
                 let definition = format!(
                     "@{name}({})",
-                    args.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+                    args.iter()
+                        .map(|t| t.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 );
                 if let Some(&x) = free.iter().next() {
                     // Unary marker: evaluate each argument per element.
@@ -327,10 +536,17 @@ impl<'a> Session<'a> {
                         }
                     }
                     self.a = self.a.expand(vec![(
-                        RelDecl { name: marker, arity: 1 },
+                        RelDecl {
+                            name: marker,
+                            arity: 1,
+                        },
                         rows,
                     )]);
-                    self.plan.push(MarkerDef { symbol: marker, arity: 1, definition });
+                    self.plan.push(MarkerDef {
+                        symbol: marker,
+                        arity: 1,
+                        definition,
+                    });
                     self.stats.markers_created += 1;
                     Ok(foc_logic::build::atom_sym(marker, vec![x]))
                 } else {
@@ -371,10 +587,14 @@ impl<'a> Session<'a> {
                 self.materialize_formula(body)?,
             ))),
             Term::Add(ts) => Ok(Term::add(
-                ts.iter().map(|s| self.materialize_term(s)).collect::<Result<Vec<_>>>()?,
+                ts.iter()
+                    .map(|s| self.materialize_term(s))
+                    .collect::<Result<Vec<_>>>()?,
             )),
             Term::Mul(ts) => Ok(Term::mul(
-                ts.iter().map(|s| self.materialize_term(s)).collect::<Result<Vec<_>>>()?,
+                ts.iter()
+                    .map(|s| self.materialize_term(s))
+                    .collect::<Result<Vec<_>>>()?,
             )),
         }
     }
@@ -383,7 +603,9 @@ impl<'a> Session<'a> {
     /// cl-normalform of Theorem 6.8 when possible, by reference
     /// evaluation otherwise.
     fn eval_fo_sentence(&mut self, f: &Arc<Formula>) -> Result<bool> {
-        if let Formula::Bool(b) = &**f { return Ok(*b) }
+        if let Formula::Bool(b) = &**f {
+            return Ok(*b);
+        }
         match cl_normalform(f) {
             Ok(clnf) => {
                 let mut values: FxHashMap<Symbol, bool> = FxHashMap::default();
@@ -448,6 +670,7 @@ impl<'a> Session<'a> {
         requested_free: Option<Var>,
     ) -> Result<Value> {
         let resolved = self.resolve_sentences(body)?;
+        let t0 = Instant::now();
         let result = (|| -> foc_locality::Result<ClTerm> {
             if counted.is_empty() && x.is_none() {
                 // Constant 0/1 handled below via fallback-free path.
@@ -469,6 +692,9 @@ impl<'a> Session<'a> {
                 decompose_ground_with_radius(&resolved, &vars, r)
             }
         })();
+        let dur = t0.elapsed();
+        self.stats.phase.decompose += dur;
+        self.trace_span("decompose", dur);
         match result {
             Ok(cl) => {
                 self.stats.clterms += 1;
@@ -496,8 +722,10 @@ impl<'a> Session<'a> {
         body: &Arc<Formula>,
         x: Option<Var>,
     ) -> Result<Value> {
-        let term: Arc<Term> =
-            Arc::new(Term::Count(counted.to_vec().into_boxed_slice(), body.clone()));
+        let term: Arc<Term> = Arc::new(Term::Count(
+            counted.to_vec().into_boxed_slice(),
+            body.clone(),
+        ));
         let mut ev = NaiveEvaluator::new(&self.a, &self.ev.preds);
         match x {
             None => {
@@ -529,31 +757,32 @@ impl<'a> Session<'a> {
 
     /// Pre-processing entry points used by the constant-delay
     /// enumeration (crate-internal).
-    pub(crate) fn materialize_for_enumeration(
-        &mut self,
-        f: &Arc<Formula>,
-    ) -> Result<Arc<Formula>> {
+    pub(crate) fn materialize_for_enumeration(&mut self, f: &Arc<Formula>) -> Result<Arc<Formula>> {
         check_foc1(f).map_err(|v| Error::NotFoc1(v.to_string()))?;
         self.materialize_formula(f)
     }
 
     /// Term counterpart of [`Session::materialize_for_enumeration`].
-    pub(crate) fn materialize_term_for_enumeration(
-        &mut self,
-        t: &Arc<Term>,
-    ) -> Result<Arc<Term>> {
+    pub(crate) fn materialize_term_for_enumeration(&mut self, t: &Arc<Term>) -> Result<Arc<Term>> {
         check_foc1_term(t).map_err(|v| Error::NotFoc1(v.to_string()))?;
         self.materialize_term(t)
     }
 
     /// Evaluates an FO term as a per-element vector (crate-internal).
-    pub(crate) fn eval_term_vector(&mut self, t: &Arc<Term>, x: Var) -> Result<crate::value::Value> {
+    pub(crate) fn eval_term_vector(
+        &mut self,
+        t: &Arc<Term>,
+        x: Var,
+    ) -> Result<crate::value::Value> {
         self.eval_fo_term(t, Some(x))
     }
 
-    /// Dispatches basic-cl-term evaluation to the configured strategy.
+    /// Dispatches basic-cl-term evaluation to the configured strategy,
+    /// wiring in the session cache and the thread budget, and folding the
+    /// sub-evaluator's counters into [`Session::stats`].
     fn eval_clterm(&mut self, cl: &ClTerm) -> Result<ClValue> {
-        match self.ev.kind {
+        let t0 = Instant::now();
+        let out = match self.ev.config.kind {
             EngineKind::Naive => {
                 // Reference-semantics evaluation of a decomposed term —
                 // only reached from the enumeration preprocessing (the
@@ -566,18 +795,53 @@ impl<'a> Session<'a> {
                     }
                     Ok(ClValue::Vector(out))
                 } else {
-                    Ok(ClValue::Scalar(cl.eval_naive(&self.a, &self.ev.preds, None)?))
+                    Ok(ClValue::Scalar(cl.eval_naive(
+                        &self.a,
+                        &self.ev.preds,
+                        None,
+                    )?))
                 }
             }
             EngineKind::Local => {
-                let mut lev = LocalEvaluator::new(&self.a, &self.ev.preds);
-                Ok(lev.eval_clterm(cl)?)
+                let (r, balls) = {
+                    let mut lev = LocalEvaluator::new(&self.a, &self.ev.preds);
+                    lev.threads = self.ev.config.threads;
+                    if let Some(cache) = &self.cache {
+                        lev.set_cache(cache.clone());
+                    }
+                    let r = lev.eval_clterm(cl);
+                    (r, lev.stats.balls)
+                };
+                self.stats.balls += balls;
+                Ok(r?)
             }
             EngineKind::Cover => {
-                let mut cev = CoverEvaluator::new(&self.a, &self.ev.preds);
-                cev.config = self.ev.cover_config;
-                Ok(cev.eval_clterm(cl)?)
+                let (r, cs) = {
+                    let mut cev = CoverEvaluator::new(&self.a, &self.ev.preds);
+                    cev.config = self.ev.config.cover;
+                    cev.config.threads = self.ev.config.threads;
+                    if let Some(cache) = &self.cache {
+                        cev.set_cache(cache.clone());
+                    }
+                    let r = cev.eval_clterm(cl);
+                    (r, cev.stats())
+                };
+                self.stats.clusters += cs.clusters;
+                self.stats.covers_built += cs.covers_built;
+                self.stats.removals += cs.removals;
+                self.stats.naive_fallbacks += cs.naive_fallbacks as usize;
+                self.stats.peak_cluster = self.stats.peak_cluster.max(cs.peak_cluster);
+                self.stats.phase.cover += Duration::from_nanos(cs.cover_nanos);
+                Ok(r?)
             }
+        };
+        let dur = t0.elapsed();
+        self.stats.phase.eval += dur;
+        if let Some(cache) = &self.cache {
+            self.stats.cache_hits = cache.hits();
+            self.stats.cache_misses = cache.misses();
         }
+        self.trace_span("eval", dur);
+        out
     }
 }

@@ -133,7 +133,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         for s in [grid(6, 6), random_tree(40, &mut rng)] {
             for kind in [EngineKind::Naive, EngineKind::Local] {
-                let ev = Evaluator::new(kind);
+                let ev = Evaluator::builder().kind(kind).build().unwrap();
                 let reference = ev.query(&s, &q).unwrap();
                 let en = ev.enumerate_query(&s, &q).unwrap();
                 assert_eq!(en.len(), reference.rows.len());
@@ -149,7 +149,10 @@ mod tests {
         // structure must not have a (significantly) larger per-row cost.
         // We assert only a loose factor to stay robust on noisy CI boxes.
         let q = degree_query();
-        let ev = Evaluator::new(EngineKind::Local);
+        let ev = Evaluator::builder()
+            .kind(EngineKind::Local)
+            .build()
+            .unwrap();
         let mut delays = Vec::new();
         let mut rng = StdRng::seed_from_u64(7);
         for n in [500u32, 8_000] {
@@ -177,7 +180,10 @@ mod tests {
         let x = v("rjx");
         let y = v("rjy");
         let q = Query::new(vec![x, y], vec![], atom("E", [x, y])).unwrap();
-        let ev = Evaluator::new(EngineKind::Local);
+        let ev = Evaluator::builder()
+            .kind(EngineKind::Local)
+            .build()
+            .unwrap();
         let s = grid(3, 3);
         assert!(matches!(
             ev.enumerate_query(&s, &q),
@@ -188,7 +194,10 @@ mod tests {
     #[test]
     fn size_hint_is_exact() {
         let q = degree_query();
-        let ev = Evaluator::new(EngineKind::Local);
+        let ev = Evaluator::builder()
+            .kind(EngineKind::Local)
+            .build()
+            .unwrap();
         let s = grid(5, 5);
         let mut en = ev.enumerate_query(&s, &q).unwrap();
         let total = en.len();

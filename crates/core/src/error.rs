@@ -16,6 +16,8 @@ pub enum Error {
     Locality(foc_locality::LocalityError),
     /// A query shape the requested engine cannot process.
     Unsupported(String),
+    /// An invalid engine configuration rejected by [`crate::EvaluatorBuilder`].
+    Config(String),
 }
 
 impl fmt::Display for Error {
@@ -25,6 +27,7 @@ impl fmt::Display for Error {
             Error::Eval(e) => write!(f, "{e}"),
             Error::Locality(e) => write!(f, "{e}"),
             Error::Unsupported(s) => write!(f, "unsupported: {s}"),
+            Error::Config(s) => write!(f, "invalid engine configuration: {s}"),
         }
     }
 }

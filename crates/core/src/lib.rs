@@ -18,8 +18,8 @@
 //!     "exists x. (#(y). E(x,y) = #(z). (#(w). E(z,w) = 2))",
 //! ).unwrap();
 //! let g = grid(8, 8);
-//! let local = Evaluator::new(EngineKind::Local);
-//! let naive = Evaluator::new(EngineKind::Naive);
+//! let local = Evaluator::builder().kind(EngineKind::Local).build().unwrap();
+//! let naive = Evaluator::builder().kind(EngineKind::Naive).build().unwrap();
 //! let want = naive.check_sentence(&g, &f).unwrap();
 //! assert_eq!(local.check_sentence(&g, &f).unwrap(), want);
 //! // A grid has 4 corners (degree-2 vertices) and interior degree 4 —
@@ -40,7 +40,11 @@ pub mod value;
 
 pub use aggregate::{AvgResult, SumAggregate, Weights};
 pub use dynamic::{EdgeUpdate, MaintainedTerm};
-pub use engine::{EngineKind, EngineStats, Evaluator, MarkerDef, Session};
+pub use engine::{
+    EngineConfig, EngineKind, EngineStats, Evaluator, EvaluatorBuilder, MarkerDef, PhaseTimes,
+    Session,
+};
 pub use enumerate::QueryEnumerator;
 pub use error::{Error, Result};
+pub use foc_covers::CoverConfig;
 pub use value::Value;

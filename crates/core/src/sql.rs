@@ -76,7 +76,10 @@ pub fn orders_per_berlin_customer() -> Query {
     let yta = Var::fresh("yta");
     let t = cnt_vec(
         vec![yoid],
-        exists_all([yod, yon, yta], atom_vec("Order", vec![yoid, yod, yon, xid, yta])),
+        exists_all(
+            [yod, yon, yta],
+            atom_vec("Order", vec![yoid, yod, yon, xid, yta]),
+        ),
     );
     // φ(x_id): the customer exists and lives in Berlin.
     let xfi = Var::fresh("xfi");
@@ -106,13 +109,18 @@ mod tests {
     fn group_by_country_matches_ground_truth() {
         let mut rng = StdRng::seed_from_u64(42);
         let db = sql_database(
-            SqlDbParams { customers: 40, countries: 5, cities: 8, avg_orders: 1.5 },
+            SqlDbParams {
+                customers: 40,
+                countries: 5,
+                cities: 8,
+                avg_orders: 1.5,
+            },
             &mut rng,
         );
         let q = customers_per_country(true);
         let want = db.customers_per_country();
         for kind in [EngineKind::Naive, EngineKind::Local, EngineKind::Cover] {
-            let ev = Evaluator::new(kind);
+            let ev = Evaluator::builder().kind(kind).build().unwrap();
             let res = ev.query(&db.structure, &q).unwrap();
             // Every country with ≥1 customer appears with the right count.
             let mut seen = 0;
@@ -126,7 +134,11 @@ mod tests {
                 assert_eq!(row.counts[0] as usize, want[ci], "engine {kind:?}");
                 seen += 1;
             }
-            assert_eq!(seen, want.iter().filter(|&&c| c > 0).count(), "engine {kind:?}");
+            assert_eq!(
+                seen,
+                want.iter().filter(|&&c| c > 0).count(),
+                "engine {kind:?}"
+            );
         }
     }
 
@@ -134,16 +146,25 @@ mod tests {
     fn totals_query() {
         let mut rng = StdRng::seed_from_u64(43);
         let db = sql_database(
-            SqlDbParams { customers: 25, countries: 4, cities: 5, avg_orders: 2.0 },
+            SqlDbParams {
+                customers: 25,
+                countries: 4,
+                cities: 5,
+                avg_orders: 2.0,
+            },
             &mut rng,
         );
         let q = total_customers_and_orders();
         let total_orders: usize = db.order_counts.iter().sum();
         for kind in [EngineKind::Naive, EngineKind::Local] {
-            let ev = Evaluator::new(kind);
+            let ev = Evaluator::builder().kind(kind).build().unwrap();
             let res = ev.query(&db.structure, &q).unwrap();
             assert_eq!(res.rows.len(), 1);
-            assert_eq!(res.rows[0].counts, vec![25, total_orders as i64], "engine {kind:?}");
+            assert_eq!(
+                res.rows[0].counts,
+                vec![25, total_orders as i64],
+                "engine {kind:?}"
+            );
         }
     }
 
@@ -151,12 +172,27 @@ mod tests {
     fn berlin_orders_query() {
         let mut rng = StdRng::seed_from_u64(44);
         let db = sql_database(
-            SqlDbParams { customers: 30, countries: 3, cities: 6, avg_orders: 1.0 },
+            SqlDbParams {
+                customers: 30,
+                countries: 3,
+                cities: 6,
+                avg_orders: 1.0,
+            },
             &mut rng,
         );
         let q = orders_per_berlin_customer();
-        let naive = Evaluator::new(EngineKind::Naive).query(&db.structure, &q).unwrap();
-        let local = Evaluator::new(EngineKind::Local).query(&db.structure, &q).unwrap();
+        let naive = Evaluator::builder()
+            .kind(EngineKind::Naive)
+            .build()
+            .unwrap()
+            .query(&db.structure, &q)
+            .unwrap();
+        let local = Evaluator::builder()
+            .kind(EngineKind::Local)
+            .build()
+            .unwrap()
+            .query(&db.structure, &q)
+            .unwrap();
         assert_eq!(naive, local);
         // Ground truth: customers in city 0 (Berlin) with their counts.
         let expected: Vec<(u32, i64)> = (0..db.customers.len())

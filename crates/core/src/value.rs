@@ -26,9 +26,7 @@ impl Value {
     pub fn combine(self, other: Value, op: impl Fn(i64, i64) -> Option<i64>) -> Result<Value> {
         let overflow = || Error::Eval(foc_eval::EvalError::Overflow);
         Ok(match (self, other) {
-            (Value::Scalar(a), Value::Scalar(b)) => {
-                Value::Scalar(op(a, b).ok_or_else(overflow)?)
-            }
+            (Value::Scalar(a), Value::Scalar(b)) => Value::Scalar(op(a, b).ok_or_else(overflow)?),
             (Value::Scalar(a), Value::Vector(bs)) => Value::Vector(
                 bs.into_iter()
                     .map(|b| op(a, b).ok_or_else(overflow))

@@ -13,7 +13,10 @@ use foc_structures::gen::{grid, path, star};
 #[test]
 fn error_messages_are_informative() {
     let s = path(4);
-    let local = Evaluator::new(EngineKind::Local);
+    let local = Evaluator::builder()
+        .kind(EngineKind::Local)
+        .build()
+        .unwrap();
     // Unknown relation.
     let f = parse_formula("exists x. Nope(x)").unwrap();
     let e = local.check_sentence(&s, &f).unwrap_err();
@@ -27,32 +30,39 @@ fn error_messages_are_informative() {
     match local.check_sentence(&s, &h) {
         Err(Error::NotFoc1(msg)) => {
             assert!(msg.contains("free variables"), "{msg}");
-            assert!(msg.contains("x") && msg.contains("y"), "should name the variables: {msg}");
+            assert!(
+                msg.contains("x") && msg.contains("y"),
+                "should name the variables: {msg}"
+            );
         }
         other => panic!("expected NotFoc1, got {other:?}"),
     }
     // The naive engine accepts all of FOC(P), including this sentence.
-    let naive = Evaluator::new(EngineKind::Naive);
+    let naive = Evaluator::builder()
+        .kind(EngineKind::Naive)
+        .build()
+        .unwrap();
     assert!(naive.check_sentence(&s, &h).is_ok());
 }
 
 #[test]
 fn custom_predicates_flow_through_the_pipeline() {
     // Register a custom predicate and use it in a cardinality guard.
-    let mut local = Evaluator::new(EngineKind::Local);
-    local
-        .preds
-        .register(PredDef::new(Symbol::new("square"), 1, |a| {
-            let r = (a[0] as f64).sqrt().round() as i64;
-            r * r == a[0]
-        }));
-    let mut naive = Evaluator::new(EngineKind::Naive);
-    naive
-        .preds
-        .register(PredDef::new(Symbol::new("square"), 1, |a| {
-            let r = (a[0] as f64).sqrt().round() as i64;
-            r * r == a[0]
-        }));
+    let mut preds = foc_logic::pred::Predicates::standard();
+    preds.register(PredDef::new(Symbol::new("square"), 1, |a| {
+        let r = (a[0] as f64).sqrt().round() as i64;
+        r * r == a[0]
+    }));
+    let local = Evaluator::builder()
+        .kind(EngineKind::Local)
+        .predicates(preds.clone())
+        .build()
+        .unwrap();
+    let naive = Evaluator::builder()
+        .kind(EngineKind::Naive)
+        .predicates(preds)
+        .build()
+        .unwrap();
     // "Some vertex has a perfect-square degree ≥ 4" on a star: hub degree
     // is n−1.
     let f = parse_formula("exists x. (@square(#(y). E(x,y)) & #(y). E(x,y) >= 4)").unwrap();
@@ -70,7 +80,10 @@ fn custom_predicates_flow_through_the_pipeline() {
 #[test]
 fn sessions_are_reusable_across_expressions() {
     let s = grid(6, 6);
-    let ev = Evaluator::new(EngineKind::Local);
+    let ev = Evaluator::builder()
+        .kind(EngineKind::Local)
+        .build()
+        .unwrap();
     let mut session = ev.session(&s);
     let f1 = parse_formula("exists x. #(y). E(x,y) = 4").unwrap();
     let f2 = parse_formula("exists x. #(y). E(x,y) = 2").unwrap();
@@ -84,10 +97,20 @@ fn sessions_are_reusable_across_expressions() {
 #[test]
 fn cover_config_is_respected() {
     let s = grid(8, 8);
-    let mut ev = Evaluator::new(EngineKind::Cover);
-    ev.cover_config.depth = 0; // degenerate to Local behaviour
+    let cover = foc_core::CoverConfig {
+        depth: 0,
+        ..Default::default()
+    }; // degenerate to Local behaviour
+    let ev = Evaluator::builder()
+        .kind(EngineKind::Cover)
+        .cover(cover)
+        .build()
+        .unwrap();
     let f = parse_formula("@even(#(x,y). E(x,y))").unwrap();
-    let naive = Evaluator::new(EngineKind::Naive);
+    let naive = Evaluator::builder()
+        .kind(EngineKind::Naive)
+        .build()
+        .unwrap();
     assert_eq!(
         ev.check_sentence(&s, &f).unwrap(),
         naive.check_sentence(&s, &f).unwrap()
@@ -101,8 +124,14 @@ fn ground_term_depth_three() {
     let t = foc_logic::parse::parse_term(src).unwrap();
     assert_eq!(t.count_depth(), 4);
     let s = grid(4, 4);
-    let naive = Evaluator::new(EngineKind::Naive);
-    let local = Evaluator::new(EngineKind::Local);
+    let naive = Evaluator::builder()
+        .kind(EngineKind::Naive)
+        .build()
+        .unwrap();
+    let local = Evaluator::builder()
+        .kind(EngineKind::Local)
+        .build()
+        .unwrap();
     let want = naive.eval_ground(&s, &t).unwrap();
     assert_eq!(local.eval_ground(&s, &t).unwrap(), want);
 }
@@ -112,7 +141,7 @@ fn negative_integers_and_subtraction_in_heads() {
     let s = star(5);
     let t = foc_logic::parse::parse_term("0 - #(x,y). E(x,y) + -2").unwrap();
     for kind in [EngineKind::Naive, EngineKind::Local] {
-        let ev = Evaluator::new(kind);
+        let ev = Evaluator::builder().kind(kind).build().unwrap();
         assert_eq!(ev.eval_ground(&s, &t).unwrap(), -(8 + 2), "{kind:?}");
     }
 }
@@ -121,7 +150,7 @@ fn negative_integers_and_subtraction_in_heads() {
 fn boolean_constants_and_degenerate_sentences() {
     let s = path(3);
     for kind in [EngineKind::Naive, EngineKind::Local, EngineKind::Cover] {
-        let ev = Evaluator::new(kind);
+        let ev = Evaluator::builder().kind(kind).build().unwrap();
         assert!(ev.check_sentence(&s, &tt()).unwrap());
         assert!(!ev.check_sentence(&s, &ff()).unwrap());
         // The paper's always-true sentence ¬∃z ¬z=z.
@@ -137,7 +166,7 @@ fn counting_over_zero_variables() {
     let inner = parse_formula("exists x y. E(x,y)").unwrap();
     let t = cnt_vec(vec![], inner);
     for kind in [EngineKind::Naive, EngineKind::Local] {
-        let ev = Evaluator::new(kind);
+        let ev = Evaluator::builder().kind(kind).build().unwrap();
         assert_eq!(ev.eval_ground(&s, &t).unwrap(), 1, "{kind:?}");
     }
 }
@@ -155,14 +184,11 @@ fn remark_4_5_equality_via_positivity() {
     let direct = exists(x, teq(t1.clone(), t2.clone()));
     let encoded = exists(
         x,
-        and(
-            not(ge1(sub(t1.clone(), t2.clone()))),
-            not(ge1(sub(t2, t1))),
-        ),
+        and(not(ge1(sub(t1.clone(), t2.clone()))), not(ge1(sub(t2, t1)))),
     );
     for s in [path(6), star(5), grid(3, 3)] {
         for kind in [EngineKind::Naive, EngineKind::Local] {
-            let ev = Evaluator::new(kind);
+            let ev = Evaluator::builder().kind(kind).build().unwrap();
             assert_eq!(
                 ev.check_sentence(&s, &direct).unwrap(),
                 ev.check_sentence(&s, &encoded).unwrap(),

@@ -24,15 +24,36 @@ fn structures() -> Vec<Structure> {
         grid(4, 4),
         caterpillar(5, 2),
         random_tree(16, &mut rng),
-        graph_structure(12, &[(0, 1), (1, 2), (2, 0), (4, 5), (6, 7), (7, 8), (8, 9), (9, 6)]),
+        graph_structure(
+            12,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (4, 5),
+                (6, 7),
+                (7, 8),
+                (8, 9),
+                (9, 6),
+            ],
+        ),
     ]
 }
 
 fn engines() -> [Evaluator; 3] {
     [
-        Evaluator::new(EngineKind::Naive),
-        Evaluator::new(EngineKind::Local),
-        Evaluator::new(EngineKind::Cover),
+        Evaluator::builder()
+            .kind(EngineKind::Naive)
+            .build()
+            .unwrap(),
+        Evaluator::builder()
+            .kind(EngineKind::Local)
+            .build()
+            .unwrap(),
+        Evaluator::builder()
+            .kind(EngineKind::Cover)
+            .build()
+            .unwrap(),
     ]
 }
 
@@ -59,8 +80,18 @@ fn agree_ground(t: &Arc<Term>) {
     let [naive, local, cover] = engines();
     for s in structures() {
         let want = naive.eval_ground(&s, t).unwrap();
-        assert_eq!(local.eval_ground(&s, t).unwrap(), want, "Local on {t} (order {})", s.order());
-        assert_eq!(cover.eval_ground(&s, t).unwrap(), want, "Cover on {t} (order {})", s.order());
+        assert_eq!(
+            local.eval_ground(&s, t).unwrap(),
+            want,
+            "Local on {t} (order {})",
+            s.order()
+        );
+        assert_eq!(
+            cover.eval_ground(&s, t).unwrap(),
+            want,
+            "Cover on {t} (order {})",
+            s.order()
+        );
     }
 }
 
@@ -104,10 +135,9 @@ fn nested_cardinality_conditions() {
 
 #[test]
 fn cardinality_with_boolean_structure() {
-    let f = parse_formula(
-        "exists x. ((#(y). E(x,y) >= 2 | #(y). E(x,y) = 0) & !(#(y). E(x,y) = 1))",
-    )
-    .unwrap();
+    let f =
+        parse_formula("exists x. ((#(y). E(x,y) >= 2 | #(y). E(x,y) = 0) & !(#(y). E(x,y) = 1))")
+            .unwrap();
     agree_sentence(&f);
 }
 
@@ -148,12 +178,25 @@ fn counting_problem_corollary_5_6() {
     let x = v("x");
     let y = v("y");
     let z = v("z");
-    let phi = and(atom("E", [x, y]), tle(int(2), cnt_vec(vec![z], atom("E", [x, z]))));
+    let phi = and(
+        atom("E", [x, y]),
+        tle(int(2), cnt_vec(vec![z], atom("E", [x, z]))),
+    );
     let [naive, local, cover] = engines();
     for s in structures() {
         let want = naive.count(&s, &phi, &[x, y]).unwrap();
-        assert_eq!(local.count(&s, &phi, &[x, y]).unwrap(), want, "order {}", s.order());
-        assert_eq!(cover.count(&s, &phi, &[x, y]).unwrap(), want, "order {}", s.order());
+        assert_eq!(
+            local.count(&s, &phi, &[x, y]).unwrap(),
+            want,
+            "order {}",
+            s.order()
+        );
+        assert_eq!(
+            cover.count(&s, &phi, &[x, y]).unwrap(),
+            want,
+            "order {}",
+            s.order()
+        );
     }
 }
 
@@ -164,7 +207,13 @@ fn model_checking_with_parameters() {
     let y = v("y");
     let phi = teq(
         cnt_vec(vec![y], atom("E", [x, y])),
-        cnt_vec(vec![y], and(atom("E", [x, y]), tle(int(2), cnt_vec(vec![v("w")], atom("E", [y, v("w")]))))),
+        cnt_vec(
+            vec![y],
+            and(
+                atom("E", [x, y]),
+                tle(int(2), cnt_vec(vec![v("w")], atom("E", [y, v("w")]))),
+            ),
+        ),
     );
     let [naive, local, cover] = engines();
     for s in structures() {
@@ -201,10 +250,16 @@ fn non_foc1_is_rejected_by_decomposing_engines() {
         x,
         exists(
             y,
-            teq(cnt_vec(vec![z], atom("E", [x, z])), cnt_vec(vec![z], atom("E", [y, z]))),
+            teq(
+                cnt_vec(vec![z], atom("E", [x, z])),
+                cnt_vec(vec![z], atom("E", [y, z])),
+            ),
         ),
     );
-    let local = Evaluator::new(EngineKind::Local);
+    let local = Evaluator::builder()
+        .kind(EngineKind::Local)
+        .build()
+        .unwrap();
     let s = path(5);
     assert!(matches!(
         local.check_sentence(&s, &f),
@@ -220,12 +275,18 @@ fn non_foc1_is_rejected_by_decomposing_engines() {
 #[test]
 fn plan_and_stats_are_populated() {
     let f = parse_formula("exists x. #(y). E(x,y) >= 1").unwrap();
-    let ev = Evaluator::new(EngineKind::Local);
+    let ev = Evaluator::builder()
+        .kind(EngineKind::Local)
+        .build()
+        .unwrap();
     let s = grid(5, 5);
     let mut session = ev.session(&s);
     let result = session.check_sentence(&f).unwrap();
     assert!(result);
-    assert_eq!(session.stats.markers_created, 1, "one unary marker for the P≥1 guard");
+    assert_eq!(
+        session.stats.markers_created, 1,
+        "one unary marker for the P≥1 guard"
+    );
     assert_eq!(session.plan.len(), 1);
     assert_eq!(session.plan[0].arity, 1);
     assert!(session.plan[0].definition.contains("le") || session.plan[0].definition.contains("ge"));
@@ -248,5 +309,221 @@ fn queries_with_unary_head() {
         let want = naive.query(&s, &q).unwrap();
         assert_eq!(local.query(&s, &q).unwrap(), want, "order {}", s.order());
         assert_eq!(cover.query(&s, &q).unwrap(), want, "order {}", s.order());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-vs-sequential agreement: evaluation with any thread count must be
+// bit-identical to the single-threaded run — same booleans, same integers,
+// element for element — with and without the memo cache. This is the
+// determinism contract of the work-stealing cluster scheduler: clusters are
+// distributed dynamically, but every value is written back under its element
+// id, so scheduling order never shows through.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+const THREAD_SWEEP: [usize; 3] = [1, 2, 8];
+
+fn engine_with(kind: EngineKind, threads: usize, cache: bool) -> Evaluator {
+    Evaluator::builder()
+        .kind(kind)
+        .threads(threads)
+        .cache(cache)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn parallel_sentences_are_bit_identical() {
+    let sentences = [
+        parse_formula("exists x. #(y). E(x,y) >= 1").unwrap(),
+        parse_formula("exists x. (#(y). E(x,y) = #(z). (#(w). E(z,w) = 1))").unwrap(),
+        parse_formula("@prime(#(x). (x = x) + #(x,y). E(x,y))").unwrap(),
+    ];
+    for kind in [EngineKind::Local, EngineKind::Cover] {
+        let baseline = engine_with(kind, 1, false);
+        for s in structures() {
+            for f in &sentences {
+                let want = baseline.check_sentence(&s, f).unwrap();
+                for threads in THREAD_SWEEP {
+                    for cache in [false, true] {
+                        let ev = engine_with(kind, threads, cache);
+                        assert_eq!(
+                            ev.check_sentence(&s, f).unwrap(),
+                            want,
+                            "{kind:?} threads={threads} cache={cache} on {f} (order {})",
+                            s.order()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_ground_terms_are_bit_identical() {
+    let terms = [
+        parse_term("#(x). #(y). E(x,y) = 2").unwrap(),
+        parse_term("2 * #(x,y). (E(x,y) & !(x=y)) - 3").unwrap(),
+        parse_term("#(x,y). (dist(x,y) <= 2 & !(x = y))").unwrap(),
+    ];
+    for kind in [EngineKind::Local, EngineKind::Cover] {
+        let baseline = engine_with(kind, 1, false);
+        for s in structures() {
+            for t in &terms {
+                let want = baseline.eval_ground(&s, t).unwrap();
+                for threads in THREAD_SWEEP {
+                    let ev = engine_with(kind, threads, true);
+                    assert_eq!(
+                        ev.eval_ground(&s, t).unwrap(),
+                        want,
+                        "{kind:?} threads={threads} on {t} (order {})",
+                        s.order()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_query_tables_are_identical() {
+    // Whole result tables — row order included — must not depend on the
+    // thread count.
+    let x = v("x");
+    let y = v("y");
+    let q = foc_logic::Query::new(
+        vec![x],
+        vec![cnt_vec(vec![y], atom("E", [x, y]))],
+        tle(int(2), cnt_vec(vec![y], atom("E", [x, y]))),
+    )
+    .unwrap();
+    for kind in [EngineKind::Local, EngineKind::Cover] {
+        let baseline = engine_with(kind, 1, false);
+        for s in structures() {
+            let want = baseline.query(&s, &q).unwrap();
+            for threads in THREAD_SWEEP {
+                let ev = engine_with(kind, threads, true);
+                assert_eq!(
+                    ev.query(&s, &q).unwrap(),
+                    want,
+                    "{kind:?} threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_runs_populate_structured_metrics() {
+    let f = parse_formula("exists x. #(y). E(x,y) >= 1").unwrap();
+    let ev = engine_with(EngineKind::Cover, 8, true);
+    let s = grid(6, 6);
+    let mut session = ev.session(&s);
+    assert!(session.check_sentence(&f).unwrap());
+    assert!(
+        session.stats.clusters > 0,
+        "cover evaluation must report clusters"
+    );
+    assert!(
+        session.stats.peak_cluster >= 1,
+        "peak cluster size must be tracked"
+    );
+    assert!(session.stats.covers_built > 0);
+    assert!(
+        session.stats.phase.eval > Duration::ZERO,
+        "eval phase must be timed"
+    );
+    assert!(
+        session.stats.phase.decompose > Duration::ZERO,
+        "decompose phase must be timed"
+    );
+    // Re-running the same sentence resolves fresh markers over the same
+    // basic cl-terms: the session-wide memo must convert those into hits.
+    let misses_before = session.stats.cache_misses;
+    assert!(
+        misses_before > 0,
+        "first run populates the cache via misses"
+    );
+    assert!(session.check_sentence(&f).unwrap());
+    assert!(
+        session.stats.cache_hits > 0,
+        "second resolution of the same term content must hit the memo: {:?}",
+        session.stats
+    );
+}
+
+#[test]
+fn cache_can_be_disabled() {
+    let f = parse_formula("exists x. #(y). E(x,y) >= 1").unwrap();
+    let ev = engine_with(EngineKind::Cover, 2, false);
+    let s = grid(5, 5);
+    let mut session = ev.session(&s);
+    assert!(session.check_sentence(&f).unwrap());
+    assert!(session.check_sentence(&f).unwrap());
+    assert_eq!(session.stats.cache_hits, 0);
+    assert_eq!(session.stats.cache_misses, 0);
+}
+
+/// A random small graph structure: `n ∈ [2, 10]`, random edge list.
+fn arb_structure() -> impl Strategy<Value = Structure> {
+    (
+        2u32..11,
+        proptest::collection::vec((0u32..11, 0u32..11), 0..18),
+    )
+        .prop_map(|(n, edges)| {
+            let edges: Vec<(u32, u32)> = edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+            graph_structure(n, &edges)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// On random structures, every engine at every thread count computes
+    /// the reference count, bit for bit.
+    #[test]
+    fn prop_parallel_counts_match_reference(s in arb_structure(), qi in 0usize..3) {
+        let x = v("x");
+        let y = v("y");
+        let z = v("z");
+        let queries = [
+            // deg(x) ≥ 2 selection over pairs.
+            and(atom("E", [x, y]), tle(int(2), cnt_vec(vec![z], atom("E", [x, z])))),
+            // Distance-2 pairs.
+            and(dist_le(x, y, 2), not(eq(x, y))),
+            // Vertices whose degree equals 1, paired with their neighbour.
+            and(atom("E", [x, y]), teq(cnt_vec(vec![z], atom("E", [x, z])), int(1))),
+        ];
+        let phi = &queries[qi];
+        let naive = engine_with(EngineKind::Naive, 1, false);
+        let want = naive.count(&s, phi, &[x, y]).unwrap();
+        for kind in [EngineKind::Local, EngineKind::Cover] {
+            for threads in THREAD_SWEEP {
+                let ev = engine_with(kind, threads, true);
+                prop_assert_eq!(
+                    ev.count(&s, phi, &[x, y]).unwrap(),
+                    want,
+                    "{:?} threads={} on order {}", kind, threads, s.order()
+                );
+            }
+        }
+    }
+
+    /// Parallel ground-term evaluation with the cache agrees with the
+    /// cacheless single-thread run on random structures.
+    #[test]
+    fn prop_parallel_ground_terms_match(s in arb_structure()) {
+        let t = parse_term("#(x). (#(y). E(x,y) >= 1) + #(x,y). (dist(x,y) <= 2 & !(x=y))").unwrap();
+        let baseline = engine_with(EngineKind::Cover, 1, false).eval_ground(&s, &t).unwrap();
+        for threads in THREAD_SWEEP {
+            for kind in [EngineKind::Local, EngineKind::Cover] {
+                let ev = engine_with(kind, threads, true);
+                prop_assert_eq!(ev.eval_ground(&s, &t).unwrap(), baseline);
+            }
+        }
     }
 }

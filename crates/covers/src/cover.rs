@@ -114,7 +114,12 @@ pub fn build_cover(g: &Graph, r: u32) -> NeighborhoodCover {
         });
         assign[a as usize] = idx;
     }
-    NeighborhoodCover { r, clusters, centers, assign }
+    NeighborhoodCover {
+        r,
+        clusters,
+        centers,
+        assign,
+    }
 }
 
 /// Convenience: a cover of a structure's Gaifman graph.
@@ -136,7 +141,12 @@ pub fn trivial_cover(g: &Graph, r: u32) -> NeighborhoodCover {
         centers.push(a);
         assign.push(a);
     }
-    NeighborhoodCover { r, clusters, centers, assign }
+    NeighborhoodCover {
+        r,
+        clusters,
+        centers,
+        assign,
+    }
 }
 
 #[cfg(test)]
@@ -159,7 +169,11 @@ mod tests {
         let s = path(64);
         for r in [1u32, 2, 3] {
             let cov = check_cover(&s, r);
-            assert!(cov.max_degree() <= (4 * r + 2) as usize, "degree {}", cov.max_degree());
+            assert!(
+                cov.max_degree() <= (4 * r + 2) as usize,
+                "degree {}",
+                cov.max_degree()
+            );
             assert!(cov.clusters.len() >= (64 / (4 * r + 1)) as usize);
         }
     }
@@ -167,7 +181,12 @@ mod tests {
     #[test]
     fn covers_on_trees_grids_cycles() {
         let mut rng = StdRng::seed_from_u64(12);
-        for s in [random_tree(100, &mut rng), grid(10, 10), cycle(30), star(30)] {
+        for s in [
+            random_tree(100, &mut rng),
+            grid(10, 10),
+            cycle(30),
+            star(30),
+        ] {
             for r in [1u32, 2] {
                 let cov = check_cover(&s, r);
                 assert!(cov.max_degree() >= 1);

@@ -20,10 +20,27 @@
 //!
 //! The recursion terminates because the splitter game on a nowhere dense
 //! class is won in λ(2R) rounds — empirically measured in experiment E9.
+//!
+//! ## Parallelism and memoisation
+//!
+//! The clusters of step 2 are *independent*: each produces values only
+//! for its own assigned elements, so the per-cluster loop fans out over
+//! [`CoverConfig::threads`] workers ([`foc_parallel::par_map`]) with
+//! results written back under their element ids — **bit-identical to the
+//! sequential loop** for every thread count. Only the outermost cover
+//! parallelises; the removal recursion inside a cluster stays sequential
+//! so the worker count is bounded by the configuration, not by the
+//! recursion tree. All mutable evaluator state is shareable: work
+//! counters are atomics, the removal-plan cache and the optional
+//! [`TermCache`] (content-keyed memo of basic-term values, shared with
+//! the engine session and across the recursion) sit behind locks.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use foc_eval::{Assignment, NaiveEvaluator};
+use foc_locality::cache::TermCache;
 use foc_locality::clterm::{BasicClTerm, ClTerm};
 use foc_locality::decompose::decompose_unary;
 use foc_locality::error::Result;
@@ -45,6 +62,10 @@ pub struct CoverStats {
     pub removals: u64,
     /// Counting components that fell back to the reference evaluator.
     pub naive_fallbacks: u64,
+    /// Order of the largest cluster handed to cluster-local evaluation.
+    pub peak_cluster: u32,
+    /// Wall time spent constructing neighbourhood covers, in nanoseconds.
+    pub cover_nanos: u64,
 }
 
 /// Tuning knobs for the cover engine.
@@ -59,11 +80,19 @@ pub struct CoverConfig {
     /// cluster at exploration radius means the structure is not locally
     /// sparse there, so the Section 8.2 recursion cannot pay off).
     pub max_removal_cluster: u32,
+    /// Worker threads for the per-cluster loop: `1` is the sequential
+    /// loop, `0` means "one per hardware thread".
+    pub threads: usize,
 }
 
 impl Default for CoverConfig {
     fn default() -> Self {
-        CoverConfig { depth: 1, direct_threshold: 16, max_removal_cluster: 256 }
+        CoverConfig {
+            depth: 1,
+            direct_threshold: 16,
+            max_removal_cluster: 256,
+            threads: 1,
+        }
     }
 }
 
@@ -82,17 +111,56 @@ struct RemovalPlan {
     when_not_d: Vec<(RemovedCount, Option<ClTerm>)>,
 }
 
+/// Atomic mirror of [`CoverStats`], so worker threads can count without
+/// serialising on a lock. Every field is a sum or a max, so the snapshot
+/// is independent of scheduling (hit/miss accounting of the shared
+/// [`TermCache`] is the one scheduling-dependent counter, and it lives
+/// in the cache itself).
+#[derive(Debug, Default)]
+struct SharedStats {
+    covers_built: AtomicU64,
+    clusters: AtomicU64,
+    removals: AtomicU64,
+    naive_fallbacks: AtomicU64,
+    peak_cluster: AtomicU64,
+    cover_nanos: AtomicU64,
+}
+
+impl SharedStats {
+    fn snapshot(&self) -> CoverStats {
+        CoverStats {
+            covers_built: self.covers_built.load(Ordering::Relaxed),
+            clusters: self.clusters.load(Ordering::Relaxed),
+            removals: self.removals.load(Ordering::Relaxed),
+            naive_fallbacks: self.naive_fallbacks.load(Ordering::Relaxed),
+            peak_cluster: self.peak_cluster.load(Ordering::Relaxed) as u32,
+            cover_nanos: self.cover_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    fn max_cluster(&self, order: u32) {
+        self.peak_cluster
+            .fetch_max(u64::from(order), Ordering::Relaxed);
+    }
+}
+
 /// Evaluates cl-terms with the cover + removal strategy of Section 8.2.
+///
+/// All evaluation methods take `&self`: the evaluator's mutable state
+/// (counters, plan cache, memo cache) is interior and thread-safe, which
+/// is what lets the per-cluster loop share one evaluator across workers.
 pub struct CoverEvaluator<'a> {
     a: &'a Structure,
     preds: &'a Predicates,
     /// Configuration.
     pub config: CoverConfig,
-    /// Work counters.
-    pub stats: CoverStats,
-    /// Removal plans per basic cl-term (the Arc keeps the key address
-    /// alive so pointer keys cannot be recycled).
-    plans: FxHashMap<usize, (Arc<BasicClTerm>, Arc<RemovalPlan>)>,
+    /// Work counters (atomic; snapshot via [`CoverEvaluator::stats`]).
+    stats: SharedStats,
+    /// Removal plans per basic cl-term, keyed by structural hash so a
+    /// plan computed for one `Arc` is reused by every equal term.
+    plans: Mutex<FxHashMap<u64, Arc<RemovalPlan>>>,
+    /// Optional shared memo of basic-term values (see [`TermCache`]).
+    cache: Option<Arc<TermCache>>,
 }
 
 impl<'a> CoverEvaluator<'a> {
@@ -102,21 +170,33 @@ impl<'a> CoverEvaluator<'a> {
             a,
             preds,
             config: CoverConfig::default(),
-            stats: CoverStats::default(),
-            plans: FxHashMap::default(),
+            stats: SharedStats::default(),
+            plans: Mutex::new(FxHashMap::default()),
+            cache: None,
         }
+    }
+
+    /// Attaches a shared memo cache consulted for every basic-term
+    /// evaluation at every recursion level.
+    pub fn set_cache(&mut self, cache: Arc<TermCache>) {
+        self.cache = Some(cache);
+    }
+
+    /// A snapshot of the work counters.
+    pub fn stats(&self) -> CoverStats {
+        self.stats.snapshot()
     }
 
     /// Evaluates a full cl-term (same interface as
     /// [`LocalEvaluator::eval_clterm`]).
-    pub fn eval_clterm(&mut self, t: &ClTerm) -> Result<ClValue> {
+    pub fn eval_clterm(&self, t: &ClTerm) -> Result<ClValue> {
         let mut unary_cache: FxHashMap<usize, Vec<i64>> = FxHashMap::default();
         let mut ground_cache: FxHashMap<usize, i64> = FxHashMap::default();
         self.eval_rec(t, &mut unary_cache, &mut ground_cache)
     }
 
     fn eval_rec(
-        &mut self,
+        &self,
         t: &ClTerm,
         unary_cache: &mut FxHashMap<usize, Vec<i64>>,
         ground_cache: &mut FxHashMap<usize, i64>,
@@ -129,7 +209,7 @@ impl<'a> CoverEvaluator<'a> {
                     if let Some(vs) = unary_cache.get(&key) {
                         return Ok(ClValue::Vector(vs.clone()));
                     }
-                    let vals = self.eval_basic_all(b.clone(), self.a, self.config.depth)?;
+                    let vals = self.eval_basic_all(b, self.a, self.config.depth)?;
                     unary_cache.insert(key, vals.clone());
                     Ok(ClValue::Vector(vals))
                 } else {
@@ -137,14 +217,12 @@ impl<'a> CoverEvaluator<'a> {
                         return Ok(ClValue::Scalar(v));
                     }
                     // Ground basics: sum the unary view (Remark 6.3).
-                    let vals = self.eval_basic_all(b.clone(), self.a, self.config.depth)?;
+                    let vals = self.eval_basic_all(b, self.a, self.config.depth)?;
                     let mut acc = 0i64;
                     for v in vals {
-                        acc = acc
-                            .checked_add(v)
-                            .ok_or(foc_locality::LocalityError::Eval(
-                                foc_eval::EvalError::Overflow,
-                            ))?;
+                        acc = acc.checked_add(v).ok_or(foc_locality::LocalityError::Eval(
+                            foc_eval::EvalError::Overflow,
+                        ))?;
                     }
                     ground_cache.insert(key, acc);
                     Ok(ClValue::Scalar(acc))
@@ -169,55 +247,128 @@ impl<'a> CoverEvaluator<'a> {
         }
     }
 
+    /// A ball-enumeration evaluator for a (sub)structure, wired to the
+    /// shared memo cache; only the outermost structure inherits the
+    /// configured thread count (recursive calls happen *inside* a
+    /// worker already).
+    fn local_for<'s>(&self, s: &'s Structure) -> LocalEvaluator<'s>
+    where
+        'a: 's,
+    {
+        let mut lev = LocalEvaluator::new(s, self.preds);
+        if let Some(cache) = &self.cache {
+            lev.set_cache(cache.clone());
+        }
+        lev
+    }
+
     /// `u^S[a]` for all `a ∈ S`, by cover + removal (recursing on
     /// `depth`).
-    fn eval_basic_all(
-        &mut self,
-        b: Arc<BasicClTerm>,
+    fn eval_basic_all(&self, b: &Arc<BasicClTerm>, s: &Structure, depth: u32) -> Result<Vec<i64>> {
+        if let Some(cache) = &self.cache {
+            if let Some(vals) = cache.get(b, s) {
+                return Ok(vals.as_ref().clone());
+            }
+        }
+        let vals = self.eval_basic_all_uncached(b, s, depth)?;
+        if let Some(cache) = &self.cache {
+            cache.insert(b, s, Arc::new(vals.clone()));
+        }
+        Ok(vals)
+    }
+
+    fn eval_basic_all_uncached(
+        &self,
+        b: &Arc<BasicClTerm>,
         s: &Structure,
         depth: u32,
     ) -> Result<Vec<i64>> {
-        let radius = LocalEvaluator::exploration_radius(&b);
+        // Parallelise only at the outermost structure: recursive calls on
+        // clusters and surgered substructures already run inside a worker.
+        let top = std::ptr::eq(s, self.a);
+        let threads = if top {
+            foc_parallel::resolve_threads(self.config.threads)
+        } else {
+            1
+        };
+        let radius = LocalEvaluator::exploration_radius(b);
         let radius = u32::try_from(radius.min(u64::from(u32::MAX / 4))).expect("clamped");
         if depth == 0 || s.order() <= self.config.direct_threshold {
-            let mut lev = LocalEvaluator::new(s, self.preds);
-            return lev.eval_basic_all(&b);
+            self.stats.max_cluster(s.order());
+            let mut lev = self.local_for(s);
+            lev.threads = threads;
+            return lev.eval_basic_all(b);
         }
+        let t0 = Instant::now();
         let cover = cover_structure(s, radius);
-        self.stats.covers_built += 1;
+        self.stats
+            .cover_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.stats.covers_built.fetch_add(1, Ordering::Relaxed);
         let members = cover.members();
-        let mut out = vec![0i64; s.order() as usize];
-        for (idx, cluster) in cover.clusters.iter().enumerate() {
+
+        // One work item per assigned cluster; each yields (element, value)
+        // pairs for its own elements only, so writing them back in any
+        // order reproduces the sequential result exactly.
+        let eval_one = |idx: usize| -> Result<Vec<(u32, i64)>> {
+            let cluster = &cover.clusters[idx];
             let q = &members[idx];
             if q.is_empty() {
-                continue;
+                return Ok(Vec::new());
             }
-            self.stats.clusters += 1;
+            self.stats.clusters.fetch_add(1, Ordering::Relaxed);
+            self.stats.max_cluster(cluster.len() as u32);
             if cluster.len() == s.order() as usize {
                 // Degenerate cover (one cluster spans the structure):
                 // at this radius the structure is not locally sparse, so
                 // the removal recursion cannot win — evaluate the
                 // assigned elements by ball enumeration instead.
-                let mut lev = LocalEvaluator::new(s, self.preds);
+                let mut lev = self.local_for(s);
+                let mut pairs = Vec::with_capacity(q.len());
                 for &a in q {
-                    out[a as usize] = lev.eval_basic_at(&b, a)?;
+                    pairs.push((a, lev.eval_basic_at(b, a)?));
                 }
-                continue;
+                return Ok(pairs);
             }
             let ind = s.induced(cluster);
-            let vals = self.eval_cluster(&b, &ind.structure, depth)?;
-            for &a in q {
-                out[a as usize] = vals[ind.fwd[&a] as usize];
+            let vals = self.eval_cluster(b, &ind.structure, depth)?;
+            Ok(q.iter().map(|&a| (a, vals[ind.fwd[&a] as usize])).collect())
+        };
+
+        let idxs: Vec<usize> = (0..cover.clusters.len()).collect();
+        let per_cluster: Vec<Vec<(u32, i64)>> = if threads <= 1 {
+            let mut acc = Vec::with_capacity(idxs.len());
+            for &i in &idxs {
+                acc.push(eval_one(i)?);
+            }
+            acc
+        } else {
+            // Compute the removal plan up front so workers find it in the
+            // cache instead of racing to build it.
+            if cover.clusters.iter().any(|c| {
+                c.len() > self.config.direct_threshold as usize
+                    && c.len() <= self.config.max_removal_cluster as usize
+                    && c.len() < s.order() as usize
+            }) {
+                self.removal_plan(b);
+            }
+            foc_parallel::par_map(&idxs, threads, |_, &i| eval_one(i))?
+        };
+
+        let mut out = vec![0i64; s.order() as usize];
+        for pairs in per_cluster {
+            for (a, v) in pairs {
+                out[a as usize] = v;
             }
         }
         Ok(out)
     }
 
     /// The removal plan for a basic cl-term (computed once, cached by
-    /// identity).
-    fn removal_plan(&mut self, b: &Arc<BasicClTerm>) -> Arc<RemovalPlan> {
-        let key = Arc::as_ptr(b) as usize;
-        if let Some((_, plan)) = self.plans.get(&key) {
+    /// structural hash).
+    fn removal_plan(&self, b: &Arc<BasicClTerm>) -> Arc<RemovalPlan> {
+        let key = b.structural_hash();
+        if let Some(plan) = self.plans.lock().expect("plan cache poisoned").get(&key) {
             return plan.clone();
         }
         let marker_r = max_dist_bound(&b.matrix()).max(1);
@@ -250,14 +401,23 @@ impl<'a> CoverEvaluator<'a> {
                 (rc, cl)
             })
             .collect();
-        let plan = Arc::new(RemovalPlan { ctx, when_d, when_not_d });
-        self.plans.insert(key, (b.clone(), plan.clone()));
+        let plan = Arc::new(RemovalPlan {
+            ctx,
+            when_d,
+            when_not_d,
+        });
+        // A concurrent worker may have raced us here; both plans are
+        // identical, so last-write-wins is fine.
+        self.plans
+            .lock()
+            .expect("plan cache poisoned")
+            .insert(key, plan.clone());
         plan
     }
 
     /// Evaluates `u` on one cluster via splitter-removal recursion.
     fn eval_cluster(
-        &mut self,
+        &self,
         b: &Arc<BasicClTerm>,
         cluster: &Structure,
         depth: u32,
@@ -266,15 +426,17 @@ impl<'a> CoverEvaluator<'a> {
             || cluster.order() <= self.config.direct_threshold
             || cluster.order() > self.config.max_removal_cluster
         {
-            let mut lev = LocalEvaluator::new(cluster, self.preds);
+            let mut lev = self.local_for(cluster);
             return lev.eval_basic_all(b);
         }
         let plan = self.removal_plan(b);
         // Splitter's move: delete the hub of the cluster.
         let g = cluster.gaifman();
-        let d = (0..g.n()).max_by_key(|&v| g.degree(v)).expect("non-empty cluster");
+        let d = (0..g.n())
+            .max_by_key(|&v| g.degree(v))
+            .expect("non-empty cluster");
         let rem = remove_element(cluster, d, &plan.ctx);
-        self.stats.removals += 1;
+        self.stats.removals.fetch_add(1, Ordering::Relaxed);
 
         let x = b.vars[0];
         let bprime = &rem.structure;
@@ -298,7 +460,9 @@ impl<'a> CoverEvaluator<'a> {
             };
             at_d = at_d
                 .checked_add(v)
-                .ok_or(foc_locality::LocalityError::Eval(foc_eval::EvalError::Overflow))?;
+                .ok_or(foc_locality::LocalityError::Eval(
+                    foc_eval::EvalError::Overflow,
+                ))?;
         }
         out[d as usize] = at_d;
 
@@ -306,9 +470,9 @@ impl<'a> CoverEvaluator<'a> {
         for (rc, cl) in &plan.when_not_d {
             let vals = self.eval_component(bprime, cl.as_ref(), Some(x), rc, depth - 1)?;
             for (new, &old) in rem.old_of_new.iter().enumerate() {
-                out[old as usize] = out[old as usize]
-                    .checked_add(vals[new])
-                    .ok_or(foc_locality::LocalityError::Eval(foc_eval::EvalError::Overflow))?;
+                out[old as usize] = out[old as usize].checked_add(vals[new]).ok_or(
+                    foc_locality::LocalityError::Eval(foc_eval::EvalError::Overflow),
+                )?;
             }
         }
         Ok(out)
@@ -319,7 +483,7 @@ impl<'a> CoverEvaluator<'a> {
     /// otherwise. For ground components (`free = None`) the vector is
     /// indexed by the first counted variable and summed by the caller.
     fn eval_component(
-        &mut self,
+        &self,
         s: &Structure,
         cl: Option<&ClTerm>,
         free: Option<Var>,
@@ -341,7 +505,7 @@ impl<'a> CoverEvaluator<'a> {
             (None, free) => {
                 // Outside the fragment after rewriting: reference
                 // evaluator (correct, not cover-accelerated).
-                self.stats.naive_fallbacks += 1;
+                self.stats.naive_fallbacks.fetch_add(1, Ordering::Relaxed);
                 match free {
                     Some(x) => {
                         let term = Arc::new(Term::Count(
@@ -360,10 +524,7 @@ impl<'a> CoverEvaluator<'a> {
                         // Ground: index by the first counted variable.
                         let x0 = rc.counted[0];
                         let rest: Vec<Var> = rc.counted[1..].to_vec();
-                        let term = Arc::new(Term::Count(
-                            rest.into_boxed_slice(),
-                            rc.body.clone(),
-                        ));
+                        let term = Arc::new(Term::Count(rest.into_boxed_slice(), rc.body.clone()));
                         let mut ev = NaiveEvaluator::new(s, self.preds);
                         let mut out = Vec::with_capacity(s.order() as usize);
                         for a in s.universe() {
@@ -379,18 +540,18 @@ impl<'a> CoverEvaluator<'a> {
 
     /// Evaluates a decomposed cl-term to a per-element vector on `s`,
     /// recursing through the cover machinery for its basics.
-    fn eval_clterm_vector(&mut self, cl: &ClTerm, s: &Structure, depth: u32) -> Result<Vec<i64>> {
+    fn eval_clterm_vector(&self, cl: &ClTerm, s: &Structure, depth: u32) -> Result<Vec<i64>> {
         let mut unary_vals: FxHashMap<usize, Vec<i64>> = FxHashMap::default();
         let mut ground_vals: FxHashMap<usize, i64> = FxHashMap::default();
         for basic in cl.basics() {
             let key = Arc::as_ptr(&basic) as usize;
             if basic.unary {
                 if let std::collections::hash_map::Entry::Vacant(e) = unary_vals.entry(key) {
-                    let vals = self.eval_basic_all(basic.clone(), s, depth)?;
+                    let vals = self.eval_basic_all(&basic, s, depth)?;
                     e.insert(vals);
                 }
             } else if let std::collections::hash_map::Entry::Vacant(e) = ground_vals.entry(key) {
-                let vals = self.eval_basic_all(basic.clone(), s, depth)?;
+                let vals = self.eval_basic_all(&basic, s, depth)?;
                 let mut acc = 0i64;
                 for v in vals {
                     acc = acc.checked_add(v).ok_or(foc_locality::LocalityError::Eval(
@@ -429,22 +590,21 @@ pub fn max_dist_bound(f: &Formula) -> u32 {
     }
 }
 
-fn combine(
-    a: ClValue,
-    b: ClValue,
-    op: impl Fn(i64, i64) -> Option<i64>,
-) -> Result<ClValue> {
-    let overflow =
-        || foc_locality::LocalityError::Eval(foc_eval::EvalError::Overflow);
+fn combine(a: ClValue, b: ClValue, op: impl Fn(i64, i64) -> Option<i64>) -> Result<ClValue> {
+    let overflow = || foc_locality::LocalityError::Eval(foc_eval::EvalError::Overflow);
     match (a, b) {
         (ClValue::Scalar(x), ClValue::Scalar(y)) => {
             Ok(ClValue::Scalar(op(x, y).ok_or_else(overflow)?))
         }
         (ClValue::Scalar(x), ClValue::Vector(ys)) => Ok(ClValue::Vector(
-            ys.into_iter().map(|y| op(x, y).ok_or_else(overflow)).collect::<Result<_>>()?,
+            ys.into_iter()
+                .map(|y| op(x, y).ok_or_else(overflow))
+                .collect::<Result<_>>()?,
         )),
         (ClValue::Vector(xs), ClValue::Scalar(y)) => Ok(ClValue::Vector(
-            xs.into_iter().map(|x| op(x, y).ok_or_else(overflow)).collect::<Result<_>>()?,
+            xs.into_iter()
+                .map(|x| op(x, y).ok_or_else(overflow))
+                .collect::<Result<_>>()?,
         )),
         (ClValue::Vector(xs), ClValue::Vector(ys)) => Ok(ClValue::Vector(
             xs.into_iter()
@@ -482,18 +642,21 @@ mod tests {
         for s in structures() {
             let mut lev = LocalEvaluator::new(&s, &p);
             let want = lev.eval_clterm(cl).unwrap();
-            let mut cev = CoverEvaluator::new(&s, &p);
-            cev.config.depth = depth;
-            cev.config.direct_threshold = 4;
-            let got = cev.eval_clterm(cl).unwrap();
-            match (&want, &got) {
-                (ClValue::Scalar(a), ClValue::Scalar(b)) => {
-                    assert_eq!(a, b, "scalar mismatch on order {}", s.order())
+            for threads in [1usize, 2, 8] {
+                let mut cev = CoverEvaluator::new(&s, &p);
+                cev.config.depth = depth;
+                cev.config.direct_threshold = 4;
+                cev.config.threads = threads;
+                let got = cev.eval_clterm(cl).unwrap();
+                match (&want, &got) {
+                    (ClValue::Scalar(a), ClValue::Scalar(b)) => {
+                        assert_eq!(a, b, "scalar mismatch on order {}", s.order())
+                    }
+                    (ClValue::Vector(a), ClValue::Vector(b)) => {
+                        assert_eq!(a, b, "vector mismatch on order {}", s.order())
+                    }
+                    other => panic!("shape mismatch: {other:?}"),
                 }
-                (ClValue::Vector(a), ClValue::Vector(b)) => {
-                    assert_eq!(a, b, "vector mismatch on order {}", s.order())
-                }
-                other => panic!("shape mismatch: {other:?}"),
             }
         }
     }
@@ -548,9 +711,41 @@ mod tests {
         let mut cev = CoverEvaluator::new(&s, &p);
         cev.config.direct_threshold = 4;
         cev.eval_clterm(&cl).unwrap();
-        assert!(cev.stats.covers_built >= 1);
-        assert!(cev.stats.clusters >= 1);
-        assert!(cev.stats.removals >= 1);
+        let stats = cev.stats();
+        assert!(stats.covers_built >= 1);
+        assert!(stats.clusters >= 1);
+        assert!(stats.removals >= 1);
+        assert!(stats.peak_cluster >= 1);
+    }
+
+    #[test]
+    fn memo_cache_is_consulted_and_sound() {
+        let y1 = v("y1");
+        let y2 = v("y2");
+        let cl = decompose_unary(&atom("E", [y1, y2]), &[y1, y2]).unwrap();
+        let s = grid(6, 6);
+        let p = Predicates::standard();
+
+        let mut plain = CoverEvaluator::new(&s, &p);
+        plain.config.direct_threshold = 4;
+        let want = plain.eval_clterm(&cl).unwrap();
+
+        let cache = Arc::new(TermCache::default());
+        let mut cev = CoverEvaluator::new(&s, &p);
+        cev.config.direct_threshold = 4;
+        cev.set_cache(cache.clone());
+        let first = cev.eval_clterm(&cl).unwrap();
+        assert_eq!(first, want, "cached evaluation must not change values");
+        assert!(cache.misses() > 0, "first run must populate the cache");
+
+        // A second evaluator sharing the cache answers from memory.
+        let hits_before = cache.hits();
+        let mut cev2 = CoverEvaluator::new(&s, &p);
+        cev2.config.direct_threshold = 4;
+        cev2.set_cache(cache.clone());
+        let second = cev2.eval_clterm(&cl).unwrap();
+        assert_eq!(second, want);
+        assert!(cache.hits() > hits_before, "second run must hit the cache");
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub struct RemovalContext {
 impl RemovalContext {
     /// Creates a context with a globally fresh tag.
     pub fn new(r: u32) -> RemovalContext {
-        RemovalContext { r, tag: Var::fresh("rm").name() }
+        RemovalContext {
+            r,
+            tag: Var::fresh("rm").name(),
+        }
     }
 
     /// The symbol `R̃_I` for the relation `rel` and position set encoded
@@ -78,7 +81,10 @@ pub fn remove_element(a: &Structure, d: u32, ctx: &RemovalContext) -> RemovedStr
         for mask in 0u32..(1 << k) {
             let sym = ctx.tilde(decl.name, mask);
             index.insert(sym, decls.len());
-            decls.push(RelDecl { name: sym, arity: k - (mask.count_ones() as usize) });
+            decls.push(RelDecl {
+                name: sym,
+                arity: k - (mask.count_ones() as usize),
+            });
             rows.push(Vec::new());
         }
     }
@@ -86,7 +92,10 @@ pub fn remove_element(a: &Structure, d: u32, ctx: &RemovalContext) -> RemovedStr
     let dists = a.gaifman().distances_from(d, ctx.r, &mut BfsScratch::new());
     let s_base = decls.len();
     for i in 1..=ctx.r {
-        decls.push(RelDecl { name: ctx.s_marker(i), arity: 1 });
+        decls.push(RelDecl {
+            name: ctx.s_marker(i),
+            arity: 1,
+        });
         rows.push(
             dists
                 .iter()
@@ -117,17 +126,18 @@ pub fn remove_element(a: &Structure, d: u32, ctx: &RemovalContext) -> RemovedStr
 
     let sig = foc_structures::Signature::new(decls);
     let structure = Structure::new(sig, (a.order() - 1).max(1), rows);
-    RemovedStructure { structure, old_of_new, new_of_old, removed: d }
+    RemovedStructure {
+        structure,
+        old_of_new,
+        new_of_old,
+        removed: d,
+    }
 }
 
 /// Lemma 7.8: rewrites φ into φ̃_V such that for tuples sending exactly
 /// the variables of `V` to `d`: `A ⊨ φ[ā] ⟺ A *_r d ⊨ φ̃_V[ā∖V]`.
 /// Distance atoms must have bounds ≤ `ctx.r`.
-pub fn remove_formula(
-    f: &Arc<Formula>,
-    v: &BTreeSet<Var>,
-    ctx: &RemovalContext,
-) -> Arc<Formula> {
+pub fn remove_formula(f: &Arc<Formula>, v: &BTreeSet<Var>, ctx: &RemovalContext) -> Arc<Formula> {
     match &**f {
         Formula::Bool(_) => f.clone(),
         Formula::Eq(x1, x2) => {
@@ -169,7 +179,11 @@ pub fn remove_formula(
                 }
                 (false, false) => {
                     // A short path may or may not pass through d.
-                    let mut parts = vec![Arc::new(Formula::DistLe { x: *x, y: *y, d: *d })];
+                    let mut parts = vec![Arc::new(Formula::DistLe {
+                        x: *x,
+                        y: *y,
+                        d: *d,
+                    })];
                     for i1 in 1..*d {
                         let i2 = *d - i1;
                         assert!(
@@ -186,12 +200,8 @@ pub fn remove_formula(
             }
         }
         Formula::Not(g) => Formula::not(remove_formula(g, v, ctx)),
-        Formula::And(gs) => {
-            Formula::and(gs.iter().map(|g| remove_formula(g, v, ctx)).collect())
-        }
-        Formula::Or(gs) => {
-            Formula::or(gs.iter().map(|g| remove_formula(g, v, ctx)).collect())
-        }
+        Formula::And(gs) => Formula::and(gs.iter().map(|g| remove_formula(g, v, ctx)).collect()),
+        Formula::Or(gs) => Formula::or(gs.iter().map(|g| remove_formula(g, v, ctx)).collect()),
         Formula::Exists(x, g) => {
             // ∃x ψ ≡ ψ[x := d] ∨ ∃x≠d ψ.
             let mut with_x = v.clone();
@@ -297,7 +307,10 @@ pub fn remove_ground_count(
             .filter(|(i, _)| mask & (1 << i) == 0)
             .map(|(_, &y)| y)
             .collect();
-        out.push(RemovedCount { counted: survivors, body: remove_formula(body, &pinned, ctx) });
+        out.push(RemovedCount {
+            counted: survivors,
+            body: remove_formula(body, &pinned, ctx),
+        });
     }
     out
 }

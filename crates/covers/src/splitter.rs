@@ -30,7 +30,9 @@ pub struct MaxDegreeConnector;
 
 impl Connector for MaxDegreeConnector {
     fn pick(&mut self, g: &Graph) -> u32 {
-        (0..g.n()).max_by_key(|&v| g.degree(v)).expect("non-empty arena")
+        (0..g.n())
+            .max_by_key(|&v| g.degree(v))
+            .expect("non-empty arena")
     }
 }
 
@@ -67,7 +69,10 @@ pub struct HubSplitter;
 
 impl Splitter for HubSplitter {
     fn pick(&mut self, g: &Graph, _a: u32, ball: &[u32]) -> u32 {
-        *ball.iter().max_by_key(|&&v| g.degree(v)).expect("balls are non-empty")
+        *ball
+            .iter()
+            .max_by_key(|&&v| g.degree(v))
+            .expect("balls are non-empty")
     }
 }
 
@@ -101,7 +106,10 @@ pub fn play(
     let mut scratch = BfsScratch::new();
     for round in 1..=max_rounds {
         if arena.n() == 0 {
-            return PlayOutcome { rounds: round - 1, splitter_won: true };
+            return PlayOutcome {
+                rounds: round - 1,
+                splitter_won: true,
+            };
         }
         let a = connector.pick(&arena);
         let ball = arena.ball(&[a], r, &mut scratch);
@@ -109,11 +117,17 @@ pub fn play(
         assert!(ball.contains(&b), "Splitter must delete inside the ball");
         let rest: Vec<u32> = ball.iter().copied().filter(|&v| v != b).collect();
         if rest.is_empty() {
-            return PlayOutcome { rounds: round, splitter_won: true };
+            return PlayOutcome {
+                rounds: round,
+                splitter_won: true,
+            };
         }
         arena = induce_graph(&arena, &rest).0;
     }
-    PlayOutcome { rounds: max_rounds, splitter_won: false }
+    PlayOutcome {
+        rounds: max_rounds,
+        splitter_won: false,
+    }
 }
 
 /// Induces a graph on a sorted vertex subset; returns the graph and the
@@ -134,7 +148,10 @@ pub fn induce_graph(g: &Graph, verts: &[u32]) -> (Graph, Vec<u32>) {
             }
         }
     }
-    (Graph::from_edges(verts.len() as u32, &edges), verts.to_vec())
+    (
+        Graph::from_edges(verts.len() as u32, &edges),
+        verts.to_vec(),
+    )
 }
 
 /// Estimates λ̂(r): the worst number of rounds over the heuristic
@@ -153,14 +170,31 @@ pub fn estimate_game_length(
         worst_rounds = worst_rounds.max(o.rounds);
         all_won &= o.splitter_won;
     };
-    consider(play(g, r, &mut MaxDegreeConnector, &mut HubSplitter, max_rounds));
-    consider(play(g, r, &mut MaxBallConnector { r }, &mut HubSplitter, max_rounds));
+    consider(play(
+        g,
+        r,
+        &mut MaxDegreeConnector,
+        &mut HubSplitter,
+        max_rounds,
+    ));
+    consider(play(
+        g,
+        r,
+        &mut MaxBallConnector { r },
+        &mut HubSplitter,
+        max_rounds,
+    ));
     for _ in 0..trials {
         let seed: u64 = rng.gen();
-        let mut conn = RandomConnector { rng: rand::rngs::StdRng::seed_from_u64(seed) };
+        let mut conn = RandomConnector {
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+        };
         consider(play(g, r, &mut conn, &mut HubSplitter, max_rounds));
     }
-    PlayOutcome { rounds: worst_rounds, splitter_won: all_won }
+    PlayOutcome {
+        rounds: worst_rounds,
+        splitter_won: all_won,
+    }
 }
 
 use rand::SeedableRng;
@@ -170,7 +204,11 @@ use rand::SeedableRng;
 /// (ρ, r)-game. Returns `None` if the value exceeds `cap`.
 pub fn exact_game_value(g: &Graph, r: u32, cap: u32) -> Option<u32> {
     assert!(g.n() <= 16, "exact solver limited to 16 vertices");
-    let full: u16 = if g.n() == 16 { u16::MAX } else { ((1u32 << g.n()) - 1) as u16 };
+    let full: u16 = if g.n() == 16 {
+        u16::MAX
+    } else {
+        ((1u32 << g.n()) - 1) as u16
+    };
     let mut memo: FxHashMap<u16, u32> = FxHashMap::default();
     let v = minimax(g, full, r, cap, &mut memo);
     (v <= cap).then_some(v)
@@ -294,7 +332,11 @@ mod tests {
                 "estimate {} vs exact {exact}",
                 est.rounds
             );
-            assert!(est.rounds <= 3 * exact as usize + 4, "estimate {} vs exact {exact}", est.rounds);
+            assert!(
+                est.rounds <= 3 * exact as usize + 4,
+                "estimate {} vs exact {exact}",
+                est.rounds
+            );
         }
     }
 
@@ -320,7 +362,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let o10 = estimate_game_length(clique(10).gaifman(), 1, 2, &mut rng, 64);
         let o20 = estimate_game_length(clique(20).gaifman(), 1, 2, &mut rng, 64);
-        assert!(o20.rounds >= o10.rounds + 5, "{} vs {}", o10.rounds, o20.rounds);
+        assert!(
+            o20.rounds >= o10.rounds + 5,
+            "{} vs {}",
+            o10.rounds,
+            o20.rounds
+        );
     }
 
     #[test]

@@ -3,20 +3,18 @@
 //! and iterated removals, and cover-engine configuration effects.
 
 use std::collections::BTreeSet;
-use std::sync::Arc;
 
 use foc_covers::cover::{build_cover, cover_structure, trivial_cover};
 use foc_covers::cover_eval::{max_dist_bound, CoverEvaluator};
 use foc_covers::removal::{remove_element, remove_formula, RemovalContext};
 use foc_covers::splitter::{
-    exact_game_value, induce_graph, play, CenterSplitter, Connector, HubSplitter,
-    MaxDegreeConnector,
+    exact_game_value, induce_graph, play, CenterSplitter, HubSplitter, MaxDegreeConnector,
 };
 use foc_eval::{Assignment, NaiveEvaluator};
 use foc_locality::decompose::decompose_unary;
 use foc_locality::local_eval::LocalEvaluator;
 use foc_logic::build::*;
-use foc_logic::{Predicates, Var};
+use foc_logic::Predicates;
 use foc_structures::gen::{caterpillar, cycle, graph_structure, grid, path, star};
 use foc_structures::{Graph, StructureBuilder};
 
@@ -119,7 +117,10 @@ fn iterated_removal_agrees_semantically() {
     let p = Predicates::standard();
     let x = v("irx");
     let y = v("iry");
-    let f = exists(v("irz"), and(atom("E", [x, v("irz")]), atom("E", [v("irz"), y])));
+    let f = exists(
+        v("irz"),
+        and(atom("E", [x, v("irz")]), atom("E", [v("irz"), y])),
+    );
     let d1 = 4u32;
     let ctx1 = RemovalContext::new(3);
     let rem1 = remove_element(&s, d1, &ctx1);
@@ -160,7 +161,7 @@ fn cover_engine_depth_zero_equals_local() {
     cev.config.depth = 0;
     let got = cev.eval_clterm(&cl).unwrap();
     assert_eq!(want, got);
-    assert_eq!(cev.stats.removals, 0, "depth 0 must not remove");
+    assert_eq!(cev.stats().removals, 0, "depth 0 must not remove");
 }
 
 #[test]
@@ -174,7 +175,7 @@ fn cover_engine_respects_max_removal_cluster() {
     cev.config.direct_threshold = 2;
     cev.config.max_removal_cluster = 8; // clusters exceed this → no removal
     let got = cev.eval_clterm(&cl).unwrap();
-    assert_eq!(cev.stats.removals, 0);
+    assert_eq!(cev.stats().removals, 0);
     let mut lev = LocalEvaluator::new(&s, &p);
     assert_eq!(got, lev.eval_clterm(&cl).unwrap());
 }

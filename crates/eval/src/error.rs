@@ -41,12 +41,26 @@ impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EvalError::UnknownRelation(r) => write!(f, "unknown relation symbol {r}"),
-            EvalError::RelationArity { rel, declared, used } => {
-                write!(f, "relation {rel} declared with arity {declared} but used with {used}")
+            EvalError::RelationArity {
+                rel,
+                declared,
+                used,
+            } => {
+                write!(
+                    f,
+                    "relation {rel} declared with arity {declared} but used with {used}"
+                )
             }
             EvalError::UnknownPredicate(p) => write!(f, "unknown numerical predicate {p}"),
-            EvalError::PredicateArity { pred, declared, used } => {
-                write!(f, "predicate {pred} declared with arity {declared} but used with {used}")
+            EvalError::PredicateArity {
+                pred,
+                declared,
+                used,
+            } => {
+                write!(
+                    f,
+                    "predicate {pred} declared with arity {declared} but used with {used}"
+                )
             }
             EvalError::UnboundVariable(v) => write!(f, "unbound variable {v}"),
             EvalError::DuplicateCountVariable(v) => {

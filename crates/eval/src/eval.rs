@@ -35,7 +35,9 @@ impl Assignment {
 
     /// An assignment binding `vars[i] ↦ vals[i]`.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (Var, u32)>) -> Assignment {
-        Assignment { map: pairs.into_iter().collect() }
+        Assignment {
+            map: pairs.into_iter().collect(),
+        }
     }
 
     /// Current binding of `v`, if any.
@@ -174,7 +176,10 @@ impl<'a> NaiveEvaluator<'a> {
                 let a = env.get(*x).ok_or(EvalError::UnboundVariable(*x))?;
                 let b = env.get(*y).ok_or(EvalError::UnboundVariable(*y))?;
                 self.stats.dist_queries += 1;
-                Ok(self.structure.gaifman().dist_le(a, b, *d, &mut self.scratch))
+                Ok(self
+                    .structure
+                    .gaifman()
+                    .dist_le(a, b, *d, &mut self.scratch))
             }
             Formula::Not(g) => Ok(!self.formula(g, env)?),
             Formula::And(gs) => {
@@ -272,14 +277,18 @@ impl<'a> NaiveEvaluator<'a> {
             Term::Add(ts) => {
                 let mut acc: i64 = 0;
                 for s in ts {
-                    acc = acc.checked_add(self.term(s, env)?).ok_or(EvalError::Overflow)?;
+                    acc = acc
+                        .checked_add(self.term(s, env)?)
+                        .ok_or(EvalError::Overflow)?;
                 }
                 Ok(acc)
             }
             Term::Mul(ts) => {
                 let mut acc: i64 = 1;
                 for s in ts {
-                    acc = acc.checked_mul(self.term(s, env)?).ok_or(EvalError::Overflow)?;
+                    acc = acc
+                        .checked_mul(self.term(s, env)?)
+                        .ok_or(EvalError::Overflow)?;
                 }
                 Ok(acc)
             }
@@ -441,12 +450,18 @@ impl<'a> NaiveEvaluator<'a> {
                 }
             }
             Formula::Atom(at) if at.args.contains(&var) => {
-                let Some(rel) = self.structure.relation(at.rel) else { return };
+                let Some(rel) = self.structure.relation(at.rel) else {
+                    return;
+                };
                 let mut vals = Vec::new();
                 // Restrict the scan through an index on any bound,
                 // unshadowed companion position.
                 let bound_pos = at.args.iter().enumerate().find_map(|(pos, v)| {
-                    if *v != var { lookup(*v, shadowed).map(|val| (pos, val)) } else { None }
+                    if *v != var {
+                        lookup(*v, shadowed).map(|val| (pos, val))
+                    } else {
+                        None
+                    }
                 });
                 let mut scan = |row: &[u32]| {
                     let mut candidate: Option<u32> = None;
@@ -469,9 +484,7 @@ impl<'a> NaiveEvaluator<'a> {
                 };
                 match bound_pos {
                     Some((0, val)) => rel.rows_with_first(val).for_each(&mut scan),
-                    Some((pos, val)) => {
-                        rel.rows_with_value_at(pos, val).for_each(&mut scan)
-                    }
+                    Some((pos, val)) => rel.rows_with_value_at(pos, val).for_each(&mut scan),
                     None => rel.rows().for_each(scan),
                 }
                 keep_smaller(best, vals);
@@ -528,10 +541,9 @@ mod tests {
         let g = parse_formula("exists x y z. (E(x,y) & E(x,z) & !(y=z))").unwrap();
         assert!(ev.check_sentence(&g).unwrap());
         // On a 2-path no vertex has 3 neighbours.
-        let h = parse_formula(
-            "exists x a b c. (E(x,a) & E(x,b) & E(x,c) & !(a=b) & !(a=c) & !(b=c))",
-        )
-        .unwrap();
+        let h =
+            parse_formula("exists x a b c. (E(x,a) & E(x,b) & E(x,c) & !(a=b) & !(a=c) & !(b=c))")
+                .unwrap();
         assert!(!ev.check_sentence(&h).unwrap());
     }
 
@@ -620,10 +632,7 @@ mod tests {
         // out-degree d. On K4 (symmetrised), every node has out-degree 3,
         // so the count is 4 — not prime. On a 5-cycle every node has
         // out-degree 2, count 5 — prime.
-        let f = parse_formula(
-            "exists x. @prime(#(y). #(z). E(x,z) = #(z). E(y,z))",
-        )
-        .unwrap();
+        let f = parse_formula("exists x. @prime(#(y). #(z). E(x,z) = #(z). E(y,z))").unwrap();
         let p = preds();
         let k4 = clique(4);
         assert!(!NaiveEvaluator::new(&k4, &p).check_sentence(&f).unwrap());

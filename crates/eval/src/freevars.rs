@@ -30,7 +30,10 @@ impl FreeVarElim {
                 Var::fresh(&format!("X_{}", v.name())).symbol()
             })
             .collect();
-        FreeVarElim { vars: vars.to_vec(), syms }
+        FreeVarElim {
+            vars: vars.to_vec(),
+            syms,
+        }
     }
 
     /// The head variables x̄.
@@ -45,7 +48,10 @@ impl FreeVarElim {
 
     /// The declarations for the fresh unary relations.
     pub fn decls(&self) -> Vec<RelDecl> {
-        self.syms.iter().map(|&s| RelDecl { name: s, arity: 1 }).collect()
+        self.syms
+            .iter()
+            .map(|&s| RelDecl { name: s, arity: 1 })
+            .collect()
     }
 
     /// `φ̃ := ∃x₁…∃x_k (⋀ Xᵢ(xᵢ) ∧ φ)`.
@@ -82,11 +88,7 @@ impl FreeVarElim {
         }
     }
 
-    fn sentence_over(
-        &self,
-        phi: &Arc<Formula>,
-        include: impl Fn(Var) -> bool,
-    ) -> Arc<Formula> {
+    fn sentence_over(&self, phi: &Arc<Formula>, include: impl Fn(Var) -> bool) -> Arc<Formula> {
         let mut parts: Vec<Arc<Formula>> = Vec::new();
         let mut quant: Vec<Var> = Vec::new();
         for (&x, &s) in self.vars.iter().zip(&self.syms) {
@@ -105,7 +107,11 @@ impl FreeVarElim {
 
     /// The σ̃-expansion `Ã` of `A` with `Xᵢ^Ã = {aᵢ}`.
     pub fn expand(&self, a: &Structure, tuple: &[u32]) -> Structure {
-        assert_eq!(tuple.len(), self.vars.len(), "tuple length must match head variables");
+        assert_eq!(
+            tuple.len(),
+            self.vars.len(),
+            "tuple length must match head variables"
+        );
         let extra = self
             .syms
             .iter()

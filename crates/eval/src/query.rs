@@ -45,14 +45,16 @@ pub fn eval_query(a: &Structure, preds: &Predicates, q: &Query) -> Result<QueryR
     let tuples = ev.satisfying_tuples(&q.body, &q.head_vars)?;
     let mut rows = Vec::with_capacity(tuples.len());
     for tuple in tuples {
-        let mut env = Assignment::from_pairs(
-            q.head_vars.iter().copied().zip(tuple.iter().copied()),
-        );
+        let mut env =
+            Assignment::from_pairs(q.head_vars.iter().copied().zip(tuple.iter().copied()));
         let mut counts = Vec::with_capacity(q.head_terms.len());
         for t in &q.head_terms {
             counts.push(ev.eval_term(t, &mut env)?);
         }
-        rows.push(QueryRow { elems: tuple, counts });
+        rows.push(QueryRow {
+            elems: tuple,
+            counts,
+        });
     }
     rows.sort_by(|a, b| a.elems.cmp(&b.elems));
     Ok(QueryResult { rows })
@@ -70,17 +72,18 @@ mod tests {
         // { (x, #(y).E(x,y)) : x = x } lists every vertex with its degree.
         let x = v("x");
         let y = v("y");
-        let q = Query::new(
-            vec![x],
-            vec![cnt([y], atom("E", [x, y]))],
-            eq(x, x),
-        )
-        .unwrap();
+        let q = Query::new(vec![x], vec![cnt([y], atom("E", [x, y]))], eq(x, x)).unwrap();
         let s = star(5);
         let p = foc_logic::Predicates::standard();
         let res = eval_query(&s, &p, &q).unwrap();
         assert_eq!(res.len(), 5);
-        assert_eq!(res.rows[0], QueryRow { elems: vec![0], counts: vec![4] });
+        assert_eq!(
+            res.rows[0],
+            QueryRow {
+                elems: vec![0],
+                counts: vec![4]
+            }
+        );
         for leaf in 1..5 {
             assert_eq!(res.rows[leaf].counts, vec![1]);
         }
@@ -90,12 +93,7 @@ mod tests {
     fn boolean_query_yields_zero_or_one_row() {
         // { (t_c) : true } with ground t_c (paper's "total number" query).
         let xx = v("xx");
-        let q = Query::new(
-            vec![],
-            vec![cnt([xx], atom_vec("P_a", vec![xx]))],
-            tt(),
-        )
-        .unwrap();
+        let q = Query::new(vec![], vec![cnt([xx], atom_vec("P_a", vec![xx]))], tt()).unwrap();
         let s = string_structure("aba", &['a', 'b']);
         let p = foc_logic::Predicates::standard();
         let res = eval_query(&s, &p, &q).unwrap();

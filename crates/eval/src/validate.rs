@@ -54,16 +54,16 @@ pub fn validate_term(t: &Term, sig: &Signature, preds: &Predicates) -> Result<()
             }
             validate_formula(body, sig, preds)
         }
-        Term::Add(ts) | Term::Mul(ts) => {
-            ts.iter().try_for_each(|s| validate_term(s, sig, preds))
-        }
+        Term::Add(ts) | Term::Mul(ts) => ts.iter().try_for_each(|s| validate_term(s, sig, preds)),
     }
 }
 
 /// Validates a query's body and head terms.
 pub fn validate_query(q: &Query, sig: &Signature, preds: &Predicates) -> Result<()> {
     validate_formula(&q.body, sig, preds)?;
-    q.head_terms.iter().try_for_each(|t| validate_term(t, sig, preds))
+    q.head_terms
+        .iter()
+        .try_for_each(|t| validate_term(t, sig, preds))
 }
 
 #[cfg(test)]

@@ -172,7 +172,11 @@ fn rebound_counted_variables_do_not_leak_outer_bindings() {
     for a in s.universe() {
         let mut fresh = NaiveEvaluator::new(&s, &p);
         let mut env = Assignment::from_pairs([(y, a)]);
-        assert_eq!(fresh.eval_term(&closed, &mut env).unwrap(), 4, "outer y = {a}");
+        assert_eq!(
+            fresh.eval_term(&closed, &mut env).unwrap(),
+            4,
+            "outer y = {a}"
+        );
     }
 }
 

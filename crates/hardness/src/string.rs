@@ -50,7 +50,11 @@ pub fn string_encoding(g: &Structure) -> StringEncoding {
         word.push('a'); // degenerate empty graph guard (n ≥ 1 always)
     }
     let string = string_structure(&word, &['a', 'b', 'c']);
-    StringEncoding { string, word, a_position }
+    StringEncoding {
+        string,
+        word,
+        a_position,
+    }
 }
 
 /// `u < w` (strict order) over the string's `≤`.
@@ -192,7 +196,12 @@ mod tests {
                 let phi_hat = string_formula(&phi);
                 let mut ev2 = NaiveEvaluator::new(&enc.string, &p);
                 let got = ev2.check_sentence(&phi_hat).unwrap();
-                assert_eq!(want, got, "string reduction failed for {s} on order {}", g.order());
+                assert_eq!(
+                    want,
+                    got,
+                    "string reduction failed for {s} on order {}",
+                    g.order()
+                );
             }
         }
     }

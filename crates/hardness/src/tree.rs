@@ -62,7 +62,10 @@ pub fn tree_encoding(g: &Structure) -> TreeEncoding {
             }
         }
     }
-    TreeEncoding { tree: b.finish(), a_vertex }
+    TreeEncoding {
+        tree: b.finish(),
+        a_vertex,
+    }
 }
 
 /// `deg(x) = c` as a FOC({P=}) formula.
@@ -74,7 +77,10 @@ fn deg_eq(x: Var, c: i64) -> Arc<Formula> {
 /// φ_c(x): degree-1 vertices whose unique neighbour has degree 2.
 pub fn phi_c(x: Var) -> Arc<Formula> {
     let y = Var::fresh("cy");
-    and(deg_eq(x, 1), exists(y, and(atom_vec("E", vec![x, y]), deg_eq(y, 2))))
+    and(
+        deg_eq(x, 1),
+        exists(y, and(atom_vec("E", vec![x, y]), deg_eq(y, 2))),
+    )
 }
 
 /// φ_b(x): neighbours of c-vertices.
@@ -130,8 +136,7 @@ pub fn tree_formula(phi: &Arc<Formula>) -> Arc<Formula> {
     let relativized = relativize(phi, &|z| atom_sym(marker, vec![z]));
     let u = Var::fresh("pu");
     let w = Var::fresh("pw");
-    let with_edges =
-        substitute_atom(&relativized, Symbol::new("E"), &[u, w], &psi_edge(u, w));
+    let with_edges = substitute_atom(&relativized, Symbol::new("E"), &[u, w], &psi_edge(u, w));
     let g = Var::fresh("gv");
     substitute_atom(&with_edges, marker, &[g], &phi_a(g))
 }
@@ -154,7 +159,12 @@ mod tests {
         let phi_hat = tree_formula(phi);
         let mut ev2 = NaiveEvaluator::new(&enc.tree, &p);
         let got = ev2.check_sentence(&phi_hat).unwrap();
-        assert_eq!(want, got, "reduction failed for {phi} on order {}", g.order());
+        assert_eq!(
+            want,
+            got,
+            "reduction failed for {phi} on order {}",
+            g.order()
+        );
     }
 
     #[test]

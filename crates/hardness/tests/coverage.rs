@@ -26,7 +26,9 @@ fn randomized_tree_reduction_round_trips() {
         let enc = tree_encoding(&g);
         for src in sentences {
             let phi = parse_formula(src).unwrap();
-            let want = NaiveEvaluator::new(&g, &preds).check_sentence(&phi).unwrap();
+            let want = NaiveEvaluator::new(&g, &preds)
+                .check_sentence(&phi)
+                .unwrap();
             let got = NaiveEvaluator::new(&enc.tree, &preds)
                 .check_sentence(&tree_formula(&phi))
                 .unwrap();
@@ -38,7 +40,10 @@ fn randomized_tree_reduction_round_trips() {
 #[test]
 fn randomized_string_reduction_round_trips() {
     let preds = Predicates::standard();
-    let sentences = ["exists x y. (E(x,y) & !(x=y))", "exists x. !(exists y. E(x,y))"];
+    let sentences = [
+        "exists x y. (E(x,y) & !(x=y))",
+        "exists x. !(exists y. E(x,y))",
+    ];
     let mut rng = StdRng::seed_from_u64(505);
     for trial in 0..4 {
         let n = rng.gen_range(2..5u32);
@@ -47,7 +52,9 @@ fn randomized_string_reduction_round_trips() {
         let enc = string_encoding(&g);
         for src in sentences {
             let phi = parse_formula(src).unwrap();
-            let want = NaiveEvaluator::new(&g, &preds).check_sentence(&phi).unwrap();
+            let want = NaiveEvaluator::new(&g, &preds)
+                .check_sentence(&phi)
+                .unwrap();
             let got = NaiveEvaluator::new(&enc.string, &preds)
                 .check_sentence(&string_formula(&phi))
                 .unwrap();

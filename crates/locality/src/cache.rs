@@ -1,0 +1,173 @@
+//! A memoised store of basic-cl-term values, shared across the main
+//! algorithm's recursion.
+//!
+//! The Section 8.2 recursion re-evaluates the *same* basic cl-term on
+//! the *same* database many times: sibling clusters of a neighbourhood
+//! cover are frequently identical up to renaming handled upstream (the
+//! induced substructures of equal member sets), the removal rewriting
+//! produces the same components at every cluster, and the engine's
+//! sentence resolution revisits terms across markers. [`TermCache`]
+//! memoises the per-element value vector of a basic cl-term keyed by
+//! *content*: the term's structural hash and the structure's
+//! fingerprint. Both evaluators consult it, so a value computed by ball
+//! enumeration at the recursion floor is reused by the cover engine one
+//! level up and vice versa.
+//!
+//! The cache is `Sync` (a mutexed map with atomic hit/miss counters) so
+//! the parallel cluster path can share one instance across workers
+//! without affecting determinism: a hit returns exactly the vector the
+//! miss path would have computed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use foc_structures::{FxHashMap, Structure};
+
+use crate::clterm::BasicClTerm;
+
+/// Key of one memoised value: (term structure, database content). The
+/// universe order is kept alongside the two hashes so a collision must
+/// also agree on the vector length to go unnoticed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    term: u64,
+    structure: u64,
+    order: u32,
+}
+
+/// A thread-safe memo of basic-cl-term value vectors.
+#[derive(Debug)]
+pub struct TermCache {
+    map: Mutex<FxHashMap<Key, Arc<Vec<i64>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    capacity: usize,
+}
+
+/// Default bound on resident entries (vectors are cluster-sized, so this
+/// caps memory at roughly `capacity × max cluster order × 8` bytes).
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+impl Default for TermCache {
+    fn default() -> TermCache {
+        TermCache::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl TermCache {
+    /// An empty cache holding at most `capacity` entries. Once full,
+    /// further inserts are dropped (a deterministic policy: what is
+    /// cached never depends on thread timing, only on first-come
+    /// insertion order of *distinct* keys, which the sequential and
+    /// parallel paths agree on for the values they produce).
+    pub fn with_capacity(capacity: usize) -> TermCache {
+        TermCache {
+            map: Mutex::new(FxHashMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// Looks up the memoised value of `b` on `s`, counting a hit or miss.
+    pub fn get(&self, b: &BasicClTerm, s: &Structure) -> Option<Arc<Vec<i64>>> {
+        let key = Key {
+            term: b.structural_hash(),
+            structure: s.fingerprint(),
+            order: s.order(),
+        };
+        let found = self
+            .map
+            .lock()
+            .expect("term cache poisoned")
+            .get(&key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores the value of `b` on `s` (a no-op at capacity).
+    pub fn insert(&self, b: &BasicClTerm, s: &Structure, vals: Arc<Vec<i64>>) {
+        let key = Key {
+            term: b.structural_hash(),
+            structure: s.fingerprint(),
+            order: s.order(),
+        };
+        let mut map = self.map.lock().expect("term cache poisoned");
+        if map.len() < self.capacity {
+            map.insert(key, vals);
+        }
+    }
+
+    /// Lookups that found a memoised value.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("term cache poisoned").len()
+    }
+
+    /// `true` iff nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::decompose_unary;
+    use foc_logic::build::{atom, v};
+    use foc_structures::gen::{cycle, path};
+
+    fn some_basic() -> Arc<BasicClTerm> {
+        let y1 = v("y1");
+        let y2 = v("y2");
+        let cl = decompose_unary(&atom("E", [y1, y2]), &[y1, y2]).unwrap();
+        cl.basics().into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn hit_after_insert_and_counters() {
+        let cache = TermCache::default();
+        let b = some_basic();
+        let s = path(6);
+        assert!(cache.get(&b, &s).is_none());
+        cache.insert(&b, &s, Arc::new(vec![1; 6]));
+        assert_eq!(cache.get(&b, &s).unwrap().as_slice(), &[1; 6]);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn distinct_structures_do_not_collide() {
+        let cache = TermCache::default();
+        let b = some_basic();
+        cache.insert(&b, &path(6), Arc::new(vec![1; 6]));
+        assert!(
+            cache.get(&b, &cycle(6)).is_none(),
+            "different content, same order"
+        );
+        assert!(cache.get(&b, &path(7)).is_none(), "different order");
+    }
+
+    #[test]
+    fn capacity_bounds_inserts() {
+        let cache = TermCache::with_capacity(1);
+        let b = some_basic();
+        cache.insert(&b, &path(4), Arc::new(vec![0; 4]));
+        cache.insert(&b, &path(5), Arc::new(vec![0; 5]));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&b, &path(4)).is_some());
+        assert!(cache.get(&b, &path(5)).is_none());
+    }
+}

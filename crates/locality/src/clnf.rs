@@ -57,7 +57,11 @@ pub fn cl_normalform(f: &Arc<Formula>) -> Result<ClNormalForm> {
     let mut sentences = Vec::new();
     let matrix = extract(&g, &mut sentences)?;
     let local_radius = max_local_radius(&matrix)?;
-    Ok(ClNormalForm { matrix, sentences, local_radius })
+    Ok(ClNormalForm {
+        matrix,
+        sentences,
+        local_radius,
+    })
 }
 
 fn extract(f: &Arc<Formula>, out: &mut Vec<ClnfSentence>) -> Result<Arc<Formula>> {
@@ -72,7 +76,11 @@ fn extract(f: &Arc<Formula>, out: &mut Vec<ClnfSentence>) -> Result<Arc<Formula>
         }
         let term = decompose_ground(matrix, &vars)?;
         let marker = Var::fresh("Chi").symbol();
-        out.push(ClnfSentence { marker, original: f.clone(), term });
+        out.push(ClnfSentence {
+            marker,
+            original: f.clone(),
+            term,
+        });
         return Ok(Arc::new(Formula::Atom(foc_logic::Atom {
             rel: marker,
             args: Box::new([]),
@@ -83,19 +91,23 @@ fn extract(f: &Arc<Formula>, out: &mut Vec<ClnfSentence>) -> Result<Arc<Formula>
             Ok(f.clone())
         }
         Formula::Not(g) => Ok(Formula::not(extract(g, out)?)),
-        Formula::And(gs) => {
-            Ok(Formula::and(gs.iter().map(|g| extract(g, out)).collect::<Result<Vec<_>>>()?))
-        }
-        Formula::Or(gs) => {
-            Ok(Formula::or(gs.iter().map(|g| extract(g, out)).collect::<Result<Vec<_>>>()?))
-        }
+        Formula::And(gs) => Ok(Formula::and(
+            gs.iter()
+                .map(|g| extract(g, out))
+                .collect::<Result<Vec<_>>>()?,
+        )),
+        Formula::Or(gs) => Ok(Formula::or(
+            gs.iter()
+                .map(|g| extract(g, out))
+                .collect::<Result<Vec<_>>>()?,
+        )),
         Formula::Exists(..) => {
             // A local ∃-block with free variables stays in the matrix.
             Ok(f.clone())
         }
-        Formula::Forall(..) => {
-            Err(LocalityError::NotLocal("universal quantifier in GNF output".into()))
-        }
+        Formula::Forall(..) => Err(LocalityError::NotLocal(
+            "universal quantifier in GNF output".into(),
+        )),
         Formula::Pred { .. } => Err(LocalityError::NotFirstOrder(f.to_string())),
     }
 }
@@ -129,9 +141,7 @@ fn substitute_markers(f: &Arc<Formula>, values: &FxHashMap<Symbol, bool>) -> Arc
         Formula::And(gs) => {
             Formula::and(gs.iter().map(|g| substitute_markers(g, values)).collect())
         }
-        Formula::Or(gs) => {
-            Formula::or(gs.iter().map(|g| substitute_markers(g, values)).collect())
-        }
+        Formula::Or(gs) => Formula::or(gs.iter().map(|g| substitute_markers(g, values)).collect()),
         Formula::Exists(y, g) => Arc::new(Formula::Exists(*y, substitute_markers(g, values))),
         Formula::Forall(y, g) => Arc::new(Formula::Forall(*y, substitute_markers(g, values))),
         _ => f.clone(),
@@ -191,9 +201,8 @@ mod tests {
             let mut tuple = vec![0u32; k];
             let mut done = false;
             while !done {
-                let mut env = Assignment::from_pairs(
-                    free.iter().copied().zip(tuple.iter().copied()),
-                );
+                let mut env =
+                    Assignment::from_pairs(free.iter().copied().zip(tuple.iter().copied()));
                 let want = ev.check(f, &mut env).unwrap();
                 let got = ev.check(&resolved, &mut env).unwrap();
                 assert_eq!(want, got, "clnf disagrees for {f} at {tuple:?} (order {n})");
@@ -215,7 +224,10 @@ mod tests {
         // "There are two distinct non-adjacent vertices."
         let f = exists(
             v("a"),
-            exists(v("b"), and(not(atom("E", [v("a"), v("b")])), not(eq(v("a"), v("b"))))),
+            exists(
+                v("b"),
+                and(not(atom("E", [v("a"), v("b")])), not(eq(v("a"), v("b")))),
+            ),
         );
         let clnf = cl_normalform(&f).unwrap();
         assert!(!clnf.sentences.is_empty());
@@ -224,7 +236,10 @@ mod tests {
 
     #[test]
     fn formula_with_free_var_and_sentence_component() {
-        let f = exists(v("z"), and(not(atom("E", [v("x"), v("z")])), not(eq(v("x"), v("z")))));
+        let f = exists(
+            v("z"),
+            and(not(atom("E", [v("x"), v("z")])), not(eq(v("x"), v("z")))),
+        );
         check_clnf(&f);
     }
 

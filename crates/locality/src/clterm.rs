@@ -7,8 +7,8 @@
 
 use std::sync::Arc;
 
-use foc_logic::{Formula, Term, Var};
 use foc_eval::{Assignment, NaiveEvaluator};
+use foc_logic::{Formula, Term, Var};
 
 use crate::error::{LocalityError, Result};
 use crate::gk::Gk;
@@ -48,13 +48,23 @@ impl BasicClTerm {
         body: Arc<Formula>,
     ) -> Result<BasicClTerm> {
         assert_eq!(vars.len(), graph.k(), "variable/graph size mismatch");
-        assert!(graph.is_connected(), "basic cl-terms require a connected graph");
+        assert!(
+            graph.is_connected(),
+            "basic cl-terms require a connected graph"
+        );
         let body_radius = if body.free_vars().is_empty() {
             0 // constant or marker-only body
         } else {
             locality_radius(&body)?
         };
-        Ok(BasicClTerm { vars, unary, graph, radius, body_radius, body })
+        Ok(BasicClTerm {
+            vars,
+            unary,
+            graph,
+            radius,
+            body_radius,
+            body,
+        })
     }
 
     /// Width `k` of the term.
@@ -69,15 +79,20 @@ impl BasicClTerm {
 
     /// `ψ ∧ δ_G,2r+1` as a plain formula.
     pub fn matrix(&self) -> Arc<Formula> {
-        let delta = self.graph.delta_formula(&self.vars, self.delta_bound() as u32);
+        let delta = self
+            .graph
+            .delta_formula(&self.vars, self.delta_bound() as u32);
         Formula::and(vec![self.body.clone(), delta])
     }
 
     /// The equivalent FOC counting term (used for cross-checking against
     /// the reference evaluator).
     pub fn to_term(&self) -> Arc<Term> {
-        let counted: Vec<Var> =
-            if self.unary { self.vars[1..].to_vec() } else { self.vars.clone() };
+        let counted: Vec<Var> = if self.unary {
+            self.vars[1..].to_vec()
+        } else {
+            self.vars.clone()
+        };
         Arc::new(Term::Count(counted.into_boxed_slice(), self.matrix()))
     }
 
@@ -88,6 +103,23 @@ impl BasicClTerm {
         } else {
             None
         }
+    }
+
+    /// A structural 64-bit hash of the term: two basic cl-terms with the
+    /// same variables, shape, radii, and body hash equal regardless of
+    /// which `Arc` they live behind. Stable within a process (variables
+    /// hash by their interned symbol), which is what the cross-cluster
+    /// memo cache keys on.
+    pub fn structural_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = foc_structures::FxHasher::default();
+        self.vars.hash(&mut h);
+        self.unary.hash(&mut h);
+        self.graph.hash(&mut h);
+        h.write_u64(self.radius);
+        h.write_u64(self.body_radius);
+        self.body.hash(&mut h);
+        h.finish()
     }
 }
 
@@ -148,9 +180,7 @@ impl ClTerm {
         match self {
             ClTerm::Int(_) => {}
             ClTerm::Basic(b) => out.push(b.clone()),
-            ClTerm::Add(ts) | ClTerm::Mul(ts) => {
-                ts.iter().for_each(|t| t.collect_basics(out))
-            }
+            ClTerm::Add(ts) | ClTerm::Mul(ts) => ts.iter().for_each(|t| t.collect_basics(out)),
         }
     }
 
@@ -232,14 +262,7 @@ mod tests {
         let y1 = v("y1");
         let y2 = v("y2");
         let g = Gk::from_edges(2, &[(0, 1)]);
-        let b = BasicClTerm::new(
-            vec![y1, y2],
-            true,
-            g,
-            0,
-            atom("E", [y1, y2]),
-        )
-        .unwrap();
+        let b = BasicClTerm::new(vec![y1, y2], true, g, 0, atom("E", [y1, y2])).unwrap();
         assert_eq!(b.width(), 2);
         assert_eq!(b.delta_bound(), 1);
         assert_eq!(b.body_radius, 0);
@@ -254,10 +277,11 @@ mod tests {
         let y1 = v("y1");
         let y2 = v("y2");
         let g = Gk::from_edges(2, &[(0, 1)]);
-        let b = Arc::new(
-            BasicClTerm::new(vec![y1, y2], true, g, 0, atom("E", [y1, y2])).unwrap(),
+        let b = Arc::new(BasicClTerm::new(vec![y1, y2], true, g, 0, atom("E", [y1, y2])).unwrap());
+        let t = ClTerm::sub(
+            ClTerm::mul(vec![ClTerm::Int(3), ClTerm::Basic(b)]),
+            ClTerm::Int(1),
         );
-        let t = ClTerm::sub(ClTerm::mul(vec![ClTerm::Int(3), ClTerm::Basic(b)]), ClTerm::Int(1));
         let s = star(5);
         let p = Predicates::standard();
         assert_eq!(t.eval_naive(&s, &p, Some(0)).unwrap(), 3 * 4 - 1);
@@ -269,12 +293,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "connected")]
     fn disconnected_graph_rejected() {
-        let _ = BasicClTerm::new(
-            vec![v("a"), v("b")],
-            false,
-            Gk::empty(2),
-            0,
-            tt(),
-        );
+        let _ = BasicClTerm::new(vec![v("a"), v("b")], false, Gk::empty(2), 0, tt());
     }
 }

@@ -50,11 +50,7 @@ pub fn decompose_ground(psi: &Arc<Formula>, vars: &[Var]) -> Result<ClTerm> {
 
 /// Like [`decompose_ground`] with an explicitly supplied radius (must be
 /// a valid locality radius for ψ).
-pub fn decompose_ground_with_radius(
-    psi: &Arc<Formula>,
-    vars: &[Var],
-    r: u64,
-) -> Result<ClTerm> {
+pub fn decompose_ground_with_radius(psi: &Arc<Formula>, vars: &[Var], r: u64) -> Result<ClTerm> {
     decompose_sum(psi, vars, r, false, true)
 }
 
@@ -104,7 +100,10 @@ fn decompose_sum(
     unary: bool,
     prune: bool,
 ) -> Result<ClTerm> {
-    assert!(!vars.is_empty(), "decomposition needs at least one variable");
+    assert!(
+        !vars.is_empty(),
+        "decomposition needs at least one variable"
+    );
     let var_set: std::collections::BTreeSet<Var> = vars.iter().copied().collect();
     if !psi.free_vars().is_subset(&var_set) {
         return Err(crate::error::LocalityError::NotLocal(
@@ -168,10 +167,12 @@ pub fn decompose_with_graph(
 
     // Split [k] into V′ (the component of vertex 0) and V″ (the rest).
     let comps = g.components();
-    let vprime: Vec<usize> =
-        comps.iter().find(|c| c.contains(&0)).expect("vertex 0 is somewhere").clone();
-    let vsecond: Vec<usize> =
-        (0..g.k()).filter(|i| !vprime.contains(i)).collect();
+    let vprime: Vec<usize> = comps
+        .iter()
+        .find(|c| c.contains(&0))
+        .expect("vertex 0 is somewhere")
+        .clone();
+    let vsecond: Vec<usize> = (0..g.k()).filter(|i| !vprime.contains(i)).collect();
 
     let side_of: FxHashMap<Var, u8> = vars
         .iter()
@@ -244,7 +245,12 @@ mod tests {
         let cl = decompose_ground(psi, vars)
             .unwrap_or_else(|e| panic!("decomposition failed for {psi}: {e}"));
         let got = cl.eval_naive(s, &p, None).unwrap();
-        assert_eq!(got, want, "ground decomposition disagrees for {psi} on order {}", s.order());
+        assert_eq!(
+            got,
+            want,
+            "ground decomposition disagrees for {psi} on order {}",
+            s.order()
+        );
     }
 
     /// Checks the unary case at every element.
@@ -334,11 +340,7 @@ mod tests {
         let x = v("x");
         let y = v("y");
         let z = v("z");
-        let tri = and_all([
-            atom("E", [x, y]),
-            atom("E", [y, z]),
-            atom("E", [z, x]),
-        ]);
+        let tri = and_all([atom("E", [x, y]), atom("E", [y, z]), atom("E", [z, x])]);
         for s in small_structures() {
             check_ground(&tri, &[x, y, z], &s);
             check_unary(&tri, &[x, y, z], &s);

@@ -27,7 +27,10 @@ impl Gk {
     /// The empty graph on `k` vertices.
     pub fn empty(k: usize) -> Gk {
         assert!(k >= 1, "G_k is defined for k ≥ 1");
-        Gk { k, bits: vec![false; k * (k - 1) / 2] }
+        Gk {
+            k,
+            bits: vec![false; k * (k - 1) / 2],
+        }
     }
 
     /// Builds a graph from an edge list.

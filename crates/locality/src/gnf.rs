@@ -50,12 +50,12 @@ fn process(f: &Arc<Formula>) -> Result<Arc<Formula>> {
             Ok(f.clone())
         }
         Formula::Not(g) => Ok(Formula::not(process(g)?)),
-        Formula::And(gs) => {
-            Ok(Formula::and(gs.iter().map(process).collect::<Result<Vec<_>>>()?))
-        }
-        Formula::Or(gs) => {
-            Ok(Formula::or(gs.iter().map(process).collect::<Result<Vec<_>>>()?))
-        }
+        Formula::And(gs) => Ok(Formula::and(
+            gs.iter().map(process).collect::<Result<Vec<_>>>()?,
+        )),
+        Formula::Or(gs) => Ok(Formula::or(
+            gs.iter().map(process).collect::<Result<Vec<_>>>()?,
+        )),
         Formula::Exists(y, g) => {
             let body = process(g)?;
             quantify(*y, body)
@@ -63,9 +63,9 @@ fn process(f: &Arc<Formula>) -> Result<Arc<Formula>> {
         Formula::Forall(..) => Err(LocalityError::NotLocal(
             "universal quantifier survived NNF in GNF".into(),
         )),
-        Formula::Pred { .. } =>
-
-            Err(LocalityError::NotFirstOrder(format!("GNF is defined on FO⁺ only: {f}"))),
+        Formula::Pred { .. } => Err(LocalityError::NotFirstOrder(format!(
+            "GNF is defined on FO⁺ only: {f}"
+        ))),
     }
 }
 
@@ -81,7 +81,13 @@ fn quantify(y: Var, body: Arc<Formula>) -> Result<Arc<Formula>> {
     for (sentence_literals, local_part) in cases {
         let case_conj: Vec<Arc<Formula>> = sentence_literals
             .iter()
-            .map(|(s, pol)| if *pol { s.clone() } else { Formula::not(s.clone()) })
+            .map(|(s, pol)| {
+                if *pol {
+                    s.clone()
+                } else {
+                    Formula::not(s.clone())
+                }
+            })
             .collect();
         let quantified = quantify_local(y, &local_part)?;
         let mut parts = case_conj;
@@ -113,8 +119,7 @@ fn quantify_local(y: Var, body: &Arc<Formula>) -> Result<Arc<Formula>> {
     let r = locality_radius(body)?;
     let s = u32::try_from(2 * r + 1)
         .map_err(|_| LocalityError::TooComplex("radius too large".into()))?;
-    let near_guard =
-        Formula::or(anchors.iter().map(|&x| dist_le(y, x, s)).collect());
+    let near_guard = Formula::or(anchors.iter().map(|&x| dist_le(y, x, s)).collect());
     let near: Arc<Formula> = Arc::new(Formula::Exists(
         y,
         Formula::and(vec![near_guard, body.clone()]),
@@ -141,11 +146,8 @@ fn quantify_local(y: Var, body: &Arc<Formula>) -> Result<Arc<Formula>> {
 fn far_witness(y: Var, beta: &Arc<Formula>, anchors: &[Var], s: u32) -> Result<Arc<Formula>> {
     let k = anchors.len();
     // W(x̄): a β-point in the annulus (s, 3s].
-    let far_from_all =
-        Formula::and(anchors.iter().map(|&x| dist_gt(y, x, s)).collect());
-    let within_3s = Formula::or(
-        anchors.iter().map(|&x| dist_le(y, x, 3 * s)).collect(),
-    );
+    let far_from_all = Formula::and(anchors.iter().map(|&x| dist_gt(y, x, s)).collect());
+    let within_3s = Formula::or(anchors.iter().map(|&x| dist_le(y, x, 3 * s)).collect());
     let w: Arc<Formula> = Arc::new(Formula::Exists(
         y,
         Formula::and(vec![far_from_all, within_3s, beta.clone()]),
@@ -313,15 +315,11 @@ mod tests {
             let mut tuple = vec![0u32; k];
             let mut done = false;
             while !done {
-                let mut env1 = Assignment::from_pairs(
-                    free.iter().copied().zip(tuple.iter().copied()),
-                );
+                let mut env1 =
+                    Assignment::from_pairs(free.iter().copied().zip(tuple.iter().copied()));
                 let want = ev.check(f, &mut env1).unwrap();
                 let got = ev.check(&g, &mut env1).unwrap();
-                assert_eq!(
-                    want, got,
-                    "GNF disagrees for {f} at {tuple:?} on order {n}"
-                );
+                assert_eq!(want, got, "GNF disagrees for {f} at {tuple:?} on order {n}");
                 // Advance to the next tuple (odometer); finish when all
                 // positions wrap (or immediately for sentences).
                 done = true;
@@ -360,7 +358,10 @@ mod tests {
         // ∃z (¬E(x,z) ∧ ¬(x = z)): "some vertex is not x and not adjacent
         // to x" — the classical non-local formula requiring scattered
         // sentences.
-        let f = exists(v("z"), and(not(atom("E", [v("x"), v("z")])), not(eq(v("x"), v("z")))));
+        let f = exists(
+            v("z"),
+            and(not(atom("E", [v("x"), v("z")])), not(eq(v("x"), v("z")))),
+        );
         check_equiv(&f, &structures());
     }
 
@@ -381,7 +382,10 @@ mod tests {
         let s = b.finish();
         let f = exists(
             v("z"),
-            and(atom_vec("R", vec![v("z")]), not(atom("E", [v("x"), v("z")]))),
+            and(
+                atom_vec("R", vec![v("z")]),
+                not(atom("E", [v("x"), v("z")])),
+            ),
         );
         check_equiv(&f, &[s]);
     }
@@ -392,7 +396,10 @@ mod tests {
         // equivalent.
         let f = exists(
             v("z"),
-            exists(v("w"), and(not(atom("E", [v("z"), v("w")])), not(eq(v("z"), v("w"))))),
+            exists(
+                v("w"),
+                and(not(atom("E", [v("z"), v("w")])), not(eq(v("z"), v("w")))),
+            ),
         );
         check_equiv(&f, &structures());
     }
@@ -402,7 +409,13 @@ mod tests {
         // R-free graphs: local part ∧ global sentence.
         let f = and(
             exists(v("z"), atom("E", [v("x"), v("z")])),
-            exists(v("a"), exists(v("b"), and(atom("E", [v("a"), v("b")]), not(eq(v("a"), v("b")))))),
+            exists(
+                v("a"),
+                exists(
+                    v("b"),
+                    and(atom("E", [v("a"), v("b")]), not(eq(v("a"), v("b")))),
+                ),
+            ),
         );
         check_equiv(&f, &structures());
     }
@@ -428,14 +441,20 @@ mod tests {
         // the ∀ path (negated existential with guard).
         let f = forall(
             v("z"),
-            or(not(atom("E", [v("x"), v("z")])), atom("E", [v("z"), v("x")])),
+            or(
+                not(atom("E", [v("x"), v("z")])),
+                atom("E", [v("z"), v("x")]),
+            ),
         );
         check_equiv(&f, &structures());
     }
 
     #[test]
     fn gnf_produces_recognisable_parts() {
-        let f = exists(v("z"), and(not(atom("E", [v("x"), v("z")])), not(eq(v("x"), v("z")))));
+        let f = exists(
+            v("z"),
+            and(not(atom("E", [v("x"), v("z")])), not(eq(v("x"), v("z")))),
+        );
         let g = gaifman_nf(&f).unwrap();
         // Some scattered sentence must appear (the graph can be larger
         // than any ball around x).
@@ -444,9 +463,8 @@ mod tests {
         // The residual parts must be recognisably local.
         for (_, residual) in &cases {
             if !residual.free_vars().is_empty() {
-                locality_radius(residual).unwrap_or_else(|e| {
-                    panic!("non-local residual {residual}: {e}")
-                });
+                locality_radius(residual)
+                    .unwrap_or_else(|e| panic!("non-local residual {residual}: {e}"));
             }
         }
     }

@@ -17,14 +17,21 @@
 //! * [`clnf`] — the cl-normalform of Theorem 6.8 (local matrix + ground
 //!   cl-terms behind 0-ary markers);
 //! * [`local_eval`] — ball-based evaluation of basic cl-terms
-//!   (Remark 6.3), the workhorse of the `Local` engine.
+//!   (Remark 6.3), the workhorse of the `Local` engine;
+//! * [`cache`] — a content-keyed, thread-safe memo of basic-cl-term
+//!   values shared across the recursion of the main algorithm.
 //!
 //! Every transformation in this crate is property-tested for semantic
 //! equivalence against the reference evaluator of `foc-eval`.
 
 #![warn(missing_docs)]
-#![allow(clippy::should_implement_trait, clippy::type_complexity, clippy::needless_range_loop)]
+#![allow(
+    clippy::should_implement_trait,
+    clippy::type_complexity,
+    clippy::needless_range_loop
+)]
 
+pub mod cache;
 pub mod clnf;
 pub mod clterm;
 pub mod decompose;
@@ -35,6 +42,7 @@ pub mod local_eval;
 pub mod radius;
 pub mod separate;
 
+pub use cache::TermCache;
 pub use clnf::{cl_normalform, ClNormalForm, ClnfSentence};
 pub use clterm::{BasicClTerm, ClTerm};
 pub use decompose::{decompose_ground, decompose_unary};

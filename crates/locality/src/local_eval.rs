@@ -18,6 +18,7 @@ use foc_eval::{Assignment, NaiveEvaluator};
 use foc_logic::Predicates;
 use foc_structures::{BfsScratch, FxHashMap, Structure};
 
+use crate::cache::TermCache;
 use crate::clterm::{BasicClTerm, ClTerm};
 use crate::error::{LocalityError, Result};
 
@@ -63,6 +64,13 @@ pub struct LocalEvaluator<'a> {
     /// Skip elements outside the guard-atom support of `y₁`. Ablation
     /// toggle for E11.
     pub use_support: bool,
+    /// Worker threads for [`LocalEvaluator::eval_basic_all`]: `1` is the
+    /// sequential loop, `0` means "one per hardware thread". The parallel
+    /// path is bit-identical to the sequential one (elements are
+    /// independent; results are written back in element order).
+    pub threads: usize,
+    /// Optional shared memo of basic-term values (see [`TermCache`]).
+    cache: Option<Arc<TermCache>>,
     /// Work counters.
     pub stats: LocalStats,
 }
@@ -76,8 +84,16 @@ impl<'a> LocalEvaluator<'a> {
             scratch: BfsScratch::new(),
             use_atom_candidates: true,
             use_support: true,
+            threads: 1,
+            cache: None,
             stats: LocalStats::default(),
         }
+    }
+
+    /// Attaches a shared memo cache consulted by
+    /// [`LocalEvaluator::eval_basic_all`].
+    pub fn set_cache(&mut self, cache: Arc<TermCache>) {
+        self.cache = Some(cache);
     }
 
     /// The exploration radius for a basic cl-term (Lemma 6.1 /
@@ -121,7 +137,15 @@ impl<'a> LocalEvaluator<'a> {
         let mut assigned: Vec<(usize, u32)> = vec![(0, a)]; // (graph node, value)
         let mut count: i64 = 0;
         let mut ev = NaiveEvaluator::new(self.a, self.preds);
-        self.backtrack(b, &order, 1, &mut assigned, &mut dist_maps, &mut ev, &mut count)?;
+        self.backtrack(
+            b,
+            &order,
+            1,
+            &mut assigned,
+            &mut dist_maps,
+            &mut ev,
+            &mut count,
+        )?;
         Ok(count)
     }
 
@@ -138,9 +162,8 @@ impl<'a> LocalEvaluator<'a> {
     ) -> Result<()> {
         if idx == order.len() {
             // δ fully checked along the way; test the body.
-            let mut env = Assignment::from_pairs(
-                assigned.iter().map(|&(node, val)| (b.vars[node], val)),
-            );
+            let mut env =
+                Assignment::from_pairs(assigned.iter().map(|&(node, val)| (b.vars[node], val)));
             self.stats.tuples_checked += 1;
             if ev.check(&b.body, &mut env)? {
                 *count = count
@@ -157,8 +180,11 @@ impl<'a> LocalEvaluator<'a> {
         // assigned G-neighbour (BFS order guarantees one exists). Values
         // outside the guard atom's rows falsify the body, and values
         // outside the ball falsify δ, so both candidate sets are sound.
-        let atom_cands =
-            if self.use_atom_candidates { self.atom_candidates(b, node, assigned) } else { None };
+        let atom_cands = if self.use_atom_candidates {
+            self.atom_candidates(b, node, assigned)
+        } else {
+            None
+        };
         let candidates: Vec<u32> = match atom_cands {
             Some(c) => c,
             None => {
@@ -189,7 +215,10 @@ impl<'a> LocalEvaluator<'a> {
             // A candidate's own distance map is only needed when deeper
             // tuple positions will check δ-constraints against it.
             if idx + 1 < order.len() && !dist_maps.contains_key(&cand) {
-                let map = self.a.gaifman().distances_from(cand, bound, &mut self.scratch);
+                let map = self
+                    .a
+                    .gaifman()
+                    .distances_from(cand, bound, &mut self.scratch);
                 self.stats.balls += 1;
                 self.stats.ball_elements += map.len() as u64;
                 dist_maps.insert(cand, map);
@@ -217,7 +246,9 @@ impl<'a> LocalEvaluator<'a> {
                 }
                 foc_logic::Formula::Exists(z, g) if *z != var => find(g, var, s, best),
                 foc_logic::Formula::Atom(at) if at.args.contains(&var) => {
-                    let Some(rel) = s.relation(at.rel) else { return };
+                    let Some(rel) = s.relation(at.rel) else {
+                        return;
+                    };
                     let positions: Vec<usize> = at
                         .args
                         .iter()
@@ -270,21 +301,57 @@ impl<'a> LocalEvaluator<'a> {
     }
 
     /// `u^A[a]` for all elements at once (elements outside the guard-atom
-    /// support are 0 without exploring their neighbourhood).
+    /// support are 0 without exploring their neighbourhood). Consults the
+    /// attached [`TermCache`] and fans the per-element loop out over
+    /// [`LocalEvaluator::threads`] workers.
     pub fn eval_basic_all(&mut self, b: &BasicClTerm) -> Result<Vec<i64>> {
+        if let Some(cache) = self.cache.clone() {
+            if let Some(vals) = cache.get(b, self.a) {
+                return Ok(vals.as_ref().clone());
+            }
+            let vals = self.eval_basic_all_uncached(b)?;
+            cache.insert(b, self.a, Arc::new(vals.clone()));
+            return Ok(vals);
+        }
+        self.eval_basic_all_uncached(b)
+    }
+
+    fn eval_basic_all_uncached(&mut self, b: &BasicClTerm) -> Result<Vec<i64>> {
+        let support = if self.use_support {
+            self.support(b)
+        } else {
+            None
+        };
+        let elems: Vec<u32> = match support {
+            Some(support) => support,
+            None => self.a.universe().collect(),
+        };
         let mut out = vec![0i64; self.a.order() as usize];
-        let support = if self.use_support { self.support(b) } else { None };
-        match support {
-            Some(support) => {
-                for a in support {
-                    out[a as usize] = self.eval_basic_at(b, a)?;
-                }
+        let threads = foc_parallel::resolve_threads(self.threads).min(elems.len().max(1));
+        if threads <= 1 {
+            for a in elems {
+                out[a as usize] = self.eval_basic_at(b, a)?;
             }
-            None => {
-                for a in self.a.universe() {
-                    out[a as usize] = self.eval_basic_at(b, a)?;
-                }
-            }
+            return Ok(out);
+        }
+        // Elements are independent, so fan out with per-worker state
+        // (each worker gets its own scratch and counters); values are
+        // written back under their element id and the counters summed,
+        // making the result and the stats independent of scheduling.
+        let (a, preds) = (self.a, self.preds);
+        let (cands, supp) = (self.use_atom_candidates, self.use_support);
+        let results = foc_parallel::par_map(&elems, threads, |_, &e| {
+            let mut worker = LocalEvaluator::new(a, preds);
+            worker.use_atom_candidates = cands;
+            worker.use_support = supp;
+            let v = worker.eval_basic_at(b, e)?;
+            Ok::<(i64, LocalStats), LocalityError>((v, worker.stats))
+        })?;
+        for (&e, (v, st)) in elems.iter().zip(results) {
+            out[e as usize] = v;
+            self.stats.balls += st.balls;
+            self.stats.ball_elements += st.ball_elements;
+            self.stats.tuples_checked += st.tuples_checked;
         }
         Ok(out)
     }
@@ -389,13 +456,23 @@ fn collect_atom_candidates(
         Formula::Atom(at) if at.args.contains(&var) => {
             // Require at least one bound companion variable for
             // selectivity; otherwise the ball candidates are preferable.
-            if !at.args.iter().any(|v| *v != var && lookup(*v, shadowed).is_some()) {
+            if !at
+                .args
+                .iter()
+                .any(|v| *v != var && lookup(*v, shadowed).is_some())
+            {
                 return;
             }
-            let Some(rel) = s.relation(at.rel) else { return };
+            let Some(rel) = s.relation(at.rel) else {
+                return;
+            };
             // Pick any bound companion position to drive an index lookup.
             let bound_pos = at.args.iter().enumerate().find_map(|(pos, v)| {
-                if *v != var { lookup(*v, shadowed).map(|val| (pos, val)) } else { None }
+                if *v != var {
+                    lookup(*v, shadowed).map(|val| (pos, val))
+                } else {
+                    None
+                }
             });
             let mut vals = Vec::new();
             let mut scan = |row: &[u32]| {
@@ -433,21 +510,21 @@ fn collect_atom_candidates(
     }
 }
 
-fn combine(
-    a: ClValue,
-    b: ClValue,
-    op: impl Fn(i64, i64) -> Option<i64>,
-) -> Result<ClValue> {
+fn combine(a: ClValue, b: ClValue, op: impl Fn(i64, i64) -> Option<i64>) -> Result<ClValue> {
     let overflow = || LocalityError::Eval(foc_eval::EvalError::Overflow);
     match (a, b) {
         (ClValue::Scalar(x), ClValue::Scalar(y)) => {
             Ok(ClValue::Scalar(op(x, y).ok_or_else(overflow)?))
         }
         (ClValue::Scalar(x), ClValue::Vector(ys)) => Ok(ClValue::Vector(
-            ys.into_iter().map(|y| op(x, y).ok_or_else(overflow)).collect::<Result<_>>()?,
+            ys.into_iter()
+                .map(|y| op(x, y).ok_or_else(overflow))
+                .collect::<Result<_>>()?,
         )),
         (ClValue::Vector(xs), ClValue::Scalar(y)) => Ok(ClValue::Vector(
-            xs.into_iter().map(|x| op(x, y).ok_or_else(overflow)).collect::<Result<_>>()?,
+            xs.into_iter()
+                .map(|x| op(x, y).ok_or_else(overflow))
+                .collect::<Result<_>>()?,
         )),
         (ClValue::Vector(xs), ClValue::Vector(ys)) => {
             assert_eq!(xs.len(), ys.len(), "mismatched unary value lengths");
@@ -541,7 +618,12 @@ mod tests {
             };
             let term = StdArc::new(Term::Count(vec![y1, y2].into_boxed_slice(), body.clone()));
             let mut nev = foc_eval::NaiveEvaluator::new(&s, &p);
-            assert_eq!(got, nev.eval_ground(&term).unwrap(), "on order {}", s.order());
+            assert_eq!(
+                got,
+                nev.eval_ground(&term).unwrap(),
+                "on order {}",
+                s.order()
+            );
         }
     }
 
@@ -570,7 +652,12 @@ mod tests {
             for a in s.universe() {
                 let mut env = Assignment::from_pairs([(y1, a)]);
                 let want = nev.eval_term(&term, &mut env).unwrap();
-                assert_eq!(got[a as usize], want, "at element {a} on order {}", s.order());
+                assert_eq!(
+                    got[a as usize],
+                    want,
+                    "at element {a} on order {}",
+                    s.order()
+                );
             }
         }
     }
@@ -583,8 +670,7 @@ mod tests {
         let tri = and_all([atom("E", [x, y]), atom("E", [y, z]), atom("E", [z, x])]);
         let cl = decompose_unary(&tri, &[x, y, z]).unwrap();
         let p = Predicates::standard();
-        let term =
-            StdArc::new(Term::Count(vec![y, z].into_boxed_slice(), tri.clone()));
+        let term = StdArc::new(Term::Count(vec![y, z].into_boxed_slice(), tri.clone()));
         for s in structures() {
             let mut lev = LocalEvaluator::new(&s, &p);
             let got = lev.eval_clterm(&cl).unwrap();

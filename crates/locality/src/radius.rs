@@ -165,7 +165,11 @@ pub fn guard_bound(f: &Formula, target: Var, anchors: &BTreeSet<Var>) -> Option<
 
 /// Guard-bound propagation through a conjunction: a little shortest-path
 /// fixpoint over the variables, seeded with the anchors at distance 0.
-fn conjunction_bound(parts: &[std::sync::Arc<Formula>], target: Var, anchors: &BTreeSet<Var>) -> Option<u64> {
+fn conjunction_bound(
+    parts: &[std::sync::Arc<Formula>],
+    target: Var,
+    anchors: &BTreeSet<Var>,
+) -> Option<u64> {
     let mut bounds: FxHashMap<Var, u64> = anchors.iter().map(|&a| (a, 0)).collect();
     // Collect all variables appearing free in the conjunction.
     let mut vars: BTreeSet<Var> = BTreeSet::new();
@@ -207,7 +211,9 @@ fn conjunction_bound(parts: &[std::sync::Arc<Formula>], target: Var, anchors: &B
 }
 
 fn relax(bounds: &mut FxHashMap<Var, u64>, from: Var, to: Var, weight: u64) -> bool {
-    let Some(&bf) = bounds.get(&from) else { return false };
+    let Some(&bf) = bounds.get(&from) else {
+        return false;
+    };
     let cand = bf.saturating_add(weight);
     match bounds.get(&to) {
         Some(&bt) if bt <= cand => false,
@@ -265,16 +271,14 @@ mod tests {
         loop {
             // Evaluate in A.
             let mut ev = NaiveEvaluator::new(s, &p);
-            let mut env =
-                Assignment::from_pairs(free.iter().copied().zip(tuple.iter().copied()));
+            let mut env = Assignment::from_pairs(free.iter().copied().zip(tuple.iter().copied()));
             let in_a = ev.check(f, &mut env).unwrap();
             // Evaluate in A[N_r(ā)].
             let ball = s.gaifman().ball(&tuple, r as u32, &mut scratch);
             let ind = s.induced(&ball);
             let mut ev2 = NaiveEvaluator::new(&ind.structure, &p);
-            let mut env2 = Assignment::from_pairs(
-                free.iter().copied().zip(tuple.iter().map(|e| ind.fwd[e])),
-            );
+            let mut env2 =
+                Assignment::from_pairs(free.iter().copied().zip(tuple.iter().map(|e| ind.fwd[e])));
             let in_ball = ev2.check(f, &mut env2).unwrap();
             assert_eq!(
                 in_a, in_ball,
@@ -327,7 +331,13 @@ mod tests {
 
     #[test]
     fn dist_guarded_exists() {
-        let f = exists(v("z"), and(dist_le(v("x"), v("z"), 3), atom_vec("E", vec![v("z"), v("z")])));
+        let f = exists(
+            v("z"),
+            and(
+                dist_le(v("x"), v("z"), 3),
+                atom_vec("E", vec![v("z"), v("z")]),
+            ),
+        );
         // guard 3 + body radius max(⌈3/2⌉, 0) = 2 → 5.
         assert_eq!(locality_radius(&f).unwrap(), 5);
     }
@@ -335,13 +345,19 @@ mod tests {
     #[test]
     fn unguarded_exists_rejected() {
         let f = exists(v("z"), not(atom("E", [v("x"), v("z")])));
-        assert!(matches!(locality_radius(&f), Err(LocalityError::NotLocal(_))));
+        assert!(matches!(
+            locality_radius(&f),
+            Err(LocalityError::NotLocal(_))
+        ));
         // A genuinely global sentence inside a conjunction.
         let g = and(
             atom_vec("P", vec![v("x")]),
             exists(v("a"), exists(v("b"), atom("E", [v("a"), v("b")]))),
         );
-        assert!(matches!(locality_radius(&g), Err(LocalityError::NotLocal(_))));
+        assert!(matches!(
+            locality_radius(&g),
+            Err(LocalityError::NotLocal(_))
+        ));
     }
 
     #[test]
@@ -382,11 +398,17 @@ mod tests {
                 v("z"),
                 and(
                     atom("E", [v("x"), v("z")]),
-                    exists(v("w"), and(atom("E", [v("z"), v("w")]), not(eq(v("w"), v("x"))))),
+                    exists(
+                        v("w"),
+                        and(atom("E", [v("z"), v("w")]), not(eq(v("w"), v("x")))),
+                    ),
                 ),
             ),
             and(dist_le(v("x"), v("y"), 3), not(atom("E", [v("x"), v("y")]))),
-            nnf(&not(exists(v("z"), and(atom("E", [v("x"), v("z")]), atom("E", [v("z"), v("y")]))))),
+            nnf(&not(exists(
+                v("z"),
+                and(atom("E", [v("x"), v("z")]), atom("E", [v("z"), v("y")])),
+            ))),
         ];
         let mut rng = StdRng::seed_from_u64(99);
         let structures = vec![path(7), cycle(6), grid(3, 3), random_tree(8, &mut rng)];

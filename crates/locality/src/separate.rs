@@ -78,7 +78,10 @@ pub fn separate(
                 _ => side0.push(lit),
             }
         }
-        out.push(SplitDisjunct { side0: Formula::and(side0), side1: Formula::and(side1) });
+        out.push(SplitDisjunct {
+            side0: Formula::and(side0),
+            side1: Formula::and(side1),
+        });
     }
     Ok(out)
 }
@@ -114,9 +117,7 @@ fn is_pure(f: &Formula, ctx: &Ctx) -> bool {
 /// expansion capture-safe).
 pub fn refresh_bound(f: &Arc<Formula>) -> Arc<Formula> {
     match &**f {
-        Formula::Bool(_) | Formula::Eq(..) | Formula::Atom(_) | Formula::DistLe { .. } => {
-            f.clone()
-        }
+        Formula::Bool(_) | Formula::Eq(..) | Formula::Atom(_) | Formula::DistLe { .. } => f.clone(),
         Formula::Not(g) => Formula::not(refresh_bound(g)),
         Formula::And(gs) => Formula::and(gs.iter().map(refresh_bound).collect()),
         Formula::Or(gs) => Formula::or(gs.iter().map(refresh_bound).collect()),
@@ -160,11 +161,17 @@ fn simplify(f: &Arc<Formula>, ctx: &mut Ctx) -> Result<Arc<Formula>> {
         }
         Formula::Not(g) => Ok(Formula::not(simplify(g, ctx)?)),
         Formula::And(gs) => {
-            let parts = gs.iter().map(|g| simplify(g, ctx)).collect::<Result<Vec<_>>>()?;
+            let parts = gs
+                .iter()
+                .map(|g| simplify(g, ctx))
+                .collect::<Result<Vec<_>>>()?;
             Ok(Formula::and(parts))
         }
         Formula::Or(gs) => {
-            let parts = gs.iter().map(|g| simplify(g, ctx)).collect::<Result<Vec<_>>>()?;
+            let parts = gs
+                .iter()
+                .map(|g| simplify(g, ctx))
+                .collect::<Result<Vec<_>>>()?;
             Ok(Formula::or(parts))
         }
         Formula::Exists(z, g) => {
@@ -200,20 +207,16 @@ fn simplify(f: &Arc<Formula>, ctx: &mut Ctx) -> Result<Arc<Formula>> {
         Formula::Forall(..) => Err(LocalityError::NotLocal(
             "universal quantifier survived NNF in separation".into(),
         )),
-        Formula::Pred { .. } => {
-            Err(LocalityError::NotFirstOrder(format!("predicate application in split: {f}")))
-        }
+        Formula::Pred { .. } => Err(LocalityError::NotFirstOrder(format!(
+            "predicate application in split: {f}"
+        ))),
     }
 }
 
 /// Simplifies a literal whose variables may span both sides: if some pair
 /// of variables on opposite sides is forced within the separation bound,
 /// the literal is `false` under the separation assumption.
-fn cross_literal(
-    f: &Arc<Formula>,
-    pairs: &[(Var, Var, u64)],
-    ctx: &Ctx,
-) -> Result<Arc<Formula>> {
+fn cross_literal(f: &Arc<Formula>, pairs: &[(Var, Var, u64)], ctx: &Ctx) -> Result<Arc<Formula>> {
     let mut cross_slack: Option<u64> = None;
     for &(u, w, wt) in pairs {
         let (Some(&(su, ou)), Some(&(sw, ow))) = (ctx.sides.get(&u), ctx.sides.get(&w)) else {
@@ -237,13 +240,22 @@ fn cross_literal(
 /// Guard bound of `z` relative to the side-`side` variables currently in
 /// scope, shifted by their offsets.
 fn side_guard(g: &Arc<Formula>, z: Var, ctx: &Ctx, side: u8) -> Option<u64> {
-    let anchors: BTreeSet<Var> =
-        ctx.sides.iter().filter(|(_, (s, _))| *s == side).map(|(&v, _)| v).collect();
+    let anchors: BTreeSet<Var> = ctx
+        .sides
+        .iter()
+        .filter(|(_, (s, _))| *s == side)
+        .map(|(&v, _)| v)
+        .collect();
     if anchors.is_empty() {
         return None;
     }
-    let base =
-        ctx.sides.values().filter(|(s, _)| *s == side).map(|&(_, o)| o).max().unwrap_or(0);
+    let base = ctx
+        .sides
+        .values()
+        .filter(|(s, _)| *s == side)
+        .map(|&(_, o)| o)
+        .max()
+        .unwrap_or(0);
     guard_bound(g, z, &anchors).map(|d| d.saturating_add(base))
 }
 
@@ -253,8 +265,10 @@ fn side_guard(g: &Arc<Formula>, z: Var, ctx: &Ctx, side: u8) -> Option<u64> {
 fn hoist_exists(z: Var, body: Arc<Formula>) -> Arc<Formula> {
     match &*body {
         Formula::And(parts) => {
-            let (with_z, without): (Vec<_>, Vec<_>) =
-                parts.iter().cloned().partition(|p| p.free_vars().contains(&z));
+            let (with_z, without): (Vec<_>, Vec<_>) = parts
+                .iter()
+                .cloned()
+                .partition(|p| p.free_vars().contains(&z));
             if without.is_empty() {
                 Arc::new(Formula::Exists(z, body))
             } else if with_z.is_empty() {
@@ -267,8 +281,10 @@ fn hoist_exists(z: Var, body: Arc<Formula>) -> Arc<Formula> {
             }
         }
         Formula::Or(parts) => {
-            let (with_z, without): (Vec<_>, Vec<_>) =
-                parts.iter().cloned().partition(|p| p.free_vars().contains(&z));
+            let (with_z, without): (Vec<_>, Vec<_>) = parts
+                .iter()
+                .cloned()
+                .partition(|p| p.free_vars().contains(&z));
             if without.is_empty() {
                 Arc::new(Formula::Exists(z, body))
             } else if with_z.is_empty() {
@@ -311,7 +327,9 @@ fn shannon_rec(
     match &*f {
         Formula::Bool(true) => {
             if out.len() >= MAX_LEAVES {
-                return Err(LocalityError::TooComplex("Shannon expansion too large".into()));
+                return Err(LocalityError::TooComplex(
+                    "Shannon expansion too large".into(),
+                ));
             }
             out.push(path.clone());
             return Ok(());
@@ -357,12 +375,16 @@ fn replace_subformula(f: &Arc<Formula>, target: &Arc<Formula>, value: bool) -> A
     }
     match &**f {
         Formula::Not(g) => Formula::not(replace_subformula(g, target, value)),
-        Formula::And(gs) => {
-            Formula::and(gs.iter().map(|g| replace_subformula(g, target, value)).collect())
-        }
-        Formula::Or(gs) => {
-            Formula::or(gs.iter().map(|g| replace_subformula(g, target, value)).collect())
-        }
+        Formula::And(gs) => Formula::and(
+            gs.iter()
+                .map(|g| replace_subformula(g, target, value))
+                .collect(),
+        ),
+        Formula::Or(gs) => Formula::or(
+            gs.iter()
+                .map(|g| replace_subformula(g, target, value))
+                .collect(),
+        ),
         _ => f.clone(),
     }
 }
@@ -392,8 +414,7 @@ mod tests {
     ) {
         // Verify separation premise.
         let mut scratch = BfsScratch::new();
-        let env_pairs: Vec<(Var, u32)> =
-            assignment.iter().map(|&(n, e)| (v(n), e)).collect();
+        let env_pairs: Vec<(Var, u32)> = assignment.iter().map(|&(n, e)| (v(n), e)).collect();
         for (va, ea) in &env_pairs {
             for (vb, eb) in &env_pairs {
                 if side_of[va] != side_of[vb] {
@@ -466,7 +487,12 @@ mod tests {
         );
         let side_of = sides(&[("a", 0), ("ap", 0), ("b", 1), ("bp", 1)]);
         let s = two_paths();
-        for (aa, ap, bb, bp) in [(0, 1, 10, 11), (0, 2, 10, 11), (0, 0, 11, 12), (2, 1, 12, 12)] {
+        for (aa, ap, bb, bp) in [
+            (0, 1, 10, 11),
+            (0, 2, 10, 11),
+            (0, 0, 11, 12),
+            (2, 1, 12, 12),
+        ] {
             check_split_on(
                 &psi,
                 &side_of,
@@ -483,7 +509,10 @@ mod tests {
         // E(z,b) must simplify to false, so ¬E(z,b) to true.
         let psi = exists(
             v("z"),
-            and(atom("E", [v("a"), v("z")]), not(atom("E", [v("z"), v("b")]))),
+            and(
+                atom("E", [v("a"), v("z")]),
+                not(atom("E", [v("z"), v("b")])),
+            ),
         );
         let side_of = sides(&[("a", 0), ("b", 1)]);
         let split = separate(&psi, &side_of, 4).unwrap();
@@ -497,7 +526,10 @@ mod tests {
     fn witness_near_both_sides_is_unsat() {
         // ∃z (E(a,z) ∧ E(b,z)) with a, b on opposite sides: any witness
         // would connect the sides within 2 ≤ sep → false.
-        let psi = exists(v("z"), and(atom("E", [v("a"), v("z")]), atom("E", [v("b"), v("z")])));
+        let psi = exists(
+            v("z"),
+            and(atom("E", [v("a"), v("z")]), atom("E", [v("b"), v("z")])),
+        );
         let split = separate(&psi, &sides(&[("a", 0), ("b", 1)]), 3).unwrap();
         assert!(split.is_empty());
     }
@@ -507,7 +539,10 @@ mod tests {
         // ∃z (¬E(a,z) ∧ ¬E(b,z)) is not separable (z unguarded, mixed).
         let psi = exists(
             v("z"),
-            and(not(atom("E", [v("a"), v("z")])), not(atom("E", [v("b"), v("z")]))),
+            and(
+                not(atom("E", [v("a"), v("z")])),
+                not(atom("E", [v("b"), v("z")])),
+            ),
         );
         assert!(separate(&psi, &sides(&[("a", 0), ("b", 1)]), 3).is_err());
     }
@@ -540,14 +575,29 @@ mod tests {
         // distance atom dies.
         let psi = and(
             dist_le(v("a"), v("ap"), 2),
-            and(not(dist_le(v("b"), v("bp"), 2)), not(dist_le(v("a"), v("b"), 3))),
+            and(
+                not(dist_le(v("b"), v("bp"), 2)),
+                not(dist_le(v("a"), v("b"), 3)),
+            ),
         );
         let side_of = sides(&[("a", 0), ("ap", 0), ("b", 1), ("bp", 1)]);
         let split = separate(&psi, &side_of, 3).unwrap();
         // ¬(dist(a,b) ≤ 3) is true under separation 3.
         assert!(!split.is_empty());
         let s = two_paths();
-        check_split_on(&psi, &side_of, 3, &s, &[("a", 0), ("ap", 2), ("b", 10), ("bp", 12)]);
-        check_split_on(&psi, &side_of, 3, &s, &[("a", 0), ("ap", 2), ("b", 10), ("bp", 11)]);
+        check_split_on(
+            &psi,
+            &side_of,
+            3,
+            &s,
+            &[("a", 0), ("ap", 2), ("b", 10), ("bp", 12)],
+        );
+        check_split_on(
+            &psi,
+            &side_of,
+            3,
+            &s,
+            &[("a", 0), ("ap", 2), ("b", 10), ("bp", 11)],
+        );
     }
 }

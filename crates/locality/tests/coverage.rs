@@ -57,9 +57,8 @@ fn delta_formula_partitions_tuples() {
                 let mut matches = 0;
                 for g in &graphs {
                     let delta = g.delta_formula(&vars, r);
-                    let mut env = Assignment::from_pairs(
-                        vars.iter().copied().zip(tuple.iter().copied()),
-                    );
+                    let mut env =
+                        Assignment::from_pairs(vars.iter().copied().zip(tuple.iter().copied()));
                     if ev.check(&delta, &mut env).unwrap() {
                         matches += 1;
                     }
@@ -88,7 +87,10 @@ fn decomposition_over_multiple_relations() {
         and(atom("E", [x, y]), atom_vec("Red", vec![y])),
         and(atom("F", [x, y]), not(atom("E", [x, y]))),
         or(atom("E", [x, y]), atom("F", [x, y])),
-        and(not(atom("F", [x, y])), and(atom_vec("Red", vec![x]), not(eq(x, y)))),
+        and(
+            not(atom("F", [x, y])),
+            and(atom_vec("Red", vec![x]), not(eq(x, y))),
+        ),
     ];
     let s = rich_structure();
     let p = Predicates::standard();
@@ -110,7 +112,11 @@ fn decomposition_over_multiple_relations() {
         let got = lev.eval_clterm(&clu).unwrap();
         for a in s.universe() {
             let mut env = Assignment::from_pairs([(x, a)]);
-            assert_eq!(got.at(a), nev.eval_term(&tu, &mut env).unwrap(), "unary {body} at {a}");
+            assert_eq!(
+                got.at(a),
+                nev.eval_term(&tu, &mut env).unwrap(),
+                "unary {body} at {a}"
+            );
         }
     }
 }
@@ -133,11 +139,12 @@ fn analyzer_rejects_global_patterns() {
 fn analyzer_is_monotone_in_guard_width() {
     let x = v("amx");
     let z = v("amz");
-    let r1 = locality_radius(&exists(z, and(dist_le(x, z, 2), atom_vec("Red", vec![z]))))
-        .unwrap();
-    let r2 = locality_radius(&exists(z, and(dist_le(x, z, 6), atom_vec("Red", vec![z]))))
-        .unwrap();
-    assert!(r2 > r1, "larger guards must give larger radii ({r1} vs {r2})");
+    let r1 = locality_radius(&exists(z, and(dist_le(x, z, 2), atom_vec("Red", vec![z])))).unwrap();
+    let r2 = locality_radius(&exists(z, and(dist_le(x, z, 6), atom_vec("Red", vec![z])))).unwrap();
+    assert!(
+        r2 > r1,
+        "larger guards must give larger radii ({r1} vs {r2})"
+    );
 }
 
 #[test]

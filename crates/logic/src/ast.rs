@@ -185,9 +185,7 @@ impl Formula {
             Formula::And(fs) | Formula::Or(fs) => {
                 fs.iter().map(|f| f.count_depth()).max().unwrap_or(0)
             }
-            Formula::Pred { args, .. } => {
-                args.iter().map(|t| t.count_depth()).max().unwrap_or(0)
-            }
+            Formula::Pred { args, .. } => args.iter().map(|t| t.count_depth()).max().unwrap_or(0),
         }
     }
 
@@ -201,13 +199,9 @@ impl Formula {
             Formula::Atom(a) => 1 + a.args.len(),
             Formula::DistLe { .. } => 4,
             Formula::Not(f) => 1 + f.size(),
-            Formula::And(fs) | Formula::Or(fs) => {
-                1 + fs.iter().map(|f| f.size()).sum::<usize>()
-            }
+            Formula::And(fs) | Formula::Or(fs) => 1 + fs.iter().map(|f| f.size()).sum::<usize>(),
             Formula::Exists(_, f) | Formula::Forall(_, f) => 2 + f.size(),
-            Formula::Pred { args, .. } => {
-                1 + args.iter().map(|t| t.size()).sum::<usize>()
-            }
+            Formula::Pred { args, .. } => 1 + args.iter().map(|t| t.size()).sum::<usize>(),
         }
     }
 
@@ -333,9 +327,7 @@ impl Term {
         match self {
             Term::Int(_) => 0,
             Term::Count(_, body) => 1 + body.count_depth(),
-            Term::Add(ts) | Term::Mul(ts) => {
-                ts.iter().map(|t| t.count_depth()).max().unwrap_or(0)
-            }
+            Term::Add(ts) | Term::Mul(ts) => ts.iter().map(|t| t.count_depth()).max().unwrap_or(0),
         }
     }
 
@@ -388,7 +380,11 @@ impl Query {
         if !body.free_vars().is_subset(&var_set) {
             return Err("query body has free variables outside the head variables".into());
         }
-        Ok(Query { head_vars, head_terms, body })
+        Ok(Query {
+            head_vars,
+            head_terms,
+            body,
+        })
     }
 
     /// Total size of the query.
@@ -430,7 +426,10 @@ mod tests {
         let t = Arc::new(Formula::Bool(true));
         let a = atom("R", [x]);
         assert_eq!(*Formula::and(vec![t.clone(), a.clone()]), *a);
-        assert_eq!(*Formula::or(vec![t.clone(), a.clone()]), Formula::Bool(true));
+        assert_eq!(
+            *Formula::or(vec![t.clone(), a.clone()]),
+            Formula::Bool(true)
+        );
         assert_eq!(*Formula::not(Formula::not(a.clone())), *a);
     }
 

@@ -17,17 +17,26 @@ pub fn v(name: &str) -> Var {
 
 /// The atom `R(x₁, …, x_k)`.
 pub fn atom<const N: usize>(rel: &str, args: [Var; N]) -> Arc<Formula> {
-    Arc::new(Formula::Atom(Atom { rel: Symbol::new(rel), args: Box::new(args) }))
+    Arc::new(Formula::Atom(Atom {
+        rel: Symbol::new(rel),
+        args: Box::new(args),
+    }))
 }
 
 /// An atom with a dynamic argument list.
 pub fn atom_vec(rel: &str, args: Vec<Var>) -> Arc<Formula> {
-    Arc::new(Formula::Atom(Atom { rel: Symbol::new(rel), args: args.into_boxed_slice() }))
+    Arc::new(Formula::Atom(Atom {
+        rel: Symbol::new(rel),
+        args: args.into_boxed_slice(),
+    }))
 }
 
 /// An atom over an already-interned relation symbol.
 pub fn atom_sym(rel: Symbol, args: Vec<Var>) -> Arc<Formula> {
-    Arc::new(Formula::Atom(Atom { rel, args: args.into_boxed_slice() }))
+    Arc::new(Formula::Atom(Atom {
+        rel,
+        args: args.into_boxed_slice(),
+    }))
 }
 
 /// `x = y`.
@@ -133,25 +142,40 @@ pub fn sub(a: Arc<Term>, b: Arc<Term>) -> Arc<Term> {
 
 /// `P(t₁, …, t_m)` for a named numerical predicate.
 pub fn pred(name: &str, args: Vec<Arc<Term>>) -> Arc<Formula> {
-    Arc::new(Formula::Pred { name: Symbol::new(name), args })
+    Arc::new(Formula::Pred {
+        name: Symbol::new(name),
+        args,
+    })
 }
 
 /// `t ≥ 1`, the paper's `P≥1(t)`.
 pub fn ge1(t: Arc<Term>) -> Arc<Formula> {
-    Arc::new(Formula::Pred { name: pred::ge1_sym(), args: vec![t] })
+    Arc::new(Formula::Pred {
+        name: pred::ge1_sym(),
+        args: vec![t],
+    })
 }
 
 /// `t₁ = t₂`, the paper's `P=(t₁, t₂)`.
 pub fn teq(a: Arc<Term>, b: Arc<Term>) -> Arc<Formula> {
-    Arc::new(Formula::Pred { name: pred::eq_sym(), args: vec![a, b] })
+    Arc::new(Formula::Pred {
+        name: pred::eq_sym(),
+        args: vec![a, b],
+    })
 }
 
 /// `t₁ ≤ t₂`, the paper's `P≤(t₁, t₂)`.
 pub fn tle(a: Arc<Term>, b: Arc<Term>) -> Arc<Formula> {
-    Arc::new(Formula::Pred { name: pred::le_sym(), args: vec![a, b] })
+    Arc::new(Formula::Pred {
+        name: pred::le_sym(),
+        args: vec![a, b],
+    })
 }
 
 /// `Prime(t)`.
 pub fn prime(t: Arc<Term>) -> Arc<Formula> {
-    Arc::new(Formula::Pred { name: pred::prime_sym(), args: vec![t] })
+    Arc::new(Formula::Pred {
+        name: pred::prime_sym(),
+        args: vec![t],
+    })
 }

@@ -63,12 +63,8 @@ fn check_fo(f: &Formula, allow_dist: bool) -> Result<(), FragmentViolation> {
                 Err(FragmentViolation::DistanceAtom)
             }
         }
-        Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => {
-            check_fo(g, allow_dist)
-        }
-        Formula::And(gs) | Formula::Or(gs) => {
-            gs.iter().try_for_each(|g| check_fo(g, allow_dist))
-        }
+        Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => check_fo(g, allow_dist),
+        Formula::And(gs) | Formula::Or(gs) => gs.iter().try_for_each(|g| check_fo(g, allow_dist)),
         Formula::Pred { .. } => Err(FragmentViolation::PredicateApplication),
     }
 }
@@ -87,7 +83,9 @@ pub fn check_foc1(f: &Formula) -> Result<(), FragmentViolation> {
                 check_foc1_term(t)?;
             }
             if free.len() > 1 {
-                Err(FragmentViolation::TooManyFreeVarsInGuard(free.into_iter().collect()))
+                Err(FragmentViolation::TooManyFreeVarsInGuard(
+                    free.into_iter().collect(),
+                ))
             } else {
                 Ok(())
             }
@@ -144,9 +142,7 @@ pub fn has_q_rank_at_most(f: &Formula, q: u32, l: u32) -> bool {
             }
             Formula::Not(g) => go(g, q, l, depth),
             Formula::And(gs) | Formula::Or(gs) => gs.iter().all(|g| go(g, q, l, depth)),
-            Formula::Exists(_, g) | Formula::Forall(_, g) => {
-                depth < l && go(g, q, l, depth + 1)
-            }
+            Formula::Exists(_, g) | Formula::Forall(_, g) => depth < l && go(g, q, l, depth + 1),
             Formula::Pred { .. } => false, // q-rank is defined on FO⁺ only
         }
     }
@@ -230,7 +226,7 @@ mod tests {
         let f = exists(y, and(atom("E", [x, y]), dist_le(x, y, 4)));
         assert!(has_q_rank_at_most(&f, 2, 1)); // budget (4*2)^{2+1-1}=64 ≥ 4
         assert!(!has_q_rank_at_most(&f, 2, 0)); // quantifier rank exceeds 0
-        // Distance atom too large for the budget at its depth.
+                                                // Distance atom too large for the budget at its depth.
         let g = exists(y, dist_le(x, y, 100));
         assert!(!has_q_rank_at_most(&g, 1, 1)); // budget (4)^{1+1-1} = 4 < 100
     }

@@ -28,8 +28,8 @@ pub mod ast;
 pub mod build;
 pub mod fragment;
 pub mod parse;
-mod print;
 pub mod pred;
+mod print;
 pub mod subst;
 pub mod symbol;
 

@@ -89,7 +89,11 @@ struct Parser {
 impl Parser {
     fn new(input: &str) -> Result<Parser, ParseError> {
         let toks = tokenize(input)?;
-        Ok(Parser { toks, pos: 0, end: input.len() })
+        Ok(Parser {
+            toks,
+            pos: 0,
+            end: input.len(),
+        })
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -109,7 +113,10 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { pos: self.here(), msg: msg.into() })
+        Err(ParseError {
+            pos: self.here(),
+            msg: msg.into(),
+        })
     }
 
     fn expect(&mut self, t: Tok, what: &str) -> Result<(), ParseError> {
@@ -135,7 +142,11 @@ impl Parser {
             self.pos += 1;
             parts.push(self.conjunction()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("nonempty") } else { Formula::or(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("nonempty")
+        } else {
+            Formula::or(parts)
+        })
     }
 
     fn conjunction(&mut self) -> Result<Arc<Formula>, ParseError> {
@@ -144,7 +155,11 @@ impl Parser {
             self.pos += 1;
             parts.push(self.unary()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("nonempty") } else { Formula::and(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("nonempty")
+        } else {
+            Formula::and(parts)
+        })
     }
 
     fn unary(&mut self) -> Result<Arc<Formula>, ParseError> {
@@ -198,7 +213,10 @@ impl Parser {
                     }
                 }
                 self.expect(Tok::RParen, "')' closing predicate arguments")?;
-                Ok(Arc::new(Formula::Pred { name: Symbol::new(&name), args }))
+                Ok(Arc::new(Formula::Pred {
+                    name: Symbol::new(&name),
+                    args,
+                }))
             }
             Some(Tok::Name(_)) => {
                 // `NAME(` is always an atom (term operands are bare
@@ -332,7 +350,11 @@ impl Parser {
                 _ => break,
             }
         }
-        Ok(if acc.len() == 1 { acc.pop().expect("nonempty") } else { Term::add(acc) })
+        Ok(if acc.len() == 1 {
+            acc.pop().expect("nonempty")
+        } else {
+            Term::add(acc)
+        })
     }
 
     fn mul_term(&mut self) -> Result<Arc<Term>, ParseError> {
@@ -341,7 +363,11 @@ impl Parser {
             self.pos += 1;
             acc.push(self.atomic_term()?);
         }
-        Ok(if acc.len() == 1 { acc.pop().expect("nonempty") } else { Term::mul(acc) })
+        Ok(if acc.len() == 1 {
+            acc.pop().expect("nonempty")
+        } else {
+            Term::mul(acc)
+        })
     }
 
     fn atomic_term(&mut self) -> Result<Arc<Term>, ParseError> {
@@ -413,7 +439,10 @@ fn is_keyword(n: &str) -> bool {
 }
 
 fn is_cmp(t: Option<&Tok>) -> bool {
-    matches!(t, Some(Tok::Eq | Tok::Neq | Tok::Le | Tok::Ge | Tok::Lt | Tok::Gt))
+    matches!(
+        t,
+        Some(Tok::Eq | Tok::Neq | Tok::Le | Tok::Ge | Tok::Lt | Tok::Gt)
+    )
 }
 
 fn tokenize(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
@@ -524,7 +553,10 @@ fn tokenize(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                 out.push((start, Tok::Name(input[start..i].to_owned())));
             }
             other => {
-                return Err(ParseError { pos: i, msg: format!("unexpected character {other:?}") })
+                return Err(ParseError {
+                    pos: i,
+                    msg: format!("unexpected character {other:?}"),
+                })
             }
         }
     }
@@ -546,7 +578,10 @@ mod tests {
     #[test]
     fn parse_quantifiers() {
         let f = parse_formula("exists x y. E(x,y)").unwrap();
-        assert_eq!(f, exists(v("x"), exists(v("y"), atom("E", [v("x"), v("y")]))));
+        assert_eq!(
+            f,
+            exists(v("x"), exists(v("y"), atom("E", [v("x"), v("y")])))
+        );
         let g = parse_formula("forall x. exists y. E(x,y)").unwrap();
         assert_eq!(g.quantifier_rank(), 2);
     }
@@ -575,8 +610,14 @@ mod tests {
 
     #[test]
     fn parse_dist() {
-        assert_eq!(parse_formula("dist(x, y) <= 3").unwrap(), dist_le(v("x"), v("y"), 3));
-        assert_eq!(parse_formula("dist(x, y) > 3").unwrap(), dist_gt(v("x"), v("y"), 3));
+        assert_eq!(
+            parse_formula("dist(x, y) <= 3").unwrap(),
+            dist_le(v("x"), v("y"), 3)
+        );
+        assert_eq!(
+            parse_formula("dist(x, y) > 3").unwrap(),
+            dist_gt(v("x"), v("y"), 3)
+        );
     }
 
     #[test]

@@ -59,7 +59,11 @@ impl PredDef {
         arity: usize,
         oracle: impl Fn(&[i64]) -> bool + Send + Sync + 'static,
     ) -> PredDef {
-        PredDef { name, arity, oracle: Arc::new(oracle) }
+        PredDef {
+            name,
+            arity,
+            oracle: Arc::new(oracle),
+        }
     }
 
     /// The predicate's name.
@@ -75,7 +79,12 @@ impl PredDef {
     /// Decides `(i₁,…,i_m) ∈ ⟦P⟧`. Panics if the arity is wrong — callers
     /// must validate arity when type-checking formulas.
     pub fn holds(&self, args: &[i64]) -> bool {
-        assert_eq!(args.len(), self.arity, "arity mismatch for predicate {}", self.name);
+        assert_eq!(
+            args.len(),
+            self.arity,
+            "arity mismatch for predicate {}",
+            self.name
+        );
         (self.oracle)(args)
     }
 }
@@ -112,7 +121,9 @@ impl Predicates {
         p.register(PredDef::new(le_sym(), 2, |a| a[0] <= a[1]));
         p.register(PredDef::new(prime_sym(), 1, |a| is_prime(a[0])));
         p.register(PredDef::new(even_sym(), 1, |a| a[0].rem_euclid(2) == 0));
-        p.register(PredDef::new(divides_sym(), 2, |a| a[0] != 0 && a[1].rem_euclid(a[0]) == 0));
+        p.register(PredDef::new(divides_sym(), 2, |a| {
+            a[0] != 0 && a[1].rem_euclid(a[0]) == 0
+        }));
         p
     }
 
@@ -181,15 +192,16 @@ mod tests {
 
     #[test]
     fn primes_small_table() {
-        let primes: Vec<i64> =
-            (0..30).filter(|&n| is_prime(n)).collect();
+        let primes: Vec<i64> = (0..30).filter(|&n| is_prime(n)).collect();
         assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
     }
 
     #[test]
     fn custom_predicate() {
         let mut p = Predicates::standard();
-        p.register(PredDef::new(Symbol::new("mod3"), 1, |a| a[0].rem_euclid(3) == 0));
+        p.register(PredDef::new(Symbol::new("mod3"), 1, |a| {
+            a[0].rem_euclid(3) == 0
+        }));
         assert_eq!(p.holds(Symbol::new("mod3"), &[9]), Some(true));
         assert_eq!(p.holds(Symbol::new("mod3"), &[10]), Some(false));
     }

@@ -30,8 +30,7 @@ pub fn rename_free(f: &Arc<Formula>, map: &HashMap<Var, Var>) -> Arc<Formula> {
         }
         Formula::Atom(a) => {
             if a.args.iter().any(|v| map.contains_key(v)) {
-                let args: Box<[Var]> =
-                    a.args.iter().map(|v| *map.get(v).unwrap_or(v)).collect();
+                let args: Box<[Var]> = a.args.iter().map(|v| *map.get(v).unwrap_or(v)).collect();
                 Arc::new(Formula::Atom(Atom { rel: a.rel, args }))
             } else {
                 f.clone()
@@ -43,13 +42,15 @@ pub fn rename_free(f: &Arc<Formula>, map: &HashMap<Var, Var>) -> Arc<Formula> {
             if nx == *x && ny == *y {
                 f.clone()
             } else {
-                Arc::new(Formula::DistLe { x: nx, y: ny, d: *d })
+                Arc::new(Formula::DistLe {
+                    x: nx,
+                    y: ny,
+                    d: *d,
+                })
             }
         }
         Formula::Not(g) => Formula::not(rename_free(g, map)),
-        Formula::And(gs) => {
-            Formula::and(gs.iter().map(|g| rename_free(g, map)).collect())
-        }
+        Formula::And(gs) => Formula::and(gs.iter().map(|g| rename_free(g, map)).collect()),
         Formula::Or(gs) => Formula::or(gs.iter().map(|g| rename_free(g, map)).collect()),
         Formula::Exists(y, g) => rename_under_binder(*y, g, map, true),
         Formula::Forall(y, g) => rename_under_binder(*y, g, map, false),
@@ -67,8 +68,11 @@ fn rename_under_binder(
     exists: bool,
 ) -> Arc<Formula> {
     // The bound variable shadows any renaming of it.
-    let inner: HashMap<Var, Var> =
-        map.iter().filter(|(k, _)| **k != y).map(|(k, v)| (*k, *v)).collect();
+    let inner: HashMap<Var, Var> = map
+        .iter()
+        .filter(|(k, _)| **k != y)
+        .map(|(k, v)| (*k, *v))
+        .collect();
     // Capture check: if some target collides with the binder, α-rename.
     let (binder, body) = if inner.values().any(|v| *v == y) {
         let fresh = Var::fresh(&y.name());
@@ -78,7 +82,11 @@ fn rename_under_binder(
     } else {
         (y, body.clone())
     };
-    let new_body = if inner.is_empty() { body } else { rename_free(&body, &inner) };
+    let new_body = if inner.is_empty() {
+        body
+    } else {
+        rename_free(&body, &inner)
+    };
     if exists {
         Arc::new(Formula::Exists(binder, new_body))
     } else {
@@ -109,16 +117,20 @@ pub fn rename_free_term(t: &Arc<Term>, map: &HashMap<Var, Var>) -> Arc<Term> {
                     *v = fresh;
                 }
             }
-            let body = if alpha.is_empty() { body.clone() } else { rename_free(body, &alpha) };
-            let body = if inner.is_empty() { body } else { rename_free(&body, &inner) };
+            let body = if alpha.is_empty() {
+                body.clone()
+            } else {
+                rename_free(body, &alpha)
+            };
+            let body = if inner.is_empty() {
+                body
+            } else {
+                rename_free(&body, &inner)
+            };
             Arc::new(Term::Count(new_vars.into_boxed_slice(), body))
         }
-        Term::Add(ts) => {
-            Term::add(ts.iter().map(|s| rename_free_term(s, map)).collect())
-        }
-        Term::Mul(ts) => {
-            Term::mul(ts.iter().map(|s| rename_free_term(s, map)).collect())
-        }
+        Term::Add(ts) => Term::add(ts.iter().map(|s| rename_free_term(s, map)).collect()),
+        Term::Mul(ts) => Term::mul(ts.iter().map(|s| rename_free_term(s, map)).collect()),
     }
 }
 
@@ -135,27 +147,35 @@ pub fn substitute_atom(
 ) -> Arc<Formula> {
     match &**f {
         Formula::Atom(a) if a.rel == rel => {
-            assert_eq!(a.args.len(), params.len(), "atom substitution arity mismatch");
+            assert_eq!(
+                a.args.len(),
+                params.len(),
+                "atom substitution arity mismatch"
+            );
             let map: HashMap<Var, Var> =
                 params.iter().copied().zip(a.args.iter().copied()).collect();
             rename_free(template, &map)
         }
-        Formula::Bool(_) | Formula::Eq(..) | Formula::Atom(_) | Formula::DistLe { .. } => {
-            f.clone()
-        }
+        Formula::Bool(_) | Formula::Eq(..) | Formula::Atom(_) | Formula::DistLe { .. } => f.clone(),
         Formula::Not(g) => Formula::not(substitute_atom(g, rel, params, template)),
         Formula::And(gs) => Formula::and(
-            gs.iter().map(|g| substitute_atom(g, rel, params, template)).collect(),
+            gs.iter()
+                .map(|g| substitute_atom(g, rel, params, template))
+                .collect(),
         ),
         Formula::Or(gs) => Formula::or(
-            gs.iter().map(|g| substitute_atom(g, rel, params, template)).collect(),
+            gs.iter()
+                .map(|g| substitute_atom(g, rel, params, template))
+                .collect(),
         ),
-        Formula::Exists(y, g) => {
-            Arc::new(Formula::Exists(*y, substitute_atom(g, rel, params, template)))
-        }
-        Formula::Forall(y, g) => {
-            Arc::new(Formula::Forall(*y, substitute_atom(g, rel, params, template)))
-        }
+        Formula::Exists(y, g) => Arc::new(Formula::Exists(
+            *y,
+            substitute_atom(g, rel, params, template),
+        )),
+        Formula::Forall(y, g) => Arc::new(Formula::Forall(
+            *y,
+            substitute_atom(g, rel, params, template),
+        )),
         Formula::Pred { name, args } => Arc::new(Formula::Pred {
             name: *name,
             args: args
@@ -179,10 +199,14 @@ fn substitute_atom_term(
             substitute_atom(body, rel, params, template),
         )),
         Term::Add(ts) => Term::add(
-            ts.iter().map(|s| substitute_atom_term(s, rel, params, template)).collect(),
+            ts.iter()
+                .map(|s| substitute_atom_term(s, rel, params, template))
+                .collect(),
         ),
         Term::Mul(ts) => Term::mul(
-            ts.iter().map(|s| substitute_atom_term(s, rel, params, template)).collect(),
+            ts.iter()
+                .map(|s| substitute_atom_term(s, rel, params, template))
+                .collect(),
         ),
     }
 }
@@ -191,14 +215,9 @@ fn substitute_atom_term(
 /// `∃x ψ` by `∃x (guard(x) ∧ ψ)` and `∀x ψ` by `∀x (guard(x) → ψ)`.
 /// Quantifiers inside counting terms are relativized too, and counted
 /// variables are restricted to the guard as well.
-pub fn relativize(
-    f: &Arc<Formula>,
-    guard: &dyn Fn(Var) -> Arc<Formula>,
-) -> Arc<Formula> {
+pub fn relativize(f: &Arc<Formula>, guard: &dyn Fn(Var) -> Arc<Formula>) -> Arc<Formula> {
     match &**f {
-        Formula::Bool(_) | Formula::Eq(..) | Formula::Atom(_) | Formula::DistLe { .. } => {
-            f.clone()
-        }
+        Formula::Bool(_) | Formula::Eq(..) | Formula::Atom(_) | Formula::DistLe { .. } => f.clone(),
         Formula::Not(g) => Formula::not(relativize(g, guard)),
         Formula::And(gs) => Formula::and(gs.iter().map(|g| relativize(g, guard)).collect()),
         Formula::Or(gs) => Formula::or(gs.iter().map(|g| relativize(g, guard)).collect()),
@@ -268,7 +287,10 @@ fn nnf_signed(f: &Arc<Formula>, negate: bool) -> Arc<Formula> {
         Formula::Exists(y, g) => {
             if negate {
                 // ¬∃y g ≡ ¬∃y ¬¬g; keep as ¬∃y (nnf g) — a *negated block*.
-                Arc::new(Formula::Not(Arc::new(Formula::Exists(*y, nnf_signed(g, false)))))
+                Arc::new(Formula::Not(Arc::new(Formula::Exists(
+                    *y,
+                    nnf_signed(g, false),
+                ))))
             } else {
                 Arc::new(Formula::Exists(*y, nnf_signed(g, false)))
             }

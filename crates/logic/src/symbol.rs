@@ -29,7 +29,11 @@ struct Interner {
 fn interner() -> &'static Mutex<Interner> {
     static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
     INTERNER.get_or_init(|| {
-        Mutex::new(Interner { names: Vec::new(), index: HashMap::new(), fresh_counter: 0 })
+        Mutex::new(Interner {
+            names: Vec::new(),
+            index: HashMap::new(),
+            fresh_counter: 0,
+        })
     })
 }
 

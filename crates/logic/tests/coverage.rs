@@ -8,7 +8,7 @@ use foc_logic::build::*;
 use foc_logic::fragment::{check_foc1, fq, has_q_rank_at_most, is_fo, is_foc1};
 use foc_logic::parse::{parse_formula, parse_term};
 use foc_logic::pred::{is_prime, PredDef, Predicates};
-use foc_logic::subst::{nnf, rename_free, rename_free_term, relativize, substitute_atom};
+use foc_logic::subst::{nnf, relativize, rename_free_term, substitute_atom};
 use foc_logic::{Formula, Query, Symbol, Term, Var};
 
 #[test]
@@ -31,7 +31,10 @@ fn parser_rejects_malformed_inputs() {
         "x = ",
         "99999999999999999999", // integer overflow
     ] {
-        assert!(parse_formula(bad).is_err(), "accepted malformed input {bad:?}");
+        assert!(
+            parse_formula(bad).is_err(),
+            "accepted malformed input {bad:?}"
+        );
     }
 }
 
@@ -71,8 +74,8 @@ fn printer_handles_every_node_kind() {
     ];
     for f in nodes {
         let printed = f.to_string();
-        let reparsed = parse_formula(&printed)
-            .unwrap_or_else(|e| panic!("cannot reparse {printed:?}: {e}"));
+        let reparsed =
+            parse_formula(&printed).unwrap_or_else(|e| panic!("cannot reparse {printed:?}: {e}"));
         assert_eq!(reparsed, f, "round trip failed for {printed}");
     }
 }
@@ -81,12 +84,7 @@ fn printer_handles_every_node_kind() {
 fn query_display_roundtrips_structure() {
     let x = v("qx");
     let y = v("qy");
-    let q = Query::new(
-        vec![x],
-        vec![cnt_vec(vec![y], atom("E", [x, y]))],
-        eq(x, x),
-    )
-    .unwrap();
+    let q = Query::new(vec![x], vec![cnt_vec(vec![y], atom("E", [x, y]))], eq(x, x)).unwrap();
     let s = q.to_string();
     assert!(s.starts_with("{ ("), "{s}");
     assert!(s.contains(" : "), "{s}");
@@ -96,17 +94,12 @@ fn query_display_roundtrips_structure() {
 #[test]
 fn foc1_nested_guards() {
     // Nested predicate applications each with ≤ 1 free variable: FOC1.
-    let f = parse_formula(
-        "exists x. #(y). (E(x,y) & #(z). (E(y,z) & #(w). E(z,w) = 1) = 2) = 3",
-    )
-    .unwrap();
+    let f = parse_formula("exists x. #(y). (E(x,y) & #(z). (E(y,z) & #(w). E(z,w) = 1) = 2) = 3")
+        .unwrap();
     assert!(is_foc1(&f));
     assert!(!is_fo(&f));
     // A term-level violation buried two levels deep is still caught.
-    let g = parse_formula(
-        "exists x. #(y). (E(x,y) & #(z). E(x,z) = #(z). E(y,z)) >= 1",
-    )
-    .unwrap();
+    let g = parse_formula("exists x. #(y). (E(x,y) & #(z). E(x,z) = #(z). E(y,z)) >= 1").unwrap();
     assert!(check_foc1(&g).is_err());
 }
 

@@ -1,0 +1,178 @@
+//! # foc-parallel — deterministic parallel map over independent work items
+//!
+//! Theorem 5.5's evaluation localises to *independent* pieces — clusters
+//! of a neighbourhood cover, elements of a support set — so the pipeline
+//! parallelises embarrassingly. This crate provides the one primitive
+//! the engines need: [`par_map`], an order-preserving, dynamically
+//! load-balanced map over a slice.
+//!
+//! Scheduling is work-stealing in the only sense that matters for a
+//! shared-memory fan-out: idle workers claim the next unclaimed batch
+//! from a shared atomic cursor, so a thread stuck on a huge cluster
+//! never blocks the others, and no static partition can go pathological.
+//! Results are written back under their input index, which makes the
+//! output **bit-identical to the sequential map regardless of thread
+//! count or interleaving** — the property the engine's agreement suite
+//! pins down. Errors are deterministic too: when several items fail, the
+//! one with the smallest index wins, exactly as in a sequential
+//! left-to-right loop.
+//!
+//! The build environment has no crates.io access, so this replaces the
+//! `rayon` dependency the design called for; `std::thread::scope` plus
+//! an atomic cursor covers the engines' coarse-grained needs without a
+//! pool, and keeps the crate dependency-free.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The hardware parallelism available to this process (≥ 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolves a configured thread count: `0` means "use the hardware",
+/// anything else is taken literally (and clamped to ≥ 1).
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_threads()
+    } else {
+        requested
+    }
+}
+
+/// Applies `f` to every item, in parallel over `threads` workers,
+/// returning results in input order.
+///
+/// With `threads <= 1` (or fewer than two items) this is exactly the
+/// sequential left-to-right loop, including its early-exit-on-error
+/// behaviour. The parallel path evaluates every claimed item and then
+/// reports the *lowest-index* error, so which error surfaces does not
+/// depend on scheduling.
+pub fn par_map<T, R, E, F>(items: &[T], threads: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let n = items.len();
+    let threads = resolve_threads(threads).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    // Batched claiming: big enough to keep the cursor cool, small enough
+    // that a skewed batch cannot serialise the tail.
+    let batch = (n / (threads * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<R, E>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(batch, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + batch).min(n);
+                for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                    *slots[i].lock().expect("result slot poisoned") = Some(f(i, item));
+                }
+            });
+        }
+    });
+
+    let mut out = Vec::with_capacity(n);
+    let mut first_err: Option<E> = None;
+    for slot in slots {
+        let res = slot
+            .into_inner()
+            .expect("result slot poisoned")
+            .expect("item evaluated");
+        match res {
+            Ok(v) => out.push(v),
+            Err(e) => {
+                first_err = Some(e);
+                break;
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+/// Infallible convenience wrapper around [`par_map`].
+pub fn par_map_ok<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    match par_map(items, threads, |i, t| {
+        Ok::<R, std::convert::Infallible>(f(i, t))
+    }) {
+        Ok(v) => v,
+        Err(never) => match never {},
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn matches_sequential_for_all_thread_counts() {
+        let items: Vec<u64> = (0..257).collect();
+        let want: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = par_map_ok(&items, threads, |_, &x| x * x + 1);
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..100).collect();
+        par_map_ok(&items, 8, |i, _| counters[i].fetch_add(1, Ordering::SeqCst));
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn lowest_index_error_wins() {
+        let items: Vec<u32> = (0..100).collect();
+        for threads in [1, 4, 16] {
+            let got: Result<Vec<u32>, usize> =
+                par_map(
+                    &items,
+                    threads,
+                    |i, &x| if x % 7 == 3 { Err(i) } else { Ok(x) },
+                );
+            assert_eq!(got.unwrap_err(), 3, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_ok(&empty, 8, |_, &x| x).is_empty());
+        assert_eq!(par_map_ok(&[5u32], 8, |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_hardware() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+        let items: Vec<u32> = (0..10).collect();
+        assert_eq!(par_map_ok(&items, 0, |_, &x| x), items);
+    }
+}

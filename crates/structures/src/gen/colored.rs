@@ -23,7 +23,13 @@ pub struct ColoredParams {
 
 impl Default for ColoredParams {
     fn default() -> Self {
-        ColoredParams { n: 100, avg_out_degree: 2.0, p_red: 0.2, p_blue: 0.3, p_green: 0.2 }
+        ColoredParams {
+            n: 100,
+            avg_out_degree: 2.0,
+            p_red: 0.2,
+            p_blue: 0.3,
+            p_green: 0.2,
+        }
     }
 }
 
@@ -31,7 +37,13 @@ impl Default for ColoredParams {
 /// edges are *not* symmetrised: `E(x,y)` is the out-edge relation, so the
 /// triangle term `t_Δ` of Example 5.4 counts directed triangles.
 pub fn colored_digraph(params: ColoredParams, rng: &mut impl Rng) -> Structure {
-    let ColoredParams { n, avg_out_degree, p_red, p_blue, p_green } = params;
+    let ColoredParams {
+        n,
+        avg_out_degree,
+        p_red,
+        p_blue,
+        p_green,
+    } = params;
     assert!(n >= 1);
     let mut b = StructureBuilder::new();
     b.declare("E", 2);
@@ -102,7 +114,12 @@ mod tests {
     fn random_colored_densities() {
         let mut rng = StdRng::seed_from_u64(11);
         let s = colored_digraph(
-            ColoredParams { n: 500, avg_out_degree: 1.5, p_red: 0.5, ..Default::default() },
+            ColoredParams {
+                n: 500,
+                avg_out_degree: 1.5,
+                p_red: 0.5,
+                ..Default::default()
+            },
             &mut rng,
         );
         let reds = s.relation(Symbol::new("R")).unwrap().len();

@@ -180,7 +180,11 @@ pub fn gnm(n: u32, m: usize, rng: &mut impl Rng) -> Structure {
 pub fn unranked_tree(n: u32, spread: f64, rng: &mut impl Rng) -> Structure {
     let mut edges = Vec::with_capacity(n.saturating_sub(1) as usize);
     for i in 1..n {
-        let p = if rng.gen_bool(spread.clamp(0.0, 1.0)) { rng.gen_range(0..i) } else { i - 1 };
+        let p = if rng.gen_bool(spread.clamp(0.0, 1.0)) {
+            rng.gen_range(0..i)
+        } else {
+            i - 1
+        };
         edges.push((p, i));
     }
     graph_structure(n, &edges)

@@ -29,7 +29,12 @@ pub struct SqlDbParams {
 
 impl Default for SqlDbParams {
     fn default() -> Self {
-        SqlDbParams { customers: 100, countries: 10, cities: 25, avg_orders: 2.0 }
+        SqlDbParams {
+            customers: 100,
+            countries: 10,
+            cities: 25,
+            avg_orders: 2.0,
+        }
     }
 }
 
@@ -68,7 +73,12 @@ impl SqlDb {
 
 /// Generates a Customer/Order database.
 pub fn sql_database(params: SqlDbParams, rng: &mut impl Rng) -> SqlDb {
-    let SqlDbParams { customers, countries, cities, avg_orders } = params;
+    let SqlDbParams {
+        customers,
+        countries,
+        cities,
+        avg_orders,
+    } = params;
     assert!(customers >= 1 && countries >= 1 && cities >= 1);
     let mut b = StructureBuilder::new();
     b.declare("Customer", 6);
@@ -93,7 +103,10 @@ pub fn sql_database(params: SqlDbParams, rng: &mut impl Rng) -> SqlDb {
         let la = last_pool[rng.gen_range(0..last_pool.len())];
         let ci = rng.gen_range(0..cities as usize);
         let co = rng.gen_range(0..countries as usize);
-        b.insert("Customer", &[id, fi, la, city_elems[ci], country_elems[co], phone]);
+        b.insert(
+            "Customer",
+            &[id, fi, la, city_elems[ci], country_elems[co], phone],
+        );
         customer_elems.push(id);
         customer_country.push(co);
         customer_city.push(ci);
@@ -156,14 +169,23 @@ mod tests {
     fn customer_tuples_are_consistent() {
         let mut rng = StdRng::seed_from_u64(6);
         let db = sql_database(
-            SqlDbParams { customers: 50, countries: 5, cities: 8, avg_orders: 1.0 },
+            SqlDbParams {
+                customers: 50,
+                countries: 5,
+                cities: 8,
+                avg_orders: 1.0,
+            },
             &mut rng,
         );
         let rel = db.structure.relation(Symbol::new("Customer")).unwrap();
         assert_eq!(rel.len(), 50);
         for row in rel.rows() {
             let id = row[0];
-            let idx = db.customers.iter().position(|&c| c == id).expect("known customer");
+            let idx = db
+                .customers
+                .iter()
+                .position(|&c| c == id)
+                .expect("known customer");
             assert_eq!(row[4], db.countries[db.customer_country[idx]]);
             assert_eq!(row[3], db.cities[db.customer_city[idx]]);
         }

@@ -86,13 +86,7 @@ impl Graph {
     }
 
     /// Like [`Graph::ball`], writing into `out` (cleared first).
-    pub fn ball_into(
-        &self,
-        centers: &[u32],
-        r: u32,
-        scratch: &mut BfsScratch,
-        out: &mut Vec<u32>,
-    ) {
+    pub fn ball_into(&self, centers: &[u32], r: u32, scratch: &mut BfsScratch, out: &mut Vec<u32>) {
         out.clear();
         scratch.reset(self.n());
         let mut frontier: Vec<u32> = Vec::new();
@@ -157,7 +151,12 @@ impl Graph {
 
     /// BFS distances from `src` up to `cap`, as a map (vertices beyond
     /// `cap` are absent).
-    pub fn distances_from(&self, src: u32, cap: u32, scratch: &mut BfsScratch) -> FxHashMap<u32, u32> {
+    pub fn distances_from(
+        &self,
+        src: u32,
+        cap: u32,
+        scratch: &mut BfsScratch,
+    ) -> FxHashMap<u32, u32> {
         let mut dist: FxHashMap<u32, u32> = FxHashMap::default();
         scratch.reset(self.n());
         scratch.mark(src);

@@ -113,7 +113,9 @@ pub fn write_structure(s: &Structure) -> String {
         let _ = writeln!(out, "rel {} {}", decl.name, decl.arity);
     }
     for decl in s.signature().rels() {
-        let rel = s.relation(Symbol::new(&decl.name.name())).expect("declared");
+        let rel = s
+            .relation(Symbol::new(&decl.name.name()))
+            .expect("declared");
         for row in rel.rows() {
             let _ = write!(out, "{}", decl.name);
             for &e in row {

@@ -23,12 +23,12 @@
 
 pub mod gen;
 pub mod graph;
-pub mod io;
 pub mod hash;
+pub mod io;
 pub mod signature;
 pub mod structure;
 
 pub use graph::{BfsScratch, Graph};
-pub use hash::{FxHashMap, FxHashSet};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use signature::{RelDecl, Signature};
 pub use structure::{InducedSubstructure, Relation, Structure, StructureBuilder};

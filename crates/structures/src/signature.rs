@@ -20,7 +20,10 @@ pub struct RelDecl {
 impl RelDecl {
     /// Declares a relation symbol by name.
     pub fn new(name: &str, arity: usize) -> RelDecl {
-        RelDecl { name: Symbol::new(name), arity }
+        RelDecl {
+            name: Symbol::new(name),
+            arity,
+        }
     }
 }
 
@@ -38,7 +41,11 @@ impl Signature {
         let mut index = FxHashMap::default();
         for (i, d) in decls.iter().enumerate() {
             let prev = index.insert(d.name, i);
-            assert!(prev.is_none(), "duplicate relation symbol {} in signature", d.name);
+            assert!(
+                prev.is_none(),
+                "duplicate relation symbol {} in signature",
+                d.name
+            );
         }
         Arc::new(Signature { rels: decls, index })
     }
@@ -76,7 +83,10 @@ impl Signature {
     /// `true` iff every symbol of `other` is declared here with the same
     /// arity (i.e. `self ⊇ other` as signatures).
     pub fn contains_signature(&self, other: &Signature) -> bool {
-        other.rels.iter().all(|d| self.arity_of(d.name) == Some(d.arity))
+        other
+            .rels
+            .iter()
+            .all(|d| self.arity_of(d.name) == Some(d.arity))
     }
 
     /// A new signature extending this one with `extra` declarations

@@ -20,6 +20,7 @@ pub struct Relation {
     /// Lazily built per-position indexes: `indexes[pos][value]` lists the
     /// row ids whose `pos`-th component equals `value`. Shared across
     /// clones (the relation data is immutable).
+    #[allow(clippy::type_complexity)]
     indexes: std::sync::OnceLock<std::sync::Arc<Vec<FxHashMap<u32, Vec<u32>>>>>,
 }
 
@@ -32,7 +33,8 @@ impl Eq for Relation {}
 
 impl Relation {
     fn from_rows(arity: usize, mut rows: Vec<Vec<u32>>) -> Relation {
-        rows.iter().for_each(|r| assert_eq!(r.len(), arity, "row arity mismatch"));
+        rows.iter()
+            .for_each(|r| assert_eq!(r.len(), arity, "row arity mismatch"));
         rows.sort_unstable();
         rows.dedup();
         let nrows = rows.len();
@@ -40,13 +42,17 @@ impl Relation {
         for r in rows {
             data.extend_from_slice(&r);
         }
-        Relation { arity, nrows, data, indexes: std::sync::OnceLock::new() }
+        Relation {
+            arity,
+            nrows,
+            data,
+            indexes: std::sync::OnceLock::new(),
+        }
     }
 
     fn position_indexes(&self) -> &Vec<FxHashMap<u32, Vec<u32>>> {
         self.indexes.get_or_init(|| {
-            let mut per_pos: Vec<FxHashMap<u32, Vec<u32>>> =
-                vec![FxHashMap::default(); self.arity];
+            let mut per_pos: Vec<FxHashMap<u32, Vec<u32>>> = vec![FxHashMap::default(); self.arity];
             for i in 0..self.nrows {
                 let row = &self.data[i * self.arity..(i + 1) * self.arity];
                 for (pos, &val) in row.iter().enumerate() {
@@ -60,14 +66,9 @@ impl Relation {
     /// Rows whose `pos`-th component equals `val`, via a lazily built
     /// per-position hash index (position 0 uses the primary sort order
     /// instead; see [`Relation::rows_with_first`]).
-    pub fn rows_with_value_at(
-        &self,
-        pos: usize,
-        val: u32,
-    ) -> impl Iterator<Item = &[u32]> + '_ {
+    pub fn rows_with_value_at(&self, pos: usize, val: u32) -> impl Iterator<Item = &[u32]> + '_ {
         assert!(pos < self.arity, "position out of range");
-        let ids: &[u32] = self
-            .position_indexes()[pos]
+        let ids: &[u32] = self.position_indexes()[pos]
             .get(&val)
             .map(|v| v.as_slice())
             .unwrap_or(&[]);
@@ -152,6 +153,7 @@ pub struct Structure {
     n: u32,
     rels: Vec<Relation>,
     gaifman: OnceLock<Arc<Graph>>,
+    fingerprint: OnceLock<u64>,
 }
 
 impl Structure {
@@ -161,7 +163,11 @@ impl Structure {
     /// boundary.
     pub fn new(sig: Arc<Signature>, n: u32, rows: Vec<Vec<Vec<u32>>>) -> Structure {
         assert!(n >= 1, "the paper requires non-empty universes");
-        assert_eq!(rows.len(), sig.len(), "one row list per relation symbol required");
+        assert_eq!(
+            rows.len(),
+            sig.len(),
+            "one row list per relation symbol required"
+        );
         let rels: Vec<Relation> = sig
             .rels()
             .iter()
@@ -175,7 +181,13 @@ impl Structure {
                 Relation::from_rows(decl.arity, rs)
             })
             .collect();
-        Structure { sig, n, rels, gaifman: OnceLock::new() }
+        Structure {
+            sig,
+            n,
+            rels,
+            gaifman: OnceLock::new(),
+            fingerprint: OnceLock::new(),
+        }
     }
 
     /// The signature σ.
@@ -239,6 +251,30 @@ impl Structure {
         })
     }
 
+    /// A content fingerprint of the structure: a 64-bit hash of the
+    /// universe size, the signature, and every relation's sorted tuple
+    /// data (built on first use, cached). Two structures with equal
+    /// fingerprints are, up to hash collision, the *same database*, which
+    /// is what lets the evaluators memoise cl-term values across
+    /// identical cover clusters.
+    pub fn fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| {
+            use std::hash::{Hash, Hasher};
+            let mut h = crate::hash::FxHasher::default();
+            h.write_u32(self.n);
+            h.write_usize(self.rels.len());
+            for (decl, rel) in self.sig.rels().iter().zip(&self.rels) {
+                decl.name.hash(&mut h);
+                h.write_usize(decl.arity);
+                h.write_usize(rel.len());
+                for &v in &rel.data {
+                    h.write_u32(v);
+                }
+            }
+            h.finish()
+        })
+    }
+
     /// The σ′-expansion of this structure with extra relations (Section 2).
     /// The existing relations are shared by clone of their sorted data.
     pub fn expand(&self, extra: Vec<(RelDecl, Vec<Vec<u32>>)>) -> Structure {
@@ -253,11 +289,20 @@ impl Structure {
             }
             rels.push(Relation::from_rows(decl.arity, rs));
         }
-        let out = Structure { sig, n: self.n, rels, gaifman: OnceLock::new() };
+        let out = Structure {
+            sig,
+            n: self.n,
+            rels,
+            gaifman: OnceLock::new(),
+            fingerprint: OnceLock::new(),
+        };
         // Unary/0-ary expansions do not change the Gaifman graph; reuse it
         // if it was already built and every added relation has arity ≤ 1.
         if let Some(g) = self.gaifman.get() {
-            if out.sig.rels()[self.sig.len()..].iter().all(|d| d.arity <= 1) {
+            if out.sig.rels()[self.sig.len()..]
+                .iter()
+                .all(|d| d.arity <= 1)
+            {
                 let _ = out.gaifman.set(g.clone());
             }
         }
@@ -267,23 +312,41 @@ impl Structure {
     /// The σ-reduct: drops all relations not in `sub` (which must be a
     /// subset of the current signature).
     pub fn reduct(&self, sub: Arc<Signature>) -> Structure {
-        assert!(self.sig.contains_signature(&sub), "reduct target not a sub-signature");
+        assert!(
+            self.sig.contains_signature(&sub),
+            "reduct target not a sub-signature"
+        );
         let rels = sub
             .rels()
             .iter()
             .map(|d| {
-                let i = self.sig.index_of(d.name).expect("checked by contains_signature");
+                let i = self
+                    .sig
+                    .index_of(d.name)
+                    .expect("checked by contains_signature");
                 self.rels[i].clone()
             })
             .collect();
-        Structure { sig: sub, n: self.n, rels, gaifman: OnceLock::new() }
+        Structure {
+            sig: sub,
+            n: self.n,
+            rels,
+            gaifman: OnceLock::new(),
+            fingerprint: OnceLock::new(),
+        }
     }
 
     /// The induced substructure `A[B]` on a sorted set of elements, with
     /// the mapping back to original element ids (`back[new] = old`).
     pub fn induced(&self, elems: &[u32]) -> InducedSubstructure {
-        debug_assert!(elems.windows(2).all(|w| w[0] < w[1]), "elems must be sorted+unique");
-        assert!(!elems.is_empty(), "induced substructure needs a non-empty set");
+        debug_assert!(
+            elems.windows(2).all(|w| w[0] < w[1]),
+            "elems must be sorted+unique"
+        );
+        assert!(
+            !elems.is_empty(),
+            "induced substructure needs a non-empty set"
+        );
         let mut fwd: FxHashMap<u32, u32> = FxHashMap::default();
         for (new, &old) in elems.iter().enumerate() {
             fwd.insert(old, new as u32);
@@ -307,7 +370,11 @@ impl Structure {
             })
             .collect();
         let structure = Structure::new(self.sig.clone(), elems.len() as u32, rels);
-        InducedSubstructure { structure, back: elems.to_vec(), fwd }
+        InducedSubstructure {
+            structure,
+            back: elems.to_vec(),
+            fwd,
+        }
     }
 
     /// The disjoint union of two structures over the same signature
@@ -321,7 +388,10 @@ impl Structure {
             .zip(&b.rels)
             .map(|(ra, rb)| {
                 let mut rows: Vec<Vec<u32>> = ra.rows().map(|r| r.to_vec()).collect();
-                rows.extend(rb.rows().map(|r| r.iter().map(|&e| e + shift).collect::<Vec<_>>()));
+                rows.extend(
+                    rb.rows()
+                        .map(|r| r.iter().map(|&e| e + shift).collect::<Vec<_>>()),
+                );
                 rows
             })
             .collect();
@@ -441,10 +511,8 @@ mod tests {
         // Missing values yield empty iterators.
         assert_eq!(r.rows_with_value_at(0, 99).count(), 0);
         // Position 0 agrees with the primary order.
-        let via_index: Vec<Vec<u32>> =
-            r.rows_with_value_at(0, 1).map(|row| row.to_vec()).collect();
-        let via_sorted: Vec<Vec<u32>> =
-            r.rows_with_first(1).map(|row| row.to_vec()).collect();
+        let via_index: Vec<Vec<u32>> = r.rows_with_value_at(0, 1).map(|row| row.to_vec()).collect();
+        let via_sorted: Vec<Vec<u32>> = r.rows_with_first(1).map(|row| row.to_vec()).collect();
         assert_eq!(via_index, via_sorted);
     }
 

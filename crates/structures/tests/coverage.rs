@@ -15,6 +15,7 @@ fn apsp(g: &Graph) -> Vec<Vec<u32>> {
     let n = g.n() as usize;
     let inf = u32::MAX / 4;
     let mut d = vec![vec![inf; n]; n];
+    #[allow(clippy::needless_range_loop)]
     for v in 0..n {
         d[v][v] = 0;
         for &w in g.neighbors(v as u32) {
@@ -80,7 +81,12 @@ fn balls_are_distance_sublevel_sets() {
 #[test]
 fn degeneracy_positions_are_a_permutation() {
     let mut rng = StdRng::seed_from_u64(9);
-    for s in [grid(5, 5), random_tree(40, &mut rng), clique(12), gnm(30, 60, &mut rng)] {
+    for s in [
+        grid(5, 5),
+        random_tree(40, &mut rng),
+        clique(12),
+        gnm(30, 60, &mut rng),
+    ] {
         let pos = s.gaifman().degeneracy_positions();
         let mut sorted = pos.clone();
         sorted.sort_unstable();
@@ -95,7 +101,10 @@ fn gaifman_cache_is_reused_for_unary_expansions() {
     let g1 = s.gaifman() as *const Graph;
     let exp = s.expand(vec![(RelDecl::new("Mark", 1), vec![vec![0], vec![5]])]);
     let g2 = exp.gaifman() as *const Graph;
-    assert_eq!(g1, g2, "unary expansion must reuse the cached Gaifman graph");
+    assert_eq!(
+        g1, g2,
+        "unary expansion must reuse the cached Gaifman graph"
+    );
     // A binary expansion must NOT reuse it.
     let exp2 = s.expand(vec![(RelDecl::new("Link", 2), vec![vec![0, 35]])]);
     assert!(exp2.gaifman().has_edge(0, 35));
@@ -145,7 +154,13 @@ fn io_roundtrip_preserves_all_generators() {
         star(7),
         caterpillar(3, 2),
         string_structure("abcba", &['a', 'b', 'c']),
-        colored_digraph(ColoredParams { n: 20, ..Default::default() }, &mut rng),
+        colored_digraph(
+            ColoredParams {
+                n: 20,
+                ..Default::default()
+            },
+            &mut rng,
+        ),
     ];
     for s in cases {
         let text = write_structure(&s);
@@ -166,8 +181,9 @@ fn string_structures_encode_words_faithfully() {
     let mut rng = StdRng::seed_from_u64(5);
     for _ in 0..5 {
         let len = rng.gen_range(1..12);
-        let word: String =
-            (0..len).map(|_| alphabet[rng.gen_range(0..3)]).collect();
+        let word: String = (0..len)
+            .map(|_| alphabet[rng.gen_range(0..3usize)])
+            .collect();
         let s = string_structure(&word, &alphabet);
         assert_eq!(read_word(&s, &alphabet), word);
         // The order relation has exactly n(n+1)/2 tuples.

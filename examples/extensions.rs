@@ -27,7 +27,10 @@ fn main() {
     let y = v("y");
     let weights = Weights::new((0..s.order()).map(|_| rng.gen_range(0i64..100)).collect());
     let agg = SumAggregate::new(vec![x, y], y, atom("E", [x, y])).unwrap();
-    let ev = Evaluator::new(EngineKind::Local);
+    let ev = Evaluator::builder()
+        .kind(EngineKind::Local)
+        .build()
+        .unwrap();
     let t0 = Instant::now();
     let sum = ev.eval_sum(&s, &weights, &agg).unwrap();
     let avg = ev.eval_avg(&s, &weights, &agg).unwrap();
@@ -56,7 +59,11 @@ fn main() {
         if u == w {
             continue;
         }
-        let up = if rng.gen_bool(0.6) { EdgeUpdate::Insert(u, w) } else { EdgeUpdate::Delete(u, w) };
+        let up = if rng.gen_bool(0.6) {
+            EdgeUpdate::Insert(u, w)
+        } else {
+            EdgeUpdate::Delete(u, w)
+        };
         maintained.apply(up).unwrap();
         total_affected += maintained.last_affected();
     }
@@ -67,7 +74,10 @@ fn main() {
         s.order(),
         t0.elapsed()
     );
-    assert_eq!(maintained.value(), maintained.recompute_from_scratch().unwrap());
+    assert_eq!(
+        maintained.value(),
+        maintained.recompute_from_scratch().unwrap()
+    );
     println!("    matches from-scratch recomputation ✓");
 
     // ── (3) constant-delay enumeration ────────────────────────────────

@@ -18,12 +18,22 @@ fn main() {
     let preds = Predicates::standard();
     let mut rng = StdRng::seed_from_u64(4);
     let g = gnm(8, 11, &mut rng);
-    println!("graph G: |V| = {}, |E| = {}", g.order(), g.gaifman().num_edges());
+    println!(
+        "graph G: |V| = {}, |E| = {}",
+        g.order(),
+        g.gaifman().num_edges()
+    );
 
     let sentences = [
-        ("triangle", "exists x y z. (E(x,y) & E(y,z) & E(z,x) & !(x=y) & !(y=z) & !(x=z))"),
+        (
+            "triangle",
+            "exists x y z. (E(x,y) & E(y,z) & E(z,x) & !(x=y) & !(y=z) & !(x=z))",
+        ),
         ("isolated vertex", "exists x. !(exists y. E(x,y))"),
-        ("dominating edge", "exists x y. (E(x,y) & forall z. (E(x,z) | E(y,z) | z=x | z=y))"),
+        (
+            "dominating edge",
+            "exists x y. (E(x,y) & forall z. (E(x,z) | E(y,z) | z=x | z=y))",
+        ),
     ];
 
     // Theorem 4.1: FO on graphs ≤ᵖ FOC({P=}) on trees.
@@ -55,7 +65,10 @@ fn main() {
         string.word.len(),
         string.string.size()
     );
-    println!("  word prefix: {}…", &string.word[..string.word.len().min(48)]);
+    println!(
+        "  word prefix: {}…",
+        &string.word[..string.word.len().min(48)]
+    );
     for (name, src) in &sentences[..2] {
         let phi = parse_formula(src).unwrap();
         let phi_hat = string_formula(&phi);

@@ -15,18 +15,20 @@ use std::time::Instant;
 fn main() {
     // A 40×40 grid: a planar (hence nowhere dense) "database".
     let g = grid(40, 40);
-    println!("structure: 40x40 grid, |A| = {}, ‖A‖ = {}", g.order(), g.size());
+    println!(
+        "structure: 40x40 grid, |A| = {}, ‖A‖ = {}",
+        g.order(),
+        g.size()
+    );
 
     // "Some vertex has at least 3 neighbours of degree 4" — an FOC1(P)
     // sentence mixing quantification and cardinality conditions.
-    let sentence = parse_formula(
-        "exists x. #(y). (E(x,y) & #(z). E(y,z) = 4) >= 3",
-    )
-    .expect("parses");
+    let sentence =
+        parse_formula("exists x. #(y). (E(x,y) & #(z). E(y,z) = 4) >= 3").expect("parses");
     println!("sentence: {sentence}");
 
     for kind in [EngineKind::Naive, EngineKind::Local, EngineKind::Cover] {
-        let ev = Evaluator::new(kind);
+        let ev = Evaluator::builder().kind(kind).build().unwrap();
         let t0 = Instant::now();
         let ans = ev.check_sentence(&g, &sentence).expect("evaluates");
         println!("  {kind:?}: {ans} in {:?}", t0.elapsed());
@@ -34,12 +36,20 @@ fn main() {
 
     // The decomposition plan (Theorem 6.10): which cardinality guards
     // were materialised as fresh unary relations.
-    let ev = Evaluator::new(EngineKind::Local);
+    let ev = Evaluator::builder()
+        .kind(EngineKind::Local)
+        .build()
+        .unwrap();
     let mut session = ev.session(&g);
     session.check_sentence(&sentence).unwrap();
     println!("decomposition plan ({} markers):", session.plan.len());
     for m in &session.plan {
-        println!("  {}({}) := {}", m.symbol, if m.arity == 1 { "x" } else { "" }, m.definition);
+        println!(
+            "  {}({}) := {}",
+            m.symbol,
+            if m.arity == 1 { "x" } else { "" },
+            m.definition
+        );
     }
     println!(
         "stats: {} cl-terms, {} basic cl-terms, {} naive fall-backs",
@@ -50,11 +60,12 @@ fn main() {
     // of degree 4, on a random tree.
     let mut rng = StdRng::seed_from_u64(1);
     let t = random_tree(10_000, &mut rng);
-    let term = parse_term(
-        "#(x,y). (E(x,y) & #(z). E(x,z) = 4 & #(w). E(y,w) = 4)",
-    )
-    .expect("parses");
-    let ev = Evaluator::new(EngineKind::Local);
+    let term =
+        parse_term("#(x,y). (E(x,y) & #(z). E(x,z) = 4 & #(w). E(y,w) = 4)").expect("parses");
+    let ev = Evaluator::builder()
+        .kind(EngineKind::Local)
+        .build()
+        .unwrap();
     let t0 = Instant::now();
     let n = ev.eval_ground(&t, &term).expect("evaluates");
     println!(

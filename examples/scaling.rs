@@ -26,12 +26,18 @@ fn main() {
 
     let mut rng = StdRng::seed_from_u64(11);
     for (name, make) in [
-        ("random tree", Box::new(|n: u32, rng: &mut StdRng| random_tree(n, rng))
-            as Box<dyn Fn(u32, &mut StdRng) -> foc_structures::Structure>),
-        ("square grid", Box::new(|n: u32, _rng: &mut StdRng| {
-            let side = (n as f64).sqrt().round() as u32;
-            grid(side, side)
-        })),
+        (
+            "random tree",
+            Box::new(|n: u32, rng: &mut StdRng| random_tree(n, rng))
+                as Box<dyn Fn(u32, &mut StdRng) -> foc_structures::Structure>,
+        ),
+        (
+            "square grid",
+            Box::new(|n: u32, _rng: &mut StdRng| {
+                let side = (n as f64).sqrt().round() as u32;
+                grid(side, side)
+            }),
+        ),
     ] {
         println!("== {name} ==");
         println!("{:>8} {:>14} {:>14} {:>14}", "n", "naive", "local", "cover");
@@ -45,7 +51,7 @@ fn main() {
                     line.push_str(&format!(" {:>14}", "(skipped)"));
                     continue;
                 }
-                let ev = Evaluator::new(kind);
+                let ev = Evaluator::builder().kind(kind).build().unwrap();
                 let t0 = Instant::now();
                 let val = ev.eval_ground(&s, &term).unwrap();
                 let dt: Duration = t0.elapsed();

@@ -6,7 +6,9 @@
 //! cargo run --release --example sql_count
 //! ```
 
-use foc_core::sql::{customers_per_country, orders_per_berlin_customer, total_customers_and_orders};
+use foc_core::sql::{
+    customers_per_country, orders_per_berlin_customer, total_customers_and_orders,
+};
 use foc_core::{EngineKind, Evaluator};
 use foc_structures::gen::{sql_database, SqlDbParams};
 use rand::rngs::StdRng;
@@ -15,7 +17,12 @@ use std::time::Instant;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(7);
-    let params = SqlDbParams { customers: 2_000, countries: 25, cities: 60, avg_orders: 2.0 };
+    let params = SqlDbParams {
+        customers: 2_000,
+        countries: 25,
+        cities: 60,
+        avg_orders: 2.0,
+    };
     let db = sql_database(params, &mut rng);
     println!(
         "database: {} customers, {} orders, ‖A‖ = {}",
@@ -30,13 +37,17 @@ fn main() {
     println!("   as FOC1(P): {q}");
     let truth = db.customers_per_country();
     for kind in [EngineKind::Local, EngineKind::Cover, EngineKind::Naive] {
-        let ev = Evaluator::new(kind);
+        let ev = Evaluator::builder().kind(kind).build().unwrap();
         let t0 = Instant::now();
         let res = ev.query(&db.structure, &q).expect("query evaluates");
         let elapsed = t0.elapsed();
         // Validate against the generator's ground truth.
         for row in &res.rows {
-            let ci = db.countries.iter().position(|&c| c == row.elems[0]).expect("country");
+            let ci = db
+                .countries
+                .iter()
+                .position(|&c| c == row.elems[0])
+                .expect("country");
             assert_eq!(row.counts[0] as usize, truth[ci], "engine {kind:?} wrong");
         }
         println!("   {kind:?}: {} groups in {elapsed:?}", res.rows.len());
@@ -45,7 +56,10 @@ fn main() {
     // SELECT (SELECT COUNT(*) FROM Customer), (SELECT COUNT(*) FROM Order).
     println!("\n-- total customers and orders");
     let q = total_customers_and_orders();
-    let ev = Evaluator::new(EngineKind::Local);
+    let ev = Evaluator::builder()
+        .kind(EngineKind::Local)
+        .build()
+        .unwrap();
     let t0 = Instant::now();
     let res = ev.query(&db.structure, &q).expect("query evaluates");
     println!(
@@ -58,7 +72,10 @@ fn main() {
     // Orders per customer in Berlin.
     println!("\n-- orders per Berlin customer");
     let q = orders_per_berlin_customer();
-    let ev = Evaluator::new(EngineKind::Local);
+    let ev = Evaluator::builder()
+        .kind(EngineKind::Local)
+        .build()
+        .unwrap();
     let t0 = Instant::now();
     let res = ev.query(&db.structure, &q).expect("query evaluates");
     let total: i64 = res.rows.iter().map(|r| r.counts[0]).sum();

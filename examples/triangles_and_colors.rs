@@ -18,7 +18,13 @@ use std::time::Instant;
 fn main() {
     let mut rng = StdRng::seed_from_u64(99);
     let s = colored_digraph(
-        ColoredParams { n: 600, avg_out_degree: 2.0, p_red: 0.01, p_blue: 0.4, p_green: 0.3 },
+        ColoredParams {
+            n: 600,
+            avg_out_degree: 2.0,
+            p_red: 0.01,
+            p_blue: 0.4,
+            p_green: 0.3,
+        },
         &mut rng,
     );
     println!("coloured digraph: |A| = {}, ‖A‖ = {}", s.order(), s.size());
@@ -43,10 +49,16 @@ fn main() {
     // t_B(x) = #(y).(E(x,y) ∧ B(y)): blue out-neighbours.
     let t_blue = |var: Var| {
         let w = Var::fresh("w");
-        cnt_vec(vec![w], and(atom_vec("E", vec![var, w]), atom_vec("B", vec![w])))
+        cnt_vec(
+            vec![w],
+            and(atom_vec("E", vec![var, w]), atom_vec("B", vec![w])),
+        )
     };
 
-    let ev = Evaluator::new(EngineKind::Local);
+    let ev = Evaluator::builder()
+        .kind(EngineKind::Local)
+        .build()
+        .unwrap();
 
     // t_{Δ,R} = #(x).(t_Δ(x) = t_R): nodes participating in exactly as
     // many triangles as there are red nodes.
@@ -54,7 +66,10 @@ fn main() {
     let t_delta_r = cnt_vec(vec![x], phi_delta_r);
     let t0 = Instant::now();
     let n_delta_r = ev.eval_ground(&s, &t_delta_r).expect("evaluates");
-    println!("t_Δ,R (nodes with #triangles = #red) = {n_delta_r}  [{:?}]", t0.elapsed());
+    println!(
+        "t_Δ,R (nodes with #triangles = #red) = {n_delta_r}  [{:?}]",
+        t0.elapsed()
+    );
 
     // φ_{B,Δ,R}(x) := t_B(x) = t_Δ(x) + t_{Δ,R}.
     let phi_bdr = teq(t_blue(x), add(t_delta(x), t_delta_r.clone()));
@@ -76,11 +91,17 @@ fn main() {
         t0.elapsed()
     );
     if let Some(row) = res.rows.first() {
-        println!("  first row: x = {}, y = {}, t_B(x)·t_Δ(y) = {}", row.elems[0], row.elems[1], row.counts[0]);
+        println!(
+            "  first row: x = {}, y = {}, t_B(x)·t_Δ(y) = {}",
+            row.elems[0], row.elems[1], row.counts[0]
+        );
     }
 
     // Engine agreement spot check on the ground statistics.
-    let naive = Evaluator::new(EngineKind::Naive);
+    let naive = Evaluator::builder()
+        .kind(EngineKind::Naive)
+        .build()
+        .unwrap();
     assert_eq!(naive.eval_ground(&s, &t_delta_r).unwrap(), n_delta_r);
     println!("naive engine agrees ✓");
 }

@@ -1,0 +1,213 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion 0.5 API the workspace's benches
+//! use — [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_with_input`] / `bench_function`,
+//! [`BenchmarkId::new`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a plain
+//! wall-clock measurement loop instead of criterion's statistics: each
+//! benchmark runs one warm-up iteration, then `sample_size` timed
+//! iterations, and reports min/mean/max to stdout. When invoked by
+//! `cargo test` (the harness receives `--test`), benchmarks are listed
+//! but not run, matching criterion's behaviour.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark manager handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_size: usize,
+    run: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Under `cargo test` the harness is invoked with `--test`:
+        // compile-check the benches but skip the timed loops.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            run: !test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if self.run {
+            println!("\n== {name} ==");
+        }
+        BenchmarkGroup {
+            c: self,
+            name,
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        run_one(&id.to_string(), self.sample_size, self.run, |b| f(b));
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.c.sample_size);
+        run_one(&label, samples, self.c.run, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure without an input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.c.sample_size);
+        run_one(&label, samples, self.c.run, |b| f(b));
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// A function + parameter benchmark identifier.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// The timing handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    run: bool,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if !self.run {
+            return;
+        }
+        black_box(f()); // warm-up
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.results.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_one(label: &str, samples: usize, run: bool, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        run,
+        results: Vec::new(),
+    };
+    f(&mut b);
+    if !run {
+        println!("{label}: skipped (--test)");
+        return;
+    }
+    if b.results.is_empty() {
+        println!("{label}: no samples");
+        return;
+    }
+    let min = b.results.iter().min().unwrap();
+    let max = b.results.iter().max().unwrap();
+    let mean = b.results.iter().sum::<Duration>() / b.results.len() as u32;
+    println!(
+        "{label}: mean {mean:?}  min {min:?}  max {max:?}  ({} samples)",
+        b.results.len()
+    );
+}
+
+/// Declares a group function that runs each benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x) * black_box(x))
+        });
+        g.finish();
+    }
+
+    criterion_group!(demo_group, demo);
+
+    #[test]
+    fn harness_runs() {
+        demo_group();
+    }
+}

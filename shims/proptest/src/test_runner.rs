@@ -1,0 +1,65 @@
+//! Runner-side types: the per-test RNG, the case configuration, and the
+//! error that `prop_assert*` / `prop_assume!` return.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-test deterministic RNG: seeded from the test's name, so each
+/// property gets an independent but reproducible stream.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// The RNG for the named test.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+impl TestRng {
+    /// The next 64 random bits (inherent, so callers need no trait
+    /// import).
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cases generated per property.
+    pub cases: u32,
+    /// Accepted for parity with the real proptest; unused (this shim
+    /// never shrinks).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!` — not a failure.
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}

@@ -42,9 +42,18 @@ fn parsed_sentences_agree_across_engines_and_zoo() {
         "@prime(#(x). (x = x) + #(x,y). E(x,y))",
     ];
     let engines = [
-        Evaluator::new(EngineKind::Naive),
-        Evaluator::new(EngineKind::Local),
-        Evaluator::new(EngineKind::Cover),
+        Evaluator::builder()
+            .kind(EngineKind::Naive)
+            .build()
+            .unwrap(),
+        Evaluator::builder()
+            .kind(EngineKind::Local)
+            .build()
+            .unwrap(),
+        Evaluator::builder()
+            .kind(EngineKind::Cover)
+            .build()
+            .unwrap(),
     ];
     for src in sentences {
         let f = parse_formula(src).unwrap();
@@ -55,7 +64,7 @@ fn parsed_sentences_agree_across_engines_and_zoo() {
                     ev.check_sentence(&s, &f).unwrap(),
                     want,
                     "{:?} disagrees on {src} (order {})",
-                    ev.kind,
+                    ev.kind(),
                     s.order()
                 );
             }
@@ -72,9 +81,18 @@ fn parsed_ground_terms_agree_across_engines_and_zoo() {
         "#(x,y). (!(E(x,y)) & !(x = y))",
     ];
     let engines = [
-        Evaluator::new(EngineKind::Naive),
-        Evaluator::new(EngineKind::Local),
-        Evaluator::new(EngineKind::Cover),
+        Evaluator::builder()
+            .kind(EngineKind::Naive)
+            .build()
+            .unwrap(),
+        Evaluator::builder()
+            .kind(EngineKind::Local)
+            .build()
+            .unwrap(),
+        Evaluator::builder()
+            .kind(EngineKind::Cover)
+            .build()
+            .unwrap(),
     ];
     for src in terms {
         let t = parse_term(src).unwrap();
@@ -85,7 +103,7 @@ fn parsed_ground_terms_agree_across_engines_and_zoo() {
                     ev.eval_ground(&s, &t).unwrap(),
                     want,
                     "{:?} disagrees on {src} (order {})",
-                    ev.kind,
+                    ev.kind(),
                     s.order()
                 );
             }
@@ -103,7 +121,10 @@ fn hardness_output_feeds_the_foc1_engines() {
     let enc = tree_encoding(&g);
     let phi_hat = tree_formula(&phi);
     assert!(!foc_logic::fragment::is_foc1(&phi_hat));
-    let local = Evaluator::new(EngineKind::Local);
+    let local = Evaluator::builder()
+        .kind(EngineKind::Local)
+        .build()
+        .unwrap();
     assert!(matches!(
         local.check_sentence(&enc.tree, &phi_hat),
         Err(foc_core::Error::NotFoc1(_))
@@ -111,14 +132,24 @@ fn hardness_output_feeds_the_foc1_engines() {
     // The naive engine is complete for FOC(P) and decides it — agreeing
     // with the original graph.
     let preds = Predicates::standard();
-    let naive = Evaluator::new(EngineKind::Naive);
-    let want = NaiveEvaluator::new(&g, &preds).check_sentence(&phi).unwrap();
+    let naive = Evaluator::builder()
+        .kind(EngineKind::Naive)
+        .build()
+        .unwrap();
+    let want = NaiveEvaluator::new(&g, &preds)
+        .check_sentence(&phi)
+        .unwrap();
     let got = naive.check_sentence(&enc.tree, &phi_hat).unwrap();
     assert_eq!(want, got);
     // But FOC1 sentences still run on T_G with the fast engines: degree
     // statistics of the tree itself.
     let deg = parse_formula("exists x. #(y). E(x,y) >= 4").unwrap();
-    let want = Evaluator::new(EngineKind::Naive).check_sentence(&enc.tree, &deg).unwrap();
+    let want = Evaluator::builder()
+        .kind(EngineKind::Naive)
+        .build()
+        .unwrap()
+        .check_sentence(&enc.tree, &deg)
+        .unwrap();
     assert_eq!(local.check_sentence(&enc.tree, &deg).unwrap(), want);
 }
 
@@ -133,7 +164,7 @@ fn counting_matches_enumeration() {
         let mut ev = NaiveEvaluator::new(&s, &preds);
         let enumerated = ev.satisfying_tuples(&f, &vars).unwrap().len() as i64;
         for kind in [EngineKind::Naive, EngineKind::Local] {
-            let engine = Evaluator::new(kind);
+            let engine = Evaluator::builder().kind(kind).build().unwrap();
             assert_eq!(
                 engine.count(&s, &f, &vars).unwrap(),
                 enumerated,
@@ -148,11 +179,13 @@ fn counting_matches_enumeration() {
 fn session_plans_match_depth() {
     // The number of materialised markers equals the number of predicate
     // applications (Theorem 6.10's τ-symbols), level by level.
-    let f = parse_formula(
-        "exists x. (#(y). (E(x,y) & #(z). E(y,z) = 2) >= 1 & !(#(y). E(x,y) = 5))",
-    )
-    .unwrap();
-    let ev = Evaluator::new(EngineKind::Local);
+    let f =
+        parse_formula("exists x. (#(y). (E(x,y) & #(z). E(y,z) = 2) >= 1 & !(#(y). E(x,y) = 5))")
+            .unwrap();
+    let ev = Evaluator::builder()
+        .kind(EngineKind::Local)
+        .build()
+        .unwrap();
     let s = grid(6, 6);
     let mut session = ev.session(&s);
     session.check_sentence(&f).unwrap();

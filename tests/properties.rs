@@ -20,11 +20,14 @@ use proptest::prelude::*;
 
 /// A random small graph structure: `n ∈ [2, 9]`, random edge list.
 fn arb_structure() -> impl Strategy<Value = Structure> {
-    (2u32..9, proptest::collection::vec((0u32..9, 0u32..9), 0..14)).prop_map(|(n, edges)| {
-        let edges: Vec<(u32, u32)> =
-            edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
-        graph_structure(n, &edges)
-    })
+    (
+        2u32..9,
+        proptest::collection::vec((0u32..9, 0u32..9), 0..14),
+    )
+        .prop_map(|(n, edges)| {
+            let edges: Vec<(u32, u32)> = edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+            graph_structure(n, &edges)
+        })
 }
 
 /// Variable pool used by the formula generator.
@@ -132,10 +135,10 @@ proptest! {
         let term = cnt_vec(vec![vars[0], vars[1]], body);
         let sentence = tle(int(c), term);
         prop_assume!(sentence.is_sentence());
-        let naive = Evaluator::new(EngineKind::Naive);
+        let naive = Evaluator::builder().kind(EngineKind::Naive).build().unwrap();
         let want = naive.check_sentence(&s, &sentence).unwrap();
         for kind in [EngineKind::Local, EngineKind::Cover] {
-            let ev = Evaluator::new(kind);
+            let ev = Evaluator::builder().kind(kind).build().unwrap();
             let got = ev.check_sentence(&s, &sentence).unwrap();
             prop_assert_eq!(got, want, "{:?} broke {} on order {}", kind, sentence, s.order());
         }
@@ -203,8 +206,8 @@ proptest! {
         let weights = Weights::new(
             (0..s.order()).map(|e| ((e as u64 * 2654435761 + wseed) % 41) as i64 - 20).collect(),
         );
-        let naive = Evaluator::new(EngineKind::Naive).eval_sum(&s, &weights, &agg).unwrap();
-        let local = Evaluator::new(EngineKind::Local).eval_sum(&s, &weights, &agg).unwrap();
+        let naive = Evaluator::builder().kind(EngineKind::Naive).build().unwrap().eval_sum(&s, &weights, &agg).unwrap();
+        let local = Evaluator::builder().kind(EngineKind::Local).build().unwrap().eval_sum(&s, &weights, &agg).unwrap();
         prop_assert_eq!(naive, local, "SUM broke on order {}", s.order());
     }
 
@@ -220,7 +223,7 @@ proptest! {
             tle(int(c), cnt_vec(vec![y], atom_vec("E", vec![x, y]))),
         )
         .unwrap();
-        let ev = Evaluator::new(EngineKind::Local);
+        let ev = Evaluator::builder().kind(EngineKind::Local).build().unwrap();
         let reference = ev.query(&s, &q).unwrap();
         let streamed: Vec<_> = ev.enumerate_query(&s, &q).unwrap().collect();
         prop_assert_eq!(streamed, reference.rows);
