@@ -1,0 +1,47 @@
+//! Observability overhead check: the same cover-engine workload (the
+//! E12 grid query) run with tracing fully disabled versus with an
+//! in-memory sink attached. With no sink the span API reduces to a
+//! branch per call site, so the two curves should be indistinguishable;
+//! this bench is the acceptance gate for "no measurable regression with
+//! tracing disabled".
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use foc_core::{EngineKind, Evaluator};
+use foc_logic::parse::parse_term;
+use foc_obs::{MemorySink, Sink};
+use foc_structures::gen::grid;
+
+fn bench_obs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observability_overhead");
+    group.sample_size(10);
+    let g = grid(40, 40);
+    let term = parse_term("#(x,y). !(dist(x,y) <= 2)").unwrap();
+
+    let plain = Evaluator::builder()
+        .kind(EngineKind::Cover)
+        .build()
+        .unwrap();
+    group.bench_function("cover/disabled", |b| {
+        b.iter(|| plain.session(&g).eval_ground(&term).unwrap())
+    });
+
+    group.bench_function("cover/memory_sink", |b| {
+        b.iter(|| {
+            // A fresh sink per iteration so the measured cost includes
+            // span recording but not unbounded accumulation.
+            let sink = MemorySink::shared();
+            let traced = Evaluator::builder()
+                .kind(EngineKind::Cover)
+                .sink(sink as Arc<dyn Sink>)
+                .build()
+                .unwrap();
+            traced.session(&g).eval_ground(&term).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

@@ -62,7 +62,9 @@ fn workloads(quick: bool) -> Vec<Workload> {
     ]
 }
 
-/// One measured cell of the sweep.
+/// One measured cell of the sweep, including the session's metrics
+/// snapshot (counters plus per-phase wall time) so the JSON record can
+/// explain *where* a cell's time went, not just how long it took.
 struct Cell {
     workload: &'static str,
     order: u32,
@@ -71,9 +73,16 @@ struct Cell {
     speedup: f64,
     identical: bool,
     clusters: u64,
+    covers_built: u64,
+    removals: u64,
     peak_cluster: u32,
     cache_hits: u64,
     cache_misses: u64,
+    balls: u64,
+    materialize_micros: u64,
+    decompose_micros: u64,
+    cover_micros: u64,
+    eval_micros: u64,
 }
 
 fn run_cell(w: &Workload, threads: usize, baseline: Option<&(i64, f64)>) -> (i64, Cell) {
@@ -90,7 +99,7 @@ fn run_cell(w: &Workload, threads: usize, baseline: Option<&(i64, f64)>) -> (i64
         _ => unreachable!("workload has neither term nor sentence"),
     };
     let secs = t0.elapsed().as_secs_f64();
-    let stats = &session.stats;
+    let stats = session.stats();
     let cell = Cell {
         workload: w.label,
         order: w.structure.order(),
@@ -99,9 +108,16 @@ fn run_cell(w: &Workload, threads: usize, baseline: Option<&(i64, f64)>) -> (i64
         speedup: baseline.map_or(1.0, |(_, base)| base / secs.max(1e-12)),
         identical: baseline.is_none_or(|(v, _)| *v == value),
         clusters: stats.clusters,
+        covers_built: stats.covers_built,
+        removals: stats.removals,
         peak_cluster: stats.peak_cluster,
         cache_hits: stats.cache_hits,
         cache_misses: stats.cache_misses,
+        balls: stats.balls,
+        materialize_micros: stats.phase.materialize.as_micros() as u64,
+        decompose_micros: stats.phase.decompose.as_micros() as u64,
+        cover_micros: stats.phase.cover.as_micros() as u64,
+        eval_micros: stats.phase.eval.as_micros() as u64,
     };
     (value, cell)
 }
@@ -134,9 +150,18 @@ fn emit_json(cells: &[Cell], quick: bool) -> String {
         let _ = writeln!(out, "      \"speedup_vs_1\": {:.3},", c.speedup);
         let _ = writeln!(out, "      \"identical_to_sequential\": {},", c.identical);
         let _ = writeln!(out, "      \"clusters\": {},", c.clusters);
+        let _ = writeln!(out, "      \"covers_built\": {},", c.covers_built);
+        let _ = writeln!(out, "      \"removals\": {},", c.removals);
         let _ = writeln!(out, "      \"peak_cluster\": {},", c.peak_cluster);
         let _ = writeln!(out, "      \"cache_hits\": {},", c.cache_hits);
-        let _ = writeln!(out, "      \"cache_misses\": {}", c.cache_misses);
+        let _ = writeln!(out, "      \"cache_misses\": {},", c.cache_misses);
+        let _ = writeln!(out, "      \"balls\": {},", c.balls);
+        let _ = writeln!(out, "      \"phases_micros\": {{");
+        let _ = writeln!(out, "        \"materialize\": {},", c.materialize_micros);
+        let _ = writeln!(out, "        \"decompose\": {},", c.decompose_micros);
+        let _ = writeln!(out, "        \"cover\": {},", c.cover_micros);
+        let _ = writeln!(out, "        \"eval\": {}", c.eval_micros);
+        let _ = writeln!(out, "      }}");
         let _ = writeln!(out, "    }}{}", if i + 1 < cells.len() { "," } else { "" });
     }
     let _ = writeln!(out, "  ]");
@@ -217,14 +242,23 @@ mod tests {
             speedup: 1.9,
             identical: true,
             clusters: 7,
+            covers_built: 2,
+            removals: 4,
             peak_cluster: 3,
             cache_hits: 1,
             cache_misses: 2,
+            balls: 11,
+            materialize_micros: 100,
+            decompose_micros: 20,
+            cover_micros: 30,
+            eval_micros: 80,
         }];
         let json = emit_json(&cells, true);
         assert!(json.contains("\"cpus\""));
         assert!(json.contains("\"speedup_vs_1\": 1.900"));
         assert!(json.contains("\"identical_to_sequential\": true"));
+        assert!(json.contains("\"phases_micros\""));
+        assert!(json.contains("\"balls\": 11"));
         // Balanced braces/brackets — cheap well-formedness proxy without a
         // JSON parser in the tree.
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -1,22 +1,32 @@
 //! `foc` — command-line FOC1(P) evaluation.
 //!
 //! ```text
-//! foc check <structure.foc> "<sentence>"      [--engine naive|local|cover] [--threads N]
-//! foc eval  <structure.foc> "<ground term>"   [--engine …]
-//! foc count <structure.foc> "<formula>" --vars x,y [--engine …]
-//! foc stats <structure.foc> [--cover-r N]
-//! foc gen   <class> --n N [--seed S] [-o out.foc]
+//! foc check   <structure.foc> "<sentence>"      [--engine naive|local|cover] [--threads N]
+//! foc eval    <structure.foc> "<ground term>"   [--engine …]
+//! foc count   <structure.foc> "<formula>" --vars x,y [--engine …]
+//! foc explain <structure.foc> "<sentence or ground term>" [--engine …]
+//! foc stats   <structure.foc> [--cover-r N]
+//! foc gen     <class> --n N [--seed S] [-o out.foc]
 //!     classes: tree, grid, path, cycle, star, clique, deg3, gnm
 //! ```
+//!
+//! Every evaluation subcommand also accepts `--trace` (stream finished
+//! spans to stderr), `--profile` (print the per-phase wall-time table),
+//! and `--metrics-json <path>` (write the session's counters,
+//! histograms, and span list as JSON). `foc explain` runs the query
+//! with an in-memory span sink and renders the full span tree plus the
+//! metrics table.
 //!
 //! Structure files use the line-oriented format of
 //! `foc_structures::io` (see `foc gen … -o example.foc` for a sample).
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use foc_core::{EngineKind, Evaluator};
+use foc_core::{EngineKind, EngineStats, Evaluator, Session};
 use foc_logic::parse::{parse_formula, parse_term};
 use foc_logic::Var;
+use foc_obs::{build_tree, render_metrics_table, render_tree, session_json, MemorySink, Sink};
 use foc_structures::gen as generators;
 use foc_structures::io::{parse_structure, write_structure};
 use foc_structures::Structure;
@@ -38,11 +48,26 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  foc check <structure.foc> \"<sentence>\"      [--engine naive|local|cover] [--threads N]
-  foc eval  <structure.foc> \"<ground term>\"   [--engine ...]
-  foc count <structure.foc> \"<formula>\" --vars x,y [--engine ...]
-  foc stats <structure.foc> [--cover-r N]
-  foc gen   <tree|grid|path|cycle|star|clique|deg3|gnm> --n N [--seed S] [-o out.foc]";
+  foc check   <structure.foc> \"<sentence>\"      [--engine naive|local|cover] [options]
+  foc eval    <structure.foc> \"<ground term>\"   [--engine ...] [options]
+  foc count   <structure.foc> \"<formula>\" --vars x,y [--engine ...] [options]
+  foc explain <structure.foc> \"<sentence or ground term>\" [--engine ...] [options]
+  foc stats   <structure.foc> [--cover-r N]
+  foc gen     <tree|grid|path|cycle|star|clique|deg3|gnm> --n N [--seed S] [-o out.foc]
+
+options:
+  --engine naive|local|cover   evaluation strategy (default: local)
+  --threads N                  worker threads; 0 means one per hardware
+                               thread (default: 1)
+  --trace                      stream finished spans to stderr as
+                               [foc-trace] lines
+  --profile                    print the per-phase wall-time table and
+                               work counters after the answer
+  --metrics-json <path>        write the session's phases, counters,
+                               histograms, and spans as JSON to <path>";
+
+/// Flags that take no value (everything else consumes the next arg).
+const BOOL_FLAGS: &[&str] = &["--trace", "--profile"];
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
@@ -53,6 +78,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "check" => cmd_check(rest),
         "eval" => cmd_eval(rest),
         "count" => cmd_count(rest),
+        "explain" => cmd_explain(rest),
         "stats" => cmd_stats(rest),
         "gen" => cmd_gen(rest),
         other => Err(format!("unknown subcommand {other:?}")),
@@ -66,17 +92,20 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(|s| s.as_str())
 }
 
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
 fn positional(args: &[String]) -> Vec<&String> {
     let mut out = Vec::new();
     let mut skip = false;
-    for (i, a) in args.iter().enumerate() {
+    for a in args.iter() {
         if skip {
             skip = false;
             continue;
         }
         if a.starts_with("--") || a == "-o" {
-            skip = true; // all our flags take a value
-            let _ = i;
+            skip = !BOOL_FLAGS.contains(&a.as_str());
             continue;
         }
         out.push(a);
@@ -84,7 +113,9 @@ fn positional(args: &[String]) -> Vec<&String> {
     out
 }
 
-fn engine_of(args: &[String]) -> Result<Evaluator, String> {
+/// Builds the engine from the shared flags, optionally attaching a span
+/// sink (the in-memory sink of `foc explain` / `--metrics-json`).
+fn engine_with_sink(args: &[String], sink: Option<Arc<dyn Sink>>) -> Result<Evaluator, String> {
     let kind = match flag_value(args, "--engine").unwrap_or("local") {
         "naive" => EngineKind::Naive,
         "local" => EngineKind::Local,
@@ -95,11 +126,82 @@ fn engine_of(args: &[String]) -> Result<Evaluator, String> {
         Some(v) => v.parse().map_err(|_| format!("invalid --threads {v:?}"))?,
         None => 1,
     };
-    Evaluator::builder()
+    let mut b = Evaluator::builder()
         .kind(kind)
         .threads(threads)
-        .build()
-        .map_err(|e| e.to_string())
+        .trace(has_flag(args, "--trace"));
+    if let Some(s) = sink {
+        b = b.sink(s);
+    }
+    b.build().map_err(|e| e.to_string())
+}
+
+/// The `--profile` report: per-phase wall time plus the work counters.
+fn profile_table(stats: &EngineStats) -> String {
+    let mut out = String::new();
+    out.push_str("phase        micros\n");
+    for (name, d) in [
+        ("materialize", stats.phase.materialize),
+        ("decompose", stats.phase.decompose),
+        ("cover", stats.phase.cover),
+        ("eval", stats.phase.eval),
+    ] {
+        out.push_str(&format!("{name:<12} {}\n", d.as_micros()));
+    }
+    out.push_str(&format!(
+        "markers={} clterms={} basics={} fallbacks={} sentences={}\n",
+        stats.markers_created,
+        stats.clterms,
+        stats.basics,
+        stats.naive_fallbacks,
+        stats.sentences_resolved
+    ));
+    out.push_str(&format!(
+        "clusters={} covers={} removals={} peak_cluster={}\n",
+        stats.clusters, stats.covers_built, stats.removals, stats.peak_cluster
+    ));
+    out.push_str(&format!(
+        "cache hits/misses={}/{} balls={}\n",
+        stats.cache_hits, stats.cache_misses, stats.balls
+    ));
+    out
+}
+
+/// Shared tail of the evaluation subcommands: snapshot the session,
+/// drop it (finishing the root span), then honour `--profile` and
+/// `--metrics-json`.
+fn finish_session(
+    args: &[String],
+    ev: &Evaluator,
+    session: Session<'_>,
+    mem: Option<Arc<MemorySink>>,
+) -> Result<(), String> {
+    let stats = session.stats();
+    let snap = session.observer().metrics().snapshot();
+    drop(session);
+    if has_flag(args, "--profile") {
+        eprint!("{}", profile_table(&stats));
+    }
+    if let Some(path) = flag_value(args, "--metrics-json") {
+        let spans = mem.map(|m| m.spans()).unwrap_or_default();
+        let phases = [
+            ("materialize", stats.phase.materialize.as_micros() as u64),
+            ("decompose", stats.phase.decompose.as_micros() as u64),
+            ("cover", stats.phase.cover.as_micros() as u64),
+            ("eval", stats.phase.eval.as_micros() as u64),
+        ];
+        let engine = format!("{:?}", ev.kind()).to_lowercase();
+        let json = session_json(&engine, &phases, &snap, &spans);
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// The in-memory sink backing `--metrics-json` span capture, when asked
+/// for.
+fn metrics_sink(args: &[String]) -> Option<Arc<MemorySink>> {
+    flag_value(args, "--metrics-json").map(|_| MemorySink::shared())
 }
 
 fn load(path: &str) -> Result<Structure, String> {
@@ -123,12 +225,14 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
                 .collect::<Vec<_>>()
         ));
     }
-    let ev = engine_of(args)?;
+    let mem = metrics_sink(args);
+    let ev = engine_with_sink(args, mem.clone().map(|m| m as Arc<dyn Sink>))?;
+    let mut session = ev.session(&s);
     let t0 = std::time::Instant::now();
-    let ans = ev.check_sentence(&s, &f).map_err(|e| e.to_string())?;
+    let ans = session.check_sentence(&f).map_err(|e| e.to_string())?;
     println!("{ans}");
     eprintln!("[{:?} engine, {:?}]", ev.kind(), t0.elapsed());
-    Ok(())
+    finish_session(args, &ev, session, mem)
 }
 
 fn cmd_eval(args: &[String]) -> Result<(), String> {
@@ -141,12 +245,14 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
     if !t.is_ground() {
         return Err("term has free variables; use `foc count` for formulas".into());
     }
-    let ev = engine_of(args)?;
+    let mem = metrics_sink(args);
+    let ev = engine_with_sink(args, mem.clone().map(|m| m as Arc<dyn Sink>))?;
+    let mut session = ev.session(&s);
     let t0 = std::time::Instant::now();
-    let val = ev.eval_ground(&s, &t).map_err(|e| e.to_string())?;
+    let val = session.eval_ground(&t).map_err(|e| e.to_string())?;
     println!("{val}");
     eprintln!("[{:?} engine, {:?}]", ev.kind(), t0.elapsed());
-    Ok(())
+    finish_session(args, &ev, session, mem)
 }
 
 fn cmd_count(args: &[String]) -> Result<(), String> {
@@ -161,11 +267,74 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
         .collect();
     let s = load(path)?;
     let f = parse_formula(src).map_err(|e| e.to_string())?;
-    let ev = engine_of(args)?;
+    let mem = metrics_sink(args);
+    let ev = engine_with_sink(args, mem.clone().map(|m| m as Arc<dyn Sink>))?;
+    let t: Arc<foc_logic::Term> =
+        Arc::new(foc_logic::Term::Count(vars.into_boxed_slice(), f.clone()));
+    let mut session = ev.session(&s);
     let t0 = std::time::Instant::now();
-    let val = ev.count(&s, &f, &vars).map_err(|e| e.to_string())?;
+    let val = session.eval_ground(&t).map_err(|e| e.to_string())?;
     println!("{val}");
     eprintln!("[{:?} engine, {:?}]", ev.kind(), t0.elapsed());
+    finish_session(args, &ev, session, mem)
+}
+
+/// `foc explain`: run a sentence or ground term with an in-memory span
+/// sink and render the span tree, the metrics table, and the phase
+/// profile. Works with every engine; the local and cover engines
+/// produce the interesting trees.
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [path, src] = pos.as_slice() else {
+        return Err("explain needs a structure file and a sentence or ground term".into());
+    };
+    let s = load(path)?;
+    let mem = MemorySink::shared();
+    let ev = engine_with_sink(args, Some(mem.clone() as Arc<dyn Sink>))?;
+    let mut session = ev.session(&s);
+    let t0 = std::time::Instant::now();
+    let answer = match parse_formula(src) {
+        Ok(f) if f.is_sentence() => session
+            .check_sentence(&f)
+            .map(|b| b.to_string())
+            .map_err(|e| e.to_string())?,
+        _ => {
+            let t = parse_term(src).map_err(|e| format!("not a sentence or term: {e}"))?;
+            if !t.is_ground() {
+                return Err("explain needs a sentence or a ground term (no free variables)".into());
+            }
+            session
+                .eval_ground(&t)
+                .map(|v| v.to_string())
+                .map_err(|e| e.to_string())?
+        }
+    };
+    let elapsed = t0.elapsed();
+    let stats = session.stats();
+    let snap = session.observer().metrics().snapshot();
+    drop(session);
+    println!("answer: {answer}");
+    println!("engine: {:?} ({elapsed:?})", ev.kind());
+    println!();
+    println!("span tree:");
+    print!("{}", render_tree(&build_tree(&mem.spans())));
+    println!();
+    println!("metrics:");
+    print!("{}", render_metrics_table(&snap));
+    println!();
+    print!("{}", profile_table(&stats));
+    if let Some(json_path) = flag_value(args, "--metrics-json") {
+        let phases = [
+            ("materialize", stats.phase.materialize.as_micros() as u64),
+            ("decompose", stats.phase.decompose.as_micros() as u64),
+            ("cover", stats.phase.cover.as_micros() as u64),
+            ("eval", stats.phase.eval.as_micros() as u64),
+        ];
+        let engine = format!("{:?}", ev.kind()).to_lowercase();
+        let json = session_json(&engine, &phases, &snap, &mem.spans());
+        std::fs::write(json_path, json).map_err(|e| format!("cannot write {json_path}: {e}"))?;
+        eprintln!("wrote {json_path}");
+    }
     Ok(())
 }
 
@@ -273,11 +442,26 @@ mod tests {
     #[test]
     fn engine_selection() {
         assert_eq!(
-            engine_of(&argv(&["--engine", "cover"])).unwrap().kind(),
+            engine_with_sink(&argv(&["--engine", "cover"]), None)
+                .unwrap()
+                .kind(),
             EngineKind::Cover
         );
-        assert_eq!(engine_of(&argv(&[])).unwrap().kind(), EngineKind::Local);
-        assert!(engine_of(&argv(&["--engine", "warp"])).is_err());
+        assert_eq!(
+            engine_with_sink(&argv(&[]), None).unwrap().kind(),
+            EngineKind::Local
+        );
+        assert!(engine_with_sink(&argv(&["--engine", "warp"]), None).is_err());
+    }
+
+    #[test]
+    fn boolean_flags_do_not_eat_positionals() {
+        let args = argv(&["db.foc", "--profile", "E(x,y)", "--trace"]);
+        let pos = positional(&args);
+        assert_eq!(pos, vec!["db.foc", "E(x,y)"]);
+        assert!(has_flag(&args, "--profile"));
+        assert!(has_flag(&args, "--trace"));
+        assert!(!has_flag(&args, "--metrics-json"));
     }
 
     #[test]

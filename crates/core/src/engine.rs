@@ -35,6 +35,7 @@ use foc_locality::ClValue;
 use foc_locality::TermCache;
 use foc_logic::fragment::{check_foc1, check_foc1_term};
 use foc_logic::{Formula, Predicates, Query, Symbol, Term, Var};
+use foc_obs::{names, Counter, Gauge, Metrics, Observer, Sink, Span, SpanHandle, StderrSink};
 use foc_structures::{FxHashMap, RelDecl, Structure};
 
 use crate::error::{Error, Result};
@@ -74,6 +75,12 @@ pub struct PhaseTimes {
 }
 
 /// Work counters and metrics of one evaluation session.
+///
+/// This is a *typed view* over the session's metrics registry
+/// ([`foc_obs::Metrics`]): every field is assembled from a named
+/// counter or gauge by [`Session::stats`], so the same numbers are
+/// available generically (for JSON export, histograms and all) through
+/// [`Session::observer`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct EngineStats {
     /// Marker relations materialised (Theorem 6.10's `τ` symbols).
@@ -135,7 +142,8 @@ pub struct EngineConfig {
     /// Memoise basic-cl-term values across the session's recursion,
     /// keyed by term structure and database content.
     pub cache: bool,
-    /// Emit phase spans (`[foc-trace] phase=… micros=…`) to stderr.
+    /// Attach a stderr span sink to every session (the `[foc-trace]`
+    /// lines): phase, cover, cluster, and removal spans as they finish.
     pub trace: bool,
     /// Tuning for the cover engine. Its `threads` field is overridden by
     /// the engine-level `threads` knob above.
@@ -161,10 +169,20 @@ impl Default for EngineConfig {
 /// let ev = Evaluator::builder().kind(EngineKind::Cover).threads(4).build().unwrap();
 /// assert_eq!(ev.kind(), EngineKind::Cover);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct EvaluatorBuilder {
     config: EngineConfig,
     preds: Option<Predicates>,
+    sinks: Vec<Arc<dyn Sink>>,
+}
+
+impl std::fmt::Debug for EvaluatorBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvaluatorBuilder")
+            .field("config", &self.config)
+            .field("sinks", &self.sinks.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl EvaluatorBuilder {
@@ -195,6 +213,16 @@ impl EvaluatorBuilder {
     /// Toggles phase-span traces on stderr.
     pub fn trace(mut self, on: bool) -> EvaluatorBuilder {
         self.config.trace = on;
+        self
+    }
+
+    /// Attaches a span sink: every session of the built engine delivers
+    /// its finished spans there (in addition to the stderr sink implied
+    /// by [`EvaluatorBuilder::trace`]). Attach a
+    /// [`foc_obs::MemorySink`] to capture the span tree in-process or a
+    /// [`foc_obs::JsonLinesSink`] to stream it to a file.
+    pub fn sink(mut self, sink: Arc<dyn Sink>) -> EvaluatorBuilder {
+        self.sinks.push(sink);
         self
     }
 
@@ -235,18 +263,30 @@ impl EvaluatorBuilder {
         Ok(Evaluator {
             preds: self.preds.unwrap_or_else(Predicates::standard),
             config: self.config,
+            sinks: self.sinks,
         })
     }
 }
 
 /// The evaluation engine: predicate oracle + strategy + tuning.
 /// Constructed via [`Evaluator::builder`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Evaluator {
     /// The numerical predicate collection (the paper's P-oracle).
     pub(crate) preds: Predicates,
     /// The configuration.
     pub(crate) config: EngineConfig,
+    /// Span sinks attached to every session.
+    pub(crate) sinks: Vec<Arc<dyn Sink>>,
+}
+
+impl std::fmt::Debug for Evaluator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Evaluator")
+            .field("config", &self.config)
+            .field("sinks", &self.sinks.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Evaluator {
@@ -272,13 +312,36 @@ impl Evaluator {
 
     /// Starts an evaluation session on a structure (clones nothing; the
     /// session keeps its own expanded copy once markers appear).
+    ///
+    /// Every session gets its own observer: a fresh metrics registry
+    /// and, when sinks are attached (via [`EvaluatorBuilder::sink`] or
+    /// `trace(true)`), a recorded span tree rooted at a `session` span
+    /// that finishes when the session drops.
     pub fn session<'a>(&'a self, a: &Structure) -> Session<'a> {
+        let mut sinks = self.sinks.clone();
+        if self.config.trace {
+            sinks.push(Arc::new(StderrSink) as Arc<dyn Sink>);
+        }
+        let obs = if sinks.is_empty() {
+            Observer::disabled()
+        } else {
+            Observer::with_sinks(sinks)
+        };
+        let root = obs.root_span("session", &[("order", i64::from(a.order()))]);
+        root.record_text("engine", format!("{:?}", self.config.kind));
+        let metrics = SessionMetrics::resolve(obs.metrics());
+        let cache = self
+            .config
+            .cache
+            .then(|| Arc::new(TermCache::default().with_metrics(obs.metrics())));
         Session {
             ev: self,
             a: a.clone(),
             plan: Vec::new(),
-            stats: EngineStats::default(),
-            cache: self.config.cache.then(|| Arc::new(TermCache::default())),
+            cache,
+            metrics,
+            root,
+            obs,
         }
     }
 
@@ -354,19 +417,64 @@ impl Evaluator {
     }
 }
 
+/// Resolved handles for the counters the engine itself maintains; the
+/// sub-evaluators resolve their own (see `foc_obs::names`).
+#[derive(Debug, Clone)]
+struct SessionMetrics {
+    markers: Counter,
+    clterms: Counter,
+    basics: Counter,
+    fallbacks: Counter,
+    sentences: Counter,
+    clusters: Counter,
+    covers_built: Counter,
+    removals: Counter,
+    peak_cluster: Gauge,
+    phase_materialize: Counter,
+    phase_decompose: Counter,
+    phase_cover: Counter,
+    phase_eval: Counter,
+}
+
+impl SessionMetrics {
+    fn resolve(m: &Metrics) -> SessionMetrics {
+        SessionMetrics {
+            markers: m.counter(names::ENGINE_MARKERS),
+            clterms: m.counter(names::ENGINE_CLTERMS),
+            basics: m.counter(names::ENGINE_BASICS),
+            fallbacks: m.counter(names::ENGINE_FALLBACKS),
+            sentences: m.counter(names::ENGINE_SENTENCES),
+            clusters: m.counter(names::COVER_CLUSTERS),
+            covers_built: m.counter(names::COVER_BUILT),
+            removals: m.counter(names::COVER_REMOVALS),
+            peak_cluster: m.gauge(names::COVER_PEAK_CLUSTER),
+            phase_materialize: m.counter(names::PHASE_MATERIALIZE_NANOS),
+            phase_decompose: m.counter(names::PHASE_DECOMPOSE_NANOS),
+            phase_cover: m.counter(names::PHASE_COVER_NANOS),
+            phase_eval: m.counter(names::PHASE_EVAL_NANOS),
+        }
+    }
+}
+
 /// A stateful evaluation session: carries the progressively expanded
-/// structure, the decomposition plan, and the work counters.
+/// structure, the decomposition plan, and the observability hub (the
+/// metrics registry plus the span tree rooted at the `session` span).
 pub struct Session<'a> {
     ev: &'a Evaluator,
     a: Structure,
     /// The markers materialised so far (Theorem 6.10's decomposition
     /// plan, in materialisation order).
     pub plan: Vec<MarkerDef>,
-    /// Work counters.
-    pub stats: EngineStats,
     /// Memo of basic-cl-term values shared across this session's whole
     /// recursion (all markers, all sentence resolutions, all clusters).
     cache: Option<Arc<TermCache>>,
+    /// Engine-owned counter handles.
+    metrics: SessionMetrics,
+    /// The session root span; finishes when the session drops, so sinks
+    /// see the complete tree afterwards.
+    root: Span,
+    /// The session's observability hub.
+    obs: Arc<Observer>,
 }
 
 impl<'a> Session<'a> {
@@ -375,15 +483,41 @@ impl<'a> Session<'a> {
         &self.a
     }
 
-    /// Emits a phase span to stderr when tracing is enabled (the caller
-    /// folds the duration into the per-phase counters).
-    fn trace_span(&self, phase: &str, dur: Duration) {
-        if self.ev.config.trace {
-            eprintln!(
-                "[foc-trace] kind={:?} phase={phase} micros={}",
-                self.ev.config.kind,
-                dur.as_micros()
-            );
+    /// The session's observer: the metrics registry (snapshot it for
+    /// histograms and JSON export) and the attached sinks.
+    pub fn observer(&self) -> &Arc<Observer> {
+        &self.obs
+    }
+
+    /// A span handle parenting under the session root, for callers that
+    /// want to nest their own spans into the session's tree.
+    pub fn span_handle(&self) -> SpanHandle {
+        self.root.handle()
+    }
+
+    /// The session's work counters, assembled from the metrics
+    /// registry.
+    pub fn stats(&self) -> EngineStats {
+        let snap = self.obs.metrics().snapshot();
+        EngineStats {
+            markers_created: snap.counter(names::ENGINE_MARKERS) as usize,
+            clterms: snap.counter(names::ENGINE_CLTERMS) as usize,
+            basics: snap.counter(names::ENGINE_BASICS) as usize,
+            naive_fallbacks: snap.counter(names::ENGINE_FALLBACKS) as usize,
+            sentences_resolved: snap.counter(names::ENGINE_SENTENCES) as usize,
+            clusters: snap.counter(names::COVER_CLUSTERS),
+            covers_built: snap.counter(names::COVER_BUILT),
+            removals: snap.counter(names::COVER_REMOVALS),
+            peak_cluster: snap.gauge(names::COVER_PEAK_CLUSTER) as u32,
+            cache_hits: snap.counter(names::CACHE_HITS),
+            cache_misses: snap.counter(names::CACHE_MISSES),
+            balls: snap.counter(names::LOCAL_BALLS),
+            phase: PhaseTimes {
+                materialize: Duration::from_nanos(snap.counter(names::PHASE_MATERIALIZE_NANOS)),
+                decompose: Duration::from_nanos(snap.counter(names::PHASE_DECOMPOSE_NANOS)),
+                cover: Duration::from_nanos(snap.counter(names::PHASE_COVER_NANOS)),
+                eval: Duration::from_nanos(snap.counter(names::PHASE_EVAL_NANOS)),
+            },
         }
     }
 
@@ -396,11 +530,13 @@ impl<'a> Session<'a> {
         }
         check_foc1(f).map_err(|v| Error::NotFoc1(v.to_string()))?;
         foc_eval::validate::validate_formula(f, self.a.signature(), &self.ev.preds)?;
+        let span = self.root.handle().child("materialize", &[]);
         let t0 = Instant::now();
         let fo = self.materialize_formula(f)?;
-        let dur = t0.elapsed();
-        self.stats.phase.materialize += dur;
-        self.trace_span("materialize", dur);
+        self.metrics
+            .phase_materialize
+            .add(t0.elapsed().as_nanos() as u64);
+        drop(span);
         self.eval_fo_sentence(&fo)
     }
 
@@ -413,11 +549,13 @@ impl<'a> Session<'a> {
         }
         check_foc1_term(t).map_err(|v| Error::NotFoc1(v.to_string()))?;
         foc_eval::validate::validate_term(t, self.a.signature(), &self.ev.preds)?;
+        let span = self.root.handle().child("materialize", &[]);
         let t0 = Instant::now();
         let fo = self.materialize_term(t)?;
-        let dur = t0.elapsed();
-        self.stats.phase.materialize += dur;
-        self.trace_span("materialize", dur);
+        self.metrics
+            .phase_materialize
+            .add(t0.elapsed().as_nanos() as u64);
+        drop(span);
         match self.eval_fo_term(&fo, None)? {
             Value::Scalar(v) => Ok(v),
             Value::Vector(_) => unreachable!("ground term produced a vector"),
@@ -547,7 +685,7 @@ impl<'a> Session<'a> {
                         arity: 1,
                         definition,
                     });
-                    self.stats.markers_created += 1;
+                    self.metrics.markers.inc();
                     Ok(foc_logic::build::atom_sym(marker, vec![x]))
                 } else {
                     // Ground: evaluate once and fold to a constant
@@ -572,7 +710,7 @@ impl<'a> Session<'a> {
                         arity: 0,
                         definition,
                     });
-                    self.stats.markers_created += 1;
+                    self.metrics.markers.inc();
                     Ok(Arc::new(Formula::Bool(holds)))
                 }
             }
@@ -622,7 +760,7 @@ impl<'a> Session<'a> {
                 Ok(ev.check_sentence(&resolved)?)
             }
             Err(_) => {
-                self.stats.naive_fallbacks += 1;
+                self.metrics.fallbacks.inc();
                 let mut ev = NaiveEvaluator::new(&self.a, &self.ev.preds);
                 Ok(ev.check_sentence(f)?)
             }
@@ -670,6 +808,7 @@ impl<'a> Session<'a> {
         requested_free: Option<Var>,
     ) -> Result<Value> {
         let resolved = self.resolve_sentences(body)?;
+        let span = self.root.handle().child("decompose", &[]);
         let t0 = Instant::now();
         let result = (|| -> foc_locality::Result<ClTerm> {
             if counted.is_empty() && x.is_none() {
@@ -692,13 +831,14 @@ impl<'a> Session<'a> {
                 decompose_ground_with_radius(&resolved, &vars, r)
             }
         })();
-        let dur = t0.elapsed();
-        self.stats.phase.decompose += dur;
-        self.trace_span("decompose", dur);
+        self.metrics
+            .phase_decompose
+            .add(t0.elapsed().as_nanos() as u64);
+        drop(span);
         match result {
             Ok(cl) => {
-                self.stats.clterms += 1;
-                self.stats.basics += cl.num_basics();
+                self.metrics.clterms.inc();
+                self.metrics.basics.add(cl.num_basics() as u64);
                 let v: Value = self.eval_clterm(&cl)?.into();
                 // A ground count requested as a vector broadcasts.
                 if requested_free.is_some() && x.is_none() {
@@ -710,7 +850,7 @@ impl<'a> Session<'a> {
                 Ok(v)
             }
             Err(_) => {
-                self.stats.naive_fallbacks += 1;
+                self.metrics.fallbacks.inc();
                 self.eval_count_naive(counted, &resolved, x)
             }
         }
@@ -749,7 +889,7 @@ impl<'a> Session<'a> {
         let mut current = body.clone();
         while let Some(sentence) = first_sentence_atom(&current) {
             let truth = self.eval_fo_sentence(&sentence)?;
-            self.stats.sentences_resolved += 1;
+            self.metrics.sentences.inc();
             current = replace_equal(&current, &sentence, truth);
         }
         Ok(current)
@@ -778,9 +918,17 @@ impl<'a> Session<'a> {
     }
 
     /// Dispatches basic-cl-term evaluation to the configured strategy,
-    /// wiring in the session cache and the thread budget, and folding the
-    /// sub-evaluator's counters into [`Session::stats`].
+    /// wiring in the session cache, the thread budget, and the observer
+    /// (sub-evaluator spans nest under this call's `eval` span; their
+    /// counters land in the session registry — live for the local
+    /// engine and the histograms, folded once from the cover engine's
+    /// atomic snapshot for its counters).
     fn eval_clterm(&mut self, cl: &ClTerm) -> Result<ClValue> {
+        let span = self
+            .root
+            .handle()
+            .child("eval", &[("basics", cl.num_basics() as i64)]);
+        let handle = span.handle();
         let t0 = Instant::now();
         let out = match self.ev.config.kind {
             EngineKind::Naive => {
@@ -803,17 +951,15 @@ impl<'a> Session<'a> {
                 }
             }
             EngineKind::Local => {
-                let (r, balls) = {
-                    let mut lev = LocalEvaluator::new(&self.a, &self.ev.preds);
-                    lev.threads = self.ev.config.threads;
-                    if let Some(cache) = &self.cache {
-                        lev.set_cache(cache.clone());
-                    }
-                    let r = lev.eval_clterm(cl);
-                    (r, lev.stats.balls)
-                };
-                self.stats.balls += balls;
-                Ok(r?)
+                let mut lev = LocalEvaluator::new(&self.a, &self.ev.preds);
+                lev.threads = self.ev.config.threads;
+                if let Some(cache) = &self.cache {
+                    lev.set_cache(cache.clone());
+                }
+                // The observer counts balls live (workers included), so
+                // nothing is folded from `lev.stats` here.
+                lev.set_observer(handle.clone());
+                Ok(lev.eval_clterm(cl)?)
             }
             EngineKind::Cover => {
                 let (r, cs) = {
@@ -823,25 +969,27 @@ impl<'a> Session<'a> {
                     if let Some(cache) = &self.cache {
                         cev.set_cache(cache.clone());
                     }
+                    cev.set_observer(handle.clone());
                     let r = cev.eval_clterm(cl);
                     (r, cev.stats())
                 };
-                self.stats.clusters += cs.clusters;
-                self.stats.covers_built += cs.covers_built;
-                self.stats.removals += cs.removals;
-                self.stats.naive_fallbacks += cs.naive_fallbacks as usize;
-                self.stats.peak_cluster = self.stats.peak_cluster.max(cs.peak_cluster);
-                self.stats.phase.cover += Duration::from_nanos(cs.cover_nanos);
+                // The cover evaluator's counters are atomics snapshotted
+                // once here; its cluster-size histogram (and the ball
+                // counters of the nested local evaluators) are recorded
+                // live through the observer.
+                self.metrics.clusters.add(cs.clusters);
+                self.metrics.covers_built.add(cs.covers_built);
+                self.metrics.removals.add(cs.removals);
+                self.metrics.fallbacks.add(cs.naive_fallbacks);
+                self.metrics
+                    .peak_cluster
+                    .set_max(u64::from(cs.peak_cluster));
+                self.metrics.phase_cover.add(cs.cover_nanos);
                 Ok(r?)
             }
         };
-        let dur = t0.elapsed();
-        self.stats.phase.eval += dur;
-        if let Some(cache) = &self.cache {
-            self.stats.cache_hits = cache.hits();
-            self.stats.cache_misses = cache.misses();
-        }
-        self.trace_span("eval", dur);
+        self.metrics.phase_eval.add(t0.elapsed().as_nanos() as u64);
+        drop(span);
         out
     }
 }

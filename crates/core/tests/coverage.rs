@@ -90,7 +90,7 @@ fn sessions_are_reusable_across_expressions() {
     assert!(session.check_sentence(&f1).unwrap());
     assert!(session.check_sentence(&f2).unwrap());
     // Two sentences → two markers accumulated in the same plan.
-    assert_eq!(session.stats.markers_created, 2);
+    assert_eq!(session.stats().markers_created, 2);
     assert_eq!(session.plan.len(), 2);
 }
 

@@ -284,13 +284,14 @@ fn plan_and_stats_are_populated() {
     let result = session.check_sentence(&f).unwrap();
     assert!(result);
     assert_eq!(
-        session.stats.markers_created, 1,
+        session.stats().markers_created,
+        1,
         "one unary marker for the P≥1 guard"
     );
     assert_eq!(session.plan.len(), 1);
     assert_eq!(session.plan[0].arity, 1);
     assert!(session.plan[0].definition.contains("le") || session.plan[0].definition.contains("ge"));
-    assert!(session.stats.clterms >= 1);
+    assert!(session.stats().clterms >= 1);
 }
 
 #[test]
@@ -425,34 +426,34 @@ fn parallel_runs_populate_structured_metrics() {
     let mut session = ev.session(&s);
     assert!(session.check_sentence(&f).unwrap());
     assert!(
-        session.stats.clusters > 0,
+        session.stats().clusters > 0,
         "cover evaluation must report clusters"
     );
     assert!(
-        session.stats.peak_cluster >= 1,
+        session.stats().peak_cluster >= 1,
         "peak cluster size must be tracked"
     );
-    assert!(session.stats.covers_built > 0);
+    assert!(session.stats().covers_built > 0);
     assert!(
-        session.stats.phase.eval > Duration::ZERO,
+        session.stats().phase.eval > Duration::ZERO,
         "eval phase must be timed"
     );
     assert!(
-        session.stats.phase.decompose > Duration::ZERO,
+        session.stats().phase.decompose > Duration::ZERO,
         "decompose phase must be timed"
     );
     // Re-running the same sentence resolves fresh markers over the same
     // basic cl-terms: the session-wide memo must convert those into hits.
-    let misses_before = session.stats.cache_misses;
+    let misses_before = session.stats().cache_misses;
     assert!(
         misses_before > 0,
         "first run populates the cache via misses"
     );
     assert!(session.check_sentence(&f).unwrap());
     assert!(
-        session.stats.cache_hits > 0,
+        session.stats().cache_hits > 0,
         "second resolution of the same term content must hit the memo: {:?}",
-        session.stats
+        session.stats()
     );
 }
 
@@ -464,8 +465,8 @@ fn cache_can_be_disabled() {
     let mut session = ev.session(&s);
     assert!(session.check_sentence(&f).unwrap());
     assert!(session.check_sentence(&f).unwrap());
-    assert_eq!(session.stats.cache_hits, 0);
-    assert_eq!(session.stats.cache_misses, 0);
+    assert_eq!(session.stats().cache_hits, 0);
+    assert_eq!(session.stats().cache_misses, 0);
 }
 
 /// A random small graph structure: `n ∈ [2, 10]`, random edge list.

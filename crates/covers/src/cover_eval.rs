@@ -46,6 +46,8 @@ use foc_locality::decompose::decompose_unary;
 use foc_locality::error::Result;
 use foc_locality::local_eval::{ClValue, LocalEvaluator};
 use foc_logic::{Formula, Predicates, Term, Var};
+use foc_obs::{names, pow2_buckets, Histogram, SpanHandle};
+use foc_parallel::ParMeter;
 use foc_structures::{FxHashMap, Structure};
 
 use crate::cover::cover_structure;
@@ -94,6 +96,18 @@ impl Default for CoverConfig {
             threads: 1,
         }
     }
+}
+
+/// Observability hooks: the span-tree position this evaluator nests
+/// under, the live cluster-size histogram (observed at the same site as
+/// the `clusters` counter, so histogram totals always equal the counter
+/// totals folded by the engine), and the fan-out meter for the
+/// per-cluster loop. Cloneable so worker threads carry it.
+#[derive(Debug, Clone)]
+struct CoverObs {
+    parent: SpanHandle,
+    cluster_size: Histogram,
+    meter: ParMeter,
 }
 
 /// The structure-independent part of one removal step for a basic
@@ -161,6 +175,8 @@ pub struct CoverEvaluator<'a> {
     plans: Mutex<FxHashMap<u64, Arc<RemovalPlan>>>,
     /// Optional shared memo of basic-term values (see [`TermCache`]).
     cache: Option<Arc<TermCache>>,
+    /// Optional observability hooks (see [`CoverObs`]).
+    obs: Option<CoverObs>,
 }
 
 impl<'a> CoverEvaluator<'a> {
@@ -173,6 +189,7 @@ impl<'a> CoverEvaluator<'a> {
             stats: SharedStats::default(),
             plans: Mutex::new(FxHashMap::default()),
             cache: None,
+            obs: None,
         }
     }
 
@@ -180,6 +197,21 @@ impl<'a> CoverEvaluator<'a> {
     /// evaluation at every recursion level.
     pub fn set_cache(&mut self, cache: Arc<TermCache>) {
         self.cache = Some(cache);
+    }
+
+    /// Attaches observability: spans for cover construction, per-cluster
+    /// evaluation, and removal surgeries nest under `parent`; the
+    /// cluster-size histogram and the fan-out meter are resolved from
+    /// the handle's metrics registry. Nested ball-enumeration
+    /// evaluators inherit the observer, so their ball counters reach
+    /// the same registry.
+    pub fn set_observer(&mut self, parent: SpanHandle) {
+        let m = parent.metrics();
+        self.obs = Some(CoverObs {
+            cluster_size: m.histogram(names::COVER_CLUSTER_SIZE, &pow2_buckets(20)),
+            meter: ParMeter::from_metrics(m),
+            parent,
+        });
     }
 
     /// A snapshot of the work counters.
@@ -205,11 +237,13 @@ impl<'a> CoverEvaluator<'a> {
             ClTerm::Int(i) => Ok(ClValue::Scalar(*i)),
             ClTerm::Basic(b) => {
                 let key = Arc::as_ptr(b) as usize;
+                let parent = self.obs.as_ref().map(|o| o.parent.clone());
                 if b.unary {
                     if let Some(vs) = unary_cache.get(&key) {
                         return Ok(ClValue::Vector(vs.clone()));
                     }
-                    let vals = self.eval_basic_all(b, self.a, self.config.depth)?;
+                    let vals =
+                        self.eval_basic_all(b, self.a, self.config.depth, parent.as_ref())?;
                     unary_cache.insert(key, vals.clone());
                     Ok(ClValue::Vector(vals))
                 } else {
@@ -217,7 +251,8 @@ impl<'a> CoverEvaluator<'a> {
                         return Ok(ClValue::Scalar(v));
                     }
                     // Ground basics: sum the unary view (Remark 6.3).
-                    let vals = self.eval_basic_all(b, self.a, self.config.depth)?;
+                    let vals =
+                        self.eval_basic_all(b, self.a, self.config.depth, parent.as_ref())?;
                     let mut acc = 0i64;
                     for v in vals {
                         acc = acc.checked_add(v).ok_or(foc_locality::LocalityError::Eval(
@@ -248,10 +283,10 @@ impl<'a> CoverEvaluator<'a> {
     }
 
     /// A ball-enumeration evaluator for a (sub)structure, wired to the
-    /// shared memo cache; only the outermost structure inherits the
-    /// configured thread count (recursive calls happen *inside* a
-    /// worker already).
-    fn local_for<'s>(&self, s: &'s Structure) -> LocalEvaluator<'s>
+    /// shared memo cache and the session observer; only the outermost
+    /// structure inherits the configured thread count (recursive calls
+    /// happen *inside* a worker already).
+    fn local_for<'s>(&self, s: &'s Structure, parent: Option<&SpanHandle>) -> LocalEvaluator<'s>
     where
         'a: 's,
     {
@@ -259,18 +294,27 @@ impl<'a> CoverEvaluator<'a> {
         if let Some(cache) = &self.cache {
             lev.set_cache(cache.clone());
         }
+        if let Some(p) = parent {
+            lev.set_observer(p.clone());
+        }
         lev
     }
 
     /// `u^S[a]` for all `a ∈ S`, by cover + removal (recursing on
     /// `depth`).
-    fn eval_basic_all(&self, b: &Arc<BasicClTerm>, s: &Structure, depth: u32) -> Result<Vec<i64>> {
+    fn eval_basic_all(
+        &self,
+        b: &Arc<BasicClTerm>,
+        s: &Structure,
+        depth: u32,
+        parent: Option<&SpanHandle>,
+    ) -> Result<Vec<i64>> {
         if let Some(cache) = &self.cache {
             if let Some(vals) = cache.get(b, s) {
                 return Ok(vals.as_ref().clone());
             }
         }
-        let vals = self.eval_basic_all_uncached(b, s, depth)?;
+        let vals = self.eval_basic_all_uncached(b, s, depth, parent)?;
         if let Some(cache) = &self.cache {
             cache.insert(b, s, Arc::new(vals.clone()));
         }
@@ -282,6 +326,7 @@ impl<'a> CoverEvaluator<'a> {
         b: &Arc<BasicClTerm>,
         s: &Structure,
         depth: u32,
+        parent: Option<&SpanHandle>,
     ) -> Result<Vec<i64>> {
         // Parallelise only at the outermost structure: recursive calls on
         // clusters and surgered substructures already run inside a worker.
@@ -295,16 +340,30 @@ impl<'a> CoverEvaluator<'a> {
         let radius = u32::try_from(radius.min(u64::from(u32::MAX / 4))).expect("clamped");
         if depth == 0 || s.order() <= self.config.direct_threshold {
             self.stats.max_cluster(s.order());
-            let mut lev = self.local_for(s);
+            let mut lev = self.local_for(s, parent);
             lev.threads = threads;
             return lev.eval_basic_all(b);
         }
+        let cover_span = parent.map(|p| {
+            p.child(
+                "cover",
+                &[
+                    ("radius", i64::from(radius)),
+                    ("order", i64::from(s.order())),
+                    ("depth", i64::from(depth)),
+                ],
+            )
+        });
+        let cover_handle = cover_span.as_ref().map(|sp| sp.handle());
         let t0 = Instant::now();
         let cover = cover_structure(s, radius);
         self.stats
             .cover_nanos
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.stats.covers_built.fetch_add(1, Ordering::Relaxed);
+        if let Some(sp) = &cover_span {
+            sp.record("clusters", cover.clusters.len() as i64);
+        }
         let members = cover.members();
 
         // One work item per assigned cluster; each yields (element, value)
@@ -318,12 +377,22 @@ impl<'a> CoverEvaluator<'a> {
             }
             self.stats.clusters.fetch_add(1, Ordering::Relaxed);
             self.stats.max_cluster(cluster.len() as u32);
+            if let Some(o) = &self.obs {
+                o.cluster_size.observe(cluster.len() as u64);
+            }
+            let cluster_span = cover_handle.as_ref().map(|h| {
+                h.child(
+                    "cluster",
+                    &[("size", cluster.len() as i64), ("assigned", q.len() as i64)],
+                )
+            });
+            let cluster_handle = cluster_span.as_ref().map(|sp| sp.handle());
             if cluster.len() == s.order() as usize {
                 // Degenerate cover (one cluster spans the structure):
                 // at this radius the structure is not locally sparse, so
                 // the removal recursion cannot win — evaluate the
                 // assigned elements by ball enumeration instead.
-                let mut lev = self.local_for(s);
+                let mut lev = self.local_for(s, cluster_handle.as_ref());
                 let mut pairs = Vec::with_capacity(q.len());
                 for &a in q {
                     pairs.push((a, lev.eval_basic_at(b, a)?));
@@ -331,7 +400,7 @@ impl<'a> CoverEvaluator<'a> {
                 return Ok(pairs);
             }
             let ind = s.induced(cluster);
-            let vals = self.eval_cluster(b, &ind.structure, depth)?;
+            let vals = self.eval_cluster(b, &ind.structure, depth, cluster_handle.as_ref())?;
             Ok(q.iter().map(|&a| (a, vals[ind.fwd[&a] as usize])).collect())
         };
 
@@ -352,7 +421,8 @@ impl<'a> CoverEvaluator<'a> {
             }) {
                 self.removal_plan(b);
             }
-            foc_parallel::par_map(&idxs, threads, |_, &i| eval_one(i))?
+            let meter = self.obs.as_ref().map(|o| &o.meter);
+            foc_parallel::par_map_metered(&idxs, threads, meter, |_, &i| eval_one(i))?
         };
 
         let mut out = vec![0i64; s.order() as usize];
@@ -421,12 +491,13 @@ impl<'a> CoverEvaluator<'a> {
         b: &Arc<BasicClTerm>,
         cluster: &Structure,
         depth: u32,
+        parent: Option<&SpanHandle>,
     ) -> Result<Vec<i64>> {
         if depth == 0
             || cluster.order() <= self.config.direct_threshold
             || cluster.order() > self.config.max_removal_cluster
         {
-            let mut lev = self.local_for(cluster);
+            let mut lev = self.local_for(cluster, parent);
             return lev.eval_basic_all(b);
         }
         let plan = self.removal_plan(b);
@@ -435,6 +506,18 @@ impl<'a> CoverEvaluator<'a> {
         let d = (0..g.n())
             .max_by_key(|&v| g.degree(v))
             .expect("non-empty cluster");
+        let removal_span = parent.map(|p| {
+            p.child(
+                "removal",
+                &[
+                    ("depth", i64::from(depth)),
+                    ("order", i64::from(cluster.order())),
+                    ("hub", i64::from(d)),
+                ],
+            )
+        });
+        let removal_handle = removal_span.as_ref().map(|sp| sp.handle());
+        let parent = removal_handle.as_ref();
         let rem = remove_element(cluster, d, &plan.ctx);
         self.stats.removals.fetch_add(1, Ordering::Relaxed);
 
@@ -449,7 +532,7 @@ impl<'a> CoverEvaluator<'a> {
                 let mut ev = NaiveEvaluator::new(bprime, self.preds);
                 i64::from(ev.check_sentence(&rc.body).unwrap_or(false))
             } else {
-                let vals = self.eval_component(bprime, cl.as_ref(), None, rc, depth - 1)?;
+                let vals = self.eval_component(bprime, cl.as_ref(), None, rc, depth - 1, parent)?;
                 let mut acc = 0i64;
                 for v in vals {
                     acc = acc.checked_add(v).ok_or(foc_locality::LocalityError::Eval(
@@ -468,7 +551,7 @@ impl<'a> CoverEvaluator<'a> {
 
         // a ≠ d: sum of unary components on B′.
         for (rc, cl) in &plan.when_not_d {
-            let vals = self.eval_component(bprime, cl.as_ref(), Some(x), rc, depth - 1)?;
+            let vals = self.eval_component(bprime, cl.as_ref(), Some(x), rc, depth - 1, parent)?;
             for (new, &old) in rem.old_of_new.iter().enumerate() {
                 out[old as usize] = out[old as usize].checked_add(vals[new]).ok_or(
                     foc_locality::LocalityError::Eval(foc_eval::EvalError::Overflow),
@@ -489,9 +572,10 @@ impl<'a> CoverEvaluator<'a> {
         free: Option<Var>,
         rc: &RemovedCount,
         depth: u32,
+        parent: Option<&SpanHandle>,
     ) -> Result<Vec<i64>> {
         match (cl, free) {
-            (Some(cl), _) => self.eval_clterm_vector(cl, s, depth),
+            (Some(cl), _) => self.eval_clterm_vector(cl, s, depth, parent),
             (None, Some(x)) if rc.counted.is_empty() => {
                 // Width-1: check the body per element.
                 let mut ev = NaiveEvaluator::new(s, self.preds);
@@ -540,18 +624,24 @@ impl<'a> CoverEvaluator<'a> {
 
     /// Evaluates a decomposed cl-term to a per-element vector on `s`,
     /// recursing through the cover machinery for its basics.
-    fn eval_clterm_vector(&self, cl: &ClTerm, s: &Structure, depth: u32) -> Result<Vec<i64>> {
+    fn eval_clterm_vector(
+        &self,
+        cl: &ClTerm,
+        s: &Structure,
+        depth: u32,
+        parent: Option<&SpanHandle>,
+    ) -> Result<Vec<i64>> {
         let mut unary_vals: FxHashMap<usize, Vec<i64>> = FxHashMap::default();
         let mut ground_vals: FxHashMap<usize, i64> = FxHashMap::default();
         for basic in cl.basics() {
             let key = Arc::as_ptr(&basic) as usize;
             if basic.unary {
                 if let std::collections::hash_map::Entry::Vacant(e) = unary_vals.entry(key) {
-                    let vals = self.eval_basic_all(&basic, s, depth)?;
+                    let vals = self.eval_basic_all(&basic, s, depth, parent)?;
                     e.insert(vals);
                 }
             } else if let std::collections::hash_map::Entry::Vacant(e) = ground_vals.entry(key) {
-                let vals = self.eval_basic_all(&basic, s, depth)?;
+                let vals = self.eval_basic_all(&basic, s, depth, parent)?;
                 let mut acc = 0i64;
                 for v in vals {
                     acc = acc.checked_add(v).ok_or(foc_locality::LocalityError::Eval(

@@ -21,6 +21,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use foc_obs::{names, Counter, Metrics};
 use foc_structures::{FxHashMap, Structure};
 
 use crate::clterm::BasicClTerm;
@@ -42,6 +43,10 @@ pub struct TermCache {
     hits: AtomicU64,
     misses: AtomicU64,
     capacity: usize,
+    /// Optional registry mirrors (`cache.hits` / `cache.misses`),
+    /// incremented alongside the private atomics so a session's metrics
+    /// registry sees lookups from every evaluator sharing the cache.
+    obs: Option<(Counter, Counter)>,
 }
 
 /// Default bound on resident entries (vectors are cluster-sized, so this
@@ -66,7 +71,19 @@ impl TermCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             capacity,
+            obs: None,
         }
+    }
+
+    /// Mirrors hit/miss accounting into a metrics registry (the
+    /// session-level `cache.hits` / `cache.misses` counters). Call
+    /// before sharing the cache across evaluators.
+    pub fn with_metrics(mut self, metrics: &Metrics) -> TermCache {
+        self.obs = Some((
+            metrics.counter(names::CACHE_HITS),
+            metrics.counter(names::CACHE_MISSES),
+        ));
+        self
     }
 
     /// Looks up the memoised value of `b` on `s`, counting a hit or miss.
@@ -83,8 +100,18 @@ impl TermCache {
             .get(&key)
             .cloned();
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some((hits, _)) = &self.obs {
+                    hits.inc();
+                }
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                if let Some((_, misses)) = &self.obs {
+                    misses.inc();
+                }
+            }
         };
         found
     }
@@ -158,6 +185,21 @@ mod tests {
             "different content, same order"
         );
         assert!(cache.get(&b, &path(7)).is_none(), "different order");
+    }
+
+    #[test]
+    fn registry_mirrors_track_lookups() {
+        let metrics = Metrics::new();
+        let cache = TermCache::default().with_metrics(&metrics);
+        let b = some_basic();
+        let s = path(6);
+        assert!(cache.get(&b, &s).is_none());
+        cache.insert(&b, &s, Arc::new(vec![1; 6]));
+        assert!(cache.get(&b, &s).is_some());
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter(foc_obs::names::CACHE_HITS), 1);
+        assert_eq!(snap.counter(foc_obs::names::CACHE_MISSES), 1);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
     }
 
     #[test]

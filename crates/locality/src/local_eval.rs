@@ -16,11 +16,27 @@ use std::sync::Arc;
 
 use foc_eval::{Assignment, NaiveEvaluator};
 use foc_logic::Predicates;
+use foc_obs::{names, pow2_buckets, Counter, Histogram, SpanHandle};
+use foc_parallel::ParMeter;
 use foc_structures::{BfsScratch, FxHashMap, Structure};
 
 use crate::cache::TermCache;
 use crate::clterm::{BasicClTerm, ClTerm};
 use crate::error::{LocalityError, Result};
+
+/// Resolved observability handles of a [`LocalEvaluator`]: registry
+/// counters and the span position ball-enumeration spans nest under.
+/// Cloned into parallel workers so their balls land in the same
+/// registry.
+#[derive(Debug, Clone)]
+struct LocalObs {
+    parent: SpanHandle,
+    balls: Counter,
+    ball_elements: Counter,
+    tuples: Counter,
+    ball_size: Histogram,
+    meter: ParMeter,
+}
 
 /// Work counters for the local evaluator.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +87,8 @@ pub struct LocalEvaluator<'a> {
     pub threads: usize,
     /// Optional shared memo of basic-term values (see [`TermCache`]).
     cache: Option<Arc<TermCache>>,
+    /// Optional observability handles (registry + span parent).
+    obs: Option<LocalObs>,
     /// Work counters.
     pub stats: LocalStats,
 }
@@ -86,6 +104,7 @@ impl<'a> LocalEvaluator<'a> {
             use_support: true,
             threads: 1,
             cache: None,
+            obs: None,
             stats: LocalStats::default(),
         }
     }
@@ -94,6 +113,42 @@ impl<'a> LocalEvaluator<'a> {
     /// [`LocalEvaluator::eval_basic_all`].
     pub fn set_cache(&mut self, cache: Arc<TermCache>) {
         self.cache = Some(cache);
+    }
+
+    /// Attaches observability: ball counters and the ball-size histogram
+    /// land in `parent`'s metrics registry, and ball-enumeration spans
+    /// nest under `parent`. The [`LocalStats`] struct counters keep
+    /// working either way; with an observer attached the registry sees
+    /// the same events live (including those of parallel workers).
+    pub fn set_observer(&mut self, parent: SpanHandle) {
+        let m = parent.metrics();
+        self.obs = Some(LocalObs {
+            balls: m.counter(names::LOCAL_BALLS),
+            ball_elements: m.counter(names::LOCAL_BALL_ELEMENTS),
+            tuples: m.counter(names::LOCAL_TUPLES),
+            ball_size: m.histogram(names::LOCAL_BALL_SIZE, &pow2_buckets(20)),
+            meter: ParMeter::from_metrics(m),
+            parent,
+        });
+    }
+
+    /// Counts one materialised ball of `elements` elements.
+    fn note_ball(&mut self, elements: u64) {
+        self.stats.balls += 1;
+        self.stats.ball_elements += elements;
+        if let Some(o) = &self.obs {
+            o.balls.inc();
+            o.ball_elements.add(elements);
+            o.ball_size.observe(elements);
+        }
+    }
+
+    /// Counts one fully assembled tuple checked against the body.
+    fn note_tuple(&mut self) {
+        self.stats.tuples_checked += 1;
+        if let Some(o) = &self.obs {
+            o.tuples.inc();
+        }
     }
 
     /// The exploration radius for a basic cl-term (Lemma 6.1 /
@@ -119,7 +174,7 @@ impl<'a> LocalEvaluator<'a> {
             // Width-1 term: the count is 1 iff ψ holds at a.
             let mut ev = NaiveEvaluator::new(self.a, self.preds);
             let mut env = Assignment::from_pairs([(b.vars[0], a)]);
-            self.stats.tuples_checked += 1;
+            self.note_tuple();
             return Ok(if ev.check(&b.body, &mut env)? { 1 } else { 0 });
         }
 
@@ -130,8 +185,7 @@ impl<'a> LocalEvaluator<'a> {
         // Bounded-BFS distance maps from every assigned value (lazy).
         let mut dist_maps: FxHashMap<u32, FxHashMap<u32, u32>> = FxHashMap::default();
         let start_map = self.a.gaifman().distances_from(a, bound, &mut self.scratch);
-        self.stats.balls += 1;
-        self.stats.ball_elements += start_map.len() as u64;
+        self.note_ball(start_map.len() as u64);
         dist_maps.insert(a, start_map);
 
         let mut assigned: Vec<(usize, u32)> = vec![(0, a)]; // (graph node, value)
@@ -164,7 +218,7 @@ impl<'a> LocalEvaluator<'a> {
             // δ fully checked along the way; test the body.
             let mut env =
                 Assignment::from_pairs(assigned.iter().map(|&(node, val)| (b.vars[node], val)));
-            self.stats.tuples_checked += 1;
+            self.note_tuple();
             if ev.check(&b.body, &mut env)? {
                 *count = count
                     .checked_add(1)
@@ -219,8 +273,7 @@ impl<'a> LocalEvaluator<'a> {
                     .a
                     .gaifman()
                     .distances_from(cand, bound, &mut self.scratch);
-                self.stats.balls += 1;
-                self.stats.ball_elements += map.len() as u64;
+                self.note_ball(map.len() as u64);
                 dist_maps.insert(cand, map);
             }
             assigned.push((node, cand));
@@ -317,6 +370,15 @@ impl<'a> LocalEvaluator<'a> {
     }
 
     fn eval_basic_all_uncached(&mut self, b: &BasicClTerm) -> Result<Vec<i64>> {
+        let _span = self.obs.as_ref().map(|o| {
+            o.parent.child(
+                "ball_enum",
+                &[
+                    ("width", b.width() as i64),
+                    ("order", i64::from(self.a.order())),
+                ],
+            )
+        });
         let support = if self.use_support {
             self.support(b)
         } else {
@@ -338,12 +400,17 @@ impl<'a> LocalEvaluator<'a> {
         // (each worker gets its own scratch and counters); values are
         // written back under their element id and the counters summed,
         // making the result and the stats independent of scheduling.
+        // Workers inherit the observer clone, so registry counters and
+        // the ball-size histogram see their events live.
         let (a, preds) = (self.a, self.preds);
         let (cands, supp) = (self.use_atom_candidates, self.use_support);
-        let results = foc_parallel::par_map(&elems, threads, |_, &e| {
+        let obs = self.obs.clone();
+        let meter = self.obs.as_ref().map(|o| o.meter.clone());
+        let results = foc_parallel::par_map_metered(&elems, threads, meter.as_ref(), |_, &e| {
             let mut worker = LocalEvaluator::new(a, preds);
             worker.use_atom_candidates = cands;
             worker.use_support = supp;
+            worker.obs = obs.clone();
             let v = worker.eval_basic_at(b, e)?;
             Ok::<(i64, LocalStats), LocalityError>((v, worker.stats))
         })?;

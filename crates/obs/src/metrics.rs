@@ -1,0 +1,308 @@
+//! The metrics registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! Instruments are cheap cloneable handles onto shared atomics, resolved
+//! from a [`Metrics`] registry by name. The registry itself is only
+//! touched at resolution time (a mutexed name map); the hot path — an
+//! increment or a histogram observation — is one or two relaxed atomic
+//! operations, so instruments can be updated from parallel workers
+//! without affecting determinism of the evaluation they measure.
+//!
+//! [`Metrics::snapshot`] freezes every instrument into plain values for
+//! rendering and export; `foc-core`'s `EngineStats` is a typed view
+//! assembled from such a snapshot.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotone event counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value / running-maximum instrument.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to at least `v`.
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bucket bounds `[1, 2, 4, …, 2^max_exp]` for size-like
+/// distributions (cluster orders, ball sizes, per-worker batch counts).
+pub fn pow2_buckets(max_exp: u32) -> Vec<u64> {
+    (0..=max_exp).map(|e| 1u64 << e).collect()
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Inclusive upper bounds, strictly increasing; an implicit
+    /// `+inf` bucket follows the last bound.
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` cumulative-free bucket counts.
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `u64` observations.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    /// A histogram with the given inclusive upper bucket bounds (must be
+    /// non-empty and strictly increasing).
+    pub fn new(bounds: &[u64]) -> Histogram {
+        debug_assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must rise");
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                total: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = self
+            .inner
+            .bounds
+            .partition_point(|&b| b < v)
+            .min(self.inner.bounds.len());
+        self.inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.total.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.inner.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Freezes the histogram into plain values.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.inner.bounds.clone(),
+            counts: self
+                .inner
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            total: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+/// A frozen [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bucket bounds (an implicit `+inf` bucket follows).
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub total: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+/// A frozen [`Metrics`] registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The value of a counter, `0` if never registered.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The value of a gauge, `0` if never registered.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// The registry: named instruments, resolved get-or-create.
+///
+/// One registry belongs to one evaluation session, so counter totals are
+/// per-session (the engine's `EngineStats` contract). Resolution is
+/// idempotent: two resolutions of the same name share the same atomics.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Resolves (creating if absent) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counters
+            .lock()
+            .expect("metrics poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Resolves (creating if absent) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauges
+            .lock()
+            .expect("metrics poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Resolves (creating if absent) the histogram `name`. The bounds
+    /// apply only on first creation; later resolutions share the
+    /// original buckets.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        self.histograms
+            .lock()
+            .expect("metrics poisoned")
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .clone()
+    }
+
+    /// Freezes every instrument into plain values.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("metrics poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("metrics poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("metrics poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_atomics_by_name() {
+        let m = Metrics::new();
+        let a = m.counter("x");
+        let b = m.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(m.counter("x").get(), 3);
+        assert_eq!(m.counter("y").get(), 0);
+    }
+
+    #[test]
+    fn gauge_max_and_set() {
+        let m = Metrics::new();
+        let g = m.gauge("peak");
+        g.set_max(5);
+        g.set_max(3);
+        assert_eq!(g.get(), 5);
+        g.set(1);
+        assert_eq!(g.get(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_totals() {
+        let h = Histogram::new(&[1, 2, 4, 8]);
+        for v in [0, 1, 2, 3, 4, 9, 100] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        // ≤1: {0,1}; ≤2: {2}; ≤4: {3,4}; ≤8: {}; +inf: {9,100}.
+        assert_eq!(s.counts, vec![2, 1, 2, 0, 2]);
+        assert_eq!(s.total, 7);
+        assert_eq!(s.sum, 119);
+        assert_eq!(s.counts.iter().sum::<u64>(), s.total);
+    }
+
+    #[test]
+    fn pow2_bounds() {
+        assert_eq!(pow2_buckets(3), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn snapshot_collects_everything() {
+        let m = Metrics::new();
+        m.counter("c").add(7);
+        m.gauge("g").set(2);
+        m.histogram("h", &[1, 10]).observe(5);
+        let s = m.snapshot();
+        assert_eq!(s.counter("c"), 7);
+        assert_eq!(s.gauge("g"), 2);
+        assert_eq!(s.histograms["h"].total, 1);
+        assert_eq!(s.counter("missing"), 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! The metric-name taxonomy shared by every instrumented crate.
+//!
+//! Names are `component.instrument`; every crate resolves its handles
+//! through these constants so the registry, the `EngineStats` view, the
+//! JSON export, and the documentation cannot drift apart.
+
+/// Marker relations materialised (Theorem 6.10's `τ` symbols). Counter.
+pub const ENGINE_MARKERS: &str = "engine.markers_created";
+/// cl-terms produced by decompositions. Counter.
+pub const ENGINE_CLTERMS: &str = "engine.clterms";
+/// Basic cl-terms inside those. Counter.
+pub const ENGINE_BASICS: &str = "engine.basics";
+/// Counting components that fell back to the reference evaluator.
+/// Counter.
+pub const ENGINE_FALLBACKS: &str = "engine.naive_fallbacks";
+/// Closed subformulas resolved by recursive sentence evaluation.
+/// Counter.
+pub const ENGINE_SENTENCES: &str = "engine.sentences_resolved";
+
+/// Cover clusters evaluated. Counter.
+pub const COVER_CLUSTERS: &str = "cover.clusters";
+/// Neighbourhood covers constructed. Counter.
+pub const COVER_BUILT: &str = "cover.covers_built";
+/// Removal surgeries performed. Counter.
+pub const COVER_REMOVALS: &str = "cover.removals";
+/// Order of the largest cluster handed to cluster-local evaluation.
+/// Gauge (running max).
+pub const COVER_PEAK_CLUSTER: &str = "cover.peak_cluster";
+/// Distribution of cluster orders. Histogram; its `total` equals
+/// [`COVER_CLUSTERS`].
+pub const COVER_CLUSTER_SIZE: &str = "cover.cluster_size";
+
+/// Memo-cache lookups that found a value. Counter.
+pub const CACHE_HITS: &str = "cache.hits";
+/// Memo-cache lookups that missed. Counter.
+pub const CACHE_MISSES: &str = "cache.misses";
+
+/// Balls materialised by ball enumeration. Counter.
+pub const LOCAL_BALLS: &str = "local.balls";
+/// Total elements across materialised balls. Counter.
+pub const LOCAL_BALL_ELEMENTS: &str = "local.ball_elements";
+/// Tuples fully assembled and checked against a body. Counter.
+pub const LOCAL_TUPLES: &str = "local.tuples_checked";
+/// Distribution of ball sizes (elements per materialised ball).
+/// Histogram; its `total` equals [`LOCAL_BALLS`].
+pub const LOCAL_BALL_SIZE: &str = "local.ball_size";
+
+/// Work items processed by parallel maps. Counter.
+pub const PARALLEL_ITEMS: &str = "parallel.items";
+/// Batches claimed from the work-stealing cursor. Counter.
+pub const PARALLEL_BATCHES: &str = "parallel.batches";
+/// Largest worker fan-out used. Gauge (running max).
+pub const PARALLEL_WORKERS: &str = "parallel.workers";
+/// Distribution of batches claimed per worker per fan-out. Histogram.
+pub const PARALLEL_BATCHES_PER_WORKER: &str = "parallel.batches_per_worker";
+
+/// Wall nanoseconds of marker materialisation. Counter.
+pub const PHASE_MATERIALIZE_NANOS: &str = "phase.materialize_nanos";
+/// Wall nanoseconds of cl-term decomposition. Counter.
+pub const PHASE_DECOMPOSE_NANOS: &str = "phase.decompose_nanos";
+/// Wall nanoseconds of neighbourhood-cover construction. Counter.
+pub const PHASE_COVER_NANOS: &str = "phase.cover_nanos";
+/// Wall nanoseconds of cl-term evaluation. Counter.
+pub const PHASE_EVAL_NANOS: &str = "phase.eval_nanos";

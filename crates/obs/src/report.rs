@@ -1,0 +1,346 @@
+//! Report rendering: span trees, metrics tables, and the JSON export
+//! consumed by `foc … --metrics-json` (and validated in CI).
+
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsSnapshot;
+use crate::sink::span_to_json;
+use crate::span::FinishedSpan;
+
+/// Escapes a string for inclusion inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One node of a reconstructed span tree.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// The finished span.
+    pub span: FinishedSpan,
+    /// Children, ordered by start time.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Whether this subtree contains a span named `name` (the node
+    /// itself included).
+    pub fn contains(&self, name: &str) -> bool {
+        self.span.name == name || self.children.iter().any(|c| c.contains(name))
+    }
+}
+
+/// Reconstructs the span forest from a flat finish-ordered list (as
+/// retained by [`crate::sink::MemorySink`]). Spans whose parent never
+/// finished become roots — nothing is dropped.
+pub fn build_tree(spans: &[FinishedSpan]) -> Vec<SpanNode> {
+    let mut nodes: Vec<Option<SpanNode>> = spans
+        .iter()
+        .map(|s| {
+            Some(SpanNode {
+                span: s.clone(),
+                children: Vec::new(),
+            })
+        })
+        .collect();
+    let index: std::collections::HashMap<u32, usize> =
+        spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+    // Children finish before parents, so walking the finish order and
+    // attaching each node to its parent (which finishes later, hence is
+    // still unclaimed) builds every subtree bottom-up.
+    let mut roots = Vec::new();
+    for i in 0..nodes.len() {
+        let node = nodes[i].take().expect("unclaimed in finish order");
+        match node.span.parent.and_then(|p| index.get(&p)).copied() {
+            Some(pi) if pi != i && nodes[pi].is_some() => {
+                nodes[pi].as_mut().expect("checked").children.push(node);
+            }
+            _ => roots.push(node),
+        }
+    }
+    fn sort_rec(ns: &mut Vec<SpanNode>) {
+        ns.sort_by_key(|n| n.span.start_nanos);
+        for n in ns {
+            sort_rec(&mut n.children);
+        }
+    }
+    sort_rec(&mut roots);
+    roots
+}
+
+fn fmt_micros(nanos: u64) -> String {
+    let micros = nanos / 1_000;
+    if micros >= 10_000 {
+        format!("{:.1}ms", micros as f64 / 1_000.0)
+    } else {
+        format!("{micros}µs")
+    }
+}
+
+fn render_node(node: &SpanNode, prefix: &str, last: bool, top: bool, out: &mut String) {
+    let (branch, cont) = if top {
+        ("", "")
+    } else if last {
+        ("└─ ", "   ")
+    } else {
+        ("├─ ", "│  ")
+    };
+    let _ = write!(
+        out,
+        "{prefix}{branch}{} ({})",
+        node.span.name,
+        fmt_micros(node.span.dur_nanos)
+    );
+    for (k, v) in &node.span.attrs {
+        let _ = write!(out, " {k}={v}");
+    }
+    out.push('\n');
+    let child_prefix = format!("{prefix}{cont}");
+    for (i, c) in node.children.iter().enumerate() {
+        render_node(c, &child_prefix, i + 1 == node.children.len(), false, out);
+    }
+}
+
+/// Renders a span forest as an indented tree with durations and
+/// attributes — the body of `foc explain`.
+pub fn render_tree(roots: &[SpanNode]) -> String {
+    let mut out = String::new();
+    for r in roots {
+        render_node(r, "", true, true, &mut out);
+    }
+    out
+}
+
+/// Renders a metrics snapshot as aligned `name  value` rows (counters,
+/// then gauges, then histogram totals with their bucket spreads).
+pub fn render_metrics_table(snap: &MetricsSnapshot) -> String {
+    let width = snap
+        .counters
+        .keys()
+        .chain(snap.gauges.keys())
+        .chain(snap.histograms.keys())
+        .map(|k| k.len())
+        .max()
+        .unwrap_or(0)
+        .max(8);
+    let mut out = String::new();
+    for (k, v) in &snap.counters {
+        let _ = writeln!(out, "{k:<width$}  {v}");
+    }
+    for (k, v) in &snap.gauges {
+        let _ = writeln!(out, "{k:<width$}  {v} (gauge)");
+    }
+    for (k, h) in &snap.histograms {
+        let buckets: Vec<String> = h
+            .bounds
+            .iter()
+            .map(|b| format!("≤{b}"))
+            .chain(std::iter::once("+inf".to_string()))
+            .zip(&h.counts)
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, c)| format!("{b}:{c}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{k:<width$}  n={} sum={} [{}]",
+            h.total,
+            h.sum,
+            buckets.join(" ")
+        );
+    }
+    out
+}
+
+/// The JSON export of one evaluation session: phase wall times, every
+/// registry instrument, and the span list. The schema is pinned by CI:
+/// the top level always contains `phases`, `counters`, and `spans`.
+///
+/// ```text
+/// {
+///   "engine": "cover",
+///   "phases": {"materialize_micros": 120, "decompose_micros": 30, …},
+///   "counters": {"cover.clusters": 12, …},
+///   "gauges": {"cover.peak_cluster": 25, …},
+///   "histograms": {"cover.cluster_size": {"bounds": […], "counts": […],
+///                   "total": 12, "sum": 133}, …},
+///   "spans": [{"span": "session", "id": 0, "parent": null, …}, …]
+/// }
+/// ```
+pub fn session_json(
+    engine: &str,
+    phases: &[(&str, u64)],
+    snap: &MetricsSnapshot,
+    spans: &[FinishedSpan],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"engine\": \"{}\",", json_escape(engine));
+    let _ = writeln!(out, "  \"phases\": {{");
+    for (i, (name, micros)) in phases.iter().enumerate() {
+        let comma = if i + 1 < phases.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{}_micros\": {micros}{comma}", json_escape(name));
+    }
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"counters\": {{");
+    for (i, (k, v)) in snap.counters.iter().enumerate() {
+        let comma = if i + 1 < snap.counters.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{}\": {v}{comma}", json_escape(k));
+    }
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"gauges\": {{");
+    for (i, (k, v)) in snap.gauges.iter().enumerate() {
+        let comma = if i + 1 < snap.gauges.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{}\": {v}{comma}", json_escape(k));
+    }
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"histograms\": {{");
+    for (i, (k, h)) in snap.histograms.iter().enumerate() {
+        let comma = if i + 1 < snap.histograms.len() {
+            ","
+        } else {
+            ""
+        };
+        let bounds: Vec<String> = h.bounds.iter().map(|b| b.to_string()).collect();
+        let counts: Vec<String> = h.counts.iter().map(|c| c.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{\"bounds\": [{}], \"counts\": [{}], \"total\": {}, \"sum\": {}}}{comma}",
+            json_escape(k),
+            bounds.join(", "),
+            counts.join(", "),
+            h.total,
+            h.sum
+        );
+    }
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"spans\": [");
+    for (i, s) in spans.iter().enumerate() {
+        let comma = if i + 1 < spans.len() { "," } else { "" };
+        let _ = writeln!(out, "    {}{comma}", span_to_json(s));
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::span::AttrValue;
+
+    fn spans() -> Vec<FinishedSpan> {
+        // Finish order: children first.
+        vec![
+            FinishedSpan {
+                id: 2,
+                parent: Some(1),
+                name: "cover",
+                start_nanos: 30,
+                dur_nanos: 10,
+                attrs: vec![("radius", AttrValue::Int(2))],
+            },
+            FinishedSpan {
+                id: 1,
+                parent: Some(0),
+                name: "eval",
+                start_nanos: 20,
+                dur_nanos: 50,
+                attrs: vec![],
+            },
+            FinishedSpan {
+                id: 0,
+                parent: None,
+                name: "session",
+                start_nanos: 0,
+                dur_nanos: 100,
+                attrs: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn tree_reconstruction_nests() {
+        let roots = build_tree(&spans());
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].span.name, "session");
+        assert_eq!(roots[0].children[0].span.name, "eval");
+        assert_eq!(roots[0].children[0].children[0].span.name, "cover");
+        assert!(roots[0].contains("cover"));
+        assert!(!roots[0].contains("removal"));
+    }
+
+    #[test]
+    fn orphans_become_roots() {
+        let mut s = spans();
+        s.remove(2); // session never finished
+        let roots = build_tree(&s);
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].span.name, "eval");
+    }
+
+    #[test]
+    fn tree_render_shows_names_and_attrs() {
+        let text = render_tree(&build_tree(&spans()));
+        assert!(text.contains("session"));
+        assert!(text.contains("└─ cover"));
+        assert!(text.contains("radius=2"));
+    }
+
+    #[test]
+    fn session_json_has_required_keys_and_balances() {
+        let m = Metrics::new();
+        m.counter("cover.clusters").add(3);
+        m.gauge("cover.peak_cluster").set(9);
+        m.histogram("cover.cluster_size", &[1, 4, 16]).observe(9);
+        let json = session_json(
+            "cover",
+            &[("materialize", 120), ("eval", 55)],
+            &m.snapshot(),
+            &spans(),
+        );
+        for key in [
+            "\"phases\"",
+            "\"counters\"",
+            "\"spans\"",
+            "\"gauges\"",
+            "\"histograms\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        assert!(json.contains("\"materialize_micros\": 120"));
+        assert!(json.contains("\"cover.clusters\": 3"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn escape_covers_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn metrics_table_lists_instruments() {
+        let m = Metrics::new();
+        m.counter("cache.hits").add(5);
+        m.histogram("local.ball_size", &[1, 8]).observe(3);
+        let t = render_metrics_table(&m.snapshot());
+        assert!(t.contains("cache.hits"));
+        assert!(t.contains("local.ball_size"));
+        assert!(t.contains("n=1"));
+    }
+}

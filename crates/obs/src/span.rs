@@ -1,0 +1,344 @@
+//! The span API: nested, timed regions of one evaluation session.
+//!
+//! An [`Observer`] owns the session's [`Metrics`] registry and its
+//! sinks. Spans are RAII guards: entering records the parent/name/attrs,
+//! dropping records the duration and emits the finished span to every
+//! sink. Parenting is **explicit** — a child span is created from its
+//! parent's [`Span::handle`] — because the evaluation pipeline fans out
+//! over worker threads, where implicit (thread-local) parent stacks
+//! would mis-nest.
+//!
+//! When the observer is disabled (no sinks), entering a span is one
+//! branch and an `Arc` clone — no clock read, no allocation, no lock —
+//! so instrumentation can stay compiled into the hot paths.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::metrics::Metrics;
+use crate::sink::Sink;
+
+/// One attribute value on a span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrValue {
+    /// An integer attribute (sizes, radii, depths…).
+    Int(i64),
+    /// A text attribute (engine kind, term labels…).
+    Text(String),
+}
+
+impl std::fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttrValue::Int(i) => write!(f, "{i}"),
+            AttrValue::Text(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+/// A finished span as delivered to sinks: identity, position in the
+/// tree, timing, and attributes.
+#[derive(Debug, Clone)]
+pub struct FinishedSpan {
+    /// Session-unique span id.
+    pub id: u32,
+    /// Parent span id (`None` for a session root).
+    pub parent: Option<u32>,
+    /// Static span name (the taxonomy is documented in README.md).
+    pub name: &'static str,
+    /// Nanoseconds since the observer's epoch at span entry.
+    pub start_nanos: u64,
+    /// Span duration in nanoseconds.
+    pub dur_nanos: u64,
+    /// Attributes, in recording order.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+struct OpenSpan {
+    parent: Option<u32>,
+    name: &'static str,
+    start_nanos: u64,
+    attrs: Vec<(&'static str, AttrValue)>,
+}
+
+/// The per-session observability hub: span recording, the metrics
+/// registry, and the sink fan-out.
+pub struct Observer {
+    enabled: bool,
+    epoch: Instant,
+    metrics: Metrics,
+    sinks: Vec<Arc<dyn Sink>>,
+    open: Mutex<HashMap<u32, OpenSpan>>,
+    next_id: AtomicU32,
+}
+
+impl std::fmt::Debug for Observer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Observer")
+            .field("enabled", &self.enabled)
+            .field("sinks", &self.sinks.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Observer {
+    /// An observer with span recording off. The metrics registry still
+    /// works — counters and histograms are always live; only span
+    /// recording and sink traffic are suppressed.
+    pub fn disabled() -> Arc<Observer> {
+        Observer::build(Vec::new())
+    }
+
+    /// An observer emitting finished spans to the given sinks.
+    pub fn with_sinks(sinks: Vec<Arc<dyn Sink>>) -> Arc<Observer> {
+        Observer::build(sinks)
+    }
+
+    fn build(sinks: Vec<Arc<dyn Sink>>) -> Arc<Observer> {
+        Arc::new(Observer {
+            enabled: !sinks.is_empty(),
+            epoch: Instant::now(),
+            metrics: Metrics::new(),
+            sinks,
+            open: Mutex::new(HashMap::new()),
+            next_id: AtomicU32::new(0),
+        })
+    }
+
+    /// Whether spans are recorded (sinks attached).
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The session's metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Starts a root span (no parent).
+    pub fn root_span(self: &Arc<Self>, name: &'static str, attrs: &[(&'static str, i64)]) -> Span {
+        Span::enter(
+            &SpanHandle {
+                obs: self.clone(),
+                parent: None,
+            },
+            name,
+            attrs,
+        )
+    }
+
+    /// A handle that parents new spans at the root level.
+    pub fn handle(self: &Arc<Self>) -> SpanHandle {
+        SpanHandle {
+            obs: self.clone(),
+            parent: None,
+        }
+    }
+
+    /// Asks every sink to flush buffered output.
+    pub fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
+    }
+
+    fn start(&self, parent: Option<u32>, name: &'static str, attrs: &[(&'static str, i64)]) -> u32 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let open = OpenSpan {
+            parent,
+            name,
+            start_nanos: self.epoch.elapsed().as_nanos() as u64,
+            attrs: attrs.iter().map(|&(k, v)| (k, AttrValue::Int(v))).collect(),
+        };
+        self.open
+            .lock()
+            .expect("span table poisoned")
+            .insert(id, open);
+        id
+    }
+
+    fn attach(&self, id: u32, key: &'static str, value: AttrValue) {
+        if let Some(open) = self.open.lock().expect("span table poisoned").get_mut(&id) {
+            open.attrs.push((key, value));
+        }
+    }
+
+    fn finish(&self, id: u32) {
+        let Some(open) = self.open.lock().expect("span table poisoned").remove(&id) else {
+            return;
+        };
+        let end = self.epoch.elapsed().as_nanos() as u64;
+        let span = FinishedSpan {
+            id,
+            parent: open.parent,
+            name: open.name,
+            start_nanos: open.start_nanos,
+            dur_nanos: end.saturating_sub(open.start_nanos),
+            attrs: open.attrs,
+        };
+        for s in &self.sinks {
+            s.record(&span);
+        }
+    }
+}
+
+/// A cloneable reference to a position in the span tree: children
+/// created through a handle are parented under the handle's span. Safe
+/// to send into worker threads.
+#[derive(Debug, Clone)]
+pub struct SpanHandle {
+    obs: Arc<Observer>,
+    parent: Option<u32>,
+}
+
+impl SpanHandle {
+    /// Starts a child span under this handle's position.
+    pub fn child(&self, name: &'static str, attrs: &[(&'static str, i64)]) -> Span {
+        Span::enter(self, name, attrs)
+    }
+
+    /// The metrics registry of the owning observer.
+    pub fn metrics(&self) -> &Metrics {
+        self.obs.metrics()
+    }
+
+    /// The owning observer.
+    pub fn observer(&self) -> &Arc<Observer> {
+        &self.obs
+    }
+}
+
+/// An entered span; finishes (records duration, notifies sinks) on drop.
+#[derive(Debug)]
+pub struct Span {
+    obs: Arc<Observer>,
+    /// `None` when the observer is disabled — every operation becomes a
+    /// branch.
+    rec: Option<u32>,
+}
+
+impl Span {
+    /// Enters a span under `parent` with integer attributes (the common
+    /// case: sizes, radii, depths). Text attributes are added with
+    /// [`Span::record_text`].
+    pub fn enter(parent: &SpanHandle, name: &'static str, attrs: &[(&'static str, i64)]) -> Span {
+        let rec = parent
+            .obs
+            .enabled
+            .then(|| parent.obs.start(parent.parent, name, attrs));
+        Span {
+            obs: parent.obs.clone(),
+            rec,
+        }
+    }
+
+    /// Attaches an integer attribute discovered mid-span (e.g. a cluster
+    /// count known only after the cover is built).
+    pub fn record(&self, key: &'static str, value: i64) {
+        if let Some(id) = self.rec {
+            self.obs.attach(id, key, AttrValue::Int(value));
+        }
+    }
+
+    /// Attaches a text attribute.
+    pub fn record_text(&self, key: &'static str, value: impl Into<String>) {
+        if let Some(id) = self.rec {
+            self.obs.attach(id, key, AttrValue::Text(value.into()));
+        }
+    }
+
+    /// A handle for parenting children under this span.
+    pub fn handle(&self) -> SpanHandle {
+        SpanHandle {
+            obs: self.obs.clone(),
+            parent: self.rec,
+        }
+    }
+
+    /// Finishes the span now (otherwise it finishes on drop).
+    pub fn finish(mut self) {
+        self.finish_inner();
+    }
+
+    fn finish_inner(&mut self) {
+        if let Some(id) = self.rec.take() {
+            self.obs.finish(id);
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn disabled_observer_records_nothing_but_metrics_work() {
+        let obs = Observer::disabled();
+        assert!(!obs.enabled());
+        let root = obs.root_span("session", &[]);
+        let child = root.handle().child("phase", &[("k", 1)]);
+        child.record("late", 2);
+        drop(child);
+        drop(root);
+        assert!(obs.open.lock().unwrap().is_empty());
+        obs.metrics().counter("c").inc();
+        assert_eq!(obs.metrics().counter("c").get(), 1);
+    }
+
+    #[test]
+    fn spans_nest_and_reach_sinks() {
+        let mem = Arc::new(MemorySink::default());
+        let obs = Observer::with_sinks(vec![mem.clone()]);
+        let root = obs.root_span("session", &[]);
+        {
+            let eval = root.handle().child("eval", &[("depth", 1)]);
+            eval.record("clusters", 4);
+            let cover = eval.handle().child("cover", &[("radius", 2)]);
+            drop(cover);
+        }
+        drop(root);
+        let spans = mem.spans();
+        // Children finish before parents.
+        let names: Vec<_> = spans.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["cover", "eval", "session"]);
+        let eval = spans.iter().find(|s| s.name == "eval").unwrap();
+        let cover = spans.iter().find(|s| s.name == "cover").unwrap();
+        let session = spans.iter().find(|s| s.name == "session").unwrap();
+        assert_eq!(cover.parent, Some(eval.id));
+        assert_eq!(eval.parent, Some(session.id));
+        assert_eq!(session.parent, None);
+        assert!(eval.attrs.contains(&("clusters", AttrValue::Int(4))));
+    }
+
+    #[test]
+    fn handles_parent_across_threads() {
+        let mem = Arc::new(MemorySink::default());
+        let obs = Observer::with_sinks(vec![mem.clone()]);
+        let root = obs.root_span("session", &[]);
+        let h = root.handle();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    let sp = h.child("worker", &[("i", i)]);
+                    drop(sp);
+                });
+            }
+        });
+        drop(root);
+        let spans = mem.spans();
+        let root_id = spans.iter().find(|s| s.name == "session").unwrap().id;
+        let workers: Vec<_> = spans.iter().filter(|s| s.name == "worker").collect();
+        assert_eq!(workers.len(), 4);
+        assert!(workers.iter().all(|w| w.parent == Some(root_id)));
+    }
+}

@@ -27,6 +27,39 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use foc_obs::{names, pow2_buckets, Counter, Gauge, Histogram, Metrics};
+
+/// Metric handles for one fan-out site: items processed, batches
+/// claimed from the stealing cursor, the worker fan-out, and the
+/// distribution of batches claimed per worker (the "steal" profile — a
+/// flat distribution means the load balanced; a skewed one means a few
+/// workers dragged the tail).
+#[derive(Debug, Clone)]
+pub struct ParMeter {
+    /// Work items processed.
+    pub items: Counter,
+    /// Batches claimed from the shared cursor.
+    pub batches: Counter,
+    /// Largest worker fan-out used (running max).
+    pub workers: Gauge,
+    /// Batches claimed per worker, one observation per worker per
+    /// fan-out.
+    pub batches_per_worker: Histogram,
+}
+
+impl ParMeter {
+    /// Resolves the meter's instruments from a registry (see
+    /// [`foc_obs::names`]).
+    pub fn from_metrics(m: &Metrics) -> ParMeter {
+        ParMeter {
+            items: m.counter(names::PARALLEL_ITEMS),
+            batches: m.counter(names::PARALLEL_BATCHES),
+            workers: m.gauge(names::PARALLEL_WORKERS),
+            batches_per_worker: m.histogram(names::PARALLEL_BATCHES_PER_WORKER, &pow2_buckets(12)),
+        }
+    }
+}
+
 /// The hardware parallelism available to this process (≥ 1).
 pub fn available_threads() -> usize {
     std::thread::available_parallelism()
@@ -59,10 +92,41 @@ where
     E: Send,
     F: Fn(usize, &T) -> Result<R, E> + Sync,
 {
+    par_map_metered(items, threads, None, f)
+}
+
+/// [`par_map`] with optional scheduling metrics: when a [`ParMeter`] is
+/// given, every fan-out records items processed, batches claimed, and
+/// the per-worker batch distribution. Metering never changes scheduling
+/// or results — the instruments are relaxed atomics off the claim path.
+pub fn par_map_metered<T, R, E, F>(
+    items: &[T],
+    threads: usize,
+    meter: Option<&ParMeter>,
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
     let n = items.len();
     let threads = resolve_threads(threads).min(n.max(1));
     if threads <= 1 || n <= 1 {
+        if let Some(m) = meter {
+            m.items.add(n as u64);
+            m.batches.add(u64::from(n > 0));
+            m.workers.set_max(1);
+            if n > 0 {
+                m.batches_per_worker.observe(1);
+            }
+        }
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    if let Some(m) = meter {
+        m.items.add(n as u64);
+        m.workers.set_max(threads as u64);
     }
 
     // Batched claiming: big enough to keep the cursor cool, small enough
@@ -73,14 +137,22 @@ where
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let start = cursor.fetch_add(batch, Ordering::Relaxed);
-                if start >= n {
-                    break;
+            scope.spawn(|| {
+                let mut claimed: u64 = 0;
+                loop {
+                    let start = cursor.fetch_add(batch, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    claimed += 1;
+                    let end = (start + batch).min(n);
+                    for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                        *slots[i].lock().expect("result slot poisoned") = Some(f(i, item));
+                    }
                 }
-                let end = (start + batch).min(n);
-                for (i, item) in items.iter().enumerate().take(end).skip(start) {
-                    *slots[i].lock().expect("result slot poisoned") = Some(f(i, item));
+                if let Some(m) = meter {
+                    m.batches.add(claimed);
+                    m.batches_per_worker.observe(claimed);
                 }
             });
         }
@@ -166,6 +238,34 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(par_map_ok(&empty, 8, |_, &x| x).is_empty());
         assert_eq!(par_map_ok(&[5u32], 8, |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn meter_accounts_for_every_item_and_batch() {
+        let m = foc_obs::Metrics::new();
+        let meter = ParMeter::from_metrics(&m);
+        let items: Vec<u64> = (0..257).collect();
+        let got = par_map_metered(&items, 4, Some(&meter), |_, &x| {
+            Ok::<u64, std::convert::Infallible>(x + 1)
+        })
+        .unwrap();
+        assert_eq!(got.len(), 257);
+        assert_eq!(meter.items.get(), 257);
+        assert!(meter.batches.get() >= 1);
+        assert_eq!(meter.workers.get(), 4);
+        // One observation per worker, each counting its claimed batches.
+        assert_eq!(meter.batches_per_worker.count(), 4);
+        assert_eq!(meter.batches_per_worker.sum(), meter.batches.get());
+
+        // The sequential path accounts too.
+        let m1 = foc_obs::Metrics::new();
+        let meter1 = ParMeter::from_metrics(&m1);
+        par_map_metered(&items, 1, Some(&meter1), |_, &x| {
+            Ok::<u64, std::convert::Infallible>(x)
+        })
+        .unwrap();
+        assert_eq!(meter1.items.get(), 257);
+        assert_eq!(meter1.workers.get(), 1);
     }
 
     #[test]

@@ -53,7 +53,9 @@ fn main() {
     }
     println!(
         "stats: {} cl-terms, {} basic cl-terms, {} naive fall-backs",
-        session.stats.clterms, session.stats.basics, session.stats.naive_fallbacks
+        session.stats().clterms,
+        session.stats().basics,
+        session.stats().naive_fallbacks
     );
 
     // Counting (Corollary 5.6): the number of edges with both endpoints

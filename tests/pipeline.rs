@@ -191,7 +191,7 @@ fn session_plans_match_depth() {
     session.check_sentence(&f).unwrap();
     // Three predicate applications: the inner `= 2`, the outer `>= 1`,
     // and the `= 5`.
-    assert_eq!(session.stats.markers_created, 3);
+    assert_eq!(session.stats().markers_created, 3);
     assert_eq!(session.plan.len(), 3);
     assert!(session.plan.iter().all(|m| m.arity == 1));
 }
