@@ -22,8 +22,9 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
-use foc_core::{EngineKind, EngineStats, Evaluator, Session};
+use foc_core::{DegradePolicy, EngineKind, EngineStats, Evaluator, Session};
 use foc_logic::parse::{parse_formula, parse_term};
 use foc_logic::Var;
 use foc_obs::{build_tree, render_metrics_table, render_tree, session_json, MemorySink, Sink};
@@ -33,15 +34,68 @@ use foc_structures::Structure;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// CLI failure, classified for the exit code:
+///
+/// * `Usage` — the invocation itself is malformed; exit 2 and print the
+///   usage text.
+/// * `Runtime` — the invocation is fine but the work failed (missing
+///   file, parse error, evaluation error); exit 1 with a one-line
+///   diagnostic.
+/// * `Interrupted` — the evaluation hit its resource budget; exit 3
+///   with the phase and fuel spent.
+#[derive(Debug)]
+enum CliError {
+    Usage(String),
+    Runtime(String),
+    Interrupted(foc_core::Interrupt),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> CliError {
+        CliError::Usage(msg.into())
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError::Runtime(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> CliError {
+        CliError::Runtime(msg.to_string())
+    }
+}
+
+impl From<foc_core::Error> for CliError {
+    fn from(e: foc_core::Error) -> CliError {
+        match e {
+            foc_core::Error::Interrupted(i) => CliError::Interrupted(i),
+            other => CliError::Runtime(other.to_string()),
+        }
+    }
+}
+
+type CliResult<T = ()> = Result<T, CliError>;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
             eprintln!("foc: {msg}");
             eprintln!();
             eprintln!("{USAGE}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("foc: {msg}");
+            ExitCode::from(1)
+        }
+        Err(CliError::Interrupted(i)) => {
+            eprintln!("foc: {i}");
+            ExitCode::from(3)
         }
     }
 }
@@ -64,14 +118,21 @@ options:
   --profile                    print the per-phase wall-time table and
                                work counters after the answer
   --metrics-json <path>        write the session's phases, counters,
-                               histograms, and spans as JSON to <path>";
+                               histograms, and spans as JSON to <path>
+  --timeout <ms>               wall-clock deadline for the evaluation;
+                               interrupted runs exit with code 3
+  --fuel <n>                   deterministic work allowance (guard
+                               checks); interrupted runs exit with
+                               code 3
+  --strict                     surface capability errors instead of
+                               degrading down the engine ladder";
 
 /// Flags that take no value (everything else consumes the next arg).
-const BOOL_FLAGS: &[&str] = &["--trace", "--profile"];
+const BOOL_FLAGS: &[&str] = &["--trace", "--profile", "--strict"];
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> CliResult {
     let Some(cmd) = args.first() else {
-        return Err("missing subcommand".into());
+        return Err(CliError::usage("missing subcommand"));
     };
     let rest = &args[1..];
     match cmd.as_str() {
@@ -81,7 +142,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "explain" => cmd_explain(rest),
         "stats" => cmd_stats(rest),
         "gen" => cmd_gen(rest),
-        other => Err(format!("unknown subcommand {other:?}")),
+        other => Err(CliError::usage(format!("unknown subcommand {other:?}"))),
     }
 }
 
@@ -115,25 +176,42 @@ fn positional(args: &[String]) -> Vec<&String> {
 
 /// Builds the engine from the shared flags, optionally attaching a span
 /// sink (the in-memory sink of `foc explain` / `--metrics-json`).
-fn engine_with_sink(args: &[String], sink: Option<Arc<dyn Sink>>) -> Result<Evaluator, String> {
+fn engine_with_sink(args: &[String], sink: Option<Arc<dyn Sink>>) -> CliResult<Evaluator> {
     let kind = match flag_value(args, "--engine").unwrap_or("local") {
         "naive" => EngineKind::Naive,
         "local" => EngineKind::Local,
         "cover" => EngineKind::Cover,
-        other => return Err(format!("unknown engine {other:?}")),
+        other => return Err(CliError::usage(format!("unknown engine {other:?}"))),
     };
     let threads: usize = match flag_value(args, "--threads") {
-        Some(v) => v.parse().map_err(|_| format!("invalid --threads {v:?}"))?,
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid --threads {v:?}")))?,
         None => 1,
     };
     let mut b = Evaluator::builder()
         .kind(kind)
         .threads(threads)
         .trace(has_flag(args, "--trace"));
+    if let Some(v) = flag_value(args, "--timeout") {
+        let ms: u64 = v
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid --timeout {v:?} (milliseconds)")))?;
+        b = b.timeout(Duration::from_millis(ms));
+    }
+    if let Some(v) = flag_value(args, "--fuel") {
+        let fuel: u64 = v
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid --fuel {v:?}")))?;
+        b = b.fuel(fuel);
+    }
+    if has_flag(args, "--strict") {
+        b = b.degrade(DegradePolicy::Strict);
+    }
     if let Some(s) = sink {
         b = b.sink(s);
     }
-    b.build().map_err(|e| e.to_string())
+    b.build().map_err(|e| CliError::Runtime(e.to_string()))
 }
 
 /// The `--profile` report: per-phase wall time plus the work counters.
@@ -175,7 +253,7 @@ fn finish_session(
     ev: &Evaluator,
     session: Session<'_>,
     mem: Option<Arc<MemorySink>>,
-) -> Result<(), String> {
+) -> CliResult {
     let stats = session.stats();
     let snap = session.observer().metrics().snapshot();
     drop(session);
@@ -204,15 +282,17 @@ fn metrics_sink(args: &[String]) -> Option<Arc<MemorySink>> {
     flag_value(args, "--metrics-json").map(|_| MemorySink::shared())
 }
 
-fn load(path: &str) -> Result<Structure, String> {
+fn load(path: &str) -> CliResult<Structure> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    parse_structure(&text).map_err(|e| format!("{path}: {e}"))
+    Ok(parse_structure(&text).map_err(|e| format!("{path}: {e}"))?)
 }
 
-fn cmd_check(args: &[String]) -> Result<(), String> {
+fn cmd_check(args: &[String]) -> CliResult {
     let pos = positional(args);
     let [path, src] = pos.as_slice() else {
-        return Err("check needs a structure file and a sentence".into());
+        return Err(CliError::usage(
+            "check needs a structure file and a sentence",
+        ));
     };
     let s = load(path)?;
     let f = parse_formula(src).map_err(|e| e.to_string())?;
@@ -223,22 +303,25 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
                 .iter()
                 .map(|v| v.to_string())
                 .collect::<Vec<_>>()
-        ));
+        )
+        .into());
     }
     let mem = metrics_sink(args);
     let ev = engine_with_sink(args, mem.clone().map(|m| m as Arc<dyn Sink>))?;
     let mut session = ev.session(&s);
     let t0 = std::time::Instant::now();
-    let ans = session.check_sentence(&f).map_err(|e| e.to_string())?;
+    let ans = session.check_sentence(&f)?;
     println!("{ans}");
     eprintln!("[{:?} engine, {:?}]", ev.kind(), t0.elapsed());
     finish_session(args, &ev, session, mem)
 }
 
-fn cmd_eval(args: &[String]) -> Result<(), String> {
+fn cmd_eval(args: &[String]) -> CliResult {
     let pos = positional(args);
     let [path, src] = pos.as_slice() else {
-        return Err("eval needs a structure file and a ground term".into());
+        return Err(CliError::usage(
+            "eval needs a structure file and a ground term",
+        ));
     };
     let s = load(path)?;
     let t = parse_term(src).map_err(|e| e.to_string())?;
@@ -249,19 +332,21 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
     let ev = engine_with_sink(args, mem.clone().map(|m| m as Arc<dyn Sink>))?;
     let mut session = ev.session(&s);
     let t0 = std::time::Instant::now();
-    let val = session.eval_ground(&t).map_err(|e| e.to_string())?;
+    let val = session.eval_ground(&t)?;
     println!("{val}");
     eprintln!("[{:?} engine, {:?}]", ev.kind(), t0.elapsed());
     finish_session(args, &ev, session, mem)
 }
 
-fn cmd_count(args: &[String]) -> Result<(), String> {
+fn cmd_count(args: &[String]) -> CliResult {
     let pos = positional(args);
     let [path, src] = pos.as_slice() else {
-        return Err("count needs a structure file and a formula".into());
+        return Err(CliError::usage(
+            "count needs a structure file and a formula",
+        ));
     };
     let vars: Vec<Var> = flag_value(args, "--vars")
-        .ok_or("count needs --vars x,y,…")?
+        .ok_or_else(|| CliError::usage("count needs --vars x,y,…"))?
         .split(',')
         .map(|v| Var::new(v.trim()))
         .collect();
@@ -273,7 +358,7 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
         Arc::new(foc_logic::Term::Count(vars.into_boxed_slice(), f.clone()));
     let mut session = ev.session(&s);
     let t0 = std::time::Instant::now();
-    let val = session.eval_ground(&t).map_err(|e| e.to_string())?;
+    let val = session.eval_ground(&t)?;
     println!("{val}");
     eprintln!("[{:?} engine, {:?}]", ev.kind(), t0.elapsed());
     finish_session(args, &ev, session, mem)
@@ -283,33 +368,37 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
 /// sink and render the span tree, the metrics table, and the phase
 /// profile. Works with every engine; the local and cover engines
 /// produce the interesting trees.
-fn cmd_explain(args: &[String]) -> Result<(), String> {
+fn cmd_explain(args: &[String]) -> CliResult {
     let pos = positional(args);
     let [path, src] = pos.as_slice() else {
-        return Err("explain needs a structure file and a sentence or ground term".into());
+        return Err(CliError::usage(
+            "explain needs a structure file and a sentence or ground term",
+        ));
     };
     let s = load(path)?;
     let mem = MemorySink::shared();
     let ev = engine_with_sink(args, Some(mem.clone() as Arc<dyn Sink>))?;
     let mut session = ev.session(&s);
     let t0 = std::time::Instant::now();
-    let answer = match parse_formula(src) {
-        Ok(f) if f.is_sentence() => session
-            .check_sentence(&f)
-            .map(|b| b.to_string())
-            .map_err(|e| e.to_string())?,
+    let outcome: Result<String, foc_core::Error> = match parse_formula(src) {
+        Ok(f) if f.is_sentence() => session.check_sentence(&f).map(|b| b.to_string()),
         _ => {
             let t = parse_term(src).map_err(|e| format!("not a sentence or term: {e}"))?;
             if !t.is_ground() {
                 return Err("explain needs a sentence or a ground term (no free variables)".into());
             }
-            session
-                .eval_ground(&t)
-                .map(|v| v.to_string())
-                .map_err(|e| e.to_string())?
+            session.eval_ground(&t).map(|v| v.to_string())
         }
     };
     let elapsed = t0.elapsed();
+    // An interrupted run still renders the span tree and the metrics —
+    // the partial trace shows which phase the budget cut short — and
+    // then exits with the interrupt code.
+    let (answer, interrupt) = match outcome {
+        Ok(v) => (v, None),
+        Err(foc_core::Error::Interrupted(i)) => (format!("interrupted ({i})"), Some(i)),
+        Err(e) => return Err(e.into()),
+    };
     let stats = session.stats();
     let snap = session.observer().metrics().snapshot();
     drop(session);
@@ -335,13 +424,16 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
         std::fs::write(json_path, json).map_err(|e| format!("cannot write {json_path}: {e}"))?;
         eprintln!("wrote {json_path}");
     }
-    Ok(())
+    match interrupt {
+        Some(i) => Err(CliError::Interrupted(i)),
+        None => Ok(()),
+    }
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), String> {
+fn cmd_stats(args: &[String]) -> CliResult {
     let pos = positional(args);
     let [path] = pos.as_slice() else {
-        return Err("stats needs a structure file".into());
+        return Err(CliError::usage("stats needs a structure file"));
     };
     let s = load(path)?;
     let g = s.gaifman();
@@ -355,7 +447,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     let r: u32 = flag_value(args, "--cover-r")
         .unwrap_or("2")
         .parse()
-        .map_err(|_| "--cover-r needs an integer")?;
+        .map_err(|_| CliError::usage("--cover-r needs an integer"))?;
     let cov = foc_covers::cover::build_cover(g, r);
     println!(
         "({r},{})-cover   = {} clusters, max cover degree {}, max radius {}",
@@ -378,19 +470,19 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_gen(args: &[String]) -> Result<(), String> {
+fn cmd_gen(args: &[String]) -> CliResult {
     let pos = positional(args);
     let [class] = pos.as_slice() else {
-        return Err("gen needs a class name".into());
+        return Err(CliError::usage("gen needs a class name"));
     };
     let n: u32 = flag_value(args, "--n")
-        .ok_or("gen needs --n")?
+        .ok_or_else(|| CliError::usage("gen needs --n"))?
         .parse()
-        .map_err(|_| "--n needs an integer")?;
+        .map_err(|_| CliError::usage("--n needs an integer"))?;
     let seed: u64 = flag_value(args, "--seed")
         .unwrap_or("0")
         .parse()
-        .map_err(|_| "--seed needs an integer")?;
+        .map_err(|_| CliError::usage("--seed needs an integer"))?;
     let mut rng = StdRng::seed_from_u64(seed);
     let s = match class.as_str() {
         "tree" => generators::random_tree(n, &mut rng),
@@ -404,7 +496,7 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         "clique" => generators::clique(n),
         "deg3" => generators::bounded_degree(n, 3, 3 * n as usize, &mut rng),
         "gnm" => generators::gnm(n, 2 * n as usize, &mut rng),
-        other => return Err(format!("unknown class {other:?}")),
+        other => return Err(CliError::usage(format!("unknown class {other:?}"))),
     };
     let text = write_structure(&s);
     match flag_value(args, "-o") {
@@ -468,6 +560,95 @@ mod tests {
     fn unknown_subcommand_errors() {
         assert!(run(&argv(&["frobnicate"])).is_err());
         assert!(run(&argv(&[])).is_err());
+    }
+
+    #[test]
+    fn nonexistent_structure_file_is_a_runtime_error() {
+        for cmd in ["check", "eval"] {
+            let query = if cmd == "check" { "true" } else { "1 + 1" };
+            let r = run(&argv(&[cmd, "/nonexistent/no-such-file.foc", query]));
+            match r {
+                Err(CliError::Runtime(msg)) => {
+                    assert!(
+                        msg.contains("no-such-file.foc"),
+                        "diagnostic names the file: {msg}"
+                    );
+                    assert!(!msg.contains('\n'), "one-line diagnostic: {msg:?}");
+                }
+                other => panic!("expected a runtime error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_structure_file_is_a_runtime_error() {
+        let dir = std::env::temp_dir().join(format!("foc-cli-malformed-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.foc");
+        std::fs::write(&path, "this is not ; a structure {{{").unwrap();
+        let pstr = path.to_str().unwrap().to_string();
+        for cmd in ["check", "eval"] {
+            let query = if cmd == "check" { "true" } else { "1 + 1" };
+            let r = run(&argv(&[cmd, &pstr, query]));
+            match r {
+                Err(CliError::Runtime(msg)) => {
+                    assert!(msg.contains("bad.foc"), "diagnostic names the file: {msg}");
+                    assert!(!msg.contains('\n'), "one-line diagnostic: {msg:?}");
+                }
+                other => panic!("expected a runtime error, got {other:?}"),
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_arguments_are_usage_errors() {
+        assert!(matches!(run(&argv(&["check"])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&argv(&[])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            engine_with_sink(&argv(&["--timeout", "abc"]), None),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            engine_with_sink(&argv(&["--fuel", "-3"]), None),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn budget_flags_reach_the_engine() {
+        let ev = engine_with_sink(&argv(&["--timeout", "250", "--fuel", "99"]), None).unwrap();
+        assert_eq!(ev.budget().deadline, Some(Duration::from_millis(250)));
+        assert_eq!(ev.budget().fuel, Some(99));
+        assert_eq!(ev.config().degrade, DegradePolicy::FallThrough);
+        let strict = engine_with_sink(&argv(&["--strict"]), None).unwrap();
+        assert_eq!(strict.config().degrade, DegradePolicy::Strict);
+    }
+
+    #[test]
+    fn exhausted_fuel_surfaces_as_interrupted() {
+        let dir = std::env::temp_dir().join(format!("foc-cli-fuel-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.foc");
+        let pstr = path.to_str().unwrap().to_string();
+        run(&argv(&["gen", "clique", "--n", "24", "-o", &pstr])).unwrap();
+        // The count must enumerate every assignment, so tiny fuel trips.
+        let r = run(&argv(&[
+            "check",
+            &pstr,
+            "#(x,y,z). (E(x,y) & E(y,z) & E(x,z)) >= 100000",
+            "--engine",
+            "naive",
+            "--fuel",
+            "5",
+        ]));
+        assert!(matches!(r, Err(CliError::Interrupted(_))), "got {r:?}");
+        // `--strict` with a boolean-flag position must not eat positionals.
+        let r = run(&argv(&[
+            "check", &pstr, "--strict", "true", "--fuel", "1000000",
+        ]));
+        assert!(r.is_ok(), "got {r:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

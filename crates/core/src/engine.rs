@@ -25,9 +25,12 @@ use std::time::{Duration, Instant};
 
 use foc_covers::{CoverConfig, CoverEvaluator};
 use foc_eval::{eval_query, Assignment, FreeVarElim, NaiveEvaluator, QueryResult, QueryRow};
-use foc_locality::clnf::cl_normalform;
+use foc_guard::{Budget, Guard, Phase};
+use foc_locality::clnf::cl_normalform_guarded;
 use foc_locality::clterm::ClTerm;
-use foc_locality::decompose::{decompose_ground_with_radius, decompose_unary_with_radius};
+use foc_locality::decompose::{
+    decompose_ground_with_radius_guarded, decompose_unary_with_radius_guarded,
+};
 use foc_locality::gnf::{first_sentence_atom, replace_equal};
 use foc_locality::local_eval::LocalEvaluator;
 use foc_locality::radius::locality_radius;
@@ -51,6 +54,23 @@ pub enum EngineKind {
     Local,
     /// Decomposition + neighbourhood covers + removal (Section 8.2).
     Cover,
+}
+
+/// What the decomposing engines do when a query trips a *capability*
+/// error (the shape is outside what the strategy handles): walk down the
+/// ladder cover → local → naive, or surface the error.
+///
+/// Only capability errors degrade. Resource interrupts
+/// ([`Error::Interrupted`]), worker panics, and semantic evaluation
+/// errors always surface, under either policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradePolicy {
+    /// Walk the ladder: retry the failing piece with the next simpler
+    /// strategy, recording each step in the `engine.degrade.*` counters.
+    #[default]
+    FallThrough,
+    /// Surface the first capability error instead of degrading.
+    Strict,
 }
 
 /// Per-phase wall time of one evaluation session.
@@ -111,6 +131,12 @@ pub struct EngineStats {
     pub cache_misses: u64,
     /// Balls materialised by ball enumeration (local engine).
     pub balls: u64,
+    /// Degradation-ladder steps cover → local.
+    pub degrade_local: u64,
+    /// Degradation-ladder steps down to the reference evaluator.
+    pub degrade_naive: u64,
+    /// Evaluations cut short by the resource budget.
+    pub interrupted: u64,
     /// Per-phase wall time.
     pub phase: PhaseTimes,
 }
@@ -148,6 +174,9 @@ pub struct EngineConfig {
     /// Tuning for the cover engine. Its `threads` field is overridden by
     /// the engine-level `threads` knob above.
     pub cover: CoverConfig,
+    /// What to do on capability errors: degrade down the engine ladder
+    /// (the default) or surface them.
+    pub degrade: DegradePolicy,
 }
 
 impl Default for EngineConfig {
@@ -158,6 +187,7 @@ impl Default for EngineConfig {
             cache: true,
             trace: false,
             cover: CoverConfig::default(),
+            degrade: DegradePolicy::default(),
         }
     }
 }
@@ -174,6 +204,8 @@ pub struct EvaluatorBuilder {
     config: EngineConfig,
     preds: Option<Predicates>,
     sinks: Vec<Arc<dyn Sink>>,
+    budget: Budget,
+    fault_panic_element: Option<u32>,
 }
 
 impl std::fmt::Debug for EvaluatorBuilder {
@@ -232,6 +264,43 @@ impl EvaluatorBuilder {
         self
     }
 
+    /// Replaces the whole resource budget (deadline + fuel + cancel
+    /// token). The deadline clock starts per session, when evaluation
+    /// begins.
+    pub fn budget(mut self, budget: Budget) -> EvaluatorBuilder {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets a wall-clock deadline per evaluation session.
+    pub fn timeout(mut self, d: Duration) -> EvaluatorBuilder {
+        self.budget.deadline = Some(d);
+        self
+    }
+
+    /// Sets a fuel allowance per evaluation session (roughly "loop
+    /// iterations across the pipeline"; deterministic, unlike wall
+    /// clocks).
+    pub fn fuel(mut self, fuel: u64) -> EvaluatorBuilder {
+        self.budget.fuel = Some(fuel);
+        self
+    }
+
+    /// Selects the capability-error policy (degrade down the engine
+    /// ladder, or surface the first error).
+    pub fn degrade(mut self, policy: DegradePolicy) -> EvaluatorBuilder {
+        self.config.degrade = policy;
+        self
+    }
+
+    /// Test-only fault injection: the basic-cl-term evaluators panic when
+    /// they reach this element, exercising the panic-containment path.
+    #[doc(hidden)]
+    pub fn fault_panic_element(mut self, elem: Option<u32>) -> EvaluatorBuilder {
+        self.fault_panic_element = elem;
+        self
+    }
+
     /// Replaces the whole configuration at once.
     pub fn config(mut self, config: EngineConfig) -> EvaluatorBuilder {
         self.config = config;
@@ -264,6 +333,8 @@ impl EvaluatorBuilder {
             preds: self.preds.unwrap_or_else(Predicates::standard),
             config: self.config,
             sinks: self.sinks,
+            budget: self.budget,
+            fault_panic_element: self.fault_panic_element,
         })
     }
 }
@@ -278,6 +349,11 @@ pub struct Evaluator {
     pub(crate) config: EngineConfig,
     /// Span sinks attached to every session.
     pub(crate) sinks: Vec<Arc<dyn Sink>>,
+    /// Declarative resource budget, armed per session.
+    pub(crate) budget: Budget,
+    /// Test-only fault injection (see
+    /// [`EvaluatorBuilder::fault_panic_element`]).
+    pub(crate) fault_panic_element: Option<u32>,
 }
 
 impl std::fmt::Debug for Evaluator {
@@ -308,6 +384,11 @@ impl Evaluator {
     /// The predicate collection.
     pub fn predicates(&self) -> &Predicates {
         &self.preds
+    }
+
+    /// The configured resource budget (unlimited by default).
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// Starts an evaluation session on a structure (clones nothing; the
@@ -342,6 +423,8 @@ impl Evaluator {
             metrics,
             root,
             obs,
+            guard: self.budget.arm(),
+            interrupt_noted: std::cell::Cell::new(false),
         }
     }
 
@@ -426,6 +509,9 @@ struct SessionMetrics {
     basics: Counter,
     fallbacks: Counter,
     sentences: Counter,
+    degrade_local: Counter,
+    degrade_naive: Counter,
+    interrupted: Counter,
     clusters: Counter,
     covers_built: Counter,
     removals: Counter,
@@ -444,6 +530,9 @@ impl SessionMetrics {
             basics: m.counter(names::ENGINE_BASICS),
             fallbacks: m.counter(names::ENGINE_FALLBACKS),
             sentences: m.counter(names::ENGINE_SENTENCES),
+            degrade_local: m.counter(names::ENGINE_DEGRADE_LOCAL),
+            degrade_naive: m.counter(names::ENGINE_DEGRADE_NAIVE),
+            interrupted: m.counter(names::ENGINE_INTERRUPTED),
             clusters: m.counter(names::COVER_CLUSTERS),
             covers_built: m.counter(names::COVER_BUILT),
             removals: m.counter(names::COVER_REMOVALS),
@@ -475,6 +564,12 @@ pub struct Session<'a> {
     root: Span,
     /// The session's observability hub.
     obs: Arc<Observer>,
+    /// The armed resource guard; clones are handed to every
+    /// sub-evaluator the session creates.
+    guard: Guard,
+    /// Whether the session's interrupt has been recorded already (nested
+    /// entry points would otherwise count one trip several times).
+    interrupt_noted: std::cell::Cell<bool>,
 }
 
 impl<'a> Session<'a> {
@@ -512,6 +607,9 @@ impl<'a> Session<'a> {
             cache_hits: snap.counter(names::CACHE_HITS),
             cache_misses: snap.counter(names::CACHE_MISSES),
             balls: snap.counter(names::LOCAL_BALLS),
+            degrade_local: snap.counter(names::ENGINE_DEGRADE_LOCAL),
+            degrade_naive: snap.counter(names::ENGINE_DEGRADE_NAIVE),
+            interrupted: snap.counter(names::ENGINE_INTERRUPTED),
             phase: PhaseTimes {
                 materialize: Duration::from_nanos(snap.counter(names::PHASE_MATERIALIZE_NANOS)),
                 decompose: Duration::from_nanos(snap.counter(names::PHASE_DECOMPOSE_NANOS)),
@@ -521,11 +619,34 @@ impl<'a> Session<'a> {
         }
     }
 
+    /// Notes a budget interrupt in the metrics and the span tree before
+    /// the error surfaces to the caller.
+    fn note_interrupt<T>(&self, r: Result<T>) -> Result<T> {
+        if let Err(Error::Interrupted(i)) = &r {
+            if !self.interrupt_noted.replace(true) {
+                self.metrics.interrupted.inc();
+                self.root.record_text("interrupted", i.to_string());
+            }
+        }
+        r
+    }
+
+    /// Whether capability errors surface instead of degrading.
+    fn strict(&self) -> bool {
+        self.ev.config.degrade == DegradePolicy::Strict
+    }
+
     /// Model checking of a sentence. The decomposing engines require
     /// FOC1(P); the naive engine accepts all of FOC(P).
     pub fn check_sentence(&mut self, f: &Arc<Formula>) -> Result<bool> {
+        let r = self.check_sentence_inner(f);
+        self.note_interrupt(r)
+    }
+
+    fn check_sentence_inner(&mut self, f: &Arc<Formula>) -> Result<bool> {
         if self.ev.config.kind == EngineKind::Naive {
             let mut ev = NaiveEvaluator::new(&self.a, &self.ev.preds);
+            ev.set_guard(self.guard.clone());
             return Ok(ev.check_sentence(f)?);
         }
         check_foc1(f).map_err(|v| Error::NotFoc1(v.to_string()))?;
@@ -543,8 +664,14 @@ impl<'a> Session<'a> {
     /// Evaluation of a ground term. The decomposing engines require
     /// FOC1(P); the naive engine accepts all of FOC(P).
     pub fn eval_ground(&mut self, t: &Arc<Term>) -> Result<i64> {
+        let r = self.eval_ground_inner(t);
+        self.note_interrupt(r)
+    }
+
+    fn eval_ground_inner(&mut self, t: &Arc<Term>) -> Result<i64> {
         if self.ev.config.kind == EngineKind::Naive {
             let mut ev = NaiveEvaluator::new(&self.a, &self.ev.preds);
+            ev.set_guard(self.guard.clone());
             return Ok(ev.eval_ground(t)?);
         }
         check_foc1_term(t).map_err(|v| Error::NotFoc1(v.to_string()))?;
@@ -564,6 +691,11 @@ impl<'a> Session<'a> {
 
     /// Single-head-variable query evaluation with vectorised terms.
     fn query_small(&mut self, q: &Query) -> Result<QueryResult> {
+        let r = self.query_small_inner(q);
+        self.note_interrupt(r)
+    }
+
+    fn query_small_inner(&mut self, q: &Query) -> Result<QueryResult> {
         foc_eval::validate::validate_query(q, self.a.signature(), &self.ev.preds)?;
         if q.head_vars.is_empty() {
             if !self.check_sentence(&q.body)? {
@@ -594,6 +726,7 @@ impl<'a> Session<'a> {
         // Body truth per element (the body is FO over the expanded
         // structure now; candidate-driven evaluation keeps this cheap).
         let mut ev = NaiveEvaluator::new(&self.a, &self.ev.preds);
+        ev.set_guard(self.guard.clone());
         let mut rows = Vec::new();
         for e in self.a.universe() {
             let mut env = Assignment::from_pairs([(x, e)]);
@@ -661,6 +794,7 @@ impl<'a> Session<'a> {
                     let mut rows = Vec::new();
                     let mut oracle_args = vec![0i64; values.len()];
                     for e in self.a.universe() {
+                        self.guard.check(Phase::Materialize)?;
                         for (slot, v) in oracle_args.iter_mut().zip(&values) {
                             *slot = v.at(e);
                         }
@@ -744,7 +878,7 @@ impl<'a> Session<'a> {
         if let Formula::Bool(b) = &**f {
             return Ok(*b);
         }
-        match cl_normalform(f) {
+        match cl_normalform_guarded(f, &self.guard) {
             Ok(clnf) => {
                 let mut values: FxHashMap<Symbol, bool> = FxHashMap::default();
                 for sent in &clnf.sentences {
@@ -757,11 +891,19 @@ impl<'a> Session<'a> {
                 }
                 let resolved = clnf.resolve(&values);
                 let mut ev = NaiveEvaluator::new(&self.a, &self.ev.preds);
+                ev.set_guard(self.guard.clone());
                 Ok(ev.check_sentence(&resolved)?)
             }
-            Err(_) => {
+            Err(e) => {
+                let err: Error = e.into();
+                if !err.is_degradable() || self.strict() {
+                    return Err(err);
+                }
                 self.metrics.fallbacks.inc();
+                self.metrics.degrade_naive.inc();
+                self.root.record_text("degrade", format!("naive: {err}"));
                 let mut ev = NaiveEvaluator::new(&self.a, &self.ev.preds);
+                ev.set_guard(self.guard.clone());
                 Ok(ev.check_sentence(f)?)
             }
         }
@@ -808,13 +950,16 @@ impl<'a> Session<'a> {
         requested_free: Option<Var>,
     ) -> Result<Value> {
         let resolved = self.resolve_sentences(body)?;
+        if counted.is_empty() && x.is_none() {
+            // A constant 0/1 count: there is nothing to decompose, the
+            // reference evaluator folds it directly. Not a ladder step —
+            // this happens under either degradation policy.
+            self.metrics.fallbacks.inc();
+            return self.eval_count_naive(counted, &resolved, x);
+        }
         let span = self.root.handle().child("decompose", &[]);
         let t0 = Instant::now();
         let result = (|| -> foc_locality::Result<ClTerm> {
-            if counted.is_empty() && x.is_none() {
-                // Constant 0/1 handled below via fallback-free path.
-                return Err(foc_locality::LocalityError::NotLocal("empty count".into()));
-            }
             let mut vars: Vec<Var> = Vec::new();
             if let Some(x) = x {
                 vars.push(x);
@@ -826,9 +971,9 @@ impl<'a> Session<'a> {
                 locality_radius(&resolved)?
             };
             if x.is_some() {
-                decompose_unary_with_radius(&resolved, &vars, r)
+                decompose_unary_with_radius_guarded(&resolved, &vars, r, &self.guard)
             } else {
-                decompose_ground_with_radius(&resolved, &vars, r)
+                decompose_ground_with_radius_guarded(&resolved, &vars, r, &self.guard)
             }
         })();
         self.metrics
@@ -849,8 +994,14 @@ impl<'a> Session<'a> {
                 }
                 Ok(v)
             }
-            Err(_) => {
+            Err(e) => {
+                let err: Error = e.into();
+                if !err.is_degradable() || self.strict() {
+                    return Err(err);
+                }
                 self.metrics.fallbacks.inc();
+                self.metrics.degrade_naive.inc();
+                self.root.record_text("degrade", format!("naive: {err}"));
                 self.eval_count_naive(counted, &resolved, x)
             }
         }
@@ -867,6 +1018,7 @@ impl<'a> Session<'a> {
             body.clone(),
         ));
         let mut ev = NaiveEvaluator::new(&self.a, &self.ev.preds);
+        ev.set_guard(self.guard.clone());
         match x {
             None => {
                 let mut env = Assignment::new();
@@ -888,6 +1040,7 @@ impl<'a> Session<'a> {
     fn resolve_sentences(&mut self, body: &Arc<Formula>) -> Result<Arc<Formula>> {
         let mut current = body.clone();
         while let Some(sentence) = first_sentence_atom(&current) {
+            self.guard.check(Phase::Engine)?;
             let truth = self.eval_fo_sentence(&sentence)?;
             self.metrics.sentences.inc();
             current = replace_equal(&current, &sentence, truth);
@@ -951,14 +1104,7 @@ impl<'a> Session<'a> {
                 }
             }
             EngineKind::Local => {
-                let mut lev = LocalEvaluator::new(&self.a, &self.ev.preds);
-                lev.threads = self.ev.config.threads;
-                if let Some(cache) = &self.cache {
-                    lev.set_cache(cache.clone());
-                }
-                // The observer counts balls live (workers included), so
-                // nothing is folded from `lev.stats` here.
-                lev.set_observer(handle.clone());
+                let mut lev = self.local_evaluator(handle.clone());
                 Ok(lev.eval_clterm(cl)?)
             }
             EngineKind::Cover => {
@@ -970,6 +1116,8 @@ impl<'a> Session<'a> {
                         cev.set_cache(cache.clone());
                     }
                     cev.set_observer(handle.clone());
+                    cev.set_guard(self.guard.clone());
+                    cev.fault_panic_element = self.ev.fault_panic_element;
                     let r = cev.eval_clterm(cl);
                     (r, cev.stats())
                 };
@@ -985,11 +1133,76 @@ impl<'a> Session<'a> {
                     .peak_cluster
                     .set_max(u64::from(cs.peak_cluster));
                 self.metrics.phase_cover.add(cs.cover_nanos);
-                Ok(r?)
+                match r {
+                    Ok(v) => Ok(v),
+                    Err(e) => self.degrade_clterm(cl, e.into(), handle.clone()),
+                }
             }
         };
         self.metrics.phase_eval.add(t0.elapsed().as_nanos() as u64);
         drop(span);
         out
+    }
+
+    /// A ball-enumeration evaluator wired to the session (cache,
+    /// threads, observer, guard, fault injection).
+    fn local_evaluator(&self, handle: SpanHandle) -> LocalEvaluator<'_> {
+        let mut lev = LocalEvaluator::new(&self.a, &self.ev.preds);
+        lev.threads = self.ev.config.threads;
+        if let Some(cache) = &self.cache {
+            lev.set_cache(cache.clone());
+        }
+        // The observer counts balls live (workers included), so nothing
+        // is folded from `lev.stats` here.
+        lev.set_observer(handle);
+        lev.set_guard(self.guard.clone());
+        lev.fault_panic_element = self.ev.fault_panic_element;
+        lev
+    }
+
+    /// The cover engine's degradation ladder for one cl-term: retry with
+    /// ball enumeration, then with the reference evaluator. Only
+    /// capability errors walk down; under [`DegradePolicy::Strict`] the
+    /// original error surfaces instead.
+    fn degrade_clterm(&mut self, cl: &ClTerm, err: Error, handle: SpanHandle) -> Result<ClValue> {
+        if !err.is_degradable() || self.strict() {
+            return Err(err);
+        }
+        self.metrics.degrade_local.inc();
+        self.root.record_text("degrade", format!("local: {err}"));
+        let mut lev = self.local_evaluator(handle);
+        match lev.eval_clterm(cl) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                let err2: Error = e.into();
+                if !err2.is_degradable() || self.strict() {
+                    return Err(err2);
+                }
+                self.metrics.degrade_naive.inc();
+                self.metrics.fallbacks.inc();
+                self.root.record_text("degrade", format!("naive: {err2}"));
+                self.eval_clterm_reference(cl)
+            }
+        }
+    }
+
+    /// Reference-semantics evaluation of a decomposed cl-term (the final
+    /// rung of the ladder).
+    fn eval_clterm_reference(&mut self, cl: &ClTerm) -> Result<ClValue> {
+        let has_unary = cl.basics().iter().any(|b| b.unary);
+        if has_unary {
+            let mut out = Vec::with_capacity(self.a.order() as usize);
+            for e in self.a.universe() {
+                self.guard.check(Phase::Engine)?;
+                out.push(cl.eval_naive(&self.a, &self.ev.preds, Some(e))?);
+            }
+            Ok(ClValue::Vector(out))
+        } else {
+            Ok(ClValue::Scalar(cl.eval_naive(
+                &self.a,
+                &self.ev.preds,
+                None,
+            )?))
+        }
     }
 }

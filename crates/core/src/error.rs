@@ -18,6 +18,19 @@ pub enum Error {
     Unsupported(String),
     /// An invalid engine configuration rejected by [`crate::EvaluatorBuilder`].
     Config(String),
+    /// The evaluation was interrupted by its resource budget (deadline,
+    /// fuel, or cancellation; see [`foc_guard::Budget`]). The carried
+    /// [`foc_guard::Interrupt`] records the reason, the phase that was
+    /// running, and the fuel spent so far.
+    Interrupted(foc_guard::Interrupt),
+    /// A worker thread panicked; the panic was caught at the parallelism
+    /// boundary and the remaining workers were drained cleanly.
+    WorkerPanicked {
+        /// Rendered panic payload.
+        payload: String,
+        /// Index of the work item whose evaluation panicked.
+        item_index: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -28,6 +41,13 @@ impl fmt::Display for Error {
             Error::Locality(e) => write!(f, "{e}"),
             Error::Unsupported(s) => write!(f, "unsupported: {s}"),
             Error::Config(s) => write!(f, "invalid engine configuration: {s}"),
+            Error::Interrupted(i) => write!(f, "{i}"),
+            Error::WorkerPanicked {
+                payload,
+                item_index,
+            } => {
+                write!(f, "worker panicked on item {item_index}: {payload}")
+            }
         }
     }
 }
@@ -36,15 +56,50 @@ impl std::error::Error for Error {}
 
 impl From<foc_eval::EvalError> for Error {
     fn from(e: foc_eval::EvalError) -> Self {
-        Error::Eval(e)
+        match e {
+            foc_eval::EvalError::Interrupted(i) => Error::Interrupted(i),
+            other => Error::Eval(other),
+        }
     }
 }
 
 impl From<foc_locality::LocalityError> for Error {
     fn from(e: foc_locality::LocalityError) -> Self {
         match e {
-            foc_locality::LocalityError::Eval(inner) => Error::Eval(inner),
+            foc_locality::LocalityError::Eval(inner) => inner.into(),
+            foc_locality::LocalityError::WorkerPanicked {
+                payload,
+                item_index,
+            } => Error::WorkerPanicked {
+                payload,
+                item_index,
+            },
             other => Error::Locality(other),
+        }
+    }
+}
+
+impl From<foc_guard::Interrupt> for Error {
+    fn from(i: foc_guard::Interrupt) -> Self {
+        Error::Interrupted(i)
+    }
+}
+
+impl Error {
+    /// Whether the degradation ladder may step past this error to a
+    /// simpler engine. Only *capability* errors degrade — the query shape
+    /// is outside what the engine handles, but a weaker strategy can
+    /// still answer. Resource interrupts, worker panics, and semantic
+    /// evaluation errors never degrade: retrying them on another engine
+    /// would either repeat the failure or mask a fault.
+    pub fn is_degradable(&self) -> bool {
+        match self {
+            Error::Locality(e) => e.is_degradable(),
+            Error::NotFoc1(_) | Error::Unsupported(_) => true,
+            Error::Eval(_)
+            | Error::Config(_)
+            | Error::Interrupted(_)
+            | Error::WorkerPanicked { .. } => false,
         }
     }
 }

@@ -41,10 +41,11 @@ pub mod value;
 pub use aggregate::{AvgResult, SumAggregate, Weights};
 pub use dynamic::{EdgeUpdate, MaintainedTerm};
 pub use engine::{
-    EngineConfig, EngineKind, EngineStats, Evaluator, EvaluatorBuilder, MarkerDef, PhaseTimes,
-    Session,
+    DegradePolicy, EngineConfig, EngineKind, EngineStats, Evaluator, EvaluatorBuilder, MarkerDef,
+    PhaseTimes, Session,
 };
 pub use enumerate::QueryEnumerator;
 pub use error::{Error, Result};
 pub use foc_covers::CoverConfig;
+pub use foc_guard::{Budget, CancelToken, Interrupt, Phase, TripReason};
 pub use value::Value;

@@ -64,10 +64,12 @@ impl NeighborhoodCover {
         let mut worst = 0u32;
         for (cl, &c) in self.clusters.iter().zip(&self.centers) {
             for &e in cl {
-                let d = g
-                    .dist_bounded(c, e, 2 * self.r, &mut scratch)
-                    .expect("cluster member within 2r of its centre");
-                worst = worst.max(d);
+                // Every cluster member is within 2r of its centre by
+                // construction; a missing distance would be a cover bug,
+                // which `verify` reports separately.
+                if let Some(d) = g.dist_bounded(c, e, 2 * self.r, &mut scratch) {
+                    worst = worst.max(d);
+                }
             }
         }
         worst
@@ -101,10 +103,12 @@ pub fn build_cover(g: &Graph, r: u32) -> NeighborhoodCover {
     let mut ball = Vec::new();
     for a in 0..n {
         g.ball_into(&[a], r, &mut scratch, &mut ball);
-        let c = *ball
+        // The r-ball around `a` always contains `a` itself.
+        let c = ball
             .iter()
-            .min_by_key(|&&w| pos[w as usize])
-            .expect("balls are non-empty");
+            .copied()
+            .min_by_key(|&w| pos[w as usize])
+            .unwrap_or(a);
         let idx = *cluster_of_center.entry(c).or_insert_with(|| {
             let idx = clusters.len() as u32;
             let cluster = g.ball(&[c], 2 * r, &mut scratch);

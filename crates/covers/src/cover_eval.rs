@@ -40,6 +40,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use foc_eval::{Assignment, NaiveEvaluator};
+use foc_guard::{Guard, Phase};
 use foc_locality::cache::TermCache;
 use foc_locality::clterm::{BasicClTerm, ClTerm};
 use foc_locality::decompose::decompose_unary;
@@ -177,6 +178,13 @@ pub struct CoverEvaluator<'a> {
     cache: Option<Arc<TermCache>>,
     /// Optional observability hooks (see [`CoverObs`]).
     obs: Option<CoverObs>,
+    /// Cooperative resource guard; checked per cluster and inherited by
+    /// every nested ball-enumeration / reference evaluator.
+    guard: Guard,
+    /// Test-only fault injection, forwarded to the top-level ball
+    /// enumeration (see `LocalEvaluator::fault_panic_element`).
+    #[doc(hidden)]
+    pub fault_panic_element: Option<u32>,
 }
 
 impl<'a> CoverEvaluator<'a> {
@@ -190,6 +198,8 @@ impl<'a> CoverEvaluator<'a> {
             plans: Mutex::new(FxHashMap::default()),
             cache: None,
             obs: None,
+            guard: Guard::unlimited(),
+            fault_panic_element: None,
         }
     }
 
@@ -197,6 +207,12 @@ impl<'a> CoverEvaluator<'a> {
     /// evaluation at every recursion level.
     pub fn set_cache(&mut self, cache: Arc<TermCache>) {
         self.cache = Some(cache);
+    }
+
+    /// Installs a cooperative resource guard, shared with every nested
+    /// evaluator and parallel worker.
+    pub fn set_guard(&mut self, guard: Guard) {
+        self.guard = guard;
     }
 
     /// Attaches observability: spans for cover construction, per-cluster
@@ -291,11 +307,17 @@ impl<'a> CoverEvaluator<'a> {
         'a: 's,
     {
         let mut lev = LocalEvaluator::new(s, self.preds);
+        lev.set_guard(self.guard.clone());
         if let Some(cache) = &self.cache {
             lev.set_cache(cache.clone());
         }
         if let Some(p) = parent {
             lev.set_observer(p.clone());
+        }
+        // Fault injection targets original element ids, so it only makes
+        // sense on the top-level structure (clusters are renumbered).
+        if std::ptr::eq(s, self.a) {
+            lev.fault_panic_element = self.fault_panic_element;
         }
         lev
     }
@@ -309,6 +331,7 @@ impl<'a> CoverEvaluator<'a> {
         depth: u32,
         parent: Option<&SpanHandle>,
     ) -> Result<Vec<i64>> {
+        self.guard.check(Phase::Cover)?;
         if let Some(cache) = &self.cache {
             if let Some(vals) = cache.get(b, s) {
                 return Ok(vals.as_ref().clone());
@@ -337,7 +360,7 @@ impl<'a> CoverEvaluator<'a> {
             1
         };
         let radius = LocalEvaluator::exploration_radius(b);
-        let radius = u32::try_from(radius.min(u64::from(u32::MAX / 4))).expect("clamped");
+        let radius = u32::try_from(radius.min(u64::from(u32::MAX / 4))).unwrap_or(u32::MAX / 4);
         if depth == 0 || s.order() <= self.config.direct_threshold {
             self.stats.max_cluster(s.order());
             let mut lev = self.local_for(s, parent);
@@ -370,6 +393,7 @@ impl<'a> CoverEvaluator<'a> {
         // pairs for its own elements only, so writing them back in any
         // order reproduces the sequential result exactly.
         let eval_one = |idx: usize| -> Result<Vec<(u32, i64)>> {
+            self.guard.check(Phase::Cover)?;
             let cluster = &cover.clusters[idx];
             let q = &members[idx];
             if q.is_empty() {
@@ -406,9 +430,16 @@ impl<'a> CoverEvaluator<'a> {
 
         let idxs: Vec<usize> = (0..cover.clusters.len()).collect();
         let per_cluster: Vec<Vec<(u32, i64)>> = if threads <= 1 {
+            // Catch panics here too, so `threads = 1` gives the same
+            // structured fault as the parallel path.
             let mut acc = Vec::with_capacity(idxs.len());
             for &i in &idxs {
-                acc.push(eval_one(i)?);
+                let pairs = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| eval_one(i)))
+                    .map_err(|p| foc_locality::LocalityError::WorkerPanicked {
+                        payload: foc_parallel::panic_message(p.as_ref()),
+                        item_index: i,
+                    })??;
+                acc.push(pairs);
             }
             acc
         } else {
@@ -422,7 +453,12 @@ impl<'a> CoverEvaluator<'a> {
                 self.removal_plan(b);
             }
             let meter = self.obs.as_ref().map(|o| &o.meter);
-            foc_parallel::par_map_metered(&idxs, threads, meter, |_, &i| eval_one(i))?
+            foc_parallel::par_map_isolated(&idxs, threads, meter, |_, &i| eval_one(i)).map_err(
+                |fault| match fault {
+                    foc_parallel::Fault::Error(e) => e,
+                    foc_parallel::Fault::Panic(p) => p.into(),
+                },
+            )?
         };
 
         let mut out = vec![0i64; s.order() as usize];
@@ -438,7 +474,14 @@ impl<'a> CoverEvaluator<'a> {
     /// structural hash).
     fn removal_plan(&self, b: &Arc<BasicClTerm>) -> Arc<RemovalPlan> {
         let key = b.structural_hash();
-        if let Some(plan) = self.plans.lock().expect("plan cache poisoned").get(&key) {
+        // Worker panics are caught upstream and never hold this lock, but
+        // recover from poisoning anyway: the cache holds plain data.
+        if let Some(plan) = self
+            .plans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+        {
             return plan.clone();
         }
         let marker_r = max_dist_bound(&b.matrix()).max(1);
@@ -480,7 +523,7 @@ impl<'a> CoverEvaluator<'a> {
         // identical, so last-write-wins is fine.
         self.plans
             .lock()
-            .expect("plan cache poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .insert(key, plan.clone());
         plan
     }
@@ -493,6 +536,7 @@ impl<'a> CoverEvaluator<'a> {
         depth: u32,
         parent: Option<&SpanHandle>,
     ) -> Result<Vec<i64>> {
+        self.guard.check(Phase::Cover)?;
         if depth == 0
             || cluster.order() <= self.config.direct_threshold
             || cluster.order() > self.config.max_removal_cluster
@@ -501,11 +545,10 @@ impl<'a> CoverEvaluator<'a> {
             return lev.eval_basic_all(b);
         }
         let plan = self.removal_plan(b);
-        // Splitter's move: delete the hub of the cluster.
+        // Splitter's move: delete the hub of the cluster (clusters with an
+        // assigned element are never empty; default to 0 regardless).
         let g = cluster.gaifman();
-        let d = (0..g.n())
-            .max_by_key(|&v| g.degree(v))
-            .expect("non-empty cluster");
+        let d = (0..g.n()).max_by_key(|&v| g.degree(v)).unwrap_or(0);
         let removal_span = parent.map(|p| {
             p.child(
                 "removal",
@@ -530,7 +573,14 @@ impl<'a> CoverEvaluator<'a> {
         for (rc, cl) in &plan.when_d {
             let v = if rc.counted.is_empty() {
                 let mut ev = NaiveEvaluator::new(bprime, self.preds);
-                i64::from(ev.check_sentence(&rc.body).unwrap_or(false))
+                ev.set_guard(self.guard.clone());
+                // Sentences outside the validated fragment default to
+                // false, but a budget trip must still propagate.
+                match ev.check_sentence(&rc.body) {
+                    Ok(t) => i64::from(t),
+                    Err(foc_eval::EvalError::Interrupted(i)) => return Err(i.into()),
+                    Err(_) => 0,
+                }
             } else {
                 let vals = self.eval_component(bprime, cl.as_ref(), None, rc, depth - 1, parent)?;
                 let mut acc = 0i64;
@@ -579,6 +629,7 @@ impl<'a> CoverEvaluator<'a> {
             (None, Some(x)) if rc.counted.is_empty() => {
                 // Width-1: check the body per element.
                 let mut ev = NaiveEvaluator::new(s, self.preds);
+                ev.set_guard(self.guard.clone());
                 let mut out = Vec::with_capacity(s.order() as usize);
                 for a in s.universe() {
                     let mut env = Assignment::from_pairs([(x, a)]);
@@ -597,6 +648,7 @@ impl<'a> CoverEvaluator<'a> {
                             rc.body.clone(),
                         ));
                         let mut ev = NaiveEvaluator::new(s, self.preds);
+                        ev.set_guard(self.guard.clone());
                         let mut out = Vec::with_capacity(s.order() as usize);
                         for a in s.universe() {
                             let mut env = Assignment::from_pairs([(x, a)]);
@@ -610,6 +662,7 @@ impl<'a> CoverEvaluator<'a> {
                         let rest: Vec<Var> = rc.counted[1..].to_vec();
                         let term = Arc::new(Term::Count(rest.into_boxed_slice(), rc.body.clone()));
                         let mut ev = NaiveEvaluator::new(s, self.preds);
+                        ev.set_guard(self.guard.clone());
                         let mut out = Vec::with_capacity(s.order() as usize);
                         for a in s.universe() {
                             let mut env = Assignment::from_pairs([(x0, a)]);

@@ -16,6 +16,8 @@
 //!   Splitter's vertex, rewrite, recurse.
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cover;
 pub mod cover_eval;

@@ -30,9 +30,7 @@ pub struct MaxDegreeConnector;
 
 impl Connector for MaxDegreeConnector {
     fn pick(&mut self, g: &Graph) -> u32 {
-        (0..g.n())
-            .max_by_key(|&v| g.degree(v))
-            .expect("non-empty arena")
+        (0..g.n()).max_by_key(|&v| g.degree(v)).unwrap_or(0)
     }
 }
 
@@ -47,7 +45,7 @@ impl Connector for MaxBallConnector {
         let mut scratch = BfsScratch::new();
         (0..g.n())
             .max_by_key(|&v| g.ball(&[v], self.r, &mut scratch).len())
-            .expect("non-empty arena")
+            .unwrap_or(0)
     }
 }
 
@@ -68,11 +66,12 @@ impl<R: Rng> Connector for RandomConnector<R> {
 pub struct HubSplitter;
 
 impl Splitter for HubSplitter {
-    fn pick(&mut self, g: &Graph, _a: u32, ball: &[u32]) -> u32 {
-        *ball
-            .iter()
-            .max_by_key(|&&v| g.degree(v))
-            .expect("balls are non-empty")
+    fn pick(&mut self, g: &Graph, a: u32, ball: &[u32]) -> u32 {
+        // Balls always contain their own centre.
+        ball.iter()
+            .copied()
+            .max_by_key(|&v| g.degree(v))
+            .unwrap_or(a)
     }
 }
 

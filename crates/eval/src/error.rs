@@ -35,6 +35,9 @@ pub enum EvalError {
     DuplicateCountVariable(Var),
     /// Integer overflow in counting-term arithmetic.
     Overflow,
+    /// A resource budget (deadline, fuel, or cancellation) tripped while
+    /// evaluating; carries the phase and fuel accounting.
+    Interrupted(foc_guard::Interrupt),
 }
 
 impl fmt::Display for EvalError {
@@ -67,11 +70,18 @@ impl fmt::Display for EvalError {
                 write!(f, "counting tuple repeats variable {v}")
             }
             EvalError::Overflow => write!(f, "integer overflow in counting-term arithmetic"),
+            EvalError::Interrupted(i) => write!(f, "{i}"),
         }
     }
 }
 
 impl std::error::Error for EvalError {}
+
+impl From<foc_guard::Interrupt> for EvalError {
+    fn from(i: foc_guard::Interrupt) -> EvalError {
+        EvalError::Interrupted(i)
+    }
+}
 
 /// Result alias for evaluation.
 pub type Result<T> = std::result::Result<T, EvalError>;

@@ -14,6 +14,7 @@
 //! index lookups, which is what makes the SQL workloads of Example 5.3
 //! runnable at realistic sizes.
 
+use foc_guard::{Guard, Phase};
 use foc_logic::{Formula, Predicates, Term, Var};
 use foc_structures::{BfsScratch, FxHashMap, Structure};
 
@@ -85,6 +86,8 @@ pub struct NaiveEvaluator<'a> {
     /// Values of *closed* counting terms (no free variables): they do not
     /// depend on the assignment, so they are computed once per structure.
     ground_cache: FxHashMap<Term, i64>,
+    /// Cooperative resource guard; checked once per assignment tried.
+    guard: Guard,
     /// Work counters (reset with [`NaiveEvaluator::reset_stats`]).
     pub stats: EvalStats,
 }
@@ -98,8 +101,16 @@ impl<'a> NaiveEvaluator<'a> {
             preds,
             scratch: BfsScratch::new(),
             ground_cache: FxHashMap::default(),
+            guard: Guard::unlimited(),
             stats: EvalStats::default(),
         }
+    }
+
+    /// Installs a cooperative resource guard; it is checked once per
+    /// assignment tried, so deadline / fuel / cancellation budgets bound
+    /// the quantifier and counting enumerations.
+    pub fn set_guard(&mut self, guard: Guard) {
+        self.guard = guard;
     }
 
     /// The structure being evaluated against.
@@ -205,6 +216,7 @@ impl<'a> NaiveEvaluator<'a> {
                     match cands {
                         Candidates::List(vals) => {
                             for a in vals {
+                                self.guard.check(Phase::NaiveEval)?;
                                 self.stats.assignments_tried += 1;
                                 env.bind(*y, a);
                                 if self.formula(g, env)? {
@@ -214,6 +226,7 @@ impl<'a> NaiveEvaluator<'a> {
                         }
                         Candidates::Universe => {
                             for a in self.structure.universe() {
+                                self.guard.check(Phase::NaiveEval)?;
                                 self.stats.assignments_tried += 1;
                                 env.bind(*y, a);
                                 if self.formula(g, env)? {
@@ -231,6 +244,7 @@ impl<'a> NaiveEvaluator<'a> {
                 let prev = env.get(*y);
                 let result = (|| {
                     for a in self.structure.universe() {
+                        self.guard.check(Phase::NaiveEval)?;
                         self.stats.assignments_tried += 1;
                         env.bind(*y, a);
                         if !self.formula(g, env)? {
@@ -308,6 +322,7 @@ impl<'a> NaiveEvaluator<'a> {
             match cands {
                 Candidates::List(vals) => {
                     for a in vals {
+                        self.guard.check(Phase::NaiveEval)?;
                         self.stats.assignments_tried += 1;
                         env.bind(y, a);
                         acc = acc
@@ -317,6 +332,7 @@ impl<'a> NaiveEvaluator<'a> {
                 }
                 Candidates::Universe => {
                     for a in self.structure.universe() {
+                        self.guard.check(Phase::NaiveEval)?;
                         self.stats.assignments_tried += 1;
                         env.bind(y, a);
                         acc = acc
@@ -353,6 +369,7 @@ impl<'a> NaiveEvaluator<'a> {
                 Candidates::Universe => self.structure.universe().collect(),
             };
             for a in vals {
+                self.guard.check(Phase::NaiveEval)?;
                 self.stats.assignments_tried += 1;
                 env.bind(y, a);
                 cur.push(a);
@@ -662,6 +679,20 @@ mod tests {
         let f = and(dist_le(v("x"), v("y"), 2), not(eq(v("x"), v("y"))));
         // Each vertex has 4 vertices within distance 1..2 on an 8-cycle.
         assert_eq!(ev.count_satisfying(&f, &[v("x"), v("y")]).unwrap(), 32);
+    }
+
+    #[test]
+    fn fuel_budget_interrupts_enumeration() {
+        use foc_guard::{Budget, TripReason};
+        let s = clique(8);
+        let p = preds();
+        let mut ev = NaiveEvaluator::new(&s, &p);
+        ev.set_guard(Budget::unlimited().with_fuel(5).arm());
+        let f = parse_formula("forall x. exists y. E(x,y)").unwrap();
+        match ev.check_sentence(&f) {
+            Err(EvalError::Interrupted(i)) => assert_eq!(i.reason, TripReason::Fuel),
+            other => panic!("expected interruption, got {other:?}"),
+        }
     }
 
     #[test]

@@ -11,11 +11,12 @@
 
 use std::sync::Arc;
 
+use foc_guard::{Guard, Phase};
 use foc_logic::{Formula, Symbol, Var};
 use foc_structures::FxHashMap;
 
 use crate::clterm::ClTerm;
-use crate::decompose::decompose_ground;
+use crate::decompose::decompose_ground_guarded;
 use crate::error::{LocalityError, Result};
 use crate::gnf::gaifman_nf;
 use crate::radius::locality_radius;
@@ -53,9 +54,19 @@ impl ClNormalForm {
 
 /// Computes the cl-normalform of a separable FO⁺ formula.
 pub fn cl_normalform(f: &Arc<Formula>) -> Result<ClNormalForm> {
+    cl_normalform_guarded(f, &Guard::unlimited())
+}
+
+/// [`cl_normalform`] under a cooperative resource guard: the GNF rewrite
+/// and the per-sentence decompositions check the budget, so rewriting
+/// blow-ups (which Kuske & Schweikardt show can dominate evaluation) are
+/// bounded by the same deadline / fuel as everything else.
+pub fn cl_normalform_guarded(f: &Arc<Formula>, guard: &Guard) -> Result<ClNormalForm> {
+    guard.check(Phase::Rewrite)?;
     let g = gaifman_nf(f)?;
+    guard.check(Phase::Rewrite)?;
     let mut sentences = Vec::new();
-    let matrix = extract(&g, &mut sentences)?;
+    let matrix = extract(&g, &mut sentences, guard)?;
     let local_radius = max_local_radius(&matrix)?;
     Ok(ClNormalForm {
         matrix,
@@ -64,7 +75,8 @@ pub fn cl_normalform(f: &Arc<Formula>) -> Result<ClNormalForm> {
     })
 }
 
-fn extract(f: &Arc<Formula>, out: &mut Vec<ClnfSentence>) -> Result<Arc<Formula>> {
+fn extract(f: &Arc<Formula>, out: &mut Vec<ClnfSentence>, guard: &Guard) -> Result<Arc<Formula>> {
+    guard.check(Phase::Rewrite)?;
     // Replace maximal closed ∃-blocks.
     if f.free_vars().is_empty() && matches!(&**f, Formula::Exists(..)) {
         // Peel the quantifier block.
@@ -74,7 +86,7 @@ fn extract(f: &Arc<Formula>, out: &mut Vec<ClnfSentence>) -> Result<Arc<Formula>
             vars.push(*y);
             matrix = g;
         }
-        let term = decompose_ground(matrix, &vars)?;
+        let term = decompose_ground_guarded(matrix, &vars, guard)?;
         let marker = Var::fresh("Chi").symbol();
         out.push(ClnfSentence {
             marker,
@@ -90,15 +102,15 @@ fn extract(f: &Arc<Formula>, out: &mut Vec<ClnfSentence>) -> Result<Arc<Formula>
         Formula::Bool(_) | Formula::Eq(..) | Formula::Atom(_) | Formula::DistLe { .. } => {
             Ok(f.clone())
         }
-        Formula::Not(g) => Ok(Formula::not(extract(g, out)?)),
+        Formula::Not(g) => Ok(Formula::not(extract(g, out, guard)?)),
         Formula::And(gs) => Ok(Formula::and(
             gs.iter()
-                .map(|g| extract(g, out))
+                .map(|g| extract(g, out, guard))
                 .collect::<Result<Vec<_>>>()?,
         )),
         Formula::Or(gs) => Ok(Formula::or(
             gs.iter()
-                .map(|g| extract(g, out))
+                .map(|g| extract(g, out, guard))
                 .collect::<Result<Vec<_>>>()?,
         )),
         Formula::Exists(..) => {

@@ -14,6 +14,7 @@
 
 use std::sync::Arc;
 
+use foc_guard::{Guard, Phase};
 use foc_logic::{Formula, Var};
 use foc_structures::FxHashMap;
 
@@ -48,10 +49,29 @@ pub fn decompose_ground(psi: &Arc<Formula>, vars: &[Var]) -> Result<ClTerm> {
     decompose_ground_with_radius(psi, vars, r)
 }
 
+/// [`decompose_ground`] under a cooperative resource guard.
+pub fn decompose_ground_guarded(psi: &Arc<Formula>, vars: &[Var], guard: &Guard) -> Result<ClTerm> {
+    let r = body_radius(psi)?;
+    decompose_ground_with_radius_guarded(psi, vars, r, guard)
+}
+
 /// Like [`decompose_ground`] with an explicitly supplied radius (must be
 /// a valid locality radius for ψ).
 pub fn decompose_ground_with_radius(psi: &Arc<Formula>, vars: &[Var], r: u64) -> Result<ClTerm> {
-    decompose_sum(psi, vars, r, false, true)
+    decompose_sum(psi, vars, r, false, true, &Guard::unlimited())
+}
+
+/// [`decompose_ground_with_radius`] under a cooperative resource guard:
+/// the pattern enumeration and the Feferman–Vaught recursion check the
+/// budget, so a deadline / fuel limit bounds the rewriting itself (the
+/// normal-form computation can blow up long before evaluation starts).
+pub fn decompose_ground_with_radius_guarded(
+    psi: &Arc<Formula>,
+    vars: &[Var],
+    r: u64,
+    guard: &Guard,
+) -> Result<ClTerm> {
+    decompose_sum(psi, vars, r, false, true, guard)
 }
 
 /// Ablation variant of [`decompose_ground`] with forced-edge pruning
@@ -59,7 +79,7 @@ pub fn decompose_ground_with_radius(psi: &Arc<Formula>, vars: &[Var], r: u64) ->
 /// Used by experiment E11 to measure what the pruning buys.
 pub fn decompose_ground_unpruned(psi: &Arc<Formula>, vars: &[Var]) -> Result<ClTerm> {
     let r = body_radius(psi)?;
-    decompose_sum(psi, vars, r, false, false)
+    decompose_sum(psi, vars, r, false, false, &Guard::unlimited())
 }
 
 /// Decomposes a unary counting term `u(y₁) = #(y₂,…,y_k).ψ(ȳ)` (with
@@ -71,7 +91,17 @@ pub fn decompose_unary(psi: &Arc<Formula>, vars: &[Var]) -> Result<ClTerm> {
 
 /// Like [`decompose_unary`] with an explicitly supplied radius.
 pub fn decompose_unary_with_radius(psi: &Arc<Formula>, vars: &[Var], r: u64) -> Result<ClTerm> {
-    decompose_sum(psi, vars, r, true, true)
+    decompose_sum(psi, vars, r, true, true, &Guard::unlimited())
+}
+
+/// [`decompose_unary_with_radius`] under a cooperative resource guard.
+pub fn decompose_unary_with_radius_guarded(
+    psi: &Arc<Formula>,
+    vars: &[Var],
+    r: u64,
+    guard: &Guard,
+) -> Result<ClTerm> {
+    decompose_sum(psi, vars, r, true, true, guard)
 }
 
 fn body_radius(psi: &Arc<Formula>) -> Result<u64> {
@@ -99,6 +129,7 @@ fn decompose_sum(
     r: u64,
     unary: bool,
     prune: bool,
+    guard: &Guard,
 ) -> Result<ClTerm> {
     assert!(
         !vars.is_empty(),
@@ -133,6 +164,7 @@ fn decompose_sum(
     }
     let mut parts = Vec::new();
     for mask in 0usize..(1 << free_pairs.len()) {
+        guard.check(Phase::Decompose)?;
         let mut g = Gk::empty(k);
         for &(i, j) in &forced {
             g.set_edge(i, j, true);
@@ -142,7 +174,9 @@ fn decompose_sum(
                 g.set_edge(i, j, true);
             }
         }
-        parts.push(decompose_with_graph(psi, vars, &g, r, unary)?);
+        parts.push(decompose_with_graph_guarded(
+            psi, vars, &g, r, unary, guard,
+        )?);
     }
     Ok(ClTerm::add(parts))
 }
@@ -156,7 +190,20 @@ pub fn decompose_with_graph(
     r: u64,
     unary: bool,
 ) -> Result<ClTerm> {
+    decompose_with_graph_guarded(psi, vars, g, r, unary, &Guard::unlimited())
+}
+
+/// [`decompose_with_graph`] under a cooperative resource guard.
+fn decompose_with_graph_guarded(
+    psi: &Arc<Formula>,
+    vars: &[Var],
+    g: &Gk,
+    r: u64,
+    unary: bool,
+    guard: &Guard,
+) -> Result<ClTerm> {
     assert_eq!(vars.len(), g.k());
+    guard.check(Phase::Decompose)?;
     if matches!(&**psi, Formula::Bool(false)) {
         return Ok(ClTerm::Int(0));
     }
@@ -202,7 +249,8 @@ pub fn decompose_with_graph(
             d.side0.clone(),
         )?));
         // t″: the remaining components, ground, recursively decomposed.
-        let t_second = decompose_with_graph(&d.side1, &vars_second, &g_second, r, false)?;
+        let t_second =
+            decompose_with_graph_guarded(&d.side1, &vars_second, &g_second, r, false, guard)?;
 
         // Inclusion–exclusion over the graphs H that add cross edges:
         // their bodies are ϑ′ ∧ ϑ″ = (ψ′ ∧ δ_{G′}) ∧ (ψ″ ∧ δ_{G″}).
@@ -214,7 +262,9 @@ pub fn decompose_with_graph(
         ]);
         let mut correction = Vec::new();
         for h in g.cross_extensions(&vprime, &vsecond) {
-            correction.push(decompose_with_graph(&theta, vars, &h, r, unary)?);
+            correction.push(decompose_with_graph_guarded(
+                &theta, vars, &h, r, unary, guard,
+            )?);
         }
         total.push(ClTerm::sub(
             ClTerm::mul(vec![t_prime, t_second]),

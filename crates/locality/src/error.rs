@@ -21,6 +21,22 @@ pub enum LocalityError {
     NotFirstOrder(String),
     /// An evaluation step inside the rewriting failed.
     Eval(foc_eval::EvalError),
+    /// The requested Gaifman-graph pattern width exceeds the implemented
+    /// enumeration bound (G_k is only tabulated for small k).
+    WidthTooLarge {
+        /// The requested width.
+        width: usize,
+        /// The largest supported width.
+        max: usize,
+    },
+    /// A parallel worker panicked while evaluating an independent piece;
+    /// the panic was contained and the remaining workers joined.
+    WorkerPanicked {
+        /// The rendered panic payload.
+        payload: String,
+        /// The index of the work item that panicked.
+        item_index: usize,
+    },
 }
 
 impl fmt::Display for LocalityError {
@@ -30,6 +46,32 @@ impl fmt::Display for LocalityError {
             LocalityError::TooComplex(s) => write!(f, "decomposition too complex: {s}"),
             LocalityError::NotFirstOrder(s) => write!(f, "not a first-order (sub)formula: {s}"),
             LocalityError::Eval(e) => write!(f, "evaluation error during rewriting: {e}"),
+            LocalityError::WidthTooLarge { width, max } => {
+                write!(f, "pattern width {width} exceeds the supported bound {max}")
+            }
+            LocalityError::WorkerPanicked {
+                payload,
+                item_index,
+            } => {
+                write!(f, "worker panicked on item {item_index}: {payload}")
+            }
+        }
+    }
+}
+
+impl LocalityError {
+    /// Whether this is a *capability* error — the formula is outside what
+    /// the locality machinery handles, but a simpler strategy (naive
+    /// evaluation) can still answer. Evaluation errors, interrupts, and
+    /// worker panics are not degradable: retrying them elsewhere would
+    /// repeat the failure or mask a fault.
+    pub fn is_degradable(&self) -> bool {
+        match self {
+            LocalityError::NotLocal(_)
+            | LocalityError::TooComplex(_)
+            | LocalityError::NotFirstOrder(_)
+            | LocalityError::WidthTooLarge { .. } => true,
+            LocalityError::Eval(_) | LocalityError::WorkerPanicked { .. } => false,
         }
     }
 }
@@ -39,6 +81,21 @@ impl std::error::Error for LocalityError {}
 impl From<foc_eval::EvalError> for LocalityError {
     fn from(e: foc_eval::EvalError) -> Self {
         LocalityError::Eval(e)
+    }
+}
+
+impl From<foc_guard::Interrupt> for LocalityError {
+    fn from(i: foc_guard::Interrupt) -> Self {
+        LocalityError::Eval(foc_eval::EvalError::Interrupted(i))
+    }
+}
+
+impl From<foc_parallel::WorkerPanic> for LocalityError {
+    fn from(p: foc_parallel::WorkerPanic) -> Self {
+        LocalityError::WorkerPanicked {
+            payload: p.payload,
+            item_index: p.item_index,
+        }
     }
 }
 

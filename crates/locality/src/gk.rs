@@ -8,6 +8,12 @@ use std::sync::Arc;
 use foc_logic::build::{dist_gt, dist_le};
 use foc_logic::{Formula, Var};
 
+use crate::error::{LocalityError, Result};
+
+/// Largest tuple width for which `G_k` enumeration is supported; beyond
+/// this the `2^(k choose 2)` decomposition is astronomically large.
+pub const MAX_GK_WIDTH: usize = 6;
+
 /// An undirected graph on vertices `0..k`, stored as an upper-triangular
 /// bitset. `k ≤ 8` in practice (counting terms of width ≤ 8).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -64,18 +70,24 @@ impl Gk {
         self.bits[idx] = val;
     }
 
-    /// All graphs on `[k]` — `2^(k choose 2)` of them. Panics for `k > 6`
-    /// (beyond that the decomposition would be astronomically large
-    /// anyway).
-    pub fn enumerate(k: usize) -> Vec<Gk> {
-        assert!((1..=6).contains(&k), "G_k enumeration limited to k ≤ 6");
+    /// All graphs on `[k]` — `2^(k choose 2)` of them. Oversized widths
+    /// (`k > `[`MAX_GK_WIDTH`]) return [`LocalityError::WidthTooLarge`]
+    /// so the engine can degrade to the naive evaluator instead of
+    /// aborting.
+    pub fn enumerate(k: usize) -> Result<Vec<Gk>> {
+        if !(1..=MAX_GK_WIDTH).contains(&k) {
+            return Err(LocalityError::WidthTooLarge {
+                width: k,
+                max: MAX_GK_WIDTH,
+            });
+        }
         let m = k * (k - 1) / 2;
-        (0..(1usize << m))
+        Ok((0..(1usize << m))
             .map(|mask| {
                 let bits = (0..m).map(|b| mask & (1 << b) != 0).collect();
                 Gk { k, bits }
             })
-            .collect()
+            .collect())
     }
 
     /// Connected components as sorted vertex lists, ordered by minimum
@@ -211,10 +223,23 @@ mod tests {
 
     #[test]
     fn enumerate_counts() {
-        assert_eq!(Gk::enumerate(1).len(), 1);
-        assert_eq!(Gk::enumerate(2).len(), 2);
-        assert_eq!(Gk::enumerate(3).len(), 8);
-        assert_eq!(Gk::enumerate(4).len(), 64);
+        assert_eq!(Gk::enumerate(1).unwrap().len(), 1);
+        assert_eq!(Gk::enumerate(2).unwrap().len(), 2);
+        assert_eq!(Gk::enumerate(3).unwrap().len(), 8);
+        assert_eq!(Gk::enumerate(4).unwrap().len(), 64);
+    }
+
+    #[test]
+    fn enumerate_rejects_oversized_width_without_panicking() {
+        for k in [0usize, 7, 64] {
+            match Gk::enumerate(k) {
+                Err(LocalityError::WidthTooLarge { width, max }) => {
+                    assert_eq!(width, k);
+                    assert_eq!(max, MAX_GK_WIDTH);
+                }
+                other => panic!("expected WidthTooLarge for k={k}, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use std::sync::Arc;
 
 use foc_eval::{Assignment, NaiveEvaluator};
+use foc_guard::{Guard, Phase};
 use foc_logic::Predicates;
 use foc_obs::{names, pow2_buckets, Counter, Histogram, SpanHandle};
 use foc_parallel::ParMeter;
@@ -89,6 +90,13 @@ pub struct LocalEvaluator<'a> {
     cache: Option<Arc<TermCache>>,
     /// Optional observability handles (registry + span parent).
     obs: Option<LocalObs>,
+    /// Cooperative resource guard; checked per candidate during ball
+    /// enumeration and before each cache fill.
+    guard: Guard,
+    /// Test-only fault injection: panic while evaluating this element, to
+    /// exercise the panic-isolation path. Not part of the public API.
+    #[doc(hidden)]
+    pub fault_panic_element: Option<u32>,
     /// Work counters.
     pub stats: LocalStats,
 }
@@ -105,6 +113,8 @@ impl<'a> LocalEvaluator<'a> {
             threads: 1,
             cache: None,
             obs: None,
+            guard: Guard::unlimited(),
+            fault_panic_element: None,
             stats: LocalStats::default(),
         }
     }
@@ -113,6 +123,13 @@ impl<'a> LocalEvaluator<'a> {
     /// [`LocalEvaluator::eval_basic_all`].
     pub fn set_cache(&mut self, cache: Arc<TermCache>) {
         self.cache = Some(cache);
+    }
+
+    /// Installs a cooperative resource guard, shared with every inner
+    /// reference evaluator and every parallel worker this evaluator
+    /// spawns.
+    pub fn set_guard(&mut self, guard: Guard) {
+        self.guard = guard;
     }
 
     /// Attaches observability: ball counters and the ball-size histogram
@@ -169,10 +186,15 @@ impl<'a> LocalEvaluator<'a> {
     /// semantics, and the candidate-driven reference evaluator keeps that
     /// check neighbourhood-local for the separable fragment.
     pub fn eval_basic_at(&mut self, b: &BasicClTerm, a: u32) -> Result<i64> {
+        self.guard.check(Phase::BallEnum)?;
+        if self.fault_panic_element == Some(a) {
+            panic!("injected fault at element {a}");
+        }
         let k = b.width();
         if k == 1 {
             // Width-1 term: the count is 1 iff ψ holds at a.
             let mut ev = NaiveEvaluator::new(self.a, self.preds);
+            ev.set_guard(self.guard.clone());
             let mut env = Assignment::from_pairs([(b.vars[0], a)]);
             self.note_tuple();
             return Ok(if ev.check(&b.body, &mut env)? { 1 } else { 0 });
@@ -191,6 +213,7 @@ impl<'a> LocalEvaluator<'a> {
         let mut assigned: Vec<(usize, u32)> = vec![(0, a)]; // (graph node, value)
         let mut count: i64 = 0;
         let mut ev = NaiveEvaluator::new(self.a, self.preds);
+        ev.set_guard(self.guard.clone());
         self.backtrack(
             b,
             &order,
@@ -256,6 +279,7 @@ impl<'a> LocalEvaluator<'a> {
             }
         };
         'cand: for cand in candidates {
+            self.guard.check(Phase::BallEnum)?;
             // Check the δ-constraints against every assigned node.
             for &(m, val) in assigned.iter() {
                 let close = dist_maps
@@ -358,6 +382,7 @@ impl<'a> LocalEvaluator<'a> {
     /// attached [`TermCache`] and fans the per-element loop out over
     /// [`LocalEvaluator::threads`] workers.
     pub fn eval_basic_all(&mut self, b: &BasicClTerm) -> Result<Vec<i64>> {
+        self.guard.check(Phase::BallEnum)?;
         if let Some(cache) = self.cache.clone() {
             if let Some(vals) = cache.get(b, self.a) {
                 return Ok(vals.as_ref().clone());
@@ -391,8 +416,17 @@ impl<'a> LocalEvaluator<'a> {
         let mut out = vec![0i64; self.a.order() as usize];
         let threads = foc_parallel::resolve_threads(self.threads).min(elems.len().max(1));
         if threads <= 1 {
-            for a in elems {
-                out[a as usize] = self.eval_basic_at(b, a)?;
+            // Catch panics here too, so `threads = 1` gives the same
+            // structured fault as the parallel path.
+            for (i, a) in elems.into_iter().enumerate() {
+                let v = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.eval_basic_at(b, a)
+                }))
+                .map_err(|p| LocalityError::WorkerPanicked {
+                    payload: foc_parallel::panic_message(p.as_ref()),
+                    item_index: i,
+                })??;
+                out[a as usize] = v;
             }
             return Ok(out);
         }
@@ -401,18 +435,28 @@ impl<'a> LocalEvaluator<'a> {
         // written back under their element id and the counters summed,
         // making the result and the stats independent of scheduling.
         // Workers inherit the observer clone, so registry counters and
-        // the ball-size histogram see their events live.
+        // the ball-size histogram see their events live. A panicking
+        // worker is contained: the fan-out drains, every thread joins,
+        // and the panic surfaces as `WorkerPanicked`.
         let (a, preds) = (self.a, self.preds);
         let (cands, supp) = (self.use_atom_candidates, self.use_support);
         let obs = self.obs.clone();
         let meter = self.obs.as_ref().map(|o| o.meter.clone());
-        let results = foc_parallel::par_map_metered(&elems, threads, meter.as_ref(), |_, &e| {
+        let guard = self.guard.clone();
+        let fault = self.fault_panic_element;
+        let results = foc_parallel::par_map_isolated(&elems, threads, meter.as_ref(), |_, &e| {
             let mut worker = LocalEvaluator::new(a, preds);
             worker.use_atom_candidates = cands;
             worker.use_support = supp;
             worker.obs = obs.clone();
+            worker.guard = guard.clone();
+            worker.fault_panic_element = fault;
             let v = worker.eval_basic_at(b, e)?;
             Ok::<(i64, LocalStats), LocalityError>((v, worker.stats))
+        })
+        .map_err(|fault| match fault {
+            foc_parallel::Fault::Error(e) => e,
+            foc_parallel::Fault::Panic(p) => p.into(),
         })?;
         for (&e, (v, st)) in elems.iter().zip(results) {
             out[e as usize] = v;

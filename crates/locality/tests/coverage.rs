@@ -50,7 +50,7 @@ fn delta_formula_partitions_tuples() {
     for k in 1..=3usize {
         let vars: Vec<Var> = (0..k).map(|i| Var::new(&format!("dp{i}"))).collect();
         for r in [1u32, 3] {
-            let graphs = Gk::enumerate(k);
+            let graphs = Gk::enumerate(k).unwrap();
             let mut tuple = vec![0u32; k];
             let mut done = false;
             while !done {

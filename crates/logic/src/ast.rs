@@ -105,7 +105,7 @@ impl Formula {
         }
         match out.len() {
             0 => Arc::new(Formula::Bool(true)),
-            1 => out.pop().expect("len checked"),
+            1 => out.swap_remove(0),
             _ => Arc::new(Formula::And(out)),
         }
     }
@@ -123,7 +123,7 @@ impl Formula {
         }
         match out.len() {
             0 => Arc::new(Formula::Bool(false)),
-            1 => out.pop().expect("len checked"),
+            1 => out.swap_remove(0),
             _ => Arc::new(Formula::Or(out)),
         }
     }
@@ -253,7 +253,7 @@ impl Term {
             out.push(Arc::new(Term::Int(consts)));
         }
         if out.len() == 1 {
-            out.pop().expect("len checked")
+            out.swap_remove(0)
         } else {
             Arc::new(Term::Add(out))
         }
@@ -285,7 +285,7 @@ impl Term {
             out.push(Arc::new(Term::Int(consts)));
         }
         if out.len() == 1 {
-            out.pop().expect("len checked")
+            out.swap_remove(0)
         } else {
             Arc::new(Term::Mul(out))
         }

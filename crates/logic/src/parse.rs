@@ -23,6 +23,23 @@ use crate::ast::{Formula, Term};
 use crate::build;
 use crate::symbol::{Symbol, Var};
 
+/// The maximum nesting depth the parser accepts. Deeper inputs get a
+/// structured [`ParseErrorKind::TooDeep`] error instead of overflowing
+/// the stack (the parser is recursive-descent, so input depth is call
+/// depth). Sized so the deepest grammar cycle stays well inside a debug
+/// build's test-thread stack.
+pub const MAX_PARSE_DEPTH: usize = 256;
+
+/// What kind of failure a [`ParseError`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParseErrorKind {
+    /// Malformed input: an unexpected token or character.
+    #[default]
+    Syntax,
+    /// Well-formed but nested deeper than [`MAX_PARSE_DEPTH`].
+    TooDeep,
+}
+
 /// A parse error with a position (byte offset) and message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
@@ -30,6 +47,8 @@ pub struct ParseError {
     pub pos: usize,
     /// Human-readable description.
     pub msg: String,
+    /// The failure class.
+    pub kind: ParseErrorKind,
 }
 
 impl fmt::Display for ParseError {
@@ -84,6 +103,7 @@ struct Parser {
     toks: Vec<(usize, Tok)>,
     pos: usize,
     end: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -93,7 +113,30 @@ impl Parser {
             toks,
             pos: 0,
             end: input.len(),
+            depth: 0,
         })
+    }
+
+    /// Counts one level of recursive descent; trips at
+    /// [`MAX_PARSE_DEPTH`]. Every recursion cycle of the grammar passes
+    /// through [`Parser::unary`], [`Parser::term`] or
+    /// [`Parser::comparison`], which bracket themselves with this and
+    /// [`Parser::leave`]. The comparison cycle (`#(x). #(x). ...`) has
+    /// the largest stack frames, so it pays an extra level per round.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(ParseError {
+                pos: self.here(),
+                msg: format!("input nested deeper than {MAX_PARSE_DEPTH} levels"),
+                kind: ParseErrorKind::TooDeep,
+            });
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -116,6 +159,7 @@ impl Parser {
         Err(ParseError {
             pos: self.here(),
             msg: msg.into(),
+            kind: ParseErrorKind::Syntax,
         })
     }
 
@@ -143,7 +187,7 @@ impl Parser {
             parts.push(self.conjunction()?);
         }
         Ok(if parts.len() == 1 {
-            parts.pop().expect("nonempty")
+            parts.swap_remove(0)
         } else {
             Formula::or(parts)
         })
@@ -156,13 +200,20 @@ impl Parser {
             parts.push(self.unary()?);
         }
         Ok(if parts.len() == 1 {
-            parts.pop().expect("nonempty")
+            parts.swap_remove(0)
         } else {
             Formula::and(parts)
         })
     }
 
     fn unary(&mut self) -> Result<Arc<Formula>, ParseError> {
+        self.enter()?;
+        let r = self.unary_inner();
+        self.leave();
+        r
+    }
+
+    fn unary_inner(&mut self) -> Result<Arc<Formula>, ParseError> {
         match self.peek() {
             Some(Tok::Bang) => {
                 self.pos += 1;
@@ -298,9 +349,20 @@ impl Parser {
 
     /// A comparison between two operands, each a variable or a term.
     fn comparison(&mut self) -> Result<Arc<Formula>, ParseError> {
+        self.enter()?;
+        let r = self.comparison_inner();
+        self.leave();
+        r
+    }
+
+    fn comparison_inner(&mut self) -> Result<Arc<Formula>, ParseError> {
         let lhs = self.operand()?;
         let op = match self.peek() {
-            Some(t) if is_cmp(Some(t)) => self.bump().expect("peeked"),
+            Some(t) if is_cmp(Some(t)) => {
+                let t = t.clone();
+                self.pos += 1;
+                t
+            }
             _ => return self.err("expected a comparison operator"),
         };
         let rhs = self.operand()?;
@@ -335,6 +397,13 @@ impl Parser {
     }
 
     fn term(&mut self) -> Result<Arc<Term>, ParseError> {
+        self.enter()?;
+        let r = self.term_inner();
+        self.leave();
+        r
+    }
+
+    fn term_inner(&mut self) -> Result<Arc<Term>, ParseError> {
         let mut acc = vec![self.mul_term()?];
         loop {
             match self.peek() {
@@ -351,7 +420,7 @@ impl Parser {
             }
         }
         Ok(if acc.len() == 1 {
-            acc.pop().expect("nonempty")
+            acc.swap_remove(0)
         } else {
             Term::add(acc)
         })
@@ -364,7 +433,7 @@ impl Parser {
             acc.push(self.atomic_term()?);
         }
         Ok(if acc.len() == 1 {
-            acc.pop().expect("nonempty")
+            acc.swap_remove(0)
         } else {
             Term::mul(acc)
         })
@@ -537,6 +606,7 @@ fn tokenize(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                 let val: i64 = text.parse().map_err(|_| ParseError {
                     pos: start,
                     msg: format!("integer literal out of range: {text}"),
+                    kind: ParseErrorKind::Syntax,
                 })?;
                 out.push((start, Tok::Int(val)));
             }
@@ -556,6 +626,7 @@ fn tokenize(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                 return Err(ParseError {
                     pos: i,
                     msg: format!("unexpected character {other:?}"),
+                    kind: ParseErrorKind::Syntax,
                 })
             }
         }

@@ -40,11 +40,12 @@ fn interner() -> &'static Mutex<Interner> {
 impl Symbol {
     /// Interns `name`, returning the canonical symbol for it.
     pub fn new(name: &str) -> Symbol {
-        let mut int = interner().lock().expect("symbol interner poisoned");
+        let mut int = interner().lock().unwrap_or_else(|e| e.into_inner());
         if let Some(&id) = int.index.get(name) {
             return Symbol(id);
         }
-        let id = u32::try_from(int.names.len()).expect("interner overflow");
+        let id =
+            u32::try_from(int.names.len()).unwrap_or_else(|_| panic!("symbol interner overflow"));
         int.names.push(name.to_owned());
         int.index.insert(name.to_owned(), id);
         Symbol(id)
@@ -52,7 +53,7 @@ impl Symbol {
 
     /// The string this symbol was interned from.
     pub fn name(self) -> String {
-        let int = interner().lock().expect("symbol interner poisoned");
+        let int = interner().lock().unwrap_or_else(|e| e.into_inner());
         int.names[self.0 as usize].clone()
     }
 
@@ -74,7 +75,7 @@ impl Var {
     /// `hint` is a readable stem embedded in the generated name.
     pub fn fresh(hint: &str) -> Var {
         let counter = {
-            let mut int = interner().lock().expect("symbol interner poisoned");
+            let mut int = interner().lock().unwrap_or_else(|e| e.into_inner());
             int.fresh_counter += 1;
             int.fresh_counter
         };

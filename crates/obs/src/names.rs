@@ -16,6 +16,15 @@ pub const ENGINE_FALLBACKS: &str = "engine.naive_fallbacks";
 /// Closed subformulas resolved by recursive sentence evaluation.
 /// Counter.
 pub const ENGINE_SENTENCES: &str = "engine.sentences_resolved";
+/// Degradation-ladder steps from the cover engine down to ball
+/// enumeration. Counter.
+pub const ENGINE_DEGRADE_LOCAL: &str = "engine.degrade.local";
+/// Degradation-ladder steps from a decomposing engine down to the
+/// reference evaluator. Counter.
+pub const ENGINE_DEGRADE_NAIVE: &str = "engine.degrade.naive";
+/// Evaluations cut short by the resource budget (deadline, fuel, or
+/// cancellation). Counter.
+pub const ENGINE_INTERRUPTED: &str = "engine.interrupted";
 
 /// Cover clusters evaluated. Counter.
 pub const COVER_CLUSTERS: &str = "cover.clusters";

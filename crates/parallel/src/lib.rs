@@ -24,10 +24,50 @@
 
 #![warn(missing_docs)]
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use foc_obs::{names, pow2_buckets, Counter, Gauge, Histogram, Metrics};
+
+/// A panic caught inside a worker closure, reported as data instead of
+/// unwinding through (or aborting) the fan-out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// The panic payload, rendered to a string (`&str` / `String`
+    /// payloads verbatim, anything else a placeholder).
+    pub payload: String,
+    /// Index of the input item whose evaluation panicked.
+    pub item_index: usize,
+}
+
+/// A worker failure: either the closure's own error, or a caught panic.
+/// As with errors in [`par_map`], the *lowest-index* fault wins when
+/// several items fail, so the surfaced fault is scheduling-independent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault<E> {
+    /// The closure returned an error.
+    Error(E),
+    /// The closure panicked; the panic was caught and the remaining
+    /// workers drained cleanly.
+    Panic(WorkerPanic),
+}
+
+/// One result slot of the isolated fan-out: unfilled, or the item's
+/// outcome.
+type FaultSlot<R, E> = Mutex<Option<Result<R, Fault<E>>>>;
+
+/// Renders a panic payload (as captured by `catch_unwind`) to a string.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Metric handles for one fan-out site: items processed, batches
 /// claimed from the stealing cursor, the worker fan-out, and the
@@ -111,8 +151,51 @@ where
     E: Send,
     F: Fn(usize, &T) -> Result<R, E> + Sync,
 {
+    match par_map_isolated(items, threads, meter, f) {
+        Ok(v) => Ok(v),
+        Err(Fault::Error(e)) => Err(e),
+        // Callers of this entry point did not opt into panic containment;
+        // re-raise the (already joined) worker panic on the caller thread.
+        Err(Fault::Panic(p)) => std::panic::resume_unwind(Box::new(format!(
+            "worker panicked on item {}: {}",
+            p.item_index, p.payload
+        ))),
+    }
+}
+
+/// [`par_map_metered`] with **panic isolation**: a panic inside `f` is
+/// caught on the worker, the remaining items are still evaluated (the
+/// other workers drain cleanly and every thread is joined), and the
+/// panic surfaces to the caller as [`Fault::Panic`] carrying the payload
+/// and the item index. When several items fault, the lowest-index fault
+/// wins regardless of thread count.
+///
+/// With `threads <= 1` (or fewer than two items) this is the sequential
+/// left-to-right loop, including early exit at the first fault.
+pub fn par_map_isolated<T, R, E, F>(
+    items: &[T],
+    threads: usize,
+    meter: Option<&ParMeter>,
+    f: F,
+) -> Result<Vec<R>, Fault<E>>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
     let n = items.len();
     let threads = resolve_threads(threads).min(n.max(1));
+    let run = |i: usize, item: &T| -> Result<R, Fault<E>> {
+        match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(e)) => Err(Fault::Error(e)),
+            Err(payload) => Err(Fault::Panic(WorkerPanic {
+                payload: panic_message(payload.as_ref()),
+                item_index: i,
+            })),
+        }
+    };
     if threads <= 1 || n <= 1 {
         if let Some(m) = meter {
             m.items.add(n as u64);
@@ -122,7 +205,7 @@ where
                 m.batches_per_worker.observe(1);
             }
         }
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items.iter().enumerate().map(|(i, t)| run(i, t)).collect();
     }
     if let Some(m) = meter {
         m.items.add(n as u64);
@@ -133,7 +216,7 @@ where
     // that a skewed batch cannot serialise the tail.
     let batch = (n / (threads * 8)).max(1);
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<R, E>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<FaultSlot<R, E>> = (0..n).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -147,7 +230,9 @@ where
                     claimed += 1;
                     let end = (start + batch).min(n);
                     for (i, item) in items.iter().enumerate().take(end).skip(start) {
-                        *slots[i].lock().expect("result slot poisoned") = Some(f(i, item));
+                        // `run` never unwinds, so the slot lock cannot be
+                        // poisoned by a faulting item.
+                        *slots[i].lock().expect("result slot poisoned") = Some(run(i, item));
                     }
                 }
                 if let Some(m) = meter {
@@ -159,7 +244,7 @@ where
     });
 
     let mut out = Vec::with_capacity(n);
-    let mut first_err: Option<E> = None;
+    let mut first_err: Option<Fault<E>> = None;
     for slot in slots {
         let res = slot
             .into_inner()
@@ -266,6 +351,74 @@ mod tests {
         .unwrap();
         assert_eq!(meter1.items.get(), 257);
         assert_eq!(meter1.workers.get(), 1);
+    }
+
+    #[test]
+    fn panic_is_isolated_at_every_thread_count() {
+        let items: Vec<u32> = (0..64).collect();
+        for threads in [1, 2, 8] {
+            let got: Result<Vec<u32>, Fault<&str>> =
+                par_map_isolated(&items, threads, None, |_, &x| {
+                    if x == 13 {
+                        panic!("boom on {x}");
+                    }
+                    Ok(x)
+                });
+            match got {
+                Err(Fault::Panic(p)) => {
+                    assert_eq!(p.item_index, 13, "threads = {threads}");
+                    assert_eq!(p.payload, "boom on 13", "threads = {threads}");
+                }
+                other => panic!("expected caught panic at threads={threads}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lowest_index_fault_wins_across_panics_and_errors() {
+        let items: Vec<u32> = (0..100).collect();
+        for threads in [1, 4, 16] {
+            let got: Result<Vec<u32>, Fault<usize>> =
+                par_map_isolated(&items, threads, None, |i, &x| {
+                    if x == 20 {
+                        panic!("late panic");
+                    }
+                    if x == 5 {
+                        return Err(i);
+                    }
+                    Ok(x)
+                });
+            assert_eq!(got.unwrap_err(), Fault::Error(5), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_workers_drain_after_a_panic() {
+        // In the parallel path every claimed item is still evaluated after
+        // a panic — workers drain instead of tearing the fan-out down.
+        let ran = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..64).collect();
+        let got: Result<Vec<u32>, Fault<&str>> = par_map_isolated(&items, 8, None, |_, &x| {
+            ran.fetch_add(1, Ordering::SeqCst);
+            if x == 0 {
+                panic!("first item");
+            }
+            Ok(x)
+        });
+        assert!(matches!(got, Err(Fault::Panic(p)) if p.item_index == 0));
+        assert_eq!(ran.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn panic_message_renders_common_payloads() {
+        assert_eq!(
+            panic_message(&"static" as &(dyn std::any::Any + Send)),
+            "static"
+        );
+        let s: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(s.as_ref()), "owned");
+        let other: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(other.as_ref()), "non-string panic payload");
     }
 
     #[test]

@@ -84,11 +84,17 @@ pub fn parse_structure(input: &str) -> Result<Structure, FormatError> {
                 let Some((_, arity)) = declared.iter().find(|(n, _)| n == name) else {
                     return Err(err(format!("relation {name} used before declaration")));
                 };
-                let mut tuple = Vec::with_capacity(*arity);
+                // Grow with the actual tokens on the line, not the declared
+                // arity: a hostile header like `rel E 99999999999` must not
+                // translate into an arity-sized allocation.
+                let mut tuple = Vec::new();
                 for p in parts {
                     let e: u32 = p
                         .parse()
                         .map_err(|_| err(format!("element {p:?} is not an integer")))?;
+                    if e == u32::MAX {
+                        return Err(err(format!("element {e} is too large")));
+                    }
                     tuple.push(e);
                 }
                 if tuple.len() != *arity {

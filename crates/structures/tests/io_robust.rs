@@ -1,0 +1,120 @@
+//! Robustness tests for the structure text format: malformed files must
+//! come back as `Err(FormatError)`, never as a panic or an abort.
+
+use foc_structures::io::{parse_structure, write_structure};
+use proptest::prelude::*;
+
+#[test]
+fn truncated_directives_error() {
+    for input in ["rel", "rel E", "universe", "rel E two", "universe many"] {
+        let e = parse_structure(input).unwrap_err();
+        assert_eq!(e.line, 1, "input {input:?}");
+    }
+}
+
+#[test]
+fn undeclared_relation_errors() {
+    let e = parse_structure("E 0 1\n").unwrap_err();
+    assert!(e.to_string().contains("before declaration"));
+}
+
+#[test]
+fn wrong_arity_tuple_errors() {
+    let e = parse_structure("rel E 2\nE 0 1 2\n").unwrap_err();
+    assert_eq!(e.line, 2);
+    assert!(e.to_string().contains("arity"));
+}
+
+#[test]
+fn huge_declared_arity_does_not_allocate() {
+    // A hostile header declaring an absurd arity must not translate into
+    // an arity-sized allocation when the first tuple line arrives: the
+    // short tuple is a plain arity-mismatch error.
+    let e = parse_structure("rel E 99999999999\nE 0 1\n").unwrap_err();
+    assert_eq!(e.line, 2);
+    assert!(e.to_string().contains("arity"));
+}
+
+#[test]
+fn non_integer_elements_error() {
+    let e = parse_structure("rel E 2\nE zero one\n").unwrap_err();
+    assert_eq!(e.line, 2);
+    assert!(e.to_string().contains("not an integer"));
+}
+
+#[test]
+fn element_at_u32_max_errors() {
+    // u32::MAX would overflow the builder's `e + 1` universe bump.
+    let e = parse_structure("rel E 1\nE 4294967295\n").unwrap_err();
+    assert_eq!(e.line, 2);
+    assert!(e.to_string().contains("too large"));
+}
+
+#[test]
+fn universe_overflow_errors() {
+    assert!(parse_structure("universe 99999999999999999999\n").is_err());
+    assert!(parse_structure("universe -1\n").is_err());
+}
+
+#[test]
+fn garbage_text_errors() {
+    let e = parse_structure("this is not a structure file\n").unwrap_err();
+    assert_eq!(e.line, 1);
+}
+
+#[test]
+fn duplicate_declaration_errors() {
+    let e = parse_structure("rel E 2\nrel E 3\n").unwrap_err();
+    assert_eq!(e.line, 2);
+    assert!(e.to_string().contains("twice"));
+}
+
+/// Tokens the fuzzer assembles into candidate structure files.
+const SOUP: &[&str] = &[
+    "universe",
+    "rel",
+    "E",
+    "R",
+    "0",
+    "1",
+    "2",
+    "17",
+    "-1",
+    "4294967295",
+    "99999999999",
+    "x",
+    "#",
+    "# comment",
+    "\n",
+    "\n\n",
+];
+
+fn soup_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0..SOUP.len(), 0..30).prop_map(|idx| {
+        idx.into_iter()
+            .map(|i| SOUP[i])
+            .collect::<Vec<_>>()
+            .join(" ")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parse_structure_never_panics(input in soup_strategy()) {
+        // Any outcome is fine; crashing is not.
+        let _ = parse_structure(&input);
+    }
+
+    #[test]
+    fn parse_write_roundtrips(input in soup_strategy()) {
+        // When the soup happens to parse, serialising and re-parsing must
+        // reproduce the same universe and relations.
+        if let Ok(s) = parse_structure(&input) {
+            let s2 = parse_structure(&write_structure(&s)).unwrap();
+            prop_assert_eq!(s2.order(), s.order());
+            prop_assert_eq!(s2.size(), s.size());
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Fault-injection harness: budget exhaustion, cooperative
+//! cancellation, injected worker panics, and the degradation ladder,
+//! exercised end to end through the public engine API. Every fault must
+//! surface as a structured error — the process survives, the results
+//! are deterministic, and the session metrics record what happened.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use foc_core::{
+    Budget, CancelToken, DegradePolicy, EngineKind, Error, Evaluator, Phase, TripReason,
+};
+use foc_hardness::{string_encoding, string_formula};
+use foc_logic::parse::parse_formula;
+use foc_logic::Formula;
+use foc_structures::gen::{gnm, grid, path};
+use foc_structures::Structure;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A counting sentence that forces the decomposing engines through
+/// materialisation, rewriting and ball enumeration.
+fn counting_sentence() -> Arc<Formula> {
+    parse_formula("exists x. (#(y). E(x,y) = #(z). (#(w). E(z,w) = 2))").unwrap()
+}
+
+/// A sentence whose width-7 counting term exceeds the decomposition
+/// limits (`MAX_GK_WIDTH`/`MAX_FREE_PAIRS`), so the decomposing engines
+/// report a degradable capability error.
+fn wide_sentence() -> Arc<Formula> {
+    parse_formula("#(a,b,c,d,e,f,g). (a=a & b=b & c=c & d=d & e=e & f=f & g=g) >= 1").unwrap()
+}
+
+fn engine(kind: EngineKind) -> Evaluator {
+    Evaluator::builder().kind(kind).build().unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Budget exhaustion, layer by layer
+// ---------------------------------------------------------------------
+
+/// Runs `f` under a tiny fuel budget and returns the interrupt.
+fn exhaust(kind: EngineKind, fuel: u64, g: &Structure, f: &Arc<Formula>) -> foc_core::Interrupt {
+    let ev = Evaluator::builder().kind(kind).fuel(fuel).build().unwrap();
+    let mut session = ev.session(g);
+    let err = session.check_sentence(f).unwrap_err();
+    let stats = session.stats();
+    assert_eq!(stats.interrupted, 1, "metrics must record the interrupt");
+    match err {
+        Error::Interrupted(i) => {
+            assert_eq!(i.reason, TripReason::Fuel);
+            assert!(i.fuel_spent > fuel, "trip fires after the allowance");
+            i
+        }
+        other => panic!("expected Interrupted, got {other:?}"),
+    }
+}
+
+#[test]
+fn fuel_exhaustion_in_naive_evaluation() {
+    let g = grid(6, 6);
+    let i = exhaust(EngineKind::Naive, 3, &g, &counting_sentence());
+    assert_eq!(i.phase, Phase::NaiveEval);
+}
+
+#[test]
+fn fuel_exhaustion_in_decomposing_engines() {
+    let g = grid(6, 6);
+    let f = counting_sentence();
+    for kind in [EngineKind::Local, EngineKind::Cover] {
+        // A tiny allowance trips in the front of the pipeline…
+        let i = exhaust(kind, 2, &g, &f);
+        assert!(
+            !matches!(i.phase, Phase::NaiveEval),
+            "{kind:?} with 2 fuel tripped in {:?} — should not reach naive evaluation",
+            i.phase
+        );
+        // …and a mid-sized one deeper down. Either way it is the guard
+        // reporting, not a crash.
+        let i = exhaust(kind, 200, &g, &f);
+        assert!(i.fuel_spent > 200);
+    }
+}
+
+#[test]
+fn fuel_trips_are_deterministic() {
+    let g = grid(5, 5);
+    let f = counting_sentence();
+    let first = exhaust(EngineKind::Local, 50, &g, &f);
+    let second = exhaust(EngineKind::Local, 50, &g, &f);
+    assert_eq!(first.phase, second.phase);
+    assert_eq!(first.fuel_spent, second.fuel_spent);
+}
+
+#[test]
+fn pre_cancelled_token_stops_immediately() {
+    let token = CancelToken::new();
+    token.cancel();
+    let budget = Budget::default().with_cancel(token);
+    let ev = Evaluator::builder()
+        .kind(EngineKind::Local)
+        .budget(budget)
+        .build()
+        .unwrap();
+    let g = grid(4, 4);
+    match ev.check_sentence(&g, &counting_sentence()) {
+        Err(Error::Interrupted(i)) => {
+            assert_eq!(i.reason, TripReason::Cancelled);
+            assert_eq!(i.fuel_spent, 1, "the very first check observes it");
+        }
+        other => panic!("expected Interrupted, got {other:?}"),
+    }
+}
+
+#[test]
+fn deadline_interrupts_hard_query_promptly() {
+    // Theorem 4.3's string reduction produces genuinely hard FOC(P)
+    // sentences: without a budget this naive evaluation runs far past
+    // the 200ms deadline.
+    let mut rng = StdRng::seed_from_u64(4242);
+    let g = gnm(12, 30, &mut rng);
+    let enc = string_encoding(&g);
+    let phi = parse_formula("forall x. exists y. E(x,y)").unwrap();
+    let hard = string_formula(&phi);
+    let deadline = Duration::from_millis(200);
+    let ev = Evaluator::builder()
+        .kind(EngineKind::Naive)
+        .timeout(deadline)
+        .build()
+        .unwrap();
+    let t0 = Instant::now();
+    let r = ev.check_sentence(&enc.string, &hard);
+    let elapsed = t0.elapsed();
+    match r {
+        Err(Error::Interrupted(i)) => assert_eq!(i.reason, TripReason::Deadline),
+        other => panic!("expected a deadline interrupt, got {other:?}"),
+    }
+    assert!(
+        elapsed < deadline * 3,
+        "interrupt must fire near the deadline, took {elapsed:?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Panic isolation
+// ---------------------------------------------------------------------
+
+#[test]
+fn injected_panic_surfaces_as_worker_panicked() {
+    let f = counting_sentence();
+    for kind in [EngineKind::Local, EngineKind::Cover] {
+        // The cover engine renumbers cluster substructures, so the
+        // injection (which targets original element ids) fires on its
+        // top-level direct path — keep the structure small enough
+        // (≤ direct_threshold) to stay on it. The local engine
+        // enumerates original ids everywhere and takes a grid.
+        let g = match kind {
+            EngineKind::Cover => path(12),
+            _ => grid(6, 6),
+        };
+        for threads in [1usize, 2, 8] {
+            let ev = Evaluator::builder()
+                .kind(kind)
+                .threads(threads)
+                .fault_panic_element(Some(0))
+                .build()
+                .unwrap();
+            match ev.check_sentence(&g, &f) {
+                Err(Error::WorkerPanicked { payload, .. }) => {
+                    assert!(
+                        payload.contains("injected fault"),
+                        "{kind:?}/{threads}: payload {payload:?}"
+                    );
+                }
+                other => panic!("{kind:?}/{threads}: expected WorkerPanicked, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn panic_on_one_element_leaves_other_runs_unaffected() {
+    // After a faulted run the same evaluator configuration (minus the
+    // fault) still produces the reference answer: no poisoned global
+    // state survives the catch.
+    let g = grid(6, 6);
+    let f = counting_sentence();
+    let want = engine(EngineKind::Naive).check_sentence(&g, &f).unwrap();
+    let faulty = Evaluator::builder()
+        .kind(EngineKind::Local)
+        .threads(4)
+        .fault_panic_element(Some(3))
+        .build()
+        .unwrap();
+    assert!(matches!(
+        faulty.check_sentence(&g, &f),
+        Err(Error::WorkerPanicked { .. })
+    ));
+    let clean = Evaluator::builder()
+        .kind(EngineKind::Local)
+        .threads(4)
+        .build()
+        .unwrap();
+    assert_eq!(clean.check_sentence(&g, &f).unwrap(), want);
+}
+
+#[test]
+fn worker_panics_are_not_degradable() {
+    // The degradation ladder must not swallow a panic: FallThrough
+    // degrades capability errors only.
+    let g = grid(5, 5);
+    let ev = Evaluator::builder()
+        .kind(EngineKind::Local)
+        .degrade(DegradePolicy::FallThrough)
+        .fault_panic_element(Some(0))
+        .build()
+        .unwrap();
+    assert!(matches!(
+        ev.check_sentence(&g, &counting_sentence()),
+        Err(Error::WorkerPanicked { .. })
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Degradation ladder
+// ---------------------------------------------------------------------
+
+#[test]
+fn fall_through_degrades_wide_count_to_naive() {
+    let g = path(3);
+    let f = wide_sentence();
+    let want = engine(EngineKind::Naive).check_sentence(&g, &f).unwrap();
+    assert!(want, "3^7 tuples certainly exceed 1");
+    for kind in [EngineKind::Local, EngineKind::Cover] {
+        let ev = Evaluator::builder()
+            .kind(kind)
+            .degrade(DegradePolicy::FallThrough)
+            .build()
+            .unwrap();
+        let mut session = ev.session(&g);
+        assert_eq!(session.check_sentence(&f).unwrap(), want, "{kind:?}");
+        let stats = session.stats();
+        assert_eq!(stats.degrade_naive, 1, "{kind:?}: exactly one ladder step");
+        assert_eq!(stats.degrade_local, 0, "{kind:?}: no cover→local step");
+        assert_eq!(stats.naive_fallbacks, 1, "{kind:?}");
+        assert_eq!(stats.interrupted, 0, "{kind:?}");
+    }
+}
+
+#[test]
+fn strict_policy_surfaces_capability_errors() {
+    let g = path(3);
+    let ev = Evaluator::builder()
+        .kind(EngineKind::Local)
+        .degrade(DegradePolicy::Strict)
+        .build()
+        .unwrap();
+    let mut session = ev.session(&g);
+    let err = session.check_sentence(&wide_sentence()).unwrap_err();
+    assert!(err.is_degradable(), "a capability error: {err}");
+    assert!(matches!(err, Error::Locality(_)));
+    let stats = session.stats();
+    assert_eq!(stats.degrade_naive, 0);
+    assert_eq!(stats.degrade_local, 0);
+}
+
+#[test]
+fn degraded_answer_matches_naive_on_counts() {
+    let g = path(3);
+    let f = parse_formula("#(a,b,c,d,e,f,g). (a=b | c=d | e=f | f=g) >= 1").unwrap();
+    let want = engine(EngineKind::Naive).check_sentence(&g, &f).unwrap();
+    let ev = Evaluator::builder()
+        .kind(EngineKind::Cover)
+        .degrade(DegradePolicy::FallThrough)
+        .build()
+        .unwrap();
+    assert_eq!(ev.check_sentence(&g, &f).unwrap(), want);
+}
+
+// ---------------------------------------------------------------------
+// Overflow containment
+// ---------------------------------------------------------------------
+
+#[test]
+fn arithmetic_overflow_is_structured_in_every_engine() {
+    // i64::MAX * |A| overflows as soon as |A| ≥ 2; all engines must
+    // report the same structured EvalError instead of wrapping or
+    // panicking.
+    let g = path(4);
+    let f = parse_formula("9223372036854775807 * #(x). x = x >= 1").unwrap();
+    for kind in [EngineKind::Naive, EngineKind::Local, EngineKind::Cover] {
+        let err = engine(kind).check_sentence(&g, &f).unwrap_err();
+        match err {
+            Error::Eval(e) => {
+                assert_eq!(e, foc_eval::EvalError::Overflow, "{kind:?}")
+            }
+            other => panic!("{kind:?}: expected Eval(Overflow), got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn overflow_is_not_degradable() {
+    // A semantic error must not trigger the ladder: degrading would
+    // re-run the same arithmetic and hide the root cause.
+    let g = path(4);
+    let f = parse_formula("9223372036854775807 * #(x). x = x >= 1").unwrap();
+    let ev = Evaluator::builder()
+        .kind(EngineKind::Cover)
+        .degrade(DegradePolicy::FallThrough)
+        .build()
+        .unwrap();
+    let err = ev.check_sentence(&g, &f).unwrap_err();
+    assert!(!err.is_degradable());
+    assert!(matches!(err, Error::Eval(foc_eval::EvalError::Overflow)));
+}
