@@ -8,7 +8,15 @@
 //! foc stats   <structure.foc> [--cover-r N]
 //! foc gen     <class> --n N [--seed S] [-o out.foc]
 //!     classes: tree, grid, path, cycle, star, clique, deg3, gnm
+//! foc fuzz    [--seed S] [--budget 30s | --iters N] [--corpus DIR] [--replay]
 //! ```
+//!
+//! `foc fuzz` runs the cross-engine differential harness (`foc-diff`):
+//! random FOC1(P) queries on random structures, evaluated under the
+//! whole engine matrix, with metamorphic checks, shrinking, and a
+//! replayable corpus. The run is deterministic for a fixed seed — a
+//! `--budget` is a fixed iteration quota, not a wall-clock deadline —
+//! and exits 1 when any divergence is found.
 //!
 //! Every evaluation subcommand also accepts `--trace` (stream finished
 //! spans to stderr), `--profile` (print the per-phase wall-time table),
@@ -108,6 +116,8 @@ usage:
   foc explain <structure.foc> \"<sentence or ground term>\" [--engine ...] [options]
   foc stats   <structure.foc> [--cover-r N]
   foc gen     <tree|grid|path|cycle|star|clique|deg3|gnm> --n N [--seed S] [-o out.foc]
+  foc fuzz    [--seed S] [--budget 30s | --iters N] [--corpus DIR] [--replay]
+              [--max-order N] [--no-shrink] [--no-meta] [--metrics-json <path>]
 
 options:
   --engine naive|local|cover   evaluation strategy (default: local)
@@ -128,7 +138,14 @@ options:
                                degrading down the engine ladder";
 
 /// Flags that take no value (everything else consumes the next arg).
-const BOOL_FLAGS: &[&str] = &["--trace", "--profile", "--strict"];
+const BOOL_FLAGS: &[&str] = &[
+    "--trace",
+    "--profile",
+    "--strict",
+    "--replay",
+    "--no-shrink",
+    "--no-meta",
+];
 
 fn run(args: &[String]) -> CliResult {
     let Some(cmd) = args.first() else {
@@ -142,6 +159,7 @@ fn run(args: &[String]) -> CliResult {
         "explain" => cmd_explain(rest),
         "stats" => cmd_stats(rest),
         "gen" => cmd_gen(rest),
+        "fuzz" => cmd_fuzz(rest),
         other => Err(CliError::usage(format!("unknown subcommand {other:?}"))),
     }
 }
@@ -509,6 +527,84 @@ fn cmd_gen(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// `foc fuzz`: the cross-engine differential harness. Fuzzes when given
+/// a budget/iteration count; replays the persisted corpus with
+/// `--replay`. Stdout is deterministic for a fixed seed; any divergence
+/// exits 1.
+fn cmd_fuzz(args: &[String]) -> CliResult {
+    let seed: u64 = flag_value(args, "--seed")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| CliError::usage("--seed needs an integer"))?;
+    let iters: Option<u64> = match flag_value(args, "--iters") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| CliError::usage("--iters needs an integer"))?,
+        ),
+        None => None,
+    };
+    let budget_secs: Option<u64> = match flag_value(args, "--budget") {
+        Some(v) => Some(
+            v.strip_suffix('s')
+                .unwrap_or(v)
+                .parse()
+                .map_err(|_| CliError::usage(format!("invalid --budget {v:?} (try 30s)")))?,
+        ),
+        None => None,
+    };
+    let mut gen = foc_diff::GenConfig::default();
+    if let Some(v) = flag_value(args, "--max-order") {
+        gen.max_order = v
+            .parse()
+            .map_err(|_| CliError::usage("--max-order needs an integer"))?;
+    }
+    // Test-only hook (deliberately undocumented in the usage text): flip
+    // the local engine's sentence verdicts on structures of order >= K,
+    // to validate the catch -> shrink -> replay pipeline end to end.
+    let mut injection = foc_diff::BugInjection::default();
+    if let Some(v) = flag_value(args, "--inject-flip-local") {
+        injection.flip_local_sentence_min_order = Some(
+            v.parse()
+                .map_err(|_| CliError::usage("--inject-flip-local needs an integer"))?,
+        );
+    }
+    let cfg = foc_diff::FuzzConfig {
+        seed,
+        iters,
+        budget_secs,
+        gen,
+        corpus_dir: flag_value(args, "--corpus").map(std::path::PathBuf::from),
+        injection,
+        metamorphic: !has_flag(args, "--no-meta"),
+        shrink: !has_flag(args, "--no-shrink"),
+    };
+    let metrics = foc_obs::Metrics::new();
+    let mut stdout = std::io::stdout().lock();
+    let report = if has_flag(args, "--replay") {
+        if cfg.corpus_dir.is_none() {
+            return Err(CliError::usage("--replay needs --corpus <dir>"));
+        }
+        foc_diff::replay(&cfg, &metrics, &mut stdout)
+    } else {
+        foc_diff::fuzz(&cfg, &metrics, &mut stdout)
+    };
+    drop(stdout);
+    if let Some(path) = flag_value(args, "--metrics-json") {
+        let json = session_json("fuzz", &[], &metrics.snapshot(), &[]);
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if report.clean() {
+        Ok(())
+    } else {
+        Err(CliError::Runtime(format!(
+            "{} divergence(s) across {} case(s)",
+            report.found.len(),
+            report.cases
+        )))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -646,6 +742,69 @@ mod tests {
         // `--strict` with a boolean-flag position must not eat positionals.
         let r = run(&argv(&[
             "check", &pstr, "--strict", "true", "--fuel", "1000000",
+        ]));
+        assert!(r.is_ok(), "got {r:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fuzz_clean_run_and_usage_errors() {
+        assert!(run(&argv(&[
+            "fuzz",
+            "--seed",
+            "1",
+            "--iters",
+            "15",
+            "--no-meta"
+        ]))
+        .is_ok());
+        assert!(matches!(
+            run(&argv(&["fuzz", "--replay"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&argv(&["fuzz", "--budget", "abc"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn fuzz_injected_bug_diverges_then_replays_clean_once_fixed() {
+        let dir = std::env::temp_dir().join(format!("foc-cli-fuzz-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let corpus = dir.to_str().unwrap().to_string();
+        // The injected flip must be caught and exit as a runtime error.
+        let r = run(&argv(&[
+            "fuzz",
+            "--seed",
+            "5",
+            "--iters",
+            "20",
+            "--no-meta",
+            "--corpus",
+            &corpus,
+            "--inject-flip-local",
+            "3",
+        ]));
+        assert!(matches!(r, Err(CliError::Runtime(_))), "got {r:?}");
+        // Replaying the persisted corpus with the bug still present fails…
+        let r = run(&argv(&[
+            "fuzz",
+            "--replay",
+            "--corpus",
+            &corpus,
+            "--no-meta",
+            "--inject-flip-local",
+            "3",
+        ]));
+        assert!(matches!(r, Err(CliError::Runtime(_))), "got {r:?}");
+        // …and passes once the bug is gone.
+        let r = run(&argv(&[
+            "fuzz",
+            "--replay",
+            "--corpus",
+            &corpus,
+            "--no-meta",
         ]));
         assert!(r.is_ok(), "got {r:?}");
         std::fs::remove_dir_all(&dir).ok();

@@ -44,6 +44,21 @@ use foc_structures::{FxHashMap, RelDecl, Structure};
 use crate::error::{Error, Result};
 use crate::value::Value;
 
+/// Validates a caller-supplied parameter tuple against the universe:
+/// out-of-range ids surface as a typed error instead of a downstream
+/// panic in the free-variable elimination.
+fn validate_tuple(a: &Structure, tuple: &[u32]) -> Result<()> {
+    for &e in tuple {
+        if e >= a.order() {
+            return Err(Error::Eval(foc_eval::EvalError::ElementOutOfRange {
+                element: e,
+                order: a.order(),
+            }));
+        }
+    }
+    Ok(())
+}
+
 /// Which evaluation strategy to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineKind {
@@ -447,6 +462,7 @@ impl Evaluator {
         vars: &[Var],
         tuple: &[u32],
     ) -> Result<bool> {
+        validate_tuple(a, tuple)?;
         let elim = FreeVarElim::new(vars);
         let sentence = elim.sentence(f);
         let expanded = elim.expand(a, tuple);
@@ -461,6 +477,7 @@ impl Evaluator {
         vars: &[Var],
         tuple: &[u32],
     ) -> Result<i64> {
+        validate_tuple(a, tuple)?;
         let elim = FreeVarElim::new(vars);
         let ground = elim.ground_term(t);
         let expanded = elim.expand(a, tuple);
@@ -733,7 +750,10 @@ impl<'a> Session<'a> {
             if ev.check(&body_fo, &mut env)? {
                 rows.push(QueryRow {
                     elems: vec![e],
-                    counts: term_values.iter().map(|v| v.at(e)).collect(),
+                    counts: term_values
+                        .iter()
+                        .map(|v| v.at(e))
+                        .collect::<Result<Vec<_>>>()?,
                 });
             }
         }
@@ -796,7 +816,7 @@ impl<'a> Session<'a> {
                     for e in self.a.universe() {
                         self.guard.check(Phase::Materialize)?;
                         for (slot, v) in oracle_args.iter_mut().zip(&values) {
-                            *slot = v.at(e);
+                            *slot = v.at(e)?;
                         }
                         let holds = self
                             .ev

@@ -54,7 +54,13 @@ impl Iterator for QueryEnumerator {
         self.next += 1;
         Some(QueryRow {
             elems: vec![e],
-            counts: self.term_values.iter().map(|v| v.at(e)).collect(),
+            counts: self
+                .term_values
+                .iter()
+                // `e` comes from the satisfying-element index, built over
+                // the same universe as every term vector.
+                .map(|v| v.at(e).expect("index elements are in range"))
+                .collect(),
         })
     }
 

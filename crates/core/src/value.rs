@@ -14,11 +14,18 @@ pub enum Value {
 }
 
 impl Value {
-    /// The value at element `a` (broadcasting scalars).
-    pub fn at(&self, a: u32) -> i64 {
+    /// The value at element `a` (broadcasting scalars). An element id
+    /// beyond the vector's universe is a typed error, not a panic —
+    /// callers may pass through ids supplied from outside the engine.
+    pub fn at(&self, a: u32) -> Result<i64> {
         match self {
-            Value::Scalar(s) => *s,
-            Value::Vector(v) => v[a as usize],
+            Value::Scalar(s) => Ok(*s),
+            Value::Vector(v) => v.get(a as usize).copied().ok_or(Error::Eval(
+                foc_eval::EvalError::ElementOutOfRange {
+                    element: a,
+                    order: v.len() as u32,
+                },
+            )),
         }
     }
 
@@ -81,8 +88,20 @@ mod tests {
         assert_eq!(sum, Value::Vector(vec![11, 12, 13]));
         let prod = v.clone().mul(Value::Vector(vec![2, 2, 2])).unwrap();
         assert_eq!(prod, Value::Vector(vec![2, 4, 6]));
-        assert_eq!(v.at(2), 3);
-        assert_eq!(Value::Scalar(7).at(99), 7);
+        assert_eq!(v.at(2).unwrap(), 3);
+        assert_eq!(Value::Scalar(7).at(99).unwrap(), 7);
+    }
+
+    #[test]
+    fn out_of_range_element_is_a_typed_error() {
+        let v = Value::Vector(vec![1, 2, 3]);
+        assert!(matches!(
+            v.at(3),
+            Err(Error::Eval(foc_eval::EvalError::ElementOutOfRange {
+                element: 3,
+                order: 3
+            }))
+        ));
     }
 
     #[test]

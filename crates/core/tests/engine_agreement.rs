@@ -241,6 +241,36 @@ fn term_evaluation_with_parameters() {
 }
 
 #[test]
+fn out_of_range_parameters_error_instead_of_panicking() {
+    // Caller-supplied tuples are untrusted: an element id beyond the
+    // universe must come back as a typed error through every public
+    // parameterised entry point, on every engine.
+    let x = v("x");
+    let y = v("y");
+    let phi = teq(cnt_vec(vec![y], atom("E", [x, y])), int(1));
+    let t = cnt_vec(vec![y], atom("E", [x, y]));
+    let s = path(5);
+    for ev in engines() {
+        for bad in [5u32, 6, u32::MAX] {
+            assert!(matches!(
+                ev.check(&s, &phi, &[x], &[bad]),
+                Err(foc_core::Error::Eval(
+                    foc_eval::EvalError::ElementOutOfRange { element, order: 5 }
+                )) if element == bad
+            ));
+            assert!(matches!(
+                ev.eval_term_at(&s, &t, &[x], &[bad]),
+                Err(foc_core::Error::Eval(
+                    foc_eval::EvalError::ElementOutOfRange { .. }
+                ))
+            ));
+        }
+        // In-range parameters still work.
+        assert!(ev.check(&s, &phi, &[x], &[0]).is_ok());
+    }
+}
+
+#[test]
 fn non_foc1_is_rejected_by_decomposing_engines() {
     // ψ_E-style guard over two free variables: FOC(P) ∖ FOC1(P).
     let x = v("x");
@@ -270,6 +300,44 @@ fn non_foc1_is_rejected_by_decomposing_engines() {
     let p = foc_logic::Predicates::standard();
     let mut ev = foc_eval::NaiveEvaluator::new(&s, &p);
     assert!(ev.check_sentence(&f).unwrap());
+}
+
+#[test]
+fn huge_distance_bound_degrades_instead_of_truncating() {
+    // dist(x,y) ≤ u32::MAX yields r = 2^31, so 2r+1 no longer fits the
+    // δ-formula's u32 bound. The decomposing engines must refuse (a
+    // truncated bound would change the counted set) and, under the
+    // default FallThrough policy, answer through the naive engine.
+    let t = parse_term("#(x,y). (dist(x,y) <= 4294967295 & !(x = y))").unwrap();
+    let naive = Evaluator::builder()
+        .kind(EngineKind::Naive)
+        .build()
+        .unwrap();
+    for s in structures() {
+        let want = naive.eval_ground(&s, &t).unwrap();
+        for kind in [EngineKind::Local, EngineKind::Cover] {
+            let ev = Evaluator::builder().kind(kind).build().unwrap();
+            assert_eq!(
+                ev.eval_ground(&s, &t).unwrap(),
+                want,
+                "{kind:?} must degrade to the reference answer (order {})",
+                s.order()
+            );
+        }
+    }
+    // Under Strict the capability error surfaces as RadiusTooLarge.
+    let strict = Evaluator::builder()
+        .kind(EngineKind::Local)
+        .degrade(foc_core::DegradePolicy::Strict)
+        .build()
+        .unwrap();
+    let s = path(6);
+    assert!(matches!(
+        strict.eval_ground(&s, &t),
+        Err(foc_core::Error::Locality(
+            foc_locality::LocalityError::RadiusTooLarge { .. }
+        ))
+    ));
 }
 
 #[test]

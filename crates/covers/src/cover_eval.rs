@@ -159,6 +159,10 @@ impl SharedStats {
     }
 }
 
+/// One hash bucket of the removal-plan cache: every basic cl-term whose
+/// structural hash landed here, paired with its computed plan.
+type PlanBucket = Vec<(BasicClTerm, Arc<RemovalPlan>)>;
+
 /// Evaluates cl-terms with the cover + removal strategy of Section 8.2.
 ///
 /// All evaluation methods take `&self`: the evaluator's mutable state
@@ -171,9 +175,11 @@ pub struct CoverEvaluator<'a> {
     pub config: CoverConfig,
     /// Work counters (atomic; snapshot via [`CoverEvaluator::stats`]).
     stats: SharedStats,
-    /// Removal plans per basic cl-term, keyed by structural hash so a
-    /// plan computed for one `Arc` is reused by every equal term.
-    plans: Mutex<FxHashMap<u64, Arc<RemovalPlan>>>,
+    /// Removal plans per basic cl-term: hash-bucketed by structural hash
+    /// (so a plan computed for one `Arc` is reused by every equal term)
+    /// with the actual term stored per entry — a hash collision between
+    /// distinct terms gets separate slots, never a cross-read.
+    plans: Mutex<FxHashMap<u64, PlanBucket>>,
     /// Optional shared memo of basic-term values (see [`TermCache`]).
     cache: Option<Arc<TermCache>>,
     /// Optional observability hooks (see [`CoverObs`]).
@@ -481,8 +487,10 @@ impl<'a> CoverEvaluator<'a> {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .get(&key)
+            .and_then(|bucket| bucket.iter().find(|(t, _)| t == &**b))
+            .map(|(_, p)| p.clone())
         {
-            return plan.clone();
+            return plan;
         }
         let marker_r = max_dist_bound(&b.matrix()).max(1);
         let ctx = RemovalContext::new(marker_r);
@@ -519,12 +527,15 @@ impl<'a> CoverEvaluator<'a> {
             when_d,
             when_not_d,
         });
-        // A concurrent worker may have raced us here; both plans are
-        // identical, so last-write-wins is fine.
-        self.plans
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(key, plan.clone());
+        // A concurrent worker may have raced us here; both plans for the
+        // *same* term are identical, so keeping either is fine — but a
+        // hash-colliding *different* term must get its own bucket slot,
+        // never overwrite (or be served) another term's plan.
+        let mut plans = self.plans.lock().unwrap_or_else(|e| e.into_inner());
+        let bucket = plans.entry(key).or_default();
+        if bucket.iter().all(|(t, _)| t != &**b) {
+            bucket.push(((**b).clone(), plan.clone()));
+        }
         plan
     }
 

@@ -1,0 +1,223 @@
+//! Replayable corpus files for shrunk divergences.
+//!
+//! Each corpus file is a self-contained text case:
+//!
+//! ```text
+//! # foc-diff corpus case
+//! # note: local-t1-cache: expected true, got false (seed 42, iter 17)
+//! mode sentence
+//! query exists y. (E(y, y))
+//! --- structure
+//! universe 3
+//! rel E 2
+//! E 0 1
+//! ```
+//!
+//! The query is the `foc-logic` concrete syntax (round-trips through
+//! `parse_formula`/`parse_term`); the structure block is the
+//! `foc-structures::io` text format. Filenames are content-addressed
+//! (`case-<16 hex>.txt` over the canonical serialisation), so saving the
+//! same shrunk case twice is idempotent and corpus diffs are stable.
+
+use std::fmt;
+use std::fs;
+use std::hash::Hasher;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use foc_logic::parse::{parse_formula, parse_term};
+use foc_structures::hash::FxHasher;
+use foc_structures::io::{parse_structure, write_structure};
+
+use crate::oracle::{Case, QueryCase};
+
+/// A malformed corpus file.
+#[derive(Debug, Clone)]
+pub struct CorpusError {
+    /// Description of the problem.
+    pub msg: String,
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corpus error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+fn err(msg: impl Into<String>) -> CorpusError {
+    CorpusError { msg: msg.into() }
+}
+
+/// Serialises a case (with an optional free-form note) to the corpus
+/// text format.
+pub fn case_to_string(case: &Case, note: &str) -> String {
+    let mut out = String::from("# foc-diff corpus case\n");
+    if !note.is_empty() {
+        for line in note.lines() {
+            out.push_str("# note: ");
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out.push_str("mode ");
+    out.push_str(case.query.mode());
+    out.push('\n');
+    out.push_str("query ");
+    out.push_str(&case.query.text());
+    out.push('\n');
+    out.push_str("--- structure\n");
+    out.push_str(&write_structure(&case.structure));
+    out
+}
+
+/// Parses a corpus file back into a case.
+pub fn case_from_str(input: &str) -> Result<Case, CorpusError> {
+    let mut mode: Option<String> = None;
+    let mut query: Option<String> = None;
+    let mut structure_text = String::new();
+    let mut in_structure = false;
+    for line in input.lines() {
+        if in_structure {
+            structure_text.push_str(line);
+            structure_text.push('\n');
+            continue;
+        }
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "--- structure" {
+            in_structure = true;
+        } else if let Some(m) = line.strip_prefix("mode ") {
+            mode = Some(m.trim().to_string());
+        } else if let Some(q) = line.strip_prefix("query ") {
+            query = Some(q.trim().to_string());
+        } else {
+            return Err(err(format!("unexpected line {line:?}")));
+        }
+    }
+    let mode = mode.ok_or_else(|| err("missing 'mode' line"))?;
+    let query_text = query.ok_or_else(|| err("missing 'query' line"))?;
+    if !in_structure {
+        return Err(err("missing '--- structure' section"));
+    }
+    let structure = parse_structure(&structure_text)
+        .map_err(|e| err(format!("structure line {}: {}", e.line, e.msg)))?;
+    let query = match mode.as_str() {
+        "sentence" => {
+            QueryCase::Sentence(parse_formula(&query_text).map_err(|e| err(format!("query: {e}")))?)
+        }
+        "ground" => {
+            QueryCase::Ground(parse_term(&query_text).map_err(|e| err(format!("query: {e}")))?)
+        }
+        other => return Err(err(format!("unknown mode {other:?}"))),
+    };
+    Ok(Case { query, structure })
+}
+
+/// The content-addressed filename for a case.
+pub fn case_file_name(case: &Case) -> String {
+    let canonical = case_to_string(case, "");
+    let mut h = FxHasher::default();
+    h.write(canonical.as_bytes());
+    format!("case-{:016x}.txt", h.finish())
+}
+
+/// Writes `case` to `dir` (creating it if needed) under its
+/// content-addressed name. Returns the path. Saving an already-present
+/// case is a no-op rewrite of identical bytes.
+pub fn save_case(dir: &Path, case: &Case, note: &str) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(case_file_name(case));
+    fs::write(&path, case_to_string(case, note))?;
+    Ok(path)
+}
+
+/// Loads every `case-*.txt` in `dir`, sorted by filename so replay
+/// order is deterministic. A missing directory is an empty corpus.
+pub fn load_dir(dir: &Path) -> io::Result<Vec<(PathBuf, Case)>> {
+    let mut paths: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("case-") && n.ends_with(".txt"))
+            })
+            .collect(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = fs::read_to_string(&path)?;
+        let case = case_from_str(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {e}")))?;
+        out.push((path, case));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foc_structures::gen::path as path_graph;
+
+    fn sample() -> Case {
+        Case {
+            query: QueryCase::Sentence(parse_formula("exists y. (#(z). (E(y, z)) >= 1)").unwrap()),
+            structure: path_graph(4),
+        }
+    }
+
+    #[test]
+    fn round_trips_both_modes() {
+        let s = sample();
+        let text = case_to_string(&s, "a note\nwith two lines");
+        let back = case_from_str(&text).unwrap();
+        assert_eq!(back.query.text(), s.query.text());
+        assert_eq!(back.structure.fingerprint(), s.structure.fingerprint());
+
+        let g = Case {
+            query: QueryCase::Ground(parse_term("(#(x, y). (E(x, y)) + 2)").unwrap()),
+            structure: path_graph(3),
+        };
+        let back = case_from_str(&case_to_string(&g, "")).unwrap();
+        assert_eq!(back.query.text(), g.query.text());
+        assert_eq!(back.query.mode(), "ground");
+    }
+
+    #[test]
+    fn file_name_is_content_addressed_and_note_independent() {
+        let s = sample();
+        assert_eq!(case_file_name(&s), case_file_name(&s.clone()));
+        let dir = std::env::temp_dir().join("foc-diff-corpus-test");
+        let _ = fs::remove_dir_all(&dir);
+        let p1 = save_case(&dir, &s, "first note").unwrap();
+        let p2 = save_case(&dir, &s, "different note").unwrap();
+        assert_eq!(p1, p2, "same case must map to the same file");
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].1.query.text(), s.query.text());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_files_are_rejected_with_context() {
+        assert!(case_from_str("mode sentence\nquery true\n").is_err());
+        assert!(case_from_str("query true\n--- structure\nuniverse 1\n").is_err());
+        let bad = "mode sentence\nquery exists\n--- structure\nuniverse 1\n";
+        let e = case_from_str(bad).unwrap_err();
+        assert!(e.msg.contains("query"), "{e}");
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_corpus() {
+        let dir = std::env::temp_dir().join("foc-diff-no-such-dir-xyzzy");
+        let _ = fs::remove_dir_all(&dir);
+        assert!(load_dir(&dir).unwrap().is_empty());
+    }
+}

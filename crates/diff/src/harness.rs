@@ -1,0 +1,363 @@
+//! The seed-driven fuzz loop and corpus replay.
+//!
+//! Determinism contract: control flow depends only on `(seed, iteration
+//! count)`. The per-case RNG is re-seeded from the master seed and the
+//! iteration index, so case *i* is the same whether the run does 10 or
+//! 10 000 iterations, and a `--budget` given in seconds is converted to
+//! a fixed iteration quota up front ([`CASES_PER_BUDGET_SECOND`]) —
+//! wall-clock time is measured into metrics but never consulted for
+//! control flow. Two runs with the same configuration therefore produce
+//! byte-identical logs and corpus files on any machine, fast or slow.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use foc_obs::{names, Metrics};
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::corpus::{case_file_name, load_dir, save_case};
+use crate::gen::{gen_case, GenConfig};
+use crate::meta::run_meta;
+use crate::oracle::{engine_matrix, run_matrix, BugInjection, Case, Divergence};
+use crate::shrink::shrink_case;
+
+/// Deterministic `--budget` conversion: one budget-second buys this many
+/// iterations. Chosen so a 30 s budget exercises a few hundred cases in
+/// well under 30 s of real time on any plausible machine; the budget is
+/// an iteration quota, not a deadline.
+pub const CASES_PER_BUDGET_SECOND: u64 = 15;
+
+/// SplitMix64-style odd multiplier decorrelating per-iteration seeds.
+const SEED_STRIDE: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Fuzz-run configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Master seed: fixes every generated case.
+    pub seed: u64,
+    /// Explicit iteration count (wins over `budget_secs`).
+    pub iters: Option<u64>,
+    /// Budget in seconds, converted deterministically via
+    /// [`CASES_PER_BUDGET_SECOND`].
+    pub budget_secs: Option<u64>,
+    /// Generator knobs.
+    pub gen: GenConfig,
+    /// Where to persist shrunk divergences (`None` = don't persist).
+    pub corpus_dir: Option<PathBuf>,
+    /// Test-only fault injection.
+    pub injection: BugInjection,
+    /// Run the metamorphic battery on every case (in addition to the
+    /// engine matrix).
+    pub metamorphic: bool,
+    /// Shrink divergences before reporting/persisting them.
+    pub shrink: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 0,
+            iters: None,
+            budget_secs: None,
+            gen: GenConfig::default(),
+            corpus_dir: None,
+            injection: BugInjection::default(),
+            metamorphic: true,
+            shrink: true,
+        }
+    }
+}
+
+impl FuzzConfig {
+    /// The deterministic iteration quota for this configuration.
+    pub fn iterations(&self) -> u64 {
+        self.iters.unwrap_or_else(|| {
+            self.budget_secs
+                .map(|s| s.saturating_mul(CASES_PER_BUDGET_SECOND))
+                .unwrap_or(100)
+        })
+    }
+}
+
+/// One reported divergence, with everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct FoundDivergence {
+    /// Iteration index that produced the original case (or the corpus
+    /// file name on replay).
+    pub origin: String,
+    /// The minimised (or original, when shrinking is off) case.
+    pub case: Case,
+    /// The divergences the minimised case still exhibits.
+    pub divergences: Vec<Divergence>,
+    /// Accepted shrink steps.
+    pub shrink_steps: u64,
+    /// Corpus file the case was persisted to, if any.
+    pub corpus_file: Option<PathBuf>,
+}
+
+/// Summary of a fuzz or replay run.
+#[derive(Debug, Default)]
+pub struct FuzzReport {
+    /// Cases executed.
+    pub cases: u64,
+    /// All divergences found (shrunk when shrinking is on).
+    pub found: Vec<FoundDivergence>,
+}
+
+impl FuzzReport {
+    /// `true` when every engine agreed on every case.
+    pub fn clean(&self) -> bool {
+        self.found.is_empty()
+    }
+}
+
+/// Everything a case run observed: matrix + metamorphic divergences.
+fn run_case(case: &Case, cfg: &FuzzConfig, rng: &mut StdRng, metrics: &Metrics) -> Vec<Divergence> {
+    let total = metrics.counter(names::FUZZ_ENGINE_NANOS);
+    let mut timing = |variant: &'static str, d: std::time::Duration| {
+        let nanos = d.as_nanos() as u64;
+        total.add(nanos);
+        metrics
+            .counter(&format!("{}{variant}", names::FUZZ_ENGINE_NANOS_PREFIX))
+            .add(nanos);
+    };
+    let (_, mut divergences) = run_matrix(case, &cfg.injection, Some(&mut timing));
+    metrics
+        .counter(names::FUZZ_DIVERGENCES)
+        .add(divergences.len() as u64);
+    if cfg.metamorphic {
+        let mut meta_found = Vec::new();
+        for variant in &engine_matrix() {
+            meta_found.extend(run_meta(variant, case, &cfg.injection, rng));
+        }
+        metrics
+            .counter(names::FUZZ_META_DIVERGENCES)
+            .add(meta_found.len() as u64);
+        divergences.extend(meta_found);
+    }
+    divergences
+}
+
+/// Shrinks a diverging case down to one that still diverges in the
+/// engine matrix (the metamorphic battery is excluded from the shrink
+/// predicate: it is randomised, and the matrix alone must stay red).
+fn minimise(case: &Case, cfg: &FuzzConfig, metrics: &Metrics) -> (Case, u64) {
+    let attempts = metrics.counter(names::FUZZ_SHRINK_ATTEMPTS);
+    let (small, steps) = shrink_case(
+        case,
+        |cand| !run_matrix(cand, &cfg.injection, None).1.is_empty(),
+        || attempts.inc(),
+    );
+    metrics.counter(names::FUZZ_SHRINK_STEPS).add(steps);
+    (small, steps)
+}
+
+fn report_divergence(
+    log: &mut dyn Write,
+    origin: &str,
+    case: &Case,
+    cfg: &FuzzConfig,
+    metrics: &Metrics,
+    divergences: Vec<Divergence>,
+) -> FoundDivergence {
+    let matrix_only: Vec<&Divergence> = divergences
+        .iter()
+        .filter(|d| !d.variant.starts_with("meta:"))
+        .collect();
+    let (small, shrink_steps) = if cfg.shrink && !matrix_only.is_empty() {
+        minimise(case, cfg, metrics)
+    } else {
+        (case.clone(), 0)
+    };
+    // Re-run the matrix on the minimised case so the report describes
+    // what the corpus file actually reproduces.
+    let final_divergences = if shrink_steps > 0 {
+        run_matrix(&small, &cfg.injection, None).1
+    } else {
+        divergences
+    };
+    let note = final_divergences
+        .iter()
+        .map(|d| format!("{origin}: {d}"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let corpus_file = cfg.corpus_dir.as_ref().map(|dir| {
+        save_case(dir, &small, &note)
+            .unwrap_or_else(|e| panic!("cannot write corpus to {dir:?}: {e}"))
+    });
+    let _ = writeln!(
+        log,
+        "DIVERGENCE {origin} shrink_steps={shrink_steps} file={} :: {}",
+        corpus_file
+            .as_ref()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .unwrap_or_else(|| "-".into()),
+        final_divergences
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+    FoundDivergence {
+        origin: origin.to_string(),
+        case: small,
+        divergences: final_divergences,
+        shrink_steps,
+        corpus_file,
+    }
+}
+
+/// Runs the fuzz loop. Log lines written to `log` are deterministic for
+/// a fixed configuration; wall-clock only flows into `metrics`.
+pub fn fuzz(cfg: &FuzzConfig, metrics: &Metrics, log: &mut dyn Write) -> FuzzReport {
+    let iterations = cfg.iterations();
+    let _ = writeln!(
+        log,
+        "fuzz seed={} iterations={} metamorphic={} shrink={}",
+        cfg.seed, iterations, cfg.metamorphic, cfg.shrink
+    );
+    let started = Instant::now();
+    let mut report = FuzzReport::default();
+    let cases = metrics.counter(names::FUZZ_CASES);
+    for i in 0..iterations {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ i.wrapping_mul(SEED_STRIDE));
+        let case = gen_case(&mut rng, &cfg.gen);
+        cases.inc();
+        report.cases += 1;
+        let divergences = run_case(&case, cfg, &mut rng, metrics);
+        if !divergences.is_empty() {
+            let origin = format!("seed {} iter {i}", cfg.seed);
+            report.found.push(report_divergence(
+                log,
+                &origin,
+                &case,
+                cfg,
+                metrics,
+                divergences,
+            ));
+        }
+    }
+    metrics
+        .counter("fuzz.wall_nanos")
+        .add(started.elapsed().as_nanos() as u64);
+    let _ = writeln!(
+        log,
+        "fuzz done cases={} divergences={}",
+        report.cases,
+        report.found.len()
+    );
+    report
+}
+
+/// Replays every corpus case under the full matrix (and metamorphic
+/// battery). A clean report means every historical divergence stays
+/// fixed.
+pub fn replay(cfg: &FuzzConfig, metrics: &Metrics, log: &mut dyn Write) -> FuzzReport {
+    let dir = cfg
+        .corpus_dir
+        .as_ref()
+        .expect("replay requires a corpus directory");
+    let entries = load_dir(dir).unwrap_or_else(|e| panic!("cannot load corpus {dir:?}: {e}"));
+    let _ = writeln!(log, "replay corpus={dir:?} cases={}", entries.len());
+    let mut report = FuzzReport::default();
+    let cases = metrics.counter(names::FUZZ_CASES);
+    for (path, case) in entries {
+        cases.inc();
+        report.cases += 1;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let divergences = run_case(&case, cfg, &mut rng, metrics);
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if divergences.is_empty() {
+            let _ = writeln!(log, "replay ok {name}");
+        } else {
+            let found = FoundDivergence {
+                origin: name.clone(),
+                case,
+                divergences,
+                shrink_steps: 0,
+                corpus_file: Some(path),
+            };
+            let _ = writeln!(
+                log,
+                "replay DIVERGENCE {name} :: {}",
+                found
+                    .divergences
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            );
+            report.found.push(found);
+        }
+    }
+    let _ = writeln!(
+        log,
+        "replay done cases={} divergences={}",
+        report.cases,
+        report.found.len()
+    );
+    report
+}
+
+/// The content-addressed corpus file name a case would be saved under
+/// (re-exported for the CLI's dry-run output).
+pub fn corpus_name(case: &Case) -> String {
+    case_file_name(case)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> FuzzConfig {
+        FuzzConfig {
+            seed: 42,
+            iters: Some(40),
+            metamorphic: false,
+            ..FuzzConfig::default()
+        }
+    }
+
+    #[test]
+    fn healthy_engines_fuzz_clean() {
+        let metrics = Metrics::new();
+        let mut log = Vec::new();
+        let report = fuzz(&quick_cfg(), &metrics, &mut log);
+        assert!(report.clean(), "unexpected divergences: {:?}", report.found);
+        assert_eq!(report.cases, 40);
+        assert_eq!(metrics.snapshot().counter(names::FUZZ_CASES), 40);
+        assert!(metrics.snapshot().counter(names::FUZZ_ENGINE_NANOS) > 0);
+    }
+
+    #[test]
+    fn same_seed_same_log_different_seed_different_cases() {
+        let run = |seed: u64| {
+            let metrics = Metrics::new();
+            let mut log = Vec::new();
+            fuzz(
+                &FuzzConfig {
+                    seed,
+                    iters: Some(15),
+                    metamorphic: false,
+                    ..FuzzConfig::default()
+                },
+                &metrics,
+                &mut log,
+            );
+            String::from_utf8(log).unwrap()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn budget_is_an_iteration_quota_not_a_deadline() {
+        let cfg = FuzzConfig {
+            budget_secs: Some(3),
+            iters: None,
+            ..FuzzConfig::default()
+        };
+        assert_eq!(cfg.iterations(), 3 * CASES_PER_BUDGET_SECOND);
+    }
+}

@@ -1,0 +1,48 @@
+//! Differential oracle harness for the FOC1(P) engines.
+//!
+//! The repository ships three evaluation pipelines that must agree
+//! bit-for-bit: the naive reference evaluator (complete for FOC(P)), the
+//! localised engine of Theorem 6.10, and the cover-driven Section 8
+//! recursion. This crate turns that redundancy into a correctness tool,
+//! in the style of SQLancer-class differential DBMS testing:
+//!
+//! * [`gen`] draws random well-formed FOC1(P) sentences/ground terms
+//!   (grammar-aware, bounded rank and arity) and random structures from
+//!   every generator family in `foc-structures` — strings, coloured
+//!   digraphs, SQL-style databases, trees, grids, bounded-degree and
+//!   G(n,m) random graphs.
+//! * [`oracle`] evaluates each (query, structure) case under the whole
+//!   engine matrix — naive/local/cover × threads {1, N} × cache on/off ×
+//!   degradation policy — and flags any divergence in result value or
+//!   error taxonomy (overflow included) against the naive oracle.
+//! * [`meta`] applies paper-native metamorphic identities: isomorphism
+//!   invariance under random relabelling, double-negation and De Morgan
+//!   rewrites, and the Lemma 6.4 disjoint-union splitting
+//!   `t^{A ⊎ A} = 2 · t^A` for recognisably local counting bodies.
+//! * [`shrink`] greedily minimises a failing case (drop relations →
+//!   remove elements → simplify the formula AST bottom-up).
+//! * [`corpus`] persists shrunk divergences as replayable text files and
+//!   loads them back for regression replay.
+//! * [`harness`] ties it together into a deterministic, seed-driven fuzz
+//!   loop with `foc-obs` metrics.
+//!
+//! Determinism contract: a fixed `(seed, iteration budget)` pair fully
+//! determines every generated case, every engine verdict, the shrinker's
+//! trajectory, the log lines, and the corpus bytes. Wall-clock time is
+//! only ever *measured* (into metrics), never consulted for control flow.
+
+pub mod corpus;
+pub mod gen;
+pub mod harness;
+pub mod meta;
+pub mod oracle;
+pub mod shrink;
+
+pub use corpus::{case_from_str, case_to_string, load_dir, save_case};
+pub use gen::{gen_case, GenConfig};
+pub use harness::{fuzz, replay, FuzzConfig, FuzzReport};
+pub use oracle::{
+    engine_matrix, evaluate, run_matrix, BugInjection, Case, Divergence, Outcome, QueryCase,
+    Variant,
+};
+pub use shrink::shrink_case;

@@ -1,0 +1,233 @@
+//! Metamorphic checks: paper-native identities every engine must respect.
+//!
+//! Differential testing only catches bugs where engines *disagree*; a
+//! bug shared by all engines (e.g. in a common substrate) slips through.
+//! Metamorphic relations add an engine-independent oracle:
+//!
+//! * **Isomorphism invariance** — FOC(P) cannot distinguish isomorphic
+//!   structures, so relabelling the universe by a random permutation
+//!   must not change any verdict or value.
+//! * **Double negation / De Morgan** — `¬¬φ ≡ φ` and
+//!   `¬(φ ∧ ψ) ≡ ¬φ ∨ ¬ψ`; the rewritten sentence must evaluate the
+//!   same (the rewrites are built with raw constructors so the smart
+//!   constructors cannot cancel them before the engines see them).
+//! * **Disjoint-union splitting** (Lemma 6.4) — for a ground term
+//!   `#(y). φ` with `free(φ) = {y}` and a recognisably local body,
+//!   `t^{A ⊎ A} = 2 · t^A`: counting distributes over connected
+//!   components.
+
+use std::sync::Arc;
+
+use foc_locality::locality_radius;
+use foc_logic::subst::nnf;
+use foc_logic::{Formula, Term};
+use foc_structures::Structure;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::oracle::{evaluate, BugInjection, Case, Divergence, Outcome, QueryCase, Variant};
+
+/// Rebuilds `s` with its universe relabelled by a random permutation.
+/// The result is isomorphic to `s` by construction.
+pub fn relabel<R: Rng>(s: &Structure, rng: &mut R) -> Structure {
+    let n = s.order();
+    let mut perm: Vec<u32> = (0..n).collect();
+    perm.shuffle(rng);
+    let rows: Vec<Vec<Vec<u32>>> = (0..s.signature().len())
+        .map(|idx| {
+            s.relation_at(idx)
+                .rows()
+                .map(|row| row.iter().map(|&e| perm[e as usize]).collect())
+                .collect()
+        })
+        .collect();
+    Structure::new(s.signature().clone(), n, rows)
+}
+
+/// `¬¬φ`, built raw so [`Formula::not`]'s double-negation cancellation
+/// cannot undo it before the engines see it.
+pub fn double_negation(f: &Arc<Formula>) -> Arc<Formula> {
+    Arc::new(Formula::Not(Arc::new(Formula::Not(f.clone()))))
+}
+
+/// A recursive De Morgan rewrite: every `And` becomes `¬(∨ ¬gᵢ)` and
+/// every `Or` becomes `¬(∧ ¬gᵢ)`, all with raw constructors.
+/// Semantically the identity; syntactically maximally different.
+pub fn de_morgan(f: &Arc<Formula>) -> Arc<Formula> {
+    let neg = |g: Arc<Formula>| Arc::new(Formula::Not(g));
+    match &**f {
+        Formula::And(gs) => neg(Arc::new(Formula::Or(
+            gs.iter().map(|g| neg(de_morgan(g))).collect(),
+        ))),
+        Formula::Or(gs) => neg(Arc::new(Formula::And(
+            gs.iter().map(|g| neg(de_morgan(g))).collect(),
+        ))),
+        Formula::Not(g) => neg(de_morgan(g)),
+        Formula::Exists(y, g) => Arc::new(Formula::Exists(*y, de_morgan(g))),
+        Formula::Forall(y, g) => Arc::new(Formula::Forall(*y, de_morgan(g))),
+        _ => f.clone(),
+    }
+}
+
+/// `true` if the disjoint-union splitting check applies to `t`: a
+/// one-variable count `#(y). φ` with `free(φ) ⊆ {y}` whose body the
+/// radius analysis accepts (Lemma 6.4 needs a local body).
+fn union_splittable(t: &Term) -> bool {
+    match t {
+        Term::Count(vars, body) => {
+            vars.len() == 1
+                && body.free_vars().iter().all(|v| v == &vars[0])
+                && locality_radius(&nnf(body)).is_ok()
+        }
+        _ => false,
+    }
+}
+
+/// Runs the metamorphic battery for one engine variant on one case.
+/// Returns a divergence per violated identity; variant names are
+/// `meta:<identity>:<engine>`.
+pub fn run_meta<R: Rng>(
+    variant: &Variant,
+    case: &Case,
+    inject: &BugInjection,
+    rng: &mut R,
+) -> Vec<Divergence> {
+    let mut divergences = Vec::new();
+    let base = evaluate(variant, case, inject);
+    // An interrupted or erroring base run has nothing to compare against
+    // (error *classes* are already cross-checked by the engine matrix).
+    if matches!(base, Outcome::Err(_)) {
+        return divergences;
+    }
+    let mut check = |identity: &str, transformed: &Case| {
+        let got = evaluate(variant, transformed, inject);
+        if got != base && !matches!(got, Outcome::Err(ref c) if c == "interrupted") {
+            divergences.push(Divergence {
+                variant: format!("meta:{identity}:{}", variant.name),
+                expected: base.clone(),
+                got,
+            });
+        }
+    };
+
+    // Isomorphism invariance: relabel the universe, keep the query.
+    check(
+        "iso",
+        &Case {
+            query: case.query.clone(),
+            structure: relabel(&case.structure, rng),
+        },
+    );
+
+    if let QueryCase::Sentence(f) = &case.query {
+        check(
+            "double-neg",
+            &Case {
+                query: QueryCase::Sentence(double_negation(f)),
+                structure: case.structure.clone(),
+            },
+        );
+        check(
+            "de-morgan",
+            &Case {
+                query: QueryCase::Sentence(de_morgan(f)),
+                structure: case.structure.clone(),
+            },
+        );
+    }
+
+    // Lemma 6.4 splitting: t^{A ⊎ A} = 2 · t^A. Using A ⊎ A keeps the
+    // signatures trivially equal.
+    if let QueryCase::Ground(t) = &case.query {
+        if union_splittable(t) {
+            if let Outcome::Int(v) = base {
+                if let Some(doubled) = v.checked_mul(2) {
+                    let union = Structure::disjoint_union(&case.structure, &case.structure);
+                    let got = evaluate(
+                        variant,
+                        &Case {
+                            query: case.query.clone(),
+                            structure: union,
+                        },
+                        inject,
+                    );
+                    let expected = Outcome::Int(doubled);
+                    if got != expected && !matches!(got, Outcome::Err(ref c) if c == "interrupted")
+                    {
+                        divergences.push(Divergence {
+                            variant: format!("meta:union:{}", variant.name),
+                            expected,
+                            got,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    divergences
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::engine_matrix;
+    use foc_logic::parse::{parse_formula, parse_term};
+    use foc_structures::gen::{gnm, path, star};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn relabel_preserves_row_counts_and_order() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = gnm(8, 11, &mut rng);
+        let r = relabel(&s, &mut rng);
+        assert_eq!(r.order(), s.order());
+        for idx in 0..s.signature().len() {
+            assert_eq!(
+                r.relation_at(idx).rows().count(),
+                s.relation_at(idx).rows().count()
+            );
+        }
+    }
+
+    #[test]
+    fn rewrites_survive_smart_constructors() {
+        let f = parse_formula("exists x. (E(x,x) & !E(x,x))").unwrap();
+        assert!(matches!(&*double_negation(&f), Formula::Not(_)));
+        let dm = de_morgan(&f);
+        assert_ne!(format!("{dm}"), format!("{f}"));
+    }
+
+    #[test]
+    fn metamorphic_battery_passes_on_healthy_engines() {
+        let cases = [
+            Case {
+                query: QueryCase::Sentence(
+                    parse_formula("forall x. exists y. (E(x,y) | x = y)").unwrap(),
+                ),
+                structure: star(6),
+            },
+            Case {
+                query: QueryCase::Ground(parse_term("#(y). exists z. E(y,z)").unwrap()),
+                structure: path(7),
+            },
+        ];
+        let mut rng = StdRng::seed_from_u64(5);
+        for case in &cases {
+            for variant in &engine_matrix() {
+                let div = run_meta(variant, case, &BugInjection::default(), &mut rng);
+                assert!(div.is_empty(), "{}: {div:?}", variant.name);
+            }
+        }
+    }
+
+    #[test]
+    fn union_splitting_is_gated_on_shape() {
+        assert!(union_splittable(
+            &parse_term("#(y). exists z. E(y,z)").unwrap()
+        ));
+        // Two count variables: Lemma 6.4's single-component argument
+        // does not apply directly.
+        assert!(!union_splittable(&parse_term("#(y,z). E(y,z)").unwrap()));
+    }
+}

@@ -1,0 +1,322 @@
+//! Greedy divergence minimisation.
+//!
+//! Given a diverging case and a predicate "does this still diverge?",
+//! the shrinker repeatedly tries ever-smaller variants and keeps the
+//! first one that still fails, until a fixpoint:
+//!
+//! 1. **Drop relations** — empty each relation wholesale.
+//! 2. **Remove elements** — delete one universe element (via the
+//!    induced substructure, so tuples touching it vanish too).
+//! 3. **Simplify the query** — single-edit AST rewrites, bottom-up:
+//!    replace a subformula by `true`/`false`, unwrap a negation or a
+//!    connective down to one child, halve a distance bound, collapse a
+//!    counting term to a constant, halve an integer.
+//!
+//! Candidates that would break sentence-hood (a quantifier or counting
+//! binder removed while its variable is still used below) or leave the
+//! FOC1(P) fragment are filtered out before the predicate ever runs.
+//! The predicate is invoked a bounded number of times, so shrinking
+//! always terminates even on pathological inputs.
+
+use std::sync::Arc;
+
+use foc_logic::build::{ff, int, tt};
+use foc_logic::fragment::{check_foc1, check_foc1_term};
+use foc_logic::{Formula, Term};
+use foc_structures::Structure;
+
+use crate::oracle::{Case, QueryCase};
+
+/// Hard cap on predicate invocations per shrink.
+const MAX_ATTEMPTS: usize = 2000;
+
+/// Single-edit simplification candidates for a formula, roughly ordered
+/// most-aggressive first.
+fn formula_variants(f: &Arc<Formula>) -> Vec<Arc<Formula>> {
+    let mut out = Vec::new();
+    if !matches!(&**f, Formula::Bool(_)) {
+        out.push(tt());
+        out.push(ff());
+    }
+    match &**f {
+        Formula::Not(g) => {
+            out.push(g.clone());
+            for g2 in formula_variants(g) {
+                out.push(Arc::new(Formula::Not(g2)));
+            }
+        }
+        Formula::And(gs) | Formula::Or(gs) => {
+            let is_and = matches!(&**f, Formula::And(_));
+            let rebuild = |children: Vec<Arc<Formula>>| {
+                if is_and {
+                    Formula::and(children)
+                } else {
+                    Formula::or(children)
+                }
+            };
+            for (i, g) in gs.iter().enumerate() {
+                // Keep just one child.
+                out.push(g.clone());
+                // Drop one child.
+                if gs.len() > 1 {
+                    let rest: Vec<_> = gs
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != i)
+                        .map(|(_, h)| h.clone())
+                        .collect();
+                    out.push(rebuild(rest));
+                }
+                // Recurse into one child.
+                for g2 in formula_variants(g) {
+                    let mut children: Vec<_> = gs.to_vec();
+                    children[i] = g2;
+                    out.push(rebuild(children));
+                }
+            }
+        }
+        Formula::Exists(y, g) | Formula::Forall(y, g) => {
+            // Unwrapping the binder may free `y`; the sentence-hood
+            // filter below rejects those candidates.
+            out.push(g.clone());
+            for g2 in formula_variants(g) {
+                let wrapped = if matches!(&**f, Formula::Exists(..)) {
+                    Formula::Exists(*y, g2)
+                } else {
+                    Formula::Forall(*y, g2)
+                };
+                out.push(Arc::new(wrapped));
+            }
+        }
+        Formula::DistLe { x, y, d } if *d > 0 => {
+            for nd in [0, d / 2] {
+                if nd != *d {
+                    out.push(Arc::new(Formula::DistLe {
+                        x: *x,
+                        y: *y,
+                        d: nd,
+                    }));
+                }
+            }
+        }
+        Formula::Pred { name, args } => {
+            for (i, t) in args.iter().enumerate() {
+                for t2 in term_variants(t) {
+                    let mut a = args.clone();
+                    a[i] = t2;
+                    out.push(Arc::new(Formula::Pred {
+                        name: *name,
+                        args: a,
+                    }));
+                }
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Single-edit simplification candidates for a counting term.
+fn term_variants(t: &Arc<Term>) -> Vec<Arc<Term>> {
+    let mut out = Vec::new();
+    match &**t {
+        Term::Int(i) => {
+            if *i != 0 {
+                out.push(int(0));
+            }
+            if i / 2 != *i && i / 2 != 0 {
+                out.push(int(i / 2));
+            }
+        }
+        Term::Count(vars, body) => {
+            out.push(int(0));
+            out.push(int(1));
+            for b2 in formula_variants(body) {
+                out.push(Arc::new(Term::Count(vars.clone(), b2)));
+            }
+        }
+        Term::Add(ts) | Term::Mul(ts) => {
+            let is_add = matches!(&**t, Term::Add(_));
+            let rebuild = |children: Vec<Arc<Term>>| {
+                if is_add {
+                    Term::add(children)
+                } else {
+                    Term::mul(children)
+                }
+            };
+            out.push(int(0));
+            for (i, s) in ts.iter().enumerate() {
+                out.push(s.clone());
+                if ts.len() > 1 {
+                    let rest: Vec<_> = ts
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != i)
+                        .map(|(_, u)| u.clone())
+                        .collect();
+                    out.push(rebuild(rest));
+                }
+                for s2 in term_variants(s) {
+                    let mut children: Vec<_> = ts.to_vec();
+                    children[i] = s2;
+                    out.push(rebuild(children));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Well-formedness gate: candidates must stay sentences (or ground
+/// terms) inside FOC1(P), or the engines would report spurious errors
+/// instead of the divergence being minimised.
+fn well_formed(q: &QueryCase) -> bool {
+    match q {
+        QueryCase::Sentence(f) => f.free_vars().is_empty() && check_foc1(f).is_ok(),
+        QueryCase::Ground(t) => t.free_vars().is_empty() && check_foc1_term(t).is_ok(),
+    }
+}
+
+fn structure_candidates(s: &Structure) -> Vec<Structure> {
+    let mut out = Vec::new();
+    // Empty one relation wholesale.
+    for idx in 0..s.signature().len() {
+        if s.relation_at(idx).rows().next().is_none() {
+            continue;
+        }
+        let rows: Vec<Vec<Vec<u32>>> = (0..s.signature().len())
+            .map(|j| {
+                if j == idx {
+                    Vec::new()
+                } else {
+                    s.relation_at(j).rows().map(|r| r.to_vec()).collect()
+                }
+            })
+            .collect();
+        out.push(Structure::new(s.signature().clone(), s.order(), rows));
+    }
+    // Remove one element (universes must stay non-empty).
+    if s.order() > 1 {
+        for e in 0..s.order() {
+            let keep: Vec<u32> = (0..s.order()).filter(|&x| x != e).collect();
+            out.push(s.induced(&keep).structure);
+        }
+    }
+    out
+}
+
+fn query_candidates(q: &QueryCase) -> Vec<QueryCase> {
+    match q {
+        QueryCase::Sentence(f) => formula_variants(f)
+            .into_iter()
+            .map(QueryCase::Sentence)
+            .collect(),
+        QueryCase::Ground(t) => term_variants(t)
+            .into_iter()
+            .map(QueryCase::Ground)
+            .collect(),
+    }
+}
+
+/// Greedily minimises `case` under `still_diverges`, which must return
+/// `true` when a candidate still exhibits the original failure. Returns
+/// the smallest case found and the number of accepted shrink steps.
+/// `still_diverges(&case)` is assumed `true` on entry.
+pub fn shrink_case(
+    case: &Case,
+    mut still_diverges: impl FnMut(&Case) -> bool,
+    mut attempt_hook: impl FnMut(),
+) -> (Case, u64) {
+    let mut current = case.clone();
+    let mut steps = 0u64;
+    let mut attempts = 0usize;
+    'outer: loop {
+        // Structure shrinks first: smaller structures make every
+        // subsequent predicate call cheaper.
+        for s in structure_candidates(&current.structure) {
+            if attempts >= MAX_ATTEMPTS {
+                break 'outer;
+            }
+            attempts += 1;
+            attempt_hook();
+            let cand = Case {
+                query: current.query.clone(),
+                structure: s,
+            };
+            if still_diverges(&cand) {
+                current = cand;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        for q in query_candidates(&current.query) {
+            if attempts >= MAX_ATTEMPTS {
+                break 'outer;
+            }
+            if !well_formed(&q) {
+                continue;
+            }
+            attempts += 1;
+            attempt_hook();
+            let cand = Case {
+                query: q,
+                structure: current.structure.clone(),
+            };
+            if still_diverges(&cand) {
+                current = cand;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foc_logic::parse::{parse_formula, parse_term};
+    use foc_structures::gen::{gnm, star};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn shrinks_structure_to_the_trigger_order() {
+        // "Diverges" whenever the structure has order >= 3: the shrinker
+        // should land exactly on order 3 with empty relations.
+        let case = Case {
+            query: QueryCase::Sentence(
+                parse_formula("exists x. forall y. (E(x,y) | dist(x, y) <= 2)").unwrap(),
+            ),
+            structure: gnm(10, 20, &mut StdRng::seed_from_u64(1)),
+        };
+        let (small, steps) = shrink_case(&case, |c| c.structure.order() >= 3, || {});
+        assert_eq!(small.structure.order(), 3);
+        assert!(steps > 0);
+        assert_eq!(small.structure.relation_at(0).rows().count(), 0);
+        // The query shrank to a constant sentence.
+        assert!(matches!(&small.query, QueryCase::Sentence(f)
+            if matches!(&**f, Formula::Bool(_))));
+    }
+
+    #[test]
+    fn candidates_never_leave_the_fragment() {
+        let t = parse_term("#(x). (exists y. E(x,y) & @le(#(z). E(x,z), 2))").unwrap();
+        for cand in term_variants(&t) {
+            if cand.free_vars().is_empty() {
+                assert!(check_foc1_term(&cand).is_ok(), "bad candidate {cand}");
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_is_bounded_even_when_everything_diverges() {
+        let case = Case {
+            query: QueryCase::Ground(parse_term("#(x,y). (E(x,y) | dist(x, y) <= 3)").unwrap()),
+            structure: star(8),
+        };
+        let mut calls = 0usize;
+        let (_, _) = shrink_case(&case, |_| false, || calls += 1);
+        assert!(calls <= MAX_ATTEMPTS);
+    }
+}

@@ -1,0 +1,138 @@
+//! End-to-end acceptance tests for the differential harness:
+//! determinism of the fuzz loop, and the injected-bug lifecycle
+//! (caught → shrunk → persisted → replayed).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use foc_diff::harness::{fuzz, replay, FuzzConfig};
+use foc_diff::oracle::BugInjection;
+use foc_obs::Metrics;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("foc-diff-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Sorted `(file name, contents)` pairs of a corpus directory.
+fn dir_contents(dir: &Path) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = match fs::read_dir(dir) {
+        Ok(rd) => rd
+            .map(|e| {
+                let p = e.unwrap().path();
+                (
+                    p.file_name().unwrap().to_string_lossy().into_owned(),
+                    fs::read_to_string(&p).unwrap(),
+                )
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    out.sort();
+    out
+}
+
+fn run_fuzz(cfg: &FuzzConfig) -> (String, foc_diff::harness::FuzzReport) {
+    let metrics = Metrics::new();
+    let mut log = Vec::new();
+    let report = fuzz(cfg, &metrics, &mut log);
+    (String::from_utf8(log).unwrap(), report)
+}
+
+#[test]
+fn same_seed_runs_are_byte_identical_including_corpus() {
+    let buggy = BugInjection {
+        flip_local_sentence_min_order: Some(3),
+    };
+    let run = |tag: &str| {
+        let dir = temp_dir(tag);
+        let cfg = FuzzConfig {
+            seed: 42,
+            iters: Some(30),
+            corpus_dir: Some(dir.clone()),
+            injection: buggy,
+            ..FuzzConfig::default()
+        };
+        let (log, report) = run_fuzz(&cfg);
+        let corpus = dir_contents(&dir);
+        let _ = fs::remove_dir_all(&dir);
+        (log, report.found.len(), corpus)
+    };
+    let (log_a, found_a, corpus_a) = run("a");
+    let (log_b, found_b, corpus_b) = run("b");
+    assert!(found_a > 0, "the injected bug must be caught");
+    assert_eq!(found_a, found_b);
+    assert_eq!(log_a, log_b, "same seed must produce identical logs");
+    assert_eq!(
+        corpus_a, corpus_b,
+        "same seed must produce identical corpus bytes"
+    );
+    assert!(!corpus_a.is_empty());
+}
+
+#[test]
+fn injected_bug_is_caught_shrunk_and_replayable() {
+    let buggy = BugInjection {
+        flip_local_sentence_min_order: Some(3),
+    };
+    let dir = temp_dir("lifecycle");
+    let cfg = FuzzConfig {
+        seed: 7,
+        iters: Some(25),
+        corpus_dir: Some(dir.clone()),
+        injection: buggy,
+        ..FuzzConfig::default()
+    };
+    let (log, report) = run_fuzz(&cfg);
+    assert!(!report.clean(), "the injected bug must surface:\n{log}");
+
+    // Shrinking pins the trigger: order exactly at the threshold, and
+    // only local-engine variants disagreeing.
+    let shrunk = report
+        .found
+        .iter()
+        .find(|f| f.shrink_steps > 0)
+        .expect("at least one divergence should shrink");
+    assert_eq!(shrunk.case.structure.order(), 3);
+    assert!(shrunk
+        .divergences
+        .iter()
+        .all(|d| d.variant.starts_with("local-")));
+    assert!(shrunk.corpus_file.as_ref().is_some_and(|p| p.exists()));
+
+    // Replay from the persisted corpus: the bug still reproduces while
+    // injected, and the corpus is clean once it is "fixed".
+    let metrics = Metrics::new();
+    let mut log = Vec::new();
+    let still_buggy = replay(&cfg, &metrics, &mut log);
+    assert!(
+        !still_buggy.clean(),
+        "replay must reproduce the persisted bug"
+    );
+
+    let fixed_cfg = FuzzConfig {
+        injection: BugInjection::default(),
+        ..cfg
+    };
+    let mut log = Vec::new();
+    let fixed = replay(&fixed_cfg, &metrics, &mut log);
+    assert!(
+        fixed.clean(),
+        "with the bug gone, the corpus must replay clean: {:?}",
+        fixed.found
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn healthy_engines_survive_a_longer_fuzz_run() {
+    let cfg = FuzzConfig {
+        seed: 1,
+        iters: Some(120),
+        ..FuzzConfig::default()
+    };
+    let (log, report) = run_fuzz(&cfg);
+    assert!(report.clean(), "healthy engines diverged:\n{log}");
+    assert_eq!(report.cases, 120);
+}

@@ -31,6 +31,15 @@ pub enum EvalError {
     },
     /// A free variable was not bound by the supplied assignment.
     UnboundVariable(Var),
+    /// An element id is outside the structure's universe `{0, …, n−1}`
+    /// (e.g. a caller-supplied parameter tuple referencing a missing
+    /// element).
+    ElementOutOfRange {
+        /// The offending element id.
+        element: u32,
+        /// The universe order `n`.
+        order: u32,
+    },
     /// A counting tuple `#(y₁,…,y_k)` repeats a variable.
     DuplicateCountVariable(Var),
     /// Integer overflow in counting-term arithmetic.
@@ -66,6 +75,9 @@ impl fmt::Display for EvalError {
                 )
             }
             EvalError::UnboundVariable(v) => write!(f, "unbound variable {v}"),
+            EvalError::ElementOutOfRange { element, order } => {
+                write!(f, "element {element} outside universe of order {order}")
+            }
             EvalError::DuplicateCountVariable(v) => {
                 write!(f, "counting tuple repeats variable {v}")
             }

@@ -36,10 +36,31 @@ struct Key {
     order: u32,
 }
 
+/// One memoised value together with the *actual* term it was computed
+/// for. `structural_hash()` is only 64 bits, so two distinct basic
+/// cl-terms can share a [`Key`]; a hit is only returned after the stored
+/// term compares equal to the queried one. (The structure side stays
+/// fingerprint-keyed — storing structures would defeat the memory bound —
+/// so the key retains the order as an independent discriminator.)
+#[derive(Debug, Clone)]
+struct Entry {
+    term: BasicClTerm,
+    vals: Arc<Vec<i64>>,
+}
+
+/// The mutexed interior: buckets per key (colliding *distinct* terms
+/// coexist instead of shadowing each other) plus a running entry count
+/// so capacity checks stay O(1).
+#[derive(Debug, Default)]
+struct Inner {
+    map: FxHashMap<Key, Vec<Entry>>,
+    resident: usize,
+}
+
 /// A thread-safe memo of basic-cl-term value vectors.
 #[derive(Debug)]
 pub struct TermCache {
-    map: Mutex<FxHashMap<Key, Arc<Vec<i64>>>>,
+    map: Mutex<Inner>,
     hits: AtomicU64,
     misses: AtomicU64,
     capacity: usize,
@@ -67,7 +88,7 @@ impl TermCache {
     /// parallel paths agree on for the values they produce).
     pub fn with_capacity(capacity: usize) -> TermCache {
         TermCache {
-            map: Mutex::new(FxHashMap::default()),
+            map: Mutex::new(Inner::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             capacity,
@@ -87,9 +108,20 @@ impl TermCache {
     }
 
     /// Looks up the memoised value of `b` on `s`, counting a hit or miss.
+    /// A hit requires the stored term to compare *equal* to `b`, not just
+    /// hash-equal, so a `structural_hash` collision can never return
+    /// another term's values.
     pub fn get(&self, b: &BasicClTerm, s: &Structure) -> Option<Arc<Vec<i64>>> {
+        self.get_hashed(b.structural_hash(), b, s)
+    }
+
+    /// [`TermCache::get`] with the term-hash component of the key
+    /// supplied by the caller. Kept separate so tests can force two
+    /// distinct terms onto one key and observe that identity
+    /// verification rejects the cross-read.
+    fn get_hashed(&self, term_hash: u64, b: &BasicClTerm, s: &Structure) -> Option<Arc<Vec<i64>>> {
         let key = Key {
-            term: b.structural_hash(),
+            term: term_hash,
             structure: s.fingerprint(),
             order: s.order(),
         };
@@ -97,8 +129,10 @@ impl TermCache {
             .map
             .lock()
             .expect("term cache poisoned")
+            .map
             .get(&key)
-            .cloned();
+            .and_then(|bucket| bucket.iter().find(|e| e.term == *b))
+            .map(|e| e.vals.clone());
         match &found {
             Some(_) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -118,14 +152,28 @@ impl TermCache {
 
     /// Stores the value of `b` on `s` (a no-op at capacity).
     pub fn insert(&self, b: &BasicClTerm, s: &Structure, vals: Arc<Vec<i64>>) {
+        self.insert_hashed(b.structural_hash(), b, s, vals);
+    }
+
+    /// [`TermCache::insert`] with a caller-supplied term hash (see
+    /// [`TermCache::get_hashed`]).
+    fn insert_hashed(&self, term_hash: u64, b: &BasicClTerm, s: &Structure, vals: Arc<Vec<i64>>) {
         let key = Key {
-            term: b.structural_hash(),
+            term: term_hash,
             structure: s.fingerprint(),
             order: s.order(),
         };
-        let mut map = self.map.lock().expect("term cache poisoned");
-        if map.len() < self.capacity {
-            map.insert(key, vals);
+        let mut inner = self.map.lock().expect("term cache poisoned");
+        if inner.resident >= self.capacity {
+            return;
+        }
+        let bucket = inner.map.entry(key).or_default();
+        if bucket.iter().all(|e| e.term != *b) {
+            bucket.push(Entry {
+                term: b.clone(),
+                vals,
+            });
+            inner.resident += 1;
         }
     }
 
@@ -141,7 +189,7 @@ impl TermCache {
 
     /// Resident entries.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("term cache poisoned").len()
+        self.map.lock().expect("term cache poisoned").resident
     }
 
     /// `true` iff nothing has been cached yet.
@@ -200,6 +248,34 @@ mod tests {
         assert_eq!(snap.counter(foc_obs::names::CACHE_HITS), 1);
         assert_eq!(snap.counter(foc_obs::names::CACHE_MISSES), 1);
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn forced_hash_collision_misses_instead_of_cross_reading() {
+        // Regression: the cache used to key on structural_hash alone, so
+        // two distinct terms with colliding hashes shared one slot and a
+        // lookup for one could return the other's values. Force the
+        // collision by injecting term 1's hash into term 2's lookup.
+        use crate::gk::Gk;
+        let y1 = v("y1");
+        let y2 = v("y2");
+        let g = Gk::from_edges(2, &[(0, 1)]);
+        let b1 = BasicClTerm::new(vec![y1, y2], true, g.clone(), 0, atom("E", [y1, y2])).unwrap();
+        let b2 = BasicClTerm::new(vec![y1, y2], true, g, 1, atom("E", [y1, y2])).unwrap();
+        assert_ne!(b1, b2, "the two terms must differ (radius 0 vs 1)");
+        let cache = TermCache::default();
+        let s = path(6);
+        let h = b1.structural_hash();
+        cache.insert_hashed(h, &b1, &s, Arc::new(vec![7; 6]));
+        assert!(
+            cache.get_hashed(h, &b2, &s).is_none(),
+            "a colliding key must not surface another term's values"
+        );
+        // Both colliding terms coexist in the bucket with their own data.
+        cache.insert_hashed(h, &b2, &s, Arc::new(vec![9; 6]));
+        assert_eq!(cache.get_hashed(h, &b1, &s).unwrap().as_slice(), &[7; 6]);
+        assert_eq!(cache.get_hashed(h, &b2, &s).unwrap().as_slice(), &[9; 6]);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::radius::locality_radius;
 ///
 /// * if `unary`: `u(y₁) = #(y₂,…,y_k).(ψ(ȳ) ∧ δ_G,2r+1(ȳ))`
 /// * else:      `g = #(y₁,…,y_k).(ψ(ȳ) ∧ δ_G,2r+1(ȳ))`
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BasicClTerm {
     /// All tuple variables `y₁, …, y_k`.
     pub vars: Vec<Var>,
@@ -52,6 +52,10 @@ impl BasicClTerm {
             graph.is_connected(),
             "basic cl-terms require a connected graph"
         );
+        // δ-formulas carry u32 distance bounds, so 2r+1 must fit u32 —
+        // `matrix()` would otherwise truncate the bound and change the
+        // counted set. Reject oversized radii up front (degradable).
+        checked_delta_bound(radius)?;
         let body_radius = if body.free_vars().is_empty() {
             0 // constant or marker-only body
         } else {
@@ -72,13 +76,15 @@ impl BasicClTerm {
         self.vars.len()
     }
 
-    /// The distance bound `2r+1` used by the δ-formula.
+    /// The distance bound `2r+1` used by the δ-formula. Guaranteed to
+    /// fit a `u32` — [`BasicClTerm::new`] rejects larger radii.
     pub fn delta_bound(&self) -> u64 {
         2 * self.radius + 1
     }
 
     /// `ψ ∧ δ_G,2r+1` as a plain formula.
     pub fn matrix(&self) -> Arc<Formula> {
+        // The cast is exact: `new` enforced 2r+1 ≤ u32::MAX.
         let delta = self
             .graph
             .delta_formula(&self.vars, self.delta_bound() as u32);
@@ -121,6 +127,22 @@ impl BasicClTerm {
         self.body.hash(&mut h);
         h.finish()
     }
+}
+
+/// Returns the separator bound `2r+1` for radius `r`, or
+/// [`LocalityError::RadiusTooLarge`] when it overflows `u64` or exceeds
+/// `u32::MAX` (the width of δ-formula distance bounds). Every place that
+/// casts a `2r+1` bound down to `u32` must go through this check first.
+pub fn checked_delta_bound(radius: u64) -> Result<u64> {
+    let too_large = LocalityError::RadiusTooLarge { radius };
+    let bound = radius
+        .checked_mul(2)
+        .and_then(|d| d.checked_add(1))
+        .ok_or(too_large.clone())?;
+    if bound > u64::from(u32::MAX) {
+        return Err(too_large);
+    }
+    Ok(bound)
 }
 
 /// A cl-term: a polynomial over basic cl-terms (Definition 6.2's closure
@@ -294,5 +316,33 @@ mod tests {
     #[should_panic(expected = "connected")]
     fn disconnected_graph_rejected() {
         let _ = BasicClTerm::new(vec![v("a"), v("b")], false, Gk::empty(2), 0, tt());
+    }
+
+    #[test]
+    fn delta_bound_u32_limits() {
+        // Largest admissible radius: 2r+1 = u32::MAX exactly.
+        let max_r = u64::from(u32::MAX) / 2;
+        assert_eq!(checked_delta_bound(max_r).unwrap(), u64::from(u32::MAX));
+        // One past it no longer fits the δ-formula's u32 bound.
+        assert!(matches!(
+            checked_delta_bound(max_r + 1),
+            Err(LocalityError::RadiusTooLarge { radius }) if radius == max_r + 1
+        ));
+        // 2r+1 overflowing u64 itself is also caught, not wrapped.
+        assert!(matches!(
+            checked_delta_bound(u64::MAX),
+            Err(LocalityError::RadiusTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_radius_rejected_at_construction() {
+        let y1 = v("y1");
+        let y2 = v("y2");
+        let g = Gk::from_edges(2, &[(0, 1)]);
+        let r = u64::from(u32::MAX) / 2 + 1;
+        let err = BasicClTerm::new(vec![y1, y2], true, g, r, atom("E", [y1, y2])).unwrap_err();
+        assert!(matches!(err, LocalityError::RadiusTooLarge { .. }));
+        assert!(err.is_degradable(), "radius overflow must walk the ladder");
     }
 }

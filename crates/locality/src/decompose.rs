@@ -142,7 +142,9 @@ fn decompose_sum(
         ));
     }
     let k = vars.len();
-    let bound = 2 * r + 1;
+    // Fails (degradably) if 2r+1 overflows the u32 δ-formula bound —
+    // truncating it later would silently change the counted set.
+    let bound = crate::clterm::checked_delta_bound(r)?;
     let mut forced: Vec<(usize, usize)> = Vec::new();
     let mut free_pairs: Vec<(usize, usize)> = Vec::new();
     for i in 0..k {
@@ -226,7 +228,8 @@ fn decompose_with_graph_guarded(
         .enumerate()
         .map(|(i, &v)| (v, if vprime.contains(&i) { 0u8 } else { 1u8 }))
         .collect();
-    let sep = 2 * r + 1;
+    // Checked for u32 fit so the `sep as u32` casts below are exact.
+    let sep = crate::clterm::checked_delta_bound(r)?;
 
     // Feferman–Vaught: ψ ≡ ⋁ᵢ ψᵢ′(ȳ′) ∧ ψᵢ″(ȳ″) under δ_G (exclusive).
     let disjuncts = separate(psi, &side_of, sep)?;

@@ -29,6 +29,18 @@ pub enum LocalityError {
         /// The largest supported width.
         max: usize,
     },
+    /// A locality/decomposition radius is too large to represent
+    /// faithfully: δ-formulas carry `u32` distance bounds, so a radius
+    /// `r` with `2r + 1 > u32::MAX` (or a radius sum overflowing `u64`)
+    /// cannot be decomposed without silently changing semantics. The
+    /// machinery errors instead of saturating or truncating; the error
+    /// is degradable, so the engine ladder answers via the naive
+    /// evaluator, which has no radius arithmetic at all.
+    RadiusTooLarge {
+        /// The offending radius (clamped to `u64::MAX` when the value
+        /// itself overflowed `u64`).
+        radius: u64,
+    },
     /// A parallel worker panicked while evaluating an independent piece;
     /// the panic was contained and the remaining workers joined.
     WorkerPanicked {
@@ -48,6 +60,12 @@ impl fmt::Display for LocalityError {
             LocalityError::Eval(e) => write!(f, "evaluation error during rewriting: {e}"),
             LocalityError::WidthTooLarge { width, max } => {
                 write!(f, "pattern width {width} exceeds the supported bound {max}")
+            }
+            LocalityError::RadiusTooLarge { radius } => {
+                write!(
+                    f,
+                    "locality radius {radius} exceeds the representable distance bound"
+                )
             }
             LocalityError::WorkerPanicked {
                 payload,
@@ -70,7 +88,8 @@ impl LocalityError {
             LocalityError::NotLocal(_)
             | LocalityError::TooComplex(_)
             | LocalityError::NotFirstOrder(_)
-            | LocalityError::WidthTooLarge { .. } => true,
+            | LocalityError::WidthTooLarge { .. }
+            | LocalityError::RadiusTooLarge { .. } => true,
             LocalityError::Eval(_) | LocalityError::WorkerPanicked { .. } => false,
         }
     }

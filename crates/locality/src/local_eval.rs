@@ -172,7 +172,12 @@ impl<'a> LocalEvaluator<'a> {
     /// Remark 6.3).
     pub fn exploration_radius(b: &BasicClTerm) -> u64 {
         let k = b.width() as u64;
-        b.body_radius.max(b.radius) + (k - 1) * b.delta_bound()
+        // Saturation is sound here (unlike in the radius analysis): this
+        // radius only sizes the explored ball, and a *larger* ball never
+        // changes answers — wrapping would shrink it, which does.
+        b.body_radius
+            .max(b.radius)
+            .saturating_add((k - 1).saturating_mul(b.delta_bound()))
     }
 
     /// `u^A[a]` for a unary (or ground-used-as-unary) basic cl-term: the

@@ -87,7 +87,12 @@ fn radius(f: &Formula) -> Result<u64> {
                     }
                 }
             }
-            Ok(worst.saturating_add(inner))
+            // Radius composition must not saturate: an understated radius
+            // makes the r-neighbourhood too small and silently changes
+            // answers, so overflow here is a hard (degradable) error.
+            worst
+                .checked_add(inner)
+                .ok_or(LocalityError::RadiusTooLarge { radius: u64::MAX })
         }
         Formula::Forall(y, _) => {
             // ∀y φ ≡ ¬∃y ¬φ: guardedness lives in the *negated* body, so
@@ -198,8 +203,14 @@ fn conjunction_bound(
                 }
                 if let Some(d) = guard_bound(p, v, &known) {
                     let base = bounds.values().copied().max().unwrap_or(0);
-                    bounds.insert(v, base.saturating_add(d));
-                    changed = true;
+                    // Overflow means no representable bound exists for
+                    // `v`; leaving it unbounded is sound (the caller
+                    // reports NotLocal and the engine degrades), whereas
+                    // a saturated bound would *understate* the distance.
+                    if let Some(b) = base.checked_add(d) {
+                        bounds.insert(v, b);
+                        changed = true;
+                    }
                 }
             }
         }
@@ -214,7 +225,12 @@ fn relax(bounds: &mut FxHashMap<Var, u64>, from: Var, to: Var, weight: u64) -> b
     let Some(&bf) = bounds.get(&from) else {
         return false;
     };
-    let cand = bf.saturating_add(weight);
+    // An overflowing path bound derives nothing: skip the relaxation
+    // rather than saturate (a clamped bound would understate distance,
+    // which is the unsound direction; "no bound" merely degrades).
+    let Some(cand) = bf.checked_add(weight) else {
+        return false;
+    };
     match bounds.get(&to) {
         Some(&bt) if bt <= cand => false,
         _ => {
@@ -429,6 +445,33 @@ mod tests {
         )));
         let r = locality_radius(&f).unwrap();
         assert!(r >= 1);
+    }
+
+    #[test]
+    fn near_max_distance_weights_compute_exactly() {
+        // dist weights max out at u32::MAX per atom; the analysis must
+        // carry them exactly in u64 — no saturation, no wrap.
+        let d = u32::MAX;
+        let f = dist_le(v("x"), v("y"), d);
+        assert_eq!(locality_radius(&f).unwrap(), u64::from(d).div_ceil(2));
+        // Guard u32::MAX composed with a u32::MAX-radius body: the exact
+        // u64 sum, well past u32 but nowhere near saturation.
+        let g = exists(
+            v("z"),
+            and(dist_le(v("x"), v("z"), d), dist_le(v("z"), v("z"), d)),
+        );
+        assert_eq!(
+            locality_radius(&g).unwrap(),
+            u64::from(d) + u64::from(d).div_ceil(2)
+        );
+        // Chained near-max weights through a conjunction fixpoint: two
+        // u32::MAX edges relax to their exact u64 sum.
+        let h = exists_all(
+            [v("z1"), v("z2")],
+            and(dist_le(v("x"), v("z1"), d), dist_le(v("z1"), v("z2"), d)),
+        );
+        let r = locality_radius(&h).unwrap();
+        assert_eq!(r, u64::from(d) * 2 + u64::from(d).div_ceil(2));
     }
 
     #[test]

@@ -71,3 +71,20 @@ pub const PHASE_DECOMPOSE_NANOS: &str = "phase.decompose_nanos";
 pub const PHASE_COVER_NANOS: &str = "phase.cover_nanos";
 /// Wall nanoseconds of cl-term evaluation. Counter.
 pub const PHASE_EVAL_NANOS: &str = "phase.eval_nanos";
+
+/// Differential cases the fuzz harness generated or replayed. Counter.
+pub const FUZZ_CASES: &str = "fuzz.cases";
+/// Cross-engine divergences detected (before shrinking). Counter.
+pub const FUZZ_DIVERGENCES: &str = "fuzz.divergences";
+/// Metamorphic-identity violations detected. Counter.
+pub const FUZZ_META_DIVERGENCES: &str = "fuzz.meta_divergences";
+/// Shrink-predicate evaluations spent minimising divergences. Counter.
+pub const FUZZ_SHRINK_ATTEMPTS: &str = "fuzz.shrink_attempts";
+/// Accepted shrink steps (how much smaller cases got). Counter.
+pub const FUZZ_SHRINK_STEPS: &str = "fuzz.shrink_steps";
+/// Wall nanoseconds inside engine evaluations, summed over the whole
+/// matrix. Counter (per-variant breakdowns use
+/// `fuzz.engine_nanos.<variant>`).
+pub const FUZZ_ENGINE_NANOS: &str = "fuzz.engine_nanos";
+/// Prefix for per-variant wall-nanosecond counters.
+pub const FUZZ_ENGINE_NANOS_PREFIX: &str = "fuzz.engine_nanos.";

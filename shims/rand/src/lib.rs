@@ -16,7 +16,7 @@
 
 #![warn(missing_docs)]
 
-use std::ops::Range;
+use std::ops::{Range, RangeInclusive};
 
 /// The low-level generator interface: a source of `u64` words.
 pub trait RngCore {
@@ -90,6 +90,22 @@ macro_rules! impl_int_range {
 }
 
 impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_int_range_inclusive {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_one(self, rng: &mut dyn RngCore) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_inclusive!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl SampleRange<f64> for Range<f64> {
     fn sample_one(self, rng: &mut dyn RngCore) -> f64 {

@@ -1,0 +1,75 @@
+//! Regression replay of the committed divergence corpus.
+//!
+//! Every file under `tests/corpus/` is a shrunk, once-diverging case
+//! (caught by `foc fuzz` against a deliberately injected engine bug and
+//! minimised by the shrinker). With healthy engines the whole corpus
+//! must replay clean: any divergence here means a previously-fixed
+//! cross-engine disagreement has come back.
+
+use std::path::Path;
+
+use foc_diff::harness::{replay, FuzzConfig};
+use foc_diff::{case_from_str, case_to_string, load_dir};
+use foc_obs::Metrics;
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn corpus_has_the_seeded_cases_and_they_round_trip() {
+    let entries = load_dir(&corpus_dir()).expect("corpus must load");
+    assert!(
+        entries.len() >= 10,
+        "expected the 10 seeded cases, found {}",
+        entries.len()
+    );
+    for (path, case) in &entries {
+        // Re-serialising must reproduce the query and structure exactly
+        // (notes aside): the corpus format is the replay contract.
+        let text = std::fs::read_to_string(path).unwrap();
+        let reparsed = case_from_str(&case_to_string(case, "")).unwrap();
+        assert_eq!(reparsed.query.text(), case.query.text(), "{path:?}");
+        assert_eq!(
+            reparsed.structure.fingerprint(),
+            case.structure.fingerprint(),
+            "{path:?}"
+        );
+        assert!(text.starts_with("# foc-diff corpus case"), "{path:?}");
+    }
+    // Several generator families must be represented, so replay
+    // exercises more than one signature.
+    let sigs: std::collections::BTreeSet<String> = entries
+        .iter()
+        .map(|(_, c)| {
+            c.structure
+                .signature()
+                .rels()
+                .iter()
+                .map(|r| format!("{}/{}", r.name, r.arity))
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    assert!(
+        sigs.len() >= 3,
+        "corpus lacks signature diversity: {sigs:?}"
+    );
+}
+
+#[test]
+fn corpus_replays_clean_on_healthy_engines() {
+    let cfg = FuzzConfig {
+        corpus_dir: Some(corpus_dir()),
+        ..FuzzConfig::default()
+    };
+    let metrics = Metrics::new();
+    let mut log = Vec::new();
+    let report = replay(&cfg, &metrics, &mut log);
+    assert!(report.cases >= 10);
+    assert!(
+        report.clean(),
+        "corpus divergence (a fixed bug regressed):\n{}",
+        String::from_utf8_lossy(&log)
+    );
+}
