@@ -1,0 +1,233 @@
+//! E13 — the service mode under load: a seeded loopback stress run
+//! against `foc-serve`, measuring throughput, tail latency, load
+//! shedding, and the resident-byte watermark, followed by a graceful
+//! drain.
+//!
+//! Besides the markdown table, this experiment writes `BENCH_serve.json`
+//! to the current directory: one machine-readable record per
+//! concurrency level plus the drain report. On a single-CPU host the
+//! concurrency sweep measures queueing, not parallel speedup — the JSON
+//! carries a `note` saying so rather than hiding it.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use foc_core::EngineKind;
+use foc_obs::names;
+use foc_serve::{start, ServerConfig};
+use foc_structures::gen::grid;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::table::Table;
+
+/// The deterministic request pool: a mix of cheap checks and heavier
+/// counting terms over the grid, all well-formed (failures measured by
+/// E13 are sheds, not errors).
+const QUERIES: [(&str, &str); 4] = [
+    ("check", "exists x. exists y. E(x,y)"),
+    ("check", "@even(#(x). exists y. E(x,y))"),
+    ("eval", "#(x,y). E(x,y)"),
+    ("eval", "#(x). exists y. E(x,y)"),
+];
+
+struct LoadCell {
+    clients: usize,
+    requests: usize,
+    served: u64,
+    shed: u64,
+    errors: u64,
+    secs: f64,
+    p50_micros: u64,
+    p99_micros: u64,
+    peak_resident: u64,
+    drain_interrupted: u64,
+    drain_micros: u64,
+}
+
+impl LoadCell {
+    fn throughput(&self) -> f64 {
+        self.served as f64 / self.secs.max(1e-9)
+    }
+}
+
+/// Runs one stress cell: `clients` concurrent connections, each sending
+/// `per_client` seeded requests back-to-back, against a fresh server.
+fn run_cell(seed: u64, side: u32, clients: usize, per_client: usize) -> LoadCell {
+    let handle = start(
+        grid(side, side),
+        ServerConfig {
+            max_inflight: 4,
+            queue: 8,
+            engine: EngineKind::Local,
+            max_timeout: Duration::from_secs(30),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = handle.addr();
+
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9e37));
+                let stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).ok();
+                let mut writer = stream.try_clone().expect("clone");
+                let mut reader = BufReader::new(stream);
+                let mut latencies = Vec::with_capacity(per_client);
+                let (mut served, mut shed, mut errors) = (0u64, 0u64, 0u64);
+                for i in 0..per_client {
+                    let (mode, query) = QUERIES[rng.gen_range(0..QUERIES.len())];
+                    let req = format!(
+                        "{{\"id\":\"c{c}-{i}\",\"mode\":\"{mode}\",\"query\":\"{query}\"}}"
+                    );
+                    let t = Instant::now();
+                    writeln!(writer, "{req}").expect("send");
+                    let mut line = String::new();
+                    reader.read_line(&mut line).expect("recv");
+                    let micros = t.elapsed().as_micros() as u64;
+                    if line.contains("\"type\":\"result\"") {
+                        served += 1;
+                        latencies.push(micros);
+                    } else if line.contains("\"type\":\"shed\"") {
+                        shed += 1;
+                    } else {
+                        errors += 1;
+                    }
+                }
+                (latencies, served, shed, errors)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let (mut served, mut shed, mut errors) = (0u64, 0u64, 0u64);
+    for w in workers {
+        let (l, s, sh, e) = w.join().expect("client thread");
+        latencies.extend(l);
+        served += s;
+        shed += sh;
+        errors += e;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let peak_resident = handle.peak_resident_bytes();
+    let report = handle.drain();
+    // The server counts sheds too; the client-side tally is the ground
+    // truth for the cell, the counter must agree.
+    debug_assert_eq!(report.final_metrics.counter(names::SERVE_SHED), shed);
+
+    latencies.sort_unstable();
+    let pct = |p: usize| -> u64 {
+        if latencies.is_empty() {
+            0
+        } else {
+            latencies[(latencies.len() * p / 100).min(latencies.len() - 1)]
+        }
+    };
+    LoadCell {
+        clients,
+        requests: clients * per_client,
+        served,
+        shed,
+        errors,
+        secs,
+        p50_micros: pct(50),
+        p99_micros: pct(99),
+        peak_resident,
+        drain_interrupted: report.interrupted,
+        drain_micros: report.drain.as_micros() as u64,
+    }
+}
+
+fn emit_json(cells: &[LoadCell], quick: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"experiment\": \"E13 service mode under load\",");
+    let _ = writeln!(out, "  \"engine\": \"local\",");
+    let _ = writeln!(out, "  \"cpus\": {},", foc_parallel::available_threads());
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(
+        out,
+        "  \"note\": \"loopback stress with max_inflight=4, queue=8; on a 1-CPU host the client sweep measures queueing and shedding, not parallel speedup\","
+    );
+    let _ = writeln!(out, "  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"clients\": {},", c.clients);
+        let _ = writeln!(out, "      \"requests\": {},", c.requests);
+        let _ = writeln!(out, "      \"served\": {},", c.served);
+        let _ = writeln!(out, "      \"shed\": {},", c.shed);
+        let _ = writeln!(out, "      \"errors\": {},", c.errors);
+        let _ = writeln!(out, "      \"seconds\": {:.6},", c.secs);
+        let _ = writeln!(out, "      \"throughput_rps\": {:.3},", c.throughput());
+        let _ = writeln!(out, "      \"latency_micros\": {{");
+        let _ = writeln!(out, "        \"p50\": {},", c.p50_micros);
+        let _ = writeln!(out, "        \"p99\": {}", c.p99_micros);
+        let _ = writeln!(out, "      }},");
+        let _ = writeln!(out, "      \"peak_resident_bytes\": {},", c.peak_resident);
+        let _ = writeln!(out, "      \"drain\": {{");
+        let _ = writeln!(out, "        \"interrupted\": {},", c.drain_interrupted);
+        let _ = writeln!(out, "        \"micros\": {}", c.drain_micros);
+        let _ = writeln!(out, "      }}");
+        let _ = writeln!(out, "    }}{}", if i + 1 < cells.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// E13: the loopback stress run. Returns the markdown table and writes
+/// `BENCH_serve.json` to the working directory.
+pub fn e13(quick: bool) -> Vec<Table> {
+    let side: u32 = if quick { 12 } else { 24 };
+    let per_client: usize = if quick { 20 } else { 60 };
+    let mut t = Table::new(
+        "E13: service mode under load (loopback, max_inflight=4, queue=8)",
+        &[
+            "clients",
+            "requests",
+            "served",
+            "shed",
+            "errors",
+            "rps",
+            "p50 µs",
+            "p99 µs",
+            "peak bytes",
+            "drain",
+        ],
+    );
+    let mut cells = Vec::new();
+    for clients in [1usize, 4, 16] {
+        let cell = run_cell(42, side, clients, per_client);
+        assert_eq!(cell.errors, 0, "well-formed requests must not error");
+        assert_eq!(
+            cell.served + cell.shed,
+            cell.requests as u64,
+            "every request is answered exactly once"
+        );
+        assert_eq!(cell.drain_interrupted, 0, "idle drain must be clean");
+        t.row(vec![
+            cell.clients.to_string(),
+            cell.requests.to_string(),
+            cell.served.to_string(),
+            cell.shed.to_string(),
+            cell.errors.to_string(),
+            format!("{:.0}", cell.throughput()),
+            cell.p50_micros.to_string(),
+            cell.p99_micros.to_string(),
+            cell.peak_resident.to_string(),
+            format!("{}µs", cell.drain_micros),
+        ]);
+        cells.push(cell);
+    }
+    let json = emit_json(&cells, quick);
+    match std::fs::write("BENCH_serve.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_serve.json"),
+        Err(e) => eprintln!("could not write BENCH_serve.json: {e}"),
+    }
+    vec![t]
+}

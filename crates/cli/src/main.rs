@@ -9,6 +9,8 @@
 //! foc gen     <class> --n N [--seed S] [-o out.foc]
 //!     classes: tree, grid, path, cycle, star, clique, deg3, gnm
 //! foc fuzz    [--seed S] [--budget 30s | --iters N] [--corpus DIR] [--replay]
+//! foc serve   <structure.foc> [--port N] [--max-inflight N] [--queue N]
+//!             [--mem-limit <bytes>] [--drain-timeout <ms>]
 //! ```
 //!
 //! `foc fuzz` runs the cross-engine differential harness (`foc-diff`):
@@ -28,6 +30,7 @@
 //! Structure files use the line-oriented format of
 //! `foc_structures::io` (see `foc gen … -o example.foc` for a sample).
 
+use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -117,7 +120,13 @@ usage:
   foc stats   <structure.foc> [--cover-r N]
   foc gen     <tree|grid|path|cycle|star|clique|deg3|gnm> --n N [--seed S] [-o out.foc]
   foc fuzz    [--seed S] [--budget 30s | --iters N] [--corpus DIR] [--replay]
-              [--max-order N] [--no-shrink] [--no-meta] [--metrics-json <path>]
+              [--max-order N] [--no-shrink] [--no-meta] [--case-timeout <ms>]
+              [--metrics-json <path>]
+  foc serve   <structure.foc> [--port N] [--max-inflight N] [--queue N]
+              [--mem-limit <bytes>] [--drain-timeout <ms>] [--max-timeout <ms>]
+              [--max-fuel N] [--engine ...] [--threads N] [--metrics-json <path>]
+              (JSON-lines over TCP; drains on stdin EOF or a \"drain\" line;
+               exit 3 if the drain deadline interrupted in-flight requests)
 
 options:
   --engine naive|local|cover   evaluation strategy (default: local)
@@ -160,6 +169,7 @@ fn run(args: &[String]) -> CliResult {
         "stats" => cmd_stats(rest),
         "gen" => cmd_gen(rest),
         "fuzz" => cmd_fuzz(rest),
+        "serve" => cmd_serve(rest),
         other => Err(CliError::usage(format!("unknown subcommand {other:?}"))),
     }
 }
@@ -568,6 +578,17 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
                 .map_err(|_| CliError::usage("--inject-flip-local needs an integer"))?,
         );
     }
+    // Per-case deadline: `0` disables it; the default is generous enough
+    // that healthy runs keep byte-identical logs.
+    let case_deadline = match flag_value(args, "--case-timeout") {
+        Some(v) => {
+            let ms: u64 = v.parse().map_err(|_| {
+                CliError::usage(format!("invalid --case-timeout {v:?} (milliseconds)"))
+            })?;
+            (ms > 0).then(|| Duration::from_millis(ms))
+        }
+        None => Some(foc_diff::DEFAULT_CASE_DEADLINE),
+    };
     let cfg = foc_diff::FuzzConfig {
         seed,
         iters,
@@ -577,6 +598,7 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
         injection,
         metamorphic: !has_flag(args, "--no-meta"),
         shrink: !has_flag(args, "--no-shrink"),
+        case_deadline,
     };
     let metrics = foc_obs::Metrics::new();
     let mut stdout = std::io::stdout().lock();
@@ -603,6 +625,108 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
             report.cases
         )))
     }
+}
+
+/// `foc serve`: load the structure once, serve JSON-lines queries over
+/// TCP until stdin closes (or sends a `drain` line), then drain
+/// gracefully. Exit code 3 when the drain deadline passed and in-flight
+/// requests had to be interrupted.
+fn cmd_serve(args: &[String]) -> CliResult {
+    let pos = positional(args);
+    let [path] = pos.as_slice() else {
+        return Err(CliError::usage("serve needs exactly one structure file"));
+    };
+    let structure = load(path)?;
+
+    let mut config = foc_serve::ServerConfig::default();
+    if let Some(v) = flag_value(args, "--port") {
+        let port: u16 = v
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid --port {v:?}")))?;
+        config.addr = format!("127.0.0.1:{port}");
+    }
+    let usize_flag = |flag: &str, default: usize| -> CliResult<usize> {
+        match flag_value(args, flag) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::usage(format!("invalid {flag} {v:?}"))),
+            None => Ok(default),
+        }
+    };
+    let u64_flag = |flag: &str| -> CliResult<Option<u64>> {
+        match flag_value(args, flag) {
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError::usage(format!("invalid {flag} {v:?}"))),
+            None => Ok(None),
+        }
+    };
+    config.max_inflight = usize_flag("--max-inflight", config.max_inflight)?;
+    config.queue = usize_flag("--queue", config.queue)?;
+    config.threads = usize_flag("--threads", config.threads)?;
+    config.mem_limit = u64_flag("--mem-limit")?;
+    config.max_fuel = u64_flag("--max-fuel")?;
+    if let Some(ms) = u64_flag("--drain-timeout")? {
+        config.drain_timeout = Duration::from_millis(ms);
+    }
+    if let Some(ms) = u64_flag("--max-timeout")? {
+        config.max_timeout = Duration::from_millis(ms);
+    }
+    config.engine = match flag_value(args, "--engine").unwrap_or("local") {
+        "naive" => EngineKind::Naive,
+        "local" => EngineKind::Local,
+        "cover" => EngineKind::Cover,
+        other => return Err(CliError::usage(format!("unknown engine {other:?}"))),
+    };
+
+    let handle = foc_serve::start(structure, config)
+        .map_err(|e| CliError::Runtime(format!("cannot bind: {e}")))?;
+    println!("listening on {}", handle.addr());
+    // `println!` buffers per line, but be explicit: supervisors wait on
+    // this line to learn the ephemeral port.
+    std::io::stdout().flush().ok();
+
+    // Block on stdin: EOF (supervisor closed the pipe) or an explicit
+    // "drain" line starts the graceful drain.
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line.trim() == "drain" => break,
+            Ok(_) => continue,
+            Err(e) => {
+                eprintln!("foc: stdin error, draining: {e}");
+                break;
+            }
+        }
+    }
+
+    let report = handle.drain();
+    let snap = &report.final_metrics;
+    eprintln!(
+        "drained in {:?}: {} request(s) served, {} shed, {} interrupted by the drain deadline, {} connection(s) joined",
+        report.drain,
+        snap.counter(foc_obs::names::SERVE_REQUESTS),
+        snap.counter(foc_obs::names::SERVE_SHED),
+        report.interrupted,
+        report.connections_joined,
+    );
+    if let Some(path) = flag_value(args, "--metrics-json") {
+        let json = session_json("serve", &[], snap, &[]);
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if report.interrupted > 0 {
+        return Err(CliError::Interrupted(foc_core::Interrupt {
+            reason: foc_core::TripReason::Cancelled,
+            phase: foc_core::Phase::Engine,
+            fuel_spent: 0,
+        }));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -220,6 +220,7 @@ pub struct EvaluatorBuilder {
     preds: Option<Predicates>,
     sinks: Vec<Arc<dyn Sink>>,
     budget: Budget,
+    shared_cache: Option<Arc<TermCache>>,
     fault_panic_element: Option<u32>,
 }
 
@@ -308,6 +309,20 @@ impl EvaluatorBuilder {
         self
     }
 
+    /// Shares one long-lived memo cache across every session of the
+    /// built engine instead of giving each session a fresh one. This is
+    /// the serving configuration: values memoised by one request warm
+    /// the next, and the cache's occupancy can be mirrored into a
+    /// memory-watermark meter via
+    /// [`foc_locality::TermCache::with_memory_meter`]. Implies
+    /// `cache(true)`. Lookup counters accrue to the registry the cache
+    /// was built with (if any), not to each session's.
+    pub fn shared_cache(mut self, cache: Arc<TermCache>) -> EvaluatorBuilder {
+        self.config.cache = true;
+        self.shared_cache = Some(cache);
+        self
+    }
+
     /// Test-only fault injection: the basic-cl-term evaluators panic when
     /// they reach this element, exercising the panic-containment path.
     #[doc(hidden)]
@@ -349,6 +364,7 @@ impl EvaluatorBuilder {
             config: self.config,
             sinks: self.sinks,
             budget: self.budget,
+            shared_cache: self.shared_cache,
             fault_panic_element: self.fault_panic_element,
         })
     }
@@ -366,6 +382,10 @@ pub struct Evaluator {
     pub(crate) sinks: Vec<Arc<dyn Sink>>,
     /// Declarative resource budget, armed per session.
     pub(crate) budget: Budget,
+    /// A cross-session memo cache (see
+    /// [`EvaluatorBuilder::shared_cache`]); `None` gives each session a
+    /// fresh cache.
+    pub(crate) shared_cache: Option<Arc<TermCache>>,
     /// Test-only fault injection (see
     /// [`EvaluatorBuilder::fault_panic_element`]).
     pub(crate) fault_panic_element: Option<u32>,
@@ -426,10 +446,11 @@ impl Evaluator {
         let root = obs.root_span("session", &[("order", i64::from(a.order()))]);
         root.record_text("engine", format!("{:?}", self.config.kind));
         let metrics = SessionMetrics::resolve(obs.metrics());
-        let cache = self
-            .config
-            .cache
-            .then(|| Arc::new(TermCache::default().with_metrics(obs.metrics())));
+        let cache = self.config.cache.then(|| {
+            self.shared_cache
+                .clone()
+                .unwrap_or_else(|| Arc::new(TermCache::default().with_metrics(obs.metrics())))
+        });
         Session {
             ev: self,
             a: a.clone(),

@@ -18,8 +18,8 @@ use rand::{rngs::StdRng, SeedableRng};
 
 use crate::corpus::{case_file_name, load_dir, save_case};
 use crate::gen::{gen_case, GenConfig};
-use crate::meta::run_meta;
-use crate::oracle::{engine_matrix, run_matrix, BugInjection, Case, Divergence};
+use crate::meta::run_meta_with_deadline;
+use crate::oracle::{engine_matrix, run_matrix_with_deadline, BugInjection, Case, Divergence};
 use crate::shrink::shrink_case;
 
 /// Deterministic `--budget` conversion: one budget-second buys this many
@@ -52,7 +52,16 @@ pub struct FuzzConfig {
     pub metamorphic: bool,
     /// Shrink divergences before reporting/persisting them.
     pub shrink: bool,
+    /// Per-case wall-clock deadline armed on every engine evaluation, so
+    /// a wedged variant cannot hang the whole sweep (`None` = no
+    /// deadline). Trips are counted under `fuzz.case_timeouts`; the
+    /// default is generous enough that healthy runs never trip it and
+    /// log determinism is preserved in practice.
+    pub case_deadline: Option<std::time::Duration>,
 }
+
+/// Default per-case deadline (see [`FuzzConfig::case_deadline`]).
+pub const DEFAULT_CASE_DEADLINE: std::time::Duration = std::time::Duration::from_secs(30);
 
 impl Default for FuzzConfig {
     fn default() -> Self {
@@ -65,6 +74,7 @@ impl Default for FuzzConfig {
             injection: BugInjection::default(),
             metamorphic: true,
             shrink: true,
+            case_deadline: Some(DEFAULT_CASE_DEADLINE),
         }
     }
 }
@@ -122,14 +132,22 @@ fn run_case(case: &Case, cfg: &FuzzConfig, rng: &mut StdRng, metrics: &Metrics) 
             .counter(&format!("{}{variant}", names::FUZZ_ENGINE_NANOS_PREFIX))
             .add(nanos);
     };
-    let (_, mut divergences) = run_matrix(case, &cfg.injection, Some(&mut timing));
+    let (_, mut divergences, timeouts) =
+        run_matrix_with_deadline(case, &cfg.injection, Some(&mut timing), cfg.case_deadline);
+    metrics.counter(names::FUZZ_CASE_TIMEOUTS).add(timeouts);
     metrics
         .counter(names::FUZZ_DIVERGENCES)
         .add(divergences.len() as u64);
     if cfg.metamorphic {
         let mut meta_found = Vec::new();
         for variant in &engine_matrix() {
-            meta_found.extend(run_meta(variant, case, &cfg.injection, rng));
+            meta_found.extend(run_meta_with_deadline(
+                variant,
+                case,
+                &cfg.injection,
+                rng,
+                cfg.case_deadline,
+            ));
         }
         metrics
             .counter(names::FUZZ_META_DIVERGENCES)
@@ -146,7 +164,11 @@ fn minimise(case: &Case, cfg: &FuzzConfig, metrics: &Metrics) -> (Case, u64) {
     let attempts = metrics.counter(names::FUZZ_SHRINK_ATTEMPTS);
     let (small, steps) = shrink_case(
         case,
-        |cand| !run_matrix(cand, &cfg.injection, None).1.is_empty(),
+        |cand| {
+            !run_matrix_with_deadline(cand, &cfg.injection, None, cfg.case_deadline)
+                .1
+                .is_empty()
+        },
         || attempts.inc(),
     );
     metrics.counter(names::FUZZ_SHRINK_STEPS).add(steps);
@@ -173,7 +195,7 @@ fn report_divergence(
     // Re-run the matrix on the minimised case so the report describes
     // what the corpus file actually reproduces.
     let final_divergences = if shrink_steps > 0 {
-        run_matrix(&small, &cfg.injection, None).1
+        run_matrix_with_deadline(&small, &cfg.injection, None, cfg.case_deadline).1
     } else {
         divergences
     };
@@ -349,6 +371,29 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn vanishing_case_deadline_trips_and_is_counted() {
+        // A zero deadline interrupts every variant at the first guard
+        // poll; the sweep still completes (no hang, no divergence — an
+        // interrupted oracle aborts each comparison) and the trips land
+        // under `fuzz.case_timeouts`.
+        let metrics = Metrics::new();
+        let mut log = Vec::new();
+        let report = fuzz(
+            &FuzzConfig {
+                iters: Some(3),
+                metamorphic: false,
+                case_deadline: Some(std::time::Duration::ZERO),
+                ..FuzzConfig::default()
+            },
+            &metrics,
+            &mut log,
+        );
+        assert!(report.clean(), "interrupts are not divergences");
+        assert_eq!(report.cases, 3);
+        assert!(metrics.snapshot().counter(names::FUZZ_CASE_TIMEOUTS) > 0);
     }
 
     #[test]

@@ -40,9 +40,9 @@ pub mod shrink;
 
 pub use corpus::{case_from_str, case_to_string, load_dir, save_case};
 pub use gen::{gen_case, GenConfig};
-pub use harness::{fuzz, replay, FuzzConfig, FuzzReport};
+pub use harness::{fuzz, replay, FuzzConfig, FuzzReport, DEFAULT_CASE_DEADLINE};
 pub use oracle::{
-    engine_matrix, evaluate, run_matrix, BugInjection, Case, Divergence, Outcome, QueryCase,
-    Variant,
+    engine_matrix, evaluate, evaluate_with_deadline, run_matrix, run_matrix_with_deadline,
+    BugInjection, Case, Divergence, Outcome, QueryCase, Variant,
 };
 pub use shrink::shrink_case;

@@ -25,7 +25,9 @@ use foc_structures::Structure;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::oracle::{evaluate, BugInjection, Case, Divergence, Outcome, QueryCase, Variant};
+use crate::oracle::{
+    evaluate_with_deadline, BugInjection, Case, Divergence, Outcome, QueryCase, Variant,
+};
 
 /// Rebuilds `s` with its universe relabelled by a random permutation.
 /// The result is isomorphic to `s` by construction.
@@ -92,15 +94,28 @@ pub fn run_meta<R: Rng>(
     inject: &BugInjection,
     rng: &mut R,
 ) -> Vec<Divergence> {
+    run_meta_with_deadline(variant, case, inject, rng, None)
+}
+
+/// [`run_meta`] with a per-case deadline armed on every evaluation (see
+/// [`crate::oracle::evaluate_with_deadline`]). Interrupted outcomes are
+/// never reported as identity violations.
+pub fn run_meta_with_deadline<R: Rng>(
+    variant: &Variant,
+    case: &Case,
+    inject: &BugInjection,
+    rng: &mut R,
+    case_deadline: Option<std::time::Duration>,
+) -> Vec<Divergence> {
     let mut divergences = Vec::new();
-    let base = evaluate(variant, case, inject);
+    let base = evaluate_with_deadline(variant, case, inject, case_deadline);
     // An interrupted or erroring base run has nothing to compare against
     // (error *classes* are already cross-checked by the engine matrix).
     if matches!(base, Outcome::Err(_)) {
         return divergences;
     }
     let mut check = |identity: &str, transformed: &Case| {
-        let got = evaluate(variant, transformed, inject);
+        let got = evaluate_with_deadline(variant, transformed, inject, case_deadline);
         if got != base && !matches!(got, Outcome::Err(ref c) if c == "interrupted") {
             divergences.push(Divergence {
                 variant: format!("meta:{identity}:{}", variant.name),
@@ -143,13 +158,14 @@ pub fn run_meta<R: Rng>(
             if let Outcome::Int(v) = base {
                 if let Some(doubled) = v.checked_mul(2) {
                     let union = Structure::disjoint_union(&case.structure, &case.structure);
-                    let got = evaluate(
+                    let got = evaluate_with_deadline(
                         variant,
                         &Case {
                             query: case.query.clone(),
                             structure: union,
                         },
                         inject,
+                        case_deadline,
                     );
                     let expected = Outcome::Int(doubled);
                     if got != expected && !matches!(got, Outcome::Err(ref c) if c == "interrupted")

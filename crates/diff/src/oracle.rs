@@ -137,12 +137,16 @@ pub struct Variant {
 }
 
 impl Variant {
-    fn build(&self) -> Evaluator {
-        Evaluator::builder()
+    fn build(&self, case_deadline: Option<std::time::Duration>) -> Evaluator {
+        let mut builder = Evaluator::builder()
             .kind(self.kind)
             .threads(self.threads)
             .cache(self.cache)
-            .degrade(self.degrade)
+            .degrade(self.degrade);
+        if let Some(d) = case_deadline {
+            builder = builder.timeout(d);
+        }
+        builder
             .build()
             .expect("matrix variants are valid configurations")
     }
@@ -254,7 +258,20 @@ impl BugInjection {
 /// Evaluates `case` under one matrix variant (applying the injected bug,
 /// if any, after the engine returns).
 pub fn evaluate(variant: &Variant, case: &Case, inject: &BugInjection) -> Outcome {
-    let ev = variant.build();
+    evaluate_with_deadline(variant, case, inject, None)
+}
+
+/// [`evaluate`] with a per-case wall-clock deadline armed on the engine
+/// (the fuzz harness's protection against a wedged variant hanging the
+/// whole sweep). A tripped deadline surfaces as
+/// `Outcome::Err("interrupted")`.
+pub fn evaluate_with_deadline(
+    variant: &Variant,
+    case: &Case,
+    inject: &BugInjection,
+    case_deadline: Option<std::time::Duration>,
+) -> Outcome {
+    let ev = variant.build(case_deadline);
     let mut out = match &case.query {
         QueryCase::Sentence(f) => match ev.check_sentence(&case.structure, f) {
             Ok(b) => Outcome::Bool(b),
@@ -327,14 +344,32 @@ fn acceptable(variant: &Variant, out: &Outcome) -> bool {
 pub fn run_matrix(
     case: &Case,
     inject: &BugInjection,
-    mut timing: Option<&mut dyn FnMut(&'static str, std::time::Duration)>,
+    timing: Option<&mut dyn FnMut(&'static str, std::time::Duration)>,
 ) -> (Outcome, Vec<Divergence>) {
+    let (oracle, divergences, _) = run_matrix_with_deadline(case, inject, timing, None);
+    (oracle, divergences)
+}
+
+/// [`run_matrix`] with a per-case deadline armed on every variant. The
+/// third return component counts variant runs (oracle included) the
+/// deadline cut short; interrupted outcomes never count as divergences
+/// (an interrupted oracle aborts the comparison entirely).
+pub fn run_matrix_with_deadline(
+    case: &Case,
+    inject: &BugInjection,
+    mut timing: Option<&mut dyn FnMut(&'static str, std::time::Duration)>,
+    case_deadline: Option<std::time::Duration>,
+) -> (Outcome, Vec<Divergence>, u64) {
     let matrix = engine_matrix();
+    let mut timeouts = 0u64;
     let mut timed_eval = |variant: &Variant| {
         let t0 = std::time::Instant::now();
-        let out = evaluate(variant, case, inject);
+        let out = evaluate_with_deadline(variant, case, inject, case_deadline);
         if let Some(cb) = timing.as_deref_mut() {
             cb(variant.name, t0.elapsed());
+        }
+        if case_deadline.is_some() && matches!(&out, Outcome::Err(c) if c == "interrupted") {
+            timeouts += 1;
         }
         out
     };
@@ -342,7 +377,7 @@ pub fn run_matrix(
     let mut divergences = Vec::new();
     // An interrupted oracle cannot adjudicate anything.
     if matches!(&oracle, Outcome::Err(c) if c == "interrupted") {
-        return (oracle, divergences);
+        return (oracle, divergences, timeouts);
     }
     for variant in &matrix[1..] {
         let got = timed_eval(variant);
@@ -354,7 +389,7 @@ pub fn run_matrix(
             });
         }
     }
-    (oracle, divergences)
+    (oracle, divergences, timeouts)
 }
 
 #[cfg(test)]

@@ -57,6 +57,54 @@ impl CancelToken {
     }
 }
 
+/// A shared byte account for memory-watermark enforcement. Producers of
+/// resident memory (loaded structures, memo caches, result buffers)
+/// `add`/`sub` their footprint as it changes; a [`Budget`] armed with a
+/// meter and a limit trips with [`TripReason::Memory`] once the account
+/// crosses the limit. Clones share the account.
+///
+/// The meter is *cooperative* like everything else in this crate: it
+/// measures what the instrumented components report, not RSS. Its value
+/// is that a long-running process can see pressure building and shed or
+/// shrink *before* the allocator fails.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryMeter {
+    used: Arc<AtomicU64>,
+}
+
+impl MemoryMeter {
+    /// A fresh meter accounting zero bytes.
+    pub fn new() -> MemoryMeter {
+        MemoryMeter::default()
+    }
+
+    /// Adds `bytes` to the account.
+    pub fn add(&self, bytes: u64) {
+        self.used.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Subtracts `bytes` from the account (saturating at zero: a
+    /// mis-paired release must not wrap into an instant trip).
+    pub fn sub(&self, bytes: u64) {
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self
+                .used
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Bytes currently accounted.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+}
+
 /// The pipeline phase a guard check (and hence an interruption) is
 /// attributed to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -108,6 +156,8 @@ pub enum TripReason {
     Fuel,
     /// The [`CancelToken`] was cancelled.
     Cancelled,
+    /// The [`MemoryMeter`] crossed its byte limit.
+    Memory,
 }
 
 impl fmt::Display for TripReason {
@@ -116,6 +166,7 @@ impl fmt::Display for TripReason {
             TripReason::Deadline => "deadline",
             TripReason::Fuel => "fuel",
             TripReason::Cancelled => "cancellation",
+            TripReason::Memory => "memory limit",
         })
     }
 }
@@ -156,6 +207,9 @@ pub struct Budget {
     pub fuel: Option<u64>,
     /// Cooperative cancellation flag.
     pub cancel: CancelToken,
+    /// Memory watermark: trip once the shared meter crosses the byte
+    /// limit. Polled on the same stride as the deadline.
+    pub memory: Option<(MemoryMeter, u64)>,
 }
 
 impl Budget {
@@ -182,10 +236,19 @@ impl Budget {
         self
     }
 
+    /// Arms a memory watermark: checks trip with
+    /// [`TripReason::Memory`] once `meter` accounts more than `limit`
+    /// bytes.
+    pub fn with_memory(mut self, meter: MemoryMeter, limit: u64) -> Budget {
+        self.memory = Some((meter, limit));
+        self
+    }
+
     /// Whether this budget can never trip.
     pub fn is_unlimited(&self) -> bool {
         self.deadline.is_none()
             && self.fuel.is_none()
+            && self.memory.is_none()
             && Arc::strong_count(&self.cancel.flag) == 1
             && !self.cancel.is_cancelled()
     }
@@ -202,6 +265,7 @@ impl Budget {
                 fuel: self.fuel.unwrap_or(u64::MAX),
                 spent: AtomicU64::new(0),
                 cancel: self.cancel.clone(),
+                memory: self.memory.clone(),
                 tripped: AtomicBool::new(false),
             })),
         }
@@ -214,9 +278,18 @@ struct GuardInner {
     fuel: u64,
     spent: AtomicU64,
     cancel: CancelToken,
+    memory: Option<(MemoryMeter, u64)>,
     /// Sticky: set on first trip so every thread sharing the guard stops
     /// at its next check, regardless of stride alignment.
     tripped: AtomicBool,
+}
+
+impl GuardInner {
+    fn over_memory(&self) -> bool {
+        self.memory
+            .as_ref()
+            .is_some_and(|(meter, limit)| meter.used() > *limit)
+    }
 }
 
 /// The armed, shareable runtime form of a [`Budget`]. Cloning is cheap
@@ -289,6 +362,14 @@ impl Guard {
                     });
                 }
             }
+            if inner.over_memory() {
+                inner.tripped.store(true, Ordering::Relaxed);
+                return Err(Interrupt {
+                    reason: TripReason::Memory,
+                    phase,
+                    fuel_spent: spent,
+                });
+            }
         }
         Ok(())
     }
@@ -299,6 +380,8 @@ impl Guard {
             TripReason::Fuel
         } else if inner.cancel.is_cancelled() {
             TripReason::Cancelled
+        } else if inner.over_memory() {
+            TripReason::Memory
         } else {
             TripReason::Deadline
         };
@@ -393,6 +476,38 @@ mod tests {
         }
         assert!(g.check(Phase::NaiveEval).is_err());
         assert_eq!(g.fuel_spent(), h.fuel_spent());
+    }
+
+    #[test]
+    fn memory_watermark_trips_within_stride() {
+        let meter = MemoryMeter::new();
+        let g = Budget::unlimited().with_memory(meter.clone(), 1000).arm();
+        assert!(!g.is_unlimited());
+        g.check(Phase::Engine).unwrap();
+        meter.add(1001);
+        let mut tripped = None;
+        for _ in 0..(DEADLINE_STRIDE + 2) {
+            if let Err(e) = g.check(Phase::Engine) {
+                tripped = Some(e);
+                break;
+            }
+        }
+        let e = tripped.expect("memory pressure must be observed within a stride");
+        assert_eq!(e.reason, TripReason::Memory);
+        // Sticky, and clones share the account.
+        assert_eq!(
+            g.clone().check(Phase::Cover).unwrap_err().reason,
+            TripReason::Memory
+        );
+        // Releasing below the limit does not un-trip an armed guard, but
+        // a freshly armed one passes again.
+        meter.sub(600);
+        assert!(g.check(Phase::Engine).is_err());
+        let g2 = Budget::unlimited().with_memory(meter.clone(), 1000).arm();
+        g2.check(Phase::Engine).unwrap();
+        assert_eq!(meter.used(), 401);
+        meter.sub(10_000);
+        assert_eq!(meter.used(), 0, "release saturates at zero");
     }
 
     #[test]

@@ -17,10 +17,22 @@
 //! the parallel cluster path can share one instance across workers
 //! without affecting determinism: a hit returns exactly the vector the
 //! miss path would have computed.
+//!
+//! At capacity the cache runs CLOCK (second-chance) eviction: every hit
+//! sets the entry's reference bit, and an insert needing space sweeps
+//! the ring clearing bits until it finds an unreferenced victim. An
+//! insert that completes a full lap without finding one (everything was
+//! referenced since the last sweep) is dropped instead — so a burst of
+//! fresh terms cannot flush a hot working set, and a long-lived server
+//! does not pin first-seen entries forever the way the old
+//! stop-inserting-at-capacity policy did. Evictions are counted under
+//! `engine.cache.evictions`, and the cache's resident footprint can be
+//! mirrored into a [`foc_guard::MemoryMeter`] for watermark enforcement.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
+use foc_guard::MemoryMeter;
 use foc_obs::{names, Counter, Metrics};
 use foc_structures::{FxHashMap, Structure};
 
@@ -46,28 +58,96 @@ struct Key {
 struct Entry {
     term: BasicClTerm,
     vals: Arc<Vec<i64>>,
+    /// Ring identity (see [`Inner::ring`]).
+    id: u64,
+    /// CLOCK reference bit: set on every hit, cleared by the sweep.
+    referenced: bool,
+}
+
+/// Fixed per-entry overhead charged on top of the value vector: the key,
+/// the stored term, and the map/ring bookkeeping, approximated.
+const ENTRY_OVERHEAD_BYTES: u64 = 96;
+
+fn entry_bytes(vals: &[i64]) -> u64 {
+    ENTRY_OVERHEAD_BYTES + (vals.len() as u64) * 8
 }
 
 /// The mutexed interior: buckets per key (colliding *distinct* terms
-/// coexist instead of shadowing each other) plus a running entry count
-/// so capacity checks stay O(1).
+/// coexist instead of shadowing each other), the CLOCK ring, and running
+/// entry/byte counts so capacity checks stay O(1).
 #[derive(Debug, Default)]
 struct Inner {
     map: FxHashMap<Key, Vec<Entry>>,
+    /// The eviction ring: one slot per resident entry, identified by
+    /// `(key, id)`. Order is approximate (victim slots are back-filled
+    /// by `swap_remove`), which is all CLOCK needs.
+    ring: Vec<(Key, u64)>,
+    /// The clock hand: index into `ring` where the next sweep starts.
+    hand: usize,
+    /// Monotonic entry-id source (disambiguates colliding-key entries in
+    /// the ring).
+    next_id: u64,
     resident: usize,
+    resident_bytes: u64,
 }
 
-/// A thread-safe memo of basic-cl-term value vectors.
+impl Inner {
+    /// Sweeps the ring for an eviction victim: clears reference bits as
+    /// it passes, evicts at the first clear bit, and gives up after one
+    /// full lap (everything was hot). Returns the victim's byte
+    /// footprint when a slot was freed.
+    fn evict_one(&mut self) -> Option<u64> {
+        let n = self.ring.len();
+        for _ in 0..n {
+            if self.hand >= self.ring.len() {
+                self.hand = 0;
+            }
+            let (key, id) = self.ring[self.hand];
+            let bucket = self
+                .map
+                .get_mut(&key)
+                .unwrap_or_else(|| unreachable!("ring slot without bucket"));
+            let idx = bucket
+                .iter()
+                .position(|e| e.id == id)
+                .unwrap_or_else(|| unreachable!("ring slot without entry"));
+            if bucket[idx].referenced {
+                bucket[idx].referenced = false;
+                self.hand += 1;
+                continue;
+            }
+            let evicted = bucket.swap_remove(idx);
+            if bucket.is_empty() {
+                self.map.remove(&key);
+            }
+            self.ring.swap_remove(self.hand);
+            self.resident -= 1;
+            let bytes = entry_bytes(&evicted.vals);
+            self.resident_bytes = self.resident_bytes.saturating_sub(bytes);
+            return Some(bytes);
+        }
+        None
+    }
+}
+
+/// A thread-safe memo of basic-cl-term value vectors with CLOCK
+/// (second-chance) eviction at capacity.
 #[derive(Debug)]
 pub struct TermCache {
     map: Mutex<Inner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     capacity: usize,
-    /// Optional registry mirrors (`cache.hits` / `cache.misses`),
-    /// incremented alongside the private atomics so a session's metrics
-    /// registry sees lookups from every evaluator sharing the cache.
-    obs: Option<(Counter, Counter)>,
+    /// Optional registry mirrors (`cache.hits` / `cache.misses` /
+    /// `engine.cache.evictions`), incremented alongside the private
+    /// atomics so a session's metrics registry sees lookups from every
+    /// evaluator sharing the cache.
+    obs: Option<(Counter, Counter, Counter)>,
+    /// Optional shared byte account: the cache's resident footprint is
+    /// mirrored there (added on insert, released on evict/drop) so a
+    /// server-wide memory watermark sees cache occupancy.
+    meter: Option<MemoryMeter>,
 }
 
 /// Default bound on resident entries (vectors are cluster-sized, so this
@@ -80,37 +160,67 @@ impl Default for TermCache {
     }
 }
 
+impl Drop for TermCache {
+    fn drop(&mut self) {
+        if let Some(meter) = &self.meter {
+            let inner = self.map.lock().unwrap_or_else(|e| e.into_inner());
+            meter.sub(inner.resident_bytes);
+        }
+    }
+}
+
 impl TermCache {
-    /// An empty cache holding at most `capacity` entries. Once full,
-    /// further inserts are dropped (a deterministic policy: what is
-    /// cached never depends on thread timing, only on first-come
-    /// insertion order of *distinct* keys, which the sequential and
-    /// parallel paths agree on for the values they produce).
+    /// An empty cache holding at most `capacity` entries. At capacity,
+    /// inserts evict via CLOCK/second-chance: the sweep clears reference
+    /// bits and evicts the first entry not referenced since the last
+    /// sweep; if every resident entry was referenced, the *incoming*
+    /// entry is dropped instead (a full working set is never flushed by
+    /// cold traffic).
     pub fn with_capacity(capacity: usize) -> TermCache {
         TermCache {
             map: Mutex::new(Inner::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             capacity,
             obs: None,
+            meter: None,
         }
     }
 
-    /// Mirrors hit/miss accounting into a metrics registry (the
-    /// session-level `cache.hits` / `cache.misses` counters). Call
-    /// before sharing the cache across evaluators.
+    /// Mirrors hit/miss/eviction accounting into a metrics registry
+    /// (the session-level `cache.hits` / `cache.misses` /
+    /// `engine.cache.evictions` counters). Call before sharing the cache
+    /// across evaluators.
     pub fn with_metrics(mut self, metrics: &Metrics) -> TermCache {
         self.obs = Some((
             metrics.counter(names::CACHE_HITS),
             metrics.counter(names::CACHE_MISSES),
+            metrics.counter(names::CACHE_EVICTIONS),
         ));
         self
+    }
+
+    /// Mirrors the cache's resident footprint into a shared
+    /// [`MemoryMeter`] (the server-wide memory-watermark account). The
+    /// contribution is released entry-by-entry on eviction and in full
+    /// when the cache drops.
+    pub fn with_memory_meter(mut self, meter: MemoryMeter) -> TermCache {
+        self.meter = Some(meter);
+        self
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // A panicking evaluator thread may poison the mutex; the interior
+        // is a plain memo (every entry is valid or absent), so recovery
+        // is safe and keeps the cache serving.
+        self.map.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Looks up the memoised value of `b` on `s`, counting a hit or miss.
     /// A hit requires the stored term to compare *equal* to `b`, not just
     /// hash-equal, so a `structural_hash` collision can never return
-    /// another term's values.
+    /// another term's values. Hits set the entry's CLOCK reference bit.
     pub fn get(&self, b: &BasicClTerm, s: &Structure) -> Option<Arc<Vec<i64>>> {
         self.get_hashed(b.structural_hash(), b, s)
     }
@@ -126,23 +236,24 @@ impl TermCache {
             order: s.order(),
         };
         let found = self
-            .map
             .lock()
-            .expect("term cache poisoned")
             .map
-            .get(&key)
-            .and_then(|bucket| bucket.iter().find(|e| e.term == *b))
-            .map(|e| e.vals.clone());
+            .get_mut(&key)
+            .and_then(|bucket| bucket.iter_mut().find(|e| e.term == *b))
+            .map(|e| {
+                e.referenced = true;
+                e.vals.clone()
+            });
         match &found {
             Some(_) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                if let Some((hits, _)) = &self.obs {
+                if let Some((hits, _, _)) = &self.obs {
                     hits.inc();
                 }
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                if let Some((_, misses)) = &self.obs {
+                if let Some((_, misses, _)) = &self.obs {
                     misses.inc();
                 }
             }
@@ -150,7 +261,9 @@ impl TermCache {
         found
     }
 
-    /// Stores the value of `b` on `s` (a no-op at capacity).
+    /// Stores the value of `b` on `s`, evicting via CLOCK when at
+    /// capacity (or dropping the insert when every resident entry is
+    /// hot).
     pub fn insert(&self, b: &BasicClTerm, s: &Structure, vals: Arc<Vec<i64>>) {
         self.insert_hashed(b.structural_hash(), b, s, vals);
     }
@@ -158,23 +271,99 @@ impl TermCache {
     /// [`TermCache::insert`] with a caller-supplied term hash (see
     /// [`TermCache::get_hashed`]).
     fn insert_hashed(&self, term_hash: u64, b: &BasicClTerm, s: &Structure, vals: Arc<Vec<i64>>) {
+        if self.capacity == 0 {
+            return;
+        }
         let key = Key {
             term: term_hash,
             structure: s.fingerprint(),
             order: s.order(),
         };
-        let mut inner = self.map.lock().expect("term cache poisoned");
-        if inner.resident >= self.capacity {
-            return;
-        }
-        let bucket = inner.map.entry(key).or_default();
-        if bucket.iter().all(|e| e.term != *b) {
-            bucket.push(Entry {
+        let mut evicted = 0u64;
+        let mut released = 0u64;
+        let inserted;
+        {
+            let mut inner = self.lock();
+            if inner
+                .map
+                .get(&key)
+                .is_some_and(|bucket| bucket.iter().any(|e| e.term == *b))
+            {
+                return;
+            }
+            while inner.resident >= self.capacity {
+                match inner.evict_one() {
+                    Some(bytes) => {
+                        evicted += 1;
+                        released += bytes;
+                    }
+                    // One full lap found only referenced entries: the
+                    // working set is hot, drop the incoming value.
+                    None => return,
+                }
+            }
+            let id = inner.next_id;
+            inner.next_id += 1;
+            inserted = entry_bytes(&vals);
+            inner.ring.push((key, id));
+            // Born referenced: a fresh entry gets one full lap of
+            // protection, so at capacity 1 an insert cannot immediately
+            // displace the previous one (it is dropped instead).
+            inner.map.entry(key).or_default().push(Entry {
                 term: b.clone(),
                 vals,
+                id,
+                referenced: true,
             });
             inner.resident += 1;
+            inner.resident_bytes += inserted;
         }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            if let Some((_, _, ev)) = &self.obs {
+                ev.add(evicted);
+            }
+        }
+        if let Some(meter) = &self.meter {
+            meter.add(inserted);
+            meter.sub(released);
+        }
+    }
+
+    /// Evicts entries (ignoring reference bits) until at most
+    /// `target_resident` remain. Used by memory-pressure handlers to
+    /// shrink the cache below a watermark; returns the number evicted.
+    pub fn shrink_to(&self, target_resident: usize) -> u64 {
+        let mut evicted = 0u64;
+        let mut released = 0u64;
+        {
+            let mut inner = self.lock();
+            // Clear every reference bit so each sweep must succeed.
+            for bucket in inner.map.values_mut() {
+                for e in bucket.iter_mut() {
+                    e.referenced = false;
+                }
+            }
+            while inner.resident > target_resident {
+                match inner.evict_one() {
+                    Some(bytes) => {
+                        released += bytes;
+                        evicted += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            if let Some((_, _, ev)) = &self.obs {
+                ev.add(evicted);
+            }
+            if let Some(meter) = &self.meter {
+                meter.sub(released);
+            }
+        }
+        evicted
     }
 
     /// Lookups that found a memoised value.
@@ -187,9 +376,25 @@ impl TermCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Entries evicted by the CLOCK sweep (including forced shrinks).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Resident entries.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("term cache poisoned").resident
+        self.lock().resident
+    }
+
+    /// Approximate resident footprint in bytes (value vectors plus a
+    /// fixed per-entry overhead).
+    pub fn resident_bytes(&self) -> u64 {
+        self.lock().resident_bytes
+    }
+
+    /// The configured entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// `true` iff nothing has been cached yet.
@@ -287,5 +492,87 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert!(cache.get(&b, &path(4)).is_some());
         assert!(cache.get(&b, &path(5)).is_none());
+    }
+
+    #[test]
+    fn clock_evicts_cold_entries_instead_of_pinning_first_seen() {
+        // The pre-CLOCK policy pinned the first `capacity` entries
+        // forever. Now: entries referenced since the last sweep survive
+        // (second chance), unreferenced ones are evicted.
+        let cache = TermCache::with_capacity(2);
+        let b = some_basic();
+        cache.insert(&b, &path(4), Arc::new(vec![0; 4]));
+        cache.insert(&b, &path(5), Arc::new(vec![0; 5]));
+        // Both entries are born referenced, so this insert completes a
+        // full lap clearing their bits and is dropped (working set hot).
+        cache.insert(&b, &path(6), Arc::new(vec![0; 6]));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+        assert!(cache.get(&b, &path(6)).is_none(), "hot lap drops incoming");
+        // Re-reference path(5); path(4) stays cold from the cleared lap.
+        assert!(cache.get(&b, &path(5)).is_some());
+        // Now the sweep finds path(4) unreferenced and evicts it.
+        cache.insert(&b, &path(7), Arc::new(vec![0; 7]));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(&b, &path(4)).is_none(), "cold entry evicted");
+        assert!(cache.get(&b, &path(5)).is_some(), "hot entry survives");
+        assert!(cache.get(&b, &path(7)).is_some(), "new entry resident");
+    }
+
+    #[test]
+    fn eviction_counter_mirrors_into_registry() {
+        let metrics = Metrics::new();
+        let cache = TermCache::with_capacity(1).with_metrics(&metrics);
+        let b = some_basic();
+        cache.insert(&b, &path(4), Arc::new(vec![0; 4]));
+        // First attempt is dropped (path(4) is born referenced) but
+        // clears its bit; the second attempt evicts it.
+        cache.insert(&b, &path(5), Arc::new(vec![0; 5]));
+        assert_eq!(cache.evictions(), 0);
+        cache.insert(&b, &path(6), Arc::new(vec![0; 6]));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&b, &path(6)).is_some());
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(
+            metrics.snapshot().counter(foc_obs::names::CACHE_EVICTIONS),
+            1
+        );
+    }
+
+    #[test]
+    fn byte_accounting_and_memory_meter() {
+        let meter = MemoryMeter::new();
+        let cache = TermCache::with_capacity(8).with_memory_meter(meter.clone());
+        let b = some_basic();
+        assert_eq!(cache.resident_bytes(), 0);
+        cache.insert(&b, &path(4), Arc::new(vec![0; 4]));
+        let one = cache.resident_bytes();
+        assert_eq!(one, ENTRY_OVERHEAD_BYTES + 4 * 8);
+        assert_eq!(meter.used(), one);
+        cache.insert(&b, &path(5), Arc::new(vec![0; 5]));
+        assert_eq!(meter.used(), cache.resident_bytes());
+        // Forced shrink releases both the cache's and the meter's bytes.
+        let evicted = cache.shrink_to(1);
+        assert_eq!(evicted, 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(meter.used(), cache.resident_bytes());
+        drop(cache);
+        assert_eq!(meter.used(), 0, "drop releases the full contribution");
+    }
+
+    #[test]
+    fn shrink_to_zero_empties_the_cache() {
+        let cache = TermCache::with_capacity(8);
+        let b = some_basic();
+        for n in 4..8 {
+            cache.insert(&b, &path(n), Arc::new(vec![0; n as usize]));
+        }
+        // Reference bits do not protect entries from a forced shrink.
+        assert!(cache.get(&b, &path(4)).is_some());
+        assert_eq!(cache.shrink_to(0), 4);
+        assert!(cache.is_empty());
+        assert_eq!(cache.resident_bytes(), 0);
+        assert_eq!(cache.evictions(), 4);
     }
 }

@@ -174,10 +174,13 @@ impl ClTerm {
         if consts != 0 || out.is_empty() {
             out.push(ClTerm::Int(consts));
         }
-        if out.len() == 1 {
-            out.pop().expect("len checked")
-        } else {
-            ClTerm::Add(out)
+        match out.pop() {
+            Some(only) if out.is_empty() => only,
+            Some(last) => {
+                out.push(last);
+                ClTerm::Add(out)
+            }
+            None => ClTerm::Int(0),
         }
     }
 

@@ -219,7 +219,7 @@ fn decompose_with_graph_guarded(
     let vprime: Vec<usize> = comps
         .iter()
         .find(|c| c.contains(&0))
-        .expect("vertex 0 is somewhere")
+        .unwrap_or_else(|| unreachable!("vertex 0 is in some component"))
         .clone();
     let vsecond: Vec<usize> = (0..g.k()).filter(|i| !vprime.contains(i)).collect();
 

@@ -30,6 +30,8 @@
     clippy::type_complexity,
     clippy::needless_range_loop
 )]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;
 pub mod clnf;

@@ -205,7 +205,9 @@ impl<'a> LocalEvaluator<'a> {
             return Ok(if ev.check(&b.body, &mut env)? { 1 } else { 0 });
         }
 
-        let bound = u32::try_from(b.delta_bound()).expect("delta bound fits u32");
+        // `BasicClTerm::new` validated the bound via `checked_delta_bound`.
+        let bound =
+            u32::try_from(b.delta_bound()).unwrap_or_else(|_| unreachable!("delta bound fits u32"));
         let order = b.graph.bfs_order();
         debug_assert_eq!(order[0], 0);
 
@@ -255,7 +257,9 @@ impl<'a> LocalEvaluator<'a> {
             return Ok(());
         }
         let node = order[idx];
-        let bound = u32::try_from(b.delta_bound()).expect("delta bound fits u32");
+        // `BasicClTerm::new` validated the bound via `checked_delta_bound`.
+        let bound =
+            u32::try_from(b.delta_bound()).unwrap_or_else(|_| unreachable!("delta bound fits u32"));
         // Candidates: preferably from a positive guard atom of the body
         // that mentions this variable together with an assigned one
         // (a relational-index lookup); otherwise from the δ-ball of an
@@ -274,10 +278,10 @@ impl<'a> LocalEvaluator<'a> {
                     .iter()
                     .find(|&&(m, _)| b.graph.edge(node, m))
                     .map(|&(_, val)| val)
-                    .expect("BFS order guarantees an assigned neighbour");
+                    .unwrap_or_else(|| unreachable!("BFS order guarantees an assigned neighbour"));
                 dist_maps
                     .get(&anchor)
-                    .expect("anchor map materialised")
+                    .unwrap_or_else(|| unreachable!("anchor map materialised"))
                     .keys()
                     .copied()
                     .collect()
@@ -289,7 +293,7 @@ impl<'a> LocalEvaluator<'a> {
             for &(m, val) in assigned.iter() {
                 let close = dist_maps
                     .get(&val)
-                    .expect("assigned maps materialised")
+                    .unwrap_or_else(|| unreachable!("assigned maps materialised"))
                     .contains_key(&cand);
                 if close != b.graph.edge(node, m) {
                     continue 'cand;

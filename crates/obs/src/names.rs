@@ -43,6 +43,9 @@ pub const COVER_CLUSTER_SIZE: &str = "cover.cluster_size";
 pub const CACHE_HITS: &str = "cache.hits";
 /// Memo-cache lookups that missed. Counter.
 pub const CACHE_MISSES: &str = "cache.misses";
+/// Memo-cache entries evicted by the CLOCK/second-chance policy.
+/// Counter.
+pub const CACHE_EVICTIONS: &str = "engine.cache.evictions";
 
 /// Balls materialised by ball enumeration. Counter.
 pub const LOCAL_BALLS: &str = "local.balls";
@@ -88,3 +91,31 @@ pub const FUZZ_SHRINK_STEPS: &str = "fuzz.shrink_steps";
 pub const FUZZ_ENGINE_NANOS: &str = "fuzz.engine_nanos";
 /// Prefix for per-variant wall-nanosecond counters.
 pub const FUZZ_ENGINE_NANOS_PREFIX: &str = "fuzz.engine_nanos.";
+/// Engine evaluations cut short by the per-case fuzz deadline. Counter.
+pub const FUZZ_CASE_TIMEOUTS: &str = "fuzz.case_timeouts";
+
+/// Requests accepted by the server (admitted past the gate). Counter.
+pub const SERVE_REQUESTS: &str = "server.requests";
+/// Requests currently being evaluated. Gauge (running max over the
+/// process; the live value is exported separately by the server).
+pub const SERVE_INFLIGHT: &str = "server.inflight";
+/// Requests (or connections) refused with a shed frame. Counter.
+pub const SERVE_SHED: &str = "server.shed";
+/// Requests answered with an error frame (parse, eval, panic, or
+/// interrupt). Counter.
+pub const SERVE_ERRORS: &str = "server.errors";
+/// Requests whose worker panicked (contained; the server kept serving).
+/// Counter.
+pub const SERVE_PANICS: &str = "server.panics";
+/// Requests interrupted by their budget (deadline, fuel, memory, or the
+/// drain cancellation). Counter.
+pub const SERVE_INTERRUPTED: &str = "server.interrupted";
+/// Distribution of request latencies, in microseconds. Histogram.
+pub const SERVE_LATENCY_MICROS: &str = "server.latency_micros";
+/// Degradation steps taken by the memory watermark (cache shrink /
+/// cache off). Counter.
+pub const SERVE_PRESSURE_STEPS: &str = "server.pressure_steps";
+/// Wall nanoseconds spent draining at shutdown. Counter.
+pub const SERVE_DRAIN_NANOS: &str = "server.drain_nanos";
+/// In-flight requests interrupted by the drain deadline. Counter.
+pub const SERVE_DRAIN_INTERRUPTED: &str = "server.drain_interrupted";

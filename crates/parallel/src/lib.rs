@@ -264,6 +264,27 @@ where
     }
 }
 
+/// Runs one fallible closure with [`par_map_isolated`]-style panic
+/// containment: a panic is caught and surfaced as [`Fault::Panic`]
+/// (with `item_index == 0`) instead of unwinding into the caller.
+///
+/// This is the request-level isolation primitive: a server evaluates
+/// each request under `run_isolated` so a poisoned query is answered
+/// with an error while the serving thread survives.
+pub fn run_isolated<R, E, F>(f: F) -> Result<R, Fault<E>>
+where
+    F: FnOnce() -> Result<R, E>,
+{
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(Ok(v)) => Ok(v),
+        Ok(Err(e)) => Err(Fault::Error(e)),
+        Err(payload) => Err(Fault::Panic(WorkerPanic {
+            payload: panic_message(payload.as_ref()),
+            item_index: 0,
+        })),
+    }
+}
+
 /// Infallible convenience wrapper around [`par_map`].
 pub fn par_map_ok<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
@@ -407,6 +428,19 @@ mod tests {
         });
         assert!(matches!(got, Err(Fault::Panic(p)) if p.item_index == 0));
         assert_eq!(ran.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn run_isolated_contains_a_panic_and_passes_results_through() {
+        let ok: Result<u32, Fault<&str>> = run_isolated(|| Ok(7));
+        assert_eq!(ok.unwrap(), 7);
+        let err: Result<u32, Fault<&str>> = run_isolated(|| Err("bad"));
+        assert_eq!(err.unwrap_err(), Fault::Error("bad"));
+        let boom: Result<u32, Fault<&str>> = run_isolated(|| panic!("poisoned request"));
+        match boom {
+            Err(Fault::Panic(p)) => assert_eq!(p.payload, "poisoned request"),
+            other => panic!("expected caught panic, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! # foc-serve — the resilient query-serving mode
+//!
+//! A dependency-free JSON-lines TCP server over one resident
+//! [`foc_structures::Structure`]: load once, evaluate FOC1(P) queries
+//! from concurrent clients, survive the queries that misbehave.
+//!
+//! The robustness machinery of the earlier layers is composed here into
+//! a long-running process:
+//!
+//! * **Admission control** — a bounded in-flight limit plus a bounded
+//!   wait queue; beyond both, requests are *shed* with a structured
+//!   `retry_after_ms` frame instead of queueing unboundedly
+//!   ([`server::Gate`] internals, [`protocol::shed_frame`]);
+//! * **Per-request budgets** — request-supplied deadline/fuel clamped
+//!   by server-wide caps and armed as a [`foc_guard::Budget`], with the
+//!   drain [`foc_guard::CancelToken`] threaded through every guard;
+//! * **Panic isolation** — each evaluation runs under
+//!   [`foc_parallel::run_isolated`]; a poisoned query is one error
+//!   frame, not a dead server;
+//! * **Memory watermark** — structure bytes and shared-cache occupancy
+//!   are mirrored into a [`foc_guard::MemoryMeter`]; over the limit the
+//!   server walks shrink-cache → stop-caching → shed, and requests can
+//!   carry their own byte cap that trips
+//!   [`foc_guard::TripReason::Memory`];
+//! * **Graceful drain** — stop accepting, shed the queue, finish
+//!   in-flight work against a drain deadline, cancel the stragglers,
+//!   join every thread, flush metrics ([`server::ServerHandle::drain`]).
+//!
+//! The wire protocol is one JSON object per line in each direction; see
+//! [`protocol`].
+
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use protocol::{parse_request, Answer, Mode, Request};
+pub use server::{start, DrainReport, ServerConfig, ServerHandle};

@@ -1,0 +1,225 @@
+//! The JSON-lines wire protocol: request parsing and response frames.
+//!
+//! One request per line, one response frame per line, in order. Four
+//! frame types leave the server:
+//!
+//! * `{"type":"result", "id":…, "mode":…, "value":…, "micros":…}` — the
+//!   answer (a boolean for `check`, an integer for `eval`);
+//! * `{"type":"error", "id":…, "class":…, "message":…}` — a structured
+//!   failure (parse errors, evaluation errors, tripped budgets with
+//!   `"class":"interrupted"` and a `"reason"` field, contained panics
+//!   with `"class":"panic"`);
+//! * `{"type":"shed", "retry_after_ms":…}` — admission control refused
+//!   the request (or, during drain, the connection); retry later;
+//! * `{"type":"drained"}` — sent on streams still open when the server
+//!   finishes draining, immediately before the socket closes.
+
+use std::time::Duration;
+
+use foc_core::EngineKind;
+use foc_obs::report::json_escape;
+
+use crate::json::{parse, Value};
+
+/// What a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Model checking of a sentence (`"mode":"check"`).
+    Check,
+    /// Evaluation of a ground term (`"mode":"eval"`).
+    Eval,
+}
+
+impl Mode {
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Check => "check",
+            Mode::Eval => "eval",
+        }
+    }
+}
+
+/// A parsed request frame. Budgets here are *requests*: the server
+/// clamps them to its own caps before arming.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen id, echoed on the response (`"-"` if absent).
+    pub id: String,
+    /// Check or eval.
+    pub mode: Mode,
+    /// The query text (a sentence or a ground term).
+    pub query: String,
+    /// Requested wall-clock allowance.
+    pub timeout: Option<Duration>,
+    /// Requested fuel allowance.
+    pub fuel: Option<u64>,
+    /// Requested byte cap against the server-wide memory account
+    /// (`"mem_limit_bytes"`); trips `TripReason::Memory` when the
+    /// account exceeds it mid-evaluation.
+    pub mem_limit: Option<u64>,
+    /// Requested engine override.
+    pub engine: Option<EngineKind>,
+}
+
+/// Parses one request line. `Err` carries `(id, message)` so the error
+/// frame can still echo the client's id when the frame was valid JSON
+/// with a bad field.
+pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
+    let v = parse(line).map_err(|e| ("-".to_string(), format!("invalid JSON: {e}")))?;
+    let id = v
+        .get("id")
+        .and_then(Value::as_str)
+        .unwrap_or("-")
+        .to_string();
+    let fail = |msg: &str| Err((id.clone(), msg.to_string()));
+    let mode = match v.get("mode").and_then(Value::as_str) {
+        Some("check") => Mode::Check,
+        Some("eval") => Mode::Eval,
+        Some(other) => return fail(&format!("unknown mode {other:?} (want check|eval)")),
+        None => return fail("missing \"mode\""),
+    };
+    let Some(query) = v.get("query").and_then(Value::as_str) else {
+        return fail("missing \"query\"");
+    };
+    let timeout = match v.get("timeout_ms") {
+        None => None,
+        Some(t) => match t.as_int() {
+            Some(ms) if ms >= 0 => Some(Duration::from_millis(ms as u64)),
+            _ => return fail("\"timeout_ms\" must be a non-negative integer"),
+        },
+    };
+    let fuel = match v.get("fuel") {
+        None => None,
+        Some(t) => match t.as_int() {
+            Some(f) if f >= 0 => Some(f as u64),
+            _ => return fail("\"fuel\" must be a non-negative integer"),
+        },
+    };
+    let mem_limit = match v.get("mem_limit_bytes") {
+        None => None,
+        Some(t) => match t.as_int() {
+            Some(b) if b >= 0 => Some(b as u64),
+            _ => return fail("\"mem_limit_bytes\" must be a non-negative integer"),
+        },
+    };
+    let engine = match v.get("engine").and_then(Value::as_str) {
+        None => None,
+        Some("naive") => Some(EngineKind::Naive),
+        Some("local") => Some(EngineKind::Local),
+        Some("cover") => Some(EngineKind::Cover),
+        Some(other) => return fail(&format!("unknown engine {other:?}")),
+    };
+    Ok(Request {
+        id,
+        mode,
+        query: query.to_string(),
+        timeout,
+        fuel,
+        mem_limit,
+        engine,
+    })
+}
+
+/// The answer payload of a result frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Answer {
+    /// `check` verdict.
+    Bool(bool),
+    /// `eval` value.
+    Int(i64),
+}
+
+/// Renders a result frame.
+pub fn result_frame(id: &str, mode: Mode, answer: Answer, micros: u64) -> String {
+    let value = match answer {
+        Answer::Bool(b) => b.to_string(),
+        Answer::Int(i) => i.to_string(),
+    };
+    format!(
+        "{{\"type\":\"result\",\"id\":\"{}\",\"mode\":\"{}\",\"value\":{value},\"micros\":{micros}}}",
+        json_escape(id),
+        mode.name(),
+    )
+}
+
+/// Renders an error frame. `reason` is present only for
+/// `class == "interrupted"` (deadline / fuel / cancellation / memory
+/// limit).
+pub fn error_frame(id: &str, class: &str, reason: Option<&str>, message: &str) -> String {
+    let reason_field = reason
+        .map(|r| format!(",\"reason\":\"{}\"", json_escape(r)))
+        .unwrap_or_default();
+    format!(
+        "{{\"type\":\"error\",\"id\":\"{}\",\"class\":\"{}\"{reason_field},\"message\":\"{}\"}}",
+        json_escape(id),
+        json_escape(class),
+        json_escape(message),
+    )
+}
+
+/// Renders a shed frame (admission refused; retry after the hint).
+pub fn shed_frame(retry_after_ms: u64) -> String {
+    format!("{{\"type\":\"shed\",\"retry_after_ms\":{retry_after_ms}}}")
+}
+
+/// Renders the drain notice sent before the server closes a stream.
+pub fn drained_frame() -> String {
+    "{\"type\":\"drained\"}".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip_and_clamps() {
+        let r = parse_request(
+            r##"{"id":"q7","mode":"eval","query":"#(x,y). E(x,y)","timeout_ms":250,"fuel":1000,"mem_limit_bytes":4096,"engine":"cover"}"##,
+        )
+        .unwrap();
+        assert_eq!(r.id, "q7");
+        assert_eq!(r.mode, Mode::Eval);
+        assert_eq!(r.timeout, Some(Duration::from_millis(250)));
+        assert_eq!(r.fuel, Some(1000));
+        assert_eq!(r.mem_limit, Some(4096));
+        assert_eq!(r.engine, Some(EngineKind::Cover));
+    }
+
+    #[test]
+    fn bad_requests_keep_the_id_when_parseable() {
+        let (id, msg) = parse_request(r#"{"id":"x","mode":"warp","query":"true"}"#).unwrap_err();
+        assert_eq!(id, "x");
+        assert!(msg.contains("unknown mode"));
+        let (id, _) = parse_request("not json").unwrap_err();
+        assert_eq!(id, "-");
+        let (_, msg) = parse_request(r#"{"mode":"check"}"#).unwrap_err();
+        assert!(msg.contains("query"));
+    }
+
+    #[test]
+    fn frames_are_single_line_json() {
+        let frames = [
+            result_frame("a", Mode::Check, Answer::Bool(true), 12),
+            result_frame("b", Mode::Eval, Answer::Int(-3), 7),
+            error_frame(
+                "c",
+                "interrupted",
+                Some("deadline"),
+                "interrupted by deadline",
+            ),
+            error_frame("d\"e", "panic", None, "boom"),
+            shed_frame(50),
+            drained_frame(),
+        ];
+        for f in &frames {
+            assert!(!f.contains('\n'), "frame must be one line: {f}");
+            let v = crate::json::parse(f).unwrap_or_else(|e| panic!("unparseable {f}: {e}"));
+            assert!(v.get("type").is_some());
+        }
+        assert_eq!(
+            frames[0],
+            "{\"type\":\"result\",\"id\":\"a\",\"mode\":\"check\",\"value\":true,\"micros\":12}"
+        );
+    }
+}

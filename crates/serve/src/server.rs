@@ -1,0 +1,707 @@
+//! The resilient query server: admission control, per-request budgets,
+//! panic isolation, a memory-pressure ladder, and graceful drain.
+//!
+//! One `std::net::TcpListener`, one accept thread (non-blocking, so it
+//! can never be wedged by a slow client or a full admission queue), one
+//! thread per connection. The structure is loaded once; every request
+//! builds a cheap [`Evaluator`] over it, sharing one [`TermCache`]
+//! across all sessions (the "warm pool" — the expensive state is the
+//! memoised values, not the evaluator structs).
+//!
+//! Failure containment, per request:
+//! * the request's deadline/fuel are clamped by the server caps and
+//!   armed as a [`foc_guard::Budget`] (plus the drain [`CancelToken`]
+//!   and an optional request-level memory cap against the server-wide
+//!   [`MemoryMeter`]);
+//! * evaluation runs under [`foc_parallel::run_isolated`], so a
+//!   panicking query is answered with a structured error frame while
+//!   the connection thread survives;
+//! * admission is a bounded gate: over `max_inflight` requests wait in
+//!   a bounded queue; over `queue` waiters, the request is shed with a
+//!   `retry_after_ms` hint — nothing ever blocks unboundedly.
+//!
+//! Memory watermark escalation (server-wide, observed at admission):
+//! shrink the shared cache to half → evict it entirely and stop caching
+//! → shed requests until the meter drops below the limit. Requests can
+//! additionally carry their own byte cap, which arms
+//! `TripReason::Memory` on the guard and surfaces as an
+//! `"interrupted"` error frame.
+
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use foc_core::{DegradePolicy, EngineKind, Error, Evaluator};
+use foc_guard::{Budget, CancelToken, MemoryMeter, TripReason};
+use foc_locality::TermCache;
+use foc_logic::parse::{parse_formula, parse_term};
+use foc_obs::{names, pow2_buckets, Metrics};
+use foc_parallel::{run_isolated, Fault};
+use foc_structures::Structure;
+
+use crate::protocol::{
+    drained_frame, error_frame, parse_request, result_frame, shed_frame, Answer, Mode, Request,
+};
+
+/// Server configuration. `Default` binds an ephemeral loopback port
+/// with conservative caps.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` = ephemeral port).
+    pub addr: String,
+    /// Requests evaluated concurrently; more wait in the queue.
+    pub max_inflight: usize,
+    /// Bounded admission queue; requests beyond it are shed.
+    pub queue: usize,
+    /// Server-wide memory watermark in bytes (`None` = no watermark).
+    pub mem_limit: Option<u64>,
+    /// How long `drain` waits for in-flight work before cancelling it.
+    pub drain_timeout: Duration,
+    /// Cap (and default) for request-supplied deadlines.
+    pub max_timeout: Duration,
+    /// Cap for request-supplied fuel (`None` = unlimited default).
+    pub max_fuel: Option<u64>,
+    /// Default engine (requests may override the kind, never the caps).
+    pub engine: EngineKind,
+    /// Worker threads per evaluation.
+    pub threads: usize,
+    /// Capacity of the shared memo cache, in entries.
+    pub cache_capacity: usize,
+    /// The hint sent in shed frames.
+    pub retry_after_ms: u64,
+    /// Test-only fault injection, forwarded to the evaluator builder
+    /// (see `EvaluatorBuilder::fault_panic_element`).
+    #[doc(hidden)]
+    pub fault_panic_element: Option<u32>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_inflight: 4,
+            queue: 16,
+            mem_limit: None,
+            drain_timeout: Duration::from_secs(5),
+            max_timeout: Duration::from_secs(10),
+            max_fuel: None,
+            engine: EngineKind::Local,
+            threads: 1,
+            cache_capacity: foc_locality::cache::DEFAULT_CAPACITY,
+            retry_after_ms: 50,
+            fault_panic_element: None,
+        }
+    }
+}
+
+/// Admission verdict for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Admission {
+    /// Evaluate now (the caller must call [`Gate::exit`] afterwards).
+    Admitted,
+    /// Refused: queue full, or the server is draining.
+    Shed,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    inflight: usize,
+    waiting: usize,
+    draining: bool,
+}
+
+/// The bounded admission gate: at most `max_inflight` requests evaluate
+/// at once, at most `queue` wait. Everything else is shed immediately —
+/// `enter` never blocks unless a bounded queue slot was free, and drain
+/// wakes every waiter.
+#[derive(Debug)]
+struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+    max_inflight: usize,
+    queue: usize,
+}
+
+impl Gate {
+    fn new(max_inflight: usize, queue: usize) -> Gate {
+        Gate {
+            state: Mutex::new(GateState::default()),
+            cv: Condvar::new(),
+            max_inflight: max_inflight.max(1),
+            queue,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, GateState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn enter(&self) -> Admission {
+        let mut st = self.lock();
+        if st.draining {
+            return Admission::Shed;
+        }
+        if st.inflight < self.max_inflight {
+            st.inflight += 1;
+            return Admission::Admitted;
+        }
+        if st.waiting >= self.queue {
+            return Admission::Shed;
+        }
+        st.waiting += 1;
+        loop {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            if st.draining {
+                st.waiting -= 1;
+                return Admission::Shed;
+            }
+            if st.inflight < self.max_inflight {
+                st.waiting -= 1;
+                st.inflight += 1;
+                return Admission::Admitted;
+            }
+        }
+    }
+
+    fn exit(&self) {
+        let mut st = self.lock();
+        st.inflight = st.inflight.saturating_sub(1);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn start_drain(&self) {
+        self.lock().draining = true;
+        self.cv.notify_all();
+    }
+
+    /// Waits until no request is in flight, up to `deadline`. Returns
+    /// the number still in flight when it gave up (0 = clean).
+    fn wait_idle(&self, deadline: Instant) -> usize {
+        let mut st = self.lock();
+        while st.inflight > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return st.inflight;
+            }
+            let (next, _) = self
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = next;
+        }
+        0
+    }
+}
+
+/// Everything a connection thread needs, shared by `Arc`.
+struct Shared {
+    config: ServerConfig,
+    structure: Structure,
+    cache: Arc<TermCache>,
+    meter: MemoryMeter,
+    gate: Gate,
+    metrics: Metrics,
+    cancel: CancelToken,
+    shutdown: AtomicBool,
+    /// Set at the very end of drain; tells the accept thread (which
+    /// keeps shedding new connections while draining) to exit.
+    accept_stop: AtomicBool,
+    /// Memory-pressure ladder position: 0 = normal, 1 = cache halved,
+    /// 2 = cache off, 3 = shedding.
+    pressure: Mutex<u8>,
+    /// Peak of the server-wide byte account, for reports.
+    peak_resident: AtomicU64,
+}
+
+impl Shared {
+    /// Observes the watermark at admission and walks the escalation
+    /// ladder one step per over-limit observation: shrink the cache to
+    /// half → evict everything and stop caching → shed. Dropping back
+    /// under the limit resets the ladder (caching resumes). Returns
+    /// `(shed, use_cache)`.
+    fn apply_pressure(&self) -> (bool, bool) {
+        let used = self.meter.used();
+        self.peak_resident.fetch_max(used, Ordering::Relaxed);
+        let Some(limit) = self.config.mem_limit else {
+            return (false, true);
+        };
+        let mut level = self.pressure.lock().unwrap_or_else(|e| e.into_inner());
+        if used <= limit {
+            *level = 0;
+            return (false, true);
+        }
+        let steps = self.metrics.counter(names::SERVE_PRESSURE_STEPS);
+        match *level {
+            0 => {
+                *level = 1;
+                steps.inc();
+                let target = self.cache.len() / 2;
+                self.cache.shrink_to(target);
+                (false, true)
+            }
+            1 => {
+                *level = 2;
+                steps.inc();
+                self.cache.shrink_to(0);
+                (false, false)
+            }
+            2 => {
+                *level = 3;
+                steps.inc();
+                (true, false)
+            }
+            _ => (true, false),
+        }
+    }
+
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// Report returned by [`ServerHandle::drain`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Requests still in flight when the drain deadline passed and the
+    /// cancel token was pulled (0 = every request finished naturally).
+    pub interrupted: u64,
+    /// Wall time the drain took.
+    pub drain: Duration,
+    /// Connection threads joined (all of them — none leak).
+    pub connections_joined: usize,
+    /// The final flushed metrics (`server.*`, `cache.*`), taken after
+    /// every thread was joined.
+    pub final_metrics: foc_obs::MetricsSnapshot,
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::drain`] aborts in-flight work abruptly (the cancel
+/// token is pulled) — call `drain` for the graceful path.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Starts a server over `structure`. Returns once the listener is bound
+/// (use [`ServerHandle::addr`] for the actual port).
+pub fn start(structure: Structure, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let metrics = Metrics::new();
+    let meter = MemoryMeter::new();
+    meter.add(structure.resident_bytes());
+    // Force the Gaifman graph now (evaluators would build it lazily on
+    // the first request anyway) so its bytes are accounted up front.
+    let _ = structure.gaifman();
+    let cache = Arc::new(
+        TermCache::with_capacity(config.cache_capacity)
+            .with_metrics(&metrics)
+            .with_memory_meter(meter.clone()),
+    );
+    let shared = Arc::new(Shared {
+        gate: Gate::new(config.max_inflight, config.queue),
+        config,
+        structure,
+        cache,
+        meter,
+        metrics,
+        cancel: CancelToken::new(),
+        shutdown: AtomicBool::new(false),
+        accept_stop: AtomicBool::new(false),
+        pressure: Mutex::new(0),
+        peak_resident: AtomicU64::new(0),
+    });
+    let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let accept_shared = shared.clone();
+    let accept_conns = conns.clone();
+    let accept_thread = std::thread::spawn(move || {
+        accept_loop(&listener, &accept_shared, &accept_conns);
+    });
+
+    Ok(ServerHandle {
+        shared,
+        addr,
+        accept_thread: Some(accept_thread),
+        conns,
+    })
+}
+
+/// The non-blocking accept loop. Admission decisions happen on the
+/// connection threads, so nothing a client does can stall this loop; it
+/// polls the shutdown flags between accepts. While the server drains,
+/// new connections are still accepted but immediately refused with a
+/// shed frame (so clients get a structured signal, not a hang); the
+/// loop exits only once drain flips `accept_stop`.
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conns: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    loop {
+        if shared.accept_stop.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.draining() {
+                    refuse(stream, shared);
+                    continue;
+                }
+                let conn_shared = shared.clone();
+                let handle = std::thread::spawn(move || {
+                    let _ = serve_connection(stream, &conn_shared);
+                });
+                conns.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Sheds a connection accepted during drain: one shed frame, then close.
+fn refuse(mut stream: TcpStream, shared: &Shared) {
+    shared.metrics.counter(names::SERVE_SHED).inc();
+    let _ = writeln!(stream, "{}", shed_frame(shared.config.retry_after_ms));
+}
+
+/// Reads lines across read timeouts without losing partial data
+/// (`BufRead::read_line` may drop buffered bytes on `WouldBlock`).
+struct LineReader<R> {
+    inner: R,
+    acc: Vec<u8>,
+}
+
+enum LineEvent {
+    Line(String),
+    Eof,
+    /// Read timeout: no complete line yet; poll the shutdown flag.
+    Idle,
+}
+
+impl<R: Read> LineReader<R> {
+    fn next(&mut self) -> LineEvent {
+        loop {
+            if let Some(i) = self.acc.iter().position(|&b| b == b'\n') {
+                let rest = self.acc.split_off(i + 1);
+                let mut line = std::mem::replace(&mut self.acc, rest);
+                line.pop(); // '\n'
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return LineEvent::Line(String::from_utf8_lossy(&line).into_owned());
+            }
+            let mut buf = [0u8; 4096];
+            match self.inner.read(&mut buf) {
+                Ok(0) => return LineEvent::Eof,
+                Ok(n) => self.acc.extend_from_slice(&buf[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return LineEvent::Idle;
+                }
+                Err(_) => return LineEvent::Eof,
+            }
+        }
+    }
+}
+
+/// One connection: read request lines, answer each with exactly one
+/// frame, stop at EOF or drain.
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    // One frame per line in each direction: Nagle only adds delayed-ACK
+    // stalls to the request/response rhythm.
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_millis(25)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = LineReader {
+        inner: BufReader::new(stream),
+        acc: Vec::new(),
+    };
+    loop {
+        if shared.draining() {
+            let _ = writeln!(writer, "{}", drained_frame());
+            return Ok(());
+        }
+        match reader.next() {
+            LineEvent::Eof => return Ok(()),
+            LineEvent::Idle => continue,
+            LineEvent::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let frame = serve_line(&line, shared);
+                writeln!(writer, "{frame}")?;
+            }
+        }
+    }
+}
+
+/// Admission + evaluation of one request line; returns the frame.
+fn serve_line(line: &str, shared: &Arc<Shared>) -> String {
+    let m = &shared.metrics;
+    let req = match parse_request(line) {
+        Ok(r) => r,
+        Err((id, msg)) => {
+            m.counter(names::SERVE_ERRORS).inc();
+            return error_frame(&id, "bad-request", None, &msg);
+        }
+    };
+    // Watermark first: under sustained pressure the ladder ends in shed,
+    // which must not consume a gate slot.
+    let (shed_for_memory, use_cache) = shared.apply_pressure();
+    if shed_for_memory {
+        m.counter(names::SERVE_SHED).inc();
+        return shed_frame(shared.config.retry_after_ms);
+    }
+    match shared.gate.enter() {
+        Admission::Shed => {
+            m.counter(names::SERVE_SHED).inc();
+            shed_frame(shared.config.retry_after_ms)
+        }
+        Admission::Admitted => {
+            m.counter(names::SERVE_REQUESTS).inc();
+            let inflight = shared.gate.lock().inflight;
+            m.gauge(names::SERVE_INFLIGHT).set_max(inflight as u64);
+            let frame = evaluate_request(&req, use_cache, shared);
+            shared.gate.exit();
+            frame
+        }
+    }
+}
+
+/// Clamps the request's budget, builds the evaluator, runs it isolated,
+/// and renders the response frame.
+fn evaluate_request(req: &Request, use_cache: bool, shared: &Arc<Shared>) -> String {
+    let cfg = &shared.config;
+    let m = &shared.metrics;
+    let deadline = match req.timeout {
+        Some(t) => t.min(cfg.max_timeout),
+        None => cfg.max_timeout,
+    };
+    let mut budget = Budget::unlimited()
+        .with_deadline(deadline)
+        .with_cancel(shared.cancel.clone());
+    match (req.fuel, cfg.max_fuel) {
+        (Some(f), Some(cap)) => budget = budget.with_fuel(f.min(cap)),
+        (Some(f), None) => budget = budget.with_fuel(f),
+        (None, Some(cap)) => budget = budget.with_fuel(cap),
+        (None, None) => {}
+    }
+    if let Some(limit) = req.mem_limit {
+        let clamped = match cfg.mem_limit {
+            Some(cap) => limit.min(cap),
+            None => limit,
+        };
+        budget = budget.with_memory(shared.meter.clone(), clamped);
+    }
+    let mut builder = Evaluator::builder()
+        .kind(req.engine.unwrap_or(cfg.engine))
+        .threads(cfg.threads)
+        .degrade(DegradePolicy::FallThrough)
+        .budget(budget)
+        .fault_panic_element(cfg.fault_panic_element);
+    if use_cache {
+        builder = builder.shared_cache(shared.cache.clone());
+    } else {
+        builder = builder.cache(false);
+    }
+    let ev = match builder.build() {
+        Ok(ev) => ev,
+        Err(e) => {
+            m.counter(names::SERVE_ERRORS).inc();
+            return error_frame(&req.id, "config", None, &e.to_string());
+        }
+    };
+
+    let t0 = Instant::now();
+    let outcome = run_isolated(|| run_query(&ev, req, &shared.structure));
+    let micros = t0.elapsed().as_micros() as u64;
+    m.histogram(names::SERVE_LATENCY_MICROS, &pow2_buckets(31))
+        .observe(micros);
+    match outcome {
+        Ok(answer) => result_frame(&req.id, req.mode, answer, micros),
+        Err(Fault::Error(RequestError::Parse(msg))) => {
+            m.counter(names::SERVE_ERRORS).inc();
+            error_frame(&req.id, "parse", None, &msg)
+        }
+        Err(Fault::Error(RequestError::Engine(e))) => {
+            m.counter(names::SERVE_ERRORS).inc();
+            if let Error::Interrupted(i) = &e {
+                m.counter(names::SERVE_INTERRUPTED).inc();
+                if shared.draining() && i.reason == TripReason::Cancelled {
+                    m.counter(names::SERVE_DRAIN_INTERRUPTED).inc();
+                }
+                error_frame(
+                    &req.id,
+                    "interrupted",
+                    Some(&i.reason.to_string()),
+                    &e.to_string(),
+                )
+            } else {
+                // Panics contained below the engine boundary (the
+                // evaluators' own isolation) surface as
+                // `WorkerPanicked`; count them with the ones caught by
+                // `run_isolated` here.
+                if matches!(e, Error::WorkerPanicked { .. }) {
+                    m.counter(names::SERVE_PANICS).inc();
+                }
+                error_frame(&req.id, classify(&e), None, &e.to_string())
+            }
+        }
+        Err(Fault::Panic(p)) => {
+            m.counter(names::SERVE_ERRORS).inc();
+            m.counter(names::SERVE_PANICS).inc();
+            error_frame(&req.id, "panic", None, &p.payload)
+        }
+    }
+}
+
+/// Why one request failed below the panic boundary.
+enum RequestError {
+    Parse(String),
+    Engine(Error),
+}
+
+fn run_query(ev: &Evaluator, req: &Request, a: &Structure) -> Result<Answer, RequestError> {
+    match req.mode {
+        Mode::Check => {
+            let f = parse_formula(&req.query).map_err(|e| RequestError::Parse(e.to_string()))?;
+            ev.check_sentence(a, &f)
+                .map(Answer::Bool)
+                .map_err(RequestError::Engine)
+        }
+        Mode::Eval => {
+            let t = parse_term(&req.query).map_err(|e| RequestError::Parse(e.to_string()))?;
+            ev.eval_ground(a, &t)
+                .map(Answer::Int)
+                .map_err(RequestError::Engine)
+        }
+    }
+}
+
+/// Stable error-class names for the error frame (aligned with the
+/// differential harness's taxonomy where the classes overlap).
+fn classify(e: &Error) -> &'static str {
+    match e {
+        Error::NotFoc1(_) => "not-foc1",
+        Error::Eval(_) => "eval",
+        Error::Locality(_) => "locality",
+        Error::Unsupported(_) => "unsupported",
+        Error::Config(_) => "config",
+        Error::Interrupted(_) => "interrupted",
+        Error::WorkerPanicked { .. } => "panic",
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics registry (`server.*`, plus the shared
+    /// cache's `cache.*` / `engine.cache.evictions` mirrors).
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Current server-wide byte account (structure + cache occupancy).
+    pub fn resident_bytes(&self) -> u64 {
+        self.shared.meter.used()
+    }
+
+    /// Peak of the byte account since startup.
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.shared
+            .peak_resident
+            .load(Ordering::Relaxed)
+            .max(self.shared.meter.used())
+    }
+
+    /// Graceful drain: stop accepting, shed queued work, let in-flight
+    /// requests finish until the drain deadline, then cancel whatever
+    /// remains, join every thread, and flush metrics. Idempotent by
+    /// construction (the handle is consumed).
+    pub fn drain(mut self) -> DrainReport {
+        let t0 = Instant::now();
+        let m = &self.shared.metrics;
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.gate.start_drain();
+        let deadline = t0 + self.shared.config.drain_timeout;
+        let leftover = self.shared.gate.wait_idle(deadline);
+        if leftover > 0 {
+            // Past the deadline: pull the cancel token so in-flight
+            // guards trip at their next check, then wait again (briefly
+            // unbounded — a guard-checked evaluation always observes the
+            // token).
+            self.shared.cancel.cancel();
+            self.shared
+                .gate
+                .wait_idle(Instant::now() + Duration::from_secs(60));
+        }
+        self.shared.accept_stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let handles: Vec<_> = {
+            let mut guard = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+            guard.drain(..).collect()
+        };
+        let connections_joined = handles.len();
+        for h in handles {
+            let _ = h.join();
+        }
+        let drain = t0.elapsed();
+        m.counter(names::SERVE_DRAIN_NANOS)
+            .add(drain.as_nanos() as u64);
+        let final_metrics = m.snapshot();
+        DrainReport {
+            interrupted: final_metrics.counter(names::SERVE_DRAIN_INTERRUPTED),
+            drain,
+            connections_joined,
+            final_metrics,
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // Abrupt shutdown path (drain consumes the handle, so this only
+        // runs when the handle was dropped without draining): cancel
+        // everything and reap the accept thread so tests cannot leak it.
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.gate.start_drain();
+        self.shared.cancel.cancel();
+        self.shared.accept_stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let handles: Vec<_> = {
+            let mut guard = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+            guard.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}

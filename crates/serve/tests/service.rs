@@ -1,0 +1,372 @@
+//! End-to-end robustness tests for the service mode (ISSUE 5,
+//! satellite 4 and the acceptance criterion): misbehaving queries are
+//! contained as structured error frames while concurrent well-behaved
+//! clients get correct answers; drain is graceful, bounded, and leaks
+//! no threads; admission is shed-not-block.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use foc_core::{EngineKind, Evaluator};
+use foc_logic::parse::parse_term;
+use foc_obs::names;
+use foc_serve::{start, ServerConfig};
+use foc_structures::gen::{clique, path};
+
+/// A blocking JSON-lines client for the tests.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        Client {
+            writer: stream.try_clone().expect("clone"),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("send");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match self.reader.read_line(&mut line) {
+                Ok(0) => panic!("server closed the stream while a frame was expected"),
+                Ok(_) => return line.trim().to_string(),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(e) => panic!("recv: {e}"),
+            }
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn field<'a>(frame: &'a str, key: &str) -> Option<&'a str> {
+    // Good enough for the fixed frames the server emits: find
+    // `"key":` and read the raw token after it.
+    let pat = format!("\"{key}\":");
+    let start = frame.find(&pat)? + pat.len();
+    let rest = &frame[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        rest.split([',', '}']).next()
+    }
+}
+
+/// The acceptance E2E: a panicking query, a deadline-exceeding query,
+/// and a memory-watermark trip are each answered with structured error
+/// frames, while a concurrent well-behaved client gets answers that
+/// match the naive reference evaluator. Then the server drains cleanly.
+#[test]
+fn misbehaving_queries_are_contained_while_good_clients_succeed() {
+    let structure = path(12);
+    let handle = start(
+        structure.clone(),
+        ServerConfig {
+            max_inflight: 4,
+            queue: 8,
+            engine: EngineKind::Naive,
+            fault_panic_element: Some(3),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    let addr = handle.addr();
+
+    // The independent reference answer for the well-behaved query.
+    let reference = Evaluator::builder()
+        .kind(EngineKind::Naive)
+        .build()
+        .expect("reference evaluator");
+    let good_query = "#(x,y). E(x,y)";
+    let expected = reference
+        .eval_ground(&structure, &parse_term(good_query).expect("parse"))
+        .expect("reference eval");
+
+    let good = std::thread::spawn(move || {
+        let mut c = Client::connect(addr);
+        for i in 0..10 {
+            let frame = c.roundtrip(&format!(
+                r##"{{"id":"good-{i}","mode":"eval","query":"{good_query}","engine":"naive"}}"##
+            ));
+            assert_eq!(field(&frame, "type"), Some("result"), "frame: {frame}");
+            assert_eq!(
+                field(&frame, "value"),
+                Some(expected.to_string().as_str()),
+                "frame: {frame}"
+            );
+        }
+    });
+    let panicker = std::thread::spawn(move || {
+        let mut c = Client::connect(addr);
+        // The local engine's ball enumeration hits the injected fault
+        // at element 3; the same query under the naive engine (the
+        // well-behaved client's) never reaches the injection point.
+        let frame = c.roundtrip(
+            r##"{"id":"boom","mode":"eval","query":"#(x,y). E(x,y)","engine":"local"}"##,
+        );
+        assert_eq!(field(&frame, "type"), Some("error"), "frame: {frame}");
+        assert_eq!(field(&frame, "class"), Some("panic"), "frame: {frame}");
+        assert!(frame.contains("injected fault"), "frame: {frame}");
+    });
+    let deadliner = std::thread::spawn(move || {
+        let mut c = Client::connect(addr);
+        let frame = c.roundtrip(
+            r##"{"id":"late","mode":"eval","query":"#(x,y). E(x,y)","timeout_ms":0,"engine":"naive"}"##,
+        );
+        assert_eq!(field(&frame, "type"), Some("error"), "frame: {frame}");
+        assert_eq!(
+            field(&frame, "class"),
+            Some("interrupted"),
+            "frame: {frame}"
+        );
+        assert_eq!(field(&frame, "reason"), Some("deadline"), "frame: {frame}");
+    });
+    let memory = std::thread::spawn(move || {
+        let mut c = Client::connect(addr);
+        // The server-wide byte account already holds the structure, so
+        // a 1-byte request cap trips on the first guard poll.
+        let frame = c.roundtrip(
+            r##"{"id":"oom","mode":"eval","query":"#(x,y). E(x,y)","mem_limit_bytes":1,"engine":"naive"}"##,
+        );
+        assert_eq!(field(&frame, "type"), Some("error"), "frame: {frame}");
+        assert_eq!(
+            field(&frame, "class"),
+            Some("interrupted"),
+            "frame: {frame}"
+        );
+        assert_eq!(
+            field(&frame, "reason"),
+            Some("memory limit"),
+            "frame: {frame}"
+        );
+    });
+
+    good.join().expect("good client");
+    panicker.join().expect("panic client");
+    deadliner.join().expect("deadline client");
+    memory.join().expect("memory client");
+
+    let report = handle.drain();
+    assert_eq!(report.interrupted, 0, "drain was clean");
+    assert_eq!(report.connections_joined, 4);
+    let snap = &report.final_metrics;
+    assert!(snap.counter(names::SERVE_PANICS) >= 1);
+    assert!(snap.counter(names::SERVE_INTERRUPTED) >= 2);
+    assert_eq!(snap.counter(names::SERVE_REQUESTS), 13);
+}
+
+/// 32 concurrent clients all get served; drain then completes, notifies
+/// every idle stream with a `drained` frame, joins every connection
+/// thread, and interrupts nothing.
+#[test]
+fn graceful_drain_completes_under_32_concurrent_clients() {
+    let handle = start(
+        path(8),
+        ServerConfig {
+            max_inflight: 4,
+            queue: 32,
+            engine: EngineKind::Naive,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    let addr = handle.addr();
+    let served = Arc::new(AtomicUsize::new(0));
+
+    let clients: Vec<_> = (0..32)
+        .map(|i| {
+            let served = served.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                let frame = c.roundtrip(&format!(
+                    r##"{{"id":"c{i}","mode":"check","query":"exists x. E(x,x)"}}"##
+                ));
+                assert_eq!(field(&frame, "type"), Some("result"), "frame: {frame}");
+                assert_eq!(field(&frame, "value"), Some("false"), "frame: {frame}");
+                served.fetch_add(1, Ordering::SeqCst);
+                // Keep the connection open: drain must notify it with a
+                // `drained` frame instead of leaving it hanging.
+                let bye = c.recv();
+                assert_eq!(field(&bye, "type"), Some("drained"), "frame: {bye}");
+            })
+        })
+        .collect();
+
+    // Wait until every client has its answer, then drain.
+    while served.load(Ordering::SeqCst) < 32 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let report = handle.drain();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    assert_eq!(report.interrupted, 0);
+    assert_eq!(report.connections_joined, 32, "no connection thread leaks");
+    assert_eq!(report.final_metrics.counter(names::SERVE_REQUESTS), 32);
+}
+
+/// Admission under overload: with one in-flight slot and no queue, a
+/// long-running query makes every concurrent request shed *immediately*
+/// — the bounded queue never blocks the accept loop or the clients.
+/// Drain then interrupts the straggler at the drain deadline (the
+/// exit-code-3 path) and sheds brand-new connections with a shed frame.
+#[test]
+fn overload_sheds_and_drain_interrupts_stragglers() {
+    let handle = start(
+        clique(40),
+        ServerConfig {
+            max_inflight: 1,
+            queue: 0,
+            engine: EngineKind::Naive,
+            max_timeout: Duration::from_secs(120),
+            drain_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    let addr = handle.addr();
+
+    // A deliberately huge naive evaluation (40^4 assignments) that can
+    // only end by cancellation.
+    let mut slow = Client::connect(addr);
+    slow.send(
+        r##"{"id":"slow","mode":"eval","query":"#(x1,x2,x3,x4). (E(x1,x2) & E(x2,x3) & E(x3,x4))"}"##,
+    );
+    std::thread::sleep(Duration::from_millis(150));
+
+    // While it holds the only slot: everyone else is shed, fast.
+    for i in 0..3 {
+        let mut c = Client::connect(addr);
+        let t0 = std::time::Instant::now();
+        let frame = c.roundtrip(&format!(
+            r##"{{"id":"shed-{i}","mode":"check","query":"exists x. E(x,x)"}}"##
+        ));
+        assert_eq!(field(&frame, "type"), Some("shed"), "frame: {frame}");
+        assert_eq!(
+            field(&frame, "retry_after_ms"),
+            Some("50"),
+            "frame: {frame}"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "shedding must not block behind the in-flight request"
+        );
+    }
+
+    // Drain from another thread; it must first wait out the 300 ms
+    // drain deadline, then cancel the slow query.
+    let drainer = std::thread::spawn(move || handle.drain());
+    std::thread::sleep(Duration::from_millis(100));
+    // New connections during drain are refused with a shed frame.
+    let mut late = Client::connect(addr);
+    let frame = late.recv();
+    assert_eq!(field(&frame, "type"), Some("shed"), "frame: {frame}");
+
+    let report = drainer.join().expect("drain thread");
+    assert_eq!(report.interrupted, 1, "the slow query was interrupted");
+    assert!(report.final_metrics.counter(names::SERVE_SHED) >= 4);
+
+    // The straggler's client sees a structured cancellation frame.
+    let frame = slow.recv();
+    assert_eq!(field(&frame, "type"), Some("error"), "frame: {frame}");
+    assert_eq!(
+        field(&frame, "class"),
+        Some("interrupted"),
+        "frame: {frame}"
+    );
+    assert_eq!(
+        field(&frame, "reason"),
+        Some("cancellation"),
+        "frame: {frame}"
+    );
+}
+
+/// The memory watermark walks the documented escalation ladder: shrink
+/// the shared cache, stop caching, then shed — and requests are still
+/// answered on the way down.
+#[test]
+fn memory_watermark_walks_shrink_then_cache_off_then_shed() {
+    let handle = start(
+        path(8),
+        ServerConfig {
+            engine: EngineKind::Naive,
+            // The structure's resident bytes alone exceed a zero limit,
+            // so every admission observes sustained pressure.
+            mem_limit: Some(0),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    let mut c = Client::connect(handle.addr());
+
+    let q = |i: usize| format!(r##"{{"id":"p{i}","mode":"check","query":"exists x. E(x,x)"}}"##);
+    // Step 1: cache shrunk to half — still served.
+    let f1 = c.roundtrip(&q(1));
+    assert_eq!(field(&f1, "type"), Some("result"), "frame: {f1}");
+    // Step 2: cache evicted and disabled — still served.
+    let f2 = c.roundtrip(&q(2));
+    assert_eq!(field(&f2, "type"), Some("result"), "frame: {f2}");
+    // Step 3 and beyond: shed until the meter drops (it never does).
+    let f3 = c.roundtrip(&q(3));
+    assert_eq!(field(&f3, "type"), Some("shed"), "frame: {f3}");
+    let f4 = c.roundtrip(&q(4));
+    assert_eq!(field(&f4, "type"), Some("shed"), "frame: {f4}");
+
+    let report = handle.drain();
+    let snap = &report.final_metrics;
+    assert_eq!(snap.counter(names::SERVE_PRESSURE_STEPS), 3);
+    assert_eq!(snap.counter(names::SERVE_REQUESTS), 2);
+    assert_eq!(snap.counter(names::SERVE_SHED), 2);
+}
+
+/// Malformed lines get structured `bad-request` frames (with the id
+/// echoed when the JSON itself was readable) and never take down the
+/// connection.
+#[test]
+fn bad_requests_get_structured_errors_and_the_connection_survives() {
+    let handle = start(path(4), ServerConfig::default()).expect("start");
+    let mut c = Client::connect(handle.addr());
+
+    let f = c.roundtrip("this is not json");
+    assert_eq!(field(&f, "type"), Some("error"), "frame: {f}");
+    assert_eq!(field(&f, "class"), Some("bad-request"), "frame: {f}");
+    assert_eq!(field(&f, "id"), Some("-"), "frame: {f}");
+
+    let f = c.roundtrip(r#"{"id":"q1","mode":"warp","query":"true"}"#);
+    assert_eq!(field(&f, "class"), Some("bad-request"), "frame: {f}");
+    assert_eq!(field(&f, "id"), Some("q1"), "frame: {f}");
+
+    let f = c.roundtrip(r#"{"id":"q2","mode":"check","query":"exists x. ("}"#);
+    assert_eq!(field(&f, "class"), Some("parse"), "frame: {f}");
+
+    // Still alive and correct afterwards.
+    let f = c.roundtrip(r#"{"id":"q3","mode":"check","query":"exists x. E(x,x)"}"#);
+    assert_eq!(field(&f, "type"), Some("result"), "frame: {f}");
+
+    let report = handle.drain();
+    assert_eq!(report.interrupted, 0);
+}

@@ -210,6 +210,24 @@ impl Structure {
         self.n as usize + self.rels.iter().map(|r| r.len()).sum::<usize>()
     }
 
+    /// Approximate resident footprint in bytes: relation tuple data plus
+    /// (when already materialised) the cached Gaifman graph. Used by
+    /// memory-watermark accounting — an estimate of heap occupancy, not
+    /// an exact allocator measurement.
+    pub fn resident_bytes(&self) -> u64 {
+        let rels: u64 = self
+            .rels
+            .iter()
+            .map(|r| (r.len() * r.arity().max(1) * 4) as u64)
+            .sum();
+        let gaifman: u64 = self
+            .gaifman
+            .get()
+            .map(|g| ((self.n as usize + 1 + 2 * g.num_edges()) * 4) as u64)
+            .unwrap_or(0);
+        rels + gaifman
+    }
+
     /// The relation for a declared symbol; `None` if undeclared.
     pub fn relation(&self, name: Symbol) -> Option<&Relation> {
         self.sig.index_of(name).map(|i| &self.rels[i])
