@@ -19,6 +19,7 @@
 //! | E11 | ablations of this implementation's design choices |
 //! | E12 | parallel cluster evaluation — thread sweep + BENCH_parallel.json |
 //! | E13 | service mode under load — loopback stress + BENCH_serve.json |
+//! | E14 | live updates — delta maintenance vs rebuild + BENCH_updates.json |
 //!
 //! Run them with `cargo run --release -p foc-bench --bin experiments -- all`
 //! (or a subset, e.g. `e3 e6 --quick`).
@@ -34,6 +35,7 @@ pub mod exp_removal;
 pub mod exp_scaling;
 pub mod exp_serve;
 pub mod exp_sql;
+pub mod exp_updates;
 pub mod table;
 
 use table::Table;
@@ -54,11 +56,12 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<Vec<Table>> {
         "e11" => Some(exp_ablation::e11(quick)),
         "e12" => Some(exp_parallel::e12(quick)),
         "e13" => Some(exp_serve::e13(quick)),
+        "e14" => Some(exp_updates::e14(quick)),
         _ => None,
     }
 }
 
 /// All experiment ids in order.
-pub const ALL_EXPERIMENTS: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+pub const ALL_EXPERIMENTS: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
 ];

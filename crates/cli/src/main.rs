@@ -9,6 +9,7 @@
 //! foc gen     <class> --n N [--seed S] [-o out.foc]
 //!     classes: tree, grid, path, cycle, star, clique, deg3, gnm
 //! foc fuzz    [--seed S] [--budget 30s | --iters N] [--corpus DIR] [--replay]
+//!             [--updates [--steps N]]
 //! foc serve   <structure.foc> [--port N] [--max-inflight N] [--queue N]
 //!             [--mem-limit <bytes>] [--drain-timeout <ms>]
 //! ```
@@ -18,7 +19,11 @@
 //! whole engine matrix, with metamorphic checks, shrinking, and a
 //! replayable corpus. The run is deterministic for a fixed seed — a
 //! `--budget` is a fixed iteration quota, not a wall-clock deadline —
-//! and exits 1 when any divergence is found.
+//! and exits 1 when any divergence is found. With `--updates` it fuzzes
+//! the live-update machinery instead: seeded interleavings of delta
+//! commits and queries, comparing delta-maintained evaluation (migrated
+//! term cache, repaired covers) against a from-scratch rebuild oracle
+//! at every step.
 //!
 //! Every evaluation subcommand also accepts `--trace` (stream finished
 //! spans to stderr), `--profile` (print the per-phase wall-time table),
@@ -121,7 +126,7 @@ usage:
   foc gen     <tree|grid|path|cycle|star|clique|deg3|gnm> --n N [--seed S] [-o out.foc]
   foc fuzz    [--seed S] [--budget 30s | --iters N] [--corpus DIR] [--replay]
               [--max-order N] [--no-shrink] [--no-meta] [--case-timeout <ms>]
-              [--metrics-json <path>]
+              [--updates [--steps N]] [--metrics-json <path>]
   foc serve   <structure.foc> [--port N] [--max-inflight N] [--queue N]
               [--mem-limit <bytes>] [--drain-timeout <ms>] [--max-timeout <ms>]
               [--max-fuel N] [--engine ...] [--threads N] [--metrics-json <path>]
@@ -567,6 +572,39 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
         gen.max_order = v
             .parse()
             .map_err(|_| CliError::usage("--max-order needs an integer"))?;
+    }
+    if has_flag(args, "--updates") {
+        let mut cfg = foc_diff::UpdatesConfig {
+            seed,
+            gen,
+            ..foc_diff::UpdatesConfig::default()
+        };
+        if let Some(i) = iters {
+            cfg.iters = i;
+        }
+        if let Some(v) = flag_value(args, "--steps") {
+            cfg.steps = v
+                .parse()
+                .map_err(|_| CliError::usage("--steps needs an integer"))?;
+        }
+        let metrics = foc_obs::Metrics::new();
+        let mut stdout = std::io::stdout().lock();
+        let report = foc_diff::fuzz_updates(&cfg, &metrics, &mut stdout);
+        drop(stdout);
+        if let Some(path) = flag_value(args, "--metrics-json") {
+            let json = session_json("fuzz-updates", &[], &metrics.snapshot(), &[]);
+            std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        return if report.clean() {
+            Ok(())
+        } else {
+            Err(CliError::Runtime(format!(
+                "{} update divergence(s) across {} interleaving(s)",
+                report.divergences.len(),
+                report.cases
+            )))
+        };
     }
     // Test-only hook (deliberately undocumented in the usage text): flip
     // the local engine's sentence verdicts on structures of order >= K,

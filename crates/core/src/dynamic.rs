@@ -12,6 +12,12 @@
 //! cl-terms of the decomposition and, per update, recomputes exactly the
 //! affected balls, adjusting the polynomial's value incrementally.
 //!
+//! Since the versioned-mutation PR the structure lives behind a
+//! [`DeltaStructure`]: each update is a delta commit (epoch bump, COW
+//! relations, incremental Gaifman maintenance) rather than a
+//! from-scratch rebuild, and the dirty set comes straight from the
+//! commit's [`foc_structures::CommitInfo::touched`].
+//!
 //! On a nowhere dense class the affected sets have size `O(ball(R))`, so
 //! updates cost far less than recomputation — measured by
 //! [`MaintainedTerm::last_affected`] and validated against from-scratch
@@ -23,7 +29,7 @@ use foc_locality::clterm::{BasicClTerm, ClTerm};
 use foc_locality::decompose::decompose_ground;
 use foc_locality::local_eval::LocalEvaluator;
 use foc_logic::{Predicates, Symbol, Var};
-use foc_structures::{BfsScratch, FxHashMap, Structure, StructureBuilder};
+use foc_structures::{BfsScratch, DeltaStructure, FxHashMap, Structure, TupleOp};
 
 use crate::error::{Error, Result};
 
@@ -49,7 +55,7 @@ impl EdgeUpdate {
 pub struct MaintainedTerm {
     preds: Predicates,
     edge_rel: Symbol,
-    structure: Structure,
+    delta: DeltaStructure,
     cl: ClTerm,
     /// Per-basic per-element value vectors (keyed by basic identity; the
     /// Arc in the tuple keeps the address stable).
@@ -75,7 +81,7 @@ impl MaintainedTerm {
         let mut m = MaintainedTerm {
             preds,
             edge_rel: Symbol::new(edge_rel),
-            structure,
+            delta: DeltaStructure::new(structure),
             cl,
             vectors: FxHashMap::default(),
             value: 0,
@@ -90,9 +96,14 @@ impl MaintainedTerm {
         self.value
     }
 
-    /// The current structure.
+    /// The current structure (the delta's live snapshot).
     pub fn structure(&self) -> &Structure {
-        &self.structure
+        self.delta.current()
+    }
+
+    /// The current mutation epoch (0 before the first effective update).
+    pub fn epoch(&self) -> u64 {
+        self.delta.epoch()
     }
 
     /// Elements recomputed by the last update.
@@ -101,7 +112,8 @@ impl MaintainedTerm {
     }
 
     fn recompute_all(&mut self) -> Result<()> {
-        let mut lev = LocalEvaluator::new(&self.structure, &self.preds);
+        let structure = self.delta.snapshot();
+        let mut lev = LocalEvaluator::new(&structure, &self.preds);
         self.vectors.clear();
         for basic in self.cl.basics() {
             let key = Arc::as_ptr(&basic) as usize;
@@ -110,7 +122,7 @@ impl MaintainedTerm {
                 entry.insert((basic.clone(), vals));
             }
         }
-        self.last_affected = self.structure.order() as usize;
+        self.last_affected = structure.order() as usize;
         self.value = self.combine()?;
         Ok(())
     }
@@ -131,13 +143,12 @@ impl MaintainedTerm {
             .map_err(Error::from)
     }
 
-    /// Applies one edge update, recomputing only the affected balls.
+    /// Applies one edge update as a delta commit, recomputing only the
+    /// affected balls.
     pub fn apply(&mut self, update: EdgeUpdate) -> Result<i64> {
         let (u, v) = update.endpoints();
-        assert!(u < self.structure.order() && v < self.structure.order());
-        // Affected elements: within the exploration radius of an endpoint
-        // in the OLD structure…
-        let mut affected: Vec<u32> = Vec::new();
+        let order = self.delta.current().order();
+        assert!(u < order && v < order);
         let radius = self
             .cl
             .basics()
@@ -147,19 +158,41 @@ impl MaintainedTerm {
             .unwrap_or(0);
         let radius = u32::try_from(radius.min(u64::from(u32::MAX / 4))).expect("clamped");
         let mut scratch = BfsScratch::new();
-        affected.extend(self.structure.gaifman().ball(&[u, v], radius, &mut scratch));
 
-        // Rebuild the structure with the edge toggled.
-        self.structure = rebuild_with_update(&self.structure, self.edge_rel, update);
+        // Affected elements: within the exploration radius of a touched
+        // element in the OLD structure…
+        let old = self.delta.snapshot();
+        let name = self.edge_rel.name();
+        let ops: Vec<TupleOp> = match update {
+            EdgeUpdate::Insert(..) if u != v => vec![
+                TupleOp::insert(&name, &[u, v]),
+                TupleOp::insert(&name, &[v, u]),
+            ],
+            EdgeUpdate::Insert(..) => Vec::new(),
+            EdgeUpdate::Delete(..) => vec![
+                TupleOp::delete(&name, &[u, v]),
+                TupleOp::delete(&name, &[v, u]),
+            ],
+        };
+        let info = self
+            .delta
+            .apply(&ops)
+            .map_err(|e| Error::Unsupported(e.to_string()))?;
+        if info.changed == 0 {
+            self.last_affected = 0;
+            return Ok(self.value);
+        }
+        let mut affected: Vec<u32> = old.gaifman().ball(&info.touched, radius, &mut scratch);
 
         // …and within the radius in the NEW structure.
-        affected.extend(self.structure.gaifman().ball(&[u, v], radius, &mut scratch));
+        let new = self.delta.snapshot();
+        affected.extend(new.gaifman().ball(&info.touched, radius, &mut scratch));
         affected.sort_unstable();
         affected.dedup();
         self.last_affected = affected.len();
 
         // Recompute the affected entries of every basic vector.
-        let mut lev = LocalEvaluator::new(&self.structure, &self.preds);
+        let mut lev = LocalEvaluator::new(&new, &self.preds);
         for (_, (basic, vals)) in self.vectors.iter_mut() {
             for &a in &affected {
                 vals[a as usize] = lev.eval_basic_at(basic, a).map_err(Error::from)?;
@@ -172,40 +205,13 @@ impl MaintainedTerm {
     /// From-scratch evaluation of the maintained term on the current
     /// structure (the validation oracle for tests).
     pub fn recompute_from_scratch(&self) -> Result<i64> {
-        let mut lev = LocalEvaluator::new(&self.structure, &self.preds);
+        let structure = self.delta.rebuild_from_scratch();
+        let mut lev = LocalEvaluator::new(&structure, &self.preds);
         match lev.eval_clterm(&self.cl).map_err(Error::from)? {
             foc_locality::ClValue::Scalar(s) => Ok(s),
             foc_locality::ClValue::Vector(_) => unreachable!("ground term"),
         }
     }
-}
-
-/// Returns a copy of `s` with the symmetric edge inserted or deleted in
-/// `edge_rel` (all other relations preserved).
-fn rebuild_with_update(s: &Structure, edge_rel: Symbol, update: EdgeUpdate) -> Structure {
-    let mut b = StructureBuilder::new();
-    for decl in s.signature().rels() {
-        b.declare(&decl.name.name(), decl.arity);
-    }
-    b.ensure_universe(s.order());
-    let (u, v) = update.endpoints();
-    for (ri, decl) in s.signature().rels().iter().enumerate() {
-        let rel = s.relation_at(ri);
-        for row in rel.rows() {
-            if decl.name == edge_rel {
-                let is_target = (row[0] == u && row[1] == v) || (row[0] == v && row[1] == u);
-                if is_target {
-                    continue; // re-inserted below if needed
-                }
-            }
-            b.insert(&decl.name.name(), row);
-        }
-    }
-    if matches!(update, EdgeUpdate::Insert(..)) && u != v {
-        b.insert(&edge_rel.name(), &[u, v]);
-        b.insert(&edge_rel.name(), &[v, u]);
-    }
-    b.finish()
 }
 
 #[cfg(test)]

@@ -21,11 +21,15 @@
 
 pub mod cover;
 pub mod cover_eval;
+pub mod delta;
 pub mod removal;
 pub mod splitter;
 
-pub use cover::{build_cover, cover_structure, trivial_cover, NeighborhoodCover};
+pub use cover::{
+    build_cover, build_cover_with_order, cover_structure, trivial_cover, NeighborhoodCover,
+};
 pub use cover_eval::{CoverConfig, CoverEvaluator, CoverStats};
+pub use delta::{CoverStore, MaintainedCover, RefreshStats};
 pub use removal::{
     remove_element, remove_formula, remove_ground_count, remove_unary_count, RemovalContext,
     RemovedCount, RemovedStructure,

@@ -85,13 +85,13 @@ fn removal_on_multi_relation_and_high_arity() {
     b.declare("Flag", 0);
     b.ensure_universe(6);
     for (u, w) in [(0u32, 1u32), (1, 2), (2, 3)] {
-        b.insert("E", &[u, w]);
-        b.insert("E", &[w, u]);
+        b.try_insert("E", &[u, w]).unwrap();
+        b.try_insert("E", &[w, u]).unwrap();
     }
-    b.insert("T", &[0, 1, 2]);
-    b.insert("T", &[1, 1, 4]);
-    b.insert("Red", &[1]);
-    b.insert("Flag", &[]);
+    b.try_insert("T", &[0, 1, 2]).unwrap();
+    b.try_insert("T", &[1, 1, 4]).unwrap();
+    b.try_insert("Red", &[1]).unwrap();
+    b.try_insert("Flag", &[]).unwrap();
     let s = b.finish();
     let ctx = RemovalContext::new(2);
     let rem = remove_element(&s, 1, &ctx);

@@ -37,6 +37,7 @@ pub mod harness;
 pub mod meta;
 pub mod oracle;
 pub mod shrink;
+pub mod updates;
 
 pub use corpus::{case_from_str, case_to_string, load_dir, save_case};
 pub use gen::{gen_case, GenConfig};
@@ -46,3 +47,4 @@ pub use oracle::{
     BugInjection, Case, Divergence, Outcome, QueryCase, Variant,
 };
 pub use shrink::shrink_case;
+pub use updates::{fuzz_updates, UpdatesConfig, UpdatesReport};

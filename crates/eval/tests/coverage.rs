@@ -74,9 +74,9 @@ fn candidate_machinery_is_sound_with_shadowing() {
     b.declare("A", 1);
     b.ensure_universe(6);
     for (u, w) in [(0u32, 1u32), (1, 2), (2, 2), (3, 4), (4, 0)] {
-        b.insert("E", &[u, w]);
+        b.try_insert("E", &[u, w]).unwrap();
     }
-    b.insert("A", &[5]);
+    b.try_insert("A", &[5]).unwrap();
     let s = b.finish();
     let p = preds();
     for src in sources {
@@ -131,7 +131,7 @@ fn nested_counts_with_shared_variable_names() {
     let mut b = foc_structures::StructureBuilder::new();
     b.declare("E", 2);
     b.ensure_universe(4);
-    b.insert("E", &[1, 1]);
+    b.try_insert("E", &[1, 1]).unwrap();
     let s2 = b.finish();
     let _ = s;
     let x = v("shx");
@@ -153,7 +153,7 @@ fn rebound_counted_variables_do_not_leak_outer_bindings() {
     b.declare("E", 2);
     b.ensure_universe(5);
     for (u, w) in [(0u32, 1u32), (1, 2), (2, 3), (3, 4)] {
-        b.insert("E", &[u, w]);
+        b.try_insert("E", &[u, w]).unwrap();
     }
     let s = b.finish();
     let p = preds();

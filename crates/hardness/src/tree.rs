@@ -34,8 +34,8 @@ pub fn tree_encoding(g: &Structure) -> TreeEncoding {
     let mut b = StructureBuilder::new();
     b.declare("E", 2);
     let edge = |u: u32, w: u32, b: &mut StructureBuilder| {
-        b.insert("E", &[u, w]);
-        b.insert("E", &[w, u]);
+        b.try_insert("E", &[u, w]).expect("declared relation");
+        b.try_insert("E", &[w, u]).expect("declared relation");
     };
     let root = b.add_element();
     let mut a_vertex = Vec::with_capacity(n as usize);

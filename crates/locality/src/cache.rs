@@ -366,6 +366,72 @@ impl TermCache {
         evicted
     }
 
+    /// Snapshots every entry memoised against a structure fingerprint,
+    /// in a deterministic order (by term hash, then insertion order).
+    /// Delta migration re-keys these onto the next epoch's snapshot,
+    /// recomputing only dirty-ball entries. Reference bits are left
+    /// untouched: enumerating for migration is not a "use".
+    pub fn entries_for(&self, structure_fingerprint: u64) -> Vec<(BasicClTerm, Arc<Vec<i64>>)> {
+        let inner = self.lock();
+        let mut out: Vec<((u64, u64), BasicClTerm, Arc<Vec<i64>>)> = Vec::new();
+        for (key, bucket) in &inner.map {
+            if key.structure != structure_fingerprint {
+                continue;
+            }
+            for e in bucket {
+                out.push(((key.term, e.id), e.term.clone(), e.vals.clone()));
+            }
+        }
+        out.sort_by_key(|(ord, _, _)| *ord);
+        out.into_iter().map(|(_, t, v)| (t, v)).collect()
+    }
+
+    /// Evicts every entry keyed on a structure fingerprint (a retired
+    /// epoch whose values can never be read again). Returns the number
+    /// evicted; byte accounting and the shared memory meter are updated
+    /// like any other eviction.
+    pub fn evict_structure(&self, structure_fingerprint: u64) -> u64 {
+        let mut evicted = 0u64;
+        let mut released = 0u64;
+        {
+            let mut inner = self.lock();
+            let stale: Vec<Key> = inner
+                .map
+                .keys()
+                .filter(|k| k.structure == structure_fingerprint)
+                .copied()
+                .collect();
+            for key in stale {
+                if let Some(bucket) = inner.map.remove(&key) {
+                    for e in &bucket {
+                        released += entry_bytes(&e.vals);
+                    }
+                    evicted += bucket.len() as u64;
+                    inner.resident -= bucket.len();
+                }
+            }
+            if evicted > 0 {
+                inner
+                    .ring
+                    .retain(|(k, _)| k.structure != structure_fingerprint);
+                if inner.hand > inner.ring.len() {
+                    inner.hand = 0;
+                }
+                inner.resident_bytes = inner.resident_bytes.saturating_sub(released);
+            }
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            if let Some((_, _, ev)) = &self.obs {
+                ev.add(evicted);
+            }
+            if let Some(meter) = &self.meter {
+                meter.sub(released);
+            }
+        }
+        evicted
+    }
+
     /// Lookups that found a memoised value.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)

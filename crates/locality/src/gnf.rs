@@ -373,11 +373,11 @@ mod tests {
         b.declare("R", 1);
         b.ensure_universe(7);
         for (u, w) in [(0u32, 1u32), (1, 2), (2, 3), (4, 5)] {
-            b.insert("E", &[u, w]);
-            b.insert("E", &[w, u]);
+            b.try_insert("E", &[u, w]).unwrap();
+            b.try_insert("E", &[w, u]).unwrap();
         }
         for r in [1u32, 4, 6] {
-            b.insert("R", &[r]);
+            b.try_insert("R", &[r]).unwrap();
         }
         let s = b.finish();
         let f = exists(

@@ -37,6 +37,7 @@ pub mod cache;
 pub mod clnf;
 pub mod clterm;
 pub mod decompose;
+pub mod delta;
 pub mod error;
 pub mod gk;
 pub mod gnf;
@@ -48,6 +49,7 @@ pub use cache::TermCache;
 pub use clnf::{cl_normalform, ClNormalForm, ClnfSentence};
 pub use clterm::{BasicClTerm, ClTerm};
 pub use decompose::{decompose_ground, decompose_unary};
+pub use delta::{migrate_cache, MigrationStats};
 pub use error::{LocalityError, Result};
 pub use gk::Gk;
 pub use gnf::gaifman_nf;

@@ -28,14 +28,14 @@ fn rich_structure() -> Structure {
     b.declare("Red", 1);
     b.ensure_universe(8);
     for (u, w) in [(0u32, 1u32), (1, 2), (2, 3), (5, 6)] {
-        b.insert("E", &[u, w]);
-        b.insert("E", &[w, u]);
+        b.try_insert("E", &[u, w]).unwrap();
+        b.try_insert("E", &[w, u]).unwrap();
     }
     for (u, w) in [(0u32, 2u32), (4, 5), (6, 7)] {
-        b.insert("F", &[u, w]);
+        b.try_insert("F", &[u, w]).unwrap();
     }
     for r in [1u32, 4, 7] {
-        b.insert("Red", &[r]);
+        b.try_insert("Red", &[r]).unwrap();
     }
     b.finish()
 }
@@ -246,10 +246,10 @@ fn local_eval_on_zero_ary_marker_bodies() {
     b.declare("Flag", 0);
     b.ensure_universe(5);
     for (u, w) in [(0u32, 1u32), (1, 2)] {
-        b.insert("E", &[u, w]);
-        b.insert("E", &[w, u]);
+        b.try_insert("E", &[u, w]).unwrap();
+        b.try_insert("E", &[w, u]).unwrap();
     }
-    b.insert("Flag", &[]);
+    b.try_insert("Flag", &[]).unwrap();
     let s = b.finish();
     let x = v("zax");
     let y = v("zay");

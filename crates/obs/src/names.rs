@@ -115,6 +115,13 @@ pub const SERVE_LATENCY_MICROS: &str = "server.latency_micros";
 /// Degradation steps taken by the memory watermark (cache shrink /
 /// cache off). Counter.
 pub const SERVE_PRESSURE_STEPS: &str = "server.pressure_steps";
+/// Mutation requests (update/batch frames) committed. Counter.
+pub const SERVE_UPDATES: &str = "server.updates";
+/// Tuples actually changed by committed mutations. Counter.
+pub const SERVE_TUPLES_CHANGED: &str = "server.tuples_changed";
+/// Cached cl-term vectors carried across epochs by delta migration.
+/// Counter.
+pub const SERVE_CACHE_MIGRATED: &str = "server.cache_migrated";
 /// Wall nanoseconds spent draining at shutdown. Counter.
 pub const SERVE_DRAIN_NANOS: &str = "server.drain_nanos";
 /// In-flight requests interrupted by the drain deadline. Counter.

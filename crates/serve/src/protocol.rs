@@ -1,18 +1,31 @@
 //! The JSON-lines wire protocol: request parsing and response frames.
 //!
-//! One request per line, one response frame per line, in order. Four
-//! frame types leave the server:
+//! One request per line, one response frame per line, in order. Every
+//! frame in both directions carries `"proto":1`; a request declaring a
+//! different version is refused with a structured
+//! `{"class":"unsupported_proto"}` error (requests without the field
+//! are treated as proto 1 for backwards compatibility). The frame
+//! taxonomy is tabulated in `DESIGN.md` §"Wire frames"; in short, the
+//! frames leaving the server are:
 //!
-//! * `{"type":"result", "id":…, "mode":…, "value":…, "micros":…}` — the
-//!   answer (a boolean for `check`, an integer for `eval`);
-//! * `{"type":"error", "id":…, "class":…, "message":…}` — a structured
-//!   failure (parse errors, evaluation errors, tripped budgets with
+//! * `{"type":"result", "proto":1, "id":…, "mode":…, "value":…,
+//!   "epoch":…, "micros":…}` — a query answer (a boolean for `check`,
+//!   an integer for `eval`), stamped with the epoch of the snapshot it
+//!   evaluated against;
+//! * `{"type":"result", "proto":1, "id":…, "mode":"update"|"batch",
+//!   "epoch":…, "changed":…, "micros":…}` — a committed mutation: the
+//!   epoch now current and how many tuples actually changed;
+//! * `{"type":"error", "proto":1, "id":…, "class":…, "message":…}` — a
+//!   structured failure (parse errors, evaluation errors, rejected
+//!   mutations with `"class":"mutation"`, version mismatches with
+//!   `"class":"unsupported_proto"`, tripped budgets with
 //!   `"class":"interrupted"` and a `"reason"` field, contained panics
 //!   with `"class":"panic"`);
-//! * `{"type":"shed", "retry_after_ms":…}` — admission control refused
-//!   the request (or, during drain, the connection); retry later;
-//! * `{"type":"drained"}` — sent on streams still open when the server
-//!   finishes draining, immediately before the socket closes.
+//! * `{"type":"shed", "proto":1, "retry_after_ms":…}` — admission
+//!   control refused the request (or, during drain, the connection);
+//! * `{"type":"drained", "proto":1}` — sent on streams still open when
+//!   the server finishes draining, immediately before the socket
+//!   closes.
 
 use std::time::Duration;
 
@@ -21,6 +34,11 @@ use foc_obs::report::json_escape;
 
 use crate::json::{parse, Value};
 
+/// The wire-protocol version this build speaks. Stamped on every
+/// outgoing frame; requests may declare it and are refused when it
+/// does not match.
+pub const PROTO_VERSION: i64 = 1;
+
 /// What a request asks for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
@@ -28,6 +46,12 @@ pub enum Mode {
     Check,
     /// Evaluation of a ground term (`"mode":"eval"`).
     Eval,
+    /// A single tuple mutation (`"mode":"update"` with `op`/`rel`/
+    /// `tuple` fields).
+    Update,
+    /// An atomic batch of tuple mutations (`"mode":"batch"` with an
+    /// `ops` array).
+    Batch,
 }
 
 impl Mode {
@@ -36,8 +60,27 @@ impl Mode {
         match self {
             Mode::Check => "check",
             Mode::Eval => "eval",
+            Mode::Update => "update",
+            Mode::Batch => "batch",
         }
     }
+
+    /// Whether this mode mutates the served structure.
+    pub fn is_mutation(self) -> bool {
+        matches!(self, Mode::Update | Mode::Batch)
+    }
+}
+
+/// One requested tuple mutation, as parsed off the wire (converted to
+/// [`foc_structures::TupleOp`] by the server).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateOp {
+    /// `true` = insert, `false` = delete.
+    pub insert: bool,
+    /// Relation name.
+    pub rel: String,
+    /// The tuple, one component per position.
+    pub tuple: Vec<u32>,
 }
 
 /// A parsed request frame. Budgets here are *requests*: the server
@@ -46,10 +89,13 @@ impl Mode {
 pub struct Request {
     /// Client-chosen id, echoed on the response (`"-"` if absent).
     pub id: String,
-    /// Check or eval.
+    /// Check, eval, update, or batch.
     pub mode: Mode,
-    /// The query text (a sentence or a ground term).
+    /// The query text (a sentence or a ground term; empty for
+    /// mutations).
     pub query: String,
+    /// The mutation ops (empty for queries).
+    pub ops: Vec<UpdateOp>,
     /// Requested wall-clock allowance.
     pub timeout: Option<Duration>,
     /// Requested fuel allowance.
@@ -62,45 +108,133 @@ pub struct Request {
     pub engine: Option<EngineKind>,
 }
 
-/// Parses one request line. `Err` carries `(id, message)` so the error
-/// frame can still echo the client's id when the frame was valid JSON
-/// with a bad field.
-pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
-    let v = parse(line).map_err(|e| ("-".to_string(), format!("invalid JSON: {e}")))?;
+/// Why a request line was refused before evaluation. `class` feeds the
+/// error frame (`"bad-request"` for malformed frames,
+/// `"unsupported_proto"` for version mismatches); `id` echoes the
+/// client's id when the frame was valid JSON with a bad field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFailure {
+    /// Echoed request id (`"-"` when unreadable).
+    pub id: String,
+    /// Stable error class for the frame.
+    pub class: &'static str,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+fn parse_op(v: &Value) -> Result<UpdateOp, String> {
+    let insert = match v.get("op").and_then(Value::as_str) {
+        Some("insert") => true,
+        Some("delete") => false,
+        Some(other) => return Err(format!("unknown op {other:?} (want insert|delete)")),
+        None => return Err("missing \"op\"".to_string()),
+    };
+    let Some(rel) = v.get("rel").and_then(Value::as_str) else {
+        return Err("missing \"rel\"".to_string());
+    };
+    let tuple = match v.get("tuple") {
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|t| match t.as_int() {
+                Some(x) if (0..=i64::from(u32::MAX)).contains(&x) => Ok(x as u32),
+                _ => Err("\"tuple\" components must be non-negative integers".to_string()),
+            })
+            .collect::<Result<Vec<u32>, String>>()?,
+        _ => return Err("missing \"tuple\" array".to_string()),
+    };
+    Ok(UpdateOp {
+        insert,
+        rel: rel.to_string(),
+        tuple,
+    })
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, ParseFailure> {
+    let bad = |id: &str, msg: String| ParseFailure {
+        id: id.to_string(),
+        class: "bad-request",
+        message: msg,
+    };
+    let v = parse(line).map_err(|e| bad("-", format!("invalid JSON: {e}")))?;
     let id = v
         .get("id")
         .and_then(Value::as_str)
         .unwrap_or("-")
         .to_string();
-    let fail = |msg: &str| Err((id.clone(), msg.to_string()));
+    let fail = |msg: String| Err(bad(&id, msg));
+    match v.get("proto") {
+        None => {}
+        Some(p) => match p.as_int() {
+            Some(PROTO_VERSION) => {}
+            Some(other) => {
+                return Err(ParseFailure {
+                    id,
+                    class: "unsupported_proto",
+                    message: format!(
+                        "protocol version {other} is not supported (this server speaks proto {PROTO_VERSION})"
+                    ),
+                })
+            }
+            None => return fail("\"proto\" must be an integer".to_string()),
+        },
+    }
     let mode = match v.get("mode").and_then(Value::as_str) {
         Some("check") => Mode::Check,
         Some("eval") => Mode::Eval,
-        Some(other) => return fail(&format!("unknown mode {other:?} (want check|eval)")),
-        None => return fail("missing \"mode\""),
+        Some("update") => Mode::Update,
+        Some("batch") => Mode::Batch,
+        Some(other) => {
+            return fail(format!(
+                "unknown mode {other:?} (want check|eval|update|batch)"
+            ))
+        }
+        None => return fail("missing \"mode\"".to_string()),
     };
-    let Some(query) = v.get("query").and_then(Value::as_str) else {
-        return fail("missing \"query\"");
+    let (query, ops) = match mode {
+        Mode::Check | Mode::Eval => {
+            let Some(q) = v.get("query").and_then(Value::as_str) else {
+                return fail("missing \"query\"".to_string());
+            };
+            (q.to_string(), Vec::new())
+        }
+        Mode::Update => match parse_op(&v) {
+            Ok(op) => (String::new(), vec![op]),
+            Err(e) => return fail(e),
+        },
+        Mode::Batch => match v.get("ops") {
+            Some(Value::Array(items)) => {
+                let mut ops = Vec::with_capacity(items.len());
+                for (i, item) in items.iter().enumerate() {
+                    match parse_op(item) {
+                        Ok(op) => ops.push(op),
+                        Err(e) => return fail(format!("ops[{i}]: {e}")),
+                    }
+                }
+                (String::new(), ops)
+            }
+            _ => return fail("missing \"ops\" array".to_string()),
+        },
     };
     let timeout = match v.get("timeout_ms") {
         None => None,
         Some(t) => match t.as_int() {
             Some(ms) if ms >= 0 => Some(Duration::from_millis(ms as u64)),
-            _ => return fail("\"timeout_ms\" must be a non-negative integer"),
+            _ => return fail("\"timeout_ms\" must be a non-negative integer".to_string()),
         },
     };
     let fuel = match v.get("fuel") {
         None => None,
         Some(t) => match t.as_int() {
             Some(f) if f >= 0 => Some(f as u64),
-            _ => return fail("\"fuel\" must be a non-negative integer"),
+            _ => return fail("\"fuel\" must be a non-negative integer".to_string()),
         },
     };
     let mem_limit = match v.get("mem_limit_bytes") {
         None => None,
         Some(t) => match t.as_int() {
             Some(b) if b >= 0 => Some(b as u64),
-            _ => return fail("\"mem_limit_bytes\" must be a non-negative integer"),
+            _ => return fail("\"mem_limit_bytes\" must be a non-negative integer".to_string()),
         },
     };
     let engine = match v.get("engine").and_then(Value::as_str) {
@@ -108,12 +242,13 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
         Some("naive") => Some(EngineKind::Naive),
         Some("local") => Some(EngineKind::Local),
         Some("cover") => Some(EngineKind::Cover),
-        Some(other) => return fail(&format!("unknown engine {other:?}")),
+        Some(other) => return fail(format!("unknown engine {other:?}")),
     };
     Ok(Request {
         id,
         mode,
-        query: query.to_string(),
+        query,
+        ops,
         timeout,
         fuel,
         mem_limit,
@@ -130,14 +265,26 @@ pub enum Answer {
     Int(i64),
 }
 
-/// Renders a result frame.
-pub fn result_frame(id: &str, mode: Mode, answer: Answer, micros: u64) -> String {
+/// Renders a query result frame. `epoch` is the mutation epoch of the
+/// snapshot the query evaluated against.
+pub fn result_frame(id: &str, mode: Mode, answer: Answer, epoch: u64, micros: u64) -> String {
     let value = match answer {
         Answer::Bool(b) => b.to_string(),
         Answer::Int(i) => i.to_string(),
     };
     format!(
-        "{{\"type\":\"result\",\"id\":\"{}\",\"mode\":\"{}\",\"value\":{value},\"micros\":{micros}}}",
+        "{{\"type\":\"result\",\"proto\":{PROTO_VERSION},\"id\":\"{}\",\"mode\":\"{}\",\"value\":{value},\"epoch\":{epoch},\"micros\":{micros}}}",
+        json_escape(id),
+        mode.name(),
+    )
+}
+
+/// Renders a mutation result frame: the epoch now current after the
+/// commit (unchanged if the batch was a no-op) and the number of tuples
+/// that actually changed.
+pub fn update_frame(id: &str, mode: Mode, epoch: u64, changed: usize, micros: u64) -> String {
+    format!(
+        "{{\"type\":\"result\",\"proto\":{PROTO_VERSION},\"id\":\"{}\",\"mode\":\"{}\",\"epoch\":{epoch},\"changed\":{changed},\"micros\":{micros}}}",
         json_escape(id),
         mode.name(),
     )
@@ -151,7 +298,7 @@ pub fn error_frame(id: &str, class: &str, reason: Option<&str>, message: &str) -
         .map(|r| format!(",\"reason\":\"{}\"", json_escape(r)))
         .unwrap_or_default();
     format!(
-        "{{\"type\":\"error\",\"id\":\"{}\",\"class\":\"{}\"{reason_field},\"message\":\"{}\"}}",
+        "{{\"type\":\"error\",\"proto\":{PROTO_VERSION},\"id\":\"{}\",\"class\":\"{}\"{reason_field},\"message\":\"{}\"}}",
         json_escape(id),
         json_escape(class),
         json_escape(message),
@@ -160,12 +307,12 @@ pub fn error_frame(id: &str, class: &str, reason: Option<&str>, message: &str) -
 
 /// Renders a shed frame (admission refused; retry after the hint).
 pub fn shed_frame(retry_after_ms: u64) -> String {
-    format!("{{\"type\":\"shed\",\"retry_after_ms\":{retry_after_ms}}}")
+    format!("{{\"type\":\"shed\",\"proto\":{PROTO_VERSION},\"retry_after_ms\":{retry_after_ms}}}")
 }
 
 /// Renders the drain notice sent before the server closes a stream.
 pub fn drained_frame() -> String {
-    "{\"type\":\"drained\"}".to_string()
+    format!("{{\"type\":\"drained\",\"proto\":{PROTO_VERSION}}}")
 }
 
 #[cfg(test)]
@@ -175,7 +322,7 @@ mod tests {
     #[test]
     fn request_round_trip_and_clamps() {
         let r = parse_request(
-            r##"{"id":"q7","mode":"eval","query":"#(x,y). E(x,y)","timeout_ms":250,"fuel":1000,"mem_limit_bytes":4096,"engine":"cover"}"##,
+            r##"{"proto":1,"id":"q7","mode":"eval","query":"#(x,y). E(x,y)","timeout_ms":250,"fuel":1000,"mem_limit_bytes":4096,"engine":"cover"}"##,
         )
         .unwrap();
         assert_eq!(r.id, "q7");
@@ -187,21 +334,69 @@ mod tests {
     }
 
     #[test]
+    fn update_and_batch_requests_parse() {
+        let r = parse_request(
+            r#"{"proto":1,"id":"u1","mode":"update","op":"insert","rel":"E","tuple":[3,7]}"#,
+        )
+        .unwrap();
+        assert_eq!(r.mode, Mode::Update);
+        assert!(r.mode.is_mutation());
+        assert_eq!(
+            r.ops,
+            vec![UpdateOp {
+                insert: true,
+                rel: "E".to_string(),
+                tuple: vec![3, 7],
+            }]
+        );
+
+        let r = parse_request(
+            r#"{"id":"b1","mode":"batch","ops":[{"op":"insert","rel":"E","tuple":[0,1]},{"op":"delete","rel":"E","tuple":[1,0]}]}"#,
+        )
+        .unwrap();
+        assert_eq!(r.mode, Mode::Batch);
+        assert_eq!(r.ops.len(), 2);
+        assert!(!r.ops[1].insert);
+
+        let f = parse_request(r#"{"id":"u2","mode":"update","op":"warp","rel":"E","tuple":[1]}"#)
+            .unwrap_err();
+        assert_eq!(f.class, "bad-request");
+        assert!(f.message.contains("unknown op"));
+        let f = parse_request(r#"{"id":"b2","mode":"batch","ops":[{"op":"insert","rel":"E"}]}"#)
+            .unwrap_err();
+        assert!(f.message.contains("ops[0]"));
+    }
+
+    #[test]
+    fn unknown_proto_versions_are_refused() {
+        let f = parse_request(r#"{"proto":2,"id":"v","mode":"check","query":"true"}"#).unwrap_err();
+        assert_eq!(f.class, "unsupported_proto");
+        assert_eq!(f.id, "v");
+        assert!(f.message.contains("proto 1"));
+        // Absent proto = proto 1 (pre-versioning clients).
+        assert!(parse_request(r#"{"id":"v","mode":"check","query":"x = x"}"#).is_ok());
+        let f = parse_request(r#"{"proto":"x","mode":"check","query":"true"}"#).unwrap_err();
+        assert_eq!(f.class, "bad-request");
+    }
+
+    #[test]
     fn bad_requests_keep_the_id_when_parseable() {
-        let (id, msg) = parse_request(r#"{"id":"x","mode":"warp","query":"true"}"#).unwrap_err();
-        assert_eq!(id, "x");
-        assert!(msg.contains("unknown mode"));
-        let (id, _) = parse_request("not json").unwrap_err();
-        assert_eq!(id, "-");
-        let (_, msg) = parse_request(r#"{"mode":"check"}"#).unwrap_err();
-        assert!(msg.contains("query"));
+        let f = parse_request(r#"{"id":"x","mode":"warp","query":"true"}"#).unwrap_err();
+        assert_eq!(f.id, "x");
+        assert_eq!(f.class, "bad-request");
+        assert!(f.message.contains("unknown mode"));
+        let f = parse_request("not json").unwrap_err();
+        assert_eq!(f.id, "-");
+        let f = parse_request(r#"{"mode":"check"}"#).unwrap_err();
+        assert!(f.message.contains("query"));
     }
 
     #[test]
     fn frames_are_single_line_json() {
         let frames = [
-            result_frame("a", Mode::Check, Answer::Bool(true), 12),
-            result_frame("b", Mode::Eval, Answer::Int(-3), 7),
+            result_frame("a", Mode::Check, Answer::Bool(true), 0, 12),
+            result_frame("b", Mode::Eval, Answer::Int(-3), 4, 7),
+            update_frame("u", Mode::Update, 5, 2, 9),
             error_frame(
                 "c",
                 "interrupted",
@@ -216,10 +411,19 @@ mod tests {
             assert!(!f.contains('\n'), "frame must be one line: {f}");
             let v = crate::json::parse(f).unwrap_or_else(|e| panic!("unparseable {f}: {e}"));
             assert!(v.get("type").is_some());
+            assert_eq!(
+                v.get("proto").and_then(crate::json::Value::as_int),
+                Some(PROTO_VERSION),
+                "every frame carries the protocol version: {f}"
+            );
         }
         assert_eq!(
             frames[0],
-            "{\"type\":\"result\",\"id\":\"a\",\"mode\":\"check\",\"value\":true,\"micros\":12}"
+            "{\"type\":\"result\",\"proto\":1,\"id\":\"a\",\"mode\":\"check\",\"value\":true,\"epoch\":0,\"micros\":12}"
+        );
+        assert_eq!(
+            frames[2],
+            "{\"type\":\"result\",\"proto\":1,\"id\":\"u\",\"mode\":\"update\",\"epoch\":5,\"changed\":2,\"micros\":9}"
         );
     }
 }

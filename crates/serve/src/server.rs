@@ -30,19 +30,22 @@
 use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use foc_core::{DegradePolicy, EngineKind, Error, Evaluator};
+use foc_covers::CoverStore;
 use foc_guard::{Budget, CancelToken, MemoryMeter, TripReason};
-use foc_locality::TermCache;
+use foc_locality::{migrate_cache, TermCache};
 use foc_logic::parse::{parse_formula, parse_term};
+use foc_logic::Predicates;
 use foc_obs::{names, pow2_buckets, Metrics};
 use foc_parallel::{run_isolated, Fault};
-use foc_structures::Structure;
+use foc_structures::{DeltaStructure, Structure, TupleOp};
 
 use crate::protocol::{
-    drained_frame, error_frame, parse_request, result_frame, shed_frame, Answer, Mode, Request,
+    drained_frame, error_frame, parse_request, result_frame, shed_frame, update_frame, Answer,
+    Mode, Request,
 };
 
 /// Server configuration. `Default` binds an ephemeral loopback port
@@ -199,7 +202,16 @@ impl Gate {
 /// Everything a connection thread needs, shared by `Arc`.
 struct Shared {
     config: ServerConfig,
-    structure: Structure,
+    /// The single writer: mutation requests serialise on this lock,
+    /// apply their batch as a delta commit, migrate the shared caches,
+    /// and publish the next snapshot.
+    writer: Mutex<DeltaStructure>,
+    /// The currently published snapshot. Queries clone the `Arc` at
+    /// admission and evaluate against that epoch for their whole
+    /// lifetime — commits never perturb an in-flight read.
+    published: RwLock<Arc<Structure>>,
+    preds: Predicates,
+    covers: Arc<CoverStore>,
     cache: Arc<TermCache>,
     meter: MemoryMeter,
     gate: Gate,
@@ -260,6 +272,14 @@ impl Shared {
     fn draining(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
     }
+
+    /// The snapshot new queries are admitted under.
+    fn snapshot(&self) -> Arc<Structure> {
+        self.published
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
 }
 
 /// Report returned by [`ServerHandle::drain`].
@@ -306,17 +326,23 @@ pub fn start(structure: Structure, config: ServerConfig) -> std::io::Result<Serv
     let meter = MemoryMeter::new();
     meter.add(structure.resident_bytes());
     // Force the Gaifman graph now (evaluators would build it lazily on
-    // the first request anyway) so its bytes are accounted up front.
+    // the first request anyway) so its bytes are accounted up front;
+    // delta commits then maintain it incrementally.
     let _ = structure.gaifman();
     let cache = Arc::new(
         TermCache::with_capacity(config.cache_capacity)
             .with_metrics(&metrics)
             .with_memory_meter(meter.clone()),
     );
+    let writer = DeltaStructure::new(structure);
+    let published = RwLock::new(writer.snapshot());
     let shared = Arc::new(Shared {
         gate: Gate::new(config.max_inflight, config.queue),
         config,
-        structure,
+        writer: Mutex::new(writer),
+        published,
+        preds: Predicates::standard(),
+        covers: Arc::new(CoverStore::default()),
         cache,
         meter,
         metrics,
@@ -461,9 +487,9 @@ fn serve_line(line: &str, shared: &Arc<Shared>) -> String {
     let m = &shared.metrics;
     let req = match parse_request(line) {
         Ok(r) => r,
-        Err((id, msg)) => {
+        Err(f) => {
             m.counter(names::SERVE_ERRORS).inc();
-            return error_frame(&id, "bad-request", None, &msg);
+            return error_frame(&f.id, f.class, None, &f.message);
         }
     };
     // Watermark first: under sustained pressure the ladder ends in shed,
@@ -482,16 +508,83 @@ fn serve_line(line: &str, shared: &Arc<Shared>) -> String {
             m.counter(names::SERVE_REQUESTS).inc();
             let inflight = shared.gate.lock().inflight;
             m.gauge(names::SERVE_INFLIGHT).set_max(inflight as u64);
-            let frame = evaluate_request(&req, use_cache, shared);
+            let frame = if req.mode.is_mutation() {
+                apply_update(&req, shared)
+            } else {
+                // Snapshot-consistent read: the epoch is pinned here, at
+                // admission, and held for the whole evaluation.
+                let snapshot = shared.snapshot();
+                evaluate_request(&req, use_cache, &snapshot, shared)
+            };
             shared.gate.exit();
             frame
         }
     }
 }
 
+/// Applies a mutation request: serialise on the writer lock, commit the
+/// batch as one delta, migrate the shared term cache and cover store to
+/// the new epoch (recomputing only dirty balls / clusters), publish the
+/// snapshot, then retire the old epoch's cache entries. Readers
+/// admitted before the publish keep evaluating against their pinned
+/// snapshot; entries they re-insert under the retired fingerprint are
+/// bounded by the caches' capacity and age out via their normal
+/// eviction.
+fn apply_update(req: &Request, shared: &Arc<Shared>) -> String {
+    let m = &shared.metrics;
+    let ops: Vec<TupleOp> = req
+        .ops
+        .iter()
+        .map(|o| {
+            if o.insert {
+                TupleOp::insert(&o.rel, &o.tuple)
+            } else {
+                TupleOp::delete(&o.rel, &o.tuple)
+            }
+        })
+        .collect();
+    let t0 = Instant::now();
+    let mut writer = shared.writer.lock().unwrap_or_else(|e| e.into_inner());
+    let old = writer.snapshot();
+    match writer.apply(&ops) {
+        Err(e) => {
+            m.counter(names::SERVE_ERRORS).inc();
+            error_frame(&req.id, "mutation", None, &e.to_string())
+        }
+        Ok(info) => {
+            let epoch = info.epoch;
+            if info.changed > 0 {
+                let new = writer.snapshot();
+                let stats = migrate_cache(&shared.cache, &old, &new, &info.touched, &shared.preds);
+                shared.covers.migrate(&old, &new, &info.touched);
+                *shared.published.write().unwrap_or_else(|e| e.into_inner()) = new.clone();
+                shared.cache.evict_structure(old.fingerprint());
+                shared.covers.retire(old.fingerprint());
+                shared.meter.add(new.resident_bytes());
+                shared.meter.sub(old.resident_bytes());
+                m.counter(names::SERVE_CACHE_MIGRATED)
+                    .add(stats.migrated as u64);
+            }
+            drop(writer);
+            m.counter(names::SERVE_UPDATES).inc();
+            m.counter(names::SERVE_TUPLES_CHANGED)
+                .add(info.changed as u64);
+            let micros = t0.elapsed().as_micros() as u64;
+            m.histogram(names::SERVE_LATENCY_MICROS, &pow2_buckets(31))
+                .observe(micros);
+            update_frame(&req.id, req.mode, epoch, info.changed, micros)
+        }
+    }
+}
+
 /// Clamps the request's budget, builds the evaluator, runs it isolated,
 /// and renders the response frame.
-fn evaluate_request(req: &Request, use_cache: bool, shared: &Arc<Shared>) -> String {
+fn evaluate_request(
+    req: &Request,
+    use_cache: bool,
+    snapshot: &Arc<Structure>,
+    shared: &Arc<Shared>,
+) -> String {
     let cfg = &shared.config;
     let m = &shared.metrics;
     let deadline = match req.timeout {
@@ -525,6 +618,7 @@ fn evaluate_request(req: &Request, use_cache: bool, shared: &Arc<Shared>) -> Str
     } else {
         builder = builder.cache(false);
     }
+    builder = builder.shared_covers(shared.covers.clone());
     let ev = match builder.build() {
         Ok(ev) => ev,
         Err(e) => {
@@ -534,12 +628,12 @@ fn evaluate_request(req: &Request, use_cache: bool, shared: &Arc<Shared>) -> Str
     };
 
     let t0 = Instant::now();
-    let outcome = run_isolated(|| run_query(&ev, req, &shared.structure));
+    let outcome = run_isolated(|| run_query(&ev, req, snapshot));
     let micros = t0.elapsed().as_micros() as u64;
     m.histogram(names::SERVE_LATENCY_MICROS, &pow2_buckets(31))
         .observe(micros);
     match outcome {
-        Ok(answer) => result_frame(&req.id, req.mode, answer, micros),
+        Ok(answer) => result_frame(&req.id, req.mode, answer, snapshot.epoch(), micros),
         Err(Fault::Error(RequestError::Parse(msg))) => {
             m.counter(names::SERVE_ERRORS).inc();
             error_frame(&req.id, "parse", None, &msg)
@@ -596,6 +690,11 @@ fn run_query(ev: &Evaluator, req: &Request, a: &Structure) -> Result<Answer, Req
                 .map(Answer::Int)
                 .map_err(RequestError::Engine)
         }
+        // Mutations never reach the query path (`serve_line` routes them
+        // to `apply_update` before an evaluator is built).
+        Mode::Update | Mode::Batch => Err(RequestError::Parse(
+            "mutation mode routed to the query path".to_string(),
+        )),
     }
 }
 

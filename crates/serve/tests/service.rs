@@ -370,3 +370,193 @@ fn bad_requests_get_structured_errors_and_the_connection_survives() {
     let report = handle.drain();
     assert_eq!(report.interrupted, 0);
 }
+
+/// Live updates (ISSUE 6): a writer streams batch mutations while
+/// concurrent readers query. Every reader response carries the epoch it
+/// evaluated under, and its value must equal a from-scratch rebuild of
+/// the structure at exactly that epoch — snapshot consistency under
+/// concurrent commits.
+#[test]
+fn concurrent_updates_are_snapshot_consistent_with_rebuilds() {
+    use foc_structures::{DeltaStructure, TupleOp};
+
+    let structure = path(16);
+    // The deterministic mutation schedule: each batch toggles one
+    // symmetric edge and is guaranteed effective, so batch i commits
+    // epoch i+1.
+    let toggles: Vec<(u32, u32, bool)> = vec![
+        (0, 8, true),
+        (1, 9, true),
+        (2, 10, true),
+        (3, 4, false),
+        (1, 9, false),
+        (5, 13, true),
+        (7, 8, false),
+        (3, 4, true),
+        (6, 14, true),
+        (0, 8, false),
+    ];
+
+    // Expected value per epoch, via an independent from-scratch rebuild
+    // at every epoch (the oracle the acceptance criterion asks for).
+    let query = "#(x,y). E(x,y)";
+    let term = parse_term(query).expect("parse");
+    let reference = Evaluator::builder()
+        .kind(EngineKind::Naive)
+        .build()
+        .expect("reference");
+    let mut mirror = DeltaStructure::new(structure.clone());
+    let mut expected = vec![reference
+        .eval_ground(&mirror.rebuild_from_scratch(), &term)
+        .expect("epoch 0")];
+    for &(u, v, insert) in &toggles {
+        let mk = if insert {
+            TupleOp::insert
+        } else {
+            TupleOp::delete
+        };
+        let info = mirror
+            .apply(&[mk("E", &[u, v]), mk("E", &[v, u])])
+            .expect("mirror commit");
+        assert_eq!(info.epoch as usize, expected.len(), "every batch commits");
+        expected.push(
+            reference
+                .eval_ground(&mirror.rebuild_from_scratch(), &term)
+                .expect("rebuild eval"),
+        );
+    }
+
+    let handle = start(
+        structure,
+        ServerConfig {
+            max_inflight: 4,
+            queue: 32,
+            engine: EngineKind::Local,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    let addr = handle.addr();
+
+    let writer = std::thread::spawn(move || {
+        let mut c = Client::connect(addr);
+        for (i, &(u, v, insert)) in toggles.iter().enumerate() {
+            let op = if insert { "insert" } else { "delete" };
+            let frame = c.roundtrip(&format!(
+                r##"{{"proto":1,"id":"w{i}","mode":"batch","ops":[{{"op":"{op}","rel":"E","tuple":[{u},{v}]}},{{"op":"{op}","rel":"E","tuple":[{v},{u}]}}]}}"##
+            ));
+            assert_eq!(field(&frame, "type"), Some("result"), "frame: {frame}");
+            assert_eq!(field(&frame, "proto"), Some("1"), "frame: {frame}");
+            assert_eq!(
+                field(&frame, "epoch"),
+                Some((i + 1).to_string().as_str()),
+                "frame: {frame}"
+            );
+            assert_eq!(field(&frame, "changed"), Some("2"), "frame: {frame}");
+            // Let readers interleave between commits.
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    });
+
+    let readers: Vec<_> = (0..3)
+        .map(|r| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                let mut seen_epochs = std::collections::BTreeSet::new();
+                for i in 0..30 {
+                    let frame = c.roundtrip(&format!(
+                        r##"{{"proto":1,"id":"r{r}-{i}","mode":"eval","query":"#(x,y). E(x,y)"}}"##
+                    ));
+                    assert_eq!(field(&frame, "type"), Some("result"), "frame: {frame}");
+                    let epoch: usize = field(&frame, "epoch")
+                        .expect("epoch on result")
+                        .parse()
+                        .expect("numeric epoch");
+                    let value: i64 = field(&frame, "value")
+                        .expect("value on result")
+                        .parse()
+                        .expect("numeric value");
+                    assert!(epoch < expected.len(), "epoch {epoch} out of range");
+                    assert_eq!(
+                        value, expected[epoch],
+                        "epoch {epoch} diverged from its from-scratch rebuild: {frame}"
+                    );
+                    seen_epochs.insert(epoch);
+                }
+                seen_epochs
+            })
+        })
+        .collect();
+
+    writer.join().expect("writer");
+    let mut all_epochs = std::collections::BTreeSet::new();
+    for r in readers {
+        all_epochs.extend(r.join().expect("reader"));
+    }
+    assert!(
+        !all_epochs.is_empty(),
+        "readers observed at least one epoch"
+    );
+
+    // After the writer finished, a fresh read sees the final epoch.
+    let mut c = Client::connect(addr);
+    let frame = c.roundtrip(r##"{"proto":1,"id":"final","mode":"eval","query":"#(x,y). E(x,y)"}"##);
+    assert_eq!(field(&frame, "epoch"), Some("10"), "frame: {frame}");
+    assert_eq!(
+        field(&frame, "value"),
+        Some(expected[10].to_string().as_str()),
+        "frame: {frame}"
+    );
+
+    let report = handle.drain();
+    assert_eq!(report.interrupted, 0);
+    assert_eq!(report.final_metrics.counter(names::SERVE_UPDATES), 10);
+    assert_eq!(
+        report.final_metrics.counter(names::SERVE_TUPLES_CHANGED),
+        20
+    );
+}
+
+/// Protocol versioning: declaring an unknown proto gets a structured
+/// `unsupported_proto` error; rejected mutations (undeclared relation,
+/// arity mismatch, out-of-universe element) get `mutation` errors and
+/// never bump the epoch; a no-op mutation commits nothing.
+#[test]
+fn proto_mismatch_and_bad_mutations_are_structured_errors() {
+    let handle = start(path(6), ServerConfig::default()).expect("start");
+    let mut c = Client::connect(handle.addr());
+
+    let f = c.roundtrip(r#"{"proto":2,"id":"v","mode":"check","query":"true"}"#);
+    assert_eq!(field(&f, "type"), Some("error"), "frame: {f}");
+    assert_eq!(field(&f, "class"), Some("unsupported_proto"), "frame: {f}");
+    assert_eq!(field(&f, "id"), Some("v"), "frame: {f}");
+
+    let f = c.roundtrip(
+        r#"{"proto":1,"id":"m1","mode":"update","op":"insert","rel":"Nope","tuple":[0,1]}"#,
+    );
+    assert_eq!(field(&f, "class"), Some("mutation"), "frame: {f}");
+    let f = c.roundtrip(
+        r#"{"proto":1,"id":"m2","mode":"update","op":"insert","rel":"E","tuple":[0,1,2]}"#,
+    );
+    assert_eq!(field(&f, "class"), Some("mutation"), "frame: {f}");
+    let f = c.roundtrip(
+        r#"{"proto":1,"id":"m3","mode":"update","op":"insert","rel":"E","tuple":[0,99]}"#,
+    );
+    assert_eq!(field(&f, "class"), Some("mutation"), "frame: {f}");
+
+    // Deleting an absent tuple is accepted but commits nothing.
+    let f = c.roundtrip(
+        r#"{"proto":1,"id":"m4","mode":"update","op":"delete","rel":"E","tuple":[0,5]}"#,
+    );
+    assert_eq!(field(&f, "type"), Some("result"), "frame: {f}");
+    assert_eq!(field(&f, "epoch"), Some("0"), "frame: {f}");
+    assert_eq!(field(&f, "changed"), Some("0"), "frame: {f}");
+
+    // The structure is untouched by any of the rejected mutations.
+    let f = c.roundtrip(r##"{"proto":1,"id":"q","mode":"eval","query":"#(x,y). E(x,y)"}"##);
+    assert_eq!(field(&f, "value"), Some("10"), "frame: {f}");
+    assert_eq!(field(&f, "epoch"), Some("0"), "frame: {f}");
+
+    handle.drain();
+}

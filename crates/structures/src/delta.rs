@@ -1,0 +1,490 @@
+//! Delta-maintained structures: epoch-stamped tuple inserts/deletes over
+//! a fixed universe, with copy-on-write relations and incremental
+//! Gaifman-graph maintenance.
+//!
+//! A [`DeltaStructure`] owns the *current* epoch's immutable
+//! [`Structure`] snapshot behind an `Arc`. Readers take a snapshot and
+//! evaluate against it for as long as they like; a commit builds the next
+//! epoch beside them, sharing every untouched relation by `Arc` clone and
+//! re-deriving the Gaifman CSR from an incrementally maintained edge
+//! multiset instead of rescanning every tuple. Snapshots are stamped with
+//! a monotonically increasing epoch that
+//! [`Structure::fingerprint`] folds into the cache key, so memoised
+//! cl-term values can never leak between versions.
+//!
+//! Why the edge *multiset*: distinct tuples can induce the same Gaifman
+//! edge (e.g. `E(a,b)` and `E(b,a)`, or a ternary tuple sharing a pair
+//! with a binary one). Deleting one such tuple must not drop the edge
+//! while a witness remains, so each canonical pair `(u < v)` carries a
+//! reference count and the CSR is rebuilt from the surviving keys — an
+//! `O(|E|)` scan with no tuple re-enumeration, and only when an edge
+//! actually appeared or disappeared.
+
+use std::sync::Arc;
+
+use foc_logic::Symbol;
+
+use crate::graph::Graph;
+use crate::hash::FxHashMap;
+use crate::structure::{MutationError, Relation, Structure};
+
+/// One tuple mutation against a named relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TupleOp {
+    /// The relation symbol.
+    pub rel: Symbol,
+    /// The tuple (its length must match the declared arity).
+    pub tuple: Vec<u32>,
+    /// `true` to insert, `false` to delete.
+    pub insert: bool,
+}
+
+impl TupleOp {
+    /// An insert op.
+    pub fn insert(rel: &str, tuple: &[u32]) -> TupleOp {
+        TupleOp {
+            rel: Symbol::new(rel),
+            tuple: tuple.to_vec(),
+            insert: true,
+        }
+    }
+
+    /// A delete op.
+    pub fn delete(rel: &str, tuple: &[u32]) -> TupleOp {
+        TupleOp {
+            rel: Symbol::new(rel),
+            tuple: tuple.to_vec(),
+            insert: false,
+        }
+    }
+}
+
+impl std::fmt::Display for TupleOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let verb = if self.insert { "+" } else { "-" };
+        write!(f, "{verb}{}(", self.rel.name())?;
+        for (i, c) in self.tuple.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// What a commit did: the epoch now current, how many tuples actually
+/// changed membership, and which elements they touch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitInfo {
+    /// The epoch of the snapshot now current (unchanged if the batch was
+    /// a no-op: every insert already present, every delete already
+    /// absent).
+    pub epoch: u64,
+    /// Tuples that actually changed membership (inserts of present
+    /// tuples and deletes of absent ones are no-ops).
+    pub changed: usize,
+    /// Sorted, deduplicated elements appearing in changed tuples — the
+    /// dirty set: by Hanf locality, only values within the evaluation
+    /// radius of these elements can differ between the epochs.
+    pub touched: Vec<u32>,
+    /// Whether the Gaifman edge set changed (cover maintenance can skip
+    /// entirely when it did not).
+    pub gaifman_changed: bool,
+}
+
+/// A mutable, versioned structure: immutable epoch snapshots published
+/// from batched tuple updates. The universe and signature are fixed at
+/// construction; only tuple membership changes.
+#[derive(Debug)]
+pub struct DeltaStructure {
+    current: Arc<Structure>,
+    /// Canonical Gaifman edges `(u, v)` with `u < v`, each counting the
+    /// tuples that induce it.
+    edge_mult: FxHashMap<(u32, u32), u32>,
+}
+
+impl DeltaStructure {
+    /// Wraps a structure for delta maintenance, scanning its tuples once
+    /// to seed the Gaifman edge multiset.
+    pub fn new(base: Structure) -> DeltaStructure {
+        let mut edge_mult: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for idx in 0..base.signature().len() {
+            let rel = base.relation_at(idx);
+            if rel.arity() < 2 {
+                continue;
+            }
+            for row in rel.rows() {
+                count_edges(row, |e| *edge_mult.entry(e).or_insert(0) += 1);
+            }
+        }
+        DeltaStructure {
+            current: Arc::new(base),
+            edge_mult,
+        }
+    }
+
+    /// The current epoch's immutable snapshot (cheap `Arc` clone).
+    /// Readers hold this across an evaluation for snapshot-consistent
+    /// results while later commits build new epochs beside it.
+    pub fn snapshot(&self) -> Arc<Structure> {
+        self.current.clone()
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.current.epoch()
+    }
+
+    /// A borrow of the current snapshot (no `Arc` bump).
+    pub fn current(&self) -> &Structure {
+        &self.current
+    }
+
+    /// Applies a batch of tuple ops atomically and, if anything actually
+    /// changed, publishes the next epoch's snapshot. The whole batch is
+    /// validated first: on `Err` no state changes at all. Ops apply in
+    /// order, so an insert followed by a delete of the same tuple nets
+    /// out to whatever the last op says.
+    pub fn apply(&mut self, ops: &[TupleOp]) -> Result<CommitInfo, MutationError> {
+        let sig = self.current.signature().clone();
+        let n = self.current.order();
+        // Validate everything up front; reject the batch wholesale.
+        let mut resolved: Vec<usize> = Vec::with_capacity(ops.len());
+        for op in ops {
+            let Some(idx) = sig.index_of(op.rel) else {
+                return Err(MutationError::UndeclaredRelation {
+                    name: op.rel.to_string(),
+                });
+            };
+            let arity = sig.rels()[idx].arity;
+            if op.tuple.len() != arity {
+                return Err(MutationError::ArityMismatch {
+                    relation: op.rel.to_string(),
+                    expected: arity,
+                    got: op.tuple.len(),
+                });
+            }
+            if let Some(&e) = op.tuple.iter().find(|&&e| e >= n) {
+                return Err(MutationError::OutOfUniverse {
+                    element: e,
+                    order: n,
+                });
+            }
+            resolved.push(idx);
+        }
+
+        // Net effect per (relation, tuple): the last op wins.
+        let mut net: FxHashMap<(usize, &[u32]), bool> = FxHashMap::default();
+        for (op, &idx) in ops.iter().zip(&resolved) {
+            net.insert((idx, op.tuple.as_slice()), op.insert);
+        }
+        // Group by relation, keeping only ops that change membership
+        // (inserted tuples, then deleted tuples, per relation index).
+        type PendingOps<'a> = (Vec<&'a [u32]>, Vec<&'a [u32]>);
+        let mut per_rel: FxHashMap<usize, PendingOps<'_>> = FxHashMap::default();
+        let mut changed = 0usize;
+        let mut touched: Vec<u32> = Vec::new();
+        let mut gaifman_changed = false;
+        for ((idx, tuple), desired) in net {
+            let present = self.current.relation_at(idx).contains(tuple);
+            if desired == present {
+                continue;
+            }
+            changed += 1;
+            touched.extend_from_slice(tuple);
+            let entry = per_rel.entry(idx).or_default();
+            if desired {
+                entry.0.push(tuple);
+            } else {
+                entry.1.push(tuple);
+            }
+        }
+        if changed == 0 {
+            return Ok(CommitInfo {
+                epoch: self.current.epoch(),
+                changed: 0,
+                touched: Vec::new(),
+                gaifman_changed: false,
+            });
+        }
+        touched.sort_unstable();
+        touched.dedup();
+
+        // Rebuild only the touched relations; share the rest.
+        let mut rels: Vec<Arc<Relation>> = self.current.rel_arcs().to_vec();
+        for (idx, (mut adds, mut dels)) in per_rel {
+            adds.sort_unstable();
+            dels.sort_unstable();
+            let old = self.current.relation_at(idx);
+            // Maintain the Gaifman edge multiset from the actual deltas.
+            for row in &adds {
+                count_edges(row, |e| {
+                    let c = self.edge_mult.entry(e).or_insert(0);
+                    *c += 1;
+                    if *c == 1 {
+                        gaifman_changed = true;
+                    }
+                });
+            }
+            for row in &dels {
+                count_edges(row, |e| {
+                    let c = self
+                        .edge_mult
+                        .get_mut(&e)
+                        .expect("deleting an edge that was never counted");
+                    *c -= 1;
+                    if *c == 0 {
+                        self.edge_mult.remove(&e);
+                        gaifman_changed = true;
+                    }
+                });
+            }
+            rels[idx] = Arc::new(merge_relation(old, &adds, &dels));
+        }
+
+        // Patch or share the Gaifman CSR without rescanning tuples. If it
+        // was never materialised, leave it lazy (a later `gaifman()` call
+        // rebuilds from tuples as usual).
+        let gaifman = match self.current.gaifman_if_built() {
+            Some(g) if !gaifman_changed => Some(g),
+            Some(_) => {
+                let edges: Vec<(u32, u32)> = self.edge_mult.keys().copied().collect();
+                Some(Arc::new(Graph::from_edges(n, &edges)))
+            }
+            None => None,
+        };
+
+        let epoch = self.current.epoch() + 1;
+        self.current = Arc::new(Structure::from_parts(sig, n, rels, epoch, gaifman));
+        Ok(CommitInfo {
+            epoch,
+            changed,
+            touched,
+            gaifman_changed,
+        })
+    }
+
+    /// Rebuilds the current contents from scratch as a plain (epoch-0)
+    /// structure — fresh Gaifman graph, fresh content fingerprint. The
+    /// reference oracle for fuzzing and tests: a delta-maintained
+    /// snapshot must agree with this on every query.
+    pub fn rebuild_from_scratch(&self) -> Structure {
+        let sig = self.current.signature().clone();
+        let rows: Vec<Vec<Vec<u32>>> = (0..sig.len())
+            .map(|idx| {
+                self.current
+                    .relation_at(idx)
+                    .rows()
+                    .map(|r| r.to_vec())
+                    .collect()
+            })
+            .collect();
+        Structure::new(sig, self.current.order(), rows)
+    }
+}
+
+/// Feeds the canonical Gaifman edges induced by one tuple to `f`
+/// (pairwise distinct components, ordered `u < v`). A pair occurring
+/// twice in one tuple counts twice — the multiset must mirror exactly
+/// what [`Structure::gaifman`] would enumerate.
+fn count_edges(row: &[u32], mut f: impl FnMut((u32, u32))) {
+    for i in 0..row.len() {
+        for j in (i + 1)..row.len() {
+            if row[i] != row[j] {
+                f((row[i].min(row[j]), row[i].max(row[j])));
+            }
+        }
+    }
+}
+
+/// Merges sorted `adds` into and removes sorted `dels` from a relation's
+/// sorted row data in one pass. `adds` must be absent from `old`, `dels`
+/// present, both sorted and duplicate-free.
+fn merge_relation(old: &Relation, adds: &[&[u32]], dels: &[&[u32]]) -> Relation {
+    let arity = old.arity();
+    if arity == 0 {
+        // Presence flag: at most one of adds/dels is non-empty.
+        let rows = if !adds.is_empty() {
+            vec![Vec::new()]
+        } else {
+            Vec::new()
+        };
+        return Relation::from_rows(0, rows);
+    }
+    let new_len = (old.len() + adds.len() - dels.len()) * arity;
+    let mut data: Vec<u32> = Vec::with_capacity(new_len);
+    let mut ai = 0usize;
+    let mut di = 0usize;
+    for row in old.rows() {
+        while ai < adds.len() && adds[ai] < row {
+            data.extend_from_slice(adds[ai]);
+            ai += 1;
+        }
+        if di < dels.len() && dels[di] == row {
+            di += 1;
+            continue;
+        }
+        data.extend_from_slice(row);
+    }
+    for add in &adds[ai..] {
+        data.extend_from_slice(add);
+    }
+    debug_assert_eq!(di, dels.len(), "every delete must hit a present row");
+    Relation::from_sorted_data(arity, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::StructureBuilder;
+
+    fn base() -> Structure {
+        let mut b = StructureBuilder::new();
+        b.declare("E", 2);
+        b.declare("P", 1);
+        b.ensure_universe(6);
+        for (u, v) in [(0, 1), (1, 2), (3, 4)] {
+            b.try_insert("E", &[u, v]).unwrap();
+            b.try_insert("E", &[v, u]).unwrap();
+        }
+        b.try_insert("P", &[0]).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn insert_and_delete_round_trip() {
+        let mut d = DeltaStructure::new(base());
+        assert_eq!(d.epoch(), 0);
+        let info = d
+            .apply(&[
+                TupleOp::insert("E", &[2, 3]),
+                TupleOp::insert("E", &[3, 2]),
+                TupleOp::delete("P", &[0]),
+            ])
+            .unwrap();
+        assert_eq!(info.epoch, 1);
+        assert_eq!(info.changed, 3);
+        assert_eq!(info.touched, vec![0, 2, 3]);
+        assert!(info.gaifman_changed);
+        let s = d.snapshot();
+        assert!(s.holds(Symbol::new("E"), &[2, 3]));
+        assert!(!s.holds(Symbol::new("P"), &[0]));
+        // Deleting restores the original content (but not the epoch).
+        let info = d
+            .apply(&[
+                TupleOp::delete("E", &[2, 3]),
+                TupleOp::delete("E", &[3, 2]),
+                TupleOp::insert("P", &[0]),
+            ])
+            .unwrap();
+        assert_eq!(info.epoch, 2);
+        let s2 = d.snapshot();
+        let b = base();
+        assert_eq!(s2.size(), b.size());
+        assert!(s2.holds(Symbol::new("P"), &[0]));
+        // Same content, different epochs: fingerprints must differ.
+        assert_ne!(s2.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn no_op_batches_do_not_bump_the_epoch() {
+        let mut d = DeltaStructure::new(base());
+        let info = d
+            .apply(&[
+                TupleOp::insert("E", &[0, 1]), // already present
+                TupleOp::delete("E", &[0, 5]), // already absent
+            ])
+            .unwrap();
+        assert_eq!(info.epoch, 0);
+        assert_eq!(info.changed, 0);
+        // Insert-then-delete of the same fresh tuple nets out to nothing.
+        let info = d
+            .apply(&[TupleOp::insert("E", &[4, 5]), TupleOp::delete("E", &[4, 5])])
+            .unwrap();
+        assert_eq!(info.changed, 0);
+        assert_eq!(d.epoch(), 0);
+    }
+
+    #[test]
+    fn gaifman_is_maintained_incrementally() {
+        let mut d = DeltaStructure::new(base());
+        // Materialise the CSR so commits take the patch path.
+        assert!(d.snapshot().gaifman().has_edge(0, 1));
+        d.apply(&[TupleOp::insert("E", &[2, 3])]).unwrap();
+        let s = d.snapshot();
+        assert!(s.gaifman().has_edge(2, 3));
+        // Deleting one direction keeps the edge: (3,2) still witnesses it.
+        d.apply(&[TupleOp::insert("E", &[3, 2]), TupleOp::delete("E", &[2, 3])])
+            .unwrap();
+        assert!(d.snapshot().gaifman().has_edge(2, 3));
+        let info = d.apply(&[TupleOp::delete("E", &[3, 2])]).unwrap();
+        assert!(info.gaifman_changed);
+        assert!(!d.snapshot().gaifman().has_edge(2, 3));
+        // Every maintained CSR must equal the from-scratch one.
+        let fresh = d.rebuild_from_scratch();
+        assert_eq!(
+            d.snapshot().gaifman().num_edges(),
+            fresh.gaifman().num_edges()
+        );
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_commits() {
+        let mut d = DeltaStructure::new(base());
+        let before = d.snapshot();
+        d.apply(&[TupleOp::delete("E", &[0, 1])]).unwrap();
+        assert!(before.holds(Symbol::new("E"), &[0, 1]));
+        assert!(!d.snapshot().holds(Symbol::new("E"), &[0, 1]));
+        assert_ne!(before.fingerprint(), d.snapshot().fingerprint());
+    }
+
+    #[test]
+    fn batches_are_validated_wholesale() {
+        let mut d = DeltaStructure::new(base());
+        let fp = d.snapshot().fingerprint();
+        let err = d
+            .apply(&[TupleOp::insert("E", &[2, 3]), TupleOp::insert("Q", &[0])])
+            .unwrap_err();
+        assert!(matches!(err, MutationError::UndeclaredRelation { .. }));
+        let err = d.apply(&[TupleOp::insert("E", &[0, 1, 2])]).unwrap_err();
+        assert!(matches!(
+            err,
+            MutationError::ArityMismatch {
+                expected: 2,
+                got: 3,
+                ..
+            }
+        ));
+        let err = d.apply(&[TupleOp::insert("E", &[0, 99])]).unwrap_err();
+        assert!(matches!(
+            err,
+            MutationError::OutOfUniverse {
+                element: 99,
+                order: 6
+            }
+        ));
+        // Nothing changed.
+        assert_eq!(d.epoch(), 0);
+        assert_eq!(d.snapshot().fingerprint(), fp);
+        assert!(!d.snapshot().holds(Symbol::new("E"), &[2, 3]));
+    }
+
+    #[test]
+    fn ternary_edges_are_counted_pairwise() {
+        let mut b = StructureBuilder::new();
+        b.declare("T", 3);
+        b.declare("E", 2);
+        b.ensure_universe(5);
+        b.try_insert("T", &[0, 1, 2]).unwrap();
+        b.try_insert("E", &[1, 2]).unwrap();
+        let mut d = DeltaStructure::new(b.finish());
+        d.snapshot().gaifman();
+        // Dropping the binary tuple keeps (1,2): the ternary one witnesses it.
+        d.apply(&[TupleOp::delete("E", &[1, 2])]).unwrap();
+        assert!(d.snapshot().gaifman().has_edge(1, 2));
+        d.apply(&[TupleOp::delete("T", &[0, 1, 2])]).unwrap();
+        let g = d.snapshot().gaifman().clone();
+        assert!(!g.has_edge(1, 2) && !g.has_edge(0, 1) && !g.has_edge(0, 2));
+    }
+}

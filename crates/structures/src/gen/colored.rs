@@ -56,18 +56,18 @@ pub fn colored_digraph(params: ColoredParams, rng: &mut impl Rng) -> Structure {
         let u = rng.gen_range(0..n);
         let v = rng.gen_range(0..n);
         if u != v {
-            b.insert("E", &[u, v]);
+            b.try_insert("E", &[u, v]).expect("declared relation");
         }
     }
     for v in 0..n {
         if rng.gen_bool(p_red.clamp(0.0, 1.0)) {
-            b.insert("R", &[v]);
+            b.try_insert("R", &[v]).expect("declared relation");
         }
         if rng.gen_bool(p_blue.clamp(0.0, 1.0)) {
-            b.insert("B", &[v]);
+            b.try_insert("B", &[v]).expect("declared relation");
         }
         if rng.gen_bool(p_green.clamp(0.0, 1.0)) {
-            b.insert("G", &[v]);
+            b.try_insert("G", &[v]).expect("declared relation");
         }
     }
     b.finish()
@@ -84,12 +84,12 @@ pub fn example_colored() -> Structure {
     b.declare("G", 1);
     b.ensure_universe(4);
     for (u, v) in [(0u32, 1u32), (1, 2), (2, 0), (3, 0)] {
-        b.insert("E", &[u, v]);
+        b.try_insert("E", &[u, v]).expect("declared relation");
     }
-    b.insert("R", &[0]);
-    b.insert("B", &[1]);
-    b.insert("G", &[1]);
-    b.insert("G", &[2]);
+    b.try_insert("R", &[0]).expect("declared relation");
+    b.try_insert("B", &[1]).expect("declared relation");
+    b.try_insert("G", &[1]).expect("declared relation");
+    b.try_insert("G", &[2]).expect("declared relation");
     b.finish()
 }
 

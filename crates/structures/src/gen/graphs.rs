@@ -20,8 +20,8 @@ pub fn graph_structure(n: u32, edges: &[(u32, u32)]) -> Structure {
     b.ensure_universe(n.max(1));
     for &(u, v) in edges {
         if u != v {
-            b.insert("E", &[u, v]);
-            b.insert("E", &[v, u]);
+            b.try_insert("E", &[u, v]).expect("declared relation");
+            b.try_insert("E", &[v, u]).expect("declared relation");
         }
     }
     b.finish()

@@ -91,7 +91,8 @@ pub fn sql_database(params: SqlDbParams, rng: &mut impl Rng) -> SqlDb {
     let total_pool: Vec<u32> = (0..50).map(|_| b.add_element()).collect();
     let city_elems: Vec<u32> = (0..cities).map(|_| b.add_element()).collect();
     let country_elems: Vec<u32> = (0..countries).map(|_| b.add_element()).collect();
-    b.insert("Berlin", &[city_elems[0]]);
+    b.try_insert("Berlin", &[city_elems[0]])
+        .expect("declared relation");
 
     let mut customer_elems = Vec::with_capacity(customers as usize);
     let mut customer_country = Vec::with_capacity(customers as usize);
@@ -103,10 +104,11 @@ pub fn sql_database(params: SqlDbParams, rng: &mut impl Rng) -> SqlDb {
         let la = last_pool[rng.gen_range(0..last_pool.len())];
         let ci = rng.gen_range(0..cities as usize);
         let co = rng.gen_range(0..countries as usize);
-        b.insert(
+        b.try_insert(
             "Customer",
             &[id, fi, la, city_elems[ci], country_elems[co], phone],
-        );
+        )
+        .expect("declared relation");
         customer_elems.push(id);
         customer_country.push(co);
         customer_city.push(ci);
@@ -126,7 +128,8 @@ pub fn sql_database(params: SqlDbParams, rng: &mut impl Rng) -> SqlDb {
             let number = b.add_element();
             let date = date_pool[rng.gen_range(0..date_pool.len())];
             let total = total_pool[rng.gen_range(0..total_pool.len())];
-            b.insert("Order", &[oid, date, number, cust, total]);
+            b.try_insert("Order", &[oid, date, number, cust, total])
+                .expect("declared relation");
             order_elems.push(oid);
         }
         order_counts[ci] = k;

@@ -32,11 +32,12 @@ pub fn string_structure(word: &str, alphabet: &[char]) -> Structure {
     b.ensure_universe(n);
     for (i, &c) in chars.iter().enumerate() {
         assert!(alphabet.contains(&c), "letter {c:?} not in alphabet");
-        b.insert(&letter_rel(c), &[i as u32]);
+        b.try_insert(&letter_rel(c), &[i as u32])
+            .expect("declared relation");
     }
     for i in 0..chars.len() as u32 {
         for j in i..chars.len() as u32 {
-            b.insert(ORDER_REL, &[i, j]);
+            b.try_insert(ORDER_REL, &[i, j]).expect("declared relation");
         }
     }
     b.finish()

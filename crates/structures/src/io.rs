@@ -103,7 +103,7 @@ pub fn parse_structure(input: &str) -> Result<Structure, FormatError> {
                         tuple.len()
                     )));
                 }
-                b.insert(name, &tuple);
+                b.try_insert(name, &tuple).map_err(|e| err(e.to_string()))?;
             }
         }
     }

@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod gen;
 pub mod graph;
 pub mod hash;
@@ -28,7 +29,8 @@ pub mod io;
 pub mod signature;
 pub mod structure;
 
+pub use delta::{CommitInfo, DeltaStructure, TupleOp};
 pub use graph::{BfsScratch, Graph};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use signature::{RelDecl, Signature};
-pub use structure::{InducedSubstructure, Relation, Structure, StructureBuilder};
+pub use structure::{InducedSubstructure, MutationError, Relation, Structure, StructureBuilder};

@@ -32,7 +32,7 @@ impl PartialEq for Relation {
 impl Eq for Relation {}
 
 impl Relation {
-    fn from_rows(arity: usize, mut rows: Vec<Vec<u32>>) -> Relation {
+    pub(crate) fn from_rows(arity: usize, mut rows: Vec<Vec<u32>>) -> Relation {
         rows.iter()
             .for_each(|r| assert_eq!(r.len(), arity, "row arity mismatch"));
         rows.sort_unstable();
@@ -42,6 +42,32 @@ impl Relation {
         for r in rows {
             data.extend_from_slice(&r);
         }
+        Relation {
+            arity,
+            nrows,
+            data,
+            indexes: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Builds a relation from already-sorted, deduplicated flat tuple
+    /// data (the delta-merge fast path: no re-sort).
+    pub(crate) fn from_sorted_data(arity: usize, data: Vec<u32>) -> Relation {
+        let nrows = if arity == 0 {
+            // Arity 0 stores presence as `nrows ∈ {0, 1}` with empty data;
+            // callers encode presence via `from_rows` instead.
+            0
+        } else {
+            debug_assert_eq!(data.len() % arity, 0);
+            data.len() / arity
+        };
+        debug_assert!(
+            arity == 0
+                || (0..nrows.saturating_sub(1))
+                    .all(|i| data[i * arity..(i + 1) * arity]
+                        < data[(i + 1) * arity..(i + 2) * arity]),
+            "delta merge must produce sorted unique rows"
+        );
         Relation {
             arity,
             nrows,
@@ -151,7 +177,15 @@ impl Relation {
 pub struct Structure {
     sig: Arc<Signature>,
     n: u32,
-    rels: Vec<Relation>,
+    /// Relations behind `Arc` so delta commits can share untouched
+    /// relations between consecutive epoch snapshots (copy-on-write).
+    rels: Vec<Arc<Relation>>,
+    /// Version stamp for delta-maintained structures: `0` for plain
+    /// (immutable-forever) structures, incremented by every
+    /// [`crate::delta::DeltaStructure`] commit. Folded into
+    /// [`Structure::fingerprint`] so cache entries keyed on one epoch can
+    /// never be served for another.
+    epoch: u64,
     gaifman: OnceLock<Arc<Graph>>,
     fingerprint: OnceLock<u64>,
 }
@@ -168,7 +202,7 @@ impl Structure {
             sig.len(),
             "one row list per relation symbol required"
         );
-        let rels: Vec<Relation> = sig
+        let rels: Vec<Arc<Relation>> = sig
             .rels()
             .iter()
             .zip(rows)
@@ -178,16 +212,58 @@ impl Structure {
                         assert!(e < n, "element {e} outside universe of size {n}");
                     }
                 }
-                Relation::from_rows(decl.arity, rs)
+                Arc::new(Relation::from_rows(decl.arity, rs))
             })
             .collect();
         Structure {
             sig,
             n,
             rels,
+            epoch: 0,
             gaifman: OnceLock::new(),
             fingerprint: OnceLock::new(),
         }
+    }
+
+    /// Assembles an epoch snapshot from pre-built parts (delta commits).
+    /// `gaifman`, when provided, must be the Gaifman graph of `rels`.
+    pub(crate) fn from_parts(
+        sig: Arc<Signature>,
+        n: u32,
+        rels: Vec<Arc<Relation>>,
+        epoch: u64,
+        gaifman: Option<Arc<Graph>>,
+    ) -> Structure {
+        let out = Structure {
+            sig,
+            n,
+            rels,
+            epoch,
+            gaifman: OnceLock::new(),
+            fingerprint: OnceLock::new(),
+        };
+        if let Some(g) = gaifman {
+            let _ = out.gaifman.set(g);
+        }
+        out
+    }
+
+    /// Shared handles to the relations (delta commits clone these to
+    /// share untouched relations across epochs).
+    pub(crate) fn rel_arcs(&self) -> &[Arc<Relation>] {
+        &self.rels
+    }
+
+    /// The epoch stamp: `0` for plain structures, the commit counter for
+    /// snapshots published by a [`crate::delta::DeltaStructure`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The Gaifman graph if it has already been materialised (delta
+    /// commits reuse or patch it without forcing a lazy build).
+    pub(crate) fn gaifman_if_built(&self) -> Option<Arc<Graph>> {
+        self.gaifman.get().cloned()
     }
 
     /// The signature σ.
@@ -230,7 +306,7 @@ impl Structure {
 
     /// The relation for a declared symbol; `None` if undeclared.
     pub fn relation(&self, name: Symbol) -> Option<&Relation> {
-        self.sig.index_of(name).map(|i| &self.rels[i])
+        self.sig.index_of(name).map(|i| &*self.rels[i])
     }
 
     /// The relation at a dense signature index.
@@ -270,15 +346,19 @@ impl Structure {
     }
 
     /// A content fingerprint of the structure: a 64-bit hash of the
-    /// universe size, the signature, and every relation's sorted tuple
-    /// data (built on first use, cached). Two structures with equal
-    /// fingerprints are, up to hash collision, the *same database*, which
-    /// is what lets the evaluators memoise cl-term values across
-    /// identical cover clusters.
+    /// universe size, the signature, every relation's sorted tuple
+    /// data, *and the epoch stamp* (built on first use, cached). Two
+    /// structures with equal fingerprints are, up to hash collision, the
+    /// *same database at the same version*, which is what lets the
+    /// evaluators memoise cl-term values across identical cover clusters
+    /// while delta-maintained snapshots can never alias each other's
+    /// cache entries across updates (epochs differ, so fingerprints
+    /// differ even when an insert/delete pair restores the tuple data).
     pub fn fingerprint(&self) -> u64 {
         *self.fingerprint.get_or_init(|| {
             use std::hash::{Hash, Hasher};
             let mut h = crate::hash::FxHasher::default();
+            h.write_u64(self.epoch);
             h.write_u32(self.n);
             h.write_usize(self.rels.len());
             for (decl, rel) in self.sig.rels().iter().zip(&self.rels) {
@@ -305,12 +385,13 @@ impl Structure {
                     assert!(e < self.n, "element {e} outside universe");
                 }
             }
-            rels.push(Relation::from_rows(decl.arity, rs));
+            rels.push(Arc::new(Relation::from_rows(decl.arity, rs)));
         }
         let out = Structure {
             sig,
             n: self.n,
             rels,
+            epoch: self.epoch,
             gaifman: OnceLock::new(),
             fingerprint: OnceLock::new(),
         };
@@ -349,6 +430,7 @@ impl Structure {
             sig: sub,
             n: self.n,
             rels,
+            epoch: self.epoch,
             gaifman: OnceLock::new(),
             fingerprint: OnceLock::new(),
         }
@@ -428,6 +510,59 @@ pub struct InducedSubstructure {
     pub fwd: FxHashMap<u32, u32>,
 }
 
+/// A rejected mutation: what went wrong when a tuple insert/delete was
+/// validated against a signature and universe. Returned by
+/// [`StructureBuilder::try_insert`] and
+/// [`crate::delta::DeltaStructure::apply`] instead of panicking, so
+/// servers can turn malformed updates into structured error frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutationError {
+    /// The named relation is not declared in the signature.
+    UndeclaredRelation {
+        /// The offending relation name.
+        name: String,
+    },
+    /// The tuple's length does not match the relation's declared arity.
+    ArityMismatch {
+        /// The relation name.
+        relation: String,
+        /// The declared arity.
+        expected: usize,
+        /// The tuple length supplied.
+        got: usize,
+    },
+    /// A tuple component lies outside the (fixed) universe `0..order`.
+    OutOfUniverse {
+        /// The offending element.
+        element: u32,
+        /// The universe size.
+        order: u32,
+    },
+}
+
+impl std::fmt::Display for MutationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MutationError::UndeclaredRelation { name } => {
+                write!(f, "relation {name} not declared")
+            }
+            MutationError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "relation {relation} has arity {expected}, tuple has {got} components"
+            ),
+            MutationError::OutOfUniverse { element, order } => {
+                write!(f, "element {element} outside universe of size {order}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MutationError {}
+
 /// Incremental construction of a structure: declare relations, insert
 /// tuples in any order, then [`StructureBuilder::finish`].
 #[derive(Debug, Default)]
@@ -467,22 +602,51 @@ impl StructureBuilder {
         e
     }
 
-    /// Inserts a tuple into a declared relation (by name).
-    pub fn insert(&mut self, name: &str, tuple: &[u32]) {
-        let idx = *self
-            .index
-            .get(&Symbol::new(name))
-            .unwrap_or_else(|| panic!("relation {name} not declared"));
-        self.insert_at(idx, tuple);
+    /// Inserts a tuple into a declared relation (by name), reporting
+    /// undeclared relations and arity mismatches as typed errors. The
+    /// builder's universe auto-grows to cover inserted elements, so
+    /// [`MutationError::OutOfUniverse`] is never raised here (it is the
+    /// fixed-universe [`crate::delta::DeltaStructure`] that rejects
+    /// out-of-range elements).
+    pub fn try_insert(&mut self, name: &str, tuple: &[u32]) -> Result<(), MutationError> {
+        let Some(&idx) = self.index.get(&Symbol::new(name)) else {
+            return Err(MutationError::UndeclaredRelation {
+                name: name.to_string(),
+            });
+        };
+        self.try_insert_at(idx, tuple)
     }
 
-    /// Inserts a tuple into a declared relation (by dense index).
-    pub fn insert_at(&mut self, idx: usize, tuple: &[u32]) {
-        assert_eq!(tuple.len(), self.decls[idx].arity, "tuple arity mismatch");
+    /// Inserts a tuple into a declared relation (by dense index),
+    /// reporting arity mismatches as typed errors.
+    pub fn try_insert_at(&mut self, idx: usize, tuple: &[u32]) -> Result<(), MutationError> {
+        let decl = &self.decls[idx];
+        if tuple.len() != decl.arity {
+            return Err(MutationError::ArityMismatch {
+                relation: decl.name.to_string(),
+                expected: decl.arity,
+                got: tuple.len(),
+            });
+        }
         for &e in tuple {
             self.ensure_universe(e + 1);
         }
         self.rows[idx].push(tuple.to_vec());
+        Ok(())
+    }
+
+    /// Inserts a tuple into a declared relation (by name).
+    #[deprecated(note = "use try_insert: it reports malformed tuples instead of panicking")]
+    pub fn insert(&mut self, name: &str, tuple: &[u32]) {
+        self.try_insert(name, tuple)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Inserts a tuple into a declared relation (by dense index).
+    #[deprecated(note = "use try_insert_at: it reports malformed tuples instead of panicking")]
+    pub fn insert_at(&mut self, idx: usize, tuple: &[u32]) {
+        self.try_insert_at(idx, tuple)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Finalises the structure (sorts, dedups, validates).
@@ -501,8 +665,8 @@ mod tests {
         b.declare("E", 2);
         b.ensure_universe(n);
         for &(u, v) in edges {
-            b.insert("E", &[u, v]);
-            b.insert("E", &[v, u]);
+            b.try_insert("E", &[u, v]).unwrap();
+            b.try_insert("E", &[v, u]).unwrap();
         }
         b.finish()
     }
@@ -557,7 +721,7 @@ mod tests {
     fn gaifman_of_ternary_relation_is_pairwise() {
         let mut b = StructureBuilder::new();
         b.declare("T", 3);
-        b.insert("T", &[0, 1, 2]);
+        b.try_insert("T", &[0, 1, 2]).unwrap();
         let s = b.finish();
         let g = s.gaifman();
         assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && g.has_edge(0, 2));
@@ -573,7 +737,7 @@ mod tests {
         let mut b = StructureBuilder::new();
         b.declare("Flag", 0);
         b.ensure_universe(2);
-        b.insert("Flag", &[]);
+        b.try_insert("Flag", &[]).unwrap();
         let s1 = b.finish();
         assert!(s1.holds(Symbol::new("Flag"), &[]));
     }

@@ -139,7 +139,7 @@ fn builder_allocates_fresh_elements_beyond_tuples() {
     b.declare("R", 1);
     let e1 = b.add_element();
     let e2 = b.add_element();
-    b.insert("R", &[e2]);
+    b.try_insert("R", &[e2]).unwrap();
     b.ensure_universe(10);
     let s = b.finish();
     assert_eq!(s.order(), 10);
