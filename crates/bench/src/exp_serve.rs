@@ -8,10 +8,19 @@
 //! concurrency level plus the drain report. On a single-CPU host the
 //! concurrency sweep measures queueing, not parallel speedup — the JSON
 //! carries a `note` saying so rather than hiding it.
+//!
+//! A second section measures the cost of observability itself: the same
+//! seeded load with telemetry fully off (no tracing, no listener)
+//! versus fully on (request tracing, tail sampling, and a live
+//! `/metrics` + `/stats` scraper polling throughout the run). The
+//! on/off pair and their throughput ratio land in
+//! `BENCH_telemetry.json`.
 
 use std::fmt::Write as _;
-use std::io::{BufRead, BufReader, Write as _};
+use std::io::{BufRead, BufReader, Read as _, Write as _};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use foc_core::EngineKind;
@@ -33,6 +42,16 @@ const QUERIES: [(&str, &str); 4] = [
     ("eval", "#(x). exists y. E(x,y)"),
 ];
 
+/// How much observability machinery a stress cell runs with.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Telemetry {
+    /// Tracing disabled, no listener — the PR 6 fast path.
+    Off,
+    /// Tracing + tail sampling on, telemetry listener bound, and a
+    /// scraper thread polling `/metrics` and `/stats` during the run.
+    On,
+}
+
 struct LoadCell {
     clients: usize,
     requests: usize,
@@ -45,6 +64,8 @@ struct LoadCell {
     peak_resident: u64,
     drain_interrupted: u64,
     drain_micros: u64,
+    traces_kept: u64,
+    scrapes: u64,
 }
 
 impl LoadCell {
@@ -53,9 +74,32 @@ impl LoadCell {
     }
 }
 
+/// One blocking HTTP GET against the telemetry listener; returns true
+/// when a 200 came back.
+fn scrape(addr: std::net::SocketAddr, path: &str) -> bool {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return false;
+    };
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .ok();
+    if write!(stream, "GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").is_err() {
+        return false;
+    }
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).ok();
+    raw.starts_with("HTTP/1.1 200")
+}
+
 /// Runs one stress cell: `clients` concurrent connections, each sending
 /// `per_client` seeded requests back-to-back, against a fresh server.
-fn run_cell(seed: u64, side: u32, clients: usize, per_client: usize) -> LoadCell {
+fn run_cell(
+    seed: u64,
+    side: u32,
+    clients: usize,
+    per_client: usize,
+    telemetry: Telemetry,
+) -> LoadCell {
     let handle = start(
         grid(side, side),
         ServerConfig {
@@ -63,11 +107,32 @@ fn run_cell(seed: u64, side: u32, clients: usize, per_client: usize) -> LoadCell
             queue: 8,
             engine: EngineKind::Local,
             max_timeout: Duration::from_secs(30),
+            tracing: telemetry == Telemetry::On,
+            trace_sample: 16,
+            telemetry_addr: match telemetry {
+                Telemetry::On => Some("127.0.0.1:0".to_string()),
+                Telemetry::Off => None,
+            },
             ..ServerConfig::default()
         },
     )
     .expect("start server");
     let addr = handle.addr();
+
+    // With telemetry on, a scraper hammers the second socket for the
+    // whole run — the overhead measured is "observed in production",
+    // not just "tracing compiled in".
+    let scrape_stop = Arc::new(AtomicBool::new(false));
+    let scraper = handle.telemetry_addr().map(|taddr| {
+        let stop = Arc::clone(&scrape_stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                scrape(taddr, "/metrics");
+                scrape(taddr, "/stats");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        })
+    });
 
     let t0 = Instant::now();
     let workers: Vec<_> = (0..clients)
@@ -114,6 +179,10 @@ fn run_cell(seed: u64, side: u32, clients: usize, per_client: usize) -> LoadCell
         errors += e;
     }
     let secs = t0.elapsed().as_secs_f64();
+    scrape_stop.store(true, Ordering::Relaxed);
+    if let Some(s) = scraper {
+        s.join().expect("scraper thread");
+    }
     let peak_resident = handle.peak_resident_bytes();
     let report = handle.drain();
     // The server counts sheds too; the client-side tally is the ground
@@ -140,6 +209,8 @@ fn run_cell(seed: u64, side: u32, clients: usize, per_client: usize) -> LoadCell
         peak_resident,
         drain_interrupted: report.interrupted,
         drain_micros: report.drain.as_micros() as u64,
+        traces_kept: report.final_metrics.counter(names::SERVE_TRACES_KEPT),
+        scrapes: report.final_metrics.counter(names::SERVE_TELEMETRY_SCRAPES),
     }
 }
 
@@ -180,8 +251,47 @@ fn emit_json(cells: &[LoadCell], quick: bool) -> String {
     out
 }
 
-/// E13: the loopback stress run. Returns the markdown table and writes
-/// `BENCH_serve.json` to the working directory.
+fn emit_telemetry_json(off: &LoadCell, on: &LoadCell, quick: bool) -> String {
+    let ratio = on.throughput() / off.throughput().max(1e-9);
+    let cell = |out: &mut String, label: &str, c: &LoadCell, last: bool| {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"telemetry\": \"{label}\",");
+        let _ = writeln!(out, "      \"clients\": {},", c.clients);
+        let _ = writeln!(out, "      \"requests\": {},", c.requests);
+        let _ = writeln!(out, "      \"served\": {},", c.served);
+        let _ = writeln!(out, "      \"shed\": {},", c.shed);
+        let _ = writeln!(out, "      \"seconds\": {:.6},", c.secs);
+        let _ = writeln!(out, "      \"throughput_rps\": {:.3},", c.throughput());
+        let _ = writeln!(out, "      \"latency_micros\": {{");
+        let _ = writeln!(out, "        \"p50\": {},", c.p50_micros);
+        let _ = writeln!(out, "        \"p99\": {}", c.p99_micros);
+        let _ = writeln!(out, "      }},");
+        let _ = writeln!(out, "      \"traces_kept\": {},", c.traces_kept);
+        let _ = writeln!(out, "      \"scrapes\": {}", c.scrapes);
+        let _ = writeln!(out, "    }}{}", if last { "" } else { "," });
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"experiment\": \"E13b telemetry overhead\",");
+    let _ = writeln!(out, "  \"engine\": \"local\",");
+    let _ = writeln!(out, "  \"cpus\": {},", foc_parallel::available_threads());
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(
+        out,
+        "  \"note\": \"same seeded load with telemetry fully off vs fully on (tracing + tail sampling + a live /metrics + /stats scraper); on-vs-off throughput ratio below 1.0 is the observability tax\","
+    );
+    let _ = writeln!(out, "  \"on_off_throughput_ratio\": {ratio:.4},");
+    let _ = writeln!(out, "  \"cells\": [");
+    cell(&mut out, "off", off, false);
+    cell(&mut out, "on", on, true);
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// E13: the loopback stress run. Returns the markdown tables and writes
+/// `BENCH_serve.json` plus `BENCH_telemetry.json` to the working
+/// directory.
 pub fn e13(quick: bool) -> Vec<Table> {
     let side: u32 = if quick { 12 } else { 24 };
     let per_client: usize = if quick { 20 } else { 60 };
@@ -202,7 +312,7 @@ pub fn e13(quick: bool) -> Vec<Table> {
     );
     let mut cells = Vec::new();
     for clients in [1usize, 4, 16] {
-        let cell = run_cell(42, side, clients, per_client);
+        let cell = run_cell(42, side, clients, per_client, Telemetry::Off);
         assert_eq!(cell.errors, 0, "well-formed requests must not error");
         assert_eq!(
             cell.served + cell.shed,
@@ -229,5 +339,44 @@ pub fn e13(quick: bool) -> Vec<Table> {
         Ok(()) => eprintln!("wrote BENCH_serve.json"),
         Err(e) => eprintln!("could not write BENCH_serve.json: {e}"),
     }
-    vec![t]
+
+    // E13b: the observability tax. Same seeded load at the middle
+    // concurrency, telemetry fully off vs fully on (with a scraper
+    // polling the second socket throughout).
+    let mut tt = Table::new(
+        "E13b: telemetry overhead (4 clients, tracing + live scraper vs off)",
+        &[
+            "telemetry",
+            "served",
+            "shed",
+            "rps",
+            "p50 µs",
+            "p99 µs",
+            "traces",
+            "scrapes",
+        ],
+    );
+    let off = run_cell(42, side, 4, per_client, Telemetry::Off);
+    let on = run_cell(42, side, 4, per_client, Telemetry::On);
+    for (label, cell) in [("off", &off), ("on", &on)] {
+        assert_eq!(cell.errors, 0, "well-formed requests must not error");
+        tt.row(vec![
+            label.to_string(),
+            cell.served.to_string(),
+            cell.shed.to_string(),
+            format!("{:.0}", cell.throughput()),
+            cell.p50_micros.to_string(),
+            cell.p99_micros.to_string(),
+            cell.traces_kept.to_string(),
+            cell.scrapes.to_string(),
+        ]);
+    }
+    assert_eq!(off.traces_kept, 0, "telemetry off must keep no traces");
+    assert!(on.scrapes > 0, "the scraper must have reached /metrics");
+    let json = emit_telemetry_json(&off, &on, quick);
+    match std::fs::write("BENCH_telemetry.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_telemetry.json"),
+        Err(e) => eprintln!("could not write BENCH_telemetry.json: {e}"),
+    }
+    vec![t, tt]
 }

@@ -18,7 +18,7 @@
 //! | E10 | Lemmas 7.8/7.9 — the Removal Lemma |
 //! | E11 | ablations of this implementation's design choices |
 //! | E12 | parallel cluster evaluation — thread sweep + BENCH_parallel.json |
-//! | E13 | service mode under load — loopback stress + BENCH_serve.json |
+//! | E13 | service mode under load — loopback stress + BENCH_serve.json; E13b telemetry on/off overhead + BENCH_telemetry.json |
 //! | E14 | live updates — delta maintenance vs rebuild + BENCH_updates.json |
 //!
 //! Run them with `cargo run --release -p foc-bench --bin experiments -- all`

@@ -12,6 +12,10 @@
 //!             [--updates [--steps N]]
 //! foc serve   <structure.foc> [--port N] [--max-inflight N] [--queue N]
 //!             [--mem-limit <bytes>] [--drain-timeout <ms>]
+//!             [--telemetry-addr <host:port>] [--trace-log <path>]
+//!             [--postmortem-dir <dir>] [--trace-sample N]
+//!             [--slow-query <ms>] [--no-tracing]
+//! foc top     <host:port> [--interval <ms>] [--once]
 //! ```
 //!
 //! `foc fuzz` runs the cross-engine differential harness (`foc-diff`):
@@ -24,6 +28,13 @@
 //! commits and queries, comparing delta-maintained evaluation (migrated
 //! term cache, repaired covers) against a from-scratch rebuild oracle
 //! at every step.
+//!
+//! `foc serve` can additionally expose a telemetry listener on a
+//! second socket (`--telemetry-addr`): `GET /metrics` answers in
+//! Prometheus text exposition format, `GET /healthz` is drain- and
+//! pressure-aware, and `GET /stats` is a one-line JSON snapshot of live
+//! server state. `foc top` polls that `/stats` endpoint: one compact
+//! status line per poll, or the full field table with `--once`.
 //!
 //! Every evaluation subcommand also accepts `--trace` (stream finished
 //! spans to stderr), `--profile` (print the per-phase wall-time table),
@@ -130,8 +141,13 @@ usage:
   foc serve   <structure.foc> [--port N] [--max-inflight N] [--queue N]
               [--mem-limit <bytes>] [--drain-timeout <ms>] [--max-timeout <ms>]
               [--max-fuel N] [--engine ...] [--threads N] [--metrics-json <path>]
+              [--telemetry-addr <host:port>] [--trace-log <path>]
+              [--postmortem-dir <dir>] [--trace-sample N] [--trace-seed S]
+              [--slow-query <ms>] [--no-tracing]
               (JSON-lines over TCP; drains on stdin EOF or a \"drain\" line;
                exit 3 if the drain deadline interrupted in-flight requests)
+  foc top     <host:port> [--interval <ms>] [--once]
+              (poll a serve telemetry listener's /stats endpoint)
 
 options:
   --engine naive|local|cover   evaluation strategy (default: local)
@@ -159,6 +175,8 @@ const BOOL_FLAGS: &[&str] = &[
     "--replay",
     "--no-shrink",
     "--no-meta",
+    "--no-tracing",
+    "--once",
 ];
 
 fn run(args: &[String]) -> CliResult {
@@ -175,6 +193,7 @@ fn run(args: &[String]) -> CliResult {
         "gen" => cmd_gen(rest),
         "fuzz" => cmd_fuzz(rest),
         "serve" => cmd_serve(rest),
+        "top" => cmd_top(rest),
         other => Err(CliError::usage(format!("unknown subcommand {other:?}"))),
     }
 }
@@ -717,10 +736,26 @@ fn cmd_serve(args: &[String]) -> CliResult {
         "cover" => EngineKind::Cover,
         other => return Err(CliError::usage(format!("unknown engine {other:?}"))),
     };
+    config.telemetry_addr = flag_value(args, "--telemetry-addr").map(str::to_string);
+    config.trace_path = flag_value(args, "--trace-log").map(std::path::PathBuf::from);
+    config.postmortem_dir = flag_value(args, "--postmortem-dir").map(std::path::PathBuf::from);
+    config.tracing = !has_flag(args, "--no-tracing");
+    if let Some(n) = u64_flag("--trace-sample")? {
+        config.trace_sample = n;
+    }
+    if let Some(s) = u64_flag("--trace-seed")? {
+        config.trace_seed = s;
+    }
+    if let Some(ms) = u64_flag("--slow-query")? {
+        config.slow_query = Some(Duration::from_millis(ms));
+    }
 
     let handle = foc_serve::start(structure, config)
         .map_err(|e| CliError::Runtime(format!("cannot bind: {e}")))?;
     println!("listening on {}", handle.addr());
+    if let Some(taddr) = handle.telemetry_addr() {
+        println!("telemetry on {taddr}");
+    }
     // `println!` buffers per line, but be explicit: supervisors wait on
     // this line to learn the ephemeral port.
     std::io::stdout().flush().ok();
@@ -767,6 +802,125 @@ fn cmd_serve(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// One hand-rolled HTTP/1.1 GET against a serve telemetry listener.
+/// Returns the response body on a 200; anything else is an error with
+/// the status line in the message.
+fn http_get(addr: &str, path: &str) -> CliResult<String> {
+    use std::io::Read;
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| CliError::Runtime(format!("cannot connect to {addr}: {e}")))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .map_err(|e| format!("socket setup: {e}"))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: foc\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("cannot read response: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed HTTP response from {addr}"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    if status_line.split_whitespace().nth(1) != Some("200") {
+        return Err(CliError::Runtime(format!(
+            "{addr}{path} answered {status_line:?}"
+        )));
+    }
+    Ok(body.to_string())
+}
+
+/// Pulls one `"key":<number-or-bool>` field out of a one-line JSON
+/// object by string scan. `/stats` carries one fractional field
+/// (`cache_hit_rate`), which the strict protocol parser rejects by
+/// design, so `foc top` reads fields positionally instead of parsing.
+fn stats_field<'a>(stats: &'a str, key: &str) -> &'a str {
+    let needle = format!("\"{key}\":");
+    let Some(at) = stats.find(&needle) else {
+        return "?";
+    };
+    let rest = &stats[at + needle.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim()
+}
+
+/// `foc top`: poll a serve telemetry listener's `/stats` endpoint and
+/// print live server state — one compact line per poll, or the full
+/// field table once with `--once`.
+fn cmd_top(args: &[String]) -> CliResult {
+    let pos = positional(args);
+    let [addr] = pos.as_slice() else {
+        return Err(CliError::usage(
+            "top needs exactly one <host:port> (the serve --telemetry-addr)",
+        ));
+    };
+    let interval = match flag_value(args, "--interval") {
+        Some(v) => Duration::from_millis(
+            v.parse()
+                .map_err(|_| CliError::usage(format!("invalid --interval {v:?}")))?,
+        ),
+        None => Duration::from_millis(1000),
+    };
+    let once = has_flag(args, "--once");
+
+    loop {
+        let stats = http_get(addr, "/stats")?;
+        if once {
+            // Full table: every field of the one-line JSON, one per row.
+            for field in [
+                "uptime_micros",
+                "inflight",
+                "queue_depth",
+                "draining",
+                "pressure",
+                "epoch",
+                "requests",
+                "shed",
+                "errors",
+                "interrupted",
+                "slow_queries",
+                "traces_kept",
+                "postmortems",
+                "cache_entries",
+                "cache_bytes",
+                "cache_hit_rate",
+                "resident_bytes",
+                "peak_resident_bytes",
+            ] {
+                println!("{field:<22} {}", stats_field(&stats, field));
+            }
+            return Ok(());
+        }
+        let uptime_s = stats_field(&stats, "uptime_micros")
+            .parse::<u64>()
+            .unwrap_or(0) as f64
+            / 1e6;
+        println!(
+            "up {uptime_s:7.1}s  inflight {:>3}  queue {:>3}  req {:>6}  shed {:>4}  err {:>4}  slow {:>4}  cache {} ({} B, hit {})  pressure {}{}",
+            stats_field(&stats, "inflight"),
+            stats_field(&stats, "queue_depth"),
+            stats_field(&stats, "requests"),
+            stats_field(&stats, "shed"),
+            stats_field(&stats, "errors"),
+            stats_field(&stats, "slow_queries"),
+            stats_field(&stats, "cache_entries"),
+            stats_field(&stats, "cache_bytes"),
+            stats_field(&stats, "cache_hit_rate"),
+            stats_field(&stats, "pressure"),
+            if stats_field(&stats, "draining") == "true" {
+                "  DRAINING"
+            } else {
+                ""
+            },
+        );
+        std::io::stdout().flush().ok();
+        std::thread::sleep(interval);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -787,6 +941,24 @@ mod tests {
         let args = argv(&["db.foc", "--engine", "naive", "E(x,y)", "--vars", "x,y"]);
         let pos = positional(&args);
         assert_eq!(pos, vec!["db.foc", "E(x,y)"]);
+    }
+
+    #[test]
+    fn top_boolean_flags_do_not_eat_positionals() {
+        let args = argv(&["127.0.0.1:9100", "--once"]);
+        assert_eq!(positional(&args), vec!["127.0.0.1:9100"]);
+        let args = argv(&["db.foc", "--no-tracing", "--queue", "4"]);
+        assert_eq!(positional(&args), vec!["db.foc"]);
+    }
+
+    #[test]
+    fn stats_fields_are_extracted_by_scan() {
+        let stats = "{\"uptime_micros\":1500000,\"inflight\":3,\"draining\":false,\"cache_hit_rate\":0.7500,\"peak_resident_bytes\":42}";
+        assert_eq!(stats_field(stats, "inflight"), "3");
+        assert_eq!(stats_field(stats, "draining"), "false");
+        assert_eq!(stats_field(stats, "cache_hit_rate"), "0.7500");
+        assert_eq!(stats_field(stats, "peak_resident_bytes"), "42");
+        assert_eq!(stats_field(stats, "missing"), "?");
     }
 
     #[test]

@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 
 use foc_covers::{CoverConfig, CoverEvaluator, CoverStore};
 use foc_eval::{eval_query, Assignment, FreeVarElim, NaiveEvaluator, QueryResult, QueryRow};
-use foc_guard::{Budget, Guard, Phase};
+use foc_guard::{Budget, Guard, Phase, TraceContext};
 use foc_locality::clnf::cl_normalform_guarded;
 use foc_locality::clterm::ClTerm;
 use foc_locality::decompose::{
@@ -461,6 +461,14 @@ impl Evaluator {
         };
         let root = obs.root_span("session", &[("order", i64::from(a.order()))]);
         root.record_text("engine", format!("{:?}", self.config.kind));
+        if let Some(tc) = &self.budget.trace {
+            // The request identity rides the budget (see
+            // `foc_guard::TraceContext`); stamping it on the session
+            // root makes every captured span tree attributable to one
+            // request.
+            root.record_text("trace_id", tc.trace_id.clone());
+            root.record_text("request_id", tc.request_id.clone());
+        }
         let metrics = SessionMetrics::resolve(obs.metrics());
         let cache = self.config.cache.then(|| {
             self.shared_cache
@@ -642,6 +650,12 @@ impl<'a> Session<'a> {
     /// want to nest their own spans into the session's tree.
     pub fn span_handle(&self) -> SpanHandle {
         self.root.handle()
+    }
+
+    /// The request identity this session's budget was armed with, if
+    /// any (also stamped on the session root span).
+    pub fn trace(&self) -> Option<&TraceContext> {
+        self.guard.trace()
     }
 
     /// The session's work counters, assembled from the metrics

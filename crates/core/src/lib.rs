@@ -47,5 +47,5 @@ pub use engine::{
 pub use enumerate::QueryEnumerator;
 pub use error::{Error, Result};
 pub use foc_covers::CoverConfig;
-pub use foc_guard::{Budget, CancelToken, Interrupt, Phase, TripReason};
+pub use foc_guard::{Budget, CancelToken, Interrupt, Phase, TraceContext, TripReason};
 pub use value::Value;

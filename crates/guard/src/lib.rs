@@ -105,6 +105,33 @@ impl MemoryMeter {
     }
 }
 
+/// The identity of one request as it flows through admission,
+/// evaluation, and response frames: a process-unique `trace_id` minted
+/// by the server at admission, and the caller-supplied `request_id`
+/// echoed back on every frame.
+///
+/// The context rides inside a [`Budget`] and its armed [`Guard`] so
+/// every layer that already receives the guard — evaluator sessions,
+/// parallel workers, interrupt reports — can attribute its work to one
+/// request without new plumbing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Process-unique trace id (hex), minted at admission.
+    pub trace_id: String,
+    /// The request id the client supplied (or the `"-"` default).
+    pub request_id: String,
+}
+
+impl TraceContext {
+    /// A context from its two ids.
+    pub fn new(trace_id: impl Into<String>, request_id: impl Into<String>) -> TraceContext {
+        TraceContext {
+            trace_id: trace_id.into(),
+            request_id: request_id.into(),
+        }
+    }
+}
+
 /// The pipeline phase a guard check (and hence an interruption) is
 /// attributed to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -210,6 +237,10 @@ pub struct Budget {
     /// Memory watermark: trip once the shared meter crosses the byte
     /// limit. Polled on the same stride as the deadline.
     pub memory: Option<(MemoryMeter, u64)>,
+    /// Request identity carried into the armed guard (and from there
+    /// into session span trees and interrupt attribution). Not a
+    /// resource: it never trips anything.
+    pub trace: Option<TraceContext>,
 }
 
 impl Budget {
@@ -244,6 +275,13 @@ impl Budget {
         self
     }
 
+    /// Attaches a request identity; the armed guard exposes it via
+    /// [`Guard::trace`].
+    pub fn with_trace(mut self, trace: TraceContext) -> Budget {
+        self.trace = Some(trace);
+        self
+    }
+
     /// Whether this budget can never trip.
     pub fn is_unlimited(&self) -> bool {
         self.deadline.is_none()
@@ -254,9 +292,11 @@ impl Budget {
     }
 
     /// Arms the budget: starts the deadline clock and returns the
-    /// shareable runtime guard.
+    /// shareable runtime guard. A budget that can never trip but
+    /// carries a [`TraceContext`] still arms a (cheap) inner guard so
+    /// the context survives into [`Guard::trace`].
     pub fn arm(&self) -> Guard {
-        if self.is_unlimited() {
+        if self.is_unlimited() && self.trace.is_none() {
             return Guard::unlimited();
         }
         Guard {
@@ -266,6 +306,7 @@ impl Budget {
                 spent: AtomicU64::new(0),
                 cancel: self.cancel.clone(),
                 memory: self.memory.clone(),
+                trace: self.trace.clone(),
                 tripped: AtomicBool::new(false),
             })),
         }
@@ -279,6 +320,7 @@ struct GuardInner {
     spent: AtomicU64,
     cancel: CancelToken,
     memory: Option<(MemoryMeter, u64)>,
+    trace: Option<TraceContext>,
     /// Sticky: set on first trip so every thread sharing the guard stops
     /// at its next check, regardless of stride alignment.
     tripped: AtomicBool,
@@ -318,6 +360,11 @@ impl Guard {
             .as_ref()
             .map(|i| i.spent.load(Ordering::Relaxed))
             .unwrap_or(0)
+    }
+
+    /// The request identity this guard was armed with, if any.
+    pub fn trace(&self) -> Option<&TraceContext> {
+        self.inner.as_ref().and_then(|i| i.trace.as_ref())
     }
 
     /// Spends one fuel unit and verifies the budget. Fuel overruns trip
@@ -508,6 +555,34 @@ mod tests {
         assert_eq!(meter.used(), 401);
         meter.sub(10_000);
         assert_eq!(meter.used(), 0, "release saturates at zero");
+    }
+
+    #[test]
+    fn trace_context_survives_arming_and_never_trips() {
+        let b = Budget::unlimited().with_trace(TraceContext::new("t-1f2e", "q7"));
+        assert!(b.is_unlimited(), "trace is identity, not a resource");
+        let g = b.arm();
+        assert!(!g.is_unlimited(), "context needs an inner guard to ride in");
+        for _ in 0..(DEADLINE_STRIDE * 2) {
+            g.check(Phase::Engine).unwrap();
+        }
+        let t = g.trace().expect("context survives arming");
+        assert_eq!(t.trace_id, "t-1f2e");
+        assert_eq!(t.request_id, "q7");
+        // Clones share it; guards without one report none.
+        assert_eq!(g.clone().trace(), Some(t));
+        assert_eq!(Guard::unlimited().trace(), None);
+        // Resources still trip normally alongside a context.
+        let g2 = Budget::unlimited()
+            .with_trace(TraceContext::new("t", "q"))
+            .with_fuel(1)
+            .arm();
+        g2.check(Phase::Engine).unwrap();
+        assert_eq!(
+            g2.check(Phase::Engine).unwrap_err().reason,
+            TripReason::Fuel
+        );
+        assert!(g2.trace().is_some());
     }
 
     #[test]

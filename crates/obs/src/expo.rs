@@ -1,0 +1,143 @@
+//! Prometheus text exposition (version 0.0.4) rendered from a
+//! [`MetricsSnapshot`] — the body of the telemetry listener's
+//! `/metrics` endpoint.
+//!
+//! The renderer is hand-rolled (the workspace takes no external
+//! dependencies) but follows the format contract a scraper relies on:
+//! every series is preceded by `# HELP` and `# TYPE` lines, histogram
+//! buckets are *cumulative* and closed by an `+Inf` bucket equal to
+//! `_count`, and no series name is emitted twice. Registry names use
+//! `component.instrument` dots; exposition names flatten them to
+//! `foc_component_instrument`.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsSnapshot;
+
+/// Flattens a registry name (`server.latency_micros`) into a valid
+/// Prometheus metric name (`foc_server_latency_micros`): every
+/// character outside `[a-zA-Z0-9_:]` becomes an underscore.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("foc_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn emit_header(out: &mut String, name: &str, source: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} foc registry {kind} \"{source}\".");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Renders the whole snapshot as Prometheus text exposition. Counters
+/// and gauges become single series; histograms become cumulative
+/// `_bucket{{le=…}}` series plus `_sum` and `_count`. If two registry
+/// names flatten to the same exposition name, only the first (in
+/// registry order) is emitted — a scrape must never see duplicate
+/// series.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for (k, v) in &snap.counters {
+        let name = prometheus_name(k);
+        if !seen.insert(name.clone()) {
+            continue;
+        }
+        emit_header(&mut out, &name, k, "counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (k, v) in &snap.gauges {
+        let name = prometheus_name(k);
+        if !seen.insert(name.clone()) {
+            continue;
+        }
+        emit_header(&mut out, &name, k, "gauge");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (k, h) in &snap.histograms {
+        let name = prometheus_name(k);
+        if !seen.insert(name.clone()) {
+            continue;
+        }
+        emit_header(&mut out, &name, k, "histogram");
+        let mut cum: u64 = 0;
+        for (bound, count) in h.bounds.iter().zip(&h.counts) {
+            cum += count;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cum}");
+        }
+        // The overflow bucket makes +Inf equal the total by
+        // construction, as the format requires.
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.total);
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.total);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    #[test]
+    fn names_flatten_to_valid_prometheus() {
+        assert_eq!(
+            prometheus_name("server.latency_micros"),
+            "foc_server_latency_micros"
+        );
+        assert_eq!(prometheus_name("a-b c.d"), "foc_a_b_c_d");
+    }
+
+    #[test]
+    fn exposition_has_help_type_and_cumulative_buckets() {
+        let m = Metrics::new();
+        m.counter("server.requests").add(3);
+        m.gauge("server.inflight").set(2);
+        let h = m.histogram("server.latency_micros", &[1, 2, 4]);
+        for v in [1, 2, 3, 100] {
+            h.observe(v);
+        }
+        let text = render_prometheus(&m.snapshot());
+        assert!(text.contains("# HELP foc_server_requests "));
+        assert!(text.contains("# TYPE foc_server_requests counter"));
+        assert!(text.contains("foc_server_requests 3"));
+        assert!(text.contains("# TYPE foc_server_inflight gauge"));
+        assert!(text.contains("# TYPE foc_server_latency_micros histogram"));
+        // Buckets are cumulative: ≤1:1, ≤2:2, ≤4:3, +Inf:4.
+        assert!(text.contains("foc_server_latency_micros_bucket{le=\"1\"} 1"));
+        assert!(text.contains("foc_server_latency_micros_bucket{le=\"2\"} 2"));
+        assert!(text.contains("foc_server_latency_micros_bucket{le=\"4\"} 3"));
+        assert!(text.contains("foc_server_latency_micros_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("foc_server_latency_micros_sum 106"));
+        assert!(text.contains("foc_server_latency_micros_count 4"));
+    }
+
+    #[test]
+    fn no_duplicate_series_even_when_names_collide() {
+        let m = Metrics::new();
+        m.counter("a.b").inc();
+        m.counter("a_b").inc();
+        let text = render_prometheus(&m.snapshot());
+        assert_eq!(
+            text.matches("\nfoc_a_b ").count() + usize::from(text.starts_with("foc_a_b ")),
+            1
+        );
+        let series: Vec<&str> = text
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .map(|l| l.split([' ', '{']).next().unwrap_or(""))
+            .collect();
+        let mut sorted = series.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        // Histogram-free snapshot: every plain series name appears once.
+        assert_eq!(series.len(), sorted.len());
+    }
+}

@@ -16,8 +16,13 @@
 //! * **Sinks** ([`sink`]) — pluggable destinations for finished spans:
 //!   human-readable stderr, JSON-lines, and in-memory for tests;
 //! * **Reports** ([`report`]) — span-tree and metrics-table rendering
-//!   (the body of `foc explain`) plus the `--metrics-json` export whose
-//!   schema CI pins;
+//!   (the body of `foc explain`), bucket-quantile estimation, plus the
+//!   `--metrics-json` export whose schema CI pins;
+//! * **Exposition** ([`expo`]) — Prometheus text rendering of one
+//!   metrics snapshot (the `/metrics` scrape surface of `foc serve`);
+//! * **Flight recorder** ([`recorder`]) — a fixed-capacity lock-free
+//!   ring of recent span closures and events, dumped as a postmortem
+//!   JSON document when a serving process hits trouble;
 //! * **Names** ([`names`]) — the metric-name taxonomy shared by every
 //!   instrumented crate.
 //!
@@ -44,15 +49,22 @@
 
 #![warn(missing_docs)]
 
+pub mod expo;
 pub mod metrics;
 pub mod names;
+pub mod recorder;
 pub mod report;
 pub mod sink;
 pub mod span;
 
+pub use expo::{prometheus_name, render_prometheus};
 pub use metrics::{
     pow2_buckets, Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot,
 };
-pub use report::{build_tree, render_metrics_table, render_tree, session_json, SpanNode};
+pub use recorder::{FlightEvent, FlightRecorder};
+pub use report::{
+    build_tree, quantile, quantiles, render_metrics_table, render_tree, session_json, Quantiles,
+    SpanNode,
+};
 pub use sink::{JsonLinesSink, MemorySink, Sink, StderrSink};
 pub use span::{AttrValue, FinishedSpan, Observer, Span, SpanHandle};

@@ -36,7 +36,13 @@ impl Counter {
     }
 }
 
-/// A last-value / running-maximum instrument.
+/// A last-value / running-maximum / live up-down instrument.
+///
+/// The same handle supports two usage styles: *watermark* gauges call
+/// [`Gauge::set`]/[`Gauge::set_max`] and record a peak, while *live*
+/// gauges call [`Gauge::inc`]/[`Gauge::dec`] around the tracked state so
+/// [`Gauge::get`] (and every snapshot/exposition built from it) reads
+/// the current value, not a historical maximum.
 #[derive(Debug, Clone, Default)]
 pub struct Gauge(Arc<AtomicU64>);
 
@@ -49,6 +55,21 @@ impl Gauge {
     /// Raises the value to at least `v`.
     pub fn set_max(&self, v: u64) {
         self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Increments the live value by one and returns the new value.
+    pub fn inc(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Decrements the live value by one, saturating at zero (an
+    /// unmatched `dec` must not wrap a `u64` gauge to 2^64-1).
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
     }
 
     /// The current value.
@@ -272,6 +293,19 @@ mod tests {
         assert_eq!(g.get(), 5);
         g.set(1);
         assert_eq!(g.get(), 1);
+    }
+
+    #[test]
+    fn gauge_live_inc_dec_saturates_at_zero() {
+        let m = Metrics::new();
+        let g = m.gauge("inflight");
+        assert_eq!(g.inc(), 1);
+        assert_eq!(g.inc(), 2);
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.dec();
+        g.dec(); // unmatched: must saturate, not wrap
+        assert_eq!(g.get(), 0);
     }
 
     #[test]

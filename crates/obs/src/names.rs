@@ -96,9 +96,16 @@ pub const FUZZ_CASE_TIMEOUTS: &str = "fuzz.case_timeouts";
 
 /// Requests accepted by the server (admitted past the gate). Counter.
 pub const SERVE_REQUESTS: &str = "server.requests";
-/// Requests currently being evaluated. Gauge (running max over the
-/// process; the live value is exported separately by the server).
+/// Requests currently being evaluated. Gauge (live value, maintained by
+/// `Gauge::inc`/`Gauge::dec` around each admitted request, so `/stats`
+/// and the metrics export agree; the historical peak is
+/// [`SERVE_INFLIGHT_PEAK`]).
 pub const SERVE_INFLIGHT: &str = "server.inflight";
+/// Highest concurrent in-flight count seen over the process lifetime.
+/// Gauge (running max).
+pub const SERVE_INFLIGHT_PEAK: &str = "server.inflight_peak";
+/// Requests currently waiting in the admission queue. Gauge (live).
+pub const SERVE_QUEUE_DEPTH: &str = "server.queue_depth";
 /// Requests (or connections) refused with a shed frame. Counter.
 pub const SERVE_SHED: &str = "server.shed";
 /// Requests answered with an error frame (parse, eval, panic, or
@@ -126,3 +133,16 @@ pub const SERVE_CACHE_MIGRATED: &str = "server.cache_migrated";
 pub const SERVE_DRAIN_NANOS: &str = "server.drain_nanos";
 /// In-flight requests interrupted by the drain deadline. Counter.
 pub const SERVE_DRAIN_INTERRUPTED: &str = "server.drain_interrupted";
+
+/// Request traces kept by the tail-based sampler (error, panic,
+/// interrupt, slow query, or the seeded 1-in-N sample). Counter.
+pub const SERVE_TRACES_KEPT: &str = "server.traces_kept";
+/// Request traces dropped by the tail-based sampler. Counter.
+pub const SERVE_TRACES_DROPPED: &str = "server.traces_dropped";
+/// Requests whose latency exceeded the slow-query threshold. Counter.
+pub const SERVE_SLOW_QUERIES: &str = "server.slow_queries";
+/// Telemetry HTTP requests answered (`/metrics`, `/healthz`, `/stats`).
+/// Counter.
+pub const SERVE_TELEMETRY_SCRAPES: &str = "server.telemetry_scrapes";
+/// Flight-recorder postmortem files written. Counter.
+pub const SERVE_POSTMORTEMS: &str = "server.postmortems";

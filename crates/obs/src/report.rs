@@ -3,7 +3,7 @@
 
 use std::fmt::Write as _;
 
-use crate::metrics::MetricsSnapshot;
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
 use crate::sink::span_to_json;
 use crate::span::FinishedSpan;
 
@@ -81,6 +81,57 @@ pub fn build_tree(spans: &[FinishedSpan]) -> Vec<SpanNode> {
     roots
 }
 
+/// Estimates the `q`-quantile (`0.0 ..= 1.0`) of a bucketed histogram
+/// by linear interpolation inside the bucket holding the target rank —
+/// the `histogram_quantile` estimator of the Prometheus exposition the
+/// same snapshots are rendered to. Observations landing in the overflow
+/// (`+inf`) bucket clamp to the last finite bound, and an empty
+/// histogram has no quantiles at all (`None`).
+pub fn quantile(h: &HistogramSnapshot, q: f64) -> Option<u64> {
+    if h.total == 0 || h.bounds.is_empty() {
+        return None;
+    }
+    let target = (q.clamp(0.0, 1.0) * h.total as f64).max(1.0);
+    let mut cum = 0.0;
+    for (i, &c) in h.counts.iter().enumerate() {
+        let prev = cum;
+        cum += c as f64;
+        if cum >= target && c > 0 {
+            let last = *h.bounds.last()? as f64;
+            if i >= h.bounds.len() {
+                return Some(last as u64);
+            }
+            let upper = h.bounds[i] as f64;
+            let lower = if i == 0 { 0.0 } else { h.bounds[i - 1] as f64 };
+            let frac = (target - prev) / c as f64;
+            return Some((lower + (upper - lower) * frac).round() as u64);
+        }
+    }
+    h.bounds.last().copied()
+}
+
+/// The standard latency-quantile triple estimated from one histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quantiles {
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+/// Estimates p50/p95/p99 from one histogram snapshot (`None` when the
+/// histogram is empty). The triple `foc explain`, the E13 bench, and
+/// the serve slow-query threshold all report.
+pub fn quantiles(h: &HistogramSnapshot) -> Option<Quantiles> {
+    Some(Quantiles {
+        p50: quantile(h, 0.50)?,
+        p95: quantile(h, 0.95)?,
+        p99: quantile(h, 0.99)?,
+    })
+}
+
 fn fmt_micros(nanos: u64) -> String {
     let micros = nanos / 1_000;
     if micros >= 10_000 {
@@ -153,9 +204,12 @@ pub fn render_metrics_table(snap: &MetricsSnapshot) -> String {
             .filter(|(_, &c)| c > 0)
             .map(|(b, c)| format!("{b}:{c}"))
             .collect();
+        let q = quantiles(h)
+            .map(|q| format!(" p50={} p95={} p99={}", q.p50, q.p95, q.p99))
+            .unwrap_or_default();
         let _ = writeln!(
             out,
-            "{k:<width$}  n={} sum={} [{}]",
+            "{k:<width$}  n={} sum={}{q} [{}]",
             h.total,
             h.sum,
             buckets.join(" ")
@@ -342,5 +396,41 @@ mod tests {
         assert!(t.contains("cache.hits"));
         assert!(t.contains("local.ball_size"));
         assert!(t.contains("n=1"));
+        assert!(t.contains("p50="), "histogram rows carry quantiles: {t}");
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        // 100 observations of value 5 land in the (4, 8] bucket: every
+        // quantile interpolates inside that bucket's range.
+        let h = {
+            let m = Metrics::new();
+            let hist = m.histogram("h", &[1, 2, 4, 8, 16]);
+            for _ in 0..100 {
+                hist.observe(5);
+            }
+            hist.snapshot()
+        };
+        let p50 = quantile(&h, 0.5).unwrap();
+        assert!((4..=8).contains(&p50), "p50 {p50} outside its bucket");
+        let q = quantiles(&h).unwrap();
+        assert!(q.p50 <= q.p95 && q.p95 <= q.p99, "quantiles must rise");
+        assert!(q.p99 <= 8, "p99 {} above the holding bucket", q.p99);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let m = Metrics::new();
+        let empty = m.histogram("e", &[1, 2]).snapshot();
+        assert_eq!(quantile(&empty, 0.5), None);
+        assert_eq!(quantiles(&empty), None);
+        // Overflow observations clamp to the last finite bound.
+        let hist = m.histogram("o", &[1, 2]);
+        hist.observe(1_000_000);
+        assert_eq!(quantile(&hist.snapshot(), 0.99), Some(2));
+        // A single observation in the first bucket stays within it.
+        let one = m.histogram("one", &[10, 20]);
+        one.observe(3);
+        assert!(quantile(&one.snapshot(), 0.5).unwrap() <= 10);
     }
 }

@@ -285,6 +285,27 @@ where
     }
 }
 
+/// [`run_isolated`] with a panic-path hook: when the closure panics,
+/// `on_panic` runs on the catching thread with the captured
+/// [`WorkerPanic`] *before* the fault is returned to the caller. This
+/// is where a serving process dumps its flight recorder — the evidence
+/// (recent spans, the panic payload) is captured at the moment of
+/// containment, not later when the error frame is assembled.
+///
+/// The hook only fires for panics; closure errors pass through
+/// untouched. A panic *inside the hook itself* is not contained.
+pub fn run_isolated_observed<R, E, F, H>(f: F, on_panic: H) -> Result<R, Fault<E>>
+where
+    F: FnOnce() -> Result<R, E>,
+    H: FnOnce(&WorkerPanic),
+{
+    let r = run_isolated(f);
+    if let Err(Fault::Panic(p)) = &r {
+        on_panic(p);
+    }
+    r
+}
+
 /// Infallible convenience wrapper around [`par_map`].
 pub fn par_map_ok<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
@@ -441,6 +462,35 @@ mod tests {
             Err(Fault::Panic(p)) => assert_eq!(p.payload, "poisoned request"),
             other => panic!("expected caught panic, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn run_isolated_observed_fires_the_hook_only_on_panic() {
+        let fired = AtomicUsize::new(0);
+        let ok: Result<u32, Fault<&str>> = run_isolated_observed(
+            || Ok(7),
+            |_| {
+                fired.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        assert_eq!(ok.unwrap(), 7);
+        let err: Result<u32, Fault<&str>> = run_isolated_observed(
+            || Err("bad"),
+            |_| {
+                fired.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        assert_eq!(err.unwrap_err(), Fault::Error("bad"));
+        assert_eq!(fired.load(Ordering::SeqCst), 0, "hook must not fire yet");
+        let boom: Result<u32, Fault<&str>> = run_isolated_observed(
+            || panic!("dump me"),
+            |p| {
+                assert_eq!(p.payload, "dump me");
+                fired.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        assert!(matches!(boom, Err(Fault::Panic(_))));
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "hook fires once per panic");
     }
 
     #[test]

@@ -24,7 +24,22 @@
 //!   [`foc_guard::TripReason::Memory`];
 //! * **Graceful drain** — stop accepting, shed the queue, finish
 //!   in-flight work against a drain deadline, cancel the stragglers,
-//!   join every thread, flush metrics ([`server::ServerHandle::drain`]).
+//!   join every thread, flush metrics ([`server::ServerHandle::drain`]);
+//! * **Request-scoped tracing** — every request is stamped with a
+//!   server-minted `trace_id` (echoed on each of its frames), its span
+//!   tree is captured while it runs, and a *tail-based* sampler keeps
+//!   the full trace of every request that erred, panicked, was
+//!   interrupted, or ran slow, plus a seeded 1-in-N of the healthy
+//!   rest (the `trace` module internals, `ServerConfig::tracing`);
+//! * **Telemetry listener** — a second socket answering `GET /metrics`
+//!   (Prometheus text exposition), `/healthz` (drain- and
+//!   pressure-aware), and `/stats` (live JSON) without touching the
+//!   admission gate (the `telemetry` module internals,
+//!   `ServerConfig::telemetry_addr`);
+//! * **Flight recorder** — a fixed-capacity ring of recent span
+//!   closures and events, dumped to a postmortem JSON file on worker
+//!   panic, drain-deadline interruption, or watermark escalation to
+//!   the shed rung (`ServerConfig::postmortem_dir`).
 //!
 //! The wire protocol is one JSON object per line in each direction; see
 //! [`protocol`].
@@ -36,6 +51,8 @@
 pub mod json;
 pub mod protocol;
 pub mod server;
+mod telemetry;
+mod trace;
 
 pub use protocol::{parse_request, Answer, Mode, Request};
 pub use server::{start, DrainReport, ServerConfig, ServerHandle};

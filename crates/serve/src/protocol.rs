@@ -4,25 +4,31 @@
 //! frame in both directions carries `"proto":1`; a request declaring a
 //! different version is refused with a structured
 //! `{"class":"unsupported_proto"}` error (requests without the field
-//! are treated as proto 1 for backwards compatibility). The frame
-//! taxonomy is tabulated in `DESIGN.md` §"Wire frames"; in short, the
-//! frames leaving the server are:
+//! are treated as proto 1 for backwards compatibility). Every
+//! request-scoped frame (everything except `drained`, which is a
+//! connection-level notice) echoes the client's `id` and carries the
+//! server-minted `trace_id` of the request, so a client can join its
+//! responses against the server's sampled traces and flight-recorder
+//! dumps. The frame taxonomy is tabulated in `DESIGN.md` §"Wire
+//! frames"; in short, the frames leaving the server are:
 //!
-//! * `{"type":"result", "proto":1, "id":…, "mode":…, "value":…,
-//!   "epoch":…, "micros":…}` — a query answer (a boolean for `check`,
-//!   an integer for `eval`), stamped with the epoch of the snapshot it
-//!   evaluated against;
-//! * `{"type":"result", "proto":1, "id":…, "mode":"update"|"batch",
-//!   "epoch":…, "changed":…, "micros":…}` — a committed mutation: the
-//!   epoch now current and how many tuples actually changed;
-//! * `{"type":"error", "proto":1, "id":…, "class":…, "message":…}` — a
-//!   structured failure (parse errors, evaluation errors, rejected
-//!   mutations with `"class":"mutation"`, version mismatches with
-//!   `"class":"unsupported_proto"`, tripped budgets with
-//!   `"class":"interrupted"` and a `"reason"` field, contained panics
-//!   with `"class":"panic"`);
-//! * `{"type":"shed", "proto":1, "retry_after_ms":…}` — admission
-//!   control refused the request (or, during drain, the connection);
+//! * `{"type":"result", "proto":1, "id":…, "trace_id":…, "mode":…,
+//!   "value":…, "epoch":…, "micros":…}` — a query answer (a boolean
+//!   for `check`, an integer for `eval`), stamped with the epoch of
+//!   the snapshot it evaluated against;
+//! * `{"type":"result", "proto":1, "id":…, "trace_id":…,
+//!   "mode":"update"|"batch", "epoch":…, "changed":…, "micros":…}` — a
+//!   committed mutation: the epoch now current and how many tuples
+//!   actually changed;
+//! * `{"type":"error", "proto":1, "id":…, "trace_id":…, "class":…,
+//!   "message":…}` — a structured failure (parse errors, evaluation
+//!   errors, rejected mutations with `"class":"mutation"`, version
+//!   mismatches with `"class":"unsupported_proto"`, tripped budgets
+//!   with `"class":"interrupted"` and a `"reason"` field, contained
+//!   panics with `"class":"panic"`);
+//! * `{"type":"shed", "proto":1, "id":…, "trace_id":…,
+//!   "retry_after_ms":…}` — admission control refused the request (or,
+//!   during drain, the connection; then `id` is `"-"`);
 //! * `{"type":"drained", "proto":1}` — sent on streams still open when
 //!   the server finishes draining, immediately before the socket
 //!   closes.
@@ -266,15 +272,24 @@ pub enum Answer {
 }
 
 /// Renders a query result frame. `epoch` is the mutation epoch of the
-/// snapshot the query evaluated against.
-pub fn result_frame(id: &str, mode: Mode, answer: Answer, epoch: u64, micros: u64) -> String {
+/// snapshot the query evaluated against; `trace_id` is the
+/// server-minted trace identifier of the request.
+pub fn result_frame(
+    id: &str,
+    trace_id: &str,
+    mode: Mode,
+    answer: Answer,
+    epoch: u64,
+    micros: u64,
+) -> String {
     let value = match answer {
         Answer::Bool(b) => b.to_string(),
         Answer::Int(i) => i.to_string(),
     };
     format!(
-        "{{\"type\":\"result\",\"proto\":{PROTO_VERSION},\"id\":\"{}\",\"mode\":\"{}\",\"value\":{value},\"epoch\":{epoch},\"micros\":{micros}}}",
+        "{{\"type\":\"result\",\"proto\":{PROTO_VERSION},\"id\":\"{}\",\"trace_id\":\"{}\",\"mode\":\"{}\",\"value\":{value},\"epoch\":{epoch},\"micros\":{micros}}}",
         json_escape(id),
+        json_escape(trace_id),
         mode.name(),
     )
 }
@@ -282,10 +297,18 @@ pub fn result_frame(id: &str, mode: Mode, answer: Answer, epoch: u64, micros: u6
 /// Renders a mutation result frame: the epoch now current after the
 /// commit (unchanged if the batch was a no-op) and the number of tuples
 /// that actually changed.
-pub fn update_frame(id: &str, mode: Mode, epoch: u64, changed: usize, micros: u64) -> String {
+pub fn update_frame(
+    id: &str,
+    trace_id: &str,
+    mode: Mode,
+    epoch: u64,
+    changed: usize,
+    micros: u64,
+) -> String {
     format!(
-        "{{\"type\":\"result\",\"proto\":{PROTO_VERSION},\"id\":\"{}\",\"mode\":\"{}\",\"epoch\":{epoch},\"changed\":{changed},\"micros\":{micros}}}",
+        "{{\"type\":\"result\",\"proto\":{PROTO_VERSION},\"id\":\"{}\",\"trace_id\":\"{}\",\"mode\":\"{}\",\"epoch\":{epoch},\"changed\":{changed},\"micros\":{micros}}}",
         json_escape(id),
+        json_escape(trace_id),
         mode.name(),
     )
 }
@@ -293,21 +316,35 @@ pub fn update_frame(id: &str, mode: Mode, epoch: u64, changed: usize, micros: u6
 /// Renders an error frame. `reason` is present only for
 /// `class == "interrupted"` (deadline / fuel / cancellation / memory
 /// limit).
-pub fn error_frame(id: &str, class: &str, reason: Option<&str>, message: &str) -> String {
+pub fn error_frame(
+    id: &str,
+    trace_id: &str,
+    class: &str,
+    reason: Option<&str>,
+    message: &str,
+) -> String {
     let reason_field = reason
         .map(|r| format!(",\"reason\":\"{}\"", json_escape(r)))
         .unwrap_or_default();
     format!(
-        "{{\"type\":\"error\",\"proto\":{PROTO_VERSION},\"id\":\"{}\",\"class\":\"{}\"{reason_field},\"message\":\"{}\"}}",
+        "{{\"type\":\"error\",\"proto\":{PROTO_VERSION},\"id\":\"{}\",\"trace_id\":\"{}\",\"class\":\"{}\"{reason_field},\"message\":\"{}\"}}",
         json_escape(id),
+        json_escape(trace_id),
         json_escape(class),
         json_escape(message),
     )
 }
 
 /// Renders a shed frame (admission refused; retry after the hint).
-pub fn shed_frame(retry_after_ms: u64) -> String {
-    format!("{{\"type\":\"shed\",\"proto\":{PROTO_VERSION},\"retry_after_ms\":{retry_after_ms}}}")
+/// `id` is the client's request id when the refused line parsed far
+/// enough to carry one, `"-"` when the whole connection was refused
+/// during drain.
+pub fn shed_frame(id: &str, trace_id: &str, retry_after_ms: u64) -> String {
+    format!(
+        "{{\"type\":\"shed\",\"proto\":{PROTO_VERSION},\"id\":\"{}\",\"trace_id\":\"{}\",\"retry_after_ms\":{retry_after_ms}}}",
+        json_escape(id),
+        json_escape(trace_id),
+    )
 }
 
 /// Renders the drain notice sent before the server closes a stream.
@@ -394,17 +431,18 @@ mod tests {
     #[test]
     fn frames_are_single_line_json() {
         let frames = [
-            result_frame("a", Mode::Check, Answer::Bool(true), 0, 12),
-            result_frame("b", Mode::Eval, Answer::Int(-3), 4, 7),
-            update_frame("u", Mode::Update, 5, 2, 9),
+            result_frame("a", "t1", Mode::Check, Answer::Bool(true), 0, 12),
+            result_frame("b", "t2", Mode::Eval, Answer::Int(-3), 4, 7),
+            update_frame("u", "t3", Mode::Update, 5, 2, 9),
             error_frame(
                 "c",
+                "t4",
                 "interrupted",
                 Some("deadline"),
                 "interrupted by deadline",
             ),
-            error_frame("d\"e", "panic", None, "boom"),
-            shed_frame(50),
+            error_frame("d\"e", "t5", "panic", None, "boom"),
+            shed_frame("s", "t6", 50),
             drained_frame(),
         ];
         for f in &frames {
@@ -417,13 +455,24 @@ mod tests {
                 "every frame carries the protocol version: {f}"
             );
         }
+        // Every frame except the connection-level drain notice carries
+        // the request's trace_id.
+        for f in &frames[..frames.len() - 1] {
+            let v = crate::json::parse(f).unwrap();
+            assert!(
+                v.get("trace_id")
+                    .and_then(crate::json::Value::as_str)
+                    .is_some(),
+                "request-scoped frames carry trace_id: {f}"
+            );
+        }
         assert_eq!(
             frames[0],
-            "{\"type\":\"result\",\"proto\":1,\"id\":\"a\",\"mode\":\"check\",\"value\":true,\"epoch\":0,\"micros\":12}"
+            "{\"type\":\"result\",\"proto\":1,\"id\":\"a\",\"trace_id\":\"t1\",\"mode\":\"check\",\"value\":true,\"epoch\":0,\"micros\":12}"
         );
         assert_eq!(
             frames[2],
-            "{\"type\":\"result\",\"proto\":1,\"id\":\"u\",\"mode\":\"update\",\"epoch\":5,\"changed\":2,\"micros\":9}"
+            "{\"type\":\"result\",\"proto\":1,\"id\":\"u\",\"trace_id\":\"t3\",\"mode\":\"update\",\"epoch\":5,\"changed\":2,\"micros\":9}"
         );
     }
 }

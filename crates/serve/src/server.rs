@@ -29,24 +29,29 @@
 
 use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 use foc_core::{DegradePolicy, EngineKind, Error, Evaluator};
 use foc_covers::CoverStore;
-use foc_guard::{Budget, CancelToken, MemoryMeter, TripReason};
+use foc_guard::{Budget, CancelToken, MemoryMeter, TraceContext, TripReason};
 use foc_locality::{migrate_cache, TermCache};
 use foc_logic::parse::{parse_formula, parse_term};
 use foc_logic::Predicates;
-use foc_obs::{names, pow2_buckets, Metrics};
-use foc_parallel::{run_isolated, Fault};
+use foc_obs::{
+    names, pow2_buckets, quantile, FlightRecorder, Gauge, Histogram, MemorySink, Metrics,
+};
+use foc_parallel::{run_isolated_observed, Fault};
 use foc_structures::{DeltaStructure, Structure, TupleOp};
 
 use crate::protocol::{
     drained_frame, error_frame, parse_request, result_frame, shed_frame, update_frame, Answer,
     Mode, Request,
 };
+use crate::telemetry;
+use crate::trace::{trace_line, TailSampler, TraceLog};
 
 /// Server configuration. `Default` binds an ephemeral loopback port
 /// with conservative caps.
@@ -74,6 +79,26 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// The hint sent in shed frames.
     pub retry_after_ms: u64,
+    /// Bind address for the telemetry scrape listener (`/metrics`,
+    /// `/healthz`, `/stats`); `None` = no listener.
+    pub telemetry_addr: Option<String>,
+    /// Request-scoped tracing: capture a span tree per request and
+    /// tail-sample it. `false` skips span capture entirely (trace ids
+    /// are still minted and echoed on frames).
+    pub tracing: bool,
+    /// Keep 1 in N well-behaved traces (anomalous ones are always
+    /// kept); `0` keeps anomalous traces only, `1` keeps everything.
+    pub trace_sample: u64,
+    /// Seed for the trace sampler (deterministic keep positions).
+    pub trace_seed: u64,
+    /// Slow-query threshold; `None` derives it live as 4× the p99 of
+    /// the server latency histogram (once it has ≥ 64 observations).
+    pub slow_query: Option<Duration>,
+    /// Append kept traces as JSON-lines to this file.
+    pub trace_path: Option<PathBuf>,
+    /// Directory for flight-recorder postmortem dumps (`None` = the
+    /// ring is kept in memory but never written to disk).
+    pub postmortem_dir: Option<PathBuf>,
     /// Test-only fault injection, forwarded to the evaluator builder
     /// (see `EvaluatorBuilder::fault_panic_element`).
     #[doc(hidden)]
@@ -94,6 +119,13 @@ impl Default for ServerConfig {
             threads: 1,
             cache_capacity: foc_locality::cache::DEFAULT_CAPACITY,
             retry_after_ms: 50,
+            telemetry_addr: None,
+            tracing: true,
+            trace_sample: 128,
+            trace_seed: 0x5eed_f0c1,
+            slow_query: None,
+            trace_path: None,
+            postmortem_dir: None,
             fault_panic_element: None,
         }
     }
@@ -119,21 +151,33 @@ struct GateState {
 /// at once, at most `queue` wait. Everything else is shed immediately —
 /// `enter` never blocks unless a bounded queue slot was free, and drain
 /// wakes every waiter.
+///
+/// The gate is also the single writer of the live admission gauges
+/// (`server.inflight`, `server.queue_depth`, `server.inflight_peak`):
+/// every transition happens under the gate mutex, so the gauges the
+/// scrape endpoint exports always agree with the state the gate acts
+/// on.
 #[derive(Debug)]
 struct Gate {
     state: Mutex<GateState>,
     cv: Condvar,
     max_inflight: usize,
     queue: usize,
+    inflight_gauge: Gauge,
+    inflight_peak: Gauge,
+    queue_gauge: Gauge,
 }
 
 impl Gate {
-    fn new(max_inflight: usize, queue: usize) -> Gate {
+    fn new(max_inflight: usize, queue: usize, metrics: &Metrics) -> Gate {
         Gate {
             state: Mutex::new(GateState::default()),
             cv: Condvar::new(),
             max_inflight: max_inflight.max(1),
             queue,
+            inflight_gauge: metrics.gauge(names::SERVE_INFLIGHT),
+            inflight_peak: metrics.gauge(names::SERVE_INFLIGHT_PEAK),
+            queue_gauge: metrics.gauge(names::SERVE_QUEUE_DEPTH),
         }
     }
 
@@ -148,21 +192,26 @@ impl Gate {
         }
         if st.inflight < self.max_inflight {
             st.inflight += 1;
+            self.inflight_peak.set_max(self.inflight_gauge.inc());
             return Admission::Admitted;
         }
         if st.waiting >= self.queue {
             return Admission::Shed;
         }
         st.waiting += 1;
+        self.queue_gauge.inc();
         loop {
             st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
             if st.draining {
                 st.waiting -= 1;
+                self.queue_gauge.dec();
                 return Admission::Shed;
             }
             if st.inflight < self.max_inflight {
                 st.waiting -= 1;
+                self.queue_gauge.dec();
                 st.inflight += 1;
+                self.inflight_peak.set_max(self.inflight_gauge.inc());
                 return Admission::Admitted;
             }
         }
@@ -171,6 +220,7 @@ impl Gate {
     fn exit(&self) {
         let mut st = self.lock();
         st.inflight = st.inflight.saturating_sub(1);
+        self.inflight_gauge.dec();
         drop(st);
         self.cv.notify_all();
     }
@@ -199,8 +249,9 @@ impl Gate {
     }
 }
 
-/// Everything a connection thread needs, shared by `Arc`.
-struct Shared {
+/// Everything a connection thread needs, shared by `Arc` (crate-public
+/// so the telemetry listener can scrape it).
+pub(crate) struct Shared {
     config: ServerConfig,
     /// The single writer: mutation requests serialise on this lock,
     /// apply their batch as a delta commit, migrate the shared caches,
@@ -226,6 +277,22 @@ struct Shared {
     pressure: Mutex<u8>,
     /// Peak of the server-wide byte account, for reports.
     peak_resident: AtomicU64,
+    /// The server latency histogram, resolved once (also feeds the
+    /// derived slow-query threshold).
+    latency: Histogram,
+    /// Ring of recent span closures and events, dumped as a postmortem
+    /// on panic / drain interruption / shed-rung escalation.
+    recorder: Arc<FlightRecorder>,
+    /// Where kept traces go (in-memory ring + optional JSON-lines file).
+    traces: TraceLog,
+    /// The seeded 1-in-N keep decision for well-behaved requests.
+    sampler: TailSampler,
+    /// Server start, for uptime and trace-id minting.
+    started: Instant,
+    /// Per-process salt for trace ids (wall clock at startup).
+    mint_seed: u64,
+    trace_seq: AtomicU64,
+    postmortem_seq: AtomicU64,
 }
 
 impl Shared {
@@ -258,11 +325,14 @@ impl Shared {
                 *level = 2;
                 steps.inc();
                 self.cache.shrink_to(0);
+                self.recorder
+                    .event("pressure", "rung 2: cache evicted, caching off");
                 (false, false)
             }
             2 => {
                 *level = 3;
                 steps.inc();
+                self.postmortem("pressure", "memory watermark escalated to the shed rung");
                 (true, false)
             }
             _ => (true, false),
@@ -279,6 +349,117 @@ impl Shared {
             .read()
             .unwrap_or_else(|e| e.into_inner())
             .clone()
+    }
+
+    /// Mints the request-scoped trace context: a process-unique hex
+    /// trace id (startup salt + arrival sequence) paired with the
+    /// client's request id.
+    fn mint_trace(&self, request_id: &str) -> TraceContext {
+        let seq = self.trace_seq.fetch_add(1, Ordering::Relaxed);
+        TraceContext::new(format!("{:08x}-{seq:x}", self.mint_seed as u32), request_id)
+    }
+
+    /// The live slow-query threshold in microseconds: the configured
+    /// value, or 4× the p99 of the latency histogram once it has seen
+    /// enough requests to estimate one (`u64::MAX` before that — no
+    /// request is "slow" until there is a population to be slow
+    /// against).
+    fn slow_threshold_micros(&self) -> u64 {
+        if let Some(d) = self.config.slow_query {
+            return d.as_micros() as u64;
+        }
+        let h = self.latency.snapshot();
+        if h.total < 64 {
+            return u64::MAX;
+        }
+        quantile(&h, 0.99)
+            .map(|p99| p99.saturating_mul(4).max(1_000))
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Records a postmortem: bumps the counter, stamps the reason into
+    /// the flight-recorder ring, and — when a postmortem directory is
+    /// configured — dumps the ring to
+    /// `foc-postmortem-<tag>-<n>.json`. Best-effort on the file side: a
+    /// failing disk must not take serving down.
+    fn postmortem(&self, tag: &str, reason: &str) {
+        self.metrics.counter(names::SERVE_POSTMORTEMS).inc();
+        self.recorder.event("postmortem", reason);
+        if let Some(dir) = &self.config.postmortem_dir {
+            let n = self.postmortem_seq.fetch_add(1, Ordering::Relaxed);
+            let path = dir.join(format!("foc-postmortem-{tag}-{n}.json"));
+            let _ = self.recorder.dump_to_file(&path, reason);
+        }
+    }
+
+    /// The server's metrics registry (telemetry scrape surface).
+    pub(crate) fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Tells the telemetry scrape loop to exit (set at the end of
+    /// drain, together with the accept loop's stop flag).
+    pub(crate) fn telemetry_stop(&self) -> bool {
+        self.accept_stop.load(Ordering::Acquire)
+    }
+
+    /// The `/healthz` verdict: `200` while serving, `503` once
+    /// draining or when the pressure ladder reached the shed rung.
+    pub(crate) fn healthz(&self) -> (u16, &'static str, String) {
+        let pressure = *self.pressure.lock().unwrap_or_else(|e| e.into_inner());
+        if self.draining() {
+            (
+                503,
+                "application/json",
+                "{\"status\":\"draining\"}".to_string(),
+            )
+        } else if pressure >= 3 {
+            (
+                503,
+                "application/json",
+                format!("{{\"status\":\"shedding\",\"pressure\":{pressure}}}"),
+            )
+        } else {
+            (
+                200,
+                "application/json",
+                format!("{{\"status\":\"ok\",\"pressure\":{pressure}}}"),
+            )
+        }
+    }
+
+    /// The `/stats` body: live serving state as one JSON object.
+    pub(crate) fn stats_json(&self) -> String {
+        let (inflight, queue_depth, draining) = {
+            let st = self.gate.lock();
+            (st.inflight, st.waiting, st.draining)
+        };
+        let pressure = *self.pressure.lock().unwrap_or_else(|e| e.into_inner());
+        let hits = self.cache.hits();
+        let misses = self.cache.misses();
+        let lookups = hits + misses;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        };
+        let snap = self.metrics.snapshot();
+        format!(
+            "{{\"uptime_micros\":{},\"inflight\":{inflight},\"queue_depth\":{queue_depth},\"draining\":{draining},\"pressure\":{pressure},\"epoch\":{},\"requests\":{},\"shed\":{},\"errors\":{},\"interrupted\":{},\"slow_queries\":{},\"traces_kept\":{},\"postmortems\":{},\"cache_entries\":{},\"cache_bytes\":{},\"cache_hit_rate\":{hit_rate:.4},\"resident_bytes\":{},\"peak_resident_bytes\":{}}}",
+            self.started.elapsed().as_micros(),
+            self.snapshot().epoch(),
+            snap.counter(names::SERVE_REQUESTS),
+            snap.counter(names::SERVE_SHED),
+            snap.counter(names::SERVE_ERRORS),
+            snap.counter(names::SERVE_INTERRUPTED),
+            snap.counter(names::SERVE_SLOW_QUERIES),
+            snap.counter(names::SERVE_TRACES_KEPT),
+            snap.counter(names::SERVE_POSTMORTEMS),
+            self.cache.len(),
+            self.cache.resident_bytes(),
+            self.meter.used(),
+            self.peak_resident.load(Ordering::Relaxed).max(self.meter.used()),
+        )
     }
 }
 
@@ -303,7 +484,9 @@ pub struct DrainReport {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     addr: SocketAddr,
+    telemetry_addr: Option<SocketAddr>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    telemetry_thread: Option<std::thread::JoinHandle<()>>,
     conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
 }
 
@@ -336,8 +519,15 @@ pub fn start(structure: Structure, config: ServerConfig) -> std::io::Result<Serv
     );
     let writer = DeltaStructure::new(structure);
     let published = RwLock::new(writer.snapshot());
+    let traces = TraceLog::new(config.trace_path.as_deref())?;
+    let mint_seed = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5eed)
+        | 1;
     let shared = Arc::new(Shared {
-        gate: Gate::new(config.max_inflight, config.queue),
+        gate: Gate::new(config.max_inflight, config.queue, &metrics),
+        sampler: TailSampler::new(config.trace_sample, config.trace_seed),
         config,
         writer: Mutex::new(writer),
         published,
@@ -345,14 +535,29 @@ pub fn start(structure: Structure, config: ServerConfig) -> std::io::Result<Serv
         covers: Arc::new(CoverStore::default()),
         cache,
         meter,
+        latency: metrics.histogram(names::SERVE_LATENCY_MICROS, &pow2_buckets(31)),
         metrics,
         cancel: CancelToken::new(),
         shutdown: AtomicBool::new(false),
         accept_stop: AtomicBool::new(false),
         pressure: Mutex::new(0),
         peak_resident: AtomicU64::new(0),
+        recorder: Arc::new(FlightRecorder::new(512)),
+        traces,
+        started: Instant::now(),
+        mint_seed,
+        trace_seq: AtomicU64::new(0),
+        postmortem_seq: AtomicU64::new(0),
     });
     let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let (telemetry_addr, telemetry_thread) = match shared.config.telemetry_addr.clone() {
+        Some(taddr) => {
+            let (a, t) = telemetry::start(&taddr, shared.clone())?;
+            (Some(a), Some(t))
+        }
+        None => (None, None),
+    };
 
     let accept_shared = shared.clone();
     let accept_conns = conns.clone();
@@ -363,7 +568,9 @@ pub fn start(structure: Structure, config: ServerConfig) -> std::io::Result<Serv
     Ok(ServerHandle {
         shared,
         addr,
+        telemetry_addr,
         accept_thread: Some(accept_thread),
+        telemetry_thread,
         conns,
     })
 }
@@ -404,9 +611,20 @@ fn accept_loop(
 }
 
 /// Sheds a connection accepted during drain: one shed frame, then close.
+/// The connection never carried a request line, so the frame's `id` is
+/// the `"-"` placeholder (the trace id is still minted — the refusal is
+/// observable in the flight recorder).
 fn refuse(mut stream: TcpStream, shared: &Shared) {
     shared.metrics.counter(names::SERVE_SHED).inc();
-    let _ = writeln!(stream, "{}", shed_frame(shared.config.retry_after_ms));
+    let tc = shared.mint_trace("-");
+    shared
+        .recorder
+        .event("connection.refused", format!("trace={}", tc.trace_id));
+    let _ = writeln!(
+        stream,
+        "{}",
+        shed_frame("-", &tc.trace_id, shared.config.retry_after_ms)
+    );
 }
 
 /// Reads lines across read timeouts without losing partial data
@@ -483,38 +701,48 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
 }
 
 /// Admission + evaluation of one request line; returns the frame.
+/// Every path mints a [`TraceContext`] first, so each frame the server
+/// emits for this line — result, error, or shed — carries the same
+/// `trace_id`.
 fn serve_line(line: &str, shared: &Arc<Shared>) -> String {
     let m = &shared.metrics;
     let req = match parse_request(line) {
         Ok(r) => r,
         Err(f) => {
+            let tc = shared.mint_trace(&f.id);
             m.counter(names::SERVE_ERRORS).inc();
-            return error_frame(&f.id, f.class, None, &f.message);
+            shared.recorder.event(
+                "request.rejected",
+                format!("trace={} class={}", tc.trace_id, f.class),
+            );
+            return error_frame(&f.id, &tc.trace_id, f.class, None, &f.message);
         }
     };
+    let tc = shared.mint_trace(&req.id);
     // Watermark first: under sustained pressure the ladder ends in shed,
     // which must not consume a gate slot.
     let (shed_for_memory, use_cache) = shared.apply_pressure();
     if shed_for_memory {
         m.counter(names::SERVE_SHED).inc();
-        return shed_frame(shared.config.retry_after_ms);
+        return shed_frame(&req.id, &tc.trace_id, shared.config.retry_after_ms);
     }
     match shared.gate.enter() {
         Admission::Shed => {
             m.counter(names::SERVE_SHED).inc();
-            shed_frame(shared.config.retry_after_ms)
+            shared
+                .recorder
+                .event("request.shed", format!("trace={}", tc.trace_id));
+            shed_frame(&req.id, &tc.trace_id, shared.config.retry_after_ms)
         }
         Admission::Admitted => {
             m.counter(names::SERVE_REQUESTS).inc();
-            let inflight = shared.gate.lock().inflight;
-            m.gauge(names::SERVE_INFLIGHT).set_max(inflight as u64);
             let frame = if req.mode.is_mutation() {
-                apply_update(&req, shared)
+                apply_update(&req, &tc, shared)
             } else {
                 // Snapshot-consistent read: the epoch is pinned here, at
                 // admission, and held for the whole evaluation.
                 let snapshot = shared.snapshot();
-                evaluate_request(&req, use_cache, &snapshot, shared)
+                evaluate_request(&req, &tc, use_cache, &snapshot, shared)
             };
             shared.gate.exit();
             frame
@@ -530,7 +758,7 @@ fn serve_line(line: &str, shared: &Arc<Shared>) -> String {
 /// snapshot; entries they re-insert under the retired fingerprint are
 /// bounded by the caches' capacity and age out via their normal
 /// eviction.
-fn apply_update(req: &Request, shared: &Arc<Shared>) -> String {
+fn apply_update(req: &Request, tc: &TraceContext, shared: &Arc<Shared>) -> String {
     let m = &shared.metrics;
     let ops: Vec<TupleOp> = req
         .ops
@@ -549,7 +777,7 @@ fn apply_update(req: &Request, shared: &Arc<Shared>) -> String {
     match writer.apply(&ops) {
         Err(e) => {
             m.counter(names::SERVE_ERRORS).inc();
-            error_frame(&req.id, "mutation", None, &e.to_string())
+            error_frame(&req.id, &tc.trace_id, "mutation", None, &e.to_string())
         }
         Ok(info) => {
             let epoch = info.epoch;
@@ -570,17 +798,28 @@ fn apply_update(req: &Request, shared: &Arc<Shared>) -> String {
             m.counter(names::SERVE_TUPLES_CHANGED)
                 .add(info.changed as u64);
             let micros = t0.elapsed().as_micros() as u64;
-            m.histogram(names::SERVE_LATENCY_MICROS, &pow2_buckets(31))
-                .observe(micros);
-            update_frame(&req.id, req.mode, epoch, info.changed, micros)
+            shared.latency.observe(micros);
+            shared.recorder.event(
+                "update.commit",
+                format!(
+                    "trace={} epoch={epoch} changed={}",
+                    tc.trace_id, info.changed
+                ),
+            );
+            update_frame(&req.id, &tc.trace_id, req.mode, epoch, info.changed, micros)
         }
     }
 }
 
 /// Clamps the request's budget, builds the evaluator, runs it isolated,
-/// and renders the response frame.
+/// and renders the response frame. When tracing is on, the whole span
+/// tree of the session is captured in a per-request [`MemorySink`] and
+/// the tail sampler decides afterwards — once the outcome is known —
+/// whether to keep it (always for errors / panics / interruptions /
+/// slow queries; 1-in-N for the rest).
 fn evaluate_request(
     req: &Request,
+    tc: &TraceContext,
     use_cache: bool,
     snapshot: &Arc<Structure>,
     shared: &Arc<Shared>,
@@ -593,7 +832,8 @@ fn evaluate_request(
     };
     let mut budget = Budget::unlimited()
         .with_deadline(deadline)
-        .with_cancel(shared.cancel.clone());
+        .with_cancel(shared.cancel.clone())
+        .with_trace(tc.clone());
     match (req.fuel, cfg.max_fuel) {
         (Some(f), Some(cap)) => budget = budget.with_fuel(f.min(cap)),
         (Some(f), None) => budget = budget.with_fuel(f),
@@ -619,24 +859,56 @@ fn evaluate_request(
         builder = builder.cache(false);
     }
     builder = builder.shared_covers(shared.covers.clone());
+    // Span capture: a per-request memory sink (the candidate trace) and
+    // the server-wide flight recorder (the last-moments ring). Attached
+    // only when tracing is on — sinks are what enable span recording,
+    // so `tracing: false` keeps the request on the spans-disabled fast
+    // path.
+    let spans = cfg.tracing.then(MemorySink::shared);
+    if let Some(s) = &spans {
+        builder = builder.sink(s.clone()).sink(shared.recorder.clone());
+    }
     let ev = match builder.build() {
         Ok(ev) => ev,
         Err(e) => {
             m.counter(names::SERVE_ERRORS).inc();
-            return error_frame(&req.id, "config", None, &e.to_string());
+            return error_frame(&req.id, &tc.trace_id, "config", None, &e.to_string());
         }
     };
 
     let t0 = Instant::now();
-    let outcome = run_isolated(|| run_query(&ev, req, snapshot));
+    // A worker panic is the flight recorder's moment: dump the ring
+    // before the error frame is even rendered, while the evidence of
+    // what led up to it is still in the buffer.
+    let outcome = run_isolated_observed(
+        || run_query(&ev, req, snapshot),
+        |p| {
+            shared.postmortem(
+                "panic",
+                &format!("worker panic in trace {}: {}", tc.trace_id, p.payload),
+            );
+        },
+    );
     let micros = t0.elapsed().as_micros() as u64;
-    m.histogram(names::SERVE_LATENCY_MICROS, &pow2_buckets(31))
-        .observe(micros);
-    match outcome {
-        Ok(answer) => result_frame(&req.id, req.mode, answer, snapshot.epoch(), micros),
+    shared.latency.observe(micros);
+    let (frame, outcome_label) = match outcome {
+        Ok(answer) => (
+            result_frame(
+                &req.id,
+                &tc.trace_id,
+                req.mode,
+                answer,
+                snapshot.epoch(),
+                micros,
+            ),
+            "ok",
+        ),
         Err(Fault::Error(RequestError::Parse(msg))) => {
             m.counter(names::SERVE_ERRORS).inc();
-            error_frame(&req.id, "parse", None, &msg)
+            (
+                error_frame(&req.id, &tc.trace_id, "parse", None, &msg),
+                "error",
+            )
         }
         Err(Fault::Error(RequestError::Engine(e))) => {
             m.counter(names::SERVE_ERRORS).inc();
@@ -645,29 +917,83 @@ fn evaluate_request(
                 if shared.draining() && i.reason == TripReason::Cancelled {
                     m.counter(names::SERVE_DRAIN_INTERRUPTED).inc();
                 }
-                error_frame(
-                    &req.id,
+                (
+                    error_frame(
+                        &req.id,
+                        &tc.trace_id,
+                        "interrupted",
+                        Some(&i.reason.to_string()),
+                        &e.to_string(),
+                    ),
                     "interrupted",
-                    Some(&i.reason.to_string()),
-                    &e.to_string(),
                 )
             } else {
                 // Panics contained below the engine boundary (the
                 // evaluators' own isolation) surface as
-                // `WorkerPanicked`; count them with the ones caught by
-                // `run_isolated` here.
-                if matches!(e, Error::WorkerPanicked { .. }) {
+                // `WorkerPanicked`; count them — and dump a postmortem —
+                // just like the ones caught by `run_isolated` here.
+                let label = if matches!(e, Error::WorkerPanicked { .. }) {
                     m.counter(names::SERVE_PANICS).inc();
-                }
-                error_frame(&req.id, classify(&e), None, &e.to_string())
+                    shared.postmortem(
+                        "panic",
+                        &format!("worker panic in trace {}: {e}", tc.trace_id),
+                    );
+                    "panic"
+                } else {
+                    "error"
+                };
+                (
+                    error_frame(&req.id, &tc.trace_id, classify(&e), None, &e.to_string()),
+                    label,
+                )
             }
         }
         Err(Fault::Panic(p)) => {
             m.counter(names::SERVE_ERRORS).inc();
             m.counter(names::SERVE_PANICS).inc();
-            error_frame(&req.id, "panic", None, &p.payload)
+            (
+                error_frame(&req.id, &tc.trace_id, "panic", None, &p.payload),
+                "panic",
+            )
+        }
+    };
+    let slow = micros >= shared.slow_threshold_micros();
+    if slow {
+        m.counter(names::SERVE_SLOW_QUERIES).inc();
+    }
+    if let Some(sink) = &spans {
+        // Tail decision: anomalous outcomes are always kept, the rest
+        // ride the seeded 1-in-N sampler.
+        let anomalous = outcome_label != "ok" || slow;
+        let sampled = if anomalous {
+            "tail"
+        } else if shared.sampler.keep_random() {
+            "random"
+        } else {
+            ""
+        };
+        if sampled.is_empty() {
+            m.counter(names::SERVE_TRACES_DROPPED).inc();
+        } else {
+            m.counter(names::SERVE_TRACES_KEPT).inc();
+            let label = if slow && outcome_label == "ok" {
+                "slow"
+            } else {
+                outcome_label
+            };
+            shared.traces.emit(trace_line(
+                tc,
+                req.mode.name(),
+                &req.query,
+                snapshot.epoch(),
+                micros,
+                label,
+                sampled,
+                &sink.spans(),
+            ));
         }
     }
+    frame
 }
 
 /// Why one request failed below the panic boundary.
@@ -718,6 +1044,25 @@ impl ServerHandle {
         self.addr
     }
 
+    /// The bound telemetry address, when a scrape listener was
+    /// configured (resolves `:0` to the actual port).
+    pub fn telemetry_addr(&self) -> Option<SocketAddr> {
+        self.telemetry_addr
+    }
+
+    /// The kept traces still in the in-memory ring (one JSON line per
+    /// trace, oldest first). The same lines go to
+    /// `ServerConfig::trace_path` when configured.
+    pub fn recent_traces(&self) -> Vec<String> {
+        self.shared.traces.recent()
+    }
+
+    /// The flight recorder: the ring of recent span closures and
+    /// events behind postmortem dumps.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.shared.recorder
+    }
+
     /// The server's metrics registry (`server.*`, plus the shared
     /// cache's `cache.*` / `engine.cache.evictions` mirrors).
     pub fn metrics(&self) -> &Metrics {
@@ -746,13 +1091,19 @@ impl ServerHandle {
         let m = &self.shared.metrics;
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.gate.start_drain();
+        self.shared.recorder.event("drain", "drain started");
         let deadline = t0 + self.shared.config.drain_timeout;
         let leftover = self.shared.gate.wait_idle(deadline);
         if leftover > 0 {
             // Past the deadline: pull the cancel token so in-flight
             // guards trip at their next check, then wait again (briefly
             // unbounded — a guard-checked evaluation always observes the
-            // token).
+            // token). That interruption is a postmortem moment: dump
+            // the flight recorder before the evidence scrolls away.
+            self.shared.postmortem(
+                "drain",
+                &format!("drain deadline passed with {leftover} requests in flight"),
+            );
             self.shared.cancel.cancel();
             self.shared
                 .gate
@@ -760,6 +1111,9 @@ impl ServerHandle {
         }
         self.shared.accept_stop.store(true, Ordering::Release);
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.telemetry_thread.take() {
             let _ = t.join();
         }
         let handles: Vec<_> = {
@@ -793,6 +1147,9 @@ impl Drop for ServerHandle {
         self.shared.cancel.cancel();
         self.shared.accept_stop.store(true, Ordering::Release);
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.telemetry_thread.take() {
             let _ = t.join();
         }
         let handles: Vec<_> = {

@@ -1,0 +1,123 @@
+//! The telemetry listener: a second TCP socket answering minimal
+//! HTTP/1.x `GET`s so standard scrapers can observe a running server
+//! without touching the query socket (or its admission gate — a scrape
+//! never competes with requests for a slot).
+//!
+//! Hand-rolled on `std::net` like the rest of the crate: the workspace
+//! takes no dependencies, and the surface is three fixed routes:
+//!
+//! * `GET /metrics` — the metrics registry in Prometheus text
+//!   exposition format ([`foc_obs::render_prometheus`]);
+//! * `GET /healthz` — liveness that is drain- and pressure-aware:
+//!   `200` while serving, `503` once draining or when the memory
+//!   ladder has escalated to the shed rung;
+//! * `GET /stats` — a one-line JSON snapshot of live state (in-flight
+//!   count, queue depth, structure epoch, cache occupancy and hit
+//!   rate, pressure rung, uptime) — the feed behind `foc top`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use foc_obs::names;
+
+use crate::server::Shared;
+
+/// Binds `addr` and spawns the scrape loop. Returns the resolved
+/// address (for `:0` binds) and the thread handle; the loop exits when
+/// the server's `accept_stop` flag flips during drain.
+pub(crate) fn start(
+    addr: &str,
+    shared: Arc<Shared>,
+) -> std::io::Result<(SocketAddr, std::thread::JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let thread = std::thread::spawn(move || scrape_loop(&listener, &shared));
+    Ok((local, thread))
+}
+
+fn scrape_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.telemetry_stop() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = answer(stream, shared);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Reads one request head and writes one response. Scrapes are served
+/// inline on the listener thread — bodies are small and built from
+/// atomics, so the bound is the 250 ms read timeout per connection, and
+/// a stalled scraper can never wedge the query path (separate socket,
+/// separate thread, no gate).
+fn answer(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(250)))?;
+    stream.set_nodelay(true).ok();
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 4096 {
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    let text = String::from_utf8_lossy(&head);
+    let mut parts = text.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+    let (status, ctype, body) = if method != "GET" {
+        (
+            405,
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        route(path, shared)
+    };
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )
+}
+
+fn route(path: &str, shared: &Arc<Shared>) -> (u16, &'static str, String) {
+    match path {
+        "/metrics" => {
+            shared
+                .metrics()
+                .counter(names::SERVE_TELEMETRY_SCRAPES)
+                .inc();
+            (
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                foc_obs::render_prometheus(&shared.metrics().snapshot()),
+            )
+        }
+        "/healthz" => shared.healthz(),
+        "/stats" => (200, "application/json", shared.stats_json()),
+        _ => (404, "text/plain; charset=utf-8", "not found\n".to_string()),
+    }
+}

@@ -560,3 +560,285 @@ fn proto_mismatch_and_bad_mutations_are_structured_errors() {
 
     handle.drain();
 }
+
+/// One minimal HTTP GET against the telemetry listener; returns
+/// `(status, body)`.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    use std::io::Read;
+    let mut stream = TcpStream::connect(addr).expect("telemetry connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// ISSUE 7, satellite 3: every request-scoped response frame — result,
+/// update ack, error (bad-request, panic, interrupted), shed — echoes
+/// the client's `id` and carries a server-minted `trace_id`; the ids
+/// are distinct across requests; and the deadline-tripped request's
+/// full trace is tail-sampled without any tracing configuration.
+#[test]
+fn every_response_frame_echoes_id_and_trace_id() {
+    let handle = start(
+        path(12),
+        ServerConfig {
+            engine: EngineKind::Naive,
+            fault_panic_element: Some(3),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    let mut c = Client::connect(handle.addr());
+
+    let mut trace_ids = std::collections::BTreeSet::new();
+    let mut check = |frame: &str, id: &str, ty: &str| -> String {
+        assert_eq!(field(frame, "type"), Some(ty), "frame: {frame}");
+        assert_eq!(field(frame, "id"), Some(id), "frame: {frame}");
+        let tid = field(frame, "trace_id")
+            .unwrap_or_else(|| panic!("no trace_id on frame: {frame}"))
+            .to_string();
+        assert!(!tid.is_empty(), "empty trace_id: {frame}");
+        assert!(trace_ids.insert(tid.clone()), "trace_id reused: {frame}");
+        tid
+    };
+
+    // Query result.
+    let f = c.roundtrip(r##"{"id":"q1","mode":"eval","query":"#(x,y). E(x,y)"}"##);
+    check(&f, "q1", "result");
+    // Mutation ack.
+    let f = c.roundtrip(r#"{"id":"u1","mode":"update","op":"insert","rel":"E","tuple":[0,5]}"#);
+    check(&f, "u1", "result");
+    // Bad request (valid JSON, bad field): the id still echoes.
+    let f = c.roundtrip(r#"{"id":"b1","mode":"warp","query":"true"}"#);
+    check(&f, "b1", "error");
+    // Contained worker panic.
+    let f = c.roundtrip(r##"{"id":"p1","mode":"eval","query":"#(x,y). E(x,y)","engine":"local"}"##);
+    let tid = check(&f, "p1", "error");
+    assert_eq!(field(&f, "class"), Some("panic"), "frame: {f}");
+    let panic_tid = tid;
+    // Deadline interruption.
+    let f = c.roundtrip(r##"{"id":"d1","mode":"eval","query":"#(x,y). E(x,y)","timeout_ms":0}"##);
+    let deadline_tid = check(&f, "d1", "error");
+    assert_eq!(field(&f, "class"), Some("interrupted"), "frame: {f}");
+
+    // Tail sampling needs no configuration: the panicked and the
+    // deadline-tripped requests' traces were both kept, joined to the
+    // frames by trace_id, carrying the query text and epoch.
+    let traces = handle.recent_traces();
+    let deadline_trace = traces
+        .iter()
+        .find(|t| t.contains(&format!("\"trace_id\":\"{deadline_tid}\"")))
+        .unwrap_or_else(|| panic!("no sampled trace for {deadline_tid}: {traces:?}"));
+    assert!(deadline_trace.contains("\"outcome\":\"interrupted\""));
+    assert!(deadline_trace.contains("\"sampled\":\"tail\""));
+    assert!(deadline_trace.contains("#(x,y). E(x,y)"), "query text kept");
+    assert!(
+        deadline_trace.contains("\"epoch\":1"),
+        "epoch kept (post-update)"
+    );
+    assert!(
+        traces
+            .iter()
+            .any(|t| t.contains(&format!("\"trace_id\":\"{panic_tid}\""))),
+        "panicked request's trace kept"
+    );
+
+    // Shed frames carry the id too: hold the only slot, then overflow.
+    let handle2 = start(
+        clique(40),
+        ServerConfig {
+            max_inflight: 1,
+            queue: 0,
+            engine: EngineKind::Naive,
+            max_timeout: Duration::from_secs(120),
+            drain_timeout: Duration::from_millis(200),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start 2");
+    let mut slow = Client::connect(handle2.addr());
+    slow.send(
+        r##"{"id":"slow","mode":"eval","query":"#(x1,x2,x3,x4). (E(x1,x2) & E(x2,x3) & E(x3,x4))"}"##,
+    );
+    std::thread::sleep(Duration::from_millis(150));
+    let mut c2 = Client::connect(handle2.addr());
+    let f = c2.roundtrip(r##"{"id":"s1","mode":"check","query":"exists x. E(x,x)"}"##);
+    assert_eq!(field(&f, "type"), Some("shed"), "frame: {f}");
+    assert_eq!(field(&f, "id"), Some("s1"), "frame: {f}");
+    assert!(
+        field(&f, "trace_id").is_some_and(|t| !t.is_empty()),
+        "frame: {f}"
+    );
+    // The drain-interrupted straggler's error frame echoes ids as well.
+    let drainer = std::thread::spawn(move || handle2.drain());
+    let f = slow.recv();
+    assert_eq!(field(&f, "type"), Some("error"), "frame: {f}");
+    assert_eq!(field(&f, "id"), Some("slow"), "frame: {f}");
+    assert!(
+        field(&f, "trace_id").is_some_and(|t| !t.is_empty()),
+        "frame: {f}"
+    );
+    drainer.join().expect("drain");
+
+    handle.drain();
+}
+
+/// ISSUE 7 acceptance: `GET /metrics` returns a valid exposition while
+/// 8 concurrent clients are mid-request; `/healthz` flips once drain
+/// starts; `/stats` reports the live in-flight count.
+#[test]
+fn telemetry_scrapes_while_eight_clients_are_midrequest() {
+    let handle = start(
+        clique(30),
+        ServerConfig {
+            max_inflight: 8,
+            queue: 8,
+            engine: EngineKind::Naive,
+            max_timeout: Duration::from_secs(120),
+            drain_timeout: Duration::from_millis(300),
+            telemetry_addr: Some("127.0.0.1:0".to_string()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    let addr = handle.addr();
+    let taddr = handle.telemetry_addr().expect("telemetry bound");
+
+    // 8 clients, each parked in a deliberately huge naive evaluation
+    // (30^4 assignments) that only drain's cancellation will end.
+    let clients: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                c.send(&format!(
+                    r##"{{"id":"busy-{i}","mode":"eval","query":"#(x1,x2,x3,x4). (E(x1,x2) & E(x2,x3) & E(x3,x4))"}}"##
+                ));
+                let f = c.recv();
+                assert_eq!(field(&f, "type"), Some("error"), "frame: {f}");
+                assert_eq!(field(&f, "class"), Some("interrupted"), "frame: {f}");
+            })
+        })
+        .collect();
+
+    // Wait until all 8 are actually in flight, via /stats itself.
+    let t0 = std::time::Instant::now();
+    loop {
+        let (status, body) = http_get(taddr, "/stats");
+        assert_eq!(status, 200, "/stats body: {body}");
+        if field(&body, "inflight") == Some("8") {
+            assert_eq!(field(&body, "pressure"), Some("0"), "stats: {body}");
+            assert_eq!(field(&body, "draining"), Some("false"), "stats: {body}");
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "clients never went in flight: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // A healthy scrape while everyone is busy.
+    let (status, body) = http_get(taddr, "/healthz");
+    assert_eq!(status, 200, "healthz: {body}");
+    assert!(body.contains("\"status\":\"ok\""), "healthz: {body}");
+
+    let (status, expo) = http_get(taddr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(expo.contains("# HELP foc_server_requests"), "expo: {expo}");
+    assert!(
+        expo.contains("# TYPE foc_server_inflight gauge"),
+        "expo: {expo}"
+    );
+    assert!(
+        expo.contains("foc_server_inflight 8"),
+        "live gauge in exposition: {}",
+        expo.lines()
+            .filter(|l| l.contains("inflight"))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    );
+    assert!(
+        expo.contains("foc_server_latency_micros_bucket{le=\"+Inf\"}"),
+        "histogram exposition: {expo}"
+    );
+
+    // Unknown routes and non-GETs are structured, not hangs.
+    let (status, _) = http_get(taddr, "/nope");
+    assert_eq!(status, 404);
+
+    // Drain: /healthz flips to 503 while the listener is still up.
+    let drainer = std::thread::spawn(move || handle.drain());
+    let t0 = std::time::Instant::now();
+    loop {
+        let (status, body) = http_get(taddr, "/healthz");
+        if status == 503 && body.contains("draining") {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "healthz never flipped: {status} {body}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let report = drainer.join().expect("drain");
+    assert_eq!(
+        report.interrupted, 8,
+        "all stragglers cancelled at the deadline"
+    );
+    for c in clients {
+        c.join().expect("client");
+    }
+}
+
+/// ISSUE 7 acceptance: killing a worker via the fault-injection hook
+/// leaves a flight-recorder postmortem file on disk whose JSON names
+/// the panic and contains the ring of recent events.
+#[test]
+fn worker_panic_leaves_a_postmortem_file() {
+    let dir = std::env::temp_dir().join(format!("foc-postmortem-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let handle = start(
+        path(12),
+        ServerConfig {
+            engine: EngineKind::Naive,
+            fault_panic_element: Some(3),
+            postmortem_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    let mut c = Client::connect(handle.addr());
+
+    // A healthy request first, so the ring has history to dump.
+    let f = c.roundtrip(r##"{"id":"warm","mode":"eval","query":"#(x,y). E(x,y)"}"##);
+    assert_eq!(field(&f, "type"), Some("result"), "frame: {f}");
+    let f =
+        c.roundtrip(r##"{"id":"boom","mode":"eval","query":"#(x,y). E(x,y)","engine":"local"}"##);
+    assert_eq!(field(&f, "class"), Some("panic"), "frame: {f}");
+    let trace_id = field(&f, "trace_id").expect("trace id").to_string();
+
+    let dump = dir.join("foc-postmortem-panic-0.json");
+    assert!(dump.exists(), "postmortem file written: {}", dump.display());
+    let text = std::fs::read_to_string(&dump).expect("read dump");
+    assert!(text.contains("\"reason\":"), "dump: {text}");
+    assert!(text.contains("worker panic"), "dump: {text}");
+    assert!(text.contains(&trace_id), "dump names the trace: {text}");
+    assert!(text.contains("\"events\": ["), "dump: {text}");
+
+    let report = handle.drain();
+    assert_eq!(report.final_metrics.counter(names::SERVE_POSTMORTEMS), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
