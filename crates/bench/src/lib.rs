@@ -20,6 +20,7 @@
 //! | E12 | parallel cluster evaluation — thread sweep + BENCH_parallel.json |
 //! | E13 | service mode under load — loopback stress + BENCH_serve.json; E13b telemetry on/off overhead + BENCH_telemetry.json |
 //! | E14 | live updates — delta maintenance vs rebuild + BENCH_updates.json |
+//! | E15 | anytime evaluation — quality vs budget curve + BENCH_anytime.json |
 //!
 //! Run them with `cargo run --release -p foc-bench --bin experiments -- all`
 //! (or a subset, e.g. `e3 e6 --quick`).
@@ -27,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod exp_ablation;
+pub mod exp_anytime;
 pub mod exp_covers;
 pub mod exp_decompose;
 pub mod exp_hardness;
@@ -57,11 +59,12 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<Vec<Table>> {
         "e12" => Some(exp_parallel::e12(quick)),
         "e13" => Some(exp_serve::e13(quick)),
         "e14" => Some(exp_updates::e14(quick)),
+        "e15" => Some(exp_anytime::e15(quick)),
         _ => None,
     }
 }
 
 /// All experiment ids in order.
-pub const ALL_EXPERIMENTS: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+pub const ALL_EXPERIMENTS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];

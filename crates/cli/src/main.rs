@@ -136,8 +136,9 @@ usage:
   foc stats   <structure.foc> [--cover-r N]
   foc gen     <tree|grid|path|cycle|star|clique|deg3|gnm> --n N [--seed S] [-o out.foc]
   foc fuzz    [--seed S] [--budget 30s | --iters N] [--corpus DIR] [--replay]
-              [--max-order N] [--no-shrink] [--no-meta] [--case-timeout <ms>]
-              [--updates [--steps N]] [--metrics-json <path>]
+              [--max-order N] [--no-shrink] [--no-meta] [--no-anytime]
+              [--case-timeout <ms>] [--updates [--steps N]]
+              [--metrics-json <path>]
   foc serve   <structure.foc> [--port N] [--max-inflight N] [--queue N]
               [--mem-limit <bytes>] [--drain-timeout <ms>] [--max-timeout <ms>]
               [--max-fuel N] [--engine ...] [--threads N] [--metrics-json <path>]
@@ -165,7 +166,14 @@ options:
                                checks); interrupted runs exit with
                                code 3
   --strict                     surface capability errors instead of
-                               degrading down the engine ladder";
+                               degrading down the engine ladder
+  --anytime                    iterative deepening (check/eval/count/
+                               explain): run weaker passes first and, on
+                               a tripped budget, print the best-so-far
+                               answer with a confidence tag (exact,
+                               lower_bound, partial) instead of exiting
+                               3; exit 3 only when no pass banked an
+                               answer";
 
 /// Flags that take no value (everything else consumes the next arg).
 const BOOL_FLAGS: &[&str] = &[
@@ -177,6 +185,8 @@ const BOOL_FLAGS: &[&str] = &[
     "--no-meta",
     "--no-tracing",
     "--once",
+    "--anytime",
+    "--no-anytime",
 ];
 
 fn run(args: &[String]) -> CliResult {
@@ -334,6 +344,68 @@ fn metrics_sink(args: &[String]) -> Option<Arc<MemorySink>> {
     flag_value(args, "--metrics-json").map(|_| MemorySink::shared())
 }
 
+/// Renders the per-pass table of an `--anytime` run: one row per rung
+/// of the deepening ladder, in execution order.
+fn anytime_table(passes: &[foc_core::PassReport]) -> String {
+    use foc_core::{AnswerValue, PassStatus};
+    let mut s = String::from(
+        "pass    status               value  confidence      micros      fuel  progress\n",
+    );
+    for p in passes {
+        let status = match &p.status {
+            PassStatus::Completed => "completed".to_string(),
+            PassStatus::Aborted => "aborted".to_string(),
+            PassStatus::Tripped(i) => format!("tripped ({})", i.reason),
+            PassStatus::Skipped(r) => format!("skipped ({r})"),
+            PassStatus::Errored(_) => "errored".to_string(),
+        };
+        let value = match p.value {
+            Some(AnswerValue::Bool(b)) => b.to_string(),
+            Some(AnswerValue::Int(i)) => i.to_string(),
+            None => "-".to_string(),
+        };
+        let confidence = p
+            .confidence
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        s.push_str(&format!(
+            "{:<7} {status:<20} {value:>5}  {confidence:<14} {:>7} {:>9}  {}/{}\n",
+            p.pass.name(),
+            p.micros,
+            p.fuel_spent,
+            p.clusters_done,
+            p.clusters_total,
+        ));
+    }
+    s
+}
+
+/// Shared tail of an `--anytime` evaluation: print the tagged answer,
+/// the one-line engine note, and (with `--profile`) the pass table. A
+/// banked answer is a success — exit 0 — even when the budget tripped;
+/// the deepening driver only errs when *no* pass banked anything.
+fn report_anytime<T: std::fmt::Display>(
+    args: &[String],
+    ev: &Evaluator,
+    out: &foc_core::Anytime<T>,
+    elapsed: Duration,
+) {
+    println!("{}", out.value);
+    println!("confidence: {}", out.confidence);
+    match &out.interrupt {
+        Some(i) => eprintln!(
+            "[{:?} engine, {elapsed:?}, best-so-far after {} during {}]",
+            ev.kind(),
+            i.reason,
+            i.phase
+        ),
+        None => eprintln!("[{:?} engine, {elapsed:?}]", ev.kind()),
+    }
+    if has_flag(args, "--profile") {
+        eprint!("{}", anytime_table(&out.passes));
+    }
+}
+
 fn load(path: &str) -> CliResult<Structure> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     Ok(parse_structure(&text).map_err(|e| format!("{path}: {e}"))?)
@@ -360,6 +432,13 @@ fn cmd_check(args: &[String]) -> CliResult {
     }
     let mem = metrics_sink(args);
     let ev = engine_with_sink(args, mem.clone().map(|m| m as Arc<dyn Sink>))?;
+    if has_flag(args, "--anytime") {
+        let t0 = std::time::Instant::now();
+        let out =
+            ev.check_sentence_anytime(&s, &f, &foc_core::AnytimeConfig::default(), None, None)?;
+        report_anytime(args, &ev, &out, t0.elapsed());
+        return Ok(());
+    }
     let mut session = ev.session(&s);
     let t0 = std::time::Instant::now();
     let ans = session.check_sentence(&f)?;
@@ -382,6 +461,13 @@ fn cmd_eval(args: &[String]) -> CliResult {
     }
     let mem = metrics_sink(args);
     let ev = engine_with_sink(args, mem.clone().map(|m| m as Arc<dyn Sink>))?;
+    if has_flag(args, "--anytime") {
+        let t0 = std::time::Instant::now();
+        let out =
+            ev.eval_ground_anytime(&s, &t, &foc_core::AnytimeConfig::default(), None, None)?;
+        report_anytime(args, &ev, &out, t0.elapsed());
+        return Ok(());
+    }
     let mut session = ev.session(&s);
     let t0 = std::time::Instant::now();
     let val = session.eval_ground(&t)?;
@@ -408,6 +494,13 @@ fn cmd_count(args: &[String]) -> CliResult {
     let ev = engine_with_sink(args, mem.clone().map(|m| m as Arc<dyn Sink>))?;
     let t: Arc<foc_logic::Term> =
         Arc::new(foc_logic::Term::Count(vars.into_boxed_slice(), f.clone()));
+    if has_flag(args, "--anytime") {
+        let t0 = std::time::Instant::now();
+        let out =
+            ev.eval_ground_anytime(&s, &t, &foc_core::AnytimeConfig::default(), None, None)?;
+        report_anytime(args, &ev, &out, t0.elapsed());
+        return Ok(());
+    }
     let mut session = ev.session(&s);
     let t0 = std::time::Instant::now();
     let val = session.eval_ground(&t)?;
@@ -430,6 +523,9 @@ fn cmd_explain(args: &[String]) -> CliResult {
     let s = load(path)?;
     let mem = MemorySink::shared();
     let ev = engine_with_sink(args, Some(mem.clone() as Arc<dyn Sink>))?;
+    if has_flag(args, "--anytime") {
+        return explain_anytime(&s, src, &ev, &mem);
+    }
     let mut session = ev.session(&s);
     let t0 = std::time::Instant::now();
     let outcome: Result<String, foc_core::Error> = match parse_formula(src) {
@@ -480,6 +576,56 @@ fn cmd_explain(args: &[String]) -> CliResult {
         Some(i) => Err(CliError::Interrupted(i)),
         None => Ok(()),
     }
+}
+
+/// The `--anytime` arm of `foc explain`: run the deepening driver and
+/// render the per-pass table in place of the single-session profile
+/// (the passes run their own sessions, so there is no one phase table
+/// to print). A banked answer exits 0 even when the budget tripped;
+/// only a zero-progress run keeps the interrupt exit code, after still
+/// rendering whatever spans the attempts produced.
+fn explain_anytime(s: &Structure, src: &str, ev: &Evaluator, mem: &Arc<MemorySink>) -> CliResult {
+    let cfg = foc_core::AnytimeConfig::default();
+    let t0 = std::time::Instant::now();
+    let run = match parse_formula(src) {
+        Ok(f) if f.is_sentence() => ev
+            .check_sentence_anytime(s, &f, &cfg, None, None)
+            .map(|o| (o.value.to_string(), o.confidence, o.passes, o.interrupt)),
+        _ => {
+            let t = parse_term(src).map_err(|e| format!("not a sentence or term: {e}"))?;
+            if !t.is_ground() {
+                return Err("explain needs a sentence or a ground term (no free variables)".into());
+            }
+            ev.eval_ground_anytime(s, &t, &cfg, None, None)
+                .map(|o| (o.value.to_string(), o.confidence, o.passes, o.interrupt))
+        }
+    };
+    let elapsed = t0.elapsed();
+    let (answer, confidence, passes, interrupt) = match run {
+        Ok(out) => out,
+        Err(foc_core::Error::Interrupted(i)) => {
+            println!("answer: interrupted ({i}) — no pass banked an answer");
+            println!("engine: {:?} ({elapsed:?})", ev.kind());
+            println!();
+            println!("span tree:");
+            print!("{}", render_tree(&build_tree(&mem.spans())));
+            return Err(CliError::Interrupted(i));
+        }
+        Err(e) => return Err(e.into()),
+    };
+    println!("answer: {answer}");
+    println!("confidence: {confidence}");
+    if let Some(i) = &interrupt {
+        println!("budget: {i}");
+    }
+    println!("engine: {:?} ({elapsed:?})", ev.kind());
+    println!();
+    println!("passes:");
+    print!("{}", anytime_table(&passes));
+    println!();
+    println!("span tree:");
+    print!("{}", render_tree(&build_tree(&mem.spans())));
+    Ok(())
 }
 
 fn cmd_stats(args: &[String]) -> CliResult {
@@ -654,6 +800,7 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
         corpus_dir: flag_value(args, "--corpus").map(std::path::PathBuf::from),
         injection,
         metamorphic: !has_flag(args, "--no-meta"),
+        anytime: !has_flag(args, "--no-anytime"),
         shrink: !has_flag(args, "--no-shrink"),
         case_deadline,
     };
@@ -847,6 +994,22 @@ fn stats_field<'a>(stats: &'a str, key: &str) -> &'a str {
     rest[..end].trim()
 }
 
+/// A `/stats` body must be one complete one-line JSON object. Anything
+/// else — a truncated read, an empty body, an HTML error page — gets a
+/// clear one-line diagnostic and a nonzero exit instead of a table of
+/// `?` placeholders.
+fn validate_stats(addr: &str, body: &str) -> CliResult<()> {
+    let t = body.trim();
+    if t.starts_with('{') && t.ends_with('}') && t.contains("\"uptime_micros\":") {
+        return Ok(());
+    }
+    let preview: String = t.chars().take(60).collect();
+    Err(CliError::Runtime(format!(
+        "truncated or malformed /stats response from {addr} ({} bytes): {preview:?}",
+        t.len()
+    )))
+}
+
 /// `foc top`: poll a serve telemetry listener's `/stats` endpoint and
 /// print live server state — one compact line per poll, or the full
 /// field table once with `--once`.
@@ -868,6 +1031,7 @@ fn cmd_top(args: &[String]) -> CliResult {
 
     loop {
         let stats = http_get(addr, "/stats")?;
+        validate_stats(addr, &stats)?;
         if once {
             // Full table: every field of the one-line JSON, one per row.
             for field in [
@@ -1142,6 +1306,123 @@ mod tests {
         ]));
         assert!(r.is_ok(), "got {r:?}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn anytime_banks_an_answer_where_plain_interrupts() {
+        let dir = std::env::temp_dir().join(format!("foc-cli-anytime-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.foc");
+        let pstr = path.to_str().unwrap().to_string();
+        run(&argv(&["gen", "grid", "--n", "144", "-o", &pstr])).unwrap();
+        let query = "#(x,y). !(dist(x,y) <= 2)";
+        // The plain run trips its fuel budget and exits 3…
+        let r = run(&argv(&[
+            "eval", &pstr, query, "--engine", "naive", "--fuel", "2000",
+        ]));
+        assert!(matches!(r, Err(CliError::Interrupted(_))), "got {r:?}");
+        // …the same budget under --anytime banks a tagged answer (exit 0).
+        let r = run(&argv(&[
+            "eval",
+            &pstr,
+            query,
+            "--engine",
+            "naive",
+            "--fuel",
+            "2000",
+            "--anytime",
+        ]));
+        assert!(r.is_ok(), "got {r:?}");
+        // `count` takes the same path through the deepening driver.
+        let r = run(&argv(&[
+            "count",
+            &pstr,
+            "!(dist(x,y) <= 2)",
+            "--vars",
+            "x,y",
+            "--engine",
+            "naive",
+            "--fuel",
+            "2000",
+            "--anytime",
+            "--profile",
+        ]));
+        assert!(r.is_ok(), "got {r:?}");
+        // `explain --anytime` renders the pass table and also exits 0.
+        let r = run(&argv(&[
+            "explain",
+            &pstr,
+            query,
+            "--engine",
+            "naive",
+            "--fuel",
+            "2000",
+            "--anytime",
+        ]));
+        assert!(r.is_ok(), "got {r:?}");
+        // An unbounded anytime run is exact and exits 0 too.
+        let r = run(&argv(&[
+            "check",
+            &pstr,
+            "exists x. #(y). E(x,y) >= 4",
+            "--anytime",
+        ]));
+        assert!(r.is_ok(), "got {r:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn top_refused_connection_is_a_runtime_error() {
+        // Bind-then-drop guarantees a port with nothing listening.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let r = run(&argv(&["top", &addr, "--once"]));
+        match r {
+            Err(CliError::Runtime(msg)) => {
+                assert!(msg.contains("cannot connect"), "names the failure: {msg}");
+                assert!(msg.contains(&addr), "names the address: {msg}");
+            }
+            other => panic!("expected a runtime error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn top_truncated_stats_is_a_runtime_error() {
+        use std::io::Read as _;
+        // A fake telemetry listener that answers 200 with a cut-off body.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 512];
+            let _ = conn.read(&mut buf);
+            conn.write_all(b"HTTP/1.1 200 OK\r\nConnection: close\r\n\r\n{\"upti")
+                .unwrap();
+        });
+        let r = run(&argv(&["top", &addr, "--once"]));
+        server.join().unwrap();
+        match r {
+            Err(CliError::Runtime(msg)) => {
+                assert!(
+                    msg.contains("truncated or malformed"),
+                    "names the failure: {msg}"
+                );
+                assert!(!msg.contains('\n'), "one-line diagnostic: {msg:?}");
+            }
+            other => panic!("expected a runtime error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_validation_accepts_real_and_rejects_junk() {
+        let good = "{\"uptime_micros\":1500000,\"inflight\":3,\"cache_hit_rate\":0.7500}";
+        assert!(validate_stats("x", good).is_ok());
+        for bad in ["", "{\"upti", "<html>502</html>", "{\"inflight\":3}"] {
+            assert!(validate_stats("x", bad).is_err(), "should reject {bad:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,907 @@
+//! Anytime evaluation: the deepening driver.
+//!
+//! A tripped deadline or fuel budget used to yield
+//! [`Error::Interrupted`] and discard all partial work. This module
+//! turns every budget into a *quality* knob instead: the query runs
+//! through progressively stronger passes, each pass banks the best
+//! answer it can prove, and when the budget trips the caller receives
+//! the banked answer with a [`Confidence`] tag instead of an error.
+//!
+//! The pass ladder, from weakest to strongest:
+//!
+//! 1. **`sample`** — reference semantics on a sample of the work.
+//!    For a top-level counting term `#(x̄).φ` the sample is a prefix of
+//!    the *assignment space*: elements are processed one at a time,
+//!    each contributing its exact sub-count over the full structure, so
+//!    the accumulated tally is a sound **lower bound** (and the exact
+//!    value if every element completes). For sentences and arithmetic
+//!    terms the sample is an induced-prefix substructure, tagged
+//!    `partial{clusters_done, clusters_total}` (`done == total` means
+//!    the "sample" was the whole structure).
+//! 2. **`local`** — the full locality decomposition + ball enumeration
+//!    engine (skipped when it is already the configured engine). Exact
+//!    on completion.
+//! 3. **`exact`** — the configured engine (usually the cover +
+//!    removal recursion of Section 8.2). Exact on completion; when the
+//!    cover recursion trips mid-way its progress is reported as
+//!    `clusters_done / clusters_total` of the top-level cover.
+//!
+//! A [`TimeManager`] splits the request budget across the passes:
+//! weighted slices for the early passes, everything that remains for
+//! the final one, with per-pass cost estimates (fed back from the
+//! [`CostModel`]'s live histograms) used to skip a pass whose projected
+//! completion exceeds the remaining budget. The sample pass also aborts
+//! its own chunking early when its projection says the full prefix
+//! cannot finish in its slice.
+//!
+//! Determinism: with a fuel-only budget every decision in this module
+//! is a function of the fuel arithmetic, so two identical runs produce
+//! identical best-so-far answers and tags (wall-clock projections are
+//! only consulted when a deadline is armed).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use foc_eval::{Assignment, NaiveEvaluator};
+use foc_guard::{Confidence, Interrupt, PassPlan, Phase, SkipReason, TimeManager, TripReason};
+use foc_logic::{Formula, Term};
+use foc_obs::{names, pow2_buckets, quantile, Counter, Histogram, Metrics};
+use foc_structures::Structure;
+
+use crate::engine::{EngineKind, Evaluator};
+use crate::error::{Error, Result};
+
+/// Tuning for the deepening driver.
+#[derive(Debug, Clone, Copy)]
+pub struct AnytimeConfig {
+    /// Fraction of the remaining budget the `sample` pass may spend.
+    pub sample_weight: f64,
+    /// Fraction of the remaining budget the `local` pass may spend
+    /// (only present on the cover ladder).
+    pub local_weight: f64,
+    /// Universe fraction for induced-prefix samples (sentences and
+    /// non-counting terms).
+    pub sample_fraction: f64,
+    /// Elements the chunked sample pass processes before its projection
+    /// may abort the pass.
+    pub min_chunk: u64,
+}
+
+impl Default for AnytimeConfig {
+    fn default() -> AnytimeConfig {
+        AnytimeConfig {
+            sample_weight: 0.3,
+            local_weight: 0.4,
+            sample_fraction: 0.25,
+            min_chunk: 4,
+        }
+    }
+}
+
+/// Which rung of the pass ladder a report describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PassKind {
+    /// Reference semantics on a sample of the work.
+    Sample,
+    /// Full evaluation with the locality engine.
+    Local,
+    /// Full evaluation with the configured engine.
+    Exact,
+}
+
+impl PassKind {
+    /// The wire/rendering name: `"sample"`, `"local"` or `"exact"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PassKind::Sample => "sample",
+            PassKind::Local => "local",
+            PassKind::Exact => "exact",
+        }
+    }
+}
+
+/// How one pass ended.
+#[derive(Debug, Clone)]
+pub enum PassStatus {
+    /// The pass ran its full computation.
+    Completed,
+    /// The pass's own projection said the full computation cannot fit
+    /// in its slice, so it stopped early with what it had banked.
+    Aborted,
+    /// The pass's guard tripped.
+    Tripped(Interrupt),
+    /// The time manager declined to start the pass.
+    Skipped(SkipReason),
+    /// The pass hit a non-budget error (recorded; a later pass decides
+    /// whether it is fatal).
+    Errored(String),
+}
+
+/// A best-so-far value: Boolean for sentences, integer for terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnswerValue {
+    /// A model-checking verdict.
+    Bool(bool),
+    /// A counting-term value.
+    Int(i64),
+}
+
+/// What one pass of a deepening run did.
+#[derive(Debug, Clone)]
+pub struct PassReport {
+    /// The rung.
+    pub pass: PassKind,
+    /// How the pass ended.
+    pub status: PassStatus,
+    /// The value the pass banked, if any.
+    pub value: Option<AnswerValue>,
+    /// The confidence of that value.
+    pub confidence: Option<Confidence>,
+    /// Wall time the pass spent, in microseconds.
+    pub micros: u64,
+    /// Fuel the pass spent.
+    pub fuel_spent: u64,
+    /// Work units completed (sample elements, or top-level cover
+    /// clusters for the exact pass).
+    pub clusters_done: u64,
+    /// Total work units of the pass.
+    pub clusters_total: u64,
+}
+
+/// The outcome of a deepening run: the best answer any pass proved,
+/// tagged with how much it is worth.
+#[derive(Debug, Clone)]
+pub struct Anytime<T> {
+    /// The best-so-far answer.
+    pub value: T,
+    /// How trustworthy it is.
+    pub confidence: Confidence,
+    /// One report per pass, in ladder order.
+    pub passes: Vec<PassReport>,
+    /// The budget trip that prevented an exact answer, if any.
+    pub interrupt: Option<Interrupt>,
+}
+
+impl<T> Anytime<T> {
+    /// Total fuel spent across the passes.
+    pub fn fuel_spent(&self) -> u64 {
+        self.passes.iter().map(|p| p.fuel_spent).sum()
+    }
+}
+
+/// Live per-pass cost history: completed-pass wall times feed the
+/// histograms, and the time manager reads quantile estimates back out.
+/// Share one model across requests (the server holds one per process)
+/// so estimates reflect the deployed workload.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    sample: Histogram,
+    local: Histogram,
+    exact: Histogram,
+    runs: Counter,
+    exact_runs: Counter,
+    degraded: Counter,
+    skipped: Counter,
+}
+
+/// Completed passes a histogram must hold before its estimates are
+/// trusted.
+const MIN_OBSERVATIONS: u64 = 3;
+
+impl CostModel {
+    /// Resolves the model's instruments from a metrics registry.
+    pub fn new(m: &Metrics) -> CostModel {
+        let buckets = pow2_buckets(32);
+        CostModel {
+            sample: m.histogram(names::ANYTIME_PASS_SAMPLE_MICROS, &buckets),
+            local: m.histogram(names::ANYTIME_PASS_LOCAL_MICROS, &buckets),
+            exact: m.histogram(names::ANYTIME_PASS_EXACT_MICROS, &buckets),
+            runs: m.counter(names::ANYTIME_RUNS),
+            exact_runs: m.counter(names::ANYTIME_EXACT),
+            degraded: m.counter(names::ANYTIME_DEGRADED),
+            skipped: m.counter(names::ANYTIME_PASS_SKIPPED),
+        }
+    }
+
+    fn histogram(&self, pass: PassKind) -> &Histogram {
+        match pass {
+            PassKind::Sample => &self.sample,
+            PassKind::Local => &self.local,
+            PassKind::Exact => &self.exact,
+        }
+    }
+
+    /// Records a completed pass's wall time.
+    pub fn record(&self, pass: PassKind, micros: u64) {
+        self.histogram(pass).observe(micros);
+    }
+
+    /// The p75 of the pass's observed wall times, once enough history
+    /// exists to be worth trusting.
+    pub fn estimate(&self, pass: PassKind) -> Option<Duration> {
+        let h = self.histogram(pass);
+        if h.count() < MIN_OBSERVATIONS {
+            return None;
+        }
+        quantile(&h.snapshot(), 0.75).map(Duration::from_micros)
+    }
+}
+
+/// The query being deepened.
+#[derive(Clone, Copy)]
+enum QueryRef<'q> {
+    Sentence(&'q Arc<Formula>),
+    Ground(&'q Arc<Term>),
+}
+
+/// What one executed (not skipped) pass produced.
+struct PassRun {
+    status: PassStatus,
+    banked: Option<(AnswerValue, Confidence)>,
+    fuel_spent: u64,
+    clusters_done: u64,
+    clusters_total: u64,
+}
+
+impl Evaluator {
+    /// Anytime model checking: like [`Evaluator::check_sentence`], but a
+    /// budget trip returns the best-so-far verdict with its confidence
+    /// tag instead of [`Error::Interrupted`]. Errors only when no pass
+    /// banked anything before the budget went, or on a real (semantic /
+    /// capability) evaluation error.
+    pub fn check_sentence_anytime(
+        &self,
+        a: &Structure,
+        f: &Arc<Formula>,
+        cfg: &AnytimeConfig,
+        model: Option<&CostModel>,
+        on_pass: Option<&mut dyn FnMut(&PassReport)>,
+    ) -> Result<Anytime<bool>> {
+        let out = self.deepen(a, QueryRef::Sentence(f), cfg, model, on_pass)?;
+        Ok(Anytime {
+            value: match out.value {
+                AnswerValue::Bool(b) => b,
+                AnswerValue::Int(v) => v != 0,
+            },
+            confidence: out.confidence,
+            passes: out.passes,
+            interrupt: out.interrupt,
+        })
+    }
+
+    /// Anytime ground-term evaluation: like [`Evaluator::eval_ground`],
+    /// but a budget trip returns the best-so-far value (a sound lower
+    /// bound for top-level counting terms) with its confidence tag.
+    pub fn eval_ground_anytime(
+        &self,
+        a: &Structure,
+        t: &Arc<Term>,
+        cfg: &AnytimeConfig,
+        model: Option<&CostModel>,
+        on_pass: Option<&mut dyn FnMut(&PassReport)>,
+    ) -> Result<Anytime<i64>> {
+        let out = self.deepen(a, QueryRef::Ground(t), cfg, model, on_pass)?;
+        Ok(Anytime {
+            value: match out.value {
+                AnswerValue::Int(v) => v,
+                AnswerValue::Bool(b) => i64::from(b),
+            },
+            confidence: out.confidence,
+            passes: out.passes,
+            interrupt: out.interrupt,
+        })
+    }
+
+    /// The deepening loop: plan a slice, run a pass, bank its answer,
+    /// stop at the first exact completion or when the budget is gone.
+    fn deepen(
+        &self,
+        a: &Structure,
+        q: QueryRef<'_>,
+        cfg: &AnytimeConfig,
+        model: Option<&CostModel>,
+        mut on_pass: Option<&mut dyn FnMut(&PassReport)>,
+    ) -> Result<Anytime<AnswerValue>> {
+        let mut tm = TimeManager::new(self.budget().deadline, self.budget().fuel);
+        if !tm.bounded() {
+            // Nothing to split: a single exact pass (a cancel token can
+            // still trip it, but with no banked fallback that surfaces
+            // as the interrupt it is).
+            let t0 = Instant::now();
+            let run = self.full_pass(a, q, self.kind(), None);
+            let report = report_of(PassKind::Exact, &run, t0.elapsed());
+            return match run.status {
+                PassStatus::Completed => {
+                    let (value, confidence) = run
+                        .banked
+                        .unwrap_or((AnswerValue::Int(0), Confidence::Exact));
+                    if let Some(cb) = on_pass.as_deref_mut() {
+                        cb(&report);
+                    }
+                    Ok(Anytime {
+                        value,
+                        confidence,
+                        passes: vec![report],
+                        interrupt: None,
+                    })
+                }
+                PassStatus::Tripped(i) => Err(Error::Interrupted(i)),
+                PassStatus::Errored(_) => {
+                    // Re-run through the plain entry point so the caller
+                    // sees the original error value, not a rendering.
+                    Err(self.plain_error(a, q))
+                }
+                PassStatus::Aborted | PassStatus::Skipped(_) => unreachable!("full pass"),
+            };
+        }
+
+        if let Some(m) = model {
+            m.runs.inc();
+        }
+        let ladder: Vec<(PassKind, EngineKind)> = match self.kind() {
+            EngineKind::Naive => vec![
+                (PassKind::Sample, EngineKind::Naive),
+                (PassKind::Exact, EngineKind::Naive),
+            ],
+            EngineKind::Local => vec![
+                (PassKind::Sample, EngineKind::Naive),
+                (PassKind::Exact, EngineKind::Local),
+            ],
+            EngineKind::Cover => vec![
+                (PassKind::Sample, EngineKind::Naive),
+                (PassKind::Local, EngineKind::Local),
+                (PassKind::Exact, EngineKind::Cover),
+            ],
+        };
+
+        let mut best: Option<(AnswerValue, Confidence)> = None;
+        let mut reports: Vec<PassReport> = Vec::with_capacity(ladder.len());
+        let mut last_trip: Option<Interrupt> = None;
+        let mut last_error: Option<String> = None;
+
+        for (i, &(pk, ek)) in ladder.iter().enumerate() {
+            let is_final = i + 1 == ladder.len();
+            let weight = match pk {
+                PassKind::Sample => cfg.sample_weight,
+                PassKind::Local => cfg.local_weight,
+                PassKind::Exact => 1.0,
+            };
+            // A final pass with nothing banked yet runs regardless of
+            // what the projection says — a slim chance beats none.
+            let estimate = if is_final && best.is_none() {
+                None
+            } else {
+                model.and_then(|m| m.estimate(pk))
+            };
+            let plan = match tm.plan(weight, estimate, is_final) {
+                Ok(p) => p,
+                Err(reason) => {
+                    if let Some(m) = model {
+                        m.skipped.inc();
+                    }
+                    let report = PassReport {
+                        pass: pk,
+                        status: PassStatus::Skipped(reason),
+                        value: None,
+                        confidence: None,
+                        micros: 0,
+                        fuel_spent: 0,
+                        clusters_done: 0,
+                        clusters_total: 0,
+                    };
+                    if let Some(cb) = on_pass.as_deref_mut() {
+                        cb(&report);
+                    }
+                    reports.push(report);
+                    continue;
+                }
+            };
+            let t0 = Instant::now();
+            let run = match pk {
+                PassKind::Sample => self.sample_pass(a, q, &plan, cfg),
+                PassKind::Local | PassKind::Exact => self.full_pass(a, q, ek, Some(&plan)),
+            };
+            let elapsed = t0.elapsed();
+            tm.record_fuel(run.fuel_spent);
+            if matches!(run.status, PassStatus::Completed) {
+                if let Some(m) = model {
+                    m.record(pk, elapsed.as_micros() as u64);
+                }
+            }
+            match &run.status {
+                PassStatus::Tripped(intr) => last_trip = Some(*intr),
+                PassStatus::Errored(msg) => {
+                    if is_final {
+                        // The strongest pass failed for real: surface the
+                        // original error rather than masking it with a
+                        // weaker pass's banked answer.
+                        return Err(self.plain_error(a, q));
+                    }
+                    last_error = Some(msg.clone());
+                }
+                _ => {}
+            }
+            if let Some((v, c)) = run.banked {
+                let better = match &best {
+                    None => true,
+                    Some((_, old)) => c.rank() >= old.rank(),
+                };
+                if better {
+                    best = Some((v, c));
+                }
+            }
+            let done = best.as_ref().map(|(_, c)| c.is_exact()).unwrap_or(false);
+            let report = report_of(pk, &run, elapsed);
+            if let Some(cb) = on_pass.as_deref_mut() {
+                cb(&report);
+            }
+            reports.push(report);
+            if done {
+                break;
+            }
+        }
+
+        match best {
+            Some((value, confidence)) => {
+                if let Some(m) = model {
+                    if confidence.is_exact() {
+                        m.exact_runs.inc();
+                    } else {
+                        m.degraded.inc();
+                    }
+                }
+                let interrupt = if confidence.is_exact() {
+                    None
+                } else {
+                    Some(last_trip.unwrap_or_else(|| self.synthetic_trip(&tm)))
+                };
+                Ok(Anytime {
+                    value,
+                    confidence,
+                    passes: reports,
+                    interrupt,
+                })
+            }
+            None => {
+                if last_error.is_some() {
+                    // Every pass that ran failed with a real error;
+                    // surface the original error value.
+                    return Err(self.plain_error(a, q));
+                }
+                Err(Error::Interrupted(
+                    last_trip.unwrap_or_else(|| self.synthetic_trip(&tm)),
+                ))
+            }
+        }
+    }
+
+    /// Re-runs the query through the plain entry point to recover the
+    /// original error value (full passes keep only a rendering).
+    fn plain_error(&self, a: &Structure, q: QueryRef<'_>) -> Error {
+        let r = match q {
+            QueryRef::Sentence(f) => self.check_sentence(a, f).map(|_| ()),
+            QueryRef::Ground(t) => self.eval_ground(a, t).map(|_| ()),
+        };
+        match r {
+            Err(e) => e,
+            Ok(()) => {
+                Error::Unsupported("anytime pass failed but plain evaluation succeeded".into())
+            }
+        }
+    }
+
+    /// An [`Interrupt`] for runs where the time manager spent the whole
+    /// budget on skipped plans before any guard could trip.
+    fn synthetic_trip(&self, tm: &TimeManager) -> Interrupt {
+        let reason = match tm.remaining_fuel() {
+            Some(0) => TripReason::Fuel,
+            _ => TripReason::Deadline,
+        };
+        Interrupt {
+            reason,
+            phase: Phase::Engine,
+            fuel_spent: 0,
+        }
+    }
+
+    /// One full-evaluation pass under a budget slice.
+    fn full_pass(
+        &self,
+        a: &Structure,
+        q: QueryRef<'_>,
+        kind: EngineKind,
+        plan: Option<&PassPlan>,
+    ) -> PassRun {
+        let mut ev = self.clone();
+        ev.config.kind = kind;
+        if let Some(p) = plan {
+            ev.budget.deadline = p.deadline;
+            ev.budget.fuel = p.fuel;
+        }
+        let mut session = ev.session(a);
+        let r = match q {
+            QueryRef::Sentence(f) => session.check_sentence(f).map(AnswerValue::Bool),
+            QueryRef::Ground(t) => session.eval_ground(t).map(AnswerValue::Int),
+        };
+        let stats = session.stats();
+        let fuel_spent = session.fuel_spent();
+        match r {
+            Ok(v) => PassRun {
+                status: PassStatus::Completed,
+                banked: Some((v, Confidence::Exact)),
+                fuel_spent,
+                clusters_done: stats.clusters_done,
+                clusters_total: stats.clusters_total,
+            },
+            Err(Error::Interrupted(i)) => PassRun {
+                status: PassStatus::Tripped(i),
+                banked: None,
+                fuel_spent,
+                clusters_done: stats.clusters_done,
+                clusters_total: stats.clusters_total,
+            },
+            Err(e) => PassRun {
+                status: PassStatus::Errored(e.to_string()),
+                banked: None,
+                fuel_spent,
+                clusters_done: stats.clusters_done,
+                clusters_total: stats.clusters_total,
+            },
+        }
+    }
+
+    /// The `sample` pass: reference semantics on a sample of the work,
+    /// guarded by the pass slice.
+    fn sample_pass(
+        &self,
+        a: &Structure,
+        q: QueryRef<'_>,
+        plan: &PassPlan,
+        cfg: &AnytimeConfig,
+    ) -> PassRun {
+        let n = u64::from(a.order());
+        if n == 0 {
+            // Nothing to sample; the full passes handle the degenerate
+            // structure.
+            return PassRun {
+                status: PassStatus::Completed,
+                banked: None,
+                fuel_spent: 0,
+                clusters_done: 0,
+                clusters_total: 0,
+            };
+        }
+        if let QueryRef::Ground(t) = q {
+            if let Term::Count(vars, body) = &**t {
+                if !vars.is_empty() {
+                    return self.sample_count(a, vars, body, plan, cfg);
+                }
+            }
+        }
+        self.sample_induced(a, q, plan, cfg)
+    }
+
+    /// Chunked lower-bound accumulation for a top-level counting term:
+    /// split `#(x₁,…,x_k).φ` by the first counted variable and add up
+    /// per-element sub-counts, each computed exactly over the *full*
+    /// structure — every processed element makes the banked tally a
+    /// sound lower bound, and processing all of them makes it exact.
+    fn sample_count(
+        &self,
+        a: &Structure,
+        vars: &[foc_logic::Var],
+        body: &Arc<Formula>,
+        plan: &PassPlan,
+        cfg: &AnytimeConfig,
+    ) -> PassRun {
+        let n = u64::from(a.order());
+        let mut budget = self.budget().clone();
+        budget.deadline = plan.deadline;
+        budget.fuel = plan.fuel;
+        let guard = budget.arm();
+        let mut nev = NaiveEvaluator::new(a, self.predicates());
+        nev.set_guard(guard.clone());
+        let inner: Option<Arc<Term>> = (vars.len() > 1).then(|| {
+            Arc::new(Term::Count(
+                vars[1..].to_vec().into_boxed_slice(),
+                body.clone(),
+            ))
+        });
+        let x0 = vars[0];
+        let mut env = Assignment::new();
+        let mut sum: i64 = 0;
+        let mut done: u64 = 0;
+        let mut status = PassStatus::Completed;
+        let t0 = Instant::now();
+        for e in a.universe() {
+            // Projection: when even double the slice cannot cover the
+            // remaining elements at the observed per-element rate, stop
+            // chunking and bank what we have (wall-clock slices only —
+            // fuel-only budgets stay deterministic).
+            if let Some(slice) = plan.deadline {
+                if done >= cfg.min_chunk {
+                    let projected = t0.elapsed().mul_f64(n as f64 / done as f64);
+                    if projected > slice.saturating_mul(2) {
+                        status = PassStatus::Aborted;
+                        break;
+                    }
+                }
+            }
+            let prev = env.bind(x0, e);
+            let r = match &inner {
+                Some(t) => nev.eval_term(t, &mut env),
+                None => nev.check(body, &mut env).map(i64::from),
+            };
+            env.restore(x0, prev);
+            match r {
+                Ok(v) => {
+                    sum = sum.saturating_add(v);
+                    done += 1;
+                }
+                Err(e) => {
+                    let err: Error = e.into();
+                    status = match err {
+                        Error::Interrupted(i) => PassStatus::Tripped(i),
+                        other => PassStatus::Errored(other.to_string()),
+                    };
+                    break;
+                }
+            }
+        }
+        let confidence = if done == n {
+            Confidence::Exact
+        } else {
+            Confidence::LowerBound
+        };
+        PassRun {
+            banked: (done > 0 || matches!(status, PassStatus::Completed))
+                .then_some((AnswerValue::Int(sum), confidence)),
+            status,
+            fuel_spent: guard.fuel_spent(),
+            clusters_done: done,
+            clusters_total: n,
+        }
+    }
+
+    /// Induced-prefix sampling for sentences and non-counting terms:
+    /// evaluate on `A[{0,…,k−1}]` and tag the verdict with how much of
+    /// the universe the prefix covered.
+    fn sample_induced(
+        &self,
+        a: &Structure,
+        q: QueryRef<'_>,
+        plan: &PassPlan,
+        cfg: &AnytimeConfig,
+    ) -> PassRun {
+        let n = u64::from(a.order());
+        let k = (((n as f64) * cfg.sample_fraction).ceil() as u64).clamp(1, n);
+        let elems: Vec<u32> = (0..k as u32).collect();
+        let ind = a.induced(&elems);
+        let mut budget = self.budget().clone();
+        budget.deadline = plan.deadline;
+        budget.fuel = plan.fuel;
+        let guard = budget.arm();
+        let mut nev = NaiveEvaluator::new(&ind.structure, self.predicates());
+        nev.set_guard(guard.clone());
+        let r = match q {
+            QueryRef::Sentence(f) => nev.check_sentence(f).map(AnswerValue::Bool),
+            QueryRef::Ground(t) => nev.eval_ground(t).map(AnswerValue::Int),
+        };
+        let fuel_spent = guard.fuel_spent();
+        match r {
+            Ok(v) => {
+                let confidence = if k == n {
+                    Confidence::Exact
+                } else {
+                    Confidence::Partial {
+                        clusters_done: k,
+                        clusters_total: n,
+                    }
+                };
+                PassRun {
+                    status: PassStatus::Completed,
+                    banked: Some((v, confidence)),
+                    fuel_spent,
+                    clusters_done: k,
+                    clusters_total: n,
+                }
+            }
+            Err(e) => {
+                let err: Error = e.into();
+                let status = match err {
+                    Error::Interrupted(i) => PassStatus::Tripped(i),
+                    other => PassStatus::Errored(other.to_string()),
+                };
+                PassRun {
+                    status,
+                    banked: None,
+                    fuel_spent,
+                    clusters_done: 0,
+                    clusters_total: n,
+                }
+            }
+        }
+    }
+}
+
+fn report_of(pass: PassKind, run: &PassRun, elapsed: Duration) -> PassReport {
+    PassReport {
+        pass,
+        status: run.status.clone(),
+        value: run.banked.map(|(v, _)| v),
+        confidence: run.banked.map(|(_, c)| c),
+        micros: elapsed.as_micros() as u64,
+        fuel_spent: run.fuel_spent,
+        clusters_done: run.clusters_done,
+        clusters_total: run.clusters_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foc_logic::build::{and, atom, cnt, dist_le, exists, not, v};
+    use foc_structures::gen::{grid, path};
+
+    fn count_term() -> Arc<Term> {
+        let x = v("ax");
+        let y = v("ay");
+        cnt([x, y], and(dist_le(x, y, 2), not(atom("E", [x, y]))))
+    }
+
+    #[test]
+    fn unbounded_run_is_exact() {
+        let a = grid(6, 6);
+        let t = count_term();
+        let ev = Evaluator::builder()
+            .kind(EngineKind::Local)
+            .build()
+            .unwrap();
+        let exact = ev.eval_ground(&a, &t).unwrap();
+        let out = ev
+            .eval_ground_anytime(&a, &t, &AnytimeConfig::default(), None, None)
+            .unwrap();
+        assert_eq!(out.value, exact);
+        assert!(out.confidence.is_exact());
+        assert!(out.interrupt.is_none());
+    }
+
+    #[test]
+    fn generous_budget_reaches_exact() {
+        let a = grid(6, 6);
+        let t = count_term();
+        let ev = Evaluator::builder()
+            .kind(EngineKind::Cover)
+            .fuel(50_000_000)
+            .build()
+            .unwrap();
+        let exact = Evaluator::builder()
+            .kind(EngineKind::Local)
+            .build()
+            .unwrap()
+            .eval_ground(&a, &t)
+            .unwrap();
+        let out = ev
+            .eval_ground_anytime(&a, &t, &AnytimeConfig::default(), None, None)
+            .unwrap();
+        assert_eq!(out.value, exact);
+        assert!(out.confidence.is_exact(), "got {:?}", out.confidence);
+    }
+
+    #[test]
+    fn tight_fuel_banks_a_lower_bound() {
+        let a = grid(12, 12);
+        let t = count_term();
+        let ev = Evaluator::builder()
+            .kind(EngineKind::Cover)
+            .fuel(2_000)
+            .build()
+            .unwrap();
+        let exact = Evaluator::builder()
+            .kind(EngineKind::Local)
+            .build()
+            .unwrap()
+            .eval_ground(&a, &t)
+            .unwrap();
+        // Plain evaluation trips.
+        assert!(matches!(ev.eval_ground(&a, &t), Err(Error::Interrupted(_))));
+        // Anytime evaluation banks a sound lower bound instead.
+        let out = ev
+            .eval_ground_anytime(&a, &t, &AnytimeConfig::default(), None, None)
+            .unwrap();
+        assert!(!out.confidence.is_exact());
+        assert_eq!(out.confidence, Confidence::LowerBound);
+        assert!(
+            out.value <= exact,
+            "lower bound {} > exact {exact}",
+            out.value
+        );
+        assert!(out.interrupt.is_some());
+        assert!(out.passes.iter().any(|p| p.clusters_done > 0));
+    }
+
+    #[test]
+    fn fuel_runs_are_deterministic() {
+        let a = grid(10, 10);
+        let t = count_term();
+        let run = || {
+            let ev = Evaluator::builder()
+                .kind(EngineKind::Cover)
+                .fuel(1_500)
+                .build()
+                .unwrap();
+            ev.eval_ground_anytime(&a, &t, &AnytimeConfig::default(), None, None)
+                .unwrap()
+        };
+        let o1 = run();
+        let o2 = run();
+        assert_eq!(o1.value, o2.value);
+        assert_eq!(o1.confidence, o2.confidence);
+    }
+
+    #[test]
+    fn sentence_sample_is_partial() {
+        let a = path(40);
+        let x = v("sx");
+        let y = v("sy");
+        let f = exists(x, exists(y, atom("E", [x, y])));
+        let ev = Evaluator::builder()
+            .kind(EngineKind::Local)
+            .fuel(2_000)
+            .build()
+            .unwrap();
+        let out = ev
+            .check_sentence_anytime(&a, &f, &AnytimeConfig::default(), None, None)
+            .unwrap();
+        // The sample pass decided on a prefix; either it reached exact
+        // via a full pass or stayed partial, but the verdict must be the
+        // true one here (a path has edges everywhere).
+        assert!(out.value);
+        match out.confidence {
+            Confidence::Exact => {}
+            Confidence::Partial {
+                clusters_done,
+                clusters_total,
+            } => {
+                assert!(clusters_done >= 1);
+                assert_eq!(clusters_total, 40);
+            }
+            Confidence::LowerBound => panic!("sentences never tag lower_bound"),
+        }
+    }
+
+    #[test]
+    fn cost_model_feeds_estimates() {
+        let m = Metrics::new();
+        let model = CostModel::new(&m);
+        assert!(model.estimate(PassKind::Sample).is_none());
+        for _ in 0..4 {
+            model.record(PassKind::Sample, 1_000);
+        }
+        let est = model.estimate(PassKind::Sample).unwrap();
+        assert!(est >= Duration::from_micros(500));
+    }
+
+    #[test]
+    fn pass_reports_stream_in_ladder_order() {
+        let a = grid(8, 8);
+        let t = count_term();
+        let ev = Evaluator::builder()
+            .kind(EngineKind::Cover)
+            .fuel(40_000)
+            .build()
+            .unwrap();
+        let mut seen: Vec<&'static str> = Vec::new();
+        let mut cb = |r: &PassReport| seen.push(r.pass.name());
+        ev.eval_ground_anytime(&a, &t, &AnytimeConfig::default(), None, Some(&mut cb))
+            .unwrap();
+        assert!(!seen.is_empty());
+        let order = ["sample", "local", "exact"];
+        let mut last = 0;
+        for s in &seen {
+            let pos = order.iter().position(|o| o == s).unwrap();
+            assert!(pos >= last, "out of order: {seen:?}");
+            last = pos;
+        }
+    }
+}

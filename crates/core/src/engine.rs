@@ -84,8 +84,29 @@ pub enum DegradePolicy {
     /// strategy, recording each step in the `engine.degrade.*` counters.
     #[default]
     FallThrough,
+    /// One rung below [`FallThrough`] on the robustness ladder (and one
+    /// above load shedding in the serving stack): capability errors
+    /// fall through exactly as under `FallThrough`, *and* the caller
+    /// has opted into anytime evaluation — budget trips should yield a
+    /// tagged best-so-far answer (see [`crate::anytime`]) instead of
+    /// [`Error::Interrupted`]. The deepening entry points honour the
+    /// opt-in; the plain entry points behave as `FallThrough`.
+    Anytime,
     /// Surface the first capability error instead of degrading.
     Strict,
+}
+
+impl DegradePolicy {
+    /// Whether capability errors walk down the engine ladder.
+    pub fn falls_through(self) -> bool {
+        !matches!(self, DegradePolicy::Strict)
+    }
+
+    /// Whether the caller opted into best-so-far answers on budget
+    /// trips.
+    pub fn is_anytime(self) -> bool {
+        matches!(self, DegradePolicy::Anytime)
+    }
 }
 
 /// Per-phase wall time of one evaluation session.
@@ -129,8 +150,16 @@ pub struct EngineStats {
     /// Closed subformulas resolved by recursive sentence evaluation
     /// (the evaluation-driven form of Lemma 6.5).
     pub sentences_resolved: usize,
-    /// Cover clusters evaluated (cover engine).
+    /// Cover clusters evaluated (cover engine), at every recursion
+    /// depth.
     pub clusters: u64,
+    /// Clusters of the top-level covers (cover engine) — the anytime
+    /// progress denominator.
+    pub clusters_total: u64,
+    /// Top-level clusters fully evaluated (cover engine) — the anytime
+    /// progress numerator; `clusters_done < clusters_total` after an
+    /// interrupted cover evaluation.
+    pub clusters_done: u64,
     /// Neighbourhood covers constructed (cover engine).
     pub covers_built: u64,
     /// Removal surgeries performed (cover engine).
@@ -575,6 +604,8 @@ struct SessionMetrics {
     degrade_naive: Counter,
     interrupted: Counter,
     clusters: Counter,
+    clusters_total: Counter,
+    clusters_done: Counter,
     covers_built: Counter,
     removals: Counter,
     peak_cluster: Gauge,
@@ -596,6 +627,8 @@ impl SessionMetrics {
             degrade_naive: m.counter(names::ENGINE_DEGRADE_NAIVE),
             interrupted: m.counter(names::ENGINE_INTERRUPTED),
             clusters: m.counter(names::COVER_CLUSTERS),
+            clusters_total: m.counter(names::COVER_CLUSTERS_TOTAL),
+            clusters_done: m.counter(names::COVER_CLUSTERS_DONE),
             covers_built: m.counter(names::COVER_BUILT),
             removals: m.counter(names::COVER_REMOVALS),
             peak_cluster: m.gauge(names::COVER_PEAK_CLUSTER),
@@ -658,6 +691,13 @@ impl<'a> Session<'a> {
         self.guard.trace()
     }
 
+    /// Fuel spent by this session so far (the armed guard's counter) —
+    /// the anytime time manager charges each pass with this after the
+    /// pass returns.
+    pub fn fuel_spent(&self) -> u64 {
+        self.guard.fuel_spent()
+    }
+
     /// The session's work counters, assembled from the metrics
     /// registry.
     pub fn stats(&self) -> EngineStats {
@@ -669,6 +709,8 @@ impl<'a> Session<'a> {
             naive_fallbacks: snap.counter(names::ENGINE_FALLBACKS) as usize,
             sentences_resolved: snap.counter(names::ENGINE_SENTENCES) as usize,
             clusters: snap.counter(names::COVER_CLUSTERS),
+            clusters_total: snap.counter(names::COVER_CLUSTERS_TOTAL),
+            clusters_done: snap.counter(names::COVER_CLUSTERS_DONE),
             covers_built: snap.counter(names::COVER_BUILT),
             removals: snap.counter(names::COVER_REMOVALS),
             peak_cluster: snap.gauge(names::COVER_PEAK_CLUSTER) as u32,
@@ -1200,6 +1242,8 @@ impl<'a> Session<'a> {
                 // counters of the nested local evaluators) are recorded
                 // live through the observer.
                 self.metrics.clusters.add(cs.clusters);
+                self.metrics.clusters_total.add(cs.clusters_total);
+                self.metrics.clusters_done.add(cs.clusters_done);
                 self.metrics.covers_built.add(cs.covers_built);
                 self.metrics.removals.add(cs.removals);
                 self.metrics.fallbacks.add(cs.naive_fallbacks);

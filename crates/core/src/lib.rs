@@ -31,6 +31,7 @@
 #![allow(clippy::should_implement_trait)]
 
 pub mod aggregate;
+pub mod anytime;
 pub mod dynamic;
 pub mod engine;
 pub mod enumerate;
@@ -39,6 +40,9 @@ pub mod sql;
 pub mod value;
 
 pub use aggregate::{AvgResult, SumAggregate, Weights};
+pub use anytime::{
+    AnswerValue, Anytime, AnytimeConfig, CostModel, PassKind, PassReport, PassStatus,
+};
 pub use dynamic::{EdgeUpdate, MaintainedTerm};
 pub use engine::{
     DegradePolicy, EngineConfig, EngineKind, EngineStats, Evaluator, EvaluatorBuilder, MarkerDef,
@@ -47,5 +51,6 @@ pub use engine::{
 pub use enumerate::QueryEnumerator;
 pub use error::{Error, Result};
 pub use foc_covers::CoverConfig;
+pub use foc_guard::Confidence;
 pub use foc_guard::{Budget, CancelToken, Interrupt, Phase, TraceContext, TripReason};
 pub use value::Value;

@@ -54,6 +54,21 @@ use foc_structures::{FxHashMap, Structure};
 use crate::cover::{cover_structure, NeighborhoodCover};
 use crate::removal::{remove_element, remove_unary_count, RemovalContext, RemovedCount};
 
+/// Rewrites an interrupt's trip site to [`Phase::Cover`], the phase of
+/// the per-cluster stage it escaped from. Workers poll the shared
+/// budget from whatever micro-phase they are in, so the first phase to
+/// cross the allowance is a scheduling accident; the stage is not.
+/// Non-interrupt errors pass through untouched.
+fn pin_stage_interrupt(e: foc_locality::LocalityError) -> foc_locality::LocalityError {
+    match e {
+        foc_locality::LocalityError::Eval(foc_eval::EvalError::Interrupted(mut i)) => {
+            i.phase = Phase::Cover;
+            foc_locality::LocalityError::Eval(foc_eval::EvalError::Interrupted(i))
+        }
+        other => other,
+    }
+}
+
 /// Work counters for the cover engine.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CoverStats {
@@ -61,6 +76,15 @@ pub struct CoverStats {
     pub covers_built: u64,
     /// Clusters processed.
     pub clusters: u64,
+    /// Clusters of the top-level covers (covers over the evaluator's
+    /// root structure, not the transient recursive substructures),
+    /// summed across the cl-terms evaluated. Denominator for anytime
+    /// progress reporting.
+    pub clusters_total: u64,
+    /// Top-level clusters fully evaluated (all recursive work under
+    /// them included). Numerator for `partial{clusters_done,
+    /// clusters_total}` when the run is interrupted.
+    pub clusters_done: u64,
     /// Removal surgeries performed.
     pub removals: u64,
     /// Counting components that fell back to the reference evaluator.
@@ -135,6 +159,8 @@ struct RemovalPlan {
 struct SharedStats {
     covers_built: AtomicU64,
     clusters: AtomicU64,
+    clusters_total: AtomicU64,
+    clusters_done: AtomicU64,
     removals: AtomicU64,
     naive_fallbacks: AtomicU64,
     peak_cluster: AtomicU64,
@@ -146,6 +172,8 @@ impl SharedStats {
         CoverStats {
             covers_built: self.covers_built.load(Ordering::Relaxed),
             clusters: self.clusters.load(Ordering::Relaxed),
+            clusters_total: self.clusters_total.load(Ordering::Relaxed),
+            clusters_done: self.clusters_done.load(Ordering::Relaxed),
             removals: self.removals.load(Ordering::Relaxed),
             naive_fallbacks: self.naive_fallbacks.load(Ordering::Relaxed),
             peak_cluster: self.peak_cluster.load(Ordering::Relaxed) as u32,
@@ -410,6 +438,14 @@ impl<'a> CoverEvaluator<'a> {
             .cover_nanos
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.stats.covers_built.fetch_add(1, Ordering::Relaxed);
+        if top {
+            // Progress denominator for anytime reporting: the recursion
+            // works per top-level cluster, so "clusters of the root
+            // cover" is the unit `clusters_done` counts in.
+            self.stats
+                .clusters_total
+                .fetch_add(cover.clusters.len() as u64, Ordering::Relaxed);
+        }
         if let Some(sp) = &cover_span {
             sp.record("clusters", cover.clusters.len() as i64);
         }
@@ -419,55 +455,33 @@ impl<'a> CoverEvaluator<'a> {
         // pairs for its own elements only, so writing them back in any
         // order reproduces the sequential result exactly.
         let eval_one = |idx: usize| -> Result<Vec<(u32, i64)>> {
-            self.guard.check(Phase::Cover)?;
-            let cluster = &cover.clusters[idx];
-            let q = &members[idx];
-            if q.is_empty() {
-                return Ok(Vec::new());
+            let pairs = self.eval_one_cluster(b, s, depth, &cover, &members, &cover_handle, idx)?;
+            if top {
+                // Completed one top-level cluster (recursion included):
+                // one unit of anytime progress.
+                self.stats.clusters_done.fetch_add(1, Ordering::Relaxed);
             }
-            self.stats.clusters.fetch_add(1, Ordering::Relaxed);
-            self.stats.max_cluster(cluster.len() as u32);
-            if let Some(o) = &self.obs {
-                o.cluster_size.observe(cluster.len() as u64);
-            }
-            let cluster_span = cover_handle.as_ref().map(|h| {
-                h.child(
-                    "cluster",
-                    &[("size", cluster.len() as i64), ("assigned", q.len() as i64)],
-                )
-            });
-            let cluster_handle = cluster_span.as_ref().map(|sp| sp.handle());
-            if cluster.len() == s.order() as usize {
-                // Degenerate cover (one cluster spans the structure):
-                // at this radius the structure is not locally sparse, so
-                // the removal recursion cannot win — evaluate the
-                // assigned elements by ball enumeration instead.
-                let mut lev = self.local_for(s, cluster_handle.as_ref());
-                let mut pairs = Vec::with_capacity(q.len());
-                for &a in q {
-                    pairs.push((a, lev.eval_basic_at(b, a)?));
-                }
-                return Ok(pairs);
-            }
-            let ind = s.induced(cluster);
-            let vals = self.eval_cluster(b, &ind.structure, depth, cluster_handle.as_ref())?;
-            Ok(q.iter().map(|&a| (a, vals[ind.fwd[&a] as usize])).collect())
+            Ok(pairs)
         };
 
         let idxs: Vec<usize> = (0..cover.clusters.len()).collect();
-        let per_cluster: Vec<Vec<(u32, i64)>> = if threads <= 1 {
+        let per_cluster: Result<Vec<Vec<(u32, i64)>>> = if threads <= 1 {
             // Catch panics here too, so `threads = 1` gives the same
             // structured fault as the parallel path.
-            let mut acc = Vec::with_capacity(idxs.len());
-            for &i in &idxs {
-                let pairs = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| eval_one(i)))
-                    .map_err(|p| foc_locality::LocalityError::WorkerPanicked {
-                        payload: foc_parallel::panic_message(p.as_ref()),
-                        item_index: i,
-                    })??;
-                acc.push(pairs);
-            }
-            acc
+            let run = || {
+                let mut acc = Vec::with_capacity(idxs.len());
+                for &i in &idxs {
+                    let pairs =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| eval_one(i)))
+                            .map_err(|p| foc_locality::LocalityError::WorkerPanicked {
+                            payload: foc_parallel::panic_message(p.as_ref()),
+                            item_index: i,
+                        })??;
+                    acc.push(pairs);
+                }
+                Ok(acc)
+            };
+            run()
         } else {
             // Compute the removal plan up front so workers find it in the
             // cache instead of racing to build it.
@@ -484,7 +498,17 @@ impl<'a> CoverEvaluator<'a> {
                     foc_parallel::Fault::Error(e) => e,
                     foc_parallel::Fault::Panic(p) => p.into(),
                 },
-            )?
+            )
+        };
+        // A budget trip inside the per-cluster stage reports wherever the
+        // crossing worker happened to be (cover recursion, ball
+        // enumeration inside a cluster) — under threads > 1 that micro-
+        // phase depends on scheduling. Pin the stage boundary's phase so
+        // `Interrupt{reason, phase}` is identical across thread counts.
+        let per_cluster = if top {
+            per_cluster.map_err(pin_stage_interrupt)?
+        } else {
+            per_cluster?
         };
 
         let mut out = vec![0i64; s.order() as usize];
@@ -494,6 +518,55 @@ impl<'a> CoverEvaluator<'a> {
             }
         }
         Ok(out)
+    }
+
+    /// One cluster of the per-cluster loop: evaluate the basic cl-term
+    /// for the elements assigned to cluster `idx`, recursing through the
+    /// removal machinery on the induced substructure.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_one_cluster(
+        &self,
+        b: &Arc<BasicClTerm>,
+        s: &Structure,
+        depth: u32,
+        cover: &NeighborhoodCover,
+        members: &[Vec<u32>],
+        cover_handle: &Option<SpanHandle>,
+        idx: usize,
+    ) -> Result<Vec<(u32, i64)>> {
+        self.guard.check(Phase::Cover)?;
+        let cluster = &cover.clusters[idx];
+        let q = &members[idx];
+        if q.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.stats.clusters.fetch_add(1, Ordering::Relaxed);
+        self.stats.max_cluster(cluster.len() as u32);
+        if let Some(o) = &self.obs {
+            o.cluster_size.observe(cluster.len() as u64);
+        }
+        let cluster_span = cover_handle.as_ref().map(|h| {
+            h.child(
+                "cluster",
+                &[("size", cluster.len() as i64), ("assigned", q.len() as i64)],
+            )
+        });
+        let cluster_handle = cluster_span.as_ref().map(|sp| sp.handle());
+        if cluster.len() == s.order() as usize {
+            // Degenerate cover (one cluster spans the structure):
+            // at this radius the structure is not locally sparse, so
+            // the removal recursion cannot win — evaluate the
+            // assigned elements by ball enumeration instead.
+            let mut lev = self.local_for(s, cluster_handle.as_ref());
+            let mut pairs = Vec::with_capacity(q.len());
+            for &a in q {
+                pairs.push((a, lev.eval_basic_at(b, a)?));
+            }
+            return Ok(pairs);
+        }
+        let ind = s.induced(cluster);
+        let vals = self.eval_cluster(b, &ind.structure, depth, cluster_handle.as_ref())?;
+        Ok(q.iter().map(|&a| (a, vals[ind.fwd[&a] as usize])).collect())
     }
 
     /// The removal plan for a basic cl-term (computed once, cached by

@@ -50,6 +50,10 @@ pub struct FuzzConfig {
     /// Run the metamorphic battery on every case (in addition to the
     /// engine matrix).
     pub metamorphic: bool,
+    /// Run the anytime confidence-contract battery on every case: each
+    /// engine kind under fixed fuel budgets, tagged answers checked
+    /// against the oracle (see [`crate::anytime`]).
+    pub anytime: bool,
     /// Shrink divergences before reporting/persisting them.
     pub shrink: bool,
     /// Per-case wall-clock deadline armed on every engine evaluation, so
@@ -73,6 +77,7 @@ impl Default for FuzzConfig {
             corpus_dir: None,
             injection: BugInjection::default(),
             metamorphic: true,
+            anytime: true,
             shrink: true,
             case_deadline: Some(DEFAULT_CASE_DEADLINE),
         }
@@ -154,6 +159,13 @@ fn run_case(case: &Case, cfg: &FuzzConfig, rng: &mut StdRng, metrics: &Metrics) 
             .add(meta_found.len() as u64);
         divergences.extend(meta_found);
     }
+    if cfg.anytime {
+        let (_, anytime_found) = crate::anytime::run_anytime_battery(case);
+        metrics
+            .counter(names::FUZZ_ANYTIME_DIVERGENCES)
+            .add(anytime_found.len() as u64);
+        divergences.extend(anytime_found);
+    }
     divergences
 }
 
@@ -183,9 +195,13 @@ fn report_divergence(
     metrics: &Metrics,
     divergences: Vec<Divergence>,
 ) -> FoundDivergence {
+    // Only matrix divergences drive the shrinker: the metamorphic
+    // battery is randomised and the anytime battery's contract checks
+    // are not part of the shrink predicate, so neither can keep a
+    // candidate red.
     let matrix_only: Vec<&Divergence> = divergences
         .iter()
-        .filter(|d| !d.variant.starts_with("meta:"))
+        .filter(|d| !d.variant.starts_with("meta:") && !d.variant.starts_with("anytime:"))
         .collect();
     let (small, shrink_steps) = if cfg.shrink && !matrix_only.is_empty() {
         minimise(case, cfg, metrics)

@@ -19,6 +19,10 @@
 //!   invariance under random relabelling, double-negation and De Morgan
 //!   rewrites, and the Lemma 6.4 disjoint-union splitting
 //!   `t^{A ⊎ A} = 2 · t^A` for recognisably local counting bodies.
+//! * [`anytime`] pins the anytime driver's confidence contract against
+//!   the same oracle: an `exact` answer must equal it, a `lower_bound`
+//!   must never exceed it, and a `partial` that covered every work unit
+//!   must equal it.
 //! * [`shrink`] greedily minimises a failing case (drop relations →
 //!   remove elements → simplify the formula AST bottom-up).
 //! * [`corpus`] persists shrunk divergences as replayable text files and
@@ -31,6 +35,7 @@
 //! trajectory, the log lines, and the corpus bytes. Wall-clock time is
 //! only ever *measured* (into metrics), never consulted for control flow.
 
+pub mod anytime;
 pub mod corpus;
 pub mod gen;
 pub mod harness;
@@ -39,6 +44,7 @@ pub mod oracle;
 pub mod shrink;
 pub mod updates;
 
+pub use anytime::{contract_violation, run_anytime_battery, ANYTIME_FUEL_BUDGETS};
 pub use corpus::{case_from_str, case_to_string, load_dir, save_case};
 pub use gen::{gen_case, GenConfig};
 pub use harness::{fuzz, replay, FuzzConfig, FuzzReport, DEFAULT_CASE_DEADLINE};

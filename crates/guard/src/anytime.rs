@@ -1,0 +1,352 @@
+//! Anytime-evaluation primitives: confidence tags and the time manager.
+//!
+//! The deepening driver (in `foc-core`) runs a query through
+//! progressively stronger passes and keeps the best answer produced so
+//! far. Two vocabulary types live here, at the bottom of the crate
+//! graph, so every layer (serve frames, diff comparison, CLI rendering)
+//! speaks the same language without depending on the engine:
+//!
+//! * [`Confidence`] — how much an answer is worth: `exact`, a sound
+//!   `lower_bound`, or `partial` progress over a known number of work
+//!   units ("clusters" in the cover engine's sense — for the chunked
+//!   sample pass each element is its own unit cluster);
+//! * [`TimeManager`] — splits one request budget (deadline and/or
+//!   fuel) across the passes, using per-pass cost estimates fed back
+//!   from observed history, and decides when a pass is not worth
+//!   starting because its projected completion exceeds the remaining
+//!   budget.
+//!
+//! The shape follows the iterative-deepening searchers of game engines
+//! (a `Deepening` executor around a `TimeManager`): each pass is bounded
+//! so a trip costs only that pass, never the answers already banked.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How trustworthy a best-so-far answer is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Confidence {
+    /// The answer is the true value: a pass ran the full computation to
+    /// completion.
+    Exact,
+    /// A sound lower bound: every counted witness was verified against
+    /// the *full* structure, but enumeration stopped early, so the true
+    /// value can only be larger.
+    LowerBound,
+    /// An answer computed from a completed subset of the work units.
+    /// When `clusters_done == clusters_total` the subset was the whole
+    /// problem and the answer is exact-equivalent.
+    Partial {
+        /// Work units completed before the budget intervened.
+        clusters_done: u64,
+        /// Total work units the full computation would process.
+        clusters_total: u64,
+    },
+}
+
+impl Confidence {
+    /// The wire tag: `"exact"`, `"lower_bound"` or `"partial"`.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Confidence::Exact => "exact",
+            Confidence::LowerBound => "lower_bound",
+            Confidence::Partial { .. } => "partial",
+        }
+    }
+
+    /// Whether the answer is the true value.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Confidence::Exact)
+    }
+
+    /// Whether the answer covered the whole problem: exact, or partial
+    /// with every work unit done.
+    pub fn is_complete(&self) -> bool {
+        match self {
+            Confidence::Exact => true,
+            Confidence::LowerBound => false,
+            Confidence::Partial {
+                clusters_done,
+                clusters_total,
+            } => clusters_done == clusters_total && *clusters_total > 0,
+        }
+    }
+
+    /// A strict ordering of usefulness: exact beats lower-bound beats
+    /// partial, and among partials more coverage beats less.
+    pub fn rank(&self) -> u64 {
+        match self {
+            Confidence::Exact => u64::MAX,
+            Confidence::LowerBound => u64::MAX - 1,
+            Confidence::Partial {
+                clusters_done,
+                clusters_total,
+            } => {
+                if *clusters_total == 0 {
+                    0
+                } else {
+                    // Scale coverage into [0, 2^32) so it never reaches
+                    // the lower-bound rank.
+                    (clusters_done.saturating_mul(u64::from(u32::MAX))) / clusters_total
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Confidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Confidence::Exact => write!(f, "exact"),
+            Confidence::LowerBound => write!(f, "lower_bound"),
+            Confidence::Partial {
+                clusters_done,
+                clusters_total,
+            } => write!(f, "partial({clusters_done}/{clusters_total})"),
+        }
+    }
+}
+
+/// The slice of the request budget one pass may spend, as decided by
+/// [`TimeManager::plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassPlan {
+    /// Wall-clock slice, if the request carries a deadline.
+    pub deadline: Option<Duration>,
+    /// Fuel slice, if the request carries a fuel budget.
+    pub fuel: Option<u64>,
+}
+
+/// Why the time manager declined to start a pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipReason {
+    /// The request budget is already spent.
+    BudgetExhausted,
+    /// The pass's projected completion time exceeds the remaining
+    /// budget, so starting it would burn budget without finishing.
+    ProjectedOverrun,
+}
+
+impl fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkipReason::BudgetExhausted => write!(f, "budget exhausted"),
+            SkipReason::ProjectedOverrun => write!(f, "projected overrun"),
+        }
+    }
+}
+
+/// Splits one request budget across the passes of a deepening run.
+///
+/// The manager tracks wall-clock spend from its own start instant and
+/// fuel spend as reported by the driver after each pass. [`plan`] hands
+/// each pass a *slice*: a weighted fraction of what remains for
+/// non-final passes, everything that remains for the final pass. When a
+/// cost estimate (from observed pass history) is available and already
+/// exceeds the remaining budget, the pass is skipped outright — the
+/// canonical anytime rule that a pass you cannot finish is a pass you
+/// should not start.
+///
+/// [`plan`]: TimeManager::plan
+#[derive(Debug, Clone)]
+pub struct TimeManager {
+    started: Instant,
+    deadline: Option<Duration>,
+    fuel: Option<u64>,
+    fuel_spent: u64,
+}
+
+/// Floor for any wall-clock slice, so a pass is never armed with a
+/// degenerate budget that trips on its first stride poll.
+const MIN_SLICE: Duration = Duration::from_millis(1);
+
+/// Floor for any fuel slice (one deadline stride's worth of checks).
+const MIN_FUEL_SLICE: u64 = 256;
+
+impl TimeManager {
+    /// A manager for one request budget. `deadline` and `fuel` are the
+    /// request totals; `None` means the resource is unlimited.
+    pub fn new(deadline: Option<Duration>, fuel: Option<u64>) -> TimeManager {
+        TimeManager {
+            started: Instant::now(),
+            deadline,
+            fuel,
+            fuel_spent: 0,
+        }
+    }
+
+    /// Whether any resource is actually bounded — with neither a
+    /// deadline nor fuel there is nothing to split and deepening is
+    /// pointless.
+    pub fn bounded(&self) -> bool {
+        self.deadline.is_some() || self.fuel.is_some()
+    }
+
+    /// Records fuel spent by a finished pass.
+    pub fn record_fuel(&mut self, spent: u64) {
+        self.fuel_spent = self.fuel_spent.saturating_add(spent);
+    }
+
+    /// Wall-clock budget remaining, if bounded.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_sub(self.started.elapsed()))
+    }
+
+    /// Fuel budget remaining, if bounded.
+    pub fn remaining_fuel(&self) -> Option<u64> {
+        self.fuel.map(|f| f.saturating_sub(self.fuel_spent))
+    }
+
+    /// Whether the request budget still has anything left to spend.
+    pub fn exhausted(&self) -> bool {
+        matches!(self.remaining(), Some(d) if d < MIN_SLICE)
+            || matches!(self.remaining_fuel(), Some(f) if f < MIN_FUEL_SLICE)
+    }
+
+    /// Plans the next pass.
+    ///
+    /// `weight` is the fraction of the *remaining* budget a non-final
+    /// pass may spend (clamped to `[0.05, 1.0]`); the final pass gets
+    /// everything left. `estimate` is the pass's projected completion
+    /// time from observed history; when it exceeds the remaining
+    /// wall-clock budget the pass is skipped (`ProjectedOverrun`) —
+    /// except for a final pass with nothing banked yet, where the caller
+    /// should pass `estimate: None` and let it run regardless.
+    pub fn plan(
+        &self,
+        weight: f64,
+        estimate: Option<Duration>,
+        is_final: bool,
+    ) -> Result<PassPlan, SkipReason> {
+        if self.exhausted() {
+            return Err(SkipReason::BudgetExhausted);
+        }
+        let remaining = self.remaining();
+        if let (Some(est), Some(rem)) = (estimate, remaining) {
+            if est > rem {
+                return Err(SkipReason::ProjectedOverrun);
+            }
+        }
+        let w = weight.clamp(0.05, 1.0);
+        let deadline = remaining.map(|rem| {
+            if is_final {
+                rem
+            } else {
+                let mut slice = rem.mul_f64(w);
+                // A reliable estimate smaller than the weighted slice
+                // frees budget for the later, stronger passes; leave
+                // 2x headroom over the estimate for variance.
+                if let Some(est) = estimate {
+                    let padded = est.saturating_mul(2);
+                    if padded < slice {
+                        slice = padded;
+                    }
+                }
+                slice.max(MIN_SLICE)
+            }
+        });
+        let fuel = self.remaining_fuel().map(|rem| {
+            if is_final {
+                rem
+            } else {
+                (((rem as f64) * w) as u64).max(MIN_FUEL_SLICE).min(rem)
+            }
+        });
+        Ok(PassPlan { deadline, fuel })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_and_ranks() {
+        let p = Confidence::Partial {
+            clusters_done: 3,
+            clusters_total: 7,
+        };
+        assert_eq!(Confidence::Exact.tag(), "exact");
+        assert_eq!(Confidence::LowerBound.tag(), "lower_bound");
+        assert_eq!(p.tag(), "partial");
+        assert_eq!(p.to_string(), "partial(3/7)");
+        assert!(Confidence::Exact.rank() > Confidence::LowerBound.rank());
+        assert!(Confidence::LowerBound.rank() > p.rank());
+        let q = Confidence::Partial {
+            clusters_done: 6,
+            clusters_total: 7,
+        };
+        assert!(q.rank() > p.rank());
+    }
+
+    #[test]
+    fn completeness() {
+        assert!(Confidence::Exact.is_complete());
+        assert!(!Confidence::LowerBound.is_complete());
+        assert!(Confidence::Partial {
+            clusters_done: 7,
+            clusters_total: 7
+        }
+        .is_complete());
+        assert!(!Confidence::Partial {
+            clusters_done: 6,
+            clusters_total: 7
+        }
+        .is_complete());
+        assert!(!Confidence::Partial {
+            clusters_done: 0,
+            clusters_total: 0
+        }
+        .is_complete());
+    }
+
+    #[test]
+    fn unbounded_manager_plans_unlimited_passes() {
+        let tm = TimeManager::new(None, None);
+        assert!(!tm.bounded());
+        assert!(!tm.exhausted());
+        let plan = tm.plan(0.25, None, false).unwrap();
+        assert_eq!(plan.deadline, None);
+        assert_eq!(plan.fuel, None);
+    }
+
+    #[test]
+    fn weighted_slices_and_final_pass() {
+        let tm = TimeManager::new(Some(Duration::from_millis(100)), Some(100_000));
+        let p1 = tm.plan(0.25, None, false).unwrap();
+        let d1 = p1.deadline.unwrap();
+        assert!(d1 <= Duration::from_millis(26), "quarter slice, got {d1:?}");
+        let f1 = p1.fuel.unwrap();
+        assert!((MIN_FUEL_SLICE..=26_000).contains(&f1), "got {f1}");
+        let pf = tm.plan(0.25, None, true).unwrap();
+        assert!(pf.deadline.unwrap() > d1, "final pass gets the rest");
+        assert!(pf.fuel.unwrap() >= 99_000);
+    }
+
+    #[test]
+    fn estimate_caps_the_slice() {
+        let tm = TimeManager::new(Some(Duration::from_millis(100)), None);
+        let p = tm.plan(0.5, Some(Duration::from_millis(2)), false).unwrap();
+        // 2x the estimate, well under the 50ms weighted slice.
+        assert!(p.deadline.unwrap() <= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn projected_overrun_skips_the_pass() {
+        let tm = TimeManager::new(Some(Duration::from_millis(10)), None);
+        let err = tm
+            .plan(0.5, Some(Duration::from_millis(50)), false)
+            .unwrap_err();
+        assert_eq!(err, SkipReason::ProjectedOverrun);
+    }
+
+    #[test]
+    fn spent_fuel_exhausts_the_budget() {
+        let mut tm = TimeManager::new(None, Some(1_000));
+        assert!(!tm.exhausted());
+        tm.record_fuel(900);
+        assert!(tm.exhausted(), "less than a stride of fuel left");
+        assert_eq!(tm.plan(0.5, None, false), Err(SkipReason::BudgetExhausted));
+    }
+}

@@ -22,6 +22,10 @@
 
 #![warn(missing_docs)]
 
+pub mod anytime;
+
+pub use anytime::{Confidence, PassPlan, SkipReason, TimeManager};
+
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;

@@ -93,6 +93,8 @@ pub const FUZZ_ENGINE_NANOS: &str = "fuzz.engine_nanos";
 pub const FUZZ_ENGINE_NANOS_PREFIX: &str = "fuzz.engine_nanos.";
 /// Engine evaluations cut short by the per-case fuzz deadline. Counter.
 pub const FUZZ_CASE_TIMEOUTS: &str = "fuzz.case_timeouts";
+/// Anytime confidence-contract violations detected. Counter.
+pub const FUZZ_ANYTIME_DIVERGENCES: &str = "fuzz.anytime_divergences";
 
 /// Requests accepted by the server (admitted past the gate). Counter.
 pub const SERVE_REQUESTS: &str = "server.requests";
@@ -146,3 +148,32 @@ pub const SERVE_SLOW_QUERIES: &str = "server.slow_queries";
 pub const SERVE_TELEMETRY_SCRAPES: &str = "server.telemetry_scrapes";
 /// Flight-recorder postmortem files written. Counter.
 pub const SERVE_POSTMORTEMS: &str = "server.postmortems";
+
+/// Deepening (anytime) runs started. Counter.
+pub const ANYTIME_RUNS: &str = "anytime.runs";
+/// Deepening runs that finished with an exact answer. Counter.
+pub const ANYTIME_EXACT: &str = "anytime.exact";
+/// Deepening runs that returned a degraded (lower-bound or partial)
+/// best-so-far answer. Counter.
+pub const ANYTIME_DEGRADED: &str = "anytime.degraded";
+/// Deepening passes skipped by the time manager (budget exhausted or
+/// projected overrun). Counter.
+pub const ANYTIME_PASS_SKIPPED: &str = "anytime.pass_skipped";
+/// Wall time of completed `sample` passes, in microseconds. Histogram —
+/// the time manager's cost estimate for the pass.
+pub const ANYTIME_PASS_SAMPLE_MICROS: &str = "anytime.pass_micros.sample";
+/// Wall time of completed `local` passes, in microseconds. Histogram.
+pub const ANYTIME_PASS_LOCAL_MICROS: &str = "anytime.pass_micros.local";
+/// Wall time of completed `exact` passes, in microseconds. Histogram.
+pub const ANYTIME_PASS_EXACT_MICROS: &str = "anytime.pass_micros.exact";
+/// Clusters of the top-level covers (the anytime progress
+/// denominator). Counter.
+pub const COVER_CLUSTERS_TOTAL: &str = "cover.clusters_total";
+/// Top-level clusters fully evaluated (the anytime progress
+/// numerator for `partial{clusters_done, clusters_total}`). Counter.
+pub const COVER_CLUSTERS_DONE: &str = "cover.clusters_done";
+/// Anytime requests served (proto 2 `anytime: true`, or forced by the
+/// pressure ladder's anytime rung). Counter.
+pub const SERVE_ANYTIME: &str = "server.anytime";
+/// Progressive `partial` frames streamed to proto-2 clients. Counter.
+pub const SERVE_PARTIAL_FRAMES: &str = "server.partial_frames";

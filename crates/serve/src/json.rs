@@ -46,6 +46,14 @@ impl Value {
         }
     }
 
+    /// The boolean behind this value, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Object field lookup (`None` for missing keys and non-objects).
     pub fn get(&self, key: &str) -> Option<&Value> {
         match self {

@@ -39,7 +39,15 @@
 //! * **Flight recorder** — a fixed-capacity ring of recent span
 //!   closures and events, dumped to a postmortem JSON file on worker
 //!   panic, drain-deadline interruption, or watermark escalation to
-//!   the shed rung (`ServerConfig::postmortem_dir`).
+//!   the shed rung (`ServerConfig::postmortem_dir`);
+//! * **Anytime evaluation** — proto-2 requests with `"anytime":true`
+//!   run through the deepening driver ([`foc_core::anytime`]): each
+//!   completed pass streams a `partial` frame and the terminal result
+//!   carries a confidence tag (`exact` / `lower_bound` / `partial`),
+//!   so a tripped budget returns the best-so-far answer instead of an
+//!   `interrupted` error. The memory-pressure ladder also *forces*
+//!   anytime mode one rung before shedding — degraded answers beat
+//!   refusals.
 //!
 //! The wire protocol is one JSON object per line in each direction; see
 //! [`protocol`].
@@ -54,5 +62,5 @@ pub mod server;
 mod telemetry;
 mod trace;
 
-pub use protocol::{parse_request, Answer, Mode, Request};
+pub use protocol::{parse_request, Answer, Mode, Request, PROTO_PROGRESSIVE, PROTO_VERSION};
 pub use server::{start, DrainReport, ServerConfig, ServerHandle};

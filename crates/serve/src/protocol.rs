@@ -1,8 +1,10 @@
 //! The JSON-lines wire protocol: request parsing and response frames.
 //!
-//! One request per line, one response frame per line, in order. Every
-//! frame in both directions carries `"proto":1`; a request declaring a
-//! different version is refused with a structured
+//! One request per line; responses arrive in request order. Proto 1 is
+//! strictly one frame per request; proto 2 adds *progressive* delivery
+//! for anytime queries — zero or more `partial` frames followed by
+//! exactly one terminal frame (`result`, `error`, or `shed`). A request
+//! declaring any other version is refused with a structured
 //! `{"class":"unsupported_proto"}` error (requests without the field
 //! are treated as proto 1 for backwards compatibility). Every
 //! request-scoped frame (everything except `drained`, which is a
@@ -28,22 +30,42 @@
 //!   panics with `"class":"panic"`);
 //! * `{"type":"shed", "proto":1, "id":…, "trace_id":…,
 //!   "retry_after_ms":…}` — admission control refused the request (or,
-//!   during drain, the connection; then `id` is `"-"`);
+//!   during drain, the connection; then `id` is `"-"`); the hint is
+//!   derived live from queue depth and the latency p99, with
+//!   deterministic per-request jitter;
 //! * `{"type":"drained", "proto":1}` — sent on streams still open when
 //!   the server finishes draining, immediately before the socket
 //!   closes.
+//!
+//! Proto-2 additions (anytime evaluation; see `DESIGN.md` §"Anytime
+//! evaluation"):
+//!
+//! * `{"type":"partial", "proto":2, "id":…, "trace_id":…, "mode":…,
+//!   "pass":"sample"|"local"|"exact", "value":…,
+//!   "confidence":"exact"|"lower_bound"|"partial" [,"clusters_done":…,
+//!   "clusters_total":…], "micros":…}` — one frame per deepening pass
+//!   that banked an answer, streamed while evaluation continues;
+//! * the terminal `result` frame of an anytime request additionally
+//!   carries the same `confidence` (and, for `"partial"`, progress)
+//!   fields — the best-so-far answer when the budget tripped, tagged
+//!   instead of discarded.
 
 use std::time::Duration;
 
-use foc_core::EngineKind;
+use foc_core::{Confidence, EngineKind};
 use foc_obs::report::json_escape;
 
 use crate::json::{parse, Value};
 
-/// The wire-protocol version this build speaks. Stamped on every
-/// outgoing frame; requests may declare it and are refused when it
-/// does not match.
+/// The baseline wire-protocol version: one frame per request. Stamped
+/// on every proto-1 frame; requests declaring an unknown version are
+/// refused.
 pub const PROTO_VERSION: i64 = 1;
+
+/// The progressive dialect: a superset of proto 1 that adds the
+/// `anytime` request flag, `partial` frames, and confidence-tagged
+/// result frames. Clients opt in per request with `"proto":2`.
+pub const PROTO_PROGRESSIVE: i64 = 2;
 
 /// What a request asks for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +117,12 @@ pub struct UpdateOp {
 pub struct Request {
     /// Client-chosen id, echoed on the response (`"-"` if absent).
     pub id: String,
+    /// The protocol dialect the client declared (1 when absent).
+    pub proto: i64,
+    /// Anytime evaluation requested (`"anytime":true`; proto 2 only).
+    /// The server streams a `partial` frame per completed deepening
+    /// pass and tags the terminal result with its confidence.
+    pub anytime: bool,
     /// Check, eval, update, or batch.
     pub mode: Mode,
     /// The query text (a sentence or a ground term; empty for
@@ -169,21 +197,33 @@ pub fn parse_request(line: &str) -> Result<Request, ParseFailure> {
         .unwrap_or("-")
         .to_string();
     let fail = |msg: String| Err(bad(&id, msg));
-    match v.get("proto") {
-        None => {}
+    let proto = match v.get("proto") {
+        None => PROTO_VERSION,
         Some(p) => match p.as_int() {
-            Some(PROTO_VERSION) => {}
+            Some(p @ (PROTO_VERSION | PROTO_PROGRESSIVE)) => p,
             Some(other) => {
                 return Err(ParseFailure {
                     id,
                     class: "unsupported_proto",
                     message: format!(
-                        "protocol version {other} is not supported (this server speaks proto {PROTO_VERSION})"
+                        "protocol version {other} is not supported (this server speaks proto {PROTO_VERSION} and {PROTO_PROGRESSIVE})"
                     ),
                 })
             }
             None => return fail("\"proto\" must be an integer".to_string()),
         },
+    };
+    let anytime = match v.get("anytime") {
+        None => false,
+        Some(b) => match b.as_bool() {
+            Some(x) => x,
+            None => return fail("\"anytime\" must be a boolean".to_string()),
+        },
+    };
+    if anytime && proto < PROTO_PROGRESSIVE {
+        return fail(format!(
+            "\"anytime\" requires proto {PROTO_PROGRESSIVE} (progressive frames)"
+        ));
     }
     let mode = match v.get("mode").and_then(Value::as_str) {
         Some("check") => Mode::Check,
@@ -252,6 +292,8 @@ pub fn parse_request(line: &str) -> Result<Request, ParseFailure> {
     };
     Ok(Request {
         id,
+        proto,
+        anytime,
         mode,
         query,
         ops,
@@ -260,6 +302,21 @@ pub fn parse_request(line: &str) -> Result<Request, ParseFailure> {
         mem_limit,
         engine,
     })
+}
+
+/// Renders the confidence fields shared by `partial` and anytime
+/// `result` frames: `"confidence":…` plus, for partial coverage, the
+/// progress pair.
+fn confidence_fields(c: &Confidence) -> String {
+    match c {
+        Confidence::Partial {
+            clusters_done,
+            clusters_total,
+        } => format!(
+            ",\"confidence\":\"partial\",\"clusters_done\":{clusters_done},\"clusters_total\":{clusters_total}"
+        ),
+        other => format!(",\"confidence\":\"{}\"", other.tag()),
+    }
 }
 
 /// The answer payload of a result frame.
@@ -291,6 +348,60 @@ pub fn result_frame(
         json_escape(id),
         json_escape(trace_id),
         mode.name(),
+    )
+}
+
+/// Renders one progressive `partial` frame (proto 2): the answer a
+/// completed deepening pass banked, streamed while stronger passes are
+/// still running. `micros` is the wall time of that pass alone.
+pub fn partial_frame(
+    id: &str,
+    trace_id: &str,
+    mode: Mode,
+    pass: &str,
+    answer: Answer,
+    confidence: &Confidence,
+    micros: u64,
+) -> String {
+    let value = match answer {
+        Answer::Bool(b) => b.to_string(),
+        Answer::Int(i) => i.to_string(),
+    };
+    format!(
+        "{{\"type\":\"partial\",\"proto\":{PROTO_PROGRESSIVE},\"id\":\"{}\",\"trace_id\":\"{}\",\"mode\":\"{}\",\"pass\":\"{}\",\"value\":{value}{},\"micros\":{micros}}}",
+        json_escape(id),
+        json_escape(trace_id),
+        mode.name(),
+        json_escape(pass),
+        confidence_fields(confidence),
+    )
+}
+
+/// Renders the terminal result frame of an anytime request: the
+/// best-so-far answer with its confidence tag. `proto` echoes the
+/// request's dialect (a forced-anytime proto-1 client still gets a
+/// proto-1 frame; the confidence fields are additive).
+#[allow(clippy::too_many_arguments)]
+pub fn anytime_result_frame(
+    proto: i64,
+    id: &str,
+    trace_id: &str,
+    mode: Mode,
+    answer: Answer,
+    confidence: &Confidence,
+    epoch: u64,
+    micros: u64,
+) -> String {
+    let value = match answer {
+        Answer::Bool(b) => b.to_string(),
+        Answer::Int(i) => i.to_string(),
+    };
+    format!(
+        "{{\"type\":\"result\",\"proto\":{proto},\"id\":\"{}\",\"trace_id\":\"{}\",\"mode\":\"{}\",\"value\":{value}{},\"epoch\":{epoch},\"micros\":{micros}}}",
+        json_escape(id),
+        json_escape(trace_id),
+        mode.name(),
+        confidence_fields(confidence),
     )
 }
 
@@ -406,14 +517,88 @@ mod tests {
 
     #[test]
     fn unknown_proto_versions_are_refused() {
-        let f = parse_request(r#"{"proto":2,"id":"v","mode":"check","query":"true"}"#).unwrap_err();
+        let f = parse_request(r#"{"proto":3,"id":"v","mode":"check","query":"true"}"#).unwrap_err();
         assert_eq!(f.class, "unsupported_proto");
         assert_eq!(f.id, "v");
         assert!(f.message.contains("proto 1"));
         // Absent proto = proto 1 (pre-versioning clients).
-        assert!(parse_request(r#"{"id":"v","mode":"check","query":"x = x"}"#).is_ok());
+        let r = parse_request(r#"{"id":"v","mode":"check","query":"x = x"}"#).unwrap();
+        assert_eq!(r.proto, PROTO_VERSION);
+        assert!(!r.anytime);
         let f = parse_request(r#"{"proto":"x","mode":"check","query":"true"}"#).unwrap_err();
         assert_eq!(f.class, "bad-request");
+    }
+
+    #[test]
+    fn proto_2_negotiates_anytime() {
+        let r = parse_request(
+            r##"{"proto":2,"id":"a","mode":"eval","query":"#(x). x = x","anytime":true}"##,
+        )
+        .unwrap();
+        assert_eq!(r.proto, PROTO_PROGRESSIVE);
+        assert!(r.anytime);
+        // Proto 2 without the flag is plain one-frame service.
+        let r = parse_request(r#"{"proto":2,"id":"b","mode":"check","query":"true"}"#).unwrap();
+        assert!(!r.anytime);
+        // The flag without the dialect is a client bug, not a silent
+        // downgrade.
+        let f = parse_request(r#"{"id":"c","mode":"check","query":"true","anytime":true}"#)
+            .unwrap_err();
+        assert_eq!(f.class, "bad-request");
+        assert!(f.message.contains("proto 2"));
+        let f = parse_request(r#"{"proto":2,"id":"d","mode":"check","query":"true","anytime":1}"#)
+            .unwrap_err();
+        assert!(f.message.contains("boolean"));
+    }
+
+    #[test]
+    fn progressive_frames_render() {
+        let p = partial_frame(
+            "q1",
+            "t9",
+            Mode::Eval,
+            "sample",
+            Answer::Int(41),
+            &Confidence::LowerBound,
+            120,
+        );
+        assert_eq!(
+            p,
+            "{\"type\":\"partial\",\"proto\":2,\"id\":\"q1\",\"trace_id\":\"t9\",\"mode\":\"eval\",\"pass\":\"sample\",\"value\":41,\"confidence\":\"lower_bound\",\"micros\":120}"
+        );
+        let r = anytime_result_frame(
+            2,
+            "q1",
+            "t9",
+            Mode::Eval,
+            Answer::Int(41),
+            &Confidence::Partial {
+                clusters_done: 3,
+                clusters_total: 7,
+            },
+            5,
+            990,
+        );
+        assert!(r.contains("\"confidence\":\"partial\""));
+        assert!(r.contains("\"clusters_done\":3"));
+        assert!(r.contains("\"clusters_total\":7"));
+        assert!(r.contains("\"proto\":2"));
+        let exact = anytime_result_frame(
+            1,
+            "q2",
+            "ta",
+            Mode::Check,
+            Answer::Bool(true),
+            &Confidence::Exact,
+            0,
+            10,
+        );
+        assert!(exact.contains("\"confidence\":\"exact\""));
+        assert!(exact.contains("\"proto\":1"));
+        for f in [&p, &r, &exact] {
+            assert!(!f.contains('\n'));
+            crate::json::parse(f).unwrap_or_else(|e| panic!("unparseable {f}: {e}"));
+        }
     }
 
     #[test]

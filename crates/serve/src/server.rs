@@ -34,7 +34,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant, SystemTime};
 
-use foc_core::{DegradePolicy, EngineKind, Error, Evaluator};
+use foc_core::{
+    AnswerValue, AnytimeConfig, Confidence, CostModel, DegradePolicy, EngineKind, Error, Evaluator,
+    PassReport,
+};
 use foc_covers::CoverStore;
 use foc_guard::{Budget, CancelToken, MemoryMeter, TraceContext, TripReason};
 use foc_locality::{migrate_cache, TermCache};
@@ -47,8 +50,8 @@ use foc_parallel::{run_isolated_observed, Fault};
 use foc_structures::{DeltaStructure, Structure, TupleOp};
 
 use crate::protocol::{
-    drained_frame, error_frame, parse_request, result_frame, shed_frame, update_frame, Answer,
-    Mode, Request,
+    anytime_result_frame, drained_frame, error_frame, parse_request, partial_frame, result_frame,
+    shed_frame, update_frame, Answer, Mode, Request, PROTO_PROGRESSIVE,
 };
 use crate::telemetry;
 use crate::trace::{trace_line, TailSampler, TraceLog};
@@ -127,6 +130,28 @@ impl Default for ServerConfig {
             trace_path: None,
             postmortem_dir: None,
             fault_panic_element: None,
+        }
+    }
+}
+
+/// The admission posture the pressure ladder hands each request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Posture {
+    /// Refuse the request with a shed frame.
+    shed: bool,
+    /// Let the request use the shared memo cache.
+    use_cache: bool,
+    /// Run queries through the anytime driver even when the client did
+    /// not ask (rung 3): a degraded answer beats a refusal.
+    force_anytime: bool,
+}
+
+impl Posture {
+    fn normal() -> Posture {
+        Posture {
+            shed: false,
+            use_cache: true,
+            force_anytime: false,
         }
     }
 }
@@ -273,8 +298,12 @@ pub(crate) struct Shared {
     /// keeps shedding new connections while draining) to exit.
     accept_stop: AtomicBool,
     /// Memory-pressure ladder position: 0 = normal, 1 = cache halved,
-    /// 2 = cache off, 3 = shedding.
+    /// 2 = cache off, 3 = anytime forced (degraded answers over
+    /// refusals), 4 = shedding.
     pressure: Mutex<u8>,
+    /// Live per-pass cost history feeding the anytime time manager's
+    /// slice planning, shared across every request.
+    cost_model: CostModel,
     /// Peak of the server-wide byte account, for reports.
     peak_resident: AtomicU64,
     /// The server latency histogram, resolved once (also feeds the
@@ -298,19 +327,20 @@ pub(crate) struct Shared {
 impl Shared {
     /// Observes the watermark at admission and walks the escalation
     /// ladder one step per over-limit observation: shrink the cache to
-    /// half → evict everything and stop caching → shed. Dropping back
-    /// under the limit resets the ladder (caching resumes). Returns
-    /// `(shed, use_cache)`.
-    fn apply_pressure(&self) -> (bool, bool) {
+    /// half → evict everything and stop caching → force anytime
+    /// evaluation (degraded answers beat refusals) → shed. Dropping
+    /// back under the limit resets the ladder (caching resumes).
+    /// Returns the admission posture for this request.
+    fn apply_pressure(&self) -> Posture {
         let used = self.meter.used();
         self.peak_resident.fetch_max(used, Ordering::Relaxed);
         let Some(limit) = self.config.mem_limit else {
-            return (false, true);
+            return Posture::normal();
         };
         let mut level = self.pressure.lock().unwrap_or_else(|e| e.into_inner());
         if used <= limit {
             *level = 0;
-            return (false, true);
+            return Posture::normal();
         }
         let steps = self.metrics.counter(names::SERVE_PRESSURE_STEPS);
         match *level {
@@ -319,7 +349,11 @@ impl Shared {
                 steps.inc();
                 let target = self.cache.len() / 2;
                 self.cache.shrink_to(target);
-                (false, true)
+                Posture {
+                    shed: false,
+                    use_cache: true,
+                    force_anytime: false,
+                }
             }
             1 => {
                 *level = 2;
@@ -327,16 +361,68 @@ impl Shared {
                 self.cache.shrink_to(0);
                 self.recorder
                     .event("pressure", "rung 2: cache evicted, caching off");
-                (false, false)
+                Posture {
+                    shed: false,
+                    use_cache: false,
+                    force_anytime: false,
+                }
             }
             2 => {
                 *level = 3;
                 steps.inc();
-                self.postmortem("pressure", "memory watermark escalated to the shed rung");
-                (true, false)
+                self.recorder.event(
+                    "pressure",
+                    "rung 3: anytime forced, queries answer best-so-far",
+                );
+                Posture {
+                    shed: false,
+                    use_cache: false,
+                    force_anytime: true,
+                }
             }
-            _ => (true, false),
+            3 => {
+                *level = 4;
+                steps.inc();
+                self.postmortem("pressure", "memory watermark escalated to the shed rung");
+                Posture {
+                    shed: true,
+                    use_cache: false,
+                    force_anytime: true,
+                }
+            }
+            _ => Posture {
+                shed: true,
+                use_cache: false,
+                force_anytime: true,
+            },
         }
+    }
+
+    /// The shed hint, derived live instead of echoing a constant: the
+    /// expected time for the backlog to clear — `(queue_depth + 1) ×
+    /// latency p99` — floored at the configured `retry_after_ms`,
+    /// capped at 5 s, with deterministic ±12.5% jitter keyed on the
+    /// trace id so a shed burst's retries don't re-arrive in lockstep.
+    /// Before the latency histogram has a p99, the configured value is
+    /// the hint (plus jitter).
+    fn retry_after_hint(&self, trace_id: &str) -> u64 {
+        let depth = self.gate.lock().waiting as u64;
+        let p99_ms = quantile(&self.latency.snapshot(), 0.99)
+            .map(|us| (us / 1_000).max(1))
+            .unwrap_or(0);
+        let base = self.config.retry_after_ms.max(1);
+        let hint = (depth + 1)
+            .saturating_mul(p99_ms)
+            .max(base)
+            .min(5_000.max(base));
+        // FNV-1a over the trace id: stable across runs, different per
+        // request.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in trace_id.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        let spread = (hint / 4).max(1);
+        hint - spread / 2 + h % spread
     }
 
     fn draining(&self) -> bool {
@@ -403,8 +489,10 @@ impl Shared {
         self.accept_stop.load(Ordering::Acquire)
     }
 
-    /// The `/healthz` verdict: `200` while serving, `503` once
-    /// draining or when the pressure ladder reached the shed rung.
+    /// The `/healthz` verdict: `200` while serving (including the
+    /// degraded anytime rung, which still answers every request),
+    /// `503` once draining or when the pressure ladder reached the
+    /// shed rung.
     pub(crate) fn healthz(&self) -> (u16, &'static str, String) {
         let pressure = *self.pressure.lock().unwrap_or_else(|e| e.into_inner());
         if self.draining() {
@@ -413,11 +501,17 @@ impl Shared {
                 "application/json",
                 "{\"status\":\"draining\"}".to_string(),
             )
-        } else if pressure >= 3 {
+        } else if pressure >= 4 {
             (
                 503,
                 "application/json",
                 format!("{{\"status\":\"shedding\",\"pressure\":{pressure}}}"),
+            )
+        } else if pressure == 3 {
+            (
+                200,
+                "application/json",
+                format!("{{\"status\":\"degraded\",\"pressure\":{pressure}}}"),
             )
         } else {
             (
@@ -536,6 +630,7 @@ pub fn start(structure: Structure, config: ServerConfig) -> std::io::Result<Serv
         cache,
         meter,
         latency: metrics.histogram(names::SERVE_LATENCY_MICROS, &pow2_buckets(31)),
+        cost_model: CostModel::new(&metrics),
         metrics,
         cancel: CancelToken::new(),
         shutdown: AtomicBool::new(false),
@@ -623,7 +718,7 @@ fn refuse(mut stream: TcpStream, shared: &Shared) {
     let _ = writeln!(
         stream,
         "{}",
-        shed_frame("-", &tc.trace_id, shared.config.retry_after_ms)
+        shed_frame("-", &tc.trace_id, shared.retry_after_hint(&tc.trace_id))
     );
 }
 
@@ -693,18 +788,29 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
                 if line.trim().is_empty() {
                     continue;
                 }
-                let frame = serve_line(&line, shared);
-                writeln!(writer, "{frame}")?;
+                let mut io_err: Option<std::io::Error> = None;
+                serve_line(&line, shared, &mut |frame| {
+                    if io_err.is_none() {
+                        if let Err(e) = writeln!(writer, "{frame}") {
+                            io_err = Some(e);
+                        }
+                    }
+                });
+                if let Some(e) = io_err {
+                    return Err(e);
+                }
             }
         }
     }
 }
 
-/// Admission + evaluation of one request line; returns the frame.
-/// Every path mints a [`TraceContext`] first, so each frame the server
-/// emits for this line — result, error, or shed — carries the same
-/// `trace_id`.
-fn serve_line(line: &str, shared: &Arc<Shared>) -> String {
+/// Admission + evaluation of one request line. Frames go out through
+/// `emit` as they are produced — exactly one terminal frame per line,
+/// preceded by zero or more progressive `partial` frames for anytime
+/// requests. Every path mints a [`TraceContext`] first, so each frame
+/// the server emits for this line — partial, result, error, or shed —
+/// carries the same `trace_id`.
+fn serve_line(line: &str, shared: &Arc<Shared>, emit: &mut dyn FnMut(&str)) {
     let m = &shared.metrics;
     let req = match parse_request(line) {
         Ok(r) => r,
@@ -715,16 +821,22 @@ fn serve_line(line: &str, shared: &Arc<Shared>) -> String {
                 "request.rejected",
                 format!("trace={} class={}", tc.trace_id, f.class),
             );
-            return error_frame(&f.id, &tc.trace_id, f.class, None, &f.message);
+            emit(&error_frame(&f.id, &tc.trace_id, f.class, None, &f.message));
+            return;
         }
     };
     let tc = shared.mint_trace(&req.id);
     // Watermark first: under sustained pressure the ladder ends in shed,
     // which must not consume a gate slot.
-    let (shed_for_memory, use_cache) = shared.apply_pressure();
-    if shed_for_memory {
+    let posture = shared.apply_pressure();
+    if posture.shed {
         m.counter(names::SERVE_SHED).inc();
-        return shed_frame(&req.id, &tc.trace_id, shared.config.retry_after_ms);
+        emit(&shed_frame(
+            &req.id,
+            &tc.trace_id,
+            shared.retry_after_hint(&tc.trace_id),
+        ));
+        return;
     }
     match shared.gate.enter() {
         Admission::Shed => {
@@ -732,20 +844,24 @@ fn serve_line(line: &str, shared: &Arc<Shared>) -> String {
             shared
                 .recorder
                 .event("request.shed", format!("trace={}", tc.trace_id));
-            shed_frame(&req.id, &tc.trace_id, shared.config.retry_after_ms)
+            emit(&shed_frame(
+                &req.id,
+                &tc.trace_id,
+                shared.retry_after_hint(&tc.trace_id),
+            ));
         }
         Admission::Admitted => {
             m.counter(names::SERVE_REQUESTS).inc();
-            let frame = if req.mode.is_mutation() {
-                apply_update(&req, &tc, shared)
+            if req.mode.is_mutation() {
+                let frame = apply_update(&req, &tc, shared);
+                emit(&frame);
             } else {
                 // Snapshot-consistent read: the epoch is pinned here, at
                 // admission, and held for the whole evaluation.
                 let snapshot = shared.snapshot();
-                evaluate_request(&req, &tc, use_cache, &snapshot, shared)
-            };
+                evaluate_request(&req, &tc, posture, &snapshot, shared, emit);
+            }
             shared.gate.exit();
-            frame
         }
     }
 }
@@ -812,20 +928,27 @@ fn apply_update(req: &Request, tc: &TraceContext, shared: &Arc<Shared>) -> Strin
 }
 
 /// Clamps the request's budget, builds the evaluator, runs it isolated,
-/// and renders the response frame. When tracing is on, the whole span
-/// tree of the session is captured in a per-request [`MemorySink`] and
-/// the tail sampler decides afterwards — once the outcome is known —
-/// whether to keep it (always for errors / panics / interruptions /
-/// slow queries; 1-in-N for the rest).
+/// and emits the response frames. Anytime requests (`"anytime":true`,
+/// or any query while the pressure ladder sits on the force-anytime
+/// rung) run through the deepening driver: each completed pass streams
+/// a `partial` frame to proto-2 clients and the terminal result carries
+/// the confidence tag. When tracing is on, the whole span tree of the
+/// session is captured in a per-request [`MemorySink`] and the tail
+/// sampler decides afterwards — once the outcome is known — whether to
+/// keep it (always for errors / panics / interruptions / slow queries;
+/// 1-in-N for the rest).
 fn evaluate_request(
     req: &Request,
     tc: &TraceContext,
-    use_cache: bool,
+    posture: Posture,
     snapshot: &Arc<Structure>,
     shared: &Arc<Shared>,
-) -> String {
+    emit: &mut dyn FnMut(&str),
+) {
     let cfg = &shared.config;
     let m = &shared.metrics;
+    let use_cache = posture.use_cache;
+    let anytime = req.anytime || posture.force_anytime;
     let deadline = match req.timeout {
         Some(t) => t.min(cfg.max_timeout),
         None => cfg.max_timeout,
@@ -850,7 +973,11 @@ fn evaluate_request(
     let mut builder = Evaluator::builder()
         .kind(req.engine.unwrap_or(cfg.engine))
         .threads(cfg.threads)
-        .degrade(DegradePolicy::FallThrough)
+        .degrade(if anytime {
+            DegradePolicy::Anytime
+        } else {
+            DegradePolicy::FallThrough
+        })
         .budget(budget)
         .fault_panic_element(cfg.fault_panic_element);
     if use_cache {
@@ -872,16 +999,32 @@ fn evaluate_request(
         Ok(ev) => ev,
         Err(e) => {
             m.counter(names::SERVE_ERRORS).inc();
-            return error_frame(&req.id, &tc.trace_id, "config", None, &e.to_string());
+            emit(&error_frame(
+                &req.id,
+                &tc.trace_id,
+                "config",
+                None,
+                &e.to_string(),
+            ));
+            return;
         }
     };
 
+    if anytime {
+        m.counter(names::SERVE_ANYTIME).inc();
+    }
     let t0 = Instant::now();
     // A worker panic is the flight recorder's moment: dump the ring
     // before the error frame is even rendered, while the evidence of
     // what led up to it is still in the buffer.
     let outcome = run_isolated_observed(
-        || run_query(&ev, req, snapshot),
+        || {
+            if anytime {
+                run_query_anytime(&ev, req, snapshot, shared, tc, emit).map(|(a, c)| (a, Some(c)))
+            } else {
+                run_query(&ev, req, snapshot).map(|a| (a, None))
+            }
+        },
         |p| {
             shared.postmortem(
                 "panic",
@@ -892,7 +1035,20 @@ fn evaluate_request(
     let micros = t0.elapsed().as_micros() as u64;
     shared.latency.observe(micros);
     let (frame, outcome_label) = match outcome {
-        Ok(answer) => (
+        Ok((answer, Some(confidence))) => (
+            anytime_result_frame(
+                req.proto,
+                &req.id,
+                &tc.trace_id,
+                req.mode,
+                answer,
+                &confidence,
+                snapshot.epoch(),
+                micros,
+            ),
+            "ok",
+        ),
+        Ok((answer, None)) => (
             result_frame(
                 &req.id,
                 &tc.trace_id,
@@ -993,13 +1149,69 @@ fn evaluate_request(
             ));
         }
     }
-    frame
+    emit(&frame);
 }
 
 /// Why one request failed below the panic boundary.
 enum RequestError {
     Parse(String),
     Engine(Error),
+}
+
+/// The anytime query path: the deepening driver with the server's
+/// shared [`CostModel`] feeding slice planning. Each pass that banked
+/// an answer streams a `partial` frame to proto-2 clients (proto-1
+/// requests forced onto this path by the pressure ladder stay
+/// one-frame: the progressive dialect is opt-in).
+fn run_query_anytime(
+    ev: &Evaluator,
+    req: &Request,
+    a: &Structure,
+    shared: &Shared,
+    tc: &TraceContext,
+    emit: &mut dyn FnMut(&str),
+) -> Result<(Answer, Confidence), RequestError> {
+    let cfg = AnytimeConfig::default();
+    let stream = req.proto >= PROTO_PROGRESSIVE;
+    let m = &shared.metrics;
+    let mut on_pass = |r: &PassReport| {
+        if !stream {
+            return;
+        }
+        if let (Some(v), Some(c)) = (r.value, r.confidence.as_ref()) {
+            let answer = match v {
+                AnswerValue::Bool(b) => Answer::Bool(b),
+                AnswerValue::Int(i) => Answer::Int(i),
+            };
+            m.counter(names::SERVE_PARTIAL_FRAMES).inc();
+            emit(&partial_frame(
+                &req.id,
+                &tc.trace_id,
+                req.mode,
+                r.pass.name(),
+                answer,
+                c,
+                r.micros,
+            ));
+        }
+    };
+    match req.mode {
+        Mode::Check => {
+            let f = parse_formula(&req.query).map_err(|e| RequestError::Parse(e.to_string()))?;
+            ev.check_sentence_anytime(a, &f, &cfg, Some(&shared.cost_model), Some(&mut on_pass))
+                .map(|out| (Answer::Bool(out.value), out.confidence))
+                .map_err(RequestError::Engine)
+        }
+        Mode::Eval => {
+            let t = parse_term(&req.query).map_err(|e| RequestError::Parse(e.to_string()))?;
+            ev.eval_ground_anytime(a, &t, &cfg, Some(&shared.cost_model), Some(&mut on_pass))
+                .map(|out| (Answer::Int(out.value), out.confidence))
+                .map_err(RequestError::Engine)
+        }
+        Mode::Update | Mode::Batch => Err(RequestError::Parse(
+            "mutation mode routed to the query path".to_string(),
+        )),
+    }
 }
 
 fn run_query(ev: &Evaluator, req: &Request, a: &Structure) -> Result<Answer, RequestError> {
