@@ -21,6 +21,7 @@
 //! | E13 | service mode under load — loopback stress + BENCH_serve.json; E13b telemetry on/off overhead + BENCH_telemetry.json |
 //! | E14 | live updates — delta maintenance vs rebuild + BENCH_updates.json |
 //! | E15 | anytime evaluation — quality vs budget curve + BENCH_anytime.json |
+//! | E16 | approximate counting — speedup vs epsilon + BENCH_approx.json |
 //!
 //! Run them with `cargo run --release -p foc-bench --bin experiments -- all`
 //! (or a subset, e.g. `e3 e6 --quick`).
@@ -29,6 +30,7 @@
 
 pub mod exp_ablation;
 pub mod exp_anytime;
+pub mod exp_approx;
 pub mod exp_covers;
 pub mod exp_decompose;
 pub mod exp_hardness;
@@ -60,11 +62,13 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<Vec<Table>> {
         "e13" => Some(exp_serve::e13(quick)),
         "e14" => Some(exp_updates::e14(quick)),
         "e15" => Some(exp_anytime::e15(quick)),
+        "e16" => Some(exp_approx::e16(quick)),
         _ => None,
     }
 }
 
 /// All experiment ids in order.
-pub const ALL_EXPERIMENTS: [&str; 15] = [
+pub const ALL_EXPERIMENTS: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];

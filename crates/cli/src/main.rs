@@ -171,9 +171,19 @@ options:
                                explain): run weaker passes first and, on
                                a tripped budget, print the best-so-far
                                answer with a confidence tag (exact,
-                               lower_bound, partial) instead of exiting
-                               3; exit 3 only when no pass banked an
-                               answer";
+                               approx, lower_bound, partial) instead of
+                               exiting 3; exit 3 only when no pass
+                               banked an answer
+  --approx                     answer eval/count through the (ε, δ)
+                               sampling estimator: prints `estimate
+                               ±bound` where the additive bound holds
+                               with probability ≥ 1−δ (spaces small
+                               enough to enumerate are answered
+                               exactly); with --anytime the estimator
+                               runs as its own ladder rung instead
+  --epsilon <f>                the estimator's error fraction in (0, 1]
+                               (default 0.1; the bound is ⌈ε·n^k⌉ for a
+                               k-variable count over n elements)";
 
 /// Flags that take no value (everything else consumes the next arg).
 const BOOL_FLAGS: &[&str] = &[
@@ -187,6 +197,7 @@ const BOOL_FLAGS: &[&str] = &[
     "--once",
     "--anytime",
     "--no-anytime",
+    "--approx",
 ];
 
 fn run(args: &[String]) -> CliResult {
@@ -270,10 +281,42 @@ fn engine_with_sink(args: &[String], sink: Option<Arc<dyn Sink>>) -> CliResult<E
     if has_flag(args, "--strict") {
         b = b.degrade(DegradePolicy::Strict);
     }
+    if has_flag(args, "--approx") || flag_value(args, "--epsilon").is_some() {
+        let cfg = match flag_value(args, "--epsilon") {
+            Some(v) => {
+                let eps: f64 = v
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("invalid --epsilon {v:?}")))?;
+                foc_core::ApproxConfig::with_epsilon(eps)
+            }
+            None => foc_core::ApproxConfig::default(),
+        };
+        cfg.validate().map_err(|e| CliError::usage(e.to_string()))?;
+        b = b.approx(cfg);
+    }
     if let Some(s) = sink {
         b = b.sink(s);
     }
     b.build().map_err(|e| CliError::Runtime(e.to_string()))
+}
+
+/// Prints the `(ε, δ)` estimator's answer: `estimate ±bound` (or the
+/// plain value when the space was enumerated exactly).
+fn report_approx(ev: &Evaluator, v: &foc_core::ApproxValue, elapsed: Duration) {
+    if v.exhaustive {
+        println!("{}", v.estimate);
+        eprintln!(
+            "[{:?} engine, approx: space within sample budget, enumerated exactly, {elapsed:?}]",
+            ev.kind()
+        );
+    } else {
+        println!("{} ±{}", v.estimate, v.error_bound);
+        eprintln!(
+            "[{:?} engine, approx: {} samples, {elapsed:?}]",
+            ev.kind(),
+            v.samples
+        );
+    }
 }
 
 /// The `--profile` report: per-phase wall time plus the work counters.
@@ -431,6 +474,14 @@ fn cmd_check(args: &[String]) -> CliResult {
         .into());
     }
     let mem = metrics_sink(args);
+    // A sentence has no count to estimate; the estimator only engages
+    // through the anytime ladder's approx rung (on counting subterms of
+    // future rungs) — a bare `check --approx` is a usage error.
+    if has_flag(args, "--approx") && !has_flag(args, "--anytime") {
+        return Err(CliError::usage(
+            "check answers true/false; --approx applies to eval/count (or combine with --anytime)",
+        ));
+    }
     let ev = engine_with_sink(args, mem.clone().map(|m| m as Arc<dyn Sink>))?;
     if has_flag(args, "--anytime") {
         let t0 = std::time::Instant::now();
@@ -468,6 +519,12 @@ fn cmd_eval(args: &[String]) -> CliResult {
         report_anytime(args, &ev, &out, t0.elapsed());
         return Ok(());
     }
+    if has_flag(args, "--approx") || flag_value(args, "--epsilon").is_some() {
+        let t0 = std::time::Instant::now();
+        let v = ev.approx_count(&s, &t)?;
+        report_approx(&ev, &v, t0.elapsed());
+        return Ok(());
+    }
     let mut session = ev.session(&s);
     let t0 = std::time::Instant::now();
     let val = session.eval_ground(&t)?;
@@ -499,6 +556,12 @@ fn cmd_count(args: &[String]) -> CliResult {
         let out =
             ev.eval_ground_anytime(&s, &t, &foc_core::AnytimeConfig::default(), None, None)?;
         report_anytime(args, &ev, &out, t0.elapsed());
+        return Ok(());
+    }
+    if has_flag(args, "--approx") || flag_value(args, "--epsilon").is_some() {
+        let t0 = std::time::Instant::now();
+        let v = ev.approx_count(&s, &t)?;
+        report_approx(&ev, &v, t0.elapsed());
         return Ok(());
     }
     let mut session = ev.session(&s);
@@ -1372,6 +1435,44 @@ mod tests {
     }
 
     #[test]
+    fn approx_flags_estimate_counts_and_reject_misuse() {
+        let dir = std::env::temp_dir().join(format!("foc-cli-approx-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("k.foc");
+        let pstr = path.to_str().unwrap().to_string();
+        run(&argv(&["gen", "clique", "--n", "40", "-o", &pstr])).unwrap();
+        // The estimator answers eval and count; --epsilon alone implies it.
+        let r = run(&argv(&["eval", &pstr, "#(x,y). E(x,y)", "--approx"]));
+        assert!(r.is_ok(), "got {r:?}");
+        let r = run(&argv(&[
+            "count",
+            &pstr,
+            "E(x,y)",
+            "--vars",
+            "x,y",
+            "--epsilon",
+            "0.05",
+        ]));
+        assert!(r.is_ok(), "got {r:?}");
+        // Estimator knobs are validated up front…
+        let r = run(&argv(&["eval", &pstr, "#(x). x = x", "--epsilon", "7"]));
+        assert!(matches!(r, Err(CliError::Usage(_))), "got {r:?}");
+        // …a sentence has nothing to estimate without the ladder…
+        let r = run(&argv(&["check", &pstr, "exists x. E(x,x)", "--approx"]));
+        assert!(matches!(r, Err(CliError::Usage(_))), "got {r:?}");
+        // …but the anytime ladder accepts the knob everywhere.
+        let r = run(&argv(&[
+            "check",
+            &pstr,
+            "exists x. E(x,x)",
+            "--approx",
+            "--anytime",
+        ]));
+        assert!(r.is_ok(), "got {r:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn top_refused_connection_is_a_runtime_error() {
         // Bind-then-drop guarantees a port with nothing listening.
         let port = {
@@ -1397,8 +1498,17 @@ mod tests {
         let addr = listener.local_addr().unwrap().to_string();
         let server = std::thread::spawn(move || {
             let (mut conn, _) = listener.accept().unwrap();
+            // Read until the request head is complete before replying —
+            // answering (and closing) mid-request races the client's
+            // write into an EPIPE instead of the truncated-body error.
+            let mut head = Vec::new();
             let mut buf = [0u8; 512];
-            let _ = conn.read(&mut buf);
+            while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+                match conn.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => head.extend_from_slice(&buf[..n]),
+                }
+            }
             conn.write_all(b"HTTP/1.1 200 OK\r\nConnection: close\r\n\r\n{\"upti")
                 .unwrap();
         });

@@ -56,6 +56,9 @@ use crate::error::{Error, Result};
 pub struct AnytimeConfig {
     /// Fraction of the remaining budget the `sample` pass may spend.
     pub sample_weight: f64,
+    /// Fraction of the remaining budget the `approx` pass may spend
+    /// (only present on ladders for ground counting terms).
+    pub approx_weight: f64,
     /// Fraction of the remaining budget the `local` pass may spend
     /// (only present on the cover ladder).
     pub local_weight: f64,
@@ -71,6 +74,7 @@ impl Default for AnytimeConfig {
     fn default() -> AnytimeConfig {
         AnytimeConfig {
             sample_weight: 0.3,
+            approx_weight: 0.2,
             local_weight: 0.4,
             sample_fraction: 0.25,
             min_chunk: 4,
@@ -83,6 +87,9 @@ impl Default for AnytimeConfig {
 pub enum PassKind {
     /// Reference semantics on a sample of the work.
     Sample,
+    /// The `(ε, δ)` sampling estimator over the assignment space of a
+    /// ground counting term (the approximate counting engine).
+    Approx,
     /// Full evaluation with the locality engine.
     Local,
     /// Full evaluation with the configured engine.
@@ -90,10 +97,12 @@ pub enum PassKind {
 }
 
 impl PassKind {
-    /// The wire/rendering name: `"sample"`, `"local"` or `"exact"`.
+    /// The wire/rendering name: `"sample"`, `"approx"`, `"local"` or
+    /// `"exact"`.
     pub fn name(&self) -> &'static str {
         match self {
             PassKind::Sample => "sample",
+            PassKind::Approx => "approx",
             PassKind::Local => "local",
             PassKind::Exact => "exact",
         }
@@ -176,12 +185,17 @@ impl<T> Anytime<T> {
 #[derive(Debug, Clone)]
 pub struct CostModel {
     sample: Histogram,
+    approx: Histogram,
     local: Histogram,
     exact: Histogram,
     runs: Counter,
     exact_runs: Counter,
     degraded: Counter,
     skipped: Counter,
+    approx_runs: Counter,
+    approx_samples: Counter,
+    approx_exhaustive: Counter,
+    approx_bound: Histogram,
 }
 
 /// Completed passes a histogram must hold before its estimates are
@@ -194,21 +208,38 @@ impl CostModel {
         let buckets = pow2_buckets(32);
         CostModel {
             sample: m.histogram(names::ANYTIME_PASS_SAMPLE_MICROS, &buckets),
+            approx: m.histogram(names::ANYTIME_PASS_APPROX_MICROS, &buckets),
             local: m.histogram(names::ANYTIME_PASS_LOCAL_MICROS, &buckets),
             exact: m.histogram(names::ANYTIME_PASS_EXACT_MICROS, &buckets),
             runs: m.counter(names::ANYTIME_RUNS),
             exact_runs: m.counter(names::ANYTIME_EXACT),
             degraded: m.counter(names::ANYTIME_DEGRADED),
             skipped: m.counter(names::ANYTIME_PASS_SKIPPED),
+            approx_runs: m.counter(names::ENGINE_APPROX_RUNS),
+            approx_samples: m.counter(names::ENGINE_APPROX_SAMPLES),
+            approx_exhaustive: m.counter(names::ENGINE_APPROX_EXHAUSTIVE),
+            approx_bound: m.histogram(names::ENGINE_APPROX_ERROR_BOUND, &buckets),
         }
     }
 
     fn histogram(&self, pass: PassKind) -> &Histogram {
         match pass {
             PassKind::Sample => &self.sample,
+            PassKind::Approx => &self.approx,
             PassKind::Local => &self.local,
             PassKind::Exact => &self.exact,
         }
+    }
+
+    /// Records one estimator run's `engine.approx.*` facts: samples
+    /// drawn, exhaustive fall-through, and the claimed error bound.
+    pub fn record_approx(&self, samples: u64, error_bound: u64, exhaustive: bool) {
+        self.approx_runs.inc();
+        self.approx_samples.add(samples);
+        if exhaustive {
+            self.approx_exhaustive.inc();
+        }
+        self.approx_bound.observe(error_bound);
     }
 
     /// Records a completed pass's wall time.
@@ -338,7 +369,7 @@ impl Evaluator {
         if let Some(m) = model {
             m.runs.inc();
         }
-        let ladder: Vec<(PassKind, EngineKind)> = match self.kind() {
+        let mut ladder: Vec<(PassKind, EngineKind)> = match self.kind() {
             EngineKind::Naive => vec![
                 (PassKind::Sample, EngineKind::Naive),
                 (PassKind::Exact, EngineKind::Naive),
@@ -353,6 +384,15 @@ impl Evaluator {
                 (PassKind::Exact, EngineKind::Cover),
             ],
         };
+        // Ground counting terms get the `(ε, δ)` estimator as a rung
+        // right above the chunked sample: when the budget cannot afford
+        // a full pass, an answer with an explicit error guarantee beats
+        // a bare lower bound (and ranks above it).
+        if matches!(q, QueryRef::Ground(t)
+            if matches!(&**t, Term::Count(vars, _) if !vars.is_empty()))
+        {
+            ladder.insert(1, (PassKind::Approx, EngineKind::Naive));
+        }
 
         let mut best: Option<(AnswerValue, Confidence)> = None;
         let mut reports: Vec<PassReport> = Vec::with_capacity(ladder.len());
@@ -363,6 +403,7 @@ impl Evaluator {
             let is_final = i + 1 == ladder.len();
             let weight = match pk {
                 PassKind::Sample => cfg.sample_weight,
+                PassKind::Approx => cfg.approx_weight,
                 PassKind::Local => cfg.local_weight,
                 PassKind::Exact => 1.0,
             };
@@ -399,6 +440,7 @@ impl Evaluator {
             let t0 = Instant::now();
             let run = match pk {
                 PassKind::Sample => self.sample_pass(a, q, &plan, cfg),
+                PassKind::Approx => self.approx_pass(a, q, &plan, model),
                 PassKind::Local | PassKind::Exact => self.full_pass(a, q, ek, Some(&plan)),
             };
             let elapsed = t0.elapsed();
@@ -579,6 +621,63 @@ impl Evaluator {
             }
         }
         self.sample_induced(a, q, plan, cfg)
+    }
+
+    /// The `approx` pass: the `(ε, δ)` sampling estimator over the
+    /// assignment space of a ground counting term, guarded by the pass
+    /// slice. Banks an [`Confidence::Approximate`]-tagged estimate on
+    /// completion (exact when the space was small enough to enumerate),
+    /// and a widened-bound estimate when the slice tripped mid-stream
+    /// with enough samples done.
+    fn approx_pass(
+        &self,
+        a: &Structure,
+        q: QueryRef<'_>,
+        plan: &PassPlan,
+        model: Option<&CostModel>,
+    ) -> PassRun {
+        let QueryRef::Ground(t) = q else {
+            unreachable!("approx rung only on ground ladders");
+        };
+        let Term::Count(vars, body) = &**t else {
+            unreachable!("approx rung only on counting terms");
+        };
+        let acfg = self.approx_config();
+        if let Err(e) = acfg.validate() {
+            return PassRun {
+                status: PassStatus::Errored(e.to_string()),
+                banked: None,
+                fuel_spent: 0,
+                clusters_done: 0,
+                clusters_total: 0,
+            };
+        }
+        let out = self.approx_sample(a, t, vars, body, &acfg, Some((plan.deadline, plan.fuel)));
+        let banked = out.value.map(|v| {
+            if let Some(m) = model {
+                m.record_approx(v.samples, v.error_bound, v.exhaustive);
+            }
+            let confidence = if v.exhaustive {
+                Confidence::Exact
+            } else {
+                Confidence::Approximate {
+                    error_bound: v.error_bound,
+                }
+            };
+            (AnswerValue::Int(v.estimate), confidence)
+        });
+        let status = match out.error {
+            None => PassStatus::Completed,
+            Some(Error::Interrupted(i)) => PassStatus::Tripped(i),
+            Some(e) => PassStatus::Errored(e.to_string()),
+        };
+        PassRun {
+            status,
+            banked,
+            fuel_spent: out.fuel_spent,
+            clusters_done: out.done,
+            clusters_total: out.total,
+        }
     }
 
     /// Chunked lower-bound accumulation for a top-level counting term:
@@ -805,17 +904,30 @@ mod tests {
             .unwrap();
         // Plain evaluation trips.
         assert!(matches!(ev.eval_ground(&a, &t), Err(Error::Interrupted(_))));
-        // Anytime evaluation banks a sound lower bound instead.
+        // Anytime evaluation banks a guaranteed answer instead: either
+        // a sound lower bound or an ε-bounded estimate, depending on
+        // which rung the fuel stretched to.
         let out = ev
             .eval_ground_anytime(&a, &t, &AnytimeConfig::default(), None, None)
             .unwrap();
         assert!(!out.confidence.is_exact());
-        assert_eq!(out.confidence, Confidence::LowerBound);
-        assert!(
-            out.value <= exact,
-            "lower bound {} > exact {exact}",
-            out.value
-        );
+        match out.confidence {
+            Confidence::LowerBound => {
+                assert!(
+                    out.value <= exact,
+                    "lower bound {} > exact {exact}",
+                    out.value
+                );
+            }
+            Confidence::Approximate { error_bound } => {
+                assert!(
+                    (out.value - exact).unsigned_abs() <= error_bound,
+                    "estimate {} strayed past ±{error_bound} of {exact}",
+                    out.value
+                );
+            }
+            other => panic!("unexpected confidence {other:?}"),
+        }
         assert!(out.interrupt.is_some());
         assert!(out.passes.iter().any(|p| p.clusters_done > 0));
     }
@@ -867,6 +979,51 @@ mod tests {
                 assert_eq!(clusters_total, 40);
             }
             Confidence::LowerBound => panic!("sentences never tag lower_bound"),
+            Confidence::Approximate { .. } => panic!("sentences never tag approx"),
+        }
+    }
+
+    #[test]
+    fn approx_rung_banks_a_bounded_estimate() {
+        // Fuel stretches past the sample and approx rungs but not the
+        // full passes: the banked answer must be the ε-bounded estimate
+        // (it outranks the sample rung's lower bound), and the bound
+        // must actually contain the exact value.
+        let a = grid(16, 16);
+        let t = count_term();
+        let exact = Evaluator::builder()
+            .kind(EngineKind::Local)
+            .build()
+            .unwrap()
+            .eval_ground(&a, &t)
+            .unwrap();
+        let ev = Evaluator::builder()
+            .kind(EngineKind::Cover)
+            .fuel(60_000)
+            .build()
+            .unwrap();
+        let out = ev
+            .eval_ground_anytime(&a, &t, &AnytimeConfig::default(), None, None)
+            .unwrap();
+        if let Confidence::Approximate { error_bound } = out.confidence {
+            assert!(error_bound > 0);
+            assert!(
+                (out.value - exact).unsigned_abs() <= error_bound,
+                "estimate {} strayed past ±{error_bound} of {exact}",
+                out.value
+            );
+            assert!(out
+                .passes
+                .iter()
+                .any(|p| p.pass == PassKind::Approx && p.value.is_some()));
+        } else {
+            // With other fuel arithmetic the run may reach exact or stop
+            // at a lower bound; what it may never do is ship an approx
+            // tag without a bound or an unsound one (checked above).
+            assert!(matches!(
+                out.confidence,
+                Confidence::Exact | Confidence::LowerBound | Confidence::Partial { .. }
+            ));
         }
     }
 
@@ -896,7 +1053,7 @@ mod tests {
         ev.eval_ground_anytime(&a, &t, &AnytimeConfig::default(), None, Some(&mut cb))
             .unwrap();
         assert!(!seen.is_empty());
-        let order = ["sample", "local", "exact"];
+        let order = ["sample", "approx", "local", "exact"];
         let mut last = 0;
         for s in &seen {
             let pos = order.iter().position(|o| o == s).unwrap();

@@ -252,6 +252,7 @@ pub struct EvaluatorBuilder {
     shared_cache: Option<Arc<TermCache>>,
     shared_covers: Option<Arc<CoverStore>>,
     fault_panic_element: Option<u32>,
+    approx: Option<crate::approx::ApproxConfig>,
 }
 
 impl std::fmt::Debug for EvaluatorBuilder {
@@ -371,6 +372,14 @@ impl EvaluatorBuilder {
         self
     }
 
+    /// Arms the approximate counting engine with an explicit `(ε, δ)`
+    /// knob: [`Evaluator::approx_count`] and the anytime ladder's
+    /// `approx` rung sample with this accuracy instead of the default.
+    pub fn approx(mut self, cfg: crate::approx::ApproxConfig) -> EvaluatorBuilder {
+        self.approx = Some(cfg);
+        self
+    }
+
     /// Replaces the whole configuration at once.
     pub fn config(mut self, config: EngineConfig) -> EvaluatorBuilder {
         self.config = config;
@@ -407,6 +416,7 @@ impl EvaluatorBuilder {
             shared_cache: self.shared_cache,
             shared_covers: self.shared_covers,
             fault_panic_element: self.fault_panic_element,
+            approx: self.approx,
         })
     }
 }
@@ -434,6 +444,9 @@ pub struct Evaluator {
     /// Test-only fault injection (see
     /// [`EvaluatorBuilder::fault_panic_element`]).
     pub(crate) fault_panic_element: Option<u32>,
+    /// The explicit `(ε, δ)` knob of the approximate counting engine,
+    /// when one was configured (see [`EvaluatorBuilder::approx`]).
+    pub(crate) approx: Option<crate::approx::ApproxConfig>,
 }
 
 impl std::fmt::Debug for Evaluator {

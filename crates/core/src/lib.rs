@@ -32,6 +32,7 @@
 
 pub mod aggregate;
 pub mod anytime;
+pub mod approx;
 pub mod dynamic;
 pub mod engine;
 pub mod enumerate;
@@ -43,6 +44,7 @@ pub use aggregate::{AvgResult, SumAggregate, Weights};
 pub use anytime::{
     AnswerValue, Anytime, AnytimeConfig, CostModel, PassKind, PassReport, PassStatus,
 };
+pub use approx::{sample_size, ApproxConfig, ApproxValue};
 pub use dynamic::{EdgeUpdate, MaintainedTerm};
 pub use engine::{
     DegradePolicy, EngineConfig, EngineKind, EngineStats, Evaluator, EvaluatorBuilder, MarkerDef,

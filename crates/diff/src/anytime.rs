@@ -5,6 +5,9 @@
 //! those promises against the unbounded naive oracle:
 //!
 //! * `exact` answers must equal the oracle bit-for-bit;
+//! * `approx` answers must land within their own claimed
+//!   `error_bound` of the oracle — the `(ε, δ)` estimator's whole
+//!   value proposition is that the bound it ships is real;
 //! * `lower_bound` answers must never exceed the oracle — integers
 //!   ordered numerically, Booleans by `false < true` (a banked `true`
 //!   came from a witness verified against the full structure, so the
@@ -38,6 +41,13 @@ pub fn contract_violation(
 ) -> Option<String> {
     match confidence {
         Confidence::Exact => (got != oracle).then(|| format!("exact answer {got} != oracle")),
+        Confidence::Approximate { error_bound } => match (oracle, got) {
+            (Outcome::Int(o), Outcome::Int(g)) => (g.abs_diff(*o) > *error_bound)
+                .then(|| format!("approx estimate {g} strays past ±{error_bound} of oracle {o}")),
+            _ => Some(format!(
+                "approx estimate {got} incomparable with oracle {oracle}"
+            )),
+        },
         Confidence::LowerBound => match (oracle, got) {
             (Outcome::Int(o), Outcome::Int(g)) => {
                 (g > o).then(|| format!("lower bound {g} exceeds oracle {o}"))
@@ -168,6 +178,16 @@ mod tests {
             &Confidence::LowerBound
         )
         .is_none());
+        // Approx answers may miss by up to their claimed bound, in
+        // either direction.
+        for est in [7, 10, 13] {
+            assert!(contract_violation(
+                &o,
+                &Outcome::Int(est),
+                &Confidence::Approximate { error_bound: 3 }
+            )
+            .is_none());
+        }
     }
 
     #[test]
@@ -199,6 +219,20 @@ mod tests {
             &Outcome::Bool(false),
             &Outcome::Bool(true),
             &Confidence::LowerBound
+        )
+        .is_some());
+        // An approx estimate outside its own claimed bound is the
+        // shrinkable divergence class the tolerance-aware oracle hunts.
+        assert!(contract_violation(
+            &o,
+            &Outcome::Int(14),
+            &Confidence::Approximate { error_bound: 3 }
+        )
+        .is_some());
+        assert!(contract_violation(
+            &o,
+            &Outcome::Bool(true),
+            &Confidence::Approximate { error_bound: 3 }
         )
         .is_some());
     }

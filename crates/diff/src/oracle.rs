@@ -14,7 +14,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use foc_core::{DegradePolicy, EngineKind, Error, Evaluator};
+use foc_core::{ApproxConfig, DegradePolicy, EngineKind, Error, Evaluator};
 use foc_logic::{Formula, Term};
 use foc_structures::Structure;
 
@@ -134,6 +134,12 @@ pub struct Variant {
     pub cache: bool,
     /// Capability-error policy.
     pub degrade: DegradePolicy,
+    /// When `Some(ε)`: ground counting terms run through the `(ε, δ)`
+    /// approximate engine and are compared *tolerance-aware* — an
+    /// estimate within its own claimed error bound of the oracle is
+    /// agreement, and only a bound violation (the broken-guarantee
+    /// class) is a divergence. Sentences still run exactly.
+    pub epsilon: Option<f64>,
 }
 
 impl Variant {
@@ -143,6 +149,9 @@ impl Variant {
             .threads(self.threads)
             .cache(self.cache)
             .degrade(self.degrade);
+        if let Some(eps) = self.epsilon {
+            builder = builder.approx(ApproxConfig::with_epsilon(eps));
+        }
         if let Some(d) = case_deadline {
             builder = builder.timeout(d);
         }
@@ -169,6 +178,7 @@ pub fn engine_matrix() -> Vec<Variant> {
             threads: 1,
             cache: false,
             degrade: FallThrough,
+            epsilon: None,
         },
         Variant {
             name: "naive-t4",
@@ -176,6 +186,7 @@ pub fn engine_matrix() -> Vec<Variant> {
             threads: MATRIX_THREADS,
             cache: false,
             degrade: FallThrough,
+            epsilon: None,
         },
         Variant {
             name: "local-t1-cache",
@@ -183,6 +194,7 @@ pub fn engine_matrix() -> Vec<Variant> {
             threads: 1,
             cache: true,
             degrade: FallThrough,
+            epsilon: None,
         },
         Variant {
             name: "local-t1-nocache",
@@ -190,6 +202,7 @@ pub fn engine_matrix() -> Vec<Variant> {
             threads: 1,
             cache: false,
             degrade: FallThrough,
+            epsilon: None,
         },
         Variant {
             name: "local-t4-cache",
@@ -197,6 +210,7 @@ pub fn engine_matrix() -> Vec<Variant> {
             threads: MATRIX_THREADS,
             cache: true,
             degrade: FallThrough,
+            epsilon: None,
         },
         Variant {
             name: "cover-t1-cache",
@@ -204,6 +218,7 @@ pub fn engine_matrix() -> Vec<Variant> {
             threads: 1,
             cache: true,
             degrade: FallThrough,
+            epsilon: None,
         },
         Variant {
             name: "cover-t4-cache",
@@ -211,6 +226,7 @@ pub fn engine_matrix() -> Vec<Variant> {
             threads: MATRIX_THREADS,
             cache: true,
             degrade: FallThrough,
+            epsilon: None,
         },
         Variant {
             name: "cover-t4-nocache",
@@ -218,6 +234,7 @@ pub fn engine_matrix() -> Vec<Variant> {
             threads: MATRIX_THREADS,
             cache: false,
             degrade: FallThrough,
+            epsilon: None,
         },
         Variant {
             name: "local-t1-strict",
@@ -225,6 +242,7 @@ pub fn engine_matrix() -> Vec<Variant> {
             threads: 1,
             cache: true,
             degrade: Strict,
+            epsilon: None,
         },
         Variant {
             name: "cover-t1-strict",
@@ -232,6 +250,15 @@ pub fn engine_matrix() -> Vec<Variant> {
             threads: 1,
             cache: true,
             degrade: Strict,
+            epsilon: None,
+        },
+        Variant {
+            name: "approx-t1",
+            kind: Naive,
+            threads: 1,
+            cache: false,
+            degrade: FallThrough,
+            epsilon: Some(0.1),
         },
     ]
 }
@@ -246,6 +273,10 @@ pub struct BugInjection {
     /// structure of order ≥ k. The shrinker should then pin the
     /// structure at exactly order k.
     pub flip_local_sentence_min_order: Option<u32>,
+    /// When `true`: push every approximate variant's estimate past its
+    /// own claimed error bound, so the tolerance-aware comparison must
+    /// flag the broken-guarantee divergence class.
+    pub skew_approx_past_bound: bool,
 }
 
 impl BugInjection {
@@ -271,12 +302,42 @@ pub fn evaluate_with_deadline(
     inject: &BugInjection,
     case_deadline: Option<std::time::Duration>,
 ) -> Outcome {
+    evaluate_detail(variant, case, inject, case_deadline).0
+}
+
+/// [`evaluate_with_deadline`] plus the tolerance the outcome is entitled
+/// to: `Some(bound)` when the variant answered through the `(ε, δ)`
+/// estimator (agreement means within ±bound of the oracle), `None` for
+/// an exact answer.
+fn evaluate_detail(
+    variant: &Variant,
+    case: &Case,
+    inject: &BugInjection,
+    case_deadline: Option<std::time::Duration>,
+) -> (Outcome, Option<u64>) {
     let ev = variant.build(case_deadline);
+    let mut tolerance = None;
     let mut out = match &case.query {
         QueryCase::Sentence(f) => match ev.check_sentence(&case.structure, f) {
             Ok(b) => Outcome::Bool(b),
             Err(e) => Outcome::Err(classify(&e)),
         },
+        QueryCase::Ground(t) if variant.epsilon.is_some() => {
+            match ev.approx_count(&case.structure, t) {
+                Ok(v) => {
+                    tolerance = Some(v.error_bound);
+                    Outcome::Int(v.estimate)
+                }
+                // The estimator refuses shapes it cannot sample (e.g.
+                // products); the variant falls back to the exact path so
+                // the whole matrix still adjudicates the case.
+                Err(Error::Unsupported(_)) => match ev.eval_ground(&case.structure, t) {
+                    Ok(i) => Outcome::Int(i),
+                    Err(e) => Outcome::Err(classify(&e)),
+                },
+                Err(e) => Outcome::Err(classify(&e)),
+            }
+        }
         QueryCase::Ground(t) => match ev.eval_ground(&case.structure, t) {
             Ok(i) => Outcome::Int(i),
             Err(e) => Outcome::Err(classify(&e)),
@@ -289,7 +350,16 @@ pub fn evaluate_with_deadline(
             }
         }
     }
-    out
+    if inject.skew_approx_past_bound {
+        if let (Outcome::Int(i), Some(bound)) = (&out, tolerance) {
+            // 2·bound + 1, not bound + 1: an in-bound estimate sits
+            // anywhere in [truth − bound, truth + bound], so a smaller
+            // push could land a low estimate back inside the band and
+            // the injection would go undetected for that seed.
+            out = Outcome::Int(i.saturating_add((bound as i64) * 2).saturating_add(1));
+        }
+    }
+    (out, tolerance)
 }
 
 /// One disagreement between a matrix variant and the oracle.
@@ -364,24 +434,30 @@ pub fn run_matrix_with_deadline(
     let mut timeouts = 0u64;
     let mut timed_eval = |variant: &Variant| {
         let t0 = std::time::Instant::now();
-        let out = evaluate_with_deadline(variant, case, inject, case_deadline);
+        let out = evaluate_detail(variant, case, inject, case_deadline);
         if let Some(cb) = timing.as_deref_mut() {
             cb(variant.name, t0.elapsed());
         }
-        if case_deadline.is_some() && matches!(&out, Outcome::Err(c) if c == "interrupted") {
+        if case_deadline.is_some() && matches!(&out.0, Outcome::Err(c) if c == "interrupted") {
             timeouts += 1;
         }
         out
     };
-    let oracle = timed_eval(&matrix[0]);
+    let (oracle, _) = timed_eval(&matrix[0]);
     let mut divergences = Vec::new();
     // An interrupted oracle cannot adjudicate anything.
     if matches!(&oracle, Outcome::Err(c) if c == "interrupted") {
         return (oracle, divergences, timeouts);
     }
     for variant in &matrix[1..] {
-        let got = timed_eval(variant);
-        if got != oracle && !acceptable(variant, &got) {
+        let (got, tolerance) = timed_eval(variant);
+        // An ε-estimate agrees when it lands within its own claimed
+        // bound of the oracle; anything else must match bit-for-bit.
+        let agrees = match (&oracle, &got, tolerance) {
+            (Outcome::Int(o), Outcome::Int(g), Some(bound)) => g.abs_diff(*o) <= bound,
+            _ => got == oracle,
+        };
+        if !agrees && !acceptable(variant, &got) {
             divergences.push(Divergence {
                 variant: variant.name.to_string(),
                 expected: oracle.clone(),
@@ -396,7 +472,7 @@ pub fn run_matrix_with_deadline(
 mod tests {
     use super::*;
     use foc_logic::parse::{parse_formula, parse_term};
-    use foc_structures::gen::{path, star};
+    use foc_structures::gen::{clique, path, star};
 
     #[test]
     fn matrix_agrees_on_simple_cases() {
@@ -425,6 +501,7 @@ mod tests {
         };
         let inject = BugInjection {
             flip_local_sentence_min_order: Some(3),
+            ..BugInjection::default()
         };
         let (_, div) = run_matrix(&case, &inject, None);
         assert!(!div.is_empty(), "injected bug must surface");
@@ -436,9 +513,35 @@ mod tests {
         };
         let inject_high = BugInjection {
             flip_local_sentence_min_order: Some(10),
+            ..BugInjection::default()
         };
         let (_, div2) = run_matrix(&small, &inject_high, None);
         assert!(div2.is_empty());
+    }
+
+    #[test]
+    fn approx_variant_is_compared_tolerance_aware() {
+        // Dense enough that the estimator genuinely samples (the
+        // assignment space exceeds the Hoeffding sample size): the
+        // seeded estimate lands within its ±⌈ε·n^k⌉ bound of the naive
+        // oracle, which counts as agreement.
+        let case = Case {
+            query: QueryCase::Ground(parse_term("#(x,y). E(x,y)").unwrap()),
+            structure: clique(30),
+        };
+        let (oracle, div) = run_matrix(&case, &BugInjection::default(), None);
+        assert!(matches!(oracle, Outcome::Int(_)), "oracle errs: {oracle}");
+        assert!(div.is_empty(), "in-bound estimate is agreement: {div:?}");
+        // An estimate past its own claimed bound is a real divergence —
+        // and it is pinned on the approximate variant alone, in a
+        // shrinkable (non-`meta:`/`anytime:`) class.
+        let skew = BugInjection {
+            skew_approx_past_bound: true,
+            ..BugInjection::default()
+        };
+        let (_, div) = run_matrix(&case, &skew, None);
+        assert!(!div.is_empty(), "bound violations must surface");
+        assert!(div.iter().all(|d| d.variant == "approx-t1"), "{div:?}");
     }
 
     #[test]

@@ -44,6 +44,7 @@ fn run_fuzz(cfg: &FuzzConfig) -> (String, foc_diff::harness::FuzzReport) {
 fn same_seed_runs_are_byte_identical_including_corpus() {
     let buggy = BugInjection {
         flip_local_sentence_min_order: Some(3),
+        ..BugInjection::default()
     };
     let run = |tag: &str| {
         let dir = temp_dir(tag);
@@ -75,6 +76,7 @@ fn same_seed_runs_are_byte_identical_including_corpus() {
 fn injected_bug_is_caught_shrunk_and_replayable() {
     let buggy = BugInjection {
         flip_local_sentence_min_order: Some(3),
+        ..BugInjection::default()
     };
     let dir = temp_dir("lifecycle");
     let cfg = FuzzConfig {

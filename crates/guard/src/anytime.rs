@@ -29,6 +29,14 @@ pub enum Confidence {
     /// The answer is the true value: a pass ran the full computation to
     /// completion.
     Exact,
+    /// A sampling estimate with an explicit additive error guarantee:
+    /// the true value lies within `error_bound` of the answer with the
+    /// configured probability (the `(ε, δ)` knob of the approximate
+    /// counting engine).
+    Approximate {
+        /// The additive half-width of the guarantee interval.
+        error_bound: u64,
+    },
     /// A sound lower bound: every counted witness was verified against
     /// the *full* structure, but enumeration stopped early, so the true
     /// value can only be larger.
@@ -45,10 +53,12 @@ pub enum Confidence {
 }
 
 impl Confidence {
-    /// The wire tag: `"exact"`, `"lower_bound"` or `"partial"`.
+    /// The wire tag: `"exact"`, `"approx"`, `"lower_bound"` or
+    /// `"partial"`.
     pub fn tag(&self) -> &'static str {
         match self {
             Confidence::Exact => "exact",
+            Confidence::Approximate { .. } => "approx",
             Confidence::LowerBound => "lower_bound",
             Confidence::Partial { .. } => "partial",
         }
@@ -64,6 +74,7 @@ impl Confidence {
     pub fn is_complete(&self) -> bool {
         match self {
             Confidence::Exact => true,
+            Confidence::Approximate { .. } => false,
             Confidence::LowerBound => false,
             Confidence::Partial {
                 clusters_done,
@@ -72,12 +83,14 @@ impl Confidence {
         }
     }
 
-    /// A strict ordering of usefulness: exact beats lower-bound beats
-    /// partial, and among partials more coverage beats less.
+    /// A strict ordering of usefulness: exact beats an ε-bounded
+    /// estimate beats lower-bound beats partial, and among partials
+    /// more coverage beats less.
     pub fn rank(&self) -> u64 {
         match self {
             Confidence::Exact => u64::MAX,
-            Confidence::LowerBound => u64::MAX - 1,
+            Confidence::Approximate { .. } => u64::MAX - 1,
+            Confidence::LowerBound => u64::MAX - 2,
             Confidence::Partial {
                 clusters_done,
                 clusters_total,
@@ -85,9 +98,12 @@ impl Confidence {
                 if *clusters_total == 0 {
                     0
                 } else {
-                    // Scale coverage into [0, 2^32) so it never reaches
-                    // the lower-bound rank.
-                    (clusters_done.saturating_mul(u64::from(u32::MAX))) / clusters_total
+                    // Clamp coverage to the total — a buggy reporter
+                    // claiming done > total must never outrank the
+                    // structured tags above — then scale it into
+                    // [0, 2^32) so it stays below the lower-bound rank.
+                    let done = (*clusters_done).min(*clusters_total);
+                    (done.saturating_mul(u64::from(u32::MAX))) / clusters_total
                 }
             }
         }
@@ -98,6 +114,7 @@ impl fmt::Display for Confidence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Confidence::Exact => write!(f, "exact"),
+            Confidence::Approximate { error_bound } => write!(f, "approx(±{error_bound})"),
             Confidence::LowerBound => write!(f, "lower_bound"),
             Confidence::Partial {
                 clusters_done,
@@ -210,9 +227,11 @@ impl TimeManager {
     /// pass may spend (clamped to `[0.05, 1.0]`); the final pass gets
     /// everything left. `estimate` is the pass's projected completion
     /// time from observed history; when it exceeds the remaining
-    /// wall-clock budget the pass is skipped (`ProjectedOverrun`) —
-    /// except for a final pass with nothing banked yet, where the caller
-    /// should pass `estimate: None` and let it run regardless.
+    /// wall-clock budget a *non-final* pass is skipped
+    /// (`ProjectedOverrun`). The final pass is never projection-skipped:
+    /// it is the last rung on the ladder, so it always runs with
+    /// whatever budget remains — an anytime run must never end with no
+    /// rung at all because an estimate looked grim.
     pub fn plan(
         &self,
         weight: f64,
@@ -223,9 +242,11 @@ impl TimeManager {
             return Err(SkipReason::BudgetExhausted);
         }
         let remaining = self.remaining();
-        if let (Some(est), Some(rem)) = (estimate, remaining) {
-            if est > rem {
-                return Err(SkipReason::ProjectedOverrun);
+        if !is_final {
+            if let (Some(est), Some(rem)) = (estimate, remaining) {
+                if est > rem {
+                    return Err(SkipReason::ProjectedOverrun);
+                }
             }
         }
         let w = weight.clamp(0.05, 1.0);
@@ -267,17 +288,57 @@ mod tests {
             clusters_done: 3,
             clusters_total: 7,
         };
+        let ap = Confidence::Approximate { error_bound: 12 };
         assert_eq!(Confidence::Exact.tag(), "exact");
+        assert_eq!(ap.tag(), "approx");
+        assert_eq!(ap.to_string(), "approx(±12)");
         assert_eq!(Confidence::LowerBound.tag(), "lower_bound");
         assert_eq!(p.tag(), "partial");
         assert_eq!(p.to_string(), "partial(3/7)");
-        assert!(Confidence::Exact.rank() > Confidence::LowerBound.rank());
+        assert!(Confidence::Exact.rank() > ap.rank());
+        assert!(ap.rank() > Confidence::LowerBound.rank());
         assert!(Confidence::LowerBound.rank() > p.rank());
         let q = Confidence::Partial {
             clusters_done: 6,
             clusters_total: 7,
         };
         assert!(q.rank() > p.rank());
+    }
+
+    #[test]
+    fn rank_is_monotone_and_bounded() {
+        // Property sweep: over a grid of (done, total) pairs — including
+        // buggy reporters claiming done > total — the partial rank is
+        // monotone in coverage and strictly below every structured tag.
+        let totals = [0u64, 1, 2, 7, 1_000, u64::MAX / 2, u64::MAX];
+        let dones = [0u64, 1, 3, 999, u64::MAX / 2, u64::MAX - 1, u64::MAX];
+        for &total in &totals {
+            let mut last = 0u64;
+            for &done in &dones {
+                let r = Confidence::Partial {
+                    clusters_done: done,
+                    clusters_total: total,
+                }
+                .rank();
+                assert!(r >= last, "rank not monotone at {done}/{total}");
+                assert!(
+                    r < Confidence::LowerBound.rank(),
+                    "partial({done}/{total}) outranks lower_bound"
+                );
+                assert!(r <= u64::from(u32::MAX), "rank unbounded at {done}/{total}");
+                last = r;
+            }
+        }
+        // The overshooting reporter saturates at full coverage, no more.
+        let over = Confidence::Partial {
+            clusters_done: 10,
+            clusters_total: 7,
+        };
+        let full = Confidence::Partial {
+            clusters_done: 7,
+            clusters_total: 7,
+        };
+        assert_eq!(over.rank(), full.rank());
     }
 
     #[test]
@@ -339,6 +400,20 @@ mod tests {
             .plan(0.5, Some(Duration::from_millis(50)), false)
             .unwrap_err();
         assert_eq!(err, SkipReason::ProjectedOverrun);
+    }
+
+    #[test]
+    fn final_pass_is_never_projection_skipped() {
+        // The p95 estimate dwarfs the remaining budget, yet the final
+        // pass must still be planned — with everything that remains.
+        let tm = TimeManager::new(Some(Duration::from_millis(10)), Some(100_000));
+        let plan = tm
+            .plan(0.5, Some(Duration::from_millis(50)), true)
+            .expect("final pass must run with whatever budget remains");
+        let d = plan.deadline.unwrap();
+        assert!(d <= Duration::from_millis(10));
+        assert!(d >= Duration::from_millis(1));
+        assert!(plan.fuel.unwrap() >= 99_000, "final pass gets all the fuel");
     }
 
     #[test]

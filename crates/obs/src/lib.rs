@@ -63,8 +63,8 @@ pub use metrics::{
 };
 pub use recorder::{FlightEvent, FlightRecorder};
 pub use report::{
-    build_tree, quantile, quantiles, render_metrics_table, render_tree, session_json, Quantiles,
-    SpanNode,
+    build_tree, quantile, quantile_detail, quantiles, render_metrics_table, render_tree,
+    session_json, Quantiles, SpanNode,
 };
 pub use sink::{JsonLinesSink, MemorySink, Sink, StderrSink};
 pub use span::{AttrValue, FinishedSpan, Observer, Span, SpanHandle};

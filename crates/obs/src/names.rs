@@ -166,6 +166,20 @@ pub const ANYTIME_PASS_SAMPLE_MICROS: &str = "anytime.pass_micros.sample";
 pub const ANYTIME_PASS_LOCAL_MICROS: &str = "anytime.pass_micros.local";
 /// Wall time of completed `exact` passes, in microseconds. Histogram.
 pub const ANYTIME_PASS_EXACT_MICROS: &str = "anytime.pass_micros.exact";
+/// Wall time of completed `approx` passes, in microseconds. Histogram.
+pub const ANYTIME_PASS_APPROX_MICROS: &str = "anytime.pass_micros.approx";
+
+/// Approximate-counting estimator runs (the `(ε, δ)` sampler). Counter.
+pub const ENGINE_APPROX_RUNS: &str = "engine.approx.runs";
+/// Assignments the estimator drew and evaluated. Counter.
+pub const ENGINE_APPROX_SAMPLES: &str = "engine.approx.samples";
+/// Estimator runs that fell through to exhaustive enumeration because
+/// the assignment space was no larger than the sample budget (the
+/// answer is exact, error bound zero). Counter.
+pub const ENGINE_APPROX_EXHAUSTIVE: &str = "engine.approx.exhaustive";
+/// Distribution of claimed additive error bounds. Histogram.
+pub const ENGINE_APPROX_ERROR_BOUND: &str = "engine.approx.error_bound";
+
 /// Clusters of the top-level covers (the anytime progress
 /// denominator). Counter.
 pub const COVER_CLUSTERS_TOTAL: &str = "cover.clusters_total";

@@ -85,29 +85,50 @@ pub fn build_tree(spans: &[FinishedSpan]) -> Vec<SpanNode> {
 /// by linear interpolation inside the bucket holding the target rank —
 /// the `histogram_quantile` estimator of the Prometheus exposition the
 /// same snapshots are rendered to. Observations landing in the overflow
-/// (`+inf`) bucket clamp to the last finite bound, and an empty
+/// (`+inf`) bucket *saturate* the estimator: the true quantile is only
+/// known to be above the last finite bound, so the returned value is a
+/// conservative extrapolation (double the last bound) rather than a
+/// silent clamp to it — see [`quantile_detail`] when the caller must
+/// distinguish a tight estimate from a saturated one. An empty
 /// histogram has no quantiles at all (`None`).
 pub fn quantile(h: &HistogramSnapshot, q: f64) -> Option<u64> {
+    quantile_detail(h, q).map(|(v, _)| v)
+}
+
+/// Like [`quantile`], but also reports whether the target rank landed in
+/// the overflow (`+inf`) bucket. `(value, true)` means the histogram's
+/// range ran out below the quantile: `value` is a lower-biased guess
+/// (double the last finite bound) and the true quantile may be
+/// arbitrarily larger, so consumers deriving admission-control numbers
+/// (retry hints, slow-query thresholds) must treat it as "at least
+/// this", not "about this".
+pub fn quantile_detail(h: &HistogramSnapshot, q: f64) -> Option<(u64, bool)> {
     if h.total == 0 || h.bounds.is_empty() {
         return None;
     }
-    let target = (q.clamp(0.0, 1.0) * h.total as f64).max(1.0);
+    // Uniform-within-bucket interpolation at rank q·total (the
+    // Prometheus convention): a lone observation reports its bucket's
+    // midpoint at q = 0.5, not the bucket's upper bound.
+    let target = q.clamp(0.0, 1.0) * h.total as f64;
     let mut cum = 0.0;
     for (i, &c) in h.counts.iter().enumerate() {
         let prev = cum;
         cum += c as f64;
         if cum >= target && c > 0 {
-            let last = *h.bounds.last()? as f64;
+            let last = *h.bounds.last()?;
             if i >= h.bounds.len() {
-                return Some(last as u64);
+                // Overflow bucket: the histogram only knows the value
+                // exceeds `last`. Extrapolate one doubling past the
+                // range and flag the saturation.
+                return Some((last.saturating_mul(2), true));
             }
             let upper = h.bounds[i] as f64;
             let lower = if i == 0 { 0.0 } else { h.bounds[i - 1] as f64 };
             let frac = (target - prev) / c as f64;
-            return Some((lower + (upper - lower) * frac).round() as u64);
+            return Some(((lower + (upper - lower) * frac).round() as u64, false));
         }
     }
-    h.bounds.last().copied()
+    h.bounds.last().copied().map(|b| (b, false))
 }
 
 /// The standard latency-quantile triple estimated from one histogram.
@@ -424,13 +445,46 @@ mod tests {
         let empty = m.histogram("e", &[1, 2]).snapshot();
         assert_eq!(quantile(&empty, 0.5), None);
         assert_eq!(quantiles(&empty), None);
-        // Overflow observations clamp to the last finite bound.
+        // Overflow observations extrapolate past the last finite bound
+        // instead of clamping to it, and report the saturation.
         let hist = m.histogram("o", &[1, 2]);
         hist.observe(1_000_000);
-        assert_eq!(quantile(&hist.snapshot(), 0.99), Some(2));
+        assert_eq!(quantile(&hist.snapshot(), 0.99), Some(4));
+        assert_eq!(quantile_detail(&hist.snapshot(), 0.99), Some((4, true)));
         // A single observation in the first bucket stays within it.
         let one = m.histogram("one", &[10, 20]);
         one.observe(3);
-        assert!(quantile(&one.snapshot(), 0.5).unwrap() <= 10);
+        assert_eq!(quantile_detail(&one.snapshot(), 0.5), Some((5, false)));
+    }
+
+    #[test]
+    fn overflow_mass_never_reports_a_tight_in_range_quantile() {
+        // Regression: with ALL mass in the +inf bucket every quantile
+        // used to report exactly the last finite bound, indistinguishable
+        // from a genuine in-range estimate — and the p99-derived retry
+        // hint and slow-query threshold silently underestimated. The
+        // estimator must now answer strictly above the range and flag it.
+        let m = Metrics::new();
+        let hist = m.histogram("sat", &[1, 2, 4, 8]);
+        for _ in 0..50 {
+            hist.observe(1_000_000);
+        }
+        let snap = hist.snapshot();
+        for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
+            let (v, saturated) = quantile_detail(&snap, q).unwrap();
+            assert!(v > 8, "q={q}: {v} not above the last finite bound");
+            assert!(saturated, "q={q}: saturation not flagged");
+        }
+        // Mixed mass: in-range quantiles stay tight, the tail saturates.
+        let mix = m.histogram("mix", &[1, 2, 4, 8]);
+        for _ in 0..99 {
+            mix.observe(3);
+        }
+        mix.observe(1_000_000);
+        let snap = mix.snapshot();
+        let (p50, sat50) = quantile_detail(&snap, 0.5).unwrap();
+        assert!(p50 <= 4 && !sat50, "median is a tight in-range estimate");
+        let (p995, sat995) = quantile_detail(&snap, 0.995).unwrap();
+        assert!(p995 > 8 && sat995, "tail quantile must saturate");
     }
 }

@@ -41,14 +41,21 @@
 //! evaluation"):
 //!
 //! * `{"type":"partial", "proto":2, "id":…, "trace_id":…, "mode":…,
-//!   "pass":"sample"|"local"|"exact", "value":…,
-//!   "confidence":"exact"|"lower_bound"|"partial" [,"clusters_done":…,
+//!   "pass":"sample"|"approx"|"local"|"exact", "value":…,
+//!   "confidence":"exact"|"approx"|"lower_bound"|"partial"
+//!   [,"approx":true,"error_bound":…] [,"clusters_done":…,
 //!   "clusters_total":…], "micros":…}` — one frame per deepening pass
 //!   that banked an answer, streamed while evaluation continues;
 //! * the terminal `result` frame of an anytime request additionally
 //!   carries the same `confidence` (and, for `"partial"`, progress)
 //!   fields — the best-so-far answer when the budget tripped, tagged
-//!   instead of discarded.
+//!   instead of discarded;
+//! * an `eval` request with `"approx":true` (proto 2) runs the `(ε, δ)`
+//!   estimator instead of an exact engine; its `result` frame carries
+//!   `"confidence":"approx","approx":true,"error_bound":…` — the
+//!   estimate is within ±`error_bound` of the true count with
+//!   probability ≥ 1−δ. `"epsilon_milli"` (1..=1000, thousandths)
+//!   overrides the server's default ε; the wire stays integer-only.
 
 use std::time::Duration;
 
@@ -123,6 +130,13 @@ pub struct Request {
     /// The server streams a `partial` frame per completed deepening
     /// pass and tags the terminal result with its confidence.
     pub anytime: bool,
+    /// Approximate evaluation requested (`"approx":true`; proto 2,
+    /// `eval` mode only). The server answers with an `(ε, δ)`-bounded
+    /// estimate flagged `"approx":true` with its `error_bound`.
+    pub approx: bool,
+    /// Requested additive-error fraction (`"epsilon_milli"`, parsed as
+    /// thousandths; requires `"approx":true`). `None` = server default.
+    pub epsilon: Option<f64>,
     /// Check, eval, update, or batch.
     pub mode: Mode,
     /// The query text (a sentence or a ground term; empty for
@@ -225,6 +239,28 @@ pub fn parse_request(line: &str) -> Result<Request, ParseFailure> {
             "\"anytime\" requires proto {PROTO_PROGRESSIVE} (progressive frames)"
         ));
     }
+    let approx = match v.get("approx") {
+        None => false,
+        Some(b) => match b.as_bool() {
+            Some(x) => x,
+            None => return fail("\"approx\" must be a boolean".to_string()),
+        },
+    };
+    if approx && proto < PROTO_PROGRESSIVE {
+        return fail(format!(
+            "\"approx\" requires proto {PROTO_PROGRESSIVE} (approx-flagged frames)"
+        ));
+    }
+    let epsilon = match v.get("epsilon_milli") {
+        None => None,
+        Some(e) => match e.as_int() {
+            Some(milli @ 1..=1000) => Some(milli as f64 / 1000.0),
+            _ => return fail("\"epsilon_milli\" must be an integer in 1..=1000".to_string()),
+        },
+    };
+    if epsilon.is_some() && !approx {
+        return fail("\"epsilon_milli\" requires \"approx\":true".to_string());
+    }
     let mode = match v.get("mode").and_then(Value::as_str) {
         Some("check") => Mode::Check,
         Some("eval") => Mode::Eval,
@@ -237,6 +273,9 @@ pub fn parse_request(line: &str) -> Result<Request, ParseFailure> {
         }
         None => return fail("missing \"mode\"".to_string()),
     };
+    if approx && mode != Mode::Eval {
+        return fail("\"approx\" applies to eval requests only".to_string());
+    }
     let (query, ops) = match mode {
         Mode::Check | Mode::Eval => {
             let Some(q) = v.get("query").and_then(Value::as_str) else {
@@ -294,6 +333,8 @@ pub fn parse_request(line: &str) -> Result<Request, ParseFailure> {
         id,
         proto,
         anytime,
+        approx,
+        epsilon,
         mode,
         query,
         ops,
@@ -314,6 +355,9 @@ fn confidence_fields(c: &Confidence) -> String {
             clusters_total,
         } => format!(
             ",\"confidence\":\"partial\",\"clusters_done\":{clusters_done},\"clusters_total\":{clusters_total}"
+        ),
+        Confidence::Approximate { error_bound } => format!(
+            ",\"confidence\":\"approx\",\"approx\":true,\"error_bound\":{error_bound}"
         ),
         other => format!(",\"confidence\":\"{}\"", other.tag()),
     }
@@ -596,6 +640,74 @@ mod tests {
         assert!(exact.contains("\"confidence\":\"exact\""));
         assert!(exact.contains("\"proto\":1"));
         for f in [&p, &r, &exact] {
+            assert!(!f.contains('\n'));
+            crate::json::parse(f).unwrap_or_else(|e| panic!("unparseable {f}: {e}"));
+        }
+    }
+
+    #[test]
+    fn approx_requests_negotiate_like_anytime() {
+        let r = parse_request(
+            r##"{"proto":2,"id":"e","mode":"eval","query":"#(x,y). E(x,y)","approx":true,"epsilon_milli":50}"##,
+        )
+        .unwrap();
+        assert!(r.approx);
+        assert_eq!(r.epsilon, Some(0.05));
+        // ε defaults server-side when the field is absent.
+        let r = parse_request(
+            r##"{"proto":2,"id":"f","mode":"eval","query":"#(x). x = x","approx":true}"##,
+        )
+        .unwrap();
+        assert!(r.approx);
+        assert_eq!(r.epsilon, None);
+        // The flag needs the progressive dialect, eval mode, and a sane ε.
+        let f = parse_request(r##"{"id":"g","mode":"eval","query":"#(x). x = x","approx":true}"##)
+            .unwrap_err();
+        assert!(f.message.contains("proto 2"));
+        let f =
+            parse_request(r#"{"proto":2,"id":"h","mode":"check","query":"true","approx":true}"#)
+                .unwrap_err();
+        assert!(f.message.contains("eval requests only"));
+        let f = parse_request(
+            r##"{"proto":2,"id":"i","mode":"eval","query":"#(x). x = x","approx":true,"epsilon_milli":0}"##,
+        )
+        .unwrap_err();
+        assert!(f.message.contains("1..=1000"));
+        let f = parse_request(
+            r##"{"proto":2,"id":"j","mode":"eval","query":"#(x). x = x","epsilon_milli":100}"##,
+        )
+        .unwrap_err();
+        assert!(f.message.contains("requires \"approx\""));
+    }
+
+    #[test]
+    fn approx_frames_flag_the_estimate_and_its_bound() {
+        let r = anytime_result_frame(
+            2,
+            "q9",
+            "tb",
+            Mode::Eval,
+            Answer::Int(870),
+            &Confidence::Approximate { error_bound: 90 },
+            0,
+            44,
+        );
+        assert_eq!(
+            r,
+            "{\"type\":\"result\",\"proto\":2,\"id\":\"q9\",\"trace_id\":\"tb\",\"mode\":\"eval\",\"value\":870,\"confidence\":\"approx\",\"approx\":true,\"error_bound\":90,\"epoch\":0,\"micros\":44}"
+        );
+        let p = partial_frame(
+            "q9",
+            "tb",
+            Mode::Eval,
+            "approx",
+            Answer::Int(870),
+            &Confidence::Approximate { error_bound: 90 },
+            21,
+        );
+        assert!(p.contains("\"pass\":\"approx\""));
+        assert!(p.contains("\"approx\":true,\"error_bound\":90"));
+        for f in [&r, &p] {
             assert!(!f.contains('\n'));
             crate::json::parse(f).unwrap_or_else(|e| panic!("unparseable {f}: {e}"));
         }

@@ -35,8 +35,8 @@ use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant, SystemTime};
 
 use foc_core::{
-    AnswerValue, AnytimeConfig, Confidence, CostModel, DegradePolicy, EngineKind, Error, Evaluator,
-    PassReport,
+    AnswerValue, AnytimeConfig, ApproxConfig, Confidence, CostModel, DegradePolicy, EngineKind,
+    Error, Evaluator, PassReport,
 };
 use foc_covers::CoverStore;
 use foc_guard::{Budget, CancelToken, MemoryMeter, TraceContext, TripReason};
@@ -44,7 +44,7 @@ use foc_locality::{migrate_cache, TermCache};
 use foc_logic::parse::{parse_formula, parse_term};
 use foc_logic::Predicates;
 use foc_obs::{
-    names, pow2_buckets, quantile, FlightRecorder, Gauge, Histogram, MemorySink, Metrics,
+    names, pow2_buckets, quantile_detail, FlightRecorder, Gauge, Histogram, MemorySink, Metrics,
 };
 use foc_parallel::{run_isolated_observed, Fault};
 use foc_structures::{DeltaStructure, Structure, TupleOp};
@@ -372,7 +372,8 @@ impl Shared {
                 steps.inc();
                 self.recorder.event(
                     "pressure",
-                    "rung 3: anytime forced, queries answer best-so-far",
+                    "rung 3: anytime forced, queries answer best-so-far \
+                     (counting evals prefer an ε-bounded estimate to a shed)",
                 );
                 Posture {
                     shed: false,
@@ -404,17 +405,22 @@ impl Shared {
     /// capped at 5 s, with deterministic ±12.5% jitter keyed on the
     /// trace id so a shed burst's retries don't re-arrive in lockstep.
     /// Before the latency histogram has a p99, the configured value is
-    /// the hint (plus jitter).
+    /// the hint (plus jitter). A *saturated* p99 — the target rank fell
+    /// in the histogram's +inf bucket, so the true p99 is only known to
+    /// exceed the range — pins the hint at the cap: a backlog that slow
+    /// must not be told to hurry back.
     fn retry_after_hint(&self, trace_id: &str) -> u64 {
         let depth = self.gate.lock().waiting as u64;
-        let p99_ms = quantile(&self.latency.snapshot(), 0.99)
-            .map(|us| (us / 1_000).max(1))
-            .unwrap_or(0);
         let base = self.config.retry_after_ms.max(1);
-        let hint = (depth + 1)
-            .saturating_mul(p99_ms)
-            .max(base)
-            .min(5_000.max(base));
+        let cap = 5_000.max(base);
+        let hint = match quantile_detail(&self.latency.snapshot(), 0.99) {
+            Some((_, true)) => cap,
+            Some((us, false)) => (depth + 1)
+                .saturating_mul((us / 1_000).max(1))
+                .max(base)
+                .min(cap),
+            None => base,
+        };
         // FNV-1a over the trace id: stable across runs, different per
         // request.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -449,7 +455,11 @@ impl Shared {
     /// value, or 4× the p99 of the latency histogram once it has seen
     /// enough requests to estimate one (`u64::MAX` before that — no
     /// request is "slow" until there is a population to be slow
-    /// against).
+    /// against). When the p99 is *saturated* (its rank fell in the
+    /// +inf bucket) the estimate is only a lower bound on the true p99,
+    /// so no multiple of it separates outliers from the norm — the
+    /// threshold stays disabled rather than tagging (and tail-sampling)
+    /// essentially every request.
     fn slow_threshold_micros(&self) -> u64 {
         if let Some(d) = self.config.slow_query {
             return d.as_micros() as u64;
@@ -458,9 +468,10 @@ impl Shared {
         if h.total < 64 {
             return u64::MAX;
         }
-        quantile(&h, 0.99)
-            .map(|p99| p99.saturating_mul(4).max(1_000))
-            .unwrap_or(u64::MAX)
+        match quantile_detail(&h, 0.99) {
+            Some((_, true)) | None => u64::MAX,
+            Some((p99, false)) => p99.saturating_mul(4).max(1_000),
+        }
     }
 
     /// Records a postmortem: bumps the counter, stamps the reason into
@@ -980,6 +991,15 @@ fn evaluate_request(
         })
         .budget(budget)
         .fault_panic_element(cfg.fault_panic_element);
+    if req.approx {
+        // The estimator knob rides the evaluator: the direct approx
+        // path consumes it below, and an approx+anytime request feeds
+        // the requested ε into the ladder's approx rung.
+        builder = builder.approx(match req.epsilon {
+            Some(eps) => ApproxConfig::with_epsilon(eps),
+            None => ApproxConfig::default(),
+        });
+    }
     if use_cache {
         builder = builder.shared_cache(shared.cache.clone());
     } else {
@@ -1021,6 +1041,8 @@ fn evaluate_request(
         || {
             if anytime {
                 run_query_anytime(&ev, req, snapshot, shared, tc, emit).map(|(a, c)| (a, Some(c)))
+            } else if req.approx {
+                run_query_approx(&ev, req, snapshot, shared).map(|(a, c)| (a, Some(c)))
             } else {
                 run_query(&ev, req, snapshot).map(|a| (a, None))
             }
@@ -1210,6 +1232,40 @@ fn run_query_anytime(
         }
         Mode::Update | Mode::Batch => Err(RequestError::Parse(
             "mutation mode routed to the query path".to_string(),
+        )),
+    }
+}
+
+/// The direct approximate path (`"approx":true` without anytime): the
+/// `(ε, δ)` estimator answers the counting eval with a bounded
+/// estimate, recorded under the `engine.approx.*` metrics. An
+/// exhaustive fallthrough (assignment space no larger than the sample
+/// size) is the true count and is tagged `exact` with a zero bound.
+fn run_query_approx(
+    ev: &Evaluator,
+    req: &Request,
+    a: &Structure,
+    shared: &Shared,
+) -> Result<(Answer, Confidence), RequestError> {
+    match req.mode {
+        Mode::Eval => {
+            let t = parse_term(&req.query).map_err(|e| RequestError::Parse(e.to_string()))?;
+            let v = ev.approx_count(a, &t).map_err(RequestError::Engine)?;
+            shared
+                .cost_model
+                .record_approx(v.samples, v.error_bound, v.exhaustive);
+            let confidence = if v.exhaustive {
+                Confidence::Exact
+            } else {
+                Confidence::Approximate {
+                    error_bound: v.error_bound,
+                }
+            };
+            Ok((Answer::Int(v.estimate), confidence))
+        }
+        // The parser refuses `approx` on every other mode.
+        _ => Err(RequestError::Parse(
+            "approx applies to eval requests only".to_string(),
         )),
     }
 }

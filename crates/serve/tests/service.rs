@@ -357,6 +357,136 @@ fn memory_watermark_walks_shrink_then_cache_off_then_shed() {
     assert_eq!(snap.counter(names::SERVE_ANYTIME), 1);
 }
 
+/// ISSUE 9 satellite: under escalating memory pressure a counting eval
+/// degrades in ladder order — exact answers first, then (on the
+/// forced-anytime rung, with a budget too tight for the exact rung) an
+/// ε-bounded approximate answer, and only then shedding — and every
+/// approximate answer carries a finite error bound that contains the
+/// true count.
+#[test]
+fn pressure_degrades_exact_to_approximate_to_shed() {
+    // Dense enough that the assignment space (3600) dwarfs the
+    // Hoeffding sample size (185 at ε=0.1), so the approx rung
+    // genuinely samples — and the exhaustive pass overruns the rung-3
+    // fuel slice below.
+    let n = 60u32;
+    let structure = clique(n);
+    let exact = i64::from(n) * i64::from(n - 1);
+    let handle = start(
+        structure,
+        ServerConfig {
+            engine: EngineKind::Naive,
+            // The structure's resident bytes alone exceed a zero limit,
+            // so every admission walks the escalation ladder one rung.
+            mem_limit: Some(0),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    let mut c = Client::connect(handle.addr());
+
+    let q = |i: usize, fuel: &str| {
+        format!(r##"{{"id":"p{i}","mode":"eval","query":"#(x,y). E(x,y)"{fuel}}}"##)
+    };
+    // Rungs 1-2 (cache shrink, cache off): unbudgeted requests are
+    // still answered exactly.
+    for i in 1..=2 {
+        let f = c.roundtrip(&q(i, ""));
+        assert_eq!(field(&f, "type"), Some("result"), "frame: {f}");
+        assert_eq!(
+            field(&f, "value"),
+            Some(exact.to_string().as_str()),
+            "rung {i} answers exactly: {f}"
+        );
+    }
+    // Rung 3 (anytime forced): a fuel allowance with room for the
+    // sample and approx passes but not the exhaustive one leaves the
+    // ε-estimate as the best banked answer — served, not shed.
+    let f3 = c.roundtrip(&q(3, r#","fuel":4000"#));
+    assert_eq!(field(&f3, "type"), Some("result"), "frame: {f3}");
+    assert_eq!(
+        field(&f3, "confidence"),
+        Some("approx"),
+        "the forced-anytime rung banks the ε-estimate: {f3}"
+    );
+    assert_eq!(field(&f3, "approx"), Some("true"), "frame: {f3}");
+    let bound: i64 = field(&f3, "error_bound")
+        .expect("approx frames carry their bound")
+        .parse()
+        .expect("finite integer bound");
+    let value: i64 = field(&f3, "value").unwrap().parse().unwrap();
+    assert!(bound > 0, "sampled estimates carry a finite bound: {f3}");
+    assert!(
+        (value - exact).abs() <= bound,
+        "estimate {value} strays past ±{bound} of {exact}: {f3}"
+    );
+    // Rung 4 and beyond: shed until the meter drops (it never does).
+    let f4 = c.roundtrip(&q(4, ""));
+    assert_eq!(field(&f4, "type"), Some("shed"), "frame: {f4}");
+
+    let report = handle.drain();
+    let snap = &report.final_metrics;
+    assert_eq!(snap.counter(names::SERVE_PRESSURE_STEPS), 4);
+    assert_eq!(snap.counter(names::SERVE_ANYTIME), 1);
+    assert!(
+        snap.counter("engine.approx.runs") >= 1,
+        "the approx rung records its runs"
+    );
+}
+
+/// ISSUE 9 tentpole: `"approx":true` eval requests (proto 2) answer
+/// with an ε-bounded estimate flagged on the wire, the bound scales
+/// with the requested `epsilon_milli`, and a space small enough to
+/// enumerate falls through to the exact answer.
+#[test]
+fn approx_eval_requests_get_bounded_estimates() {
+    let n = 40u32;
+    let exact = i64::from(n) * i64::from(n - 1);
+    let handle = start(
+        clique(n),
+        ServerConfig {
+            engine: EngineKind::Naive,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    let mut c = Client::connect(handle.addr());
+
+    let ask = |c: &mut Client, id: &str, milli: u64| {
+        c.roundtrip(&format!(
+            r##"{{"proto":2,"id":"{id}","mode":"eval","query":"#(x,y). E(x,y)","approx":true,"epsilon_milli":{milli}}}"##
+        ))
+    };
+    let mut bound_at = |milli: u64| -> i64 {
+        let f = ask(&mut c, &format!("a{milli}"), milli);
+        assert_eq!(field(&f, "type"), Some("result"), "frame: {f}");
+        assert_eq!(field(&f, "confidence"), Some("approx"), "frame: {f}");
+        assert_eq!(field(&f, "approx"), Some("true"), "frame: {f}");
+        let bound: i64 = field(&f, "error_bound").unwrap().parse().unwrap();
+        let value: i64 = field(&f, "value").unwrap().parse().unwrap();
+        assert!(
+            (value - exact).abs() <= bound,
+            "estimate {value} strays past ±{bound} of {exact}: {f}"
+        );
+        bound
+    };
+    // ε=0.1 → bound ⌈0.1·1600⌉ = 160; ε=0.05 halves it.
+    let loose = bound_at(100);
+    let tight = bound_at(50);
+    assert_eq!(loose, 160);
+    assert_eq!(tight, 80);
+
+    // A single-variable count (40 assignments < 185 samples) is
+    // enumerated outright: the "estimate" is the true count, tagged
+    // exact.
+    let f = c.roundtrip(
+        r##"{"proto":2,"id":"tiny","mode":"eval","query":"#(x). x = x","approx":true}"##,
+    );
+    assert_eq!(field(&f, "confidence"), Some("exact"), "frame: {f}");
+    assert_eq!(field(&f, "value"), Some("40"), "frame: {f}");
+    handle.drain();
+}
+
 /// Malformed lines get structured `bad-request` frames (with the id
 /// echoed when the JSON itself was readable) and never take down the
 /// connection.
@@ -919,19 +1049,36 @@ fn anytime_requests_stream_partials_then_a_tagged_result() {
         assert_eq!(field(p, "id"), Some("any"), "frame: {p}");
         assert!(field(p, "pass").is_some(), "frame: {p}");
         let v: i64 = field(p, "value").unwrap().parse().expect("numeric value");
-        assert!(v <= exact, "partial {v} bounds exact {exact}: {p}");
+        // Each banked pass honours its own tag: an ε-estimate is within
+        // its bound, every other tag is a sound lower bound.
+        if field(p, "confidence") == Some("approx") {
+            let b: i64 = field(p, "error_bound").unwrap().parse().unwrap();
+            assert!(
+                (v - exact).abs() <= b,
+                "approx partial {v} strays past ±{b} of {exact}: {p}"
+            );
+        } else {
+            assert!(v <= exact, "partial {v} bounds exact {exact}: {p}");
+        }
     }
     let f = &terminal[0];
     assert_eq!(field(f, "type"), Some("result"), "frame: {f}");
     assert_eq!(field(f, "id"), Some("any"), "frame: {f}");
     assert_eq!(field(f, "proto"), Some("2"), "frame: {f}");
+    // The approx rung fits its 185 samples inside this budget, and the
+    // ε-estimate outranks the sample pass's lower bound.
     assert_eq!(
         field(f, "confidence"),
-        Some("lower_bound"),
-        "tripped budget yields a tagged lower bound: {f}"
+        Some("approx"),
+        "tripped budget yields the banked ε-estimate: {f}"
     );
+    assert_eq!(field(f, "approx"), Some("true"), "frame: {f}");
+    let b: i64 = field(f, "error_bound").unwrap().parse().unwrap();
     let v: i64 = field(f, "value").unwrap().parse().expect("numeric value");
-    assert!((0..=exact).contains(&v), "lower bound {v} vs exact {exact}");
+    assert!(
+        (v - exact).abs() <= b,
+        "estimate {v} strays past ±{b} of exact {exact}"
+    );
 
     let report = handle.drain();
     assert_eq!(report.final_metrics.counter(names::SERVE_ANYTIME), 1);

@@ -108,6 +108,17 @@ fn deadline_tripping_mid_cover_recursion_yields_a_tagged_answer() {
                 "a degraded answer must carry the trip that stopped deepening"
             );
         }
+        Confidence::Approximate { error_bound } => {
+            assert!(
+                out.value.abs_diff(exact) <= error_bound,
+                "approx estimate {} strays past ±{error_bound} of exact {exact}",
+                out.value
+            );
+            assert!(
+                out.interrupt.is_some(),
+                "a degraded answer must carry the trip that stopped deepening"
+            );
+        }
         Confidence::Exact => assert_eq!(out.value, exact, "an exact tag must be the true value"),
     }
 }
