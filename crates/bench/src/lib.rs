@@ -22,6 +22,7 @@
 //! | E14 | live updates — delta maintenance vs rebuild + BENCH_updates.json |
 //! | E15 | anytime evaluation — quality vs budget curve + BENCH_anytime.json |
 //! | E16 | approximate counting — speedup vs epsilon + BENCH_approx.json |
+//! | E17 | WAL durability — durable-ack overhead and recovery time + BENCH_wal.json |
 //!
 //! Run them with `cargo run --release -p foc-bench --bin experiments -- all`
 //! (or a subset, e.g. `e3 e6 --quick`).
@@ -40,6 +41,7 @@ pub mod exp_scaling;
 pub mod exp_serve;
 pub mod exp_sql;
 pub mod exp_updates;
+pub mod exp_wal;
 pub mod table;
 
 use table::Table;
@@ -63,12 +65,13 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<Vec<Table>> {
         "e14" => Some(exp_updates::e14(quick)),
         "e15" => Some(exp_anytime::e15(quick)),
         "e16" => Some(exp_approx::e16(quick)),
+        "e17" => Some(exp_wal::e17(quick)),
         _ => None,
     }
 }
 
 /// All experiment ids in order.
-pub const ALL_EXPERIMENTS: [&str; 16] = [
+pub const ALL_EXPERIMENTS: [&str; 17] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16",
+    "e16", "e17",
 ];

@@ -9,12 +9,16 @@
 //! foc gen     <class> --n N [--seed S] [-o out.foc]
 //!     classes: tree, grid, path, cycle, star, clique, deg3, gnm
 //! foc fuzz    [--seed S] [--budget 30s | --iters N] [--corpus DIR] [--replay]
-//!             [--updates [--steps N]]
+//!             [--updates [--steps N]] [--crash [--checkpoint-every N]]
 //! foc serve   <structure.foc> [--port N] [--max-inflight N] [--queue N]
 //!             [--mem-limit <bytes>] [--drain-timeout <ms>]
 //!             [--telemetry-addr <host:port>] [--trace-log <path>]
 //!             [--postmortem-dir <dir>] [--trace-sample N]
 //!             [--slow-query <ms>] [--no-tracing]
+//!             [--wal-dir <dir>] [--fsync always|never|interval[:ms]]
+//!             [--max-frame-bytes N]
+//! foc recover <wal-dir> [--structure <base.foc>] [-o out.foc]
+//! foc wal     inspect <wal-dir>
 //! foc top     <host:port> [--interval <ms>] [--once]
 //! ```
 //!
@@ -27,7 +31,19 @@
 //! the live-update machinery instead: seeded interleavings of delta
 //! commits and queries, comparing delta-maintained evaluation (migrated
 //! term cache, repaired covers) against a from-scratch rebuild oracle
-//! at every step.
+//! at every step. With `--crash` it sweeps kill points over the
+//! `foc-wal` durability layer instead: a seeded mutation workload is
+//! crashed after every single IO unit and recovered, asserting recovery
+//! always lands on the last durably acknowledged state.
+//!
+//! `foc serve --wal-dir <dir>` makes live updates crash-safe: every
+//! effective commit is appended to a write-ahead log before the result
+//! frame is sent (durable per `--fsync`), snapshot checkpoints bound
+//! recovery replay, and a restart from the same directory recovers
+//! exactly the acknowledged state. `foc recover` performs that recovery
+//! offline (exit 1 on a corrupt or diverged directory); `foc wal
+//! inspect` is the read-only view. SIGINT/SIGTERM trigger the same
+//! graceful drain as stdin EOF.
 //!
 //! `foc serve` can additionally expose a telemetry listener on a
 //! second socket (`--telemetry-addr`): `GET /metrics` answers in
@@ -138,6 +154,7 @@ usage:
   foc fuzz    [--seed S] [--budget 30s | --iters N] [--corpus DIR] [--replay]
               [--max-order N] [--no-shrink] [--no-meta] [--no-anytime]
               [--case-timeout <ms>] [--updates [--steps N]]
+              [--crash [--steps N] [--checkpoint-every N]]
               [--metrics-json <path>]
   foc serve   <structure.foc> [--port N] [--max-inflight N] [--queue N]
               [--mem-limit <bytes>] [--drain-timeout <ms>] [--max-timeout <ms>]
@@ -145,8 +162,18 @@ usage:
               [--telemetry-addr <host:port>] [--trace-log <path>]
               [--postmortem-dir <dir>] [--trace-sample N] [--trace-seed S]
               [--slow-query <ms>] [--no-tracing]
-              (JSON-lines over TCP; drains on stdin EOF or a \"drain\" line;
-               exit 3 if the drain deadline interrupted in-flight requests)
+              [--wal-dir <dir>] [--fsync always|never|interval[:ms]]
+              [--wal-checkpoint-bytes N] [--max-frame-bytes N]
+              (JSON-lines over TCP; drains on stdin EOF, a \"drain\" line,
+               SIGINT, or SIGTERM; exit 3 if the drain deadline
+               interrupted in-flight requests)
+  foc recover <wal-dir> [--structure <base.foc>] [-o out.foc]
+              (recover a WAL directory offline: verify the checkpoint,
+               truncate any torn log tail, replay, and report the
+               recovered epoch/fingerprint; exit 1 on corruption)
+  foc wal     inspect <wal-dir>
+              (read-only scan: checkpoint header, per-record summaries,
+               torn-tail accounting; never modifies the directory)
   foc top     <host:port> [--interval <ms>] [--once]
               (poll a serve telemetry listener's /stats endpoint)
 
@@ -198,6 +225,8 @@ const BOOL_FLAGS: &[&str] = &[
     "--anytime",
     "--no-anytime",
     "--approx",
+    "--updates",
+    "--crash",
 ];
 
 fn run(args: &[String]) -> CliResult {
@@ -214,6 +243,8 @@ fn run(args: &[String]) -> CliResult {
         "gen" => cmd_gen(rest),
         "fuzz" => cmd_fuzz(rest),
         "serve" => cmd_serve(rest),
+        "recover" => cmd_recover(rest),
+        "wal" => cmd_wal(rest),
         "top" => cmd_top(rest),
         other => Err(CliError::usage(format!("unknown subcommand {other:?}"))),
     }
@@ -801,6 +832,44 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
             .parse()
             .map_err(|_| CliError::usage("--max-order needs an integer"))?;
     }
+    if has_flag(args, "--crash") {
+        let mut cfg = foc_diff::CrashConfig {
+            seed,
+            gen,
+            ..foc_diff::CrashConfig::default()
+        };
+        if let Some(i) = iters {
+            cfg.iters = i;
+        }
+        if let Some(v) = flag_value(args, "--steps") {
+            cfg.steps = v
+                .parse()
+                .map_err(|_| CliError::usage("--steps needs an integer"))?;
+        }
+        if let Some(v) = flag_value(args, "--checkpoint-every") {
+            cfg.checkpoint_every = v
+                .parse()
+                .map_err(|_| CliError::usage("--checkpoint-every needs an integer"))?;
+        }
+        let metrics = foc_obs::Metrics::new();
+        let mut stdout = std::io::stdout().lock();
+        let report = foc_diff::fuzz_crash(&cfg, &metrics, &mut stdout);
+        drop(stdout);
+        if let Some(path) = flag_value(args, "--metrics-json") {
+            let json = session_json("fuzz-crash", &[], &metrics.snapshot(), &[]);
+            std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        return if report.clean() {
+            Ok(())
+        } else {
+            Err(CliError::Runtime(format!(
+                "{} crash-recovery violation(s) across {} kill point(s)",
+                report.violations.len(),
+                report.kill_points
+            )))
+        };
+    }
     if has_flag(args, "--updates") {
         let mut cfg = foc_diff::UpdatesConfig {
             seed,
@@ -959,31 +1028,81 @@ fn cmd_serve(args: &[String]) -> CliResult {
     if let Some(ms) = u64_flag("--slow-query")? {
         config.slow_query = Some(Duration::from_millis(ms));
     }
+    config.wal_dir = flag_value(args, "--wal-dir").map(std::path::PathBuf::from);
+    if let Some(v) = flag_value(args, "--fsync") {
+        config.fsync = v.parse::<foc_wal::FsyncPolicy>().map_err(CliError::usage)?;
+    }
+    config.max_frame_bytes = usize_flag("--max-frame-bytes", config.max_frame_bytes)?;
+    if let Some(b) = u64_flag("--wal-checkpoint-bytes")? {
+        config.wal_checkpoint_bytes = b;
+    }
 
+    let wal_on = config.wal_dir.is_some();
     let handle = foc_serve::start(structure, config)
         .map_err(|e| CliError::Runtime(format!("cannot bind: {e}")))?;
     println!("listening on {}", handle.addr());
     if let Some(taddr) = handle.telemetry_addr() {
         println!("telemetry on {taddr}");
     }
+    if wal_on {
+        // Supervisors restarting after a crash read this line to learn
+        // how much log tail the checkpoint left to replay.
+        println!(
+            "wal recovered ({} record(s) replayed)",
+            handle
+                .metrics()
+                .counter(foc_obs::names::RECOVERY_REPLAYED)
+                .get()
+        );
+    }
     // `println!` buffers per line, but be explicit: supervisors wait on
     // this line to learn the ephemeral port.
     std::io::stdout().flush().ok();
 
-    // Block on stdin: EOF (supervisor closed the pipe) or an explicit
-    // "drain" line starts the graceful drain.
-    let stdin = std::io::stdin();
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match stdin.lock().read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) if line.trim() == "drain" => break,
-            Ok(_) => continue,
-            Err(e) => {
-                eprintln!("foc: stdin error, draining: {e}");
-                break;
+    // Block until something asks for the graceful drain: stdin EOF
+    // (supervisor closed the pipe), an explicit "drain" line, SIGINT, or
+    // SIGTERM. Stdin is read on a helper thread because a blocking
+    // `read_line` cannot observe the signal flag (handlers are installed
+    // with restart semantics on most platforms); the main thread polls
+    // both the channel and the flag. The helper stays parked in its read
+    // after a signal-triggered exit, which is fine — the process is
+    // about to finish the drain and exit.
+    signals::install();
+    let (tx, rx) = std::sync::mpsc::channel::<Option<String>>();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match stdin.lock().read_line(&mut line) {
+                Ok(0) => {
+                    let _ = tx.send(None);
+                    break;
+                }
+                Ok(_) => {
+                    if tx.send(Some(line.trim().to_string())).is_err() {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("foc: stdin error, draining: {e}");
+                    let _ = tx.send(None);
+                    break;
+                }
             }
+        }
+    });
+    loop {
+        if signals::triggered() {
+            eprintln!("foc: signal received, draining");
+            break;
+        }
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(None) => break,
+            Ok(Some(l)) if l == "drain" => break,
+            Ok(Some(_)) => continue,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
         }
     }
 
@@ -1008,6 +1127,128 @@ fn cmd_serve(args: &[String]) -> CliResult {
             phase: foc_core::Phase::Engine,
             fuel_spent: 0,
         }));
+    }
+    Ok(())
+}
+
+/// SIGINT/SIGTERM handling without a signal crate: a handler that only
+/// sets an atomic flag, installed through the C `signal` entry point
+/// (async-signal-safe — an atomic store is on the safe list).
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    type Handler = extern "C" fn(i32);
+    extern "C" {
+        fn signal(signum: i32, handler: Handler) -> isize;
+    }
+
+    extern "C" fn on_signal(_sig: i32) {
+        TRIGGERED.store(true, Ordering::SeqCst);
+    }
+
+    /// Routes SIGINT and SIGTERM to the drain flag.
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    /// Whether a drain-triggering signal has arrived.
+    pub fn triggered() -> bool {
+        TRIGGERED.load(Ordering::SeqCst)
+    }
+}
+
+/// On non-unix targets signals never trigger; stdin still drives drain.
+#[cfg(not(unix))]
+mod signals {
+    pub fn install() {}
+
+    pub fn triggered() -> bool {
+        false
+    }
+}
+
+/// `foc recover`: recover a WAL directory offline — verify the
+/// checkpoint, truncate any torn log tail, replay the surviving records
+/// (each verified against its recorded fingerprint), and report the
+/// recovered state. `--structure` seeds a directory that has no
+/// checkpoint yet; `-o` writes the recovered structure out.
+fn cmd_recover(args: &[String]) -> CliResult {
+    let pos = positional(args);
+    let [dir] = pos.as_slice() else {
+        return Err(CliError::usage("recover needs exactly one <wal-dir>"));
+    };
+    let base = match flag_value(args, "--structure") {
+        Some(p) => Some(load(p)?),
+        None => None,
+    };
+    let store = foc_wal::DirStore::open(std::path::Path::new(dir.as_str()))
+        .map_err(|e| format!("cannot open {dir}: {e}"))?;
+    let (_, rec) = foc_wal::Wal::recover(store, foc_wal::FsyncPolicy::Always, base)
+        .map_err(|e| format!("{dir}: {e}"))?;
+    println!(
+        "recovered epoch {} fingerprint {:016x} ({} replayed, {} skipped, {} torn byte(s) truncated, checkpoint at epoch {})",
+        rec.delta.epoch(),
+        rec.fingerprint,
+        rec.replayed,
+        rec.skipped,
+        rec.truncated_bytes,
+        rec.checkpoint_epoch,
+    );
+    if let Some(out) = flag_value(args, "-o") {
+        std::fs::write(out, write_structure(rec.delta.current()))
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("wrote {out}");
+    }
+    Ok(())
+}
+
+/// `foc wal inspect`: read-only scan of a WAL directory — checkpoint
+/// header, per-record summaries, and torn-tail accounting. Unlike
+/// `foc recover` this never truncates anything.
+fn cmd_wal(args: &[String]) -> CliResult {
+    let Some(sub) = args.first() else {
+        return Err(CliError::usage("wal needs a subcommand (inspect)"));
+    };
+    if sub != "inspect" {
+        return Err(CliError::usage(format!("unknown wal subcommand {sub:?}")));
+    }
+    let rest = &args[1..];
+    let pos = positional(rest);
+    let [dir] = pos.as_slice() else {
+        return Err(CliError::usage("wal inspect needs exactly one <wal-dir>"));
+    };
+    let mut store = foc_wal::DirStore::open(std::path::Path::new(dir.as_str()))
+        .map_err(|e| format!("cannot open {dir}: {e}"))?;
+    let insp = foc_wal::inspect(&mut store).map_err(|e| format!("{dir}: {e}"))?;
+    match insp.checkpoint {
+        Some((epoch, fp, order)) => {
+            println!("checkpoint epoch {epoch} fingerprint {fp:016x} universe {order}")
+        }
+        None => println!("checkpoint none"),
+    }
+    println!(
+        "log {} record(s), {} valid byte(s)",
+        insp.records.len(),
+        insp.valid_bytes
+    );
+    for (epoch, fp, ops) in &insp.records {
+        println!("  record epoch {epoch} fingerprint {fp:016x} {ops} op(s)");
+    }
+    if insp.torn_bytes > 0 {
+        println!(
+            "torn tail {} byte(s): {}",
+            insp.torn_bytes,
+            insp.torn_reason.as_deref().unwrap_or("unknown cause")
+        );
     }
     Ok(())
 }
@@ -1116,6 +1357,14 @@ fn cmd_top(args: &[String]) -> CliResult {
                 "cache_hit_rate",
                 "resident_bytes",
                 "peak_resident_bytes",
+                "wal_enabled",
+                "wal_readonly",
+                "wal_last_sync_age_micros",
+                "wal_bytes_since_checkpoint",
+                "wal_appends",
+                "wal_checkpoints",
+                "frames_oversized",
+                "recovery_replayed",
             ] {
                 println!("{field:<22} {}", stats_field(&stats, field));
             }
@@ -1125,8 +1374,20 @@ fn cmd_top(args: &[String]) -> CliResult {
             .parse::<u64>()
             .unwrap_or(0) as f64
             / 1e6;
+        // WAL health (satellite of the durability work): last-fsync age
+        // and log growth since the last checkpoint, only when a WAL is
+        // configured on the server.
+        let wal = if stats_field(&stats, "wal_enabled") == "true" {
+            format!(
+                "  wal age {}us log {}B",
+                stats_field(&stats, "wal_last_sync_age_micros"),
+                stats_field(&stats, "wal_bytes_since_checkpoint"),
+            )
+        } else {
+            String::new()
+        };
         println!(
-            "up {uptime_s:7.1}s  inflight {:>3}  queue {:>3}  req {:>6}  shed {:>4}  err {:>4}  slow {:>4}  cache {} ({} B, hit {})  pressure {}{}",
+            "up {uptime_s:7.1}s  inflight {:>3}  queue {:>3}  req {:>6}  shed {:>4}  err {:>4}  slow {:>4}  cache {} ({} B, hit {})  pressure {}{wal}{}{}",
             stats_field(&stats, "inflight"),
             stats_field(&stats, "queue_depth"),
             stats_field(&stats, "requests"),
@@ -1137,6 +1398,11 @@ fn cmd_top(args: &[String]) -> CliResult {
             stats_field(&stats, "cache_bytes"),
             stats_field(&stats, "cache_hit_rate"),
             stats_field(&stats, "pressure"),
+            if stats_field(&stats, "wal_readonly") == "true" {
+                "  WAL-READONLY"
+            } else {
+                ""
+            },
             if stats_field(&stats, "draining") == "true" {
                 "  DRAINING"
             } else {

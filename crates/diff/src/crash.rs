@@ -1,0 +1,363 @@
+//! Kill-point recovery fuzz: crash the WAL at every IO boundary and
+//! prove recovery lands on an acknowledged state.
+//!
+//! Each iteration draws a base structure (the [`crate::gen`] families)
+//! and runs a seeded mutation workload through a [`foc_wal::Wal`] backed
+//! by the fault-injecting [`MemStore`], exactly the durable-ack
+//! discipline `foc serve` uses: apply → append → fsync → ack, with a
+//! checkpoint every few commits. An unarmed probe run counts the IO
+//! units the workload spends (one per byte written, one per
+//! sync/truncate/reset, checkpoint bytes + one for the atomic rename);
+//! the sweep then re-runs the identical workload once per unit `k`,
+//! crashing after exactly `k` units — which lands inside record
+//! payloads, between append and fsync, and mid-checkpoint, not just on
+//! tidy operation boundaries.
+//!
+//! After each crash the post-crash image is recovered under both
+//! survival extremes of the page cache:
+//!
+//! * **keep = 0** — only fsynced bytes survive. Recovery must land on
+//!   *exactly* the last acknowledged `(epoch, fingerprint)`: every ack
+//!   implied durability (the policy is `always`), and nothing
+//!   unacknowledged was durable.
+//! * **keep = everything** — all written bytes survive. Recovery may
+//!   land past the last ack (a record that was written but whose ack
+//!   never made it out), but the state must be one the workload actually
+//!   committed, at an epoch no older than the last ack.
+//!
+//! In both modes recovery itself must succeed: a crash may tear the log
+//! tail, but it must never produce a directory the recovery code
+//! refuses. Any deviation is logged as a `CRASH-VIOLATION` line.
+//!
+//! Determinism contract: identical to [`crate::harness`] — control flow
+//! depends only on the configuration, so two runs produce byte-identical
+//! logs (wall-clock never steers the sweep).
+
+use std::io::Write;
+
+use foc_obs::{names, Metrics};
+use foc_structures::Structure;
+use foc_wal::{FsyncPolicy, MemStore, Wal};
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::gen::{gen_case, GenConfig};
+use crate::updates::gen_ops;
+
+/// Per-iteration seed stride (same constant as the main harness, so
+/// `--crash` case *i* is stable regardless of the iteration count).
+const SEED_STRIDE: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Configuration of the kill-point sweep.
+#[derive(Debug, Clone)]
+pub struct CrashConfig {
+    /// Master seed: fixes every base structure and workload.
+    pub seed: u64,
+    /// Number of `(structure, workload)` cases to sweep.
+    pub iters: u64,
+    /// Mutation batches per workload.
+    pub steps: u64,
+    /// Take a checkpoint every this many effective commits.
+    pub checkpoint_every: u64,
+    /// Generator knobs for the base structure.
+    pub gen: GenConfig,
+}
+
+impl Default for CrashConfig {
+    fn default() -> Self {
+        CrashConfig {
+            seed: 0,
+            iters: 4,
+            steps: 6,
+            checkpoint_every: 2,
+            gen: GenConfig::default(),
+        }
+    }
+}
+
+/// Summary of a kill-point sweep.
+#[derive(Debug, Default)]
+pub struct CrashReport {
+    /// Workload cases swept.
+    pub cases: u64,
+    /// Kill points exercised (IO units across all cases).
+    pub kill_points: u64,
+    /// Recoveries performed (two survival modes per kill point).
+    pub recoveries: u64,
+    /// Human-readable violation records (also written to the log).
+    pub violations: Vec<String>,
+}
+
+impl CrashReport {
+    /// `true` when every recovery landed on an acknowledged state.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// What one workload run acknowledged and committed before it finished
+/// or crashed.
+struct Trace {
+    /// `(epoch, fingerprint)` at every acknowledged point, starting with
+    /// the recovered base state (acked trivially: it was durable).
+    acked: Vec<(u64, u64)>,
+    /// `(epoch, fingerprint)` of every state the in-memory structure
+    /// reached, acknowledged or not.
+    committed: Vec<(u64, u64)>,
+    /// Whether the armed fault fired mid-workload.
+    crashed: bool,
+}
+
+/// Runs the serve-shaped workload — recover, checkpoint, then
+/// apply → append → ack with periodic checkpoints — against `store`.
+/// Control flow is a pure function of `(seed, steps, checkpoint_every)`
+/// and the crash budget, so the sweep re-runs it identically per kill
+/// point.
+fn run_workload(
+    store: &mut MemStore,
+    base: &Structure,
+    seed: u64,
+    steps: u64,
+    checkpoint_every: u64,
+) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = Trace {
+        acked: Vec::new(),
+        committed: Vec::new(),
+        crashed: false,
+    };
+    let (mut wal, rec) = match Wal::recover(&mut *store, FsyncPolicy::Always, Some(base.clone())) {
+        Ok(x) => x,
+        Err(_) => {
+            // A fresh store spends no IO units during recovery, so this
+            // only fires when the budget was zero before we started.
+            trace.crashed = true;
+            return trace;
+        }
+    };
+    let mut delta = rec.delta;
+    trace.acked.push((delta.epoch(), rec.fingerprint));
+    trace.committed.push((delta.epoch(), rec.fingerprint));
+    if !rec.had_checkpoint && wal.checkpoint(delta.current()).is_err() {
+        trace.crashed = true;
+        return trace;
+    }
+    let mut since_checkpoint = 0u64;
+    for _ in 0..steps {
+        let ops = gen_ops(&mut rng, delta.current());
+        let info = match delta.apply(&ops) {
+            Ok(info) => info,
+            Err(_) => continue, // in-range batches never reject; keep rng in lockstep
+        };
+        if info.changed == 0 {
+            continue;
+        }
+        let fp = delta.snapshot().fingerprint();
+        trace.committed.push((info.epoch, fp));
+        if wal.append_commit(info.epoch, fp, &ops).is_err() {
+            trace.crashed = true;
+            return trace;
+        }
+        trace.acked.push((info.epoch, fp));
+        since_checkpoint += 1;
+        if since_checkpoint >= checkpoint_every {
+            if wal.checkpoint(delta.current()).is_err() {
+                trace.crashed = true;
+                return trace;
+            }
+            since_checkpoint = 0;
+        }
+    }
+    trace
+}
+
+/// Sweeps every kill point of every case and recovers under both
+/// survival modes. Log lines are deterministic for a fixed
+/// configuration.
+pub fn fuzz_crash(cfg: &CrashConfig, metrics: &Metrics, log: &mut dyn Write) -> CrashReport {
+    let _ = writeln!(
+        log,
+        "fuzz-crash seed={} iterations={} steps={} checkpoint_every={}",
+        cfg.seed, cfg.iters, cfg.steps, cfg.checkpoint_every
+    );
+    let mut report = CrashReport::default();
+    let cases = metrics.counter(names::FUZZ_CASES);
+    let violations_ctr = metrics.counter(names::FUZZ_DIVERGENCES);
+    for i in 0..cfg.iters {
+        let case_seed = cfg.seed ^ i.wrapping_mul(SEED_STRIDE);
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        let base = gen_case(&mut rng, &cfg.gen).structure;
+        cases.inc();
+        report.cases += 1;
+
+        // Unarmed probe: sizes the sweep and fixes the full ack history.
+        let mut probe = MemStore::new();
+        let full = run_workload(
+            &mut probe,
+            &base,
+            case_seed,
+            cfg.steps,
+            cfg.checkpoint_every,
+        );
+        debug_assert!(!full.crashed);
+        let total_units = probe.units();
+
+        let mut violate = |report: &mut CrashReport, kill: u64, keep: &str, msg: String| {
+            let line = format!(
+                "CRASH-VIOLATION seed {} iter {i} kill-unit {kill} survival {keep} :: {msg}",
+                cfg.seed
+            );
+            let _ = writeln!(log, "{line}");
+            violations_ctr.inc();
+            report.violations.push(line);
+        };
+
+        for kill in 0..total_units {
+            report.kill_points += 1;
+            let mut store = MemStore::with_crash_after(kill);
+            let t = run_workload(
+                &mut store,
+                &base,
+                case_seed,
+                cfg.steps,
+                cfg.checkpoint_every,
+            );
+            if !t.crashed {
+                violate(
+                    &mut report,
+                    kill,
+                    "-",
+                    format!("budget {kill} of {total_units} units did not crash the workload"),
+                );
+                continue;
+            }
+            let &(acked_epoch, acked_fp) = match t.acked.last() {
+                Some(last) => last,
+                None => &(base.epoch(), base.fingerprint()),
+            };
+            for keep in [0usize, usize::MAX] {
+                let mode = if keep == 0 {
+                    "fsync-only"
+                } else {
+                    "page-cache"
+                };
+                report.recoveries += 1;
+                let survived = store.survived(keep);
+                let rec = match Wal::recover(survived, FsyncPolicy::Always, Some(base.clone())) {
+                    Ok((_, rec)) => rec,
+                    Err(e) => {
+                        violate(
+                            &mut report,
+                            kill,
+                            mode,
+                            format!("recovery refused a crashed-but-uncorrupted image: {e}"),
+                        );
+                        continue;
+                    }
+                };
+                let got = (rec.delta.epoch(), rec.fingerprint);
+                if keep == 0 {
+                    // Only fsynced bytes survived: recovery must land on
+                    // exactly the last acknowledged state.
+                    if got != (acked_epoch, acked_fp) {
+                        violate(
+                            &mut report,
+                            kill,
+                            mode,
+                            format!(
+                                "recovered epoch {} fp {:016x}, last ack was epoch {} fp {:016x}",
+                                got.0, got.1, acked_epoch, acked_fp
+                            ),
+                        );
+                    }
+                } else {
+                    // Everything written survived: recovery may run past
+                    // the ack, but only along the committed history.
+                    if got.0 < acked_epoch {
+                        violate(
+                            &mut report,
+                            kill,
+                            mode,
+                            format!(
+                                "recovered epoch {} is older than acked epoch {acked_epoch}",
+                                got.0
+                            ),
+                        );
+                    } else if !t.committed.contains(&got) {
+                        violate(
+                            &mut report,
+                            kill,
+                            mode,
+                            format!(
+                                "recovered epoch {} fp {:016x} was never committed",
+                                got.0, got.1
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    let _ = writeln!(
+        log,
+        "fuzz-crash done cases={} kill_points={} recoveries={} violations={}",
+        report.cases,
+        report.kill_points,
+        report.recoveries,
+        report.violations.len()
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CrashConfig {
+        CrashConfig {
+            seed: 5,
+            iters: 2,
+            steps: 4,
+            checkpoint_every: 2,
+            gen: GenConfig {
+                max_order: 8,
+                ..GenConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn kill_point_sweep_is_clean() {
+        let metrics = Metrics::new();
+        let mut log = Vec::new();
+        let report = fuzz_crash(&small(), &metrics, &mut log);
+        assert!(
+            report.clean(),
+            "violations: {:#?}\nlog: {}",
+            report.violations,
+            String::from_utf8_lossy(&log)
+        );
+        assert_eq!(report.cases, 2);
+        assert!(report.kill_points > 100, "sweep must cover many IO units");
+        assert_eq!(report.recoveries, report.kill_points * 2);
+    }
+
+    #[test]
+    fn crash_fuzz_logs_are_deterministic() {
+        let run = |seed: u64| {
+            let metrics = Metrics::new();
+            let mut log = Vec::new();
+            fuzz_crash(
+                &CrashConfig {
+                    seed,
+                    iters: 1,
+                    ..small()
+                },
+                &metrics,
+                &mut log,
+            );
+            String::from_utf8(log).unwrap()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

@@ -23,6 +23,10 @@
 //!   the same oracle: an `exact` answer must equal it, a `lower_bound`
 //!   must never exceed it, and a `partial` that covered every work unit
 //!   must equal it.
+//! * [`crash`] sweeps kill points over the `foc-wal` durability layer:
+//!   a seeded mutation workload is crashed after every single IO unit
+//!   and recovered under both page-cache survival extremes, asserting
+//!   the recovered state is exactly the last durably acknowledged one.
 //! * [`shrink`] greedily minimises a failing case (drop relations →
 //!   remove elements → simplify the formula AST bottom-up).
 //! * [`corpus`] persists shrunk divergences as replayable text files and
@@ -37,6 +41,7 @@
 
 pub mod anytime;
 pub mod corpus;
+pub mod crash;
 pub mod gen;
 pub mod harness;
 pub mod meta;
@@ -46,6 +51,7 @@ pub mod updates;
 
 pub use anytime::{contract_violation, run_anytime_battery, ANYTIME_FUEL_BUDGETS};
 pub use corpus::{case_from_str, case_to_string, load_dir, save_case};
+pub use crash::{fuzz_crash, CrashConfig, CrashReport};
 pub use gen::{gen_case, GenConfig};
 pub use harness::{fuzz, replay, FuzzConfig, FuzzReport, DEFAULT_CASE_DEADLINE};
 pub use oracle::{

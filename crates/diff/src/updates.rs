@@ -96,7 +96,7 @@ impl UpdatesReport {
 /// Draws one mutation batch against `s`'s signature: 1–3 ops over the
 /// declared relations, with components inside the universe (so the
 /// batch always validates and any rejection is a harness bug).
-fn gen_ops(rng: &mut StdRng, s: &Structure) -> Vec<TupleOp> {
+pub(crate) fn gen_ops(rng: &mut StdRng, s: &Structure) -> Vec<TupleOp> {
     let rels = s.signature().rels();
     let order = s.order();
     if rels.is_empty() || order == 0 {

@@ -191,3 +191,27 @@ pub const COVER_CLUSTERS_DONE: &str = "cover.clusters_done";
 pub const SERVE_ANYTIME: &str = "server.anytime";
 /// Progressive `partial` frames streamed to proto-2 clients. Counter.
 pub const SERVE_PARTIAL_FRAMES: &str = "server.partial_frames";
+
+/// Commit records appended to the write-ahead log. Counter.
+pub const SERVE_WAL_APPENDS: &str = "server.wal.appends";
+/// Framed bytes appended to the write-ahead log. Counter.
+pub const SERVE_WAL_BYTES: &str = "server.wal.bytes";
+/// Fsyncs the write-ahead log performed (per the fsync policy). Counter.
+pub const SERVE_WAL_SYNCS: &str = "server.wal.syncs";
+/// Snapshot checkpoints taken (log reset to empty). Counter.
+pub const SERVE_WAL_CHECKPOINTS: &str = "server.wal.checkpoints";
+/// WAL IO failures: each one walks the degrade ladder (read-only mode,
+/// then drain). Counter.
+pub const SERVE_WAL_ERRORS: &str = "server.wal.errors";
+/// Request lines rejected for exceeding the frame-size bound. Counter.
+pub const SERVE_FRAMES_OVERSIZED: &str = "server.frames_oversized";
+
+/// WAL recovery runs performed at startup or by `foc recover`. Counter.
+pub const RECOVERY_RUNS: &str = "recovery.runs";
+/// Log records replayed onto the checkpoint during recovery. Counter.
+pub const RECOVERY_REPLAYED: &str = "recovery.replayed_records";
+/// Log records skipped because the checkpoint already contained their
+/// epoch (the mid-checkpoint crash window). Counter.
+pub const RECOVERY_SKIPPED: &str = "recovery.skipped_records";
+/// Torn-tail bytes truncated from the log during recovery. Counter.
+pub const RECOVERY_TRUNCATED_BYTES: &str = "recovery.truncated_bytes";

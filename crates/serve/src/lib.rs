@@ -47,7 +47,18 @@
 //!   so a tripped budget returns the best-so-far answer instead of an
 //!   `interrupted` error. The memory-pressure ladder also *forces*
 //!   anytime mode one rung before shedding — degraded answers beat
-//!   refusals.
+//!   refusals;
+//! * **Crash-safe durability** — with `ServerConfig::wal_dir` set,
+//!   every effective commit is appended to a [`foc_wal`] write-ahead
+//!   log and made durable per [`foc_wal::FsyncPolicy`] *before* the
+//!   result frame is emitted (an acknowledged update survives
+//!   `kill -9`); startup recovers the directory — checkpoint restore,
+//!   torn-tail truncation, fingerprint-verified replay — and refuses
+//!   to serve a diverged state. A WAL write failure rolls the commit
+//!   back and degrades the server to read-only (structured
+//!   `read-only` frames, `/healthz` 503), a second failure drains;
+//!   request lines beyond `ServerConfig::max_frame_bytes` are answered
+//!   with a structured `bad-request` frame without buffering them.
 //!
 //! The wire protocol is one JSON object per line in each direction; see
 //! [`protocol`].

@@ -48,6 +48,7 @@ use foc_obs::{
 };
 use foc_parallel::{run_isolated_observed, Fault};
 use foc_structures::{DeltaStructure, Structure, TupleOp};
+use foc_wal::{DirStore, FsyncPolicy, Wal};
 
 use crate::protocol::{
     anytime_result_frame, drained_frame, error_frame, parse_request, partial_frame, result_frame,
@@ -102,10 +103,31 @@ pub struct ServerConfig {
     /// Directory for flight-recorder postmortem dumps (`None` = the
     /// ring is kept in memory but never written to disk).
     pub postmortem_dir: Option<PathBuf>,
+    /// Write-ahead-log directory (`None` = no durability: commits live
+    /// only in memory). With a WAL, startup recovers the directory's
+    /// checkpoint + log tail — the recovered state *replaces* the
+    /// loaded structure — and every effective commit is logged before
+    /// its acknowledgement frame is sent (durable per `fsync`).
+    pub wal_dir: Option<PathBuf>,
+    /// When an appended WAL record becomes durable (see
+    /// [`FsyncPolicy`]); `always` makes every acknowledgement imply
+    /// durability.
+    pub fsync: FsyncPolicy,
+    /// Take a snapshot checkpoint (and reset the log) once the log
+    /// grows past this many bytes, bounding recovery replay time.
+    pub wal_checkpoint_bytes: u64,
+    /// Longest accepted request line in bytes; an oversized line is
+    /// answered with a `bad-request` error frame and skipped instead of
+    /// growing the read buffer unboundedly.
+    pub max_frame_bytes: usize,
     /// Test-only fault injection, forwarded to the evaluator builder
     /// (see `EvaluatorBuilder::fault_panic_element`).
     #[doc(hidden)]
     pub fault_panic_element: Option<u32>,
+    /// Test-only fault injection: WAL appends fail after this many
+    /// succeed, exercising the read-only degrade ladder.
+    #[doc(hidden)]
+    pub wal_fail_appends: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -129,7 +151,12 @@ impl Default for ServerConfig {
             slow_query: None,
             trace_path: None,
             postmortem_dir: None,
+            wal_dir: None,
+            fsync: FsyncPolicy::Always,
+            wal_checkpoint_bytes: 4 << 20,
+            max_frame_bytes: 4 << 20,
             fault_panic_element: None,
+            wal_fail_appends: None,
         }
     }
 }
@@ -322,6 +349,48 @@ pub(crate) struct Shared {
     mint_seed: u64,
     trace_seq: AtomicU64,
     postmortem_seq: AtomicU64,
+    /// The write-ahead log, when `--wal-dir` is configured. Appends
+    /// happen under the writer lock (commit order = log order); this
+    /// separate mutex only exists so the telemetry endpoints can read
+    /// WAL health without contending on the writer.
+    wal: Option<Mutex<WalState>>,
+    /// The degrade ladder's first rung: a WAL IO failure flips this and
+    /// the server refuses mutations (queries still answered) instead of
+    /// acknowledging updates it cannot make durable. A second failure
+    /// escalates to drain.
+    wal_readonly: AtomicBool,
+}
+
+/// The WAL behind its health/append mutex, plus the test-only
+/// fail-after-N fault injector.
+struct WalState {
+    wal: Wal<DirStore>,
+    fail_appends: Option<u64>,
+}
+
+impl WalState {
+    /// Appends one commit record, bumping the `server.wal.*` counters.
+    fn append(
+        &mut self,
+        epoch: u64,
+        fingerprint: u64,
+        ops: &[TupleOp],
+        m: &Metrics,
+    ) -> std::io::Result<foc_wal::AppendInfo> {
+        if let Some(left) = &mut self.fail_appends {
+            if *left == 0 {
+                return Err(std::io::Error::other("injected wal append failure"));
+            }
+            *left -= 1;
+        }
+        let info = self.wal.append_commit(epoch, fingerprint, ops)?;
+        m.counter(names::SERVE_WAL_APPENDS).inc();
+        m.counter(names::SERVE_WAL_BYTES).add(info.bytes);
+        if info.synced {
+            m.counter(names::SERVE_WAL_SYNCS).inc();
+        }
+        Ok(info)
+    }
 }
 
 impl Shared {
@@ -494,6 +563,58 @@ impl Shared {
         &self.metrics
     }
 
+    /// WAL health for the telemetry surfaces: `(last fsync age in
+    /// micros, log bytes since the last checkpoint)`. `None` when no
+    /// WAL is configured.
+    fn wal_health(&self) -> Option<(u64, u64)> {
+        let wal = self.wal.as_ref()?;
+        let st = wal.lock().unwrap_or_else(|e| e.into_inner());
+        Some((st.wal.unsynced_age().as_micros() as u64, st.wal.log_bytes()))
+    }
+
+    /// Whether the WAL degrade ladder has reached read-only mode.
+    fn wal_is_readonly(&self) -> bool {
+        self.wal_readonly.load(Ordering::Acquire)
+    }
+
+    /// Best-effort final fsync of the WAL (drain and abrupt shutdown):
+    /// under the `interval`/`never` policies this is what makes the
+    /// tail of acknowledged-but-unsynced records durable.
+    fn wal_flush(&self) {
+        if let Some(walm) = &self.wal {
+            let mut ws = walm.lock().unwrap_or_else(|e| e.into_inner());
+            match ws.wal.sync() {
+                Ok(()) => {
+                    self.metrics.counter(names::SERVE_WAL_SYNCS).inc();
+                }
+                Err(_) => {
+                    self.metrics.counter(names::SERVE_WAL_ERRORS).inc();
+                }
+            }
+        }
+    }
+
+    /// Walks the WAL degrade ladder one rung: the first failure flips
+    /// read-only mode (mutations refused, queries served); a failure
+    /// while already read-only initiates drain — the server sheds
+    /// everything and waits for the operator. Never panics.
+    fn wal_degrade(&self, what: &str, err: &std::io::Error) {
+        self.metrics.counter(names::SERVE_WAL_ERRORS).inc();
+        if !self.wal_readonly.swap(true, Ordering::AcqRel) {
+            self.postmortem(
+                "wal",
+                &format!("wal {what} failed ({err}); entering read-only mode"),
+            );
+        } else {
+            self.postmortem(
+                "wal",
+                &format!("wal {what} failed in read-only mode ({err}); draining"),
+            );
+            self.shutdown.store(true, Ordering::Release);
+            self.gate.start_drain();
+        }
+    }
+
     /// Tells the telemetry scrape loop to exit (set at the end of
     /// drain, together with the accept loop's stop flag).
     pub(crate) fn telemetry_stop(&self) -> bool {
@@ -506,29 +627,44 @@ impl Shared {
     /// shed rung.
     pub(crate) fn healthz(&self) -> (u16, &'static str, String) {
         let pressure = *self.pressure.lock().unwrap_or_else(|e| e.into_inner());
+        // WAL health rides every body when a WAL is configured: last
+        // fsync age and the log bytes a recovery would have to replay.
+        let wal = match self.wal_health() {
+            Some((age, bytes)) => format!(
+                ",\"wal\":{{\"readonly\":{},\"last_sync_age_micros\":{age},\"log_bytes_since_checkpoint\":{bytes}}}",
+                self.wal_is_readonly()
+            ),
+            None => String::new(),
+        };
         if self.draining() {
             (
                 503,
                 "application/json",
-                "{\"status\":\"draining\"}".to_string(),
+                format!("{{\"status\":\"draining\"{wal}}}"),
+            )
+        } else if self.wal_is_readonly() {
+            (
+                503,
+                "application/json",
+                format!("{{\"status\":\"wal-readonly\",\"pressure\":{pressure}{wal}}}"),
             )
         } else if pressure >= 4 {
             (
                 503,
                 "application/json",
-                format!("{{\"status\":\"shedding\",\"pressure\":{pressure}}}"),
+                format!("{{\"status\":\"shedding\",\"pressure\":{pressure}{wal}}}"),
             )
         } else if pressure == 3 {
             (
                 200,
                 "application/json",
-                format!("{{\"status\":\"degraded\",\"pressure\":{pressure}}}"),
+                format!("{{\"status\":\"degraded\",\"pressure\":{pressure}{wal}}}"),
             )
         } else {
             (
                 200,
                 "application/json",
-                format!("{{\"status\":\"ok\",\"pressure\":{pressure}}}"),
+                format!("{{\"status\":\"ok\",\"pressure\":{pressure}{wal}}}"),
             )
         }
     }
@@ -549,8 +685,9 @@ impl Shared {
             hits as f64 / lookups as f64
         };
         let snap = self.metrics.snapshot();
+        let (wal_age, wal_bytes) = self.wal_health().unwrap_or((0, 0));
         format!(
-            "{{\"uptime_micros\":{},\"inflight\":{inflight},\"queue_depth\":{queue_depth},\"draining\":{draining},\"pressure\":{pressure},\"epoch\":{},\"requests\":{},\"shed\":{},\"errors\":{},\"interrupted\":{},\"slow_queries\":{},\"traces_kept\":{},\"postmortems\":{},\"cache_entries\":{},\"cache_bytes\":{},\"cache_hit_rate\":{hit_rate:.4},\"resident_bytes\":{},\"peak_resident_bytes\":{}}}",
+            "{{\"uptime_micros\":{},\"inflight\":{inflight},\"queue_depth\":{queue_depth},\"draining\":{draining},\"pressure\":{pressure},\"epoch\":{},\"requests\":{},\"shed\":{},\"errors\":{},\"interrupted\":{},\"slow_queries\":{},\"traces_kept\":{},\"postmortems\":{},\"cache_entries\":{},\"cache_bytes\":{},\"cache_hit_rate\":{hit_rate:.4},\"resident_bytes\":{},\"peak_resident_bytes\":{},\"wal_enabled\":{},\"wal_readonly\":{},\"wal_last_sync_age_micros\":{wal_age},\"wal_bytes_since_checkpoint\":{wal_bytes},\"wal_appends\":{},\"wal_checkpoints\":{},\"frames_oversized\":{},\"recovery_replayed\":{}}}",
             self.started.elapsed().as_micros(),
             self.snapshot().epoch(),
             snap.counter(names::SERVE_REQUESTS),
@@ -564,6 +701,12 @@ impl Shared {
             self.cache.resident_bytes(),
             self.meter.used(),
             self.peak_resident.load(Ordering::Relaxed).max(self.meter.used()),
+            self.wal.is_some(),
+            self.wal_is_readonly(),
+            snap.counter(names::SERVE_WAL_APPENDS),
+            snap.counter(names::SERVE_WAL_CHECKPOINTS),
+            snap.counter(names::SERVE_FRAMES_OVERSIZED),
+            snap.counter(names::RECOVERY_REPLAYED),
         )
     }
 }
@@ -611,18 +754,51 @@ pub fn start(structure: Structure, config: ServerConfig) -> std::io::Result<Serv
     listener.set_nonblocking(true)?;
 
     let metrics = Metrics::new();
+    // With a WAL directory, recover before serving: the checkpoint plus
+    // the replayed log tail *replace* the loaded structure (they are
+    // its durable history), and a fresh directory is seeded with an
+    // initial checkpoint so the directory is self-contained from the
+    // first acknowledged update on. A recovery failure — corrupt
+    // checkpoint, epoch gap, fingerprint mismatch — refuses to serve.
+    let (writer, wal) = match &config.wal_dir {
+        Some(dir) => {
+            let store = DirStore::open(dir)?;
+            let (mut wal, rec) =
+                Wal::recover(store, config.fsync, Some(structure)).map_err(|e| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("wal recovery failed, refusing to serve: {e}"),
+                    )
+                })?;
+            if !rec.had_checkpoint {
+                wal.checkpoint(rec.delta.current())?;
+                metrics.counter(names::SERVE_WAL_CHECKPOINTS).inc();
+            }
+            metrics.counter(names::RECOVERY_RUNS).inc();
+            metrics.counter(names::RECOVERY_REPLAYED).add(rec.replayed);
+            metrics.counter(names::RECOVERY_SKIPPED).add(rec.skipped);
+            metrics
+                .counter(names::RECOVERY_TRUNCATED_BYTES)
+                .add(rec.truncated_bytes);
+            let state = WalState {
+                wal,
+                fail_appends: config.wal_fail_appends,
+            };
+            (rec.delta, Some(Mutex::new(state)))
+        }
+        None => (DeltaStructure::new(structure), None),
+    };
     let meter = MemoryMeter::new();
-    meter.add(structure.resident_bytes());
+    meter.add(writer.current().resident_bytes());
     // Force the Gaifman graph now (evaluators would build it lazily on
     // the first request anyway) so its bytes are accounted up front;
     // delta commits then maintain it incrementally.
-    let _ = structure.gaifman();
+    let _ = writer.current().gaifman();
     let cache = Arc::new(
         TermCache::with_capacity(config.cache_capacity)
             .with_metrics(&metrics)
             .with_memory_meter(meter.clone()),
     );
-    let writer = DeltaStructure::new(structure);
     let published = RwLock::new(writer.snapshot());
     let traces = TraceLog::new(config.trace_path.as_deref())?;
     let mint_seed = SystemTime::now()
@@ -654,6 +830,8 @@ pub fn start(structure: Structure, config: ServerConfig) -> std::io::Result<Serv
         mint_seed,
         trace_seq: AtomicU64::new(0),
         postmortem_seq: AtomicU64::new(0),
+        wal,
+        wal_readonly: AtomicBool::new(false),
     });
     let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -734,10 +912,18 @@ fn refuse(mut stream: TcpStream, shared: &Shared) {
 }
 
 /// Reads lines across read timeouts without losing partial data
-/// (`BufRead::read_line` may drop buffered bytes on `WouldBlock`).
+/// (`BufRead::read_line` may drop buffered bytes on `WouldBlock`),
+/// bounding the accumulated line at `max` bytes: an oversized line is
+/// reported once and its remaining bytes are discarded up to the next
+/// newline, so a hostile or confused client cannot grow the buffer
+/// unboundedly.
 struct LineReader<R> {
     inner: R,
     acc: Vec<u8>,
+    /// Longest accepted line (`ServerConfig::max_frame_bytes`).
+    max: usize,
+    /// Set after an overflow: drop bytes until the next newline.
+    skipping: bool,
 }
 
 enum LineEvent {
@@ -745,19 +931,43 @@ enum LineEvent {
     Eof,
     /// Read timeout: no complete line yet; poll the shutdown flag.
     Idle,
+    /// The current line exceeded the frame bound; its bytes are being
+    /// discarded. Reported exactly once per oversized line.
+    Oversized,
 }
 
 impl<R: Read> LineReader<R> {
+    fn new(inner: R, max: usize) -> LineReader<R> {
+        LineReader {
+            inner,
+            acc: Vec::new(),
+            max: max.max(1),
+            skipping: false,
+        }
+    }
+
     fn next(&mut self) -> LineEvent {
         loop {
             if let Some(i) = self.acc.iter().position(|&b| b == b'\n') {
                 let rest = self.acc.split_off(i + 1);
                 let mut line = std::mem::replace(&mut self.acc, rest);
+                if self.skipping {
+                    // The tail of an oversized line; drop it silently.
+                    self.skipping = false;
+                    continue;
+                }
                 line.pop(); // '\n'
                 if line.last() == Some(&b'\r') {
                     line.pop();
                 }
                 return LineEvent::Line(String::from_utf8_lossy(&line).into_owned());
+            }
+            if self.skipping {
+                self.acc.clear();
+            } else if self.acc.len() > self.max {
+                self.acc.clear();
+                self.skipping = true;
+                return LineEvent::Oversized;
             }
             let mut buf = [0u8; 4096];
             match self.inner.read(&mut buf) {
@@ -783,10 +993,7 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(Duration::from_millis(25)))?;
     let mut writer = stream.try_clone()?;
-    let mut reader = LineReader {
-        inner: BufReader::new(stream),
-        acc: Vec::new(),
-    };
+    let mut reader = LineReader::new(BufReader::new(stream), shared.config.max_frame_bytes);
     loop {
         if shared.draining() {
             let _ = writeln!(writer, "{}", drained_frame());
@@ -795,6 +1002,32 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
         match reader.next() {
             LineEvent::Eof => return Ok(()),
             LineEvent::Idle => continue,
+            LineEvent::Oversized => {
+                shared.metrics.counter(names::SERVE_FRAMES_OVERSIZED).inc();
+                shared.metrics.counter(names::SERVE_ERRORS).inc();
+                let tc = shared.mint_trace("-");
+                shared.recorder.event(
+                    "request.oversized",
+                    format!(
+                        "trace={} line exceeded {} bytes",
+                        tc.trace_id, shared.config.max_frame_bytes
+                    ),
+                );
+                let _ = writeln!(
+                    writer,
+                    "{}",
+                    error_frame(
+                        "-",
+                        &tc.trace_id,
+                        "bad-request",
+                        None,
+                        &format!(
+                            "request line exceeds the {}-byte frame bound",
+                            shared.config.max_frame_bytes
+                        ),
+                    )
+                );
+            }
             LineEvent::Line(line) => {
                 if line.trim().is_empty() {
                     continue;
@@ -887,6 +1120,18 @@ fn serve_line(line: &str, shared: &Arc<Shared>, emit: &mut dyn FnMut(&str)) {
 /// eviction.
 fn apply_update(req: &Request, tc: &TraceContext, shared: &Arc<Shared>) -> String {
     let m = &shared.metrics;
+    // Degrade ladder rung 1: with the WAL read-only, an update could be
+    // applied but never made durable — refuse it instead of lying.
+    if shared.wal.is_some() && shared.wal_is_readonly() {
+        m.counter(names::SERVE_ERRORS).inc();
+        return error_frame(
+            &req.id,
+            &tc.trace_id,
+            "read-only",
+            None,
+            "write-ahead log degraded: server is read-only, mutations refused",
+        );
+    }
     let ops: Vec<TupleOp> = req
         .ops
         .iter()
@@ -910,6 +1155,47 @@ fn apply_update(req: &Request, tc: &TraceContext, shared: &Arc<Shared>) -> Strin
             let epoch = info.epoch;
             if info.changed > 0 {
                 let new = writer.snapshot();
+                // Durable-ack: the commit record must be durable (per
+                // the fsync policy) before anything — the published
+                // snapshot or the acknowledgement frame — can observe
+                // the commit. Appending under the writer lock makes log
+                // order equal commit order.
+                if let Some(walm) = &shared.wal {
+                    let mut ws = walm.lock().unwrap_or_else(|e| e.into_inner());
+                    if let Err(e) = ws.append(epoch, new.fingerprint(), &ops, m) {
+                        // Roll the in-memory commit back: the served
+                        // state must never run ahead of the log.
+                        drop(ws);
+                        writer.reset_to(old);
+                        drop(writer);
+                        shared.wal_degrade("append", &e);
+                        m.counter(names::SERVE_ERRORS).inc();
+                        return error_frame(
+                            &req.id,
+                            &tc.trace_id,
+                            "read-only",
+                            None,
+                            &format!(
+                                "wal append failed ({e}): commit rolled back, server is now read-only"
+                            ),
+                        );
+                    }
+                    // Bound recovery replay: checkpoint once the log
+                    // outgrows its budget. The commit above is already
+                    // durable, so a checkpoint failure degrades the
+                    // ladder but still acknowledges this update.
+                    if ws.wal.log_bytes() >= shared.config.wal_checkpoint_bytes {
+                        match ws.wal.checkpoint(&new) {
+                            Ok(()) => {
+                                m.counter(names::SERVE_WAL_CHECKPOINTS).inc();
+                            }
+                            Err(e) => {
+                                drop(ws);
+                                shared.wal_degrade("checkpoint", &e);
+                            }
+                        }
+                    }
+                }
                 let stats = migrate_cache(&shared.cache, &old, &new, &info.touched, &shared.preds);
                 shared.covers.migrate(&old, &new, &info.touched);
                 *shared.published.write().unwrap_or_else(|e| e.into_inner()) = new.clone();
@@ -1392,6 +1678,7 @@ impl ServerHandle {
         for h in handles {
             let _ = h.join();
         }
+        self.shared.wal_flush();
         let drain = t0.elapsed();
         m.counter(names::SERVE_DRAIN_NANOS)
             .add(drain.as_nanos() as u64);
@@ -1427,5 +1714,6 @@ impl Drop for ServerHandle {
         for h in handles {
             let _ = h.join();
         }
+        self.shared.wal_flush();
     }
 }

@@ -1084,3 +1084,167 @@ fn anytime_requests_stream_partials_then_a_tagged_result() {
     assert_eq!(report.final_metrics.counter(names::SERVE_ANYTIME), 1);
     assert!(report.final_metrics.counter(names::SERVE_PARTIAL_FRAMES) >= 1);
 }
+
+/// Creates (and cleans) a unique scratch directory for WAL tests.
+fn wal_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("foc-serve-wal-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// ISSUE 10 tentpole: every acknowledged mutation survives a restart.
+/// A server with a WAL directory acks three batches, goes away, and a
+/// second server recovering from the same directory serves the exact
+/// epoch and answers the first one acked.
+#[test]
+fn acknowledged_updates_survive_restart_via_wal() {
+    let dir = wal_dir("restart");
+    let first = start(
+        path(16),
+        ServerConfig {
+            wal_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start with wal");
+    {
+        let mut c = Client::connect(first.addr());
+        let batches = [
+            r##"{"proto":1,"id":"u1","mode":"batch","ops":[{"op":"insert","rel":"E","tuple":[0,8]}]}"##,
+            r##"{"proto":1,"id":"u2","mode":"batch","ops":[{"op":"insert","rel":"E","tuple":[8,0]},{"op":"delete","rel":"E","tuple":[0,1]}]}"##,
+            r##"{"proto":1,"id":"u3","mode":"batch","ops":[{"op":"insert","rel":"E","tuple":[15,2]}]}"##,
+        ];
+        for (i, b) in batches.iter().enumerate() {
+            let f = c.roundtrip(b);
+            assert_eq!(
+                field(&f, "epoch"),
+                Some(format!("{}", i + 1).as_str()),
+                "frame: {f}"
+            );
+        }
+        let f = c.roundtrip(r##"{"proto":1,"id":"q","mode":"eval","query":"#(x,y). E(x,y)"}"##);
+        assert_eq!(field(&f, "value"), Some("32"), "frame: {f}");
+    }
+    // An abrupt departure: no graceful drain, just drop the handle.
+    drop(first);
+
+    let second = start(
+        path(16),
+        ServerConfig {
+            wal_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("restart from wal");
+    assert_eq!(second.metrics().counter(names::RECOVERY_RUNS).get(), 1);
+    assert_eq!(second.metrics().counter(names::RECOVERY_REPLAYED).get(), 3);
+    let mut c = Client::connect(second.addr());
+    let f = c.roundtrip(r##"{"proto":1,"id":"q","mode":"eval","query":"#(x,y). E(x,y)"}"##);
+    assert_eq!(field(&f, "value"), Some("32"), "frame: {f}");
+    assert_eq!(field(&f, "epoch"), Some("3"), "frame: {f}");
+    second.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// ISSUE 10, satellite 2: a request line beyond `--max-frame-bytes` is
+/// answered with a structured `bad-request` frame, the connection
+/// survives for the next request, and the counter ticks.
+#[test]
+fn oversized_frames_are_rejected_and_the_connection_survives() {
+    let handle = start(
+        path(8),
+        ServerConfig {
+            max_frame_bytes: 1024,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    let mut c = Client::connect(handle.addr());
+    let big = format!(
+        r##"{{"proto":1,"id":"big","mode":"eval","query":"{}"}}"##,
+        "x".repeat(4096)
+    );
+    let f = c.roundtrip(&big);
+    assert_eq!(field(&f, "class"), Some("bad-request"), "frame: {f}");
+    // The same connection keeps working after the oversized line.
+    let f = c.roundtrip(r##"{"proto":1,"id":"q","mode":"eval","query":"#(x,y). E(x,y)"}"##);
+    assert_eq!(field(&f, "value"), Some("14"), "frame: {f}");
+    drop(c);
+    let report = handle.drain();
+    assert_eq!(
+        report.final_metrics.counter(names::SERVE_FRAMES_OVERSIZED),
+        1
+    );
+}
+
+/// ISSUE 10 tentpole + satellite 6: a WAL append failure rolls the
+/// commit back, degrades the server to read-only (refusing further
+/// mutations with a structured frame), keeps answering queries, turns
+/// `/healthz` into a 503 — and the state recovered afterwards is
+/// exactly the last *acknowledged* one.
+#[test]
+fn wal_append_failure_degrades_to_readonly_without_losing_acked_state() {
+    let dir = wal_dir("degrade");
+    let handle = start(
+        path(16),
+        ServerConfig {
+            wal_dir: Some(dir.clone()),
+            wal_fail_appends: Some(1),
+            telemetry_addr: Some("127.0.0.1:0".to_string()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start with failing wal");
+    let taddr = handle.telemetry_addr().expect("telemetry bound");
+    let mut c = Client::connect(handle.addr());
+
+    // First mutation is durably acked.
+    let f = c.roundtrip(
+        r##"{"proto":1,"id":"u1","mode":"batch","ops":[{"op":"insert","rel":"E","tuple":[0,9]}]}"##,
+    );
+    assert_eq!(field(&f, "epoch"), Some("1"), "frame: {f}");
+
+    // Second mutation hits the injected IO failure: rolled back, and
+    // the server walks the degrade ladder into read-only mode.
+    let f = c.roundtrip(
+        r##"{"proto":1,"id":"u2","mode":"batch","ops":[{"op":"insert","rel":"E","tuple":[9,0]}]}"##,
+    );
+    assert_eq!(field(&f, "class"), Some("read-only"), "frame: {f}");
+    assert!(f.contains("wal append failed"), "frame: {f}");
+
+    // Third mutation is refused up front, same class.
+    let f = c.roundtrip(
+        r##"{"proto":1,"id":"u3","mode":"batch","ops":[{"op":"insert","rel":"E","tuple":[5,9]}]}"##,
+    );
+    assert_eq!(field(&f, "class"), Some("read-only"), "frame: {f}");
+
+    // Queries still get answers, at the last acknowledged epoch.
+    let f = c.roundtrip(r##"{"proto":1,"id":"q","mode":"eval","query":"#(x,y). E(x,y)"}"##);
+    assert_eq!(field(&f, "value"), Some("31"), "frame: {f}");
+    assert_eq!(field(&f, "epoch"), Some("1"), "frame: {f}");
+
+    // Health reflects the degraded WAL.
+    let (status, body) = http_get(taddr, "/healthz");
+    assert_eq!(status, 503, "body: {body}");
+    assert!(body.contains("wal-readonly"), "body: {body}");
+    assert!(body.contains("\"readonly\":true"), "body: {body}");
+    drop(c);
+    drop(handle);
+
+    // Recovery lands on the acked epoch 1, not the rolled-back 2.
+    let recovered = start(
+        path(16),
+        ServerConfig {
+            wal_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("recover");
+    let mut c = Client::connect(recovered.addr());
+    let f = c.roundtrip(r##"{"proto":1,"id":"q","mode":"eval","query":"#(x,y). E(x,y)"}"##);
+    assert_eq!(field(&f, "value"), Some("31"), "frame: {f}");
+    assert_eq!(field(&f, "epoch"), Some("1"), "frame: {f}");
+    drop(c);
+    recovered.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -108,20 +108,38 @@ impl DeltaStructure {
     /// Wraps a structure for delta maintenance, scanning its tuples once
     /// to seed the Gaifman edge multiset.
     pub fn new(base: Structure) -> DeltaStructure {
-        let mut edge_mult: FxHashMap<(u32, u32), u32> = FxHashMap::default();
-        for idx in 0..base.signature().len() {
-            let rel = base.relation_at(idx);
-            if rel.arity() < 2 {
-                continue;
-            }
-            for row in rel.rows() {
-                count_edges(row, |e| *edge_mult.entry(e).or_insert(0) += 1);
-            }
-        }
+        let edge_mult = scan_edges(&base);
         DeltaStructure {
             current: Arc::new(base),
             edge_mult,
         }
+    }
+
+    /// Wraps a structure for delta maintenance *at a recorded epoch* —
+    /// the recovery constructor. A checkpointed structure round-trips
+    /// through the text format as epoch 0; restoring it under the epoch
+    /// recorded at checkpoint time makes the epoch-folded
+    /// [`Structure::fingerprint`] comparable with the fingerprints that
+    /// were stamped into the write-ahead log at commit time.
+    pub fn restore(base: Structure, epoch: u64) -> DeltaStructure {
+        let edge_mult = scan_edges(&base);
+        let sig = base.signature().clone();
+        let n = base.order();
+        let rels = base.rel_arcs().to_vec();
+        DeltaStructure {
+            current: Arc::new(Structure::from_parts(sig, n, rels, epoch, None)),
+            edge_mult,
+        }
+    }
+
+    /// Discards the current state and rewinds to `snapshot`, rescanning
+    /// its tuples to rebuild the Gaifman edge multiset. Used by the
+    /// durable-ack path: when a commit was applied in memory but its log
+    /// record could not be made durable, the commit is rolled back so the
+    /// served state never runs ahead of the write-ahead log.
+    pub fn reset_to(&mut self, snapshot: Arc<Structure>) {
+        self.edge_mult = scan_edges(&snapshot);
+        self.current = snapshot;
     }
 
     /// The current epoch's immutable snapshot (cheap `Arc` clone).
@@ -282,6 +300,21 @@ impl DeltaStructure {
             .collect();
         Structure::new(sig, self.current.order(), rows)
     }
+}
+
+/// Seeds the Gaifman edge multiset by scanning every tuple of `base`.
+fn scan_edges(base: &Structure) -> FxHashMap<(u32, u32), u32> {
+    let mut edge_mult: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+    for idx in 0..base.signature().len() {
+        let rel = base.relation_at(idx);
+        if rel.arity() < 2 {
+            continue;
+        }
+        for row in rel.rows() {
+            count_edges(row, |e| *edge_mult.entry(e).or_insert(0) += 1);
+        }
+    }
+    edge_mult
 }
 
 /// Feeds the canonical Gaifman edges induced by one tuple to `f`
@@ -468,6 +501,48 @@ mod tests {
         assert_eq!(d.epoch(), 0);
         assert_eq!(d.snapshot().fingerprint(), fp);
         assert!(!d.snapshot().holds(Symbol::new("E"), &[2, 3]));
+    }
+
+    #[test]
+    fn restore_stamps_the_recorded_epoch() {
+        let mut d = DeltaStructure::new(base());
+        d.apply(&[TupleOp::insert("E", &[2, 3])]).unwrap();
+        d.apply(&[TupleOp::delete("P", &[0])]).unwrap();
+        let fp = d.snapshot().fingerprint();
+        // Round-trip the content through an epoch-0 rebuild, then restore
+        // at the recorded epoch: the epoch-folded fingerprint must match.
+        let rebuilt = d.rebuild_from_scratch();
+        assert_eq!(rebuilt.epoch(), 0);
+        let mut r = DeltaStructure::restore(rebuilt, d.epoch());
+        assert_eq!(r.epoch(), 2);
+        assert_eq!(r.snapshot().fingerprint(), fp);
+        // The restored structure keeps committing in lockstep.
+        let a = d.apply(&[TupleOp::insert("E", &[4, 5])]).unwrap();
+        let b = r.apply(&[TupleOp::insert("E", &[4, 5])]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(d.snapshot().fingerprint(), r.snapshot().fingerprint());
+    }
+
+    #[test]
+    fn reset_to_rewinds_state_and_edge_counts() {
+        let mut d = DeltaStructure::new(base());
+        d.snapshot().gaifman();
+        let before = d.snapshot();
+        let fp = before.fingerprint();
+        d.apply(&[TupleOp::insert("E", &[2, 3]), TupleOp::delete("E", &[0, 1])])
+            .unwrap();
+        assert_ne!(d.snapshot().fingerprint(), fp);
+        d.reset_to(before);
+        assert_eq!(d.epoch(), 0);
+        assert_eq!(d.snapshot().fingerprint(), fp);
+        // Edge multiset was rewound too: committing after the reset
+        // yields the same CSR a from-scratch rebuild would.
+        d.apply(&[TupleOp::insert("E", &[2, 3])]).unwrap();
+        assert!(d.snapshot().gaifman().has_edge(0, 1));
+        assert_eq!(
+            d.snapshot().gaifman().num_edges(),
+            d.rebuild_from_scratch().gaifman().num_edges()
+        );
     }
 
     #[test]

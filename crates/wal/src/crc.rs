@@ -1,0 +1,64 @@
+//! Hand-rolled CRC32 (IEEE 802.3): reflected polynomial `0xEDB88320`,
+//! init `0xFFFF_FFFF`, final xor `0xFFFF_FFFF` — the same parameters as
+//! zlib's `crc32`, computed byte-at-a-time from a compile-time table so
+//! the crate stays dependency-free.
+
+/// The 256-entry lookup table for the reflected IEEE polynomial.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// The CRC32 checksum of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        let idx = ((crc ^ b as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC32/ISO-HDLC check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let base = b"commit 7 00000000deadbeef".to_vec();
+        let c0 = crc32(&base);
+        for i in 0..base.len() * 8 {
+            let mut flipped = base.clone();
+            flipped[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&flipped), c0, "bit {i} undetected");
+        }
+    }
+}

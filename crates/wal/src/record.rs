@@ -1,0 +1,247 @@
+//! Log record framing: length-prefixed, CRC32-guarded commit records.
+//!
+//! Each record is framed as
+//!
+//! ```text
+//! [payload_len: u32 LE] [crc32(payload): u32 LE] [payload bytes]
+//! ```
+//!
+//! and the payload is line-oriented text:
+//!
+//! ```text
+//! commit <epoch> <fingerprint-hex16>
+//! + <rel> <e1> <e2> ...
+//! - <rel> <e1> ...
+//! ```
+//!
+//! The first line stamps the epoch the commit produced and the
+//! epoch-folded [`foc_structures::Structure::fingerprint`] of the
+//! snapshot *after* the commit; the remaining lines are the tuple ops of
+//! the batch, replayed verbatim during recovery. Decoding stops at the
+//! first frame that is incomplete, oversized, fails its CRC, or fails to
+//! parse — the *torn-tail rule*: everything from that offset on is
+//! discarded, because a record that was never durable was never
+//! acknowledged.
+
+use foc_structures::TupleOp;
+
+use crate::crc::crc32;
+
+/// Upper bound on a single record payload; a length prefix beyond this
+/// is treated as tail corruption rather than an allocation request.
+pub const MAX_PAYLOAD: usize = 1 << 28;
+
+/// One decoded commit record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// The epoch the commit produced.
+    pub epoch: u64,
+    /// Fingerprint of the snapshot after the commit (epoch-folded).
+    pub fingerprint: u64,
+    /// The tuple ops of the batch, in request order.
+    pub ops: Vec<TupleOp>,
+}
+
+/// Encodes one commit as a framed record.
+///
+/// Relation names are written whitespace-separated, so a name containing
+/// whitespace cannot round-trip; committed ops always name declared
+/// relations, which the structure text format already keeps atomic.
+pub fn encode_commit(epoch: u64, fingerprint: u64, ops: &[TupleOp]) -> Vec<u8> {
+    let mut payload = format!("commit {epoch} {fingerprint:016x}\n");
+    for op in ops {
+        let verb = if op.insert { '+' } else { '-' };
+        payload.push(verb);
+        payload.push(' ');
+        payload.push_str(&op.rel.name());
+        for c in &op.tuple {
+            payload.push(' ');
+            payload.push_str(&c.to_string());
+        }
+        payload.push('\n');
+    }
+    let payload = payload.into_bytes();
+    debug_assert!(payload.len() <= MAX_PAYLOAD);
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// The result of scanning a log image: the records of the valid prefix,
+/// its byte length, and — when the scan stopped early — why.
+#[derive(Debug)]
+pub struct DecodedLog {
+    /// Records of the valid prefix, in append order.
+    pub records: Vec<CommitRecord>,
+    /// Byte length of the valid prefix; bytes past it are the torn tail.
+    pub valid_len: usize,
+    /// Why decoding stopped before the end of the image, if it did.
+    pub torn: Option<String>,
+}
+
+/// Scans a log image, applying the torn-tail rule.
+pub fn decode_log(bytes: &[u8]) -> DecodedLog {
+    let mut records = Vec::new();
+    let mut off = 0usize;
+    let torn = loop {
+        if off == bytes.len() {
+            break None;
+        }
+        let rest = &bytes[off..];
+        if rest.len() < 8 {
+            break Some(format!("truncated frame header ({} bytes)", rest.len()));
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        if len > MAX_PAYLOAD {
+            break Some(format!("implausible payload length {len}"));
+        }
+        let crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        if rest.len() < 8 + len {
+            break Some(format!(
+                "truncated payload ({} of {len} bytes)",
+                rest.len() - 8
+            ));
+        }
+        let payload = &rest[8..8 + len];
+        let actual = crc32(payload);
+        if actual != crc {
+            break Some(format!(
+                "crc mismatch (stored {crc:08x}, actual {actual:08x})"
+            ));
+        }
+        match parse_payload(payload) {
+            Ok(rec) => records.push(rec),
+            Err(why) => break Some(format!("unparseable payload: {why}")),
+        }
+        off += 8 + len;
+    };
+    DecodedLog {
+        records,
+        valid_len: off,
+        torn,
+    }
+}
+
+fn parse_payload(payload: &[u8]) -> Result<CommitRecord, String> {
+    let text = std::str::from_utf8(payload).map_err(|e| e.to_string())?;
+    let mut lines = text.lines();
+    let head = lines.next().ok_or("empty payload")?;
+    let mut parts = head.split_whitespace();
+    if parts.next() != Some("commit") {
+        return Err("missing commit line".to_string());
+    }
+    let epoch: u64 = parts
+        .next()
+        .ok_or("missing epoch")?
+        .parse()
+        .map_err(|e| format!("bad epoch: {e}"))?;
+    let fingerprint = u64::from_str_radix(parts.next().ok_or("missing fingerprint")?, 16)
+        .map_err(|e| format!("bad fingerprint: {e}"))?;
+    if parts.next().is_some() {
+        return Err("trailing tokens on commit line".to_string());
+    }
+    let mut ops = Vec::new();
+    for line in lines {
+        let mut parts = line.split_whitespace();
+        let insert = match parts.next() {
+            Some("+") => true,
+            Some("-") => false,
+            other => return Err(format!("bad op verb {other:?}")),
+        };
+        let rel = parts.next().ok_or("missing relation name")?;
+        let mut tuple = Vec::new();
+        for tok in parts {
+            tuple.push(
+                tok.parse::<u32>()
+                    .map_err(|e| format!("bad element: {e}"))?,
+            );
+        }
+        ops.push(if insert {
+            TupleOp::insert(rel, &tuple)
+        } else {
+            TupleOp::delete(rel, &tuple)
+        });
+    }
+    Ok(CommitRecord {
+        epoch,
+        fingerprint,
+        ops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ops() -> Vec<TupleOp> {
+        vec![
+            TupleOp::insert("E", &[0, 1]),
+            TupleOp::delete("P", &[2]),
+            TupleOp::insert("Unit", &[]),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_two_records() {
+        let mut log = encode_commit(1, 0xDEAD_BEEF, &sample_ops());
+        log.extend_from_slice(&encode_commit(2, 42, &[]));
+        let d = decode_log(&log);
+        assert!(d.torn.is_none());
+        assert_eq!(d.valid_len, log.len());
+        assert_eq!(d.records.len(), 2);
+        assert_eq!(d.records[0].epoch, 1);
+        assert_eq!(d.records[0].fingerprint, 0xDEAD_BEEF);
+        assert_eq!(d.records[0].ops, sample_ops());
+        assert_eq!(d.records[1].epoch, 2);
+        assert!(d.records[1].ops.is_empty());
+    }
+
+    #[test]
+    fn every_truncation_point_is_a_clean_torn_tail() {
+        let mut log = encode_commit(1, 7, &sample_ops());
+        let first = log.len();
+        log.extend_from_slice(&encode_commit(2, 8, &sample_ops()));
+        for cut in 0..log.len() {
+            let d = decode_log(&log[..cut]);
+            // The valid prefix is always a record boundary at or before
+            // the cut, and records are a prefix of the full sequence.
+            assert!(d.valid_len <= cut);
+            assert!(d.valid_len == 0 || d.valid_len == first);
+            if cut < first {
+                assert!(d.records.is_empty());
+                if cut > 0 {
+                    assert!(d.torn.is_some(), "cut {cut}");
+                }
+            } else if cut < log.len() {
+                assert_eq!(d.records.len(), 1);
+                if cut > first {
+                    assert!(d.torn.is_some(), "cut {cut}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_stops_the_scan() {
+        let mut log = encode_commit(1, 7, &sample_ops());
+        let len = log.len();
+        log.extend_from_slice(&encode_commit(2, 8, &[]));
+        log[len + 10] ^= 0x40; // flip a bit inside the second payload
+        let d = decode_log(&log);
+        assert_eq!(d.records.len(), 1);
+        assert_eq!(d.valid_len, len);
+        assert!(d.torn.unwrap().contains("crc mismatch"));
+    }
+
+    #[test]
+    fn implausible_length_is_tail_corruption_not_allocation() {
+        let mut log = Vec::new();
+        log.extend_from_slice(&u32::MAX.to_le_bytes());
+        log.extend_from_slice(&[0; 4]);
+        let d = decode_log(&log);
+        assert!(d.records.is_empty());
+        assert!(d.torn.unwrap().contains("implausible"));
+    }
+}

@@ -1,0 +1,407 @@
+//! Storage backends: the injectable IO boundary of the WAL.
+//!
+//! [`WalStore`] abstracts the handful of primitive operations the log
+//! needs — append, sync, truncate, and atomic checkpoint replacement —
+//! so the same recovery code runs against a real directory
+//! ([`DirStore`]) and against the in-memory fault-injection backend
+//! ([`MemStore`]) the kill-point fuzzer drives.
+//!
+//! [`MemStore`] models durability the way an OS does: `append_log`
+//! lands bytes in a *volatile* buffer, `sync_log` moves them to the
+//! *durable* one. A simulated crash is armed as a budget of IO units
+//! (one unit per byte written, one per sync/rename/truncate); when the
+//! budget runs out mid-write the write is torn — a partial prefix lands
+//! in the volatile buffer — and every subsequent operation fails, just
+//! like a process that was killed. [`MemStore::survived`] then builds
+//! the post-crash image: all durable bytes plus a caller-chosen prefix
+//! of the volatile ones (page-cache survival is arbitrary; the fuzzer
+//! exercises both extremes).
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The injectable IO boundary: every byte the WAL persists or reads
+/// back crosses one of these operations.
+pub trait WalStore {
+    /// Returns the full current log image.
+    fn read_log(&mut self) -> io::Result<Vec<u8>>;
+    /// Appends bytes to the log (volatile until the next sync).
+    fn append_log(&mut self, bytes: &[u8]) -> io::Result<()>;
+    /// Makes all appended log bytes durable.
+    fn sync_log(&mut self) -> io::Result<()>;
+    /// Truncates the log to `len` bytes (torn-tail removal).
+    fn truncate_log(&mut self, len: u64) -> io::Result<()>;
+    /// Returns the checkpoint image, if one exists.
+    fn read_checkpoint(&mut self) -> io::Result<Option<Vec<u8>>>;
+    /// Atomically replaces the checkpoint: after this returns, a reader
+    /// sees either the old image or the new one, never a mixture.
+    fn write_checkpoint(&mut self, bytes: &[u8]) -> io::Result<()>;
+    /// Empties the log (after a successful checkpoint).
+    fn reset_log(&mut self) -> io::Result<()>;
+}
+
+/// A mutable reference is itself a store, so a caller can lend a store
+/// to a [`crate::Wal`] for one crashed workload and still own it
+/// afterwards to build the survived image.
+impl<T: WalStore + ?Sized> WalStore for &mut T {
+    fn read_log(&mut self) -> io::Result<Vec<u8>> {
+        (**self).read_log()
+    }
+    fn append_log(&mut self, bytes: &[u8]) -> io::Result<()> {
+        (**self).append_log(bytes)
+    }
+    fn sync_log(&mut self) -> io::Result<()> {
+        (**self).sync_log()
+    }
+    fn truncate_log(&mut self, len: u64) -> io::Result<()> {
+        (**self).truncate_log(len)
+    }
+    fn read_checkpoint(&mut self) -> io::Result<Option<Vec<u8>>> {
+        (**self).read_checkpoint()
+    }
+    fn write_checkpoint(&mut self, bytes: &[u8]) -> io::Result<()> {
+        (**self).write_checkpoint(bytes)
+    }
+    fn reset_log(&mut self) -> io::Result<()> {
+        (**self).reset_log()
+    }
+}
+
+/// Log file name inside a WAL directory.
+pub const LOG_FILE: &str = "wal.log";
+/// Checkpoint file name inside a WAL directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.foc";
+const CHECKPOINT_TMP: &str = "checkpoint.tmp";
+
+/// A WAL directory on a real filesystem: `wal.log` plus
+/// `checkpoint.foc`, the checkpoint replaced via write-to-temp + fsync +
+/// rename so it is always either the old image or the new one.
+#[derive(Debug)]
+pub struct DirStore {
+    dir: PathBuf,
+    log: Option<File>,
+}
+
+impl DirStore {
+    /// Opens (creating if needed) a WAL directory.
+    pub fn open(dir: &Path) -> io::Result<DirStore> {
+        std::fs::create_dir_all(dir)?;
+        Ok(DirStore {
+            dir: dir.to_path_buf(),
+            log: None,
+        })
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn log_path(&self) -> PathBuf {
+        self.dir.join(LOG_FILE)
+    }
+
+    fn log_file(&mut self) -> io::Result<&mut File> {
+        if self.log.is_none() {
+            let f = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.log_path())?;
+            self.log = Some(f);
+        }
+        // The Option was just filled; the error branch is unreachable.
+        self.log
+            .as_mut()
+            .ok_or_else(|| io::Error::other("log handle missing"))
+    }
+
+    /// Best-effort directory fsync so renames and truncations are
+    /// themselves durable on filesystems that need it.
+    fn sync_dir(&self) {
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+    }
+}
+
+impl WalStore for DirStore {
+    fn read_log(&mut self) -> io::Result<Vec<u8>> {
+        match std::fs::read(self.log_path()) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn append_log(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.log_file()?.write_all(bytes)
+    }
+
+    fn sync_log(&mut self) -> io::Result<()> {
+        match &mut self.log {
+            Some(f) => f.sync_data(),
+            None => Ok(()), // nothing appended yet
+        }
+    }
+
+    fn truncate_log(&mut self, len: u64) -> io::Result<()> {
+        // Drop the append handle first: its cursor is managed by
+        // O_APPEND, so reopening after set_len is the simple safe path.
+        self.log = None;
+        let f = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(self.log_path())?;
+        f.set_len(len)?;
+        f.sync_data()?;
+        self.sync_dir();
+        Ok(())
+    }
+
+    fn read_checkpoint(&mut self) -> io::Result<Option<Vec<u8>>> {
+        match std::fs::read(self.dir.join(CHECKPOINT_FILE)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn write_checkpoint(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let tmp = self.dir.join(CHECKPOINT_TMP);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, self.dir.join(CHECKPOINT_FILE))?;
+        self.sync_dir();
+        Ok(())
+    }
+
+    fn reset_log(&mut self) -> io::Result<()> {
+        self.truncate_log(0)
+    }
+}
+
+/// In-memory store with kill-point fault injection (see module docs).
+#[derive(Debug, Clone)]
+pub struct MemStore {
+    durable: Vec<u8>,
+    volatile: Vec<u8>,
+    checkpoint: Option<Vec<u8>>,
+    /// IO units remaining before the simulated crash; `None` = no fault.
+    budget: Option<u64>,
+    crashed: bool,
+    units: u64,
+}
+
+fn crash_err() -> io::Error {
+    io::Error::other("simulated crash")
+}
+
+impl MemStore {
+    /// A store with no fault armed.
+    pub fn new() -> MemStore {
+        MemStore {
+            durable: Vec::new(),
+            volatile: Vec::new(),
+            checkpoint: None,
+            budget: None,
+            crashed: false,
+            units: 0,
+        }
+    }
+
+    /// A store that crashes after `units` IO units have been spent.
+    pub fn with_crash_after(units: u64) -> MemStore {
+        MemStore {
+            budget: Some(units),
+            ..MemStore::new()
+        }
+    }
+
+    /// Spends up to `want` units; returns how many were available and
+    /// marks the store crashed if the budget ran dry.
+    fn spend(&mut self, want: u64) -> u64 {
+        self.units += want;
+        match &mut self.budget {
+            None => want,
+            Some(left) => {
+                if *left >= want {
+                    *left -= want;
+                    want
+                } else {
+                    let got = *left;
+                    *left = 0;
+                    self.crashed = true;
+                    got
+                }
+            }
+        }
+    }
+
+    /// Whether the armed fault has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Total IO units consumed so far (used to size a kill-point sweep).
+    pub fn units(&self) -> u64 {
+        self.units
+    }
+
+    /// Bytes currently in the volatile (unsynced) log buffer.
+    pub fn volatile_len(&self) -> usize {
+        self.volatile.len()
+    }
+
+    /// The post-crash image: durable log bytes plus the first `keep`
+    /// volatile bytes, with the checkpoint as last atomically replaced.
+    /// The returned store has no fault armed.
+    pub fn survived(&self, keep: usize) -> MemStore {
+        let mut durable = self.durable.clone();
+        durable.extend_from_slice(&self.volatile[..keep.min(self.volatile.len())]);
+        MemStore {
+            durable,
+            volatile: Vec::new(),
+            checkpoint: self.checkpoint.clone(),
+            budget: None,
+            crashed: false,
+            units: 0,
+        }
+    }
+}
+
+impl Default for MemStore {
+    fn default() -> Self {
+        MemStore::new()
+    }
+}
+
+impl WalStore for MemStore {
+    fn read_log(&mut self) -> io::Result<Vec<u8>> {
+        let mut all = self.durable.clone();
+        all.extend_from_slice(&self.volatile);
+        Ok(all)
+    }
+
+    fn append_log(&mut self, bytes: &[u8]) -> io::Result<()> {
+        if self.crashed {
+            return Err(crash_err());
+        }
+        let got = self.spend(bytes.len() as u64) as usize;
+        self.volatile.extend_from_slice(&bytes[..got]);
+        if got < bytes.len() {
+            return Err(crash_err()); // torn write
+        }
+        Ok(())
+    }
+
+    fn sync_log(&mut self) -> io::Result<()> {
+        if self.crashed || self.spend(1) == 0 {
+            return Err(crash_err());
+        }
+        self.durable.append(&mut self.volatile);
+        Ok(())
+    }
+
+    fn truncate_log(&mut self, len: u64) -> io::Result<()> {
+        if self.crashed || self.spend(1) == 0 {
+            return Err(crash_err());
+        }
+        self.durable.append(&mut self.volatile);
+        self.durable.truncate(len as usize);
+        Ok(())
+    }
+
+    fn read_checkpoint(&mut self) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.checkpoint.clone())
+    }
+
+    fn write_checkpoint(&mut self, bytes: &[u8]) -> io::Result<()> {
+        if self.crashed {
+            return Err(crash_err());
+        }
+        // One unit per byte plus one for the rename; atomicity means a
+        // mid-write crash leaves the previous checkpoint untouched.
+        let want = bytes.len() as u64 + 1;
+        if self.spend(want) < want {
+            return Err(crash_err());
+        }
+        self.checkpoint = Some(bytes.to_vec());
+        Ok(())
+    }
+
+    fn reset_log(&mut self) -> io::Result<()> {
+        if self.crashed || self.spend(1) == 0 {
+            return Err(crash_err());
+        }
+        self.durable.clear();
+        self.volatile.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_store_sync_moves_volatile_to_durable() {
+        let mut s = MemStore::new();
+        s.append_log(b"abc").unwrap();
+        assert_eq!(s.survived(0).read_log().unwrap(), b"");
+        assert_eq!(s.survived(2).read_log().unwrap(), b"ab");
+        s.sync_log().unwrap();
+        assert_eq!(s.survived(0).read_log().unwrap(), b"abc");
+    }
+
+    #[test]
+    fn mem_store_crash_tears_the_write_and_sticks() {
+        let mut s = MemStore::with_crash_after(5);
+        assert!(s.append_log(b"abc").is_ok());
+        assert!(s.append_log(b"defg").is_err()); // only 2 units left
+        assert!(s.crashed());
+        assert!(s.sync_log().is_err());
+        assert!(s.append_log(b"x").is_err());
+        // Volatile holds the torn prefix abc + de.
+        assert_eq!(s.survived(usize::MAX).read_log().unwrap(), b"abcde");
+    }
+
+    #[test]
+    fn mem_store_checkpoint_is_atomic_under_crash() {
+        let mut s = MemStore::with_crash_after(3);
+        s.write_checkpoint(b"old").unwrap_err(); // 3 < 3+1 units
+        assert_eq!(s.read_checkpoint().unwrap(), None);
+        let mut s = MemStore::with_crash_after(4);
+        s.write_checkpoint(b"old").unwrap();
+        assert!(s.write_checkpoint(b"newer").is_err());
+        assert_eq!(s.survived(0).read_checkpoint().unwrap().unwrap(), b"old");
+    }
+
+    #[test]
+    fn dir_store_round_trips_and_truncates() {
+        let dir = std::env::temp_dir().join(format!("foc-wal-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = DirStore::open(&dir).unwrap();
+        assert_eq!(s.read_log().unwrap(), b"");
+        assert_eq!(s.read_checkpoint().unwrap(), None);
+        s.append_log(b"hello ").unwrap();
+        s.append_log(b"world").unwrap();
+        s.sync_log().unwrap();
+        assert_eq!(s.read_log().unwrap(), b"hello world");
+        s.truncate_log(5).unwrap();
+        assert_eq!(s.read_log().unwrap(), b"hello");
+        s.append_log(b"!").unwrap();
+        assert_eq!(s.read_log().unwrap(), b"hello!");
+        s.write_checkpoint(b"ckpt-1").unwrap();
+        assert_eq!(s.read_checkpoint().unwrap().unwrap(), b"ckpt-1");
+        s.write_checkpoint(b"ckpt-2").unwrap();
+        assert_eq!(s.read_checkpoint().unwrap().unwrap(), b"ckpt-2");
+        s.reset_log().unwrap();
+        assert_eq!(s.read_log().unwrap(), b"");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,126 @@
+//! Recovery idempotence: replaying the same WAL twice, recovering an
+//! already-recovered directory, and checkpoint placement must all be
+//! invisible in the recovered fingerprint.
+
+use std::path::PathBuf;
+
+use foc_structures::{Structure, StructureBuilder, TupleOp};
+use foc_wal::{DirStore, FsyncPolicy, MemStore, Wal, WalStore};
+
+fn base() -> Structure {
+    let mut b = StructureBuilder::new();
+    b.declare("E", 2);
+    b.declare("P", 1);
+    b.ensure_universe(10);
+    for (u, v) in [(0, 1), (1, 2), (2, 3), (4, 5)] {
+        b.try_insert("E", &[u, v]).unwrap();
+    }
+    b.try_insert("P", &[0]).unwrap();
+    b.try_insert("P", &[4]).unwrap();
+    b.finish()
+}
+
+/// A deterministic little workload: returns the batches applied.
+fn workload() -> Vec<Vec<TupleOp>> {
+    vec![
+        vec![TupleOp::insert("E", &[3, 4]), TupleOp::insert("P", &[7])],
+        vec![TupleOp::delete("E", &[0, 1])],
+        vec![TupleOp::insert("E", &[5, 6]), TupleOp::delete("P", &[0])],
+        vec![TupleOp::insert("E", &[0, 1])],
+        vec![TupleOp::delete("E", &[4, 5]), TupleOp::insert("P", &[9])],
+    ]
+}
+
+/// Runs the workload against a fresh MemStore-backed WAL, taking a
+/// checkpoint before batch `checkpoint_at` (none if out of range).
+fn run(checkpoint_at: usize) -> (MemStore, u64) {
+    let (mut wal, rec) = Wal::recover(MemStore::new(), FsyncPolicy::Always, Some(base())).unwrap();
+    let mut delta = rec.delta;
+    wal.checkpoint(delta.current()).unwrap();
+    for (i, ops) in workload().into_iter().enumerate() {
+        if i == checkpoint_at {
+            wal.checkpoint(delta.current()).unwrap();
+        }
+        let info = delta.apply(&ops).unwrap();
+        assert!(info.changed > 0, "workload batches must be effective");
+        wal.append_commit(info.epoch, delta.snapshot().fingerprint(), &ops)
+            .unwrap();
+    }
+    let fp = delta.snapshot().fingerprint();
+    (wal.into_store(), fp)
+}
+
+#[test]
+fn double_replay_yields_the_identical_fingerprint() {
+    let (store, live_fp) = run(usize::MAX);
+    // First recovery replays the whole log.
+    let (wal, rec1) = Wal::recover(store, FsyncPolicy::Always, None).unwrap();
+    assert_eq!(rec1.replayed, 5);
+    assert_eq!(rec1.fingerprint, live_fp);
+    // Second recovery replays the very same records again — identical
+    // epoch fingerprint, no truncation, nothing skipped differently.
+    let (wal, rec2) = Wal::recover(wal.into_store(), FsyncPolicy::Always, None).unwrap();
+    assert_eq!(rec2.replayed, 5);
+    assert_eq!(rec2.truncated_bytes, 0);
+    assert_eq!(rec2.fingerprint, live_fp);
+    // And a third, for luck.
+    let (_, rec3) = Wal::recover(wal.into_store(), FsyncPolicy::Always, None).unwrap();
+    assert_eq!(rec3.fingerprint, live_fp);
+}
+
+#[test]
+fn mid_workload_checkpoints_never_change_the_recovered_state() {
+    let (_, want) = run(usize::MAX);
+    for at in 0..5 {
+        let (store, live_fp) = run(at);
+        assert_eq!(live_fp, want, "live state must not depend on checkpoints");
+        let (_, rec) = Wal::recover(store, FsyncPolicy::Always, None).unwrap();
+        assert_eq!(
+            rec.fingerprint, want,
+            "checkpoint before batch {at} changed the recovered state"
+        );
+        // Replay is bounded by the checkpoint: only the tail replays.
+        assert_eq!(rec.replayed, (5 - at) as u64);
+    }
+}
+
+#[test]
+fn recovering_an_already_recovered_directory_is_stable() {
+    let dir = tmp_dir("recover-idempotent");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Build a real on-disk WAL, crash mid-record, and recover twice.
+    let store = DirStore::open(&dir).unwrap();
+    let (mut wal, rec) = Wal::recover(store, FsyncPolicy::Always, Some(base())).unwrap();
+    let mut delta = rec.delta;
+    wal.checkpoint(delta.current()).unwrap();
+    for ops in workload() {
+        let info = delta.apply(&ops).unwrap();
+        wal.append_commit(info.epoch, delta.snapshot().fingerprint(), &ops)
+            .unwrap();
+    }
+    let durable_fp = delta.snapshot().fingerprint();
+    // Tear the tail: append half a record, as a crash mid-write would.
+    let torn = foc_wal::encode_commit(99, 0xDEAD, &[TupleOp::insert("E", &[8, 9])]);
+    let mut store = wal.into_store();
+    store.append_log(&torn[..torn.len() - 3]).unwrap();
+    store.sync_log().unwrap();
+    drop(store);
+
+    let (wal, rec1) =
+        Wal::recover(DirStore::open(&dir).unwrap(), FsyncPolicy::Always, None).unwrap();
+    assert!(rec1.truncated_bytes > 0, "torn tail must be truncated");
+    assert_eq!(rec1.fingerprint, durable_fp);
+    drop(wal);
+    // The directory is now clean; a second recovery is a pure no-op.
+    let (_, rec2) = Wal::recover(DirStore::open(&dir).unwrap(), FsyncPolicy::Always, None).unwrap();
+    assert_eq!(rec2.truncated_bytes, 0);
+    assert_eq!(rec2.replayed, rec1.replayed);
+    assert_eq!(rec2.fingerprint, durable_fp);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("foc-wal-{tag}-{}", std::process::id()))
+}
